@@ -1,0 +1,149 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not tied to a specific paper table; these benches justify the
+implementation decisions by measuring the alternatives:
+
+* branch & bound vs plain enumeration for exact F_MS (the admissible
+  bound prunes most of C(n, k));
+* heap-based top-r vs the paper's FindNext replacement procedure for
+  DRP(F_mono) — both PTIME, different constants;
+* the pseudo-polynomial DP counter vs brute-force enumeration for
+  modular RDC;
+* early termination vs full-scan top-k for F_mono (the paper's
+  "embed diversification in query evaluation" motivation);
+* the CQ join evaluator vs the generic top-down FO procedure on the
+  same conjunctive query.
+"""
+
+import pytest
+
+from repro.algorithms.exact import branch_and_bound_max_sum, exhaustive_best
+from repro.algorithms.incremental import early_termination_top_k
+from repro.core.drp import find_next_top_sets, top_r_sets_modular
+from repro.core.objectives import ObjectiveKind
+from repro.core.rdc import count_modular_dp, rdc_brute_force
+from repro.algorithms.exact import best_modular
+
+import common
+
+
+def bench_exact_enumeration_baseline(benchmark):
+    """Plain C(n,k) enumeration at n = 16, k = 5."""
+    instance = common.data_instance(n=16, k=5, kind=ObjectiveKind.MAX_SUM, lam=0.7)
+    instance.answers()
+    result = benchmark.pedantic(
+        exhaustive_best, args=(instance,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["optimum"] = round(result[0], 2)
+
+
+def bench_exact_branch_and_bound_pruned(benchmark):
+    """Branch & bound on the identical instance (same optimum, fewer nodes)."""
+    instance = common.data_instance(n=16, k=5, kind=ObjectiveKind.MAX_SUM, lam=0.7)
+    instance.answers()
+    baseline = exhaustive_best(instance)
+    result = benchmark.pedantic(
+        branch_and_bound_max_sum, args=(instance,), rounds=2, iterations=1
+    )
+    assert result[0] == pytest.approx(baseline[0])
+    benchmark.extra_info["optimum"] = round(result[0], 2)
+
+
+@pytest.mark.parametrize("r", [5, 20])
+def bench_top_r_heap(benchmark, r):
+    """Heap-based best-first top-r (our primary Theorem 6.4 algorithm)."""
+    instance = common.data_instance(n=120, k=6, kind=ObjectiveKind.MONO)
+    instance.answers()
+    result = benchmark.pedantic(
+        top_r_sets_modular, args=(instance, r), rounds=3, iterations=1
+    )
+    benchmark.extra_info["r"] = r
+    benchmark.extra_info["sets"] = len(result)
+
+
+@pytest.mark.parametrize("r", [5, 20])
+def bench_top_r_findnext_paper(benchmark, r):
+    """The paper's FindNext one-tuple-replacement procedure, same task."""
+    instance = common.data_instance(n=40, k=4, kind=ObjectiveKind.MONO)
+    instance.answers()
+    heap_values = [v for v, _ in top_r_sets_modular(instance, r)]
+    result = benchmark.pedantic(
+        find_next_top_sets, args=(instance, r), rounds=2, iterations=1
+    )
+    assert [v for v, _ in result] == pytest.approx(heap_values)
+    benchmark.extra_info["r"] = r
+
+
+def bench_rdc_enumeration(benchmark):
+    """Brute-force modular counting at n = 20, k = 5 (C(20,5) sets)."""
+    instance = common.integer_score_instance(n=20, k=5)
+    instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(instance, 80.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["count"] = result
+
+
+def bench_rdc_dp_counter(benchmark):
+    """The DP counter on the identical instance (must agree exactly)."""
+    instance = common.integer_score_instance(n=20, k=5)
+    instance.answers()
+    expected = rdc_brute_force(instance, 80.0)
+    result = benchmark.pedantic(
+        count_modular_dp, args=(instance, 80.0), rounds=2, iterations=1
+    )
+    assert result == expected
+    benchmark.extra_info["count"] = result
+
+
+def bench_full_scan_top_k(benchmark):
+    """Scoring every tuple then sorting (the non-streaming baseline)."""
+    instance = common.data_instance(n=300, k=8, kind=ObjectiveKind.MONO)
+    instance.answers()
+    result = benchmark.pedantic(best_modular, args=(instance,), rounds=2, iterations=1)
+    benchmark.extra_info["value"] = round(result[0], 2)
+
+
+def bench_early_termination_top_k(benchmark):
+    """Early-terminating scan over the same (pre-scored) stream."""
+    instance = common.data_instance(n=300, k=8, kind=ObjectiveKind.MONO)
+    instance.answers()
+    baseline = best_modular(instance)
+    result = benchmark.pedantic(
+        early_termination_top_k, args=(instance,), rounds=2, iterations=1
+    )
+    assert result.value == pytest.approx(baseline[0])
+    benchmark.extra_info["consumed"] = result.consumed
+    benchmark.extra_info["stream"] = result.total
+
+
+def bench_cq_join_evaluation(benchmark):
+    """The bottom-up join evaluator on a 3-atom chain CQ."""
+    from repro.relational.evaluate import evaluate
+    from repro.workloads.synthetic import graph_database, random_cq
+
+    db = graph_database(nodes=30, edge_prob=0.15, seed=6)
+    query = random_cq(num_atoms=3, num_head=2, seed=6)
+    result = benchmark.pedantic(evaluate, args=(query, db), rounds=3, iterations=1)
+    benchmark.extra_info["answers"] = len(result)
+
+
+def bench_fo_topdown_evaluation_same_query(benchmark):
+    """The generic top-down procedure forced onto the same CQ (by
+    wrapping it in a double negation, which the classifier calls FO)."""
+    from repro.relational.ast import Not
+    from repro.relational.evaluate import evaluate
+    from repro.relational.queries import Query
+    from repro.workloads.synthetic import graph_database, random_cq
+
+    db = graph_database(nodes=12, edge_prob=0.25, seed=6)
+    cq = random_cq(num_atoms=2, num_head=2, seed=6)
+    fo = Query(cq.head, Not(Not(cq.body)), name="fo")
+    baseline = {r.values for r in evaluate(cq, db).rows}
+
+    def run():
+        return evaluate(fo, db)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert {r.values for r in result.rows} == baseline
+    benchmark.extra_info["answers"] = len(result)

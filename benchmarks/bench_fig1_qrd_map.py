@@ -1,0 +1,80 @@
+"""Figure 1: the QRD complexity map.
+
+The figure's node classes are asserted in the test suite; here we
+(a) regenerate the rendered map and (b) time one representative solver
+per arrow of the figure — the arrows point from harder to easier
+settings, so the timings must drop by orders of magnitude along them:
+
+  PSPACE (FO/F_mono combined)  →  NP (CQ combined)
+      →  PTIME (F_mono data / λ=0 data / constant-k data).
+"""
+
+import pytest
+
+from repro.core.complexity import Problem, figure_map, render_figure_map
+from repro.core.objectives import ObjectiveKind
+from repro.core.qrd import qrd_brute_force, qrd_max_min_relevance, qrd_modular
+from repro.reductions import q3sat_qrd, sat_qrd
+
+import common
+
+
+def bench_figure1_map_regeneration(benchmark):
+    """Rebuild the annotated node list of Figure 1 from the classifier."""
+    result = benchmark(render_figure_map, Problem.QRD)
+    assert "PSPACE-complete" in result and "PTIME" in result
+    benchmark.extra_info["nodes"] = len(figure_map(Problem.QRD))
+
+
+def bench_figure1_pspace_node(benchmark):
+    """Node 'F_mono: CQ/FO, combined — PSPACE-complete' (Th. 5.2)."""
+    reduced = q3sat_qrd.reduce_q3sat_to_qrd_mono(common.q3sat_instance(7))
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["answer"] = result
+
+
+def bench_figure1_np_node(benchmark):
+    """Node 'F_MS/F_MM: CQ/∃FO+, combined — NP-complete' (Th. 5.1)."""
+    reduced = sat_qrd.reduce_3sat_to_qrd_max_sum(common.three_sat(3))
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["answer"] = result
+
+
+def bench_figure1_ptime_mono_data_node(benchmark):
+    """Node 'F_mono: CQ/FO, data — PTIME' (Th. 5.4)."""
+    instance = common.data_instance(n=300, k=8, kind=ObjectiveKind.MONO)
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_modular, args=(instance, 1.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["answer"] = result
+
+
+def bench_figure1_ptime_lambda0_node(benchmark):
+    """Node 'F_MS/F_MM: λ=0, data — PTIME' (Th. 8.2)."""
+    instance = common.data_instance(
+        n=1000, k=10, kind=ObjectiveKind.MAX_MIN, lam=0.0
+    )
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_max_min_relevance, args=(instance, 5.0), rounds=3, iterations=1
+    )
+    benchmark.extra_info["answer"] = result
+
+
+def bench_figure1_ptime_constant_k_node(benchmark):
+    """Node 'constant k, data — PTIME' (Cor. 8.4)."""
+    instance = common.data_instance(n=120, k=2, kind=ObjectiveKind.MAX_SUM)
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(instance, 1e9), rounds=2, iterations=1
+    )
+    benchmark.extra_info["answer"] = result

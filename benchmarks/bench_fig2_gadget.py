@@ -1,0 +1,64 @@
+"""Figure 2: the inductive distance gadget of Lemma 5.3.
+
+Regenerates the figure's worked example (the printed δ table) and scales
+the gadget: building the full 2^m × 2^m distance table and verifying
+Lemma 5.3 exhaustively.  Expected shape: 4× per added variable (the
+table is quadratic in 2^m), with the canonical-pair cache keeping each
+entry O(1) amortized.
+"""
+
+import pytest
+
+from repro.reductions.q3sat_qrd import (
+    QuantifierDistance,
+    figure2_instance,
+    figure2_report,
+    verify_lemma_5_3,
+)
+
+import common
+
+
+def bench_figure2_report(benchmark):
+    """Regenerate the printed Figure 2 table."""
+    result = benchmark(figure2_report)
+    assert "δ(t1, t2) = 0" in result
+
+
+@pytest.mark.parametrize("m", [4, 6, 8])
+def bench_distance_table(benchmark, m):
+    """Fill the full pairwise δ table for a random m-variable Q3SAT."""
+    instance = common.q3sat_instance(m)
+
+    def fill():
+        gadget = QuantifierDistance.for_q3sat(instance)
+        tuples = [
+            tuple((i >> (m - 1 - b)) & 1 for b in range(m)) for i in range(1 << m)
+        ]
+        total = 0.0
+        for t in tuples:
+            for s in tuples:
+                total += gadget.value(t, s)
+        return total
+
+    result = benchmark.pedantic(fill, rounds=2, iterations=1)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["distance_mass"] = result
+
+
+@pytest.mark.parametrize("m", [4, 6])
+def bench_lemma_5_3_verification(benchmark, m):
+    """Exhaustive Lemma 5.3 check (gadget vs QBF engine) at size m."""
+    instance = common.q3sat_instance(m, seed=23)
+    result = benchmark.pedantic(
+        verify_lemma_5_3, args=(instance,), rounds=2, iterations=1
+    )
+    assert result
+    benchmark.extra_info["m"] = m
+
+
+def bench_figure2_exact_instance(benchmark):
+    """Lemma 5.3 on the paper's own Figure 2 instance."""
+    instance = figure2_instance()
+    result = benchmark(verify_lemma_5_3, instance)
+    assert result

@@ -1,0 +1,65 @@
+"""Figure 3: the DRP complexity map.
+
+Same structure as the Figure 1 bench: regenerate the map, then time a
+representative solver per complexity band of the figure — PSPACE
+(F_mono combined, via the repaired Theorem 6.2 reduction), coNP
+(Theorem 6.1), and the PTIME nodes (F_mono data via top-r, λ=0 data,
+constant-k data).
+"""
+
+import pytest
+
+from repro.core.complexity import Problem, figure_map, render_figure_map
+from repro.core.drp import drp_brute_force, rank_of, top_r_sets_modular
+from repro.core.objectives import ObjectiveKind
+from repro.reductions import q3sat_drp, sat_drp
+
+import common
+
+
+def bench_figure3_map_regeneration(benchmark):
+    result = benchmark(render_figure_map, Problem.DRP)
+    assert "coNP-complete" in result
+    benchmark.extra_info["nodes"] = len(figure_map(Problem.DRP))
+
+
+def bench_figure3_pspace_node(benchmark):
+    """Node 'F_mono: CQ/FO, combined — PSPACE-complete' (Th. 6.2)."""
+    reduced = q3sat_drp.reduce_q3sat_to_drp(common.q3sat_instance(4))
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        drp_brute_force, args=(reduced.instance, reduced.subset, reduced.r),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["answer"] = result
+
+
+def bench_figure3_conp_node(benchmark):
+    """Node 'F_MS/F_MM: CQ/∃FO+, combined — coNP-complete' (Th. 6.1)."""
+    reduced = sat_drp.reduce_3sat_to_drp_max_min(common.narrow_three_sat(3))
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        drp_brute_force, args=(reduced.instance, reduced.subset, reduced.r),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["answer"] = result
+
+
+def bench_figure3_ptime_mono_data_node(benchmark):
+    """Node 'F_mono: CQ/FO, data — PTIME' (Th. 6.4, FindNext/top-r)."""
+    instance = common.data_instance(n=300, k=8, kind=ObjectiveKind.MONO)
+    instance.answers()
+    result = benchmark.pedantic(
+        top_r_sets_modular, args=(instance, 20), rounds=2, iterations=1
+    )
+    benchmark.extra_info["sets"] = len(result)
+
+
+def bench_figure3_ptime_constant_k_node(benchmark):
+    """Node 'constant k, data — PTIME' (Cor. 8.4)."""
+    instance = common.data_instance(n=60, k=2, kind=ObjectiveKind.MAX_SUM)
+    subset = tuple(instance.answers()[:2])
+    result = benchmark.pedantic(
+        rank_of, args=(instance, subset), rounds=2, iterations=1
+    )
+    benchmark.extra_info["rank"] = result

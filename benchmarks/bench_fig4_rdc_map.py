@@ -1,0 +1,87 @@
+"""Figure 4: the RDC complexity map.
+
+Regenerates the map and times a representative counter per band:
+#·PSPACE (Th. 7.2 reduction instances), #·NP (Th. 7.1), #P (data
+complexity), FP (λ=0 F_MM binomial; constant-k quadratic scan), and the
+Turing-reduction machinery of Theorem 7.5 (two oracle calls).
+"""
+
+import random
+
+import pytest
+
+from repro.core.complexity import Problem, figure_map, render_figure_map
+from repro.core.objectives import ObjectiveKind
+from repro.core.rdc import count_max_min_relevance, rdc_brute_force
+from repro.logic.cnf import random_3cnf
+from repro.logic.qbf import A
+from repro.reductions import qbf_rdc, sigma1_rdc, ssp
+
+import common
+
+
+def bench_figure4_map_regeneration(benchmark):
+    result = benchmark(render_figure_map, Problem.RDC)
+    assert "#·PSPACE-complete" in result
+    benchmark.extra_info["nodes"] = len(figure_map(Problem.RDC))
+
+
+def bench_figure4_sharp_pspace_node(benchmark):
+    """Node 'F_mono: CQ/FO, combined — #·PSPACE-complete' (Th. 7.2)."""
+    formula = random_3cnf(4, 3, random.Random(13))
+    reduced = qbf_rdc.reduce_qbf_to_rdc_mono(formula, [1, 2], [(A, 3), (A, 4)])
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["count"] = result
+
+
+def bench_figure4_sharp_np_node(benchmark):
+    """Node 'F_MS/F_MM: CQ/∃FO+, combined — #·NP-complete' (Th. 7.1)."""
+    formula = random_3cnf(4, 3, random.Random(17))
+    reduced = sigma1_rdc.reduce_sigma1_to_rdc_max_min(formula, [1, 2], [3, 4])
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["count"] = result
+
+
+def bench_figure4_sharp_p_data_node(benchmark):
+    """Node 'F_MS/F_MM: CQ/FO, data — #P-complete' (Th. 7.4)."""
+    instance = common.data_instance(n=18, k=4, kind=ObjectiveKind.MAX_SUM)
+    instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(instance, 50.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["count"] = result
+
+
+def bench_figure4_fp_lambda0_node(benchmark):
+    """Node 'F_MM: λ=0, data — FP' (Th. 8.2)."""
+    instance = common.integer_score_instance(
+        n=50_000, k=5, kind=ObjectiveKind.MAX_MIN, lam=0.0
+    )
+    instance.answers()
+    result = benchmark.pedantic(
+        count_max_min_relevance, args=(instance, 25.0), rounds=3, iterations=1
+    )
+    benchmark.extra_info["count_digits"] = len(str(result))
+
+
+def bench_figure4_turing_reduction_node(benchmark):
+    """Node 'F_mono: CQ/FO, data — #P-complete (Turing)' (Th. 7.5):
+    the two-oracle-call subset-sum counter."""
+    instance = ssp.SspkInstance(tuple(range(1, 13)), 30, 5)
+    result = benchmark.pedantic(
+        ssp.count_sspk_via_rdc,
+        args=(instance,),
+        kwargs={"oracle": "modular-dp"},
+        rounds=2,
+        iterations=1,
+    )
+    assert result == ssp.count_sspk(instance)
+    benchmark.extra_info["count"] = result

@@ -1,0 +1,74 @@
+"""Figure 5: the Boolean gadget relations and the CNF→CQ circuit.
+
+Regenerates the four relations and measures the machinery they power:
+encoding a CNF as conjunctive-query atoms and evaluating the resulting
+CQ over the gadget database (the engine under every Theorem 7.1
+reduction).  Expected shape: evaluation doubles per added variable (the
+assignment space), and is mildly linear in clause count.
+"""
+
+import random
+
+import pytest
+
+from repro.logic.cnf import random_3cnf
+from repro.reductions.gadgets import (
+    and_relation,
+    assignment_atoms,
+    boolean_domain_relation,
+    encode_cnf_with_switch,
+    gadget_database,
+    not_relation,
+    or_relation,
+)
+from repro.relational.ast import And, Exists
+from repro.relational.evaluate import evaluate
+from repro.relational.queries import Query
+
+
+def bench_gadget_relations(benchmark):
+    """Build the four Figure 5 relations."""
+
+    def build():
+        return (
+            boolean_domain_relation(),
+            or_relation(),
+            and_relation(),
+            not_relation(),
+        )
+
+    relations = benchmark(build)
+    assert sum(len(r) for r in relations) == 2 + 4 + 4 + 2
+
+
+@pytest.mark.parametrize("clauses", [2, 4, 6])
+def bench_circuit_encoding(benchmark, clauses):
+    """Encode a CNF as circuit atoms (Theorem 7.1's Q1 sub-query)."""
+    formula = random_3cnf(4, clauses, random.Random(3))
+    var_names = {i: f"v{i}" for i in range(1, 5)}
+    result = benchmark(
+        encode_cnf_with_switch, formula, var_names, "z"
+    )
+    benchmark.extra_info["clauses"] = clauses
+    benchmark.extra_info["gates"] = len(result.atoms)
+
+
+@pytest.mark.parametrize("num_vars", [3, 4, 5])
+def bench_circuit_evaluation(benchmark, num_vars):
+    """Evaluate the circuit CQ over the gadget database."""
+    formula = random_3cnf(num_vars, 3, random.Random(4))
+    var_names = {i: f"v{i}" for i in range(1, num_vars + 1)}
+    names = list(var_names.values())
+    encoding = encode_cnf_with_switch(formula, var_names, "z")
+    body = And(
+        assignment_atoms(names) + assignment_atoms(["z"]) + encoding.atoms
+    )
+    inner = [v for v in encoding.auxiliary_vars if v != encoding.output_var]
+    query = Query(
+        names + ["z", encoding.output_var], Exists(inner, body), name="circuit"
+    )
+    db = gadget_database()
+
+    result = benchmark.pedantic(evaluate, args=(query, db), rounds=3, iterations=1)
+    assert len(result) == 2 ** (num_vars + 1)
+    benchmark.extra_info["num_vars"] = num_vars

@@ -1,0 +1,104 @@
+"""Heuristics vs exact optimizers (the algorithms Section 10 calls for).
+
+The paper's conclusion motivates heuristic/approximation algorithms for
+the intractable cases.  This bench measures, on metric instances where
+the classic guarantees apply:
+
+* runtime: greedy/MMR are orders of magnitude faster than exact search;
+* quality: the achieved fraction of the exact optimum is recorded in
+  ``extra_info`` (greedy max-sum must stay ≥ 0.5 by the dispersion
+  2-approximation theorem; in practice it is ≥ 0.9 here).
+"""
+
+import pytest
+
+from repro.algorithms.exact import branch_and_bound_max_sum, exhaustive_best
+from repro.algorithms.greedy import greedy_max_min, greedy_max_sum
+from repro.algorithms.local_search import local_search
+from repro.algorithms.mmr import mmr_select
+from repro.core.objectives import ObjectiveKind
+
+import common
+
+
+def _max_sum_instance(n=16, k=5, lam=0.7, seed=2):
+    return common.data_instance(n=n, k=k, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed)
+
+
+def _max_min_instance(n=14, k=4, lam=1.0, seed=2):
+    return common.data_instance(n=n, k=k, kind=ObjectiveKind.MAX_MIN, lam=lam, seed=seed)
+
+
+def bench_exact_branch_and_bound(benchmark):
+    instance = _max_sum_instance()
+    instance.answers()
+    result = benchmark.pedantic(
+        branch_and_bound_max_sum, args=(instance,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["optimum"] = round(result[0], 2)
+
+
+def bench_exact_enumeration_max_min(benchmark):
+    instance = _max_min_instance()
+    instance.answers()
+    result = benchmark.pedantic(
+        exhaustive_best, args=(instance,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["optimum"] = round(result[0], 2)
+
+
+def bench_greedy_max_sum(benchmark):
+    instance = _max_sum_instance()
+    instance.answers()
+    optimum = branch_and_bound_max_sum(instance)[0]
+    result = benchmark.pedantic(
+        greedy_max_sum, args=(instance,), rounds=3, iterations=1
+    )
+    ratio = result[0] / optimum if optimum else 1.0
+    assert ratio >= 0.5 - 1e-9  # the dispersion 2-approximation bound
+    benchmark.extra_info["quality_vs_optimum"] = round(ratio, 4)
+
+
+def bench_greedy_max_min(benchmark):
+    instance = _max_min_instance()
+    instance.answers()
+    optimum = exhaustive_best(instance)[0]
+    result = benchmark.pedantic(
+        greedy_max_min, args=(instance,), rounds=3, iterations=1
+    )
+    ratio = result[0] / optimum if optimum else 1.0
+    assert ratio >= 0.5 - 1e-9
+    benchmark.extra_info["quality_vs_optimum"] = round(ratio, 4)
+
+
+def bench_mmr(benchmark):
+    instance = _max_sum_instance()
+    instance.answers()
+    optimum = branch_and_bound_max_sum(instance)[0]
+    result = benchmark.pedantic(mmr_select, args=(instance,), rounds=3, iterations=1)
+    benchmark.extra_info["quality_vs_optimum"] = round(result[0] / optimum, 4)
+
+
+def bench_local_search(benchmark):
+    instance = _max_sum_instance()
+    instance.answers()
+    optimum = branch_and_bound_max_sum(instance)[0]
+    result = benchmark.pedantic(
+        local_search, args=(instance,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["quality_vs_optimum"] = round(result[0] / optimum, 4)
+
+
+@pytest.mark.parametrize("n", [30, 60, 120])
+def bench_greedy_scales_polynomially(benchmark, n):
+    """Greedy max-sum at sizes far beyond exact reach (C(120, 6) ≈ 10^10
+    subsets would be needed for enumeration)."""
+    instance = common.data_instance(
+        n=n, k=6, kind=ObjectiveKind.MAX_SUM, lam=0.7, seed=4
+    )
+    instance.answers()
+    result = benchmark.pedantic(
+        greedy_max_sum, args=(instance,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["value"] = round(result[0], 2)

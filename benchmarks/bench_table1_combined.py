@@ -1,0 +1,153 @@
+"""Table I, combined complexity.
+
+Paper's claims regenerated here, by scaling the hardness parameter of
+the matching reduction and timing the solver:
+
+* QRD(CQ, F_MS/F_MM) NP-complete (Th. 5.1)  — 3SAT instances, l grows;
+* QRD(CQ, F_mono)  PSPACE-complete (Th. 5.2) — Q3SAT instances, m grows;
+* QRD(FO, ·)       PSPACE-complete (Th. 5.1) — FO membership instances;
+* DRP(CQ, ·)       coNP-complete (Th. 6.1)   — co-3SAT instances;
+* RDC(CQ, ·)       #·NP-complete (Th. 7.1)   — #Σ₁SAT instances;
+* RDC(CQ, F_mono)  #·PSPACE-complete (Th. 7.2) — #QBF instances.
+
+Expected shape: times grow super-polynomially in l / m (the search space
+is C(Θ(l)·8, l) resp. 2^m); the Table I verdicts themselves are asserted
+via the classifier in the test suite.
+"""
+
+import pytest
+
+from repro.core.drp import drp_brute_force
+from repro.core.qrd import qrd_brute_force
+from repro.core.rdc import rdc_brute_force
+from repro.logic.cnf import random_3cnf
+from repro.logic.qbf import A
+from repro.reductions import (
+    membership,
+    q3sat_qrd,
+    qbf_rdc,
+    sat_drp,
+    sat_qrd,
+    sigma1_rdc,
+)
+from repro.workloads import synthetic
+
+import common
+
+
+@pytest.mark.parametrize("l", [2, 3, 4])
+def bench_qrd_cq_max_sum_np(benchmark, l):
+    """Table I row 1 / QRD: NP-hardness source scaling (Th. 5.1)."""
+    reduced = sat_qrd.reduce_3sat_to_qrd_max_sum(common.three_sat(l))
+    reduced.instance.answers()  # materialize outside the timer
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["hardness_parameter_l"] = l
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("l", [2, 3, 4])
+def bench_qrd_cq_max_min_np(benchmark, l):
+    """Table I row 1 / QRD(F_MM): NP cell (Th. 5.1)."""
+    reduced = sat_qrd.reduce_3sat_to_qrd_max_min(common.three_sat(l))
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["hardness_parameter_l"] = l
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("m", [4, 6, 8])
+def bench_qrd_cq_mono_pspace(benchmark, m):
+    """Table I row 3 / QRD(CQ, F_mono): PSPACE cell (Th. 5.2).
+
+    Search space 2^m singletons × 2^m partners — the 4× time per +2
+    variables is the 2^m · 2^m blowup of the counting argument.
+    """
+    reduced = q3sat_qrd.reduce_q3sat_to_qrd_mono(common.q3sat_instance(m))
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["hardness_parameter_m"] = m
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("nodes", [4, 6, 8])
+def bench_qrd_fo_membership_pspace(benchmark, nodes):
+    """Table I row 2 / QRD(FO, F_MS): PSPACE cell via FO membership."""
+    db = synthetic.graph_database(nodes=nodes, edge_prob=0.35, seed=1)
+    from repro.relational.ast import And, Forall, Not, RelationAtom
+    from repro.relational.queries import Query
+    from repro.relational.terms import Var
+
+    x, w = Var("x"), Var("w")
+    body = And(
+        (
+            RelationAtom("node", (x, Var("l"))),
+            Forall(["w"], Not(RelationAtom("edge", (x, w)))),
+        )
+    )
+    from repro.relational.ast import Exists
+
+    query = Query(["x"], Exists(["l"], body), name="sink")
+    reduced = membership.reduce_membership_to_qrd(query, db, (0,))
+
+    def solve():
+        reduced.instance.invalidate_cache()
+        return qrd_brute_force(reduced.instance, reduced.bound)
+
+    result = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("l", [2, 3])
+def bench_drp_cq_max_min_conp(benchmark, l):
+    """Table I row 1 / DRP(CQ, F_MM): coNP cell (Th. 6.1)."""
+    reduced = sat_drp.reduce_3sat_to_drp_max_min(common.narrow_three_sat(l))
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        drp_brute_force, args=(reduced.instance, reduced.subset, reduced.r),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["hardness_parameter_l"] = l
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("vars_per_side", [1, 2])
+def bench_rdc_cq_sharp_np(benchmark, vars_per_side):
+    """Table I row 1 / RDC(CQ, F_MS): #·NP cell (Th. 7.1)."""
+    n = vars_per_side
+    formula = random_3cnf(2 * n + 1, 2, __import__("random").Random(5))
+    x_vars = list(range(1, n + 1))
+    y_vars = list(range(n + 1, 2 * n + 2))
+    reduced = sigma1_rdc.reduce_sigma1_to_rdc_max_sum(formula, x_vars, y_vars)
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["y_variables"] = len(y_vars)
+    benchmark.extra_info["count"] = result
+
+
+@pytest.mark.parametrize("m", [2, 3])
+def bench_rdc_cq_mono_sharp_pspace(benchmark, m):
+    """Table I row 3 / RDC(CQ, F_mono): #·PSPACE cell (Th. 7.2)."""
+    formula = random_3cnf(m + 2, 2, __import__("random").Random(9))
+    x_vars = list(range(1, m + 1))
+    y_prefix = [(A, m + 1), (A, m + 2)]
+    reduced = qbf_rdc.reduce_qbf_to_rdc_mono(formula, x_vars, y_prefix)
+    reduced.instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(reduced.instance, reduced.bound),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["x_variables"] = m
+    benchmark.extra_info["count"] = result

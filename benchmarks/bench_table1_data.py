@@ -1,0 +1,105 @@
+"""Table I, data complexity: fixed query, growing database.
+
+Paper's claims regenerated:
+
+* QRD/DRP(·, F_MS/F_MM) NP-/coNP-complete (Th. 5.4/6.4): exact solvers
+  scale super-polynomially in |D| when k grows with it;
+* QRD/DRP(·, F_mono) PTIME (Th. 5.4/6.4): the per-item-score algorithms
+  scale polynomially (quadratic — the F_mono score itself reads all of
+  Q(D) per tuple);
+* RDC(·, F_MS/F_MM) #P-complete (Th. 7.4): exact counting scales with
+  C(n, k);
+* RDC(·, F_mono) #P-complete under Turing reductions (Th. 7.5): the DP
+  counter is pseudo-polynomial — polynomial in n and the score total.
+
+The headline crossover of Table I — F_mono tractable where F_MS is not —
+appears as the gap between `bench_qrd_data_max_sum_exact` (n ≤ 20) and
+`bench_qrd_data_mono_ptime` (n up to 400 in comparable time).
+"""
+
+import pytest
+
+from repro.core.drp import drp_brute_force, rank_of, top_r_sets_modular
+from repro.core.objectives import ObjectiveKind
+from repro.core.qrd import qrd_brute_force, qrd_modular
+from repro.core.rdc import count_modular_dp, rdc_brute_force
+from repro.algorithms.exact import branch_and_bound_max_sum
+
+import common
+
+
+@pytest.mark.parametrize("n", [12, 16, 20])
+def bench_qrd_data_max_sum_exact(benchmark, n):
+    """QRD data complexity, F_MS: NP-complete (Th. 5.4)."""
+    instance = common.data_instance(n=n, k=n // 4 + 2, kind=ObjectiveKind.MAX_SUM)
+    instance.answers()
+    result = benchmark.pedantic(
+        branch_and_bound_max_sum, args=(instance,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["optimum"] = None if result is None else round(result[0], 2)
+
+
+@pytest.mark.parametrize("n", [100, 200, 400])
+def bench_qrd_data_mono_ptime(benchmark, n):
+    """QRD data complexity, F_mono: PTIME (Th. 5.4's algorithm)."""
+    instance = common.data_instance(n=n, k=10, kind=ObjectiveKind.MONO)
+    instance.answers()
+
+    result = benchmark.pedantic(
+        qrd_modular, args=(instance, 1.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("n", [10, 12, 14])
+def bench_drp_data_max_sum_exact(benchmark, n):
+    """DRP data complexity, F_MS: coNP-complete (Th. 6.4)."""
+    instance = common.data_instance(n=n, k=4, kind=ObjectiveKind.MAX_SUM)
+    subset = tuple(instance.answers()[:4])
+    result = benchmark.pedantic(
+        rank_of, args=(instance, subset), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["rank"] = result
+
+
+@pytest.mark.parametrize("n", [100, 200, 400])
+def bench_drp_data_mono_ptime(benchmark, n):
+    """DRP data complexity, F_mono: PTIME via top-r (Th. 6.4)."""
+    instance = common.data_instance(n=n, k=10, kind=ObjectiveKind.MONO)
+    instance.answers()
+    result = benchmark.pedantic(
+        top_r_sets_modular, args=(instance, 10), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["top_sets"] = len(result)
+
+
+@pytest.mark.parametrize("n", [14, 18, 22])
+def bench_rdc_data_max_sum_sharp_p(benchmark, n):
+    """RDC data complexity, F_MS: #P-complete (Th. 7.4)."""
+    instance = common.data_instance(n=n, k=4, kind=ObjectiveKind.MAX_SUM)
+    instance.answers()
+    bound = 50.0
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(instance, bound), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["count"] = result
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def bench_rdc_data_mono_pseudo_polynomial(benchmark, n):
+    """RDC data complexity, F_mono: #P-complete under Turing reductions
+    (Th. 7.5) — the DP counter is pseudo-polynomial, so it scales
+    smoothly in n while exact enumeration could not."""
+    instance = common.integer_score_instance(n=n, k=6)
+    instance.answers()
+    bound = 100.0
+    result = benchmark.pedantic(
+        count_modular_dp, args=(instance, bound), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["count_digits"] = len(str(result))

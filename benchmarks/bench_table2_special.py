@@ -1,0 +1,125 @@
+"""Table II: the special cases of Section 8.
+
+Regenerated claims:
+
+* identity queries + F_mono: PTIME/PTIME/#P-Turing (Cor. 8.1) — the
+  modular optimizer runs at n = 500 in milliseconds;
+* λ = 0 data complexity: QRD/DRP PTIME (Th. 8.2) — relevance-only
+  solvers at n up to 2000;
+* λ = 0, F_MM: RDC in FP (Th. 8.2) — the binomial counter at n = 10^5;
+* λ = 0, F_MS: RDC #P-Turing (Th. 8.2) — pseudo-polynomial DP;
+* constant k: data complexity PTIME/PTIME/FP (Cor. 8.4) — brute force
+  over C(n, 2) pairs is polynomial and scales quadratically.
+"""
+
+import pytest
+
+from repro.algorithms.exact import best_modular
+from repro.core.objectives import ObjectiveKind
+from repro.core.qrd import qrd_brute_force, qrd_max_min_relevance, qrd_modular
+from repro.core.rdc import count_max_min_relevance, count_modular_dp, rdc_brute_force
+from repro.core.drp import rank_of
+
+import common
+
+
+@pytest.mark.parametrize("n", [100, 300, 500])
+def bench_identity_mono_ptime(benchmark, n):
+    """Corollary 8.1: identity queries + F_mono are PTIME end to end."""
+    instance = common.data_instance(n=n, k=8, kind=ObjectiveKind.MONO)
+    instance.answers()
+    result = benchmark.pedantic(best_modular, args=(instance,), rounds=2, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["optimum"] = round(result[0], 2)
+
+
+@pytest.mark.parametrize("n", [500, 1000, 2000])
+def bench_lambda0_qrd_ptime(benchmark, n):
+    """Theorem 8.2: λ=0 makes QRD data complexity PTIME (F_MS)."""
+    instance = common.data_instance(n=n, k=10, kind=ObjectiveKind.MAX_SUM, lam=0.0)
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_modular, args=(instance, 50.0), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("n", [500, 1000, 2000])
+def bench_lambda0_max_min_qrd_ptime(benchmark, n):
+    """Theorem 8.2: λ=0 F_MM QRD — the k-th largest relevance test."""
+    instance = common.data_instance(n=n, k=10, kind=ObjectiveKind.MAX_MIN, lam=0.0)
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_max_min_relevance, args=(instance, 5.0), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("n", [10_000, 50_000, 100_000])
+def bench_lambda0_max_min_rdc_fp(benchmark, n):
+    """Theorem 8.2: RDC(·, F_MM) at λ=0 is in FP — C(good, k) directly."""
+    instance = common.data_instance(n=200, k=5, kind=ObjectiveKind.MAX_MIN, lam=0.0)
+    # Swap in a huge answer list cheaply: reuse the integer-score builder.
+    instance = common.integer_score_instance(
+        n=n, k=5, kind=ObjectiveKind.MAX_MIN, lam=0.0
+    )
+    instance.answers()
+    result = benchmark.pedantic(
+        count_max_min_relevance, args=(instance, 25.0), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["count_digits"] = len(str(result))
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def bench_lambda0_max_sum_rdc_pseudo_polynomial(benchmark, n):
+    """Theorem 8.2: RDC(·, F_MS) at λ=0 stays #P-Turing; the DP counter
+    is the pseudo-polynomial best-possible."""
+    instance = common.integer_score_instance(
+        n=n, k=5, kind=ObjectiveKind.MAX_SUM, lam=0.0
+    )
+    instance.answers()
+    result = benchmark.pedantic(
+        count_modular_dp, args=(instance, 400.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["count_digits"] = len(str(result))
+
+
+@pytest.mark.parametrize("n", [40, 80, 160])
+def bench_constant_k_qrd_data(benchmark, n):
+    """Corollary 8.4: constant k = 2 makes brute-force QRD polynomial
+    (C(n,2) candidate sets) even for F_MS with λ > 0."""
+    instance = common.data_instance(n=n, k=2, kind=ObjectiveKind.MAX_SUM, lam=0.5)
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(instance, 1e9), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answer"] = result  # False: full polynomial scan
+
+
+@pytest.mark.parametrize("n", [40, 80, 160])
+def bench_constant_k_rdc_data_fp(benchmark, n):
+    """Corollary 8.4: RDC at constant k is in FP (quadratic scan)."""
+    instance = common.data_instance(n=n, k=2, kind=ObjectiveKind.MAX_MIN, lam=0.5)
+    instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(instance, 2.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["count"] = result
+
+
+@pytest.mark.parametrize("n", [20, 30, 40])
+def bench_constant_k_drp_data(benchmark, n):
+    """Corollary 8.4: DRP at constant k is PTIME (quadratic rank scan)."""
+    instance = common.data_instance(n=n, k=2, kind=ObjectiveKind.MAX_SUM, lam=0.5)
+    subset = tuple(instance.answers()[:2])
+    result = benchmark.pedantic(
+        rank_of, args=(instance, subset), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["rank"] = result

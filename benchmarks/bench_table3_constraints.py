@@ -1,0 +1,117 @@
+"""Table III: the complexity flips caused by compatibility constraints.
+
+Regenerated claims:
+
+* Theorem 9.3: QRD(·, F_mono) data complexity flips PTIME → NP-complete.
+  Measured as the gap between the modular PTIME solver (no Σ, n = 400)
+  and constraint-respecting enumeration (with Σ, n ≤ 18) — the paper's
+  point is precisely that no better-than-enumeration algorithm exists.
+* Corollary 9.5: the λ=0 cases flip the same way.
+* Corollary 9.7: constant k stays polynomial *with* constraints.
+* C_m validation itself is PTIME (the premise of Section 9): scaling
+  the validator over growing selections.
+"""
+
+import pytest
+
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.objectives import ObjectiveKind
+from repro.core.qrd import qrd_brute_force, qrd_modular
+from repro.core.rdc import rdc_brute_force
+
+import common
+
+
+def prerequisite_sigma() -> ConstraintSet:
+    """A chain of ρ2-style prerequisites over item ids."""
+    return ConstraintSet(
+        [
+            ConstraintBuilder.prerequisite("id", 0, [1]),
+            ConstraintBuilder.prerequisite("id", 2, [3]),
+            ConstraintBuilder.conflict("id", 4, 5),
+        ],
+        m=2,
+    )
+
+
+@pytest.mark.parametrize("n", [100, 200, 400])
+def bench_mono_data_without_constraints(benchmark, n):
+    """Baseline: F_mono data complexity is PTIME without Σ (Th. 5.4)."""
+    instance = common.data_instance(n=n, k=6, kind=ObjectiveKind.MONO)
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_modular, args=(instance, 1.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("n", [12, 15, 18])
+def bench_mono_data_with_constraints(benchmark, n):
+    """Theorem 9.3: with Σ ⊆ C_m the PTIME algorithm is gone —
+    enumeration over Σ-satisfying candidate sets (NP-complete)."""
+    instance = common.data_instance(
+        n=n, k=6, kind=ObjectiveKind.MONO
+    ).with_constraints(prerequisite_sigma())
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(instance, 1e9), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answer"] = result  # False → full scan measured
+
+
+@pytest.mark.parametrize("n", [12, 15, 18])
+def bench_lambda0_data_with_constraints(benchmark, n):
+    """Corollary 9.5: the λ=0 PTIME cases also flip under Σ."""
+    instance = common.data_instance(
+        n=n, k=6, kind=ObjectiveKind.MAX_SUM, lam=0.0
+    ).with_constraints(prerequisite_sigma())
+    instance.answers()
+    result = benchmark.pedantic(
+        qrd_brute_force, args=(instance, 1e9), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answer"] = result
+
+
+@pytest.mark.parametrize("n", [12, 15, 18])
+def bench_rdc_data_with_constraints(benchmark, n):
+    """Theorem 9.3 / Cor. 9.5: counting under Σ — #P-complete under
+    parsimonious reductions; enumeration is the upper bound."""
+    instance = common.data_instance(
+        n=n, k=6, kind=ObjectiveKind.MONO
+    ).with_constraints(prerequisite_sigma())
+    instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(instance, 0.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["count"] = result
+
+
+@pytest.mark.parametrize("n", [40, 80, 160])
+def bench_constant_k_with_constraints(benchmark, n):
+    """Corollary 9.7: constant k = 2 stays polynomial under Σ."""
+    instance = common.data_instance(
+        n=n, k=2, kind=ObjectiveKind.MONO
+    ).with_constraints(prerequisite_sigma())
+    instance.answers()
+    result = benchmark.pedantic(
+        rdc_brute_force, args=(instance, 0.0), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["count"] = result
+
+
+@pytest.mark.parametrize("size", [10, 40, 160])
+def bench_cm_validation_is_ptime(benchmark, size):
+    """Section 9's premise: validating Σ ⊆ C_m is PTIME in |U|."""
+    instance = common.data_instance(n=size, k=size, kind=ObjectiveKind.MONO)
+    rows = instance.answers()
+    sigma = prerequisite_sigma()
+    result = benchmark.pedantic(
+        sigma.satisfied_by, args=(rows,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["selection_size"] = size
+    benchmark.extra_info["satisfied"] = result

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: diversified gift recommendation (Examples 1.1 / 3.1).
+
+Peter wants 5 gift suggestions in the $20–$30 range: as relevant as
+possible (by historical ratings for similar recipients) and as diverse
+as possible (by gift type).  This script walks the full public API:
+
+1. build the database and the query (CQ and FO variants);
+2. build δ_rel, δ_dis and the three objective functions;
+3. solve the function problem exactly and heuristically;
+4. ask the three analysis problems QRD / DRP / RDC.
+"""
+
+from repro import core
+from repro.relational import evaluate
+from repro.workloads import gifts
+
+
+def main() -> None:
+    db = gifts.generate(num_items=24, num_history=90, seed=7)
+
+    # -- 1. queries ------------------------------------------------------
+    cq = gifts.peter_query_cq(low=20, high=60)
+    fo = gifts.peter_query(buyer="buyer01", recipient="recipient01", low=20, high=60)
+    print(f"CQ answer set:  {len(evaluate(cq, db))} gifts "
+          f"(language: {cq.language.value})")
+    print(f"FO answer set:  {len(evaluate(fo, db))} gifts "
+          f"(language: {fo.language.value}; excludes Peter's past gifts)")
+
+    # -- 2. scoring ------------------------------------------------------
+    relevance = gifts.relevance_from_history(db)
+    distance = gifts.type_distance(db)
+
+    # -- 3. diversify under each objective -------------------------------
+    k = 5
+    for objective in (
+        core.Objective.max_sum(relevance, distance, lam=0.5),
+        core.Objective.max_min(relevance, distance, lam=0.5),
+        core.Objective.mono(relevance, distance, lam=0.5),
+    ):
+        instance = core.make_instance(cq, db, k=k, objective=objective)
+        exact = core.diversify(instance, method="exact")
+        assert exact is not None
+        value, picks = exact
+        names = ", ".join(row["item"] for row in picks)
+        print(f"\n{objective.kind.value:7s} exact optimum F = {value:8.3f}: {names}")
+        for method in ("greedy", "mmr", "local-search"):
+            if objective.kind is core.ObjectiveKind.MONO and method == "greedy":
+                continue  # greedy == exact for the modular objective
+            heuristic = core.diversify(instance, method=method)
+            assert heuristic is not None
+            ratio = heuristic[0] / value if value else 1.0
+            print(f"         {method:12s} F = {heuristic[0]:8.3f} "
+                  f"({100 * ratio:5.1f}% of optimum)")
+
+    # -- 4. the three analysis problems -----------------------------------
+    objective = core.Objective.max_sum(relevance, distance, lam=0.5)
+    instance = core.make_instance(cq, db, k=k, objective=objective)
+    best = core.diversify(instance, method="exact")
+    assert best is not None
+    bound = 0.9 * best[0]
+
+    print(f"\nQRD: is there a 5-set with F ≥ {bound:.3f}?",
+          core.decide(instance, bound))
+    print(f"RDC: how many 5-sets reach it? ",
+          core.count(instance, bound))
+    greedy_pick = core.diversify(instance, method="greedy")
+    assert greedy_pick is not None
+    print(f"DRP: rank of the greedy pick = {core.rank(instance, greedy_pick[1])}")
+
+
+if __name__ == "__main__":
+    main()

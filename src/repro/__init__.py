@@ -1,0 +1,47 @@
+"""repro — a reproduction of Deng & Fan, "On the Complexity of Query
+Result Diversification" (VLDB 2013 / ACM TODS 39(2), 2014).
+
+The package implements the paper's full system surface:
+
+* :mod:`repro.relational` — an in-memory relational engine with CQ /
+  UCQ / ∃FO⁺ / FO query evaluation under active-domain semantics;
+* :mod:`repro.core` — the three objective functions (F_MS, F_MM,
+  F_mono), the three analysis problems (QRD, DRP, RDC) with exact and
+  PTIME solvers, compatibility constraints C_m, and the complexity
+  classifier that regenerates Tables I–III and Figures 1/3/4;
+* :mod:`repro.logic` — SAT/#SAT/QBF substrate for verifying reductions;
+* :mod:`repro.reductions` — every lower-bound proof as executable,
+  machine-checked code (including Figure 2's distance gadget);
+* :mod:`repro.algorithms` — exact optimizers and the heuristics the
+  paper's conclusion calls for (greedy dispersion, MMR, local search);
+* :mod:`repro.workloads` — the motivating scenarios (gifts, courses,
+  teams) and random generators.
+
+Quickstart::
+
+    from repro import core, workloads
+
+    db = workloads.gifts.generate()
+    query = workloads.gifts.peter_query_cq()
+    objective = core.Objective.max_sum(
+        workloads.gifts.relevance_from_history(db),
+        workloads.gifts.type_distance(db),
+        lam=0.5,
+    )
+    instance = core.make_instance(query, db, k=5, objective=objective)
+    value, picks = core.diversify(instance)
+"""
+
+from . import algorithms, core, logic, reductions, relational, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "core",
+    "logic",
+    "reductions",
+    "relational",
+    "workloads",
+    "__version__",
+]

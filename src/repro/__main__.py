@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``    — print Tables I–III regenerated from the classifier;
+* ``figures``   — print the Figure 1/3/4 complexity maps and Figure 2;
+* ``verify``    — run one verified reduction per hardness theorem and
+                  report the outcomes (the live reproduction check);
+* ``diversify`` — load a database (JSON, or a directory of CSVs), parse
+                  a query, and print the diversified top-k::
+
+      python -m repro diversify --db data.json \\
+          --query "Q(X) :- exists Y : items(X, Y)" \\
+          -k 5 --objective max-sum --lambda 0.5 \\
+          --relevance-attr score
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from .core.complexity import render_table, table1, table2, table3
+
+    print(render_table(table1(), "Table I — combined and data complexity"))
+    print()
+    print(render_table(table2(), "Table II — special cases (Section 8)"))
+    print()
+    print(render_table(table3(), "Table III — with compatibility constraints"))
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    from .core.complexity import Problem, render_figure_map
+    from .reductions.q3sat_qrd import figure2_report
+
+    for problem in Problem:
+        print(render_figure_map(problem))
+        print()
+    print(figure2_report())
+    return 0
+
+
+def _cmd_verify(_args: argparse.Namespace) -> int:
+    from .logic.cnf import ThreeSatInstance, cnf
+    from .reductions import (
+        constraints_hardness,
+        q3sat_drp,
+        q3sat_qrd,
+        sat_drp,
+        sat_qrd,
+        sigma1_rdc,
+        ssp,
+    )
+
+    phi = ThreeSatInstance(cnf([1, 2, 3], [-1, -2, 3], [1, -2, -3]))
+    f = cnf([1, 3], [-1, 2, 4], [-2, -3], num_vars=4)
+    q = q3sat_qrd.figure2_instance()
+    checks = [
+        ("Th. 5.1  3SAT → QRD(CQ,F_MS)", sat_qrd.verify_reduction(phi, "max-sum")),
+        ("Th. 5.1  3SAT → QRD(CQ,F_MM)", sat_qrd.verify_reduction(phi, "max-min")),
+        ("Lem. 5.3 distance gadget (Fig. 2)", q3sat_qrd.verify_lemma_5_3(q)),
+        ("Th. 5.2  Q3SAT → QRD(CQ,F_mono)", q3sat_qrd.verify_reduction(q)),
+        ("Th. 6.1  co3SAT → DRP(CQ,F_MM)", sat_drp.verify_reduction(phi, "max-min")),
+        ("Th. 6.1  co3SAT → DRP(CQ,F_MS) [repaired]", sat_drp.verify_reduction(phi, "max-sum")),
+        ("Th. 6.2  Q3SAT → DRP(CQ,F_mono) [repaired]", q3sat_drp.verify_reduction(q)),
+        ("Th. 7.1  #Σ₁SAT → RDC(CQ,F_MS)", sigma1_rdc.verify_reduction(f, [1, 2], [3, 4])),
+        ("Th. 7.5  #SSPk → RDC (Turing)", ssp.verify_turing_reduction(ssp.SspkInstance((3, 5, 2, 7, 5), 10, 2))),
+        ("Th. 9.3  3SAT → QRD(identity,F_mono,Σ)", constraints_hardness.verify_reduction(phi)),
+    ]
+    failures = 0
+    for label, ok in checks:
+        print(f"  {'PASS' if ok else 'FAIL'}  {label}")
+        failures += 0 if ok else 1
+    print(f"\n{len(checks) - failures}/{len(checks)} reductions verified")
+    return 1 if failures else 0
+
+
+def _cmd_diversify(args: argparse.Namespace) -> int:
+    from .core.diversify import diversify, make_instance
+    from .core.functions import DistanceFunction, RelevanceFunction
+    from .core.objectives import Objective, ObjectiveKind
+    from .relational.io import load_database_csv_directory, load_database_json
+    from .relational.parser import parse_query
+
+    path = Path(args.db)
+    if path.is_dir():
+        db = load_database_csv_directory(path)
+    else:
+        db = load_database_json(path)
+    query = parse_query(args.query)
+
+    relevance = (
+        RelevanceFunction.from_attribute(args.relevance_attr)
+        if args.relevance_attr
+        else RelevanceFunction.constant(1.0)
+    )
+    distance = (
+        DistanceFunction.attribute_mismatch(args.distance_attrs.split(","))
+        if args.distance_attrs
+        else DistanceFunction.attribute_mismatch()
+    )
+    kind = {
+        "max-sum": ObjectiveKind.MAX_SUM,
+        "max-min": ObjectiveKind.MAX_MIN,
+        "mono": ObjectiveKind.MONO,
+    }[args.objective]
+    objective = Objective(kind, relevance, distance, args.trade_off)
+    instance = make_instance(query, db, args.k, objective)
+    result = diversify(instance, method=args.method)
+    if result is None:
+        print(f"no {args.k}-subset exists (|Q(D)| = {instance.answer_count})")
+        return 1
+    value, picks = result
+    print(f"F = {value:.4f}  (objective {kind.value}, λ = {args.trade_off}, "
+          f"method {args.method})")
+    for row in picks:
+        print("  " + ", ".join(f"{a}={v!r}" for a, v in row.as_dict().items()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query result diversification (Deng & Fan reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I–III").set_defaults(func=_cmd_tables)
+    sub.add_parser("figures", help="print the figure maps").set_defaults(func=_cmd_figures)
+    sub.add_parser("verify", help="run the reduction verifications").set_defaults(func=_cmd_verify)
+
+    d = sub.add_parser("diversify", help="diversify a query result")
+    d.add_argument("--db", required=True, help="JSON file or directory of CSVs")
+    d.add_argument("--query", required=True, help='e.g. "Q(X) :- r(X, Y), Y > 3"')
+    d.add_argument("-k", type=int, required=True, help="result set size")
+    d.add_argument(
+        "--objective",
+        choices=["max-sum", "max-min", "mono"],
+        default="max-sum",
+    )
+    d.add_argument(
+        "--lambda",
+        dest="trade_off",
+        type=float,
+        default=0.5,
+        help="relevance/diversity trade-off in [0,1]",
+    )
+    d.add_argument(
+        "--relevance-attr",
+        default=None,
+        help="numeric attribute used as δ_rel (default: constant 1)",
+    )
+    d.add_argument(
+        "--distance-attrs",
+        default=None,
+        help="comma-separated attributes for the mismatch δ_dis "
+        "(default: all shared attributes)",
+    )
+    d.add_argument(
+        "--method",
+        choices=["auto", "exact", "greedy", "mmr", "local-search"],
+        default="auto",
+    )
+    d.set_defaults(func=_cmd_diversify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Exact optimizers and heuristics for the diversification function problem."""
+
+from .exact import (
+    best_modular,
+    branch_and_bound_max_sum,
+    exhaustive_best,
+    optimal_value,
+)
+from .greedy import greedy_marginal_max_sum, greedy_max_min, greedy_max_sum
+from .incremental import (
+    EarlyTerminationResult,
+    early_termination_top_k,
+    streaming_qrd,
+)
+from .local_search import local_search
+from .mmr import mmr_select
+
+__all__ = [
+    "EarlyTerminationResult",
+    "best_modular",
+    "early_termination_top_k",
+    "streaming_qrd",
+    "branch_and_bound_max_sum",
+    "exhaustive_best",
+    "greedy_marginal_max_sum",
+    "greedy_max_min",
+    "greedy_max_sum",
+    "local_search",
+    "mmr_select",
+    "optimal_value",
+]

@@ -1,0 +1,161 @@
+"""Exact optimizers for the diversification function problem.
+
+``argmax_{U ⊆ Q(D), |U|=k, U|=Σ} F(U)``.  These are the (worst-case
+exponential) oracles used to verify reductions, ground the QRD/DRP/RDC
+solvers and measure heuristic quality.
+
+* :func:`exhaustive_best` — plain enumeration; handles every objective
+  and constraint set.
+* :func:`branch_and_bound_max_sum` — for F_MS without constraints: an
+  admissible upper bound prunes partial sets, typically exploring far
+  fewer than C(n, k) nodes while returning the same optimum.
+* :func:`best_modular` — the PTIME optimum for modular objectives
+  (F_mono; F_MS with λ = 0): the k best item scores.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..core.instance import DiversificationInstance
+from ..core.objectives import ObjectiveKind
+from ..relational.schema import Row
+
+SearchResult = tuple[float, tuple[Row, ...]]
+
+
+def exhaustive_best(instance: DiversificationInstance) -> SearchResult | None:
+    """The maximum-F candidate set, or None if no candidate set exists."""
+    best: SearchResult | None = None
+    for subset in instance.candidate_sets():
+        value = instance.value(subset)
+        if best is None or value > best[0]:
+            best = (value, subset)
+    return best
+
+
+def best_modular(instance: DiversificationInstance) -> SearchResult | None:
+    """PTIME optimum for modular objectives (no constraints)."""
+    if not instance.objective.is_modular:
+        raise ValueError("best_modular requires a modular objective")
+    if len(instance.constraints) > 0:
+        raise ValueError("best_modular does not support constraints")
+    answers = instance.answers()
+    if len(answers) < instance.k:
+        return None
+    chosen = tuple(
+        sorted(answers, key=instance.item_score, reverse=True)[: instance.k]
+    )
+    return (instance.value(chosen), chosen)
+
+
+def branch_and_bound_max_sum(
+    instance: DiversificationInstance,
+) -> SearchResult | None:
+    """Exact F_MS optimum with admissible pruning (no constraints).
+
+    Works on the expanded form
+
+        F_MS(U) = Σ_{t∈U} (k−1)(1−λ)·δ_rel(t) + λ·Σ_{ordered pairs} δ_dis
+
+    The bound for a partial set P with ``m = k − |P|`` items missing adds,
+    for the best possible completion: the m largest remaining relevance
+    gains, each item's m largest possible cross distances, and the top
+    intra-candidate distances — all over-approximations, so pruning never
+    removes the optimum.
+    """
+    if instance.objective.kind is not ObjectiveKind.MAX_SUM:
+        raise ValueError("branch_and_bound_max_sum requires F_MS")
+    if len(instance.constraints) > 0:
+        raise ValueError("branch and bound does not support constraints")
+    answers = instance.answers()
+    k = instance.k
+    n = len(answers)
+    if n < k:
+        return None
+    objective = instance.objective
+    lam = objective.lam
+    query = instance.query
+
+    rel = [
+        (k - 1) * (1.0 - lam) * objective.relevance(t, query) if lam < 1.0 else 0.0
+        for t in answers
+    ]
+    if lam > 0.0:
+        dis = [
+            [2.0 * lam * objective.distance(answers[i], answers[j]) for j in range(n)]
+            for i in range(n)
+        ]
+    else:
+        dis = [[0.0] * n for _ in range(n)]
+    # dis[i][j] is the *ordered-pair* contribution of the unordered pair
+    # {i, j} (δ counted twice), so summing over unordered pairs of the
+    # chosen set gives exactly λ·Σ_{ordered} δ_dis.
+
+    # Per-item optimistic bonus: relevance + the k−1 largest distances.
+    bonus = []
+    for i in range(n):
+        top = sorted((dis[i][j] for j in range(n) if j != i), reverse=True)[: k - 1]
+        bonus.append(rel[i] + sum(top))
+
+    order = sorted(range(n), key=lambda i: bonus[i], reverse=True)
+
+    best_value = -math.inf
+    best_set: tuple[int, ...] = ()
+
+    def upper_bound(chosen: list[int], value: float, start: int) -> float:
+        missing = k - len(chosen)
+        if missing == 0:
+            return value
+        # For each remaining candidate: optimistic gain if added =
+        # relevance + distances to the chosen set + the (missing−1)
+        # largest distances to other remaining candidates.
+        gains = []
+        remaining = order[start:]
+        for i in remaining:
+            gain = rel[i] + sum(dis[i][j] for j in chosen)
+            if missing > 1:
+                cross = sorted(
+                    (dis[i][j] for j in remaining if j != i), reverse=True
+                )[: missing - 1]
+                gain += sum(cross)
+            gains.append(gain)
+        gains.sort(reverse=True)
+        return value + sum(gains[:missing])
+
+    def recurse(start: int, chosen: list[int], value: float) -> None:
+        nonlocal best_value, best_set
+        if len(chosen) == k:
+            if value > best_value:
+                best_value = value
+                best_set = tuple(chosen)
+            return
+        remaining_slots = k - len(chosen)
+        for idx in range(start, n - remaining_slots + 1):
+            i = order[idx]
+            gain = rel[i] + sum(dis[i][j] for j in chosen)
+            new_value = value + gain
+            chosen.append(i)
+            if upper_bound(chosen, new_value, idx + 1) > best_value:
+                recurse(idx + 1, chosen, new_value)
+            chosen.pop()
+
+    recurse(0, [], 0.0)
+    if best_value == -math.inf:
+        return None
+    subset = tuple(answers[i] for i in best_set)
+    return (instance.value(subset), subset)
+
+
+def optimal_value(instance: DiversificationInstance) -> float | None:
+    """max F over candidate sets (auto-dispatching), or None if none."""
+    if len(instance.constraints) == 0:
+        if instance.objective.is_modular:
+            result = best_modular(instance)
+            return None if result is None else result[0]
+        if instance.objective.kind is ObjectiveKind.MAX_SUM:
+            result = branch_and_bound_max_sum(instance)
+            return None if result is None else result[0]
+    result = exhaustive_best(instance)
+    return None if result is None else result[0]

@@ -1,0 +1,164 @@
+"""Greedy heuristics for max-sum and max-min diversification.
+
+The paper's conclusion (Section 10) calls for heuristic/approximation
+algorithms for the intractable cases; for identity queries these
+problems are the (Max-Sum / Max-Min) *Dispersion* problems of operations
+research (Prokopyev et al. 2009), for which classic greedy algorithms
+carry approximation guarantees:
+
+* :func:`greedy_max_sum` — the pairwise greedy of Gollapudi & Sharma
+  (via Hassin, Rubinstein & Tamir): repeatedly take the pair maximizing
+  the marginal (relevance + distance) weight.  2-approximation for
+  metric distances.
+* :func:`greedy_max_min` — GMC-style: seed with the most relevant
+  tuple, then repeatedly add the tuple maximizing the minimum combined
+  score to the chosen set.  2-approximation for metric max-min
+  dispersion (λ = 1).
+* :func:`greedy_marginal_max_sum` — simple one-at-a-time marginal-gain
+  greedy (the baseline most systems ship).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.instance import DiversificationInstance
+from ..core.objectives import ObjectiveKind
+from ..relational.schema import Row
+
+SearchResult = tuple[float, tuple[Row, ...]]
+
+
+def _pair_weight(
+    instance: DiversificationInstance, left: Row, right: Row
+) -> float:
+    """The edge weight of the dispersion-graph view of F_MS:
+
+        w(t, s) = (1−λ)(δ_rel(t) + δ_rel(s)) + (2λ/(k−1))·δ_dis(t, s)
+
+    Summing w over the C(k,2) edges of U yields F_MS(U)/(k−1), so
+    maximizing total edge weight maximizes F_MS.
+    """
+    objective = instance.objective
+    lam = objective.lam
+    k = instance.k
+    relevance = 0.0
+    if lam < 1.0:
+        relevance = objective.relevance(left, instance.query) + objective.relevance(
+            right, instance.query
+        )
+    distance = 0.0
+    if lam > 0.0 and k > 1:
+        distance = 2.0 * lam / (k - 1) * objective.distance(left, right)
+    return (1.0 - lam) * relevance + distance
+
+
+def greedy_max_sum(instance: DiversificationInstance) -> SearchResult | None:
+    """Pair-greedy 2-approximation for F_MS (Gollapudi & Sharma 2009).
+
+    Picks ⌊k/2⌋ disjoint pairs of maximum weight, plus an arbitrary
+    remaining tuple when k is odd.  Returns None when |Q(D)| < k.
+    """
+    if instance.objective.kind is not ObjectiveKind.MAX_SUM:
+        raise ValueError("greedy_max_sum requires F_MS")
+    answers = list(instance.answers())
+    k = instance.k
+    if len(answers) < k:
+        return None
+    if k == 1:
+        best = max(
+            answers, key=lambda t: instance.objective.relevance(t, instance.query)
+        )
+        return (instance.value((best,)), (best,))
+
+    chosen: list[Row] = []
+    available = list(answers)
+    while len(chosen) + 1 < k:
+        best_pair: tuple[Row, Row] | None = None
+        best_weight = -1.0
+        for i, left in enumerate(available):
+            for right in available[i + 1 :]:
+                weight = _pair_weight(instance, left, right)
+                if weight > best_weight:
+                    best_weight = weight
+                    best_pair = (left, right)
+        assert best_pair is not None
+        chosen.extend(best_pair)
+        available = [t for t in available if t not in best_pair]
+    if len(chosen) < k:
+        # k odd: add the best remaining singleton by relevance.
+        extra = max(
+            available,
+            key=lambda t: instance.objective.relevance(t, instance.query),
+        )
+        chosen.append(extra)
+    subset = tuple(chosen)
+    return (instance.value(subset), subset)
+
+
+def greedy_max_min(instance: DiversificationInstance) -> SearchResult | None:
+    """Greedy 2-approximation for max-min dispersion, adapted to F_MM.
+
+    Seeds with the most relevant tuple, then repeatedly adds the tuple
+    ``t`` maximizing  min((1−λ)·δ_rel(t), λ·min_{s∈chosen} δ_dis(t,s)).
+    """
+    if instance.objective.kind is not ObjectiveKind.MAX_MIN:
+        raise ValueError("greedy_max_min requires F_MM")
+    answers = list(instance.answers())
+    k = instance.k
+    if len(answers) < k:
+        return None
+    objective = instance.objective
+    lam = objective.lam
+
+    def relevance(t: Row) -> float:
+        return objective.relevance(t, instance.query) if lam < 1.0 else 0.0
+
+    chosen = [max(answers, key=relevance)]
+    while len(chosen) < k:
+        best_tuple: Row | None = None
+        best_score = -1.0
+        for t in answers:
+            if t in chosen:
+                continue
+            min_distance = min(objective.distance(t, s) for s in chosen)
+            score = (1.0 - lam) * relevance(t) + lam * min_distance
+            if score > best_score:
+                best_score = score
+                best_tuple = t
+        assert best_tuple is not None
+        chosen.append(best_tuple)
+    subset = tuple(chosen)
+    return (instance.value(subset), subset)
+
+
+def greedy_marginal_max_sum(instance: DiversificationInstance) -> SearchResult | None:
+    """One-at-a-time marginal-gain greedy for F_MS (baseline heuristic)."""
+    if instance.objective.kind is not ObjectiveKind.MAX_SUM:
+        raise ValueError("greedy_marginal_max_sum requires F_MS")
+    answers = list(instance.answers())
+    k = instance.k
+    if len(answers) < k:
+        return None
+    objective = instance.objective
+    lam = objective.lam
+
+    chosen: list[Row] = []
+    while len(chosen) < k:
+        best_tuple: Row | None = None
+        best_gain = -1.0
+        for t in answers:
+            if t in chosen:
+                continue
+            gain = 0.0
+            if lam < 1.0:
+                gain += (k - 1) * (1.0 - lam) * objective.relevance(t, instance.query)
+            if lam > 0.0:
+                gain += 2.0 * lam * sum(objective.distance(t, s) for s in chosen)
+            if gain > best_gain:
+                best_gain = gain
+                best_tuple = t
+        assert best_tuple is not None
+        chosen.append(best_tuple)
+    subset = tuple(chosen)
+    return (instance.value(subset), subset)

@@ -1,0 +1,162 @@
+"""Early-termination diversification for modular objectives.
+
+The paper's introduction motivates embedding diversification *in* query
+evaluation: "stop as soon as top-ranked results are found based on F(·)
+(i.e., early termination), rather than retrieve entire Q(D) in advance".
+For the modular objectives this is achievable with a threshold argument
+in the style of Fagin's TA:
+
+* :func:`early_termination_top_k` — consumes answer tuples from a
+  stream sorted by (an upper bound on) their item score and stops as
+  soon as the k-th best collected score is at least the stream's
+  residual upper bound: the remaining tuples provably cannot enter the
+  top k.  Returns the selected set plus how many tuples were consumed —
+  the benchmarkable savings.
+* :func:`streaming_qrd` — the decision variant: stop as soon as the
+  running top-k total reaches B ("yes"), or the optimistic completion
+  bound falls below B ("no").
+
+These are *correct* only for modular F (F_mono; F_MS at λ = 0): for
+F_MS/F_MM with λ > 0 the paper's hardness results say no such shortcut
+exists unless P = NP, which is exactly why the functions refuse
+non-modular objectives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+
+from ..core.instance import DiversificationInstance
+from ..relational.schema import Row
+
+
+class EarlyTerminationResult:
+    """Outcome of an early-terminating scan."""
+
+    __slots__ = ("selected", "consumed", "total", "value")
+
+    def __init__(
+        self,
+        selected: tuple[Row, ...],
+        consumed: int,
+        total: int,
+        value: float,
+    ):
+        self.selected = selected
+        self.consumed = consumed
+        self.total = total
+        self.value = value
+
+    @property
+    def savings(self) -> float:
+        """Fraction of the answer stream that was never inspected."""
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.consumed / self.total
+
+    def __repr__(self) -> str:
+        return (
+            f"EarlyTerminationResult(k={len(self.selected)}, "
+            f"consumed={self.consumed}/{self.total}, value={self.value:.3f})"
+        )
+
+
+def _sorted_stream(instance: DiversificationInstance) -> list[tuple[float, Row]]:
+    """The answer tuples with their item scores, best first.
+
+    In a full system the scores would come from an index; here the
+    stream order is what matters for the early-termination logic.
+    """
+    scored = [(instance.item_score(t), t) for t in instance.answers()]
+    scored.sort(key=lambda pair: pair[0], reverse=True)
+    return scored
+
+
+def early_termination_top_k(
+    instance: DiversificationInstance,
+    slack: float = 0.0,
+) -> EarlyTerminationResult | None:
+    """Top-k by item score with provable early stopping.
+
+    ``slack`` loosens the stopping test (useful when upstream scores are
+    upper bounds rather than exact).  Returns None if |Q(D)| < k.
+    """
+    if not instance.objective.is_modular:
+        raise ValueError(
+            "early termination is sound only for modular objectives "
+            "(F_mono; F_MS with λ=0) — Theorems 5.1/5.4 forbid it otherwise"
+        )
+    if len(instance.constraints) > 0:
+        raise ValueError("early termination does not support constraints")
+    stream = _sorted_stream(instance)
+    k = instance.k
+    if len(stream) < k:
+        return None
+
+    heap: list[tuple[float, int]] = []  # min-heap of the best k scores
+    selected: dict[int, Row] = {}
+    consumed = 0
+    for score, row in stream:
+        consumed += 1
+        if len(heap) < k:
+            heapq.heappush(heap, (score, consumed))
+            selected[consumed] = row
+        elif score > heap[0][0]:
+            _, evicted = heapq.heapreplace(heap, (score, consumed))
+            del selected[evicted]
+            selected[consumed] = row
+        if len(heap) == k:
+            # The stream is sorted: no later tuple can beat the current
+            # k-th best score.
+            kth = heap[0][0]
+            if consumed < len(stream):
+                next_score = stream[consumed][0]
+                if next_score <= kth + slack:
+                    break
+    rows = tuple(selected[i] for i in sorted(selected))
+    return EarlyTerminationResult(
+        rows, consumed, len(stream), instance.value(rows)
+    )
+
+
+def streaming_qrd(
+    instance: DiversificationInstance,
+    bound: float,
+) -> tuple[bool, int]:
+    """Early-terminating QRD for modular objectives.
+
+    Returns (answer, tuples consumed).  The stream is sorted by item
+    score, so after k tuples the top-k total is final and the answer is
+    known ("yes" or "no"); a "no" can be certified even *earlier*: if
+    after j < k tuples even filling the remaining k − j slots with the
+    next (largest remaining) score cannot reach B, no valid set exists.
+    """
+    if not instance.objective.is_modular:
+        raise ValueError("streaming QRD requires a modular objective")
+    if len(instance.constraints) > 0:
+        raise ValueError("streaming QRD does not support constraints")
+    from ..core.objectives import ObjectiveKind
+
+    scale = 1.0
+    if instance.objective.kind is ObjectiveKind.MAX_SUM:
+        scale = float(max(instance.k - 1, 0))
+
+    stream = _sorted_stream(instance)
+    k = instance.k
+    if len(stream) < k:
+        return False, len(stream)
+
+    total = 0.0
+    for consumed, (score, _row) in enumerate(stream, start=1):
+        total += score
+        if consumed == k:
+            # Sorted stream: these are the k best scores — final answer.
+            return scale * total >= bound, consumed
+        # Early "no": optimistic completion with the next score (an
+        # upper bound on everything still unseen).
+        next_upper = stream[consumed][0]
+        optimistic = scale * (total + (k - consumed) * next_upper)
+        if optimistic < bound:
+            return False, consumed
+    raise AssertionError("unreachable: stream shorter than k was handled")

@@ -1,0 +1,72 @@
+"""Swap-based local search for diversification objectives.
+
+Starts from any candidate set (by default a greedy/MMR seed) and
+repeatedly applies the best improving single-tuple swap until a local
+optimum is reached.  Handles all three objectives and, unlike the greedy
+heuristics, also respects compatibility constraints (a swap is admitted
+only if the resulting set still satisfies Σ — the natural heuristic for
+the constrained cases the paper proves hard, Theorem 9.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.instance import DiversificationInstance
+from ..relational.schema import Row
+
+SearchResult = tuple[float, tuple[Row, ...]]
+
+
+def local_search(
+    instance: DiversificationInstance,
+    seed: Sequence[Row] | None = None,
+    max_rounds: int = 1000,
+) -> SearchResult | None:
+    """Best-improvement local search over single-tuple swaps.
+
+    ``seed`` defaults to the first candidate set found (constraint-aware).
+    Returns None when no candidate set exists.  The result is a local
+    optimum: no single swap improves F while keeping Σ satisfied.
+    """
+    answers = instance.answers()
+    if len(answers) < instance.k:
+        return None
+    if seed is None:
+        seed = _initial_set(instance)
+        if seed is None:
+            return None
+    current = list(seed)
+    if not instance.is_candidate_set(current):
+        raise ValueError("seed is not a candidate set for the instance")
+    current_value = instance.value(current)
+
+    for _ in range(max_rounds):
+        best_swap: tuple[int, Row, float] | None = None
+        chosen_set = set(current)
+        for position, old in enumerate(current):
+            for new in answers:
+                if new in chosen_set:
+                    continue
+                trial = list(current)
+                trial[position] = new
+                if len(instance.constraints) > 0 and not instance.constraints.satisfied_by(trial):
+                    continue
+                value = instance.value(trial)
+                if value > current_value + 1e-12 and (
+                    best_swap is None or value > best_swap[2]
+                ):
+                    best_swap = (position, new, value)
+        if best_swap is None:
+            break
+        position, new, value = best_swap
+        current[position] = new
+        current_value = value
+    return (current_value, tuple(current))
+
+
+def _initial_set(instance: DiversificationInstance) -> tuple[Row, ...] | None:
+    """A constraint-satisfying starting point: first candidate set."""
+    for subset in instance.candidate_sets():
+        return subset
+    return None

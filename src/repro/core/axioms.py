@@ -1,0 +1,282 @@
+"""The Gollapudi–Sharma axiom system, executable.
+
+The paper's three objective functions come from an *axiomatic* treatment
+of diversification (Gollapudi & Sharma, WWW 2009): any diversification
+objective should ideally satisfy a set of natural axioms, and the
+impossibility result there shows no function satisfies all of them.
+This module makes the axioms executable checks over concrete instances
+so the known satisfaction/violation pattern can be *tested* rather than
+cited:
+
+* **scale invariance** — scaling δ_rel and δ_dis by α > 0 must not
+  change the argmax set;
+* **consistency** — adding Δ to the relevance of selected tuples and/or
+  increasing intra-selected distances (keeping the rest fixed) must keep
+  the selected set optimal;
+* **richness** — for every candidate set U of size k there exist
+  relevance/distance functions making U the unique optimum;
+* **stability** — the optimal k-set is a subset of the optimal
+  (k+1)-set (violated by all three functions in general; the classic
+  counterexamples are generated here);
+* **strength of relevance/diversity** — the objective is strictly
+  monotone in δ_rel (resp. δ_dis) of a selected tuple (pair).
+
+Each check returns a :class:`AxiomReport` carrying the verdict and, for
+violations, a concrete witness instance — the reproduction analogue of
+the axiom table in Gollapudi & Sharma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..relational.queries import identity_query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+from .functions import DistanceFunction, RelevanceFunction
+from .instance import DiversificationInstance
+from .objectives import Objective, ObjectiveKind
+
+_SCHEMA = RelationSchema("ax", ("id",))
+
+
+@dataclass
+class AxiomReport:
+    """Outcome of one axiom check on one (family of) instance(s)."""
+
+    axiom: str
+    objective: ObjectiveKind
+    holds: bool
+    witness: str = ""
+
+    def __repr__(self) -> str:
+        verdict = "holds" if self.holds else f"VIOLATED ({self.witness})"
+        return f"AxiomReport({self.axiom}, {self.objective.value}: {verdict})"
+
+
+def _instance(
+    n: int,
+    k: int,
+    kind: ObjectiveKind,
+    relevance: dict[int, float],
+    distance: dict[tuple[int, int], float],
+    lam: float = 0.5,
+) -> DiversificationInstance:
+    relation = Relation(_SCHEMA, [(i,) for i in range(n)])
+    db = Database([relation])
+    rel = RelevanceFunction.from_table(
+        {(i,): v for i, v in relevance.items()}, default=0.0
+    )
+    dis = DistanceFunction.from_table(
+        {((a,), (b,)): v for (a, b), v in distance.items()}, default=0.0
+    )
+    return DiversificationInstance(
+        identity_query(_SCHEMA), db, k=k, objective=Objective(kind, rel, dis, lam)
+    )
+
+
+def _best_set(instance: DiversificationInstance) -> frozenset[int]:
+    from ..algorithms.exact import exhaustive_best  # local: avoids a cycle
+
+    result = exhaustive_best(instance)
+    assert result is not None
+    return frozenset(row["id"] for row in result[1])
+
+
+def _all_best_sets(instance: DiversificationInstance) -> set[frozenset[int]]:
+    sets = list(instance.candidate_sets())
+    values = [instance.value(s) for s in sets]
+    top = max(values)
+    return {
+        frozenset(r["id"] for r in s)
+        for s, v in zip(sets, values)
+        if v >= top - 1e-12
+    }
+
+
+def check_scale_invariance(
+    kind: ObjectiveKind,
+    relevance: dict[int, float],
+    distance: dict[tuple[int, int], float],
+    n: int,
+    k: int,
+    alpha: float = 3.0,
+    lam: float = 0.5,
+) -> AxiomReport:
+    """Scaling both δ_rel and δ_dis by α > 0 must preserve the optima."""
+    base = _instance(n, k, kind, relevance, distance, lam)
+    scaled = _instance(
+        n,
+        k,
+        kind,
+        {i: alpha * v for i, v in relevance.items()},
+        {p: alpha * v for p, v in distance.items()},
+        lam,
+    )
+    holds = _all_best_sets(base) == _all_best_sets(scaled)
+    return AxiomReport("scale invariance", kind, holds, witness="" if holds else f"α={alpha}")
+
+
+def check_consistency(
+    kind: ObjectiveKind,
+    relevance: dict[int, float],
+    distance: dict[tuple[int, int], float],
+    n: int,
+    k: int,
+    boost: float = 2.0,
+    lam: float = 0.5,
+) -> AxiomReport:
+    """Boosting the selected set's relevances and internal distances
+    (others fixed) must keep it optimal."""
+    base = _instance(n, k, kind, relevance, distance, lam)
+    best = _best_set(base)
+    boosted_rel = {
+        i: v + (boost if i in best else 0.0) for i, v in relevance.items()
+    }
+    boosted_dis = {
+        (a, b): v + (boost if a in best and b in best else 0.0)
+        for (a, b), v in distance.items()
+    }
+    boosted = _instance(n, k, kind, boosted_rel, boosted_dis, lam)
+    holds = best in _all_best_sets(boosted)
+    return AxiomReport(
+        "consistency", kind, holds, witness="" if holds else f"best={sorted(best)}"
+    )
+
+
+def check_richness(kind: ObjectiveKind, n: int, k: int, lam: float = 0.5) -> AxiomReport:
+    """For every k-subset U there are functions making U optimal: give
+    U's members relevance 1 and U's internal pairs distance 1, zero
+    elsewhere."""
+    import itertools
+
+    for combo in itertools.combinations(range(n), k):
+        target = frozenset(combo)
+        relevance = {i: 1.0 if i in target else 0.0 for i in range(n)}
+        distance = {
+            (a, b): 1.0 if a in target and b in target else 0.0
+            for a in range(n)
+            for b in range(a + 1, n)
+        }
+        instance = _instance(n, k, kind, relevance, distance, lam)
+        if target not in _all_best_sets(instance):
+            return AxiomReport(
+                "richness", kind, False, witness=f"unreachable U={sorted(target)}"
+            )
+    return AxiomReport("richness", kind, True)
+
+
+def check_stability(
+    kind: ObjectiveKind,
+    relevance: dict[int, float],
+    distance: dict[tuple[int, int], float],
+    n: int,
+    k: int,
+    lam: float = 0.5,
+) -> AxiomReport:
+    """Is the optimal k-set contained in some optimal (k+1)-set?
+
+    Gollapudi & Sharma prove no objective satisfying their other axioms
+    can satisfy stability; the classic dispersion counterexamples
+    (generated in the tests) violate it for F_MS and F_MM.
+    """
+    small = _instance(n, k, kind, relevance, distance, lam)
+    large = _instance(n, k + 1, kind, relevance, distance, lam)
+    best_small = _all_best_sets(small)
+    best_large = _all_best_sets(large)
+    holds = any(s <= l for s in best_small for l in best_large)
+    return AxiomReport(
+        "stability",
+        kind,
+        holds,
+        witness=""
+        if holds
+        else f"k-opt {sorted(map(sorted, best_small))} ⊄ (k+1)-opt",
+    )
+
+
+def check_relevance_monotonicity(
+    kind: ObjectiveKind,
+    relevance: dict[int, float],
+    distance: dict[tuple[int, int], float],
+    n: int,
+    k: int,
+    lam: float = 0.5,
+) -> AxiomReport:
+    """Raising a selected tuple's relevance must not lower F(U).
+
+    (Strict at λ < 1 for F_MS/F_mono; F_MM is flat unless the tuple is
+    the argmin, so the check is non-strict.)
+    """
+    instance = _instance(n, k, kind, relevance, distance, lam)
+    subset = list(instance.candidate_sets())[0]
+    before = instance.value(subset)
+    target = subset[0]["id"]
+    raised = _instance(
+        n,
+        k,
+        kind,
+        {i: v + (5.0 if i == target else 0.0) for i, v in relevance.items()},
+        distance,
+        lam,
+    )
+    matching = [
+        s
+        for s in raised.candidate_sets()
+        if frozenset(r["id"] for r in s) == frozenset(r["id"] for r in subset)
+    ]
+    after = raised.value(matching[0])
+    holds = after >= before - 1e-12
+    return AxiomReport("relevance monotonicity", kind, holds)
+
+
+def check_diversity_monotonicity(
+    kind: ObjectiveKind,
+    relevance: dict[int, float],
+    distance: dict[tuple[int, int], float],
+    n: int,
+    k: int,
+    lam: float = 0.5,
+) -> AxiomReport:
+    """Raising an intra-set distance must not lower F(U)."""
+    instance = _instance(n, k, kind, relevance, distance, lam)
+    subset = list(instance.candidate_sets())[0]
+    before = instance.value(subset)
+    a, b = subset[0]["id"], subset[1]["id"]
+    key = (min(a, b), max(a, b))
+    raised_dis = dict(distance)
+    raised_dis[key] = raised_dis.get(key, 0.0) + 5.0
+    raised = _instance(n, k, kind, relevance, raised_dis, lam)
+    matching = [
+        s
+        for s in raised.candidate_sets()
+        if frozenset(r["id"] for r in s) == frozenset(r["id"] for r in subset)
+    ]
+    after = raised.value(matching[0])
+    holds = after >= before - 1e-12
+    return AxiomReport("diversity monotonicity", kind, holds)
+
+
+def stability_counterexample(kind: ObjectiveKind) -> AxiomReport | None:
+    """Search small instances for a stability violation of ``kind``.
+
+    Returns the violating report, or None if none is found in the
+    search budget (F_mono, being modular with a fixed universe, is
+    stable: the top-(k+1) items extend the top-k items).
+    """
+    import itertools
+    import random
+
+    rng = random.Random(0)
+    for trial in range(60):
+        n = 4 + trial % 3
+        relevance = {i: round(rng.random() * 4, 1) for i in range(n)}
+        distance = {
+            (a, b): round(rng.random() * 4, 1)
+            for a in range(n)
+            for b in range(a + 1, n)
+        }
+        report = check_stability(kind, relevance, distance, n, 2, lam=0.8)
+        if not report.holds:
+            return report
+    return None

@@ -1,0 +1,506 @@
+"""The paper's complexity results as executable code.
+
+Every theorem of Sections 5–9 assigns a complexity class to a *setting*:
+(problem, objective function, query language, combined/data mode, special
+flags).  :func:`classify` encodes all of them, with the theorem citation;
+:func:`table1`, :func:`table2` and :func:`table3` regenerate the paper's
+summary tables and :func:`figure_map` the node lists of Figures 1, 3
+and 4.  The test suite asserts every cell against the paper.
+
+Precedence rules (made explicit here because the paper states them in
+prose):
+
+* **constant k** leaves the combined complexity unchanged and makes the
+  data complexity PTIME/PTIME/FP, with or without constraints
+  (Corollaries 8.4 and 9.7);
+* **constraints** leave all combined bounds unchanged (Corollary 9.2)
+  except identity-query F_mono (Corollary 9.4), and flip the tractable
+  data-complexity cells to NP-c/coNP-c/#P-c under parsimonious
+  reductions (Theorem 9.3, Corollaries 9.4–9.6);
+* **identity queries** collapse combined and data complexity
+  (Corollary 8.1);
+* **λ = 1** changes nothing (Theorem 8.3); **λ = 0** is Theorem 8.2.
+
+Settings the paper does not cover (e.g. identity queries combined with a
+λ flag) raise :class:`SettingNotCovered` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from ..relational.ast import QueryLanguage
+from .objectives import ObjectiveKind
+
+
+class Problem(enum.Enum):
+    QRD = "QRD"
+    DRP = "DRP"
+    RDC = "RDC"
+
+
+class Mode(enum.Enum):
+    COMBINED = "combined"
+    DATA = "data"
+
+
+class ComplexityClass(enum.Enum):
+    PTIME = "PTIME"
+    FP = "FP"
+    NP_COMPLETE = "NP-complete"
+    CONP_COMPLETE = "coNP-complete"
+    PSPACE_COMPLETE = "PSPACE-complete"
+    SHARP_P_PARSIMONIOUS = "#P-complete (parsimonious)"
+    SHARP_P_TURING = "#P-complete (Turing)"
+    SHARP_NP = "#·NP-complete"
+    SHARP_PSPACE = "#·PSPACE-complete"
+
+    @property
+    def tractable(self) -> bool:
+        return self in (ComplexityClass.PTIME, ComplexityClass.FP)
+
+
+class SettingNotCovered(ValueError):
+    """The paper does not state a bound for this combination of flags."""
+
+
+@dataclass(frozen=True)
+class Setting:
+    """One cell of the paper's complexity landscape."""
+
+    problem: Problem
+    objective: ObjectiveKind
+    language: QueryLanguage
+    mode: Mode
+    lambda_zero: bool = False
+    lambda_one: bool = False
+    constant_k: bool = False
+    with_constraints: bool = False
+
+    def describe(self) -> str:
+        flags = []
+        if self.lambda_zero:
+            flags.append("λ=0")
+        if self.lambda_one:
+            flags.append("λ=1")
+        if self.constant_k:
+            flags.append("constant k")
+        if self.with_constraints:
+            flags.append("with Σ⊆C_m")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"{self.problem.value}({self.language.value}, "
+            f"{self.objective.value}), {self.mode.value}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A complexity class plus the theorem/corollary it comes from."""
+
+    complexity: ComplexityClass
+    source: str
+
+    def __str__(self) -> str:
+        return f"{self.complexity.value} ({self.source})"
+
+
+_SMALL_LANGUAGES = (QueryLanguage.CQ, QueryLanguage.UCQ, QueryLanguage.EFO_PLUS)
+_SUM_OBJECTIVES = (ObjectiveKind.MAX_SUM, ObjectiveKind.MAX_MIN)
+
+
+def _bounds(problem: Problem, qrd: ComplexityClass, drp: ComplexityClass,
+            rdc: ComplexityClass, source: str) -> Bound:
+    mapping = {Problem.QRD: qrd, Problem.DRP: drp, Problem.RDC: rdc}
+    return Bound(mapping[problem], source)
+
+
+def classify(setting: Setting) -> Bound:
+    """The paper's complexity bound for ``setting``."""
+    _validate(setting)
+
+    if setting.constant_k:
+        return _classify_constant_k(setting)
+    if setting.with_constraints:
+        return _classify_constrained(setting)
+    return _classify_unconstrained(setting)
+
+
+def _validate(setting: Setting) -> None:
+    if setting.lambda_zero and setting.lambda_one:
+        raise SettingNotCovered("λ cannot be both 0 and 1")
+    if setting.language is QueryLanguage.IDENTITY and (
+        setting.lambda_zero or setting.lambda_one
+    ):
+        raise SettingNotCovered(
+            "the paper does not combine identity queries with λ flags"
+        )
+
+
+def _classify_constant_k(setting: Setting) -> Bound:
+    if setting.mode is Mode.DATA:
+        # Corollary 8.4 (and 9.7: robust to constraints).
+        source = "Cor. 9.7" if setting.with_constraints else "Cor. 8.4"
+        if setting.problem is Problem.RDC:
+            return Bound(ComplexityClass.FP, source)
+        return Bound(ComplexityClass.PTIME, source)
+    # Combined complexity is unchanged by constant k (Cor. 8.4 / 9.7).
+    inner = classify(replace(setting, constant_k=False))
+    suffix = "Cor. 9.7" if setting.with_constraints else "Cor. 8.4"
+    return Bound(inner.complexity, f"{inner.source}; {suffix}")
+
+
+def _classify_constrained(setting: Setting) -> Bound:
+    base_setting = replace(setting, with_constraints=False)
+
+    if setting.language is QueryLanguage.IDENTITY:
+        # Corollary 9.4 (combined = data for identity queries).
+        if setting.objective in _SUM_OBJECTIVES:
+            base = classify(base_setting)
+            return Bound(base.complexity, "Cor. 9.4")
+        return _bounds(
+            setting.problem,
+            ComplexityClass.NP_COMPLETE,
+            ComplexityClass.CONP_COMPLETE,
+            ComplexityClass.SHARP_P_PARSIMONIOUS,
+            "Cor. 9.4",
+        )
+
+    if setting.mode is Mode.COMBINED:
+        # Corollary 9.2 (and 9.5/9.6 for the λ cases): unchanged.
+        base = classify(base_setting)
+        source = "Cor. 9.2"
+        if setting.lambda_zero:
+            source = "Cor. 9.5"
+        elif setting.lambda_one:
+            source = "Cor. 9.6"
+        return Bound(base.complexity, f"{base.source}; {source}")
+
+    # Data complexity under constraints.
+    if setting.lambda_zero:
+        # Corollary 9.5: NP-c/coNP-c/#P-c (parsimonious) for all three F.
+        return _bounds(
+            setting.problem,
+            ComplexityClass.NP_COMPLETE,
+            ComplexityClass.CONP_COMPLETE,
+            ComplexityClass.SHARP_P_PARSIMONIOUS,
+            "Cor. 9.5",
+        )
+    if setting.objective is ObjectiveKind.MONO:
+        source = "Cor. 9.6" if setting.lambda_one else "Th. 9.3"
+        return _bounds(
+            setting.problem,
+            ComplexityClass.NP_COMPLETE,
+            ComplexityClass.CONP_COMPLETE,
+            ComplexityClass.SHARP_P_PARSIMONIOUS,
+            source,
+        )
+    # F_MS / F_MM data complexity: unchanged (already intractable).
+    base = classify(base_setting)
+    source = "Cor. 9.6" if setting.lambda_one else "Th. 9.3"
+    return Bound(base.complexity, f"{base.source}; {source}")
+
+
+def _classify_unconstrained(setting: Setting) -> Bound:
+    if setting.language is QueryLanguage.IDENTITY:
+        # Corollary 8.1: combined and data complexity coincide.
+        if setting.objective in _SUM_OBJECTIVES:
+            return _bounds(
+                setting.problem,
+                ComplexityClass.NP_COMPLETE,
+                ComplexityClass.CONP_COMPLETE,
+                ComplexityClass.SHARP_P_PARSIMONIOUS,
+                "Cor. 8.1",
+            )
+        return _bounds(
+            setting.problem,
+            ComplexityClass.PTIME,
+            ComplexityClass.PTIME,
+            ComplexityClass.SHARP_P_TURING,
+            "Cor. 8.1",
+        )
+
+    if setting.lambda_zero:
+        return _classify_lambda_zero(setting)
+    # λ = 1 changes nothing (Theorem 8.3); fall through to Table I.
+    bound = _classify_table1(setting)
+    if setting.lambda_one:
+        return Bound(bound.complexity, f"{bound.source}; Th. 8.3")
+    return bound
+
+
+def _classify_lambda_zero(setting: Setting) -> Bound:
+    """Theorem 8.2."""
+    if setting.objective in _SUM_OBJECTIVES:
+        if setting.mode is Mode.COMBINED:
+            base = _classify_table1(setting)
+            return Bound(base.complexity, f"{base.source}; Th. 8.2")
+        if setting.problem is Problem.QRD or setting.problem is Problem.DRP:
+            return Bound(ComplexityClass.PTIME, "Th. 8.2")
+        if setting.objective is ObjectiveKind.MAX_SUM:
+            return Bound(ComplexityClass.SHARP_P_TURING, "Th. 8.2")
+        return Bound(ComplexityClass.FP, "Th. 8.2")
+    # F_mono with λ = 0.
+    if setting.mode is Mode.COMBINED:
+        if setting.language in _SMALL_LANGUAGES:
+            return _bounds(
+                setting.problem,
+                ComplexityClass.NP_COMPLETE,
+                ComplexityClass.CONP_COMPLETE,
+                ComplexityClass.SHARP_NP,
+                "Th. 8.2",
+            )
+        return _bounds(
+            setting.problem,
+            ComplexityClass.PSPACE_COMPLETE,
+            ComplexityClass.PSPACE_COMPLETE,
+            ComplexityClass.SHARP_PSPACE,
+            "Th. 8.2",
+        )
+    base = _classify_table1(setting)
+    return Bound(base.complexity, f"{base.source}; Th. 8.2")
+
+
+def _classify_table1(setting: Setting) -> Bound:
+    """Theorems 5.1/5.2/5.4, 6.1/6.2/6.4, 7.1/7.2/7.4/7.5 (Table I)."""
+    if setting.mode is Mode.DATA:
+        if setting.objective in _SUM_OBJECTIVES:
+            return _bounds(
+                setting.problem,
+                ComplexityClass.NP_COMPLETE,
+                ComplexityClass.CONP_COMPLETE,
+                ComplexityClass.SHARP_P_PARSIMONIOUS,
+                _data_source(setting.problem),
+            )
+        return _bounds(
+            setting.problem,
+            ComplexityClass.PTIME,
+            ComplexityClass.PTIME,
+            ComplexityClass.SHARP_P_TURING,
+            _data_source(setting.problem, mono=True),
+        )
+    # Combined complexity.
+    if setting.objective in _SUM_OBJECTIVES:
+        if setting.language in _SMALL_LANGUAGES:
+            return _bounds(
+                setting.problem,
+                ComplexityClass.NP_COMPLETE,
+                ComplexityClass.CONP_COMPLETE,
+                ComplexityClass.SHARP_NP,
+                _combined_source(setting.problem),
+            )
+        return _bounds(
+            setting.problem,
+            ComplexityClass.PSPACE_COMPLETE,
+            ComplexityClass.PSPACE_COMPLETE,
+            ComplexityClass.SHARP_PSPACE,
+            _combined_source(setting.problem),
+        )
+    return _bounds(
+        setting.problem,
+        ComplexityClass.PSPACE_COMPLETE,
+        ComplexityClass.PSPACE_COMPLETE,
+        ComplexityClass.SHARP_PSPACE,
+        _combined_source(setting.problem, mono=True),
+    )
+
+
+def _combined_source(problem: Problem, mono: bool = False) -> str:
+    if mono:
+        return {Problem.QRD: "Th. 5.2", Problem.DRP: "Th. 6.2", Problem.RDC: "Th. 7.2"}[problem]
+    return {Problem.QRD: "Th. 5.1", Problem.DRP: "Th. 6.1", Problem.RDC: "Th. 7.1"}[problem]
+
+
+def _data_source(problem: Problem, mono: bool = False) -> str:
+    if mono:
+        return {Problem.QRD: "Th. 5.4", Problem.DRP: "Th. 6.4", Problem.RDC: "Th. 7.5"}[problem]
+    return {Problem.QRD: "Th. 5.4", Problem.DRP: "Th. 6.4", Problem.RDC: "Th. 7.4"}[problem]
+
+
+# ---------------------------------------------------------------------------
+# Table and figure regeneration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of a rendered table: a label plus the three problem bounds."""
+
+    objective_label: str
+    language_label: str
+    mode: Mode
+    qrd: Bound
+    drp: Bound
+    rdc: Bound
+    condition: str = ""
+
+
+def _row(
+    objective: ObjectiveKind,
+    languages: tuple[QueryLanguage, ...],
+    mode: Mode,
+    objective_label: str,
+    language_label: str,
+    condition: str = "",
+    **flags: bool,
+) -> TableRow:
+    bounds = {}
+    for problem in Problem:
+        cells = {
+            classify(
+                Setting(problem, objective, language, mode, **flags)
+            ).complexity
+            for language in languages
+        }
+        if len(cells) != 1:
+            raise AssertionError(
+                f"languages {languages} disagree for {problem} — "
+                "table row would be ill-formed"
+            )
+        bounds[problem] = classify(
+            Setting(problem, objective, languages[0], mode, **flags)
+        )
+    return TableRow(
+        objective_label,
+        language_label,
+        mode,
+        bounds[Problem.QRD],
+        bounds[Problem.DRP],
+        bounds[Problem.RDC],
+        condition,
+    )
+
+
+def table1() -> list[TableRow]:
+    """Table I: combined and data complexity (no flags)."""
+    small = _SMALL_LANGUAGES
+    fo = (QueryLanguage.FO,)
+    every = small + fo
+    return [
+        _row(ObjectiveKind.MAX_SUM, small, Mode.COMBINED, "F_MS and F_MM", "CQ, UCQ, ∃FO+"),
+        _row(ObjectiveKind.MAX_SUM, fo, Mode.COMBINED, "F_MS and F_MM", "FO"),
+        _row(ObjectiveKind.MONO, every, Mode.COMBINED, "F_mono", "CQ, UCQ, ∃FO+, FO"),
+        _row(ObjectiveKind.MAX_SUM, every, Mode.DATA, "F_MS and F_MM", "CQ, UCQ, ∃FO+, FO"),
+        _row(ObjectiveKind.MONO, every, Mode.DATA, "F_mono", "CQ, UCQ, ∃FO+, FO"),
+    ]
+
+
+def table2() -> list[TableRow]:
+    """Table II: the special cases of Section 8."""
+    small = _SMALL_LANGUAGES
+    every = small + (QueryLanguage.FO,)
+    identity = (QueryLanguage.IDENTITY,)
+    return [
+        _row(
+            ObjectiveKind.MONO, identity, Mode.COMBINED,
+            "F_mono", "identity queries", condition="identity queries",
+        ),
+        _row(
+            ObjectiveKind.MAX_SUM, every, Mode.DATA,
+            "F_MS", "CQ..FO", condition="λ=0", lambda_zero=True,
+        ),
+        _row(
+            ObjectiveKind.MAX_MIN, every, Mode.DATA,
+            "F_MM", "CQ..FO", condition="λ=0", lambda_zero=True,
+        ),
+        _row(
+            ObjectiveKind.MONO, small, Mode.COMBINED,
+            "F_mono", "CQ, UCQ, ∃FO+", condition="λ=0", lambda_zero=True,
+        ),
+        _row(
+            ObjectiveKind.MAX_SUM, every, Mode.DATA,
+            "F_MS, F_MM, F_mono", "CQ..FO", condition="constant k",
+            constant_k=True,
+        ),
+    ]
+
+
+def table3() -> list[TableRow]:
+    """Table III: results under compatibility constraints that differ
+    from their unconstrained counterparts."""
+    every = _SMALL_LANGUAGES + (QueryLanguage.FO,)
+    identity = (QueryLanguage.IDENTITY,)
+    return [
+        _row(
+            ObjectiveKind.MONO, every, Mode.DATA,
+            "F_mono", "CQ..FO", condition="with Σ⊆C_m",
+            with_constraints=True,
+        ),
+        _row(
+            ObjectiveKind.MONO, identity, Mode.COMBINED,
+            "F_mono", "identity queries", condition="identity, with Σ⊆C_m",
+            with_constraints=True,
+        ),
+        _row(
+            ObjectiveKind.MAX_SUM, every, Mode.DATA,
+            "F_MS, F_MM, F_mono", "CQ..FO", condition="λ=0, with Σ⊆C_m",
+            lambda_zero=True, with_constraints=True,
+        ),
+        _row(
+            ObjectiveKind.MONO, every, Mode.DATA,
+            "F_mono", "CQ..FO", condition="λ=1, with Σ⊆C_m",
+            lambda_one=True, with_constraints=True,
+        ),
+    ]
+
+
+def render_table(rows: list[TableRow], title: str) -> str:
+    """Plain-text rendering of a table, paper style."""
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'condition':<24} {'objective':<18} {'languages':<18} "
+        f"{'mode':<9} {'QRD':<28} {'DRP':<28} {'RDC':<30}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.condition or '—':<24} {row.objective_label:<18} "
+            f"{row.language_label:<18} {row.mode.value:<9} "
+            f"{row.qrd.complexity.value:<28} {row.drp.complexity.value:<28} "
+            f"{row.rdc.complexity.value:<30}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FigureNode:
+    """One node of Figures 1/3/4: a setting plus its bound."""
+
+    label: str
+    setting: Setting
+    bound: Bound
+
+
+def figure_map(problem: Problem) -> list[FigureNode]:
+    """The node list of Figure 1 (QRD), 3 (DRP) or 4 (RDC)."""
+    cq = QueryLanguage.CQ
+    fo = QueryLanguage.FO
+    identity = QueryLanguage.IDENTITY
+    ms, mono = ObjectiveKind.MAX_SUM, ObjectiveKind.MONO
+    nodes = [
+        ("F_MS/F_MM: FO, combined", Setting(problem, ms, fo, Mode.COMBINED)),
+        ("F_MS/F_MM: CQ/∃FO+, combined", Setting(problem, ms, cq, Mode.COMBINED)),
+        ("F_MS/F_MM: CQ/FO, data", Setting(problem, ms, cq, Mode.DATA)),
+        ("F_MS/F_MM: λ=0, combined", Setting(problem, ms, cq, Mode.COMBINED, lambda_zero=True)),
+        ("F_MS/F_MM: λ=0, data", Setting(problem, ms, cq, Mode.DATA, lambda_zero=True)),
+        ("F_MS/F_MM: constant k, data", Setting(problem, ms, cq, Mode.DATA, constant_k=True)),
+        ("F_mono: CQ/FO, combined", Setting(problem, mono, cq, Mode.COMBINED)),
+        ("F_mono: CQ/FO, data", Setting(problem, mono, cq, Mode.DATA)),
+        ("F_mono: identity queries, combined", Setting(problem, mono, identity, Mode.COMBINED)),
+        ("F_mono: λ=0, combined (CQ/∃FO+)", Setting(problem, mono, cq, Mode.COMBINED, lambda_zero=True)),
+        ("F_mono: λ=0, data", Setting(problem, mono, cq, Mode.DATA, lambda_zero=True)),
+    ]
+    return [FigureNode(label, setting, classify(setting)) for label, setting in nodes]
+
+
+def render_figure_map(problem: Problem) -> str:
+    title = {
+        Problem.QRD: "Figure 1: the complexity bounds of QRD",
+        Problem.DRP: "Figure 3: the complexity bounds of DRP",
+        Problem.RDC: "Figure 4: the complexity bounds of RDC",
+    }[problem]
+    lines = [title, "=" * len(title)]
+    for node in figure_map(problem):
+        lines.append(f"{node.label:<42} {node.bound}")
+    return "\n".join(lines)

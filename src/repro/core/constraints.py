@@ -1,0 +1,284 @@
+"""The class C_m of compatibility constraints (Section 9).
+
+A constraint of C_m has the form::
+
+    ∀ t1..tl : RQ ( χ(t1..tl) → ∃ s1..sh : RQ ξ(t1..tl, s1..sh) )
+
+where ``l, h ≤ m`` for a predefined constant ``m ≥ 2`` and χ, ξ are
+conjunctions of predicates ``ρ[A] = ̺[B]``, ``ρ[A] ≠ ̺[B]``,
+``ρ[A] = c`` or ``ρ[A] ≠ c``.  Tuple variables range over the selected
+set ``U`` (with repetition, standard FO semantics); the examples of the
+paper (ρ3) enforce distinctness explicitly with ``≠`` predicates.
+
+Validation is PTIME in |U| and |Σ| because l and h are bounded by m —
+the nested loops below are O(|U|^(l+h)) with l+h ≤ 2m fixed.
+
+:class:`ConstraintBuilder` provides the recurring practical patterns of
+Example 9.1: take-together, prerequisite, conflict and quota constraints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..relational.schema import Row
+from ..relational.terms import ComparisonOp
+
+
+class ConstraintError(ValueError):
+    """Raised for malformed C_m constraints."""
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One predicate of χ or ξ.
+
+    ``left``/``right`` reference tuple variables by index: universal
+    variables are 0..l−1, existential variables are l..l+h−1.  A
+    ``right_index`` of ``None`` compares against the constant ``const``.
+    Only ``=`` and ``≠`` are allowed (the definition of C_m).
+    """
+
+    left_index: int
+    left_attr: str
+    op: ComparisonOp
+    right_index: int | None = None
+    right_attr: str | None = None
+    const: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in (ComparisonOp.EQ, ComparisonOp.NE):
+            raise ConstraintError(
+                f"C_m predicates use only = and ≠, got {self.op.value!r}"
+            )
+        if self.right_index is not None and self.right_attr is None:
+            raise ConstraintError("tuple-tuple predicate needs right_attr")
+
+    def holds(self, tuples: Sequence[Row]) -> bool:
+        left = tuples[self.left_index][self.left_attr]
+        if self.right_index is None:
+            right = self.const
+        else:
+            right = tuples[self.right_index][self.right_attr]
+        return self.op.evaluate(left, right)
+
+    def __repr__(self) -> str:
+        left = f"t{self.left_index}[{self.left_attr}]"
+        if self.right_index is None:
+            right = repr(self.const)
+        else:
+            right = f"t{self.right_index}[{self.right_attr}]"
+        return f"{left} {self.op.value} {right}"
+
+
+@dataclass(frozen=True)
+class CompatibilityConstraint:
+    """One constraint φ ∈ C_m.
+
+    ``num_universal`` = l, ``num_existential`` = h; ``chi`` predicates may
+    reference only universal variables (indices < l), ``xi`` predicates
+    may reference all l + h.
+    """
+
+    num_universal: int
+    num_existential: int
+    chi: tuple[Predicate, ...]
+    xi: tuple[Predicate, ...]
+    name: str = "φ"
+
+    def __post_init__(self) -> None:
+        l, h = self.num_universal, self.num_existential
+        if l < 0 or h < 0:
+            raise ConstraintError("variable counts must be non-negative")
+        if l == 0 and h == 0:
+            raise ConstraintError("constraint must mention at least one variable")
+        for predicate in self.chi:
+            refs = [predicate.left_index] + (
+                [predicate.right_index] if predicate.right_index is not None else []
+            )
+            if any(r >= l for r in refs):
+                raise ConstraintError(
+                    f"χ predicate {predicate!r} references an existential variable"
+                )
+        for predicate in self.xi:
+            refs = [predicate.left_index] + (
+                [predicate.right_index] if predicate.right_index is not None else []
+            )
+            if any(r >= l + h for r in refs):
+                raise ConstraintError(
+                    f"ξ predicate {predicate!r} references variable out of range"
+                )
+
+    @property
+    def width(self) -> int:
+        """l + h — must be ≤ 2m for the class C_m."""
+        return self.num_universal + self.num_existential
+
+    def satisfied_by(self, selected: Sequence[Row]) -> bool:
+        """Does the set ``selected`` satisfy this constraint?
+
+        PTIME: O(|U|^l · |U|^h) with l, h bounded by the class constant.
+        """
+        rows = list(selected)
+        l, h = self.num_universal, self.num_existential
+        if l == 0:
+            return self._exists_witness(rows, ())
+        for universal in itertools.product(rows, repeat=l):
+            if not all(p.holds(universal) for p in self.chi):
+                continue
+            if not self._exists_witness(rows, universal):
+                return False
+        return True
+
+    def _exists_witness(self, rows: list[Row], universal: tuple[Row, ...]) -> bool:
+        h = self.num_existential
+        if h == 0:
+            return all(p.holds(universal) for p in self.xi)
+        for existential in itertools.product(rows, repeat=h):
+            combined = universal + existential
+            if all(p.holds(combined) for p in self.xi):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        chi = " ∧ ".join(map(repr, self.chi)) or "⊤"
+        xi = " ∧ ".join(map(repr, self.xi)) or "⊤"
+        return (
+            f"{self.name}: ∀t0..t{self.num_universal - 1} ({chi} → "
+            f"∃s{self.num_universal}..s{self.width - 1} {xi})"
+        )
+
+
+class ConstraintSet:
+    """A set Σ ⊆ C_m with its class constant ``m``.
+
+    Validation (:meth:`satisfied_by`) is PTIME; the paper's point
+    (Theorem 9.3) is that even this simple constraint class flips the
+    tractable data-complexity cases to intractable.
+    """
+
+    def __init__(self, constraints: Iterable[CompatibilityConstraint], m: int = 2):
+        self.constraints = tuple(constraints)
+        if m < 2:
+            raise ConstraintError("the class constant m must be at least 2")
+        self.m = m
+        for constraint in self.constraints:
+            if constraint.num_universal > m or constraint.num_existential > m:
+                raise ConstraintError(
+                    f"constraint {constraint.name!r} exceeds the bound m={m}: "
+                    f"l={constraint.num_universal}, h={constraint.num_existential}"
+                )
+
+    def satisfied_by(self, selected: Sequence[Row]) -> bool:
+        rows = list(selected)
+        return all(c.satisfied_by(rows) for c in self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet(m={self.m}, {len(self.constraints)} constraints)"
+
+
+EMPTY_CONSTRAINTS = ConstraintSet((), m=2)
+
+
+class ConstraintBuilder:
+    """Builders for the constraint patterns of Example 9.1."""
+
+    @staticmethod
+    def take_together(
+        attr: str, if_values: Sequence[Any], then_value: Any, name: str = "together"
+    ) -> CompatibilityConstraint:
+        """ρ1-style: if all of ``if_values`` are selected (on ``attr``),
+        some selected tuple must carry ``then_value``.
+
+        Example: buying items a and b requires buying c.
+        """
+        l = len(if_values)
+        if l == 0:
+            raise ConstraintError("take_together needs at least one trigger value")
+        chi = tuple(
+            Predicate(i, attr, ComparisonOp.EQ, const=v) for i, v in enumerate(if_values)
+        )
+        xi = (Predicate(l, attr, ComparisonOp.EQ, const=then_value),)
+        return CompatibilityConstraint(l, 1, chi, xi, name=name)
+
+    @staticmethod
+    def prerequisite(
+        attr: str,
+        course: Any,
+        prerequisites: Sequence[Any],
+        name: str = "prereq",
+    ) -> CompatibilityConstraint:
+        """ρ2-style: selecting ``course`` requires all ``prerequisites``.
+
+        Example: taking CS450 requires CS220 and CS350.
+        """
+        h = len(prerequisites)
+        if h == 0:
+            raise ConstraintError("prerequisite needs at least one required value")
+        chi = (Predicate(0, attr, ComparisonOp.EQ, const=course),)
+        xi = tuple(
+            Predicate(1 + j, attr, ComparisonOp.EQ, const=p)
+            for j, p in enumerate(prerequisites)
+        )
+        return CompatibilityConstraint(1, h, chi, xi, name=name)
+
+    @staticmethod
+    def conflict(attr: str, a: Any, b: Any, name: str = "conflict") -> CompatibilityConstraint:
+        """Values ``a`` and ``b`` may not both be selected.
+
+        Encoded as: ∀t0,t1 (t0[attr]=a ∧ t1[attr]=b → t1[attr] ≠ b),
+        which is unsatisfiable exactly when both are present.
+        """
+        chi = (
+            Predicate(0, attr, ComparisonOp.EQ, const=a),
+            Predicate(1, attr, ComparisonOp.EQ, const=b),
+        )
+        xi = (Predicate(1, attr, ComparisonOp.NE, const=b),)
+        return CompatibilityConstraint(2, 0, chi, xi, name=name)
+
+    @staticmethod
+    def at_most_two(
+        match_attr: str,
+        match_value: Any,
+        key_attr: str,
+        name: str = "quota",
+    ) -> CompatibilityConstraint:
+        """ρ3-style: at most two selected tuples have
+        ``match_attr = match_value`` (distinctness via ``key_attr``).
+
+        Example: a basketball team takes at most two centers.
+        """
+        chi = (
+            Predicate(0, match_attr, ComparisonOp.EQ, const=match_value),
+            Predicate(1, match_attr, ComparisonOp.EQ, const=match_value),
+            Predicate(2, match_attr, ComparisonOp.EQ, const=match_value),
+            Predicate(0, key_attr, ComparisonOp.NE, right_index=1, right_attr=key_attr),
+            Predicate(0, key_attr, ComparisonOp.NE, right_index=2, right_attr=key_attr),
+            Predicate(1, key_attr, ComparisonOp.NE, right_index=2, right_attr=key_attr),
+        )
+        xi = (Predicate(2, match_attr, ComparisonOp.NE, const=match_value),)
+        return CompatibilityConstraint(3, 0, chi, xi, name=name)
+
+    @staticmethod
+    def requires_value(
+        attr: str, value: Any, name: str = "require"
+    ) -> CompatibilityConstraint:
+        """Some selected tuple must have ``attr = value`` (unconditional ∃)."""
+        xi = (Predicate(0, attr, ComparisonOp.EQ, const=value),)
+        return CompatibilityConstraint(0, 1, (), xi, name=name)
+
+    @staticmethod
+    def forbids_value(attr: str, value: Any, name: str = "forbid") -> CompatibilityConstraint:
+        """No selected tuple may have ``attr = value``."""
+        chi = (Predicate(0, attr, ComparisonOp.EQ, const=value),)
+        xi = (Predicate(0, attr, ComparisonOp.NE, const=value),)
+        return CompatibilityConstraint(1, 0, chi, xi, name=name)

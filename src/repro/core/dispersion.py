@@ -1,0 +1,195 @@
+"""The facility-dispersion view of diversification (Prokopyev et al.).
+
+The paper observes (Section 3.2) that for identity queries max-sum
+diversification *is* the Max-Sum Dispersion Problem and max-min
+diversification the Max-Min Dispersion Problem of operations research;
+F_mono, in contrast, "does not reduce to facility dispersion".  This
+module implements the dispersion problems directly over weight matrices
+and the two directions of the correspondence:
+
+* :func:`from_instance` extracts a :class:`DispersionProblem` from an
+  identity-query diversification instance (edge weights fold the
+  relevance terms into pairwise weights, exactly as in the proofs of
+  Gollapudi & Sharma);
+* :func:`to_instance` embeds a dispersion problem as a diversification
+  instance, giving an independent oracle for cross-checking.
+
+Brute-force solvers on both sides let tests assert the equivalence:
+``argmax F_MS == argmax dispersion`` (value-scaled) on random inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..relational.queries import identity_query
+from ..relational.schema import Database, Relation, RelationSchema
+from .functions import DistanceFunction, RelevanceFunction
+from .instance import DiversificationInstance
+from .objectives import Objective, ObjectiveKind
+
+
+class DispersionError(ValueError):
+    """Raised for malformed dispersion inputs."""
+
+
+@dataclass(frozen=True)
+class DispersionProblem:
+    """A dispersion problem: symmetric pairwise weights over n points.
+
+    ``weights[i][j]`` is the benefit of co-selecting points i and j;
+    ``select`` points are to be chosen.  ``maximin=False`` asks for the
+    maximum total weight (Max-Sum Dispersion), ``maximin=True`` for the
+    maximum of the minimum selected weight (Max-Min Dispersion).
+    """
+
+    weights: tuple[tuple[float, ...], ...]
+    select: int
+    maximin: bool = False
+
+    def __post_init__(self) -> None:
+        n = len(self.weights)
+        if any(len(row) != n for row in self.weights):
+            raise DispersionError("weight matrix must be square")
+        for i in range(n):
+            if abs(self.weights[i][i]) > 1e-12:
+                raise DispersionError("diagonal weights must be zero")
+            for j in range(n):
+                if abs(self.weights[i][j] - self.weights[j][i]) > 1e-9:
+                    raise DispersionError("weights must be symmetric")
+        if not 1 <= self.select <= n:
+            raise DispersionError(f"cannot select {self.select} of {n} points")
+
+    @property
+    def size(self) -> int:
+        return len(self.weights)
+
+    def value(self, chosen: Sequence[int]) -> float:
+        """The dispersion value of a selection (unordered pair sum/min)."""
+        chosen = list(chosen)
+        pair_values = [
+            self.weights[a][b]
+            for i, a in enumerate(chosen)
+            for b in chosen[i + 1 :]
+        ]
+        if self.maximin:
+            return min(pair_values) if pair_values else 0.0
+        return sum(pair_values)
+
+    def solve(self) -> tuple[float, tuple[int, ...]]:
+        """Exact optimum by enumeration (the OR-side oracle)."""
+        best_value = -math.inf
+        best: tuple[int, ...] = ()
+        for combo in itertools.combinations(range(self.size), self.select):
+            value = self.value(combo)
+            if value > best_value:
+                best_value = value
+                best = combo
+        return best_value, best
+
+
+def from_instance(instance: DiversificationInstance) -> DispersionProblem:
+    """Fold an identity-query F_MS/F_MM instance into pairwise weights.
+
+    For F_MS: ``w(i,j) = (1−λ)(δ_rel(i)+δ_rel(j)) + 2λ·δ_dis(i,j)`` —
+    summing w over the C(k,2) selected pairs gives exactly F_MS(U)
+    (each point's relevance appears in k−1 pairs, each unordered pair
+    carries both ordered distance terms).  For F_MM with λ = 1 the
+    weights are the distances
+    themselves; mixed-λ F_MM does not fold into pure dispersion (its
+    min-relevance term is per-point), so it is rejected here.
+    """
+    if not instance.query.is_identity():
+        raise DispersionError("the dispersion view requires an identity query")
+    objective = instance.objective
+    answers = instance.answers()
+    n = len(answers)
+    k = instance.k
+    if k < 2:
+        raise DispersionError("dispersion needs k ≥ 2")
+    lam = objective.lam
+
+    if objective.kind is ObjectiveKind.MAX_SUM:
+        rel = [
+            objective.relevance(t, instance.query) if lam < 1.0 else 0.0
+            for t in answers
+        ]
+        weights = [
+            [
+                0.0
+                if i == j
+                else (1.0 - lam) * (rel[i] + rel[j])
+                + 2.0 * lam * objective.distance(answers[i], answers[j])
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        return DispersionProblem(tuple(map(tuple, weights)), k, maximin=False)
+
+    if objective.kind is ObjectiveKind.MAX_MIN:
+        if lam != 1.0:
+            raise DispersionError(
+                "F_MM folds into Max-Min Dispersion only at λ = 1 "
+                "(the min-relevance term is per-point, not pairwise)"
+            )
+        weights = [
+            [
+                0.0 if i == j else objective.distance(answers[i], answers[j])
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        return DispersionProblem(tuple(map(tuple, weights)), k, maximin=True)
+
+    raise DispersionError("F_mono does not reduce to facility dispersion")
+
+
+_POINTS = RelationSchema("points", ("id",))
+
+
+def to_instance(problem: DispersionProblem) -> DiversificationInstance:
+    """Embed a dispersion problem as a diversification instance
+    (identity query, λ = 1, constant relevance)."""
+    relation = Relation(_POINTS, [(i,) for i in range(problem.size)])
+    db = Database([relation])
+    weights = problem.weights
+
+    def dist(left, right):
+        return weights[left["id"]][right["id"]]
+
+    kind = ObjectiveKind.MAX_MIN if problem.maximin else ObjectiveKind.MAX_SUM
+    objective = Objective(
+        kind,
+        RelevanceFunction.constant(0.0),
+        DistanceFunction.from_callable(dist, name="dispersion"),
+        lam=1.0,
+    )
+    return DiversificationInstance(
+        identity_query(_POINTS), db, k=problem.select, objective=objective
+    )
+
+
+def greedy_max_sum_dispersion(problem: DispersionProblem) -> tuple[float, tuple[int, ...]]:
+    """Hassin–Rubinstein–Tamir pair greedy (2-approx for metric weights)."""
+    if problem.maximin:
+        raise DispersionError("pair greedy applies to Max-Sum Dispersion")
+    available = set(range(problem.size))
+    chosen: list[int] = []
+    while len(chosen) + 1 < problem.select:
+        best_pair = None
+        best_weight = -math.inf
+        ordered = sorted(available)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                if problem.weights[a][b] > best_weight:
+                    best_weight = problem.weights[a][b]
+                    best_pair = (a, b)
+        assert best_pair is not None
+        chosen.extend(best_pair)
+        available -= set(best_pair)
+    if len(chosen) < problem.select:
+        chosen.append(min(available))
+    return problem.value(chosen), tuple(chosen)

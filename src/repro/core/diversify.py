@@ -1,0 +1,126 @@
+"""Top-level user API: diversify, decide, rank, count.
+
+This is the facade downstream code is expected to use.  Each entry point
+builds (or accepts) a :class:`DiversificationInstance` and dispatches to
+the solver the paper's complexity map recommends:
+
+* modular objectives (F_mono; F_MS with λ = 0) → PTIME algorithms
+  (Theorems 5.4/6.4/8.2);
+* everything else exact → enumeration / branch-and-bound;
+* ``method="greedy"``/``"mmr"``/``"local-search"`` → the heuristics the
+  paper's conclusion calls for, for instances too large to solve exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..relational.queries import Query
+from ..relational.schema import Database, Row
+from .constraints import ConstraintSet
+from .drp import drp_decide, rank_of
+from .instance import DiversificationInstance
+from .objectives import Objective, ObjectiveKind
+from .qrd import qrd_decide, qrd_witness
+from .rdc import rdc_count
+
+
+def make_instance(
+    query: Query,
+    db: Database,
+    k: int,
+    objective: Objective,
+    constraints: ConstraintSet | None = None,
+) -> DiversificationInstance:
+    """Bundle (Q, D, k, F[, Σ]) into an instance."""
+    return DiversificationInstance(query, db, k, objective, constraints)
+
+
+def diversify(
+    instance: DiversificationInstance,
+    method: str = "auto",
+) -> tuple[float, tuple[Row, ...]] | None:
+    """Compute a best (or heuristically good) k-set, with its F value.
+
+    ``method``:
+
+    * ``"auto"``/``"exact"`` — the exact optimum via the cheapest exact
+      solver that applies;
+    * ``"greedy"`` — objective-matched greedy (pair-greedy for F_MS,
+      GMC-style for F_MM, per-item top-k for F_mono);
+    * ``"mmr"`` — Maximal Marginal Relevance;
+    * ``"local-search"`` — swap-based local search (constraint-aware).
+
+    Returns None when no candidate set exists.
+    """
+    from ..algorithms import (
+        best_modular,
+        branch_and_bound_max_sum,
+        exhaustive_best,
+        greedy_max_min,
+        greedy_max_sum,
+        local_search,
+        mmr_select,
+    )
+
+    if method in ("auto", "exact"):
+        if len(instance.constraints) == 0:
+            if instance.objective.is_modular:
+                return best_modular(instance)
+            if instance.objective.kind is ObjectiveKind.MAX_SUM:
+                return branch_and_bound_max_sum(instance)
+        return exhaustive_best(instance)
+    if method == "greedy":
+        if len(instance.constraints) > 0:
+            raise ValueError("greedy heuristics ignore constraints; use local-search")
+        kind = instance.objective.kind
+        if kind is ObjectiveKind.MAX_SUM:
+            return greedy_max_sum(instance)
+        if kind is ObjectiveKind.MAX_MIN:
+            return greedy_max_min(instance)
+        return best_modular(instance)
+    if method == "mmr":
+        if len(instance.constraints) > 0:
+            raise ValueError("MMR ignores constraints; use local-search")
+        return mmr_select(instance)
+    if method == "local-search":
+        return local_search(instance)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def decide(
+    instance: DiversificationInstance, bound: float, method: str = "auto"
+) -> bool:
+    """QRD: does a valid set with F(U) ≥ bound exist?"""
+    return qrd_decide(instance, bound, method=method)
+
+
+def witness(
+    instance: DiversificationInstance, bound: float
+) -> tuple[Row, ...] | None:
+    """A valid set with F(U) ≥ bound, or None."""
+    return qrd_witness(instance, bound)
+
+
+def rank(
+    instance: DiversificationInstance, subset: Sequence[Row]
+) -> int:
+    """DRP (exact rank): 1 + number of strictly better candidate sets."""
+    return rank_of(instance, subset)
+
+
+def is_top_r(
+    instance: DiversificationInstance,
+    subset: Sequence[Row],
+    r: int,
+    method: str = "auto",
+) -> bool:
+    """DRP decision: rank(U) ≤ r?"""
+    return drp_decide(instance, subset, r, method=method)
+
+
+def count(
+    instance: DiversificationInstance, bound: float, method: str = "auto"
+) -> int:
+    """RDC: the number of valid sets with F(U) ≥ bound."""
+    return rdc_count(instance, bound, method=method)

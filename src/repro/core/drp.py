@@ -1,0 +1,267 @@
+"""DRP — the diversity ranking problem (Section 6).
+
+Given (Q, D, F, k), a candidate set ``U`` and a positive integer ``r``:
+is ``rank(U) ≤ r``, where ``rank(U) = 1 + |{S candidate : F(S) > F(U)}|``?
+
+Solvers provided:
+
+* :func:`rank_of` / :func:`drp_brute_force` — exact rank by enumeration
+  (the coNP/PSPACE upper-bound procedure once Q(D) is materialized).
+* :func:`top_r_sets_modular` — top-r candidate sets for modular
+  objectives via best-first search over combinations (PTIME for
+  constant r); :func:`find_next_top_sets` is the paper's own
+  ``FindNext`` one-tuple-replacement procedure from **Theorem 6.4**,
+  kept as an independently-implemented cross-check.
+* :func:`drp_modular` — the PTIME decision of Theorem 6.4: compute the
+  top-r sets, compare F(U) against the r-th value.
+* :func:`drp_decide` — automatic dispatch.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Sequence
+
+from ..relational.schema import Row
+from .instance import DiversificationInstance
+from .objectives import ObjectiveKind
+
+
+class DRPError(ValueError):
+    """Raised when DRP inputs are malformed (e.g. U not a candidate set)."""
+
+
+def rank_of(instance: DiversificationInstance, subset: Sequence[Row]) -> int:
+    """Exact rank of ``U``: 1 + number of strictly better candidate sets."""
+    _require_candidate(instance, subset)
+    target = instance.value(subset)
+    better = 0
+    for candidate in instance.candidate_sets():
+        if instance.value(candidate) > target:
+            better += 1
+    return better + 1
+
+
+def drp_brute_force(
+    instance: DiversificationInstance, subset: Sequence[Row], r: int
+) -> bool:
+    """Is rank(U) ≤ r?  Early-exits once r strictly-better sets are seen."""
+    _require_rank(r)
+    _require_candidate(instance, subset)
+    target = instance.value(subset)
+    better = 0
+    for candidate in instance.candidate_sets():
+        if instance.value(candidate) > target:
+            better += 1
+            if better >= r:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Modular objectives: top-r enumeration
+# ---------------------------------------------------------------------------
+
+def top_r_sets_modular(
+    instance: DiversificationInstance, r: int
+) -> list[tuple[float, tuple[Row, ...]]]:
+    """The r highest-valued candidate sets for a modular objective.
+
+    Best-first search over index combinations of the score-sorted answer
+    list: the top set takes the k best items; successors advance one
+    index at a time, which never increases the value.  Runs in
+    O(r·k·log) heap operations — polynomial for constant r, matching the
+    PTIME claim of Theorem 6.4 (and pseudo-polynomial when r is part of
+    the input, as the paper remarks).
+
+    Returns at most r pairs ``(value, set)`` in non-increasing value
+    order (fewer if fewer candidate sets exist).
+    """
+    if not instance.objective.is_modular:
+        raise DRPError("top_r_sets_modular requires a modular objective")
+    if len(instance.constraints) > 0:
+        raise DRPError("top-r enumeration does not support constraints")
+    _require_rank(r)
+    answers = instance.answers()
+    k = instance.k
+    n = len(answers)
+    if n < k:
+        return []
+
+    scored = sorted(
+        ((instance.item_score(t), t) for t in answers),
+        key=lambda pair: pair[0],
+        reverse=True,
+    )
+    scores = [s for s, _ in scored]
+    rows = [t for _, t in scored]
+    prefix = list(itertools.accumulate(scores))
+
+    def combo_score(combo: tuple[int, ...]) -> float:
+        return sum(scores[i] for i in combo)
+
+    start = tuple(range(k))
+    heap: list[tuple[float, tuple[int, ...]]] = [(-combo_score(start), start)]
+    seen = {start}
+    out: list[tuple[float, tuple[Row, ...]]] = []
+    while heap and len(out) < r:
+        negative, combo = heapq.heappop(heap)
+        raw_value = -negative
+        subset = tuple(rows[i] for i in combo)
+        out.append((instance.value(subset), subset))
+        for j in range(k):
+            nxt = combo[j] + 1
+            if nxt >= n:
+                continue
+            if j + 1 < k and nxt >= combo[j + 1]:
+                continue
+            successor = combo[:j] + (nxt,) + combo[j + 1 :]
+            if successor in seen:
+                continue
+            seen.add(successor)
+            new_value = raw_value - scores[combo[j]] + scores[nxt]
+            heapq.heappush(heap, (-new_value, successor))
+    return out
+
+
+def find_next_top_sets(
+    instance: DiversificationInstance, r: int
+) -> list[tuple[float, tuple[Row, ...]]]:
+    """The paper's ``FindNext`` procedure (proof of Theorem 6.4).
+
+    Maintains the collection S of top-l candidate sets; each round
+    generates every set obtainable from some S ∈ S by replacing one
+    tuple t with a tuple s ∉ S of no larger item score, keeps the
+    highest-valued new sets, and extends S — trimming to r if the final
+    round overshoots.  Kept close to the paper's pseudo-code as an
+    independent cross-check of :func:`top_r_sets_modular`.
+    """
+    if not instance.objective.is_modular:
+        raise DRPError("find_next_top_sets requires a modular objective")
+    if len(instance.constraints) > 0:
+        raise DRPError("FindNext does not support constraints")
+    _require_rank(r)
+    answers = instance.answers()
+    k = instance.k
+    if len(answers) < k:
+        return []
+
+    score = {row: instance.item_score(row) for row in answers}
+    ordered = sorted(answers, key=lambda t: score[t], reverse=True)
+
+    def set_value(rows: frozenset[Row]) -> float:
+        return sum(score[t] for t in rows)
+
+    top: list[frozenset[Row]] = [frozenset(ordered[:k])]
+    collected = {top[0]}
+    while len(top) < r:
+        best_value = None
+        frontier: list[frozenset[Row]] = []
+        for current in top:
+            for t in current:
+                for s in answers:
+                    if s in current or score[s] > score[t]:
+                        continue
+                    replacement = (current - {t}) | {s}
+                    if replacement in collected:
+                        continue
+                    value = set_value(replacement)
+                    if best_value is None or value > best_value + 1e-12:
+                        best_value = value
+                        frontier = [replacement]
+                    elif abs(value - best_value) <= 1e-12:
+                        if replacement not in frontier:
+                            frontier.append(replacement)
+        if not frontier:
+            break  # fewer than r candidate sets exist
+        room = r - len(top)
+        for replacement in frontier[:room]:
+            top.append(replacement)
+            collected.add(replacement)
+    return [
+        (instance.value(tuple(rows)), tuple(sorted(rows)))
+        for rows in top
+    ]
+
+
+def drp_modular(
+    instance: DiversificationInstance, subset: Sequence[Row], r: int
+) -> bool:
+    """PTIME decision for modular objectives (Theorem 6.4)."""
+    _require_candidate(instance, subset)
+    top = top_r_sets_modular(instance, r)
+    if len(top) < r:
+        # Fewer than r candidate sets in total: rank is trivially ≤ r.
+        return True
+    threshold = top[-1][0]
+    return instance.value(subset) >= threshold - 1e-12
+
+
+def drp_max_min_relevance(
+    instance: DiversificationInstance, subset: Sequence[Row], r: int
+) -> bool:
+    """PTIME decision for F_MM with λ = 0 (Theorem 8.2).
+
+    F_MM(S) = min_{t∈S} δ_rel(t), so the sets strictly better than U are
+    exactly the k-subsets drawn entirely from tuples with relevance
+    > F_MM(U); their number is C(better, k), computable directly.
+    """
+    import math
+
+    objective = instance.objective
+    if objective.kind is not ObjectiveKind.MAX_MIN or not objective.relevance_only:
+        raise DRPError("drp_max_min_relevance applies only to F_MM with λ=0")
+    if len(instance.constraints) > 0:
+        raise DRPError("the PTIME DRP algorithm does not support constraints")
+    _require_candidate(instance, subset)
+    _require_rank(r)
+    target = instance.value(subset)
+    better = sum(
+        1
+        for t in instance.answers()
+        if objective.relevance(t, instance.query) > target
+    )
+    strictly_better_sets = math.comb(better, instance.k) if better >= instance.k else 0
+    return strictly_better_sets <= r - 1
+
+
+def drp_decide(
+    instance: DiversificationInstance,
+    subset: Sequence[Row],
+    r: int,
+    method: str = "auto",
+) -> bool:
+    """Decide DRP, dispatching to the PTIME algorithm when it applies."""
+    if method == "brute-force":
+        return drp_brute_force(instance, subset, r)
+    if method == "modular":
+        return drp_modular(instance, subset, r)
+    if method == "max-min-relevance":
+        return drp_max_min_relevance(instance, subset, r)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    if len(instance.constraints) == 0:
+        if instance.objective.is_modular:
+            return drp_modular(instance, subset, r)
+        if (
+            instance.objective.kind is ObjectiveKind.MAX_MIN
+            and instance.objective.relevance_only
+        ):
+            return drp_max_min_relevance(instance, subset, r)
+    return drp_brute_force(instance, subset, r)
+
+
+def _require_candidate(
+    instance: DiversificationInstance, subset: Sequence[Row]
+) -> None:
+    if not instance.is_candidate_set(subset):
+        raise DRPError(
+            "DRP input U must be a candidate set for (Q, D, k) "
+            "(k distinct answer tuples satisfying the constraints)"
+        )
+
+
+def _require_rank(r: int) -> None:
+    if r < 1:
+        raise DRPError(f"rank threshold r must be positive, got {r}")

@@ -1,0 +1,142 @@
+"""Diversification instances: the shared input of QRD, DRP and RDC.
+
+A :class:`DiversificationInstance` bundles ``(Q, D, k, F)`` (Section 4.1)
+plus an optional constraint set Σ ⊆ C_m (Section 9).  It caches the
+materialized answer set ``Q(D)`` (needed by F_mono and by all exact
+solvers) and exposes candidate/valid-set predicates with exactly the
+paper's semantics:
+
+* ``U`` is a **candidate set** for (Q, D, k) if ``U ⊆ Q(D)`` and
+  ``|U| = k`` (and ``U |= Σ`` when constraints are present);
+* ``U`` is a **valid set** for (Q, D, k, F, B) if additionally
+  ``F(U) ≥ B``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..relational.evaluate import evaluate, membership
+from ..relational.queries import Query
+from ..relational.schema import Database, Row
+from .constraints import EMPTY_CONSTRAINTS, ConstraintSet
+from .objectives import Objective
+
+
+class InstanceError(ValueError):
+    """Raised for malformed diversification instances."""
+
+
+class DiversificationInstance:
+    """The input (Q, D, k, F[, Σ]) of the three diversification problems."""
+
+    def __init__(
+        self,
+        query: Query,
+        db: Database,
+        k: int,
+        objective: Objective,
+        constraints: ConstraintSet | None = None,
+    ):
+        if k < 1:
+            raise InstanceError(f"k must be a positive integer, got {k}")
+        self.query = query
+        self.db = db
+        self.k = k
+        self.objective = objective
+        self.constraints = constraints if constraints is not None else EMPTY_CONSTRAINTS
+        self._result_cache: list[Row] | None = None
+
+    # -- answer set -------------------------------------------------------
+
+    def answers(self) -> list[Row]:
+        """``Q(D)`` as a deterministically ordered list (cached)."""
+        if self._result_cache is None:
+            relation = evaluate(self.query, self.db)
+            self._result_cache = relation.sorted_rows()
+        return self._result_cache
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached ``Q(D)`` (call after mutating the database)."""
+        self._result_cache = None
+
+    @property
+    def answer_count(self) -> int:
+        return len(self.answers())
+
+    def in_answers(self, row: Row) -> bool:
+        """Membership test against the cached answer set."""
+        if self._result_cache is not None:
+            return row in set(self._result_cache)
+        return membership(self.query, self.db, row)
+
+    # -- objective ----------------------------------------------------------
+
+    def value(self, subset: Iterable[Row]) -> float:
+        """F(U), supplying Q(D) automatically when F is F_mono."""
+        from .objectives import ObjectiveKind
+
+        universe = (
+            self.answers() if self.objective.kind is ObjectiveKind.MONO else None
+        )
+        return self.objective.value(subset, query=self.query, universe=universe)
+
+    def item_score(self, row: Row) -> float:
+        """The per-item score v(t) for modular objectives (Theorem 5.4)."""
+        return self.objective.item_score(row, self.query, self.answers())
+
+    # -- candidate / valid sets ---------------------------------------------
+
+    def is_candidate_set(self, subset: Sequence[Row]) -> bool:
+        rows = list(subset)
+        if len(rows) != self.k or len(set(rows)) != self.k:
+            return False
+        answer_set = set(self.answers())
+        if any(row not in answer_set for row in rows):
+            return False
+        return self.constraints.satisfied_by(rows)
+
+    def is_valid_set(self, subset: Sequence[Row], bound: float) -> bool:
+        return self.is_candidate_set(subset) and self.value(subset) >= bound
+
+    def candidate_sets(self) -> Iterator[tuple[Row, ...]]:
+        """Enumerate all candidate sets (Σ-satisfying k-subsets of Q(D)).
+
+        Deliberately exponential — this is the search space whose
+        exploration the paper proves unavoidable in the hard cases.
+        """
+        answers = self.answers()
+        has_constraints = len(self.constraints) > 0
+        for combo in itertools.combinations(answers, self.k):
+            if has_constraints and not self.constraints.satisfied_by(combo):
+                continue
+            yield combo
+
+    def with_constraints(self, constraints: ConstraintSet) -> "DiversificationInstance":
+        clone = DiversificationInstance(
+            self.query, self.db, self.k, self.objective, constraints
+        )
+        clone._result_cache = self._result_cache
+        return clone
+
+    def with_k(self, k: int) -> "DiversificationInstance":
+        clone = DiversificationInstance(
+            self.query, self.db, k, self.objective, self.constraints
+        )
+        clone._result_cache = self._result_cache
+        return clone
+
+    def with_objective(self, objective: Objective) -> "DiversificationInstance":
+        clone = DiversificationInstance(
+            self.query, self.db, self.k, objective, self.constraints
+        )
+        clone._result_cache = self._result_cache
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"DiversificationInstance(Q={self.query.name}, k={self.k}, "
+            f"F={self.objective.kind.value}, λ={self.objective.lam}, "
+            f"|Σ|={len(self.constraints)})"
+        )

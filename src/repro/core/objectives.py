@@ -1,0 +1,226 @@
+"""The three objective functions of Gollapudi & Sharma, as revised by the
+paper (Section 3.2).
+
+Given a candidate set ``U ⊆ Q(D)`` with ``|U| = k``, trade-off
+``λ ∈ [0,1]``, relevance ``δ_rel`` and distance ``δ_dis``:
+
+* **Max-sum diversification**::
+
+      F_MS(U) = (k−1)(1−λ) · Σ_{t∈U} δ_rel(t,Q)  +  λ · Σ_{t,t'∈U} δ_dis(t,t')
+
+  (the distance sum ranges over ordered pairs; the (k−1) factor balances
+  the k relevance terms against the k(k−1) distance terms).
+
+* **Max-min diversification**::
+
+      F_MM(U) = (1−λ) · min_{t∈U} δ_rel(t,Q)  +  λ · min_{t≠t'∈U} δ_dis(t,t')
+
+* **Mono-objective formulation**::
+
+      F_mono(U) = Σ_{t∈U} ( (1−λ)·δ_rel(t,Q) + λ/(|Q(D)|−1) · Σ_{t'∈Q(D)} δ_dis(t,t') )
+
+  which needs the *entire* answer set ``Q(D)`` — the source of its very
+  different complexity behaviour (Theorems 5.2, 5.4).
+
+F_mono is **modular**: it is a sum of per-item scores
+(:meth:`Objective.item_score`), which is exactly why its data complexity
+collapses to PTIME (Theorem 5.4) while F_MS / F_MM stay NP-hard.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from ..relational.queries import Query
+from ..relational.schema import Row
+from .functions import (
+    DistanceFunction,
+    RelevanceFunction,
+    min_pairwise_distance,
+    pairwise_distance_sum,
+)
+
+
+class ObjectiveKind(enum.Enum):
+    MAX_SUM = "F_MS"
+    MAX_MIN = "F_MM"
+    MONO = "F_mono"
+
+
+class ObjectiveError(ValueError):
+    """Raised on misuse (e.g. F_mono evaluated without the universe)."""
+
+
+class Objective:
+    """An objective function ``F`` = (kind, δ_rel, δ_dis, λ).
+
+    ``value`` scores a set of answer tuples; for :data:`ObjectiveKind.MONO`
+    the full answer set ``Q(D)`` must be supplied as ``universe``.
+    """
+
+    def __init__(
+        self,
+        kind: ObjectiveKind,
+        relevance: RelevanceFunction,
+        distance: DistanceFunction,
+        lam: float = 0.5,
+    ):
+        if not 0.0 <= lam <= 1.0:
+            raise ObjectiveError(f"λ must be in [0,1], got {lam}")
+        self.kind = kind
+        self.relevance = relevance
+        self.distance = distance
+        self.lam = float(lam)
+
+    # -- convenience constructors ---------------------------------------
+
+    @classmethod
+    def max_sum(
+        cls,
+        relevance: RelevanceFunction,
+        distance: DistanceFunction,
+        lam: float = 0.5,
+    ) -> "Objective":
+        return cls(ObjectiveKind.MAX_SUM, relevance, distance, lam)
+
+    @classmethod
+    def max_min(
+        cls,
+        relevance: RelevanceFunction,
+        distance: DistanceFunction,
+        lam: float = 0.5,
+    ) -> "Objective":
+        return cls(ObjectiveKind.MAX_MIN, relevance, distance, lam)
+
+    @classmethod
+    def mono(
+        cls,
+        relevance: RelevanceFunction,
+        distance: DistanceFunction,
+        lam: float = 0.5,
+    ) -> "Objective":
+        return cls(ObjectiveKind.MONO, relevance, distance, lam)
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def relevance_only(self) -> bool:
+        """λ = 0: the objective is defined by δ_rel alone (Section 8)."""
+        return self.lam == 0.0
+
+    @property
+    def diversity_only(self) -> bool:
+        """λ = 1: the objective is defined by δ_dis alone (Section 8)."""
+        return self.lam == 1.0
+
+    @property
+    def is_modular(self) -> bool:
+        """Is F a sum of independent per-item scores?
+
+        True for F_mono always, and for F_MS when λ = 0 (relevance sum).
+        Modularity is what the PTIME algorithms of Theorems 5.4/8.2
+        exploit.
+        """
+        if self.kind is ObjectiveKind.MONO:
+            return True
+        return self.kind is ObjectiveKind.MAX_SUM and self.relevance_only
+
+    # -- evaluation -------------------------------------------------------
+
+    def value(
+        self,
+        subset: Iterable[Row],
+        query: Query | None = None,
+        universe: Sequence[Row] | None = None,
+    ) -> float:
+        """F(U).  ``universe`` = Q(D), required only for F_mono.
+
+        For F_MS the (k−1) scaling uses k = |U| (valid sets always have
+        |U| = k, and the scaling of partial sets only matters to callers
+        that build sets incrementally, which use marginal gains instead).
+        """
+        rows = list(subset)
+        if self.kind is ObjectiveKind.MAX_SUM:
+            return self._max_sum(rows, query)
+        if self.kind is ObjectiveKind.MAX_MIN:
+            return self._max_min(rows, query)
+        return self._mono(rows, query, universe)
+
+    def _max_sum(self, rows: list[Row], query: Query | None) -> float:
+        k = len(rows)
+        relevance_part = 0.0
+        if self.lam < 1.0:
+            relevance_part = sum(self.relevance(t, query) for t in rows)
+        distance_part = 0.0
+        if self.lam > 0.0:
+            distance_part = pairwise_distance_sum(rows, self.distance)
+        return (k - 1) * (1.0 - self.lam) * relevance_part + self.lam * distance_part
+
+    def _max_min(self, rows: list[Row], query: Query | None) -> float:
+        if not rows:
+            return 0.0
+        relevance_part = 0.0
+        if self.lam < 1.0:
+            relevance_part = min(self.relevance(t, query) for t in rows)
+        distance_part = 0.0
+        if self.lam > 0.0:
+            distance_part = min_pairwise_distance(rows, self.distance)
+        return (1.0 - self.lam) * relevance_part + self.lam * distance_part
+
+    def _mono(
+        self,
+        rows: list[Row],
+        query: Query | None,
+        universe: Sequence[Row] | None,
+    ) -> float:
+        if universe is None:
+            raise ObjectiveError("F_mono requires the full answer set Q(D)")
+        return sum(self.item_score(t, query, universe) for t in rows)
+
+    def item_score(
+        self,
+        row: Row,
+        query: Query | None,
+        universe: Sequence[Row] | None = None,
+    ) -> float:
+        """The per-item score ``v(t)`` of the PTIME algorithms.
+
+        For F_mono (Theorem 5.4)::
+
+            v(t) = (1−λ)·δ_rel(t,Q) + λ/(|Q(D)|−1) · Σ_{t'∈Q(D)} δ_dis(t,t')
+
+        For F_MS with λ = 0 the per-item score is δ_rel(t,Q) (the (k−1)
+        scaling is applied by the caller).  For non-modular objectives
+        this raises :class:`ObjectiveError`.
+        """
+        if self.kind is ObjectiveKind.MONO:
+            relevance_part = (1.0 - self.lam) * (
+                self.relevance(row, query) if self.lam < 1.0 else 0.0
+            )
+            diversity_part = 0.0
+            if self.lam > 0.0:
+                if universe is None:
+                    raise ObjectiveError("F_mono item score requires Q(D)")
+                n = len(universe)
+                if n > 1:
+                    total = sum(self.distance(row, other) for other in universe)
+                    diversity_part = self.lam * total / (n - 1)
+            return relevance_part + diversity_part
+        if self.kind is ObjectiveKind.MAX_SUM and self.relevance_only:
+            return self.relevance(row, query)
+        raise ObjectiveError(
+            f"{self.kind.value} with λ={self.lam} has no per-item decomposition"
+        )
+
+    def with_lambda(self, lam: float) -> "Objective":
+        """A copy of this objective with a different trade-off λ."""
+        return Objective(self.kind, self.relevance, self.distance, lam)
+
+    def __repr__(self) -> str:
+        return (
+            f"Objective({self.kind.value}, λ={self.lam}, "
+            f"rel={self.relevance.name}, dis={self.distance.name})"
+        )

@@ -1,0 +1,145 @@
+"""QRD — the query result diversification (decision) problem (Section 5).
+
+Given (Q, D, F, B, k): does a valid set exist, i.e. a k-subset
+``U ⊆ Q(D)`` with ``F(U) ≥ B`` (and ``U |= Σ`` when constraints are
+present)?
+
+Solvers provided:
+
+* :func:`qrd_brute_force` — enumerate candidate sets with early exit.
+  This is the generic (worst-case exponential) procedure matching the
+  NP/PSPACE upper-bound algorithms of Theorems 5.1/5.2 once ``Q(D)`` is
+  materialized.
+* :func:`qrd_modular` — the PTIME algorithm of **Theorem 5.4** for
+  F_mono (and F_MS with λ = 0): per-item scores, take the k largest,
+  compare their sum against B.
+* :func:`qrd_max_min_relevance` — the PTIME algorithm of **Theorem 8.2**
+  for F_MM with λ = 0: the best achievable minimum relevance is the k-th
+  largest relevance value.
+* :func:`qrd_decide` / :func:`qrd_witness` — automatic dispatch honouring
+  the paper's tractability map (constraints force enumeration, per
+  Theorem 9.3's hardness results).
+"""
+
+from __future__ import annotations
+
+from ..relational.schema import Row
+from .instance import DiversificationInstance
+from .objectives import ObjectiveKind
+
+
+def qrd_brute_force(instance: DiversificationInstance, bound: float) -> bool:
+    """Does a valid set exist?  Exhaustive search with early exit."""
+    return qrd_witness_brute_force(instance, bound) is not None
+
+
+def qrd_witness_brute_force(
+    instance: DiversificationInstance, bound: float
+) -> tuple[Row, ...] | None:
+    """Return some valid set, or ``None``."""
+    for subset in instance.candidate_sets():
+        if instance.value(subset) >= bound:
+            return subset
+    return None
+
+
+def qrd_modular(instance: DiversificationInstance, bound: float) -> bool:
+    """PTIME decision for modular objectives (Theorem 5.4).
+
+    For F_mono: compute ``v(t)`` for every answer tuple, sum the k
+    largest, compare with B.  For F_MS with λ = 0 the same works with
+    the (k−1) scaling applied to the sum.  Constraints are not supported
+    here (their presence makes the problem NP-hard, Theorem 9.3).
+    """
+    _require_modular(instance)
+    _require_unconstrained(instance)
+    witness = qrd_modular_witness(instance, bound)
+    return witness is not None
+
+
+def qrd_modular_witness(
+    instance: DiversificationInstance, bound: float
+) -> tuple[Row, ...] | None:
+    """The k highest-scoring tuples if they form a valid set, else None."""
+    _require_modular(instance)
+    _require_unconstrained(instance)
+    answers = instance.answers()
+    if len(answers) < instance.k:
+        return None
+    scored = sorted(answers, key=instance.item_score, reverse=True)
+    best = tuple(scored[: instance.k])
+    if instance.value(best) >= bound:
+        return best
+    return None
+
+
+def qrd_max_min_relevance(instance: DiversificationInstance, bound: float) -> bool:
+    """PTIME decision for F_MM with λ = 0 (Theorem 8.2).
+
+    F_MM(U) = min_{t∈U} δ_rel(t,Q); the maximum over k-subsets is the
+    k-th largest relevance value.
+    """
+    objective = instance.objective
+    if objective.kind is not ObjectiveKind.MAX_MIN or not objective.relevance_only:
+        raise ValueError("qrd_max_min_relevance applies only to F_MM with λ=0")
+    _require_unconstrained(instance)
+    answers = instance.answers()
+    if len(answers) < instance.k:
+        return False
+    relevances = sorted(
+        (objective.relevance(t, instance.query) for t in answers), reverse=True
+    )
+    return relevances[instance.k - 1] >= bound
+
+
+def qrd_decide(
+    instance: DiversificationInstance, bound: float, method: str = "auto"
+) -> bool:
+    """Decide QRD, choosing a solver per the paper's tractability map.
+
+    ``method`` ∈ {"auto", "brute-force", "modular", "max-min-relevance"}.
+    """
+    if method == "brute-force":
+        return qrd_brute_force(instance, bound)
+    if method == "modular":
+        return qrd_modular(instance, bound)
+    if method == "max-min-relevance":
+        return qrd_max_min_relevance(instance, bound)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+
+    if len(instance.constraints) > 0:
+        # Theorem 9.3: constraints make even the F_mono / λ=0 data
+        # complexity NP-hard, so enumeration is justified.
+        return qrd_brute_force(instance, bound)
+    objective = instance.objective
+    if objective.is_modular:
+        return qrd_modular(instance, bound)
+    if objective.kind is ObjectiveKind.MAX_MIN and objective.relevance_only:
+        return qrd_max_min_relevance(instance, bound)
+    return qrd_brute_force(instance, bound)
+
+
+def qrd_witness(
+    instance: DiversificationInstance, bound: float
+) -> tuple[Row, ...] | None:
+    """A valid set if one exists, else None (auto dispatch)."""
+    if len(instance.constraints) == 0 and instance.objective.is_modular:
+        return qrd_modular_witness(instance, bound)
+    return qrd_witness_brute_force(instance, bound)
+
+
+def _require_modular(instance: DiversificationInstance) -> None:
+    if not instance.objective.is_modular:
+        raise ValueError(
+            f"objective {instance.objective.kind.value} with "
+            f"λ={instance.objective.lam} is not modular"
+        )
+
+
+def _require_unconstrained(instance: DiversificationInstance) -> None:
+    if len(instance.constraints) > 0:
+        raise ValueError(
+            "PTIME algorithms do not apply under compatibility constraints "
+            "(Theorem 9.3); use the brute-force solver"
+        )

@@ -1,0 +1,150 @@
+"""RDC — the result diversity counting problem (Section 7).
+
+Given (Q, D, F, B, k): how many valid sets are there?
+
+Solvers provided:
+
+* :func:`rdc_brute_force` — exact counting by enumeration (the generic
+  #·NP / #·PSPACE upper-bound procedure once Q(D) is materialized; also
+  the FP algorithm for constant k, Corollary 8.4).
+* :func:`count_max_min_relevance` — the FP counter for F_MM with λ = 0
+  (Theorem 8.2): every tuple of a valid set needs δ_rel ≥ B, so the
+  count is ``C(#{t : δ_rel(t) ≥ B}, k)``.
+* :func:`count_modular_dp` — a pseudo-polynomial dynamic program for
+  modular objectives with integer-valued item scores.  Consistent with
+  Theorem 7.5: RDC(L, F_mono) is #P-complete under *Turing* reductions
+  (from #SSP, i.e. subset-sum counting), so a DP over the score total is
+  the best one can expect — polynomial in the numeric value, not in the
+  bit length.
+* :func:`rdc_count` — automatic dispatch.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from .instance import DiversificationInstance
+from .objectives import ObjectiveKind
+
+
+def rdc_brute_force(instance: DiversificationInstance, bound: float) -> int:
+    """The number of valid sets for (Q, D, Σ, k, F, B), by enumeration."""
+    return sum(
+        1 for subset in instance.candidate_sets() if instance.value(subset) >= bound
+    )
+
+
+def count_max_min_relevance(instance: DiversificationInstance, bound: float) -> int:
+    """FP counter for F_MM with λ = 0 (Theorem 8.2).
+
+    F_MM(U) = min_{t∈U} δ_rel(t,Q) ≥ B  ⇔  every tuple of U has
+    δ_rel ≥ B, so the count is C(good, k).
+    """
+    objective = instance.objective
+    if objective.kind is not ObjectiveKind.MAX_MIN or not objective.relevance_only:
+        raise ValueError("count_max_min_relevance applies only to F_MM with λ=0")
+    if len(instance.constraints) > 0:
+        raise ValueError(
+            "the FP counter does not apply under constraints (Corollary 9.5)"
+        )
+    good = sum(
+        1
+        for t in instance.answers()
+        if objective.relevance(t, instance.query) >= bound
+    )
+    if good < instance.k:
+        return 0
+    return math.comb(good, instance.k)
+
+
+def count_modular_dp(
+    instance: DiversificationInstance,
+    bound: float,
+    scale: int = 1,
+) -> int:
+    """Count k-subsets with modular value ≥ B by dynamic programming.
+
+    Item scores (times ``scale``) must be integral (within 1e-9); the DP
+    table is indexed by (items considered, chosen, score total) and runs
+    in O(n · k · S) where S is the total integral score — the
+    pseudo-polynomial behaviour the #SSP Turing reduction of Theorem 7.5
+    predicts is unavoidable in general.
+
+    For F_MS with λ = 0 the bound is rescaled by the (k−1) factor.
+    """
+    if not instance.objective.is_modular:
+        raise ValueError("count_modular_dp requires a modular objective")
+    if len(instance.constraints) > 0:
+        raise ValueError("the DP counter does not support constraints")
+    answers = instance.answers()
+    k = instance.k
+    if len(answers) < k:
+        return 0
+
+    raw_scores = [instance.item_score(t) for t in answers]
+    target = Fraction(bound)
+    if instance.objective.kind is ObjectiveKind.MAX_SUM:
+        # F_MS(U) = (k−1) Σ δ_rel when λ = 0; compare the plain sum.
+        if k == 1:
+            # (k−1) = 0 makes F_MS ≡ 0: every singleton is valid iff B ≤ 0.
+            return len(answers) if bound <= 0 else 0
+        target = Fraction(bound) / (k - 1)
+
+    scaled: list[int] = []
+    for score in raw_scores:
+        value = score * scale
+        nearest = round(value)
+        if abs(value - nearest) > 1e-9:
+            raise ValueError(
+                f"item score {score} is not integral at scale {scale}; "
+                "pass a suitable scale"
+            )
+        if nearest < 0:
+            raise ValueError("item scores must be non-negative")
+        scaled.append(int(nearest))
+    scaled_target = target * scale
+    threshold = math.ceil(scaled_target - Fraction(1, 10**9))
+    if threshold <= 0:
+        # Every k-subset qualifies (scores are non-negative).
+        return math.comb(len(answers), k)
+    if threshold > sum(scaled):
+        return 0
+
+    # dp[c][v] = number of ways to choose c of the items seen so far with
+    # total score v, where totals ≥ threshold are clamped into the top
+    # bucket (non-negative scores keep clamped totals ≥ threshold).
+    cap = threshold
+    dp = [[0] * (cap + 1) for _ in range(k + 1)]
+    dp[0][0] = 1
+    for score in scaled:
+        for c in range(k - 1, -1, -1):
+            row = dp[c]
+            nxt = dp[c + 1]
+            for v in range(cap, -1, -1):
+                ways = row[v]
+                if ways:
+                    nxt[min(v + score, cap)] += ways
+    return dp[k][cap]
+
+
+def rdc_count(
+    instance: DiversificationInstance, bound: float, method: str = "auto"
+) -> int:
+    """Count valid sets, dispatching per the paper's tractability map."""
+    if method == "brute-force":
+        return rdc_brute_force(instance, bound)
+    if method == "max-min-relevance":
+        return count_max_min_relevance(instance, bound)
+    if method == "modular-dp":
+        return count_modular_dp(instance, bound)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    objective = instance.objective
+    if (
+        len(instance.constraints) == 0
+        and objective.kind is ObjectiveKind.MAX_MIN
+        and objective.relevance_only
+    ):
+        return count_max_min_relevance(instance, bound)
+    return rdc_brute_force(instance, bound)

@@ -1,0 +1,150 @@
+"""λ-sweeps and the relevance/diversity Pareto frontier.
+
+The objectives are bi-criteria scalarizations with trade-off λ
+(Section 3.2: "The larger the parameter λ is, the more weight we place
+on the diversity of the results selected").  This module exposes the
+trade-off structure directly:
+
+* :func:`criteria` — the raw (relevance, diversity) coordinates of a
+  candidate set under the objective's own aggregation (sum/sum for
+  F_MS, min/min for F_MM, sum/mean for F_mono);
+* :func:`pareto_front` — the non-dominated candidate sets (exact, by
+  enumeration);
+* :func:`lambda_sweep` — the optimal set per λ over a grid, with its
+  coordinates; weighted-sum optima of F_MS are provably Pareto-optimal,
+  which the tests assert (and which gives users a principled way to
+  pick λ: walk the sweep until the trade-off looks right).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..relational.schema import Row
+from .functions import min_pairwise_distance, pairwise_distance_sum
+from .instance import DiversificationInstance
+from .objectives import ObjectiveKind
+
+
+@dataclass(frozen=True)
+class CriteriaPoint:
+    """One candidate set with its raw bi-criteria coordinates."""
+
+    relevance: float
+    diversity: float
+    subset: tuple[Row, ...]
+
+    def dominates(self, other: "CriteriaPoint") -> bool:
+        """Weak Pareto dominance with at least one strict improvement."""
+        better_or_equal = (
+            self.relevance >= other.relevance - 1e-12
+            and self.diversity >= other.diversity - 1e-12
+        )
+        strictly = (
+            self.relevance > other.relevance + 1e-12
+            or self.diversity > other.diversity + 1e-12
+        )
+        return better_or_equal and strictly
+
+
+def criteria(
+    instance: DiversificationInstance, subset: Sequence[Row]
+) -> CriteriaPoint:
+    """The (relevance, diversity) coordinates of ``subset`` under the
+    instance's objective kind."""
+    rows = list(subset)
+    objective = instance.objective
+    kind = objective.kind
+    if kind is ObjectiveKind.MAX_SUM:
+        relevance = sum(objective.relevance(t, instance.query) for t in rows)
+        diversity = pairwise_distance_sum(rows, objective.distance)
+    elif kind is ObjectiveKind.MAX_MIN:
+        relevance = (
+            min(objective.relevance(t, instance.query) for t in rows)
+            if rows
+            else 0.0
+        )
+        diversity = min_pairwise_distance(rows, objective.distance)
+    else:  # MONO: per-item relevance sum and mean global dissimilarity
+        universe = instance.answers()
+        relevance = sum(objective.relevance(t, instance.query) for t in rows)
+        n = len(universe)
+        diversity = 0.0
+        if n > 1:
+            diversity = sum(
+                sum(objective.distance(t, other) for other in universe) / (n - 1)
+                for t in rows
+            )
+    return CriteriaPoint(relevance, diversity, tuple(rows))
+
+
+def all_points(instance: DiversificationInstance) -> list[CriteriaPoint]:
+    """Criteria coordinates of every candidate set (exponential)."""
+    return [criteria(instance, subset) for subset in instance.candidate_sets()]
+
+
+def pareto_front(instance: DiversificationInstance) -> list[CriteriaPoint]:
+    """The non-dominated candidate sets, sorted by ascending diversity."""
+    points = all_points(instance)
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points)
+    ]
+    front.sort(key=lambda p: (p.diversity, p.relevance))
+    deduplicated: list[CriteriaPoint] = []
+    seen: set[tuple[float, float]] = set()
+    for point in front:
+        key = (round(point.relevance, 9), round(point.diversity, 9))
+        if key not in seen:
+            seen.add(key)
+            deduplicated.append(point)
+    return deduplicated
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """The optimum at one λ of a sweep."""
+
+    lam: float
+    value: float
+    point: CriteriaPoint
+
+
+def lambda_sweep(
+    instance: DiversificationInstance,
+    grid: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> list[SweepEntry]:
+    """Exact optima across a λ grid (same δ_rel/δ_dis, varying λ).
+
+    Uses the cheapest exact solver per λ.  Monotonicity along the sweep
+    (relevance non-increasing, diversity non-decreasing as λ grows)
+    holds for F_MS by the standard weighted-sum argument; the tests
+    assert it.
+    """
+    from ..algorithms.exact import exhaustive_best
+
+    entries: list[SweepEntry] = []
+    for lam in grid:
+        if not 0.0 <= lam <= 1.0:
+            raise ValueError(f"λ grid values must lie in [0,1], got {lam}")
+        swept = instance.with_objective(instance.objective.with_lambda(lam))
+        best = exhaustive_best(swept)
+        if best is None:
+            raise ValueError("instance has no candidate sets")
+        entries.append(
+            SweepEntry(lam, best[0], criteria(swept, best[1]))
+        )
+    return entries
+
+
+def render_sweep(entries: Sequence[SweepEntry]) -> str:
+    """Plain-text λ-sweep table."""
+    lines = [f"{'λ':>5}  {'F':>10}  {'relevance':>10}  {'diversity':>10}"]
+    for entry in entries:
+        lines.append(
+            f"{entry.lam:5.2f}  {entry.value:10.3f}  "
+            f"{entry.point.relevance:10.3f}  {entry.point.diversity:10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Propositional and quantified logic substrate for the reductions."""
+
+from .cnf import (
+    CNF,
+    Clause,
+    FormulaError,
+    Literal,
+    ThreeSatInstance,
+    TruthAssignment,
+    all_assignments,
+    cnf,
+    random_3cnf,
+)
+from .counting import (
+    brute_force_count,
+    count_models,
+    count_sigma1,
+    sigma1_holds,
+)
+from .qbf import (
+    A,
+    E,
+    QBF,
+    Q3SatInstance,
+    Quantifier,
+    brute_force_qbf,
+    count_qbf,
+    evaluate_qbf,
+    q3sat,
+    qbf_inner_true,
+    suffix_true,
+)
+from .sat import brute_force_satisfiable, is_satisfiable, solve
+
+__all__ = [
+    "A",
+    "CNF",
+    "Clause",
+    "E",
+    "FormulaError",
+    "Literal",
+    "QBF",
+    "Q3SatInstance",
+    "Quantifier",
+    "ThreeSatInstance",
+    "TruthAssignment",
+    "all_assignments",
+    "brute_force_count",
+    "brute_force_qbf",
+    "brute_force_satisfiable",
+    "cnf",
+    "count_models",
+    "count_qbf",
+    "count_sigma1",
+    "evaluate_qbf",
+    "is_satisfiable",
+    "q3sat",
+    "qbf_inner_true",
+    "random_3cnf",
+    "sigma1_holds",
+    "solve",
+]

@@ -1,0 +1,148 @@
+"""Propositional CNF formulas and 3SAT instances.
+
+The paper's lower bounds reduce from 3SAT (Theorem 5.1), its complement
+(Theorem 6.1), #SAT (Theorem 7.4), #Σ₁SAT (Theorem 7.1), Q3SAT
+(Theorems 5.2, 6.2) and #QBF (Theorems 7.1, 7.2).  This module holds the
+shared representation: variables are positive integers; a literal is a
+non-zero integer (negative = negated variable, DIMACS style); a clause is
+a tuple of literals; a CNF is a tuple of clauses.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+Literal = int
+Clause = tuple[Literal, ...]
+TruthAssignment = dict[int, bool]
+
+
+class FormulaError(ValueError):
+    """Raised for malformed formulas."""
+
+
+def _check_clause(clause: Sequence[Literal]) -> Clause:
+    out = tuple(int(lit) for lit in clause)
+    if any(lit == 0 for lit in out):
+        raise FormulaError("literal 0 is not allowed (DIMACS convention)")
+    return out
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula: conjunction of clauses over integer variables."""
+
+    clauses: tuple[Clause, ...]
+    num_vars: int = 0
+
+    def __post_init__(self) -> None:
+        checked = tuple(_check_clause(c) for c in self.clauses)
+        object.__setattr__(self, "clauses", checked)
+        max_var = max((abs(lit) for c in checked for lit in c), default=0)
+        if self.num_vars < max_var:
+            object.__setattr__(self, "num_vars", max_var)
+
+    @property
+    def variables(self) -> tuple[int, ...]:
+        return tuple(range(1, self.num_vars + 1))
+
+    def clause_satisfied(self, index: int, assignment: Mapping[int, bool]) -> bool:
+        return clause_satisfied(self.clauses[index], assignment)
+
+    def satisfied_by(self, assignment: Mapping[int, bool]) -> bool:
+        """Is the whole formula true under a total assignment?"""
+        return all(clause_satisfied(c, assignment) for c in self.clauses)
+
+    def is_3cnf(self) -> bool:
+        return all(len(c) <= 3 for c in self.clauses)
+
+    def restrict(self, assignment: Mapping[int, bool]) -> "CNF":
+        """Partially evaluate: drop satisfied clauses, remove false literals.
+
+        Raises FormulaError if a clause becomes empty (formula falsified);
+        callers that need the falsified case should use the SAT solver.
+        """
+        new_clauses: list[Clause] = []
+        for clause in self.clauses:
+            lits: list[Literal] = []
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if (lit > 0) == assignment[var]:
+                        satisfied = True
+                        break
+                else:
+                    lits.append(lit)
+            if satisfied:
+                continue
+            if not lits:
+                raise FormulaError("restriction falsifies a clause")
+            new_clauses.append(tuple(lits))
+        return CNF(tuple(new_clauses), num_vars=self.num_vars)
+
+    def __repr__(self) -> str:
+        return f"CNF({len(self.clauses)} clauses, {self.num_vars} vars)"
+
+
+def clause_satisfied(clause: Clause, assignment: Mapping[int, bool]) -> bool:
+    return any(assignment.get(abs(lit), None) == (lit > 0) for lit in clause)
+
+
+def cnf(*clauses: Sequence[Literal], num_vars: int = 0) -> CNF:
+    """Convenience constructor: ``cnf([1, -2, 3], [2, 3, -4])``."""
+    return CNF(tuple(_check_clause(c) for c in clauses), num_vars=num_vars)
+
+
+def all_assignments(variables: Sequence[int]) -> Iterable[TruthAssignment]:
+    """Enumerate all 2^n truth assignments of ``variables`` in a stable order
+    (variable order given, False before True)."""
+    variables = list(variables)
+    n = len(variables)
+    for mask in range(1 << n):
+        yield {variables[i]: bool((mask >> (n - 1 - i)) & 1) for i in range(n)}
+
+
+def random_3cnf(
+    num_vars: int,
+    num_clauses: int,
+    rng: random.Random | None = None,
+) -> CNF:
+    """A random 3-CNF with distinct variables per clause (standard model)."""
+    if num_vars < 3:
+        raise FormulaError("random_3cnf needs at least 3 variables")
+    rng = rng or random.Random(0)
+    clauses: list[Clause] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in variables)
+        clauses.append(clause)
+    return CNF(tuple(clauses), num_vars=num_vars)
+
+
+@dataclass(frozen=True)
+class ThreeSatInstance:
+    """A 3SAT instance ϕ = C1 ∧ ... ∧ Cl over variables x1..xm.
+
+    Clauses must have exactly 1..3 literals (the paper's reductions encode
+    each clause's satisfying assignments as at most 8 tuples).
+    """
+
+    formula: CNF
+
+    def __post_init__(self) -> None:
+        for clause in self.formula.clauses:
+            if not 1 <= len(clause) <= 3:
+                raise FormulaError(
+                    f"3SAT clause must have 1..3 literals, got {clause}"
+                )
+
+    @property
+    def num_vars(self) -> int:
+        return self.formula.num_vars
+
+    @property
+    def clauses(self) -> tuple[Clause, ...]:
+        return self.formula.clauses

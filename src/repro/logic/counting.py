@@ -1,0 +1,150 @@
+"""Model counters: #SAT and #Σ₁SAT.
+
+* :func:`count_models` — #SAT via counting DPLL (Theorem 7.4's source
+  problem).
+* :func:`count_sigma1` — #Σ₁SAT: given ϕ(X, Y) = ∃X ψ(X, Y), count the
+  truth assignments of Y under which ∃X ψ holds.  This is the
+  #·NP-complete source problem of Theorem 7.1 (Durand et al. 2005).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .cnf import CNF, Clause, TruthAssignment, all_assignments
+from .sat import is_satisfiable
+
+
+def count_models(formula: CNF, variables: Sequence[int] | None = None) -> int:
+    """Number of total truth assignments of ``variables`` satisfying the CNF.
+
+    ``variables`` defaults to 1..num_vars.  Variables not occurring in the
+    formula are free and multiply the count by 2 each.
+    """
+    if variables is None:
+        variables = formula.variables
+    todo = set(variables)
+    occurring = {abs(lit) for c in formula.clauses for lit in c}
+    stray = occurring - todo
+    if stray:
+        raise ValueError(f"formula mentions variables outside the scope: {sorted(stray)}")
+    return _count(list(formula.clauses), todo)
+
+
+def _count(clauses: list[Clause], free: set[int]) -> int:
+    if any(len(c) == 0 for c in clauses):
+        return 0
+    if not clauses:
+        return 1 << len(free)
+
+    # Unit propagation (each unit forces one variable, no doubling).
+    unit = next((c for c in clauses if len(c) == 1), None)
+    if unit is not None:
+        lit = unit[0]
+        var = abs(lit)
+        if var not in free:
+            return 0
+        reduced = _assign(clauses, var, lit > 0)
+        if reduced is None:
+            return 0
+        return _count(reduced, free - {var})
+
+    # Branch on the most frequent variable.
+    counts: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+    var = max(counts, key=lambda v: (counts[v], -v))
+    total = 0
+    for value in (False, True):
+        reduced = _assign(clauses, var, value)
+        if reduced is not None:
+            total += _count(reduced, free - {var})
+    return total
+
+
+def _assign(clauses: list[Clause], var: int, value: bool) -> list[Clause] | None:
+    out: list[Clause] = []
+    for clause in clauses:
+        lits: list[int] = []
+        satisfied = False
+        for lit in clause:
+            if abs(lit) == var:
+                if (lit > 0) == value:
+                    satisfied = True
+                    break
+            else:
+                lits.append(lit)
+        if satisfied:
+            continue
+        if not lits:
+            return None
+        out.append(tuple(lits))
+    return out
+
+
+def brute_force_count(formula: CNF, variables: Sequence[int] | None = None) -> int:
+    """Exponential reference counter (for testing)."""
+    if variables is None:
+        variables = formula.variables
+    return sum(1 for a in all_assignments(variables) if formula.satisfied_by(a))
+
+
+def count_sigma1(
+    formula: CNF,
+    x_vars: Sequence[int],
+    y_vars: Sequence[int],
+) -> int:
+    """#Σ₁SAT: the number of Y-assignments μ_Y with ∃X ψ(X, μ_Y) true.
+
+    For each assignment of the (outer, counted) Y variables we restrict
+    the formula and ask the SAT solver about the X variables.
+    """
+    x_set, y_set = set(x_vars), set(y_vars)
+    if x_set & y_set:
+        raise ValueError("X and Y variable sets must be disjoint")
+    occurring = {abs(lit) for c in formula.clauses for lit in c}
+    stray = occurring - x_set - y_set
+    if stray:
+        raise ValueError(f"formula mentions variables outside X ∪ Y: {sorted(stray)}")
+
+    count = 0
+    for y_assignment in all_assignments(list(y_vars)):
+        reduced = _restrict_total(formula, y_assignment)
+        if reduced is None:
+            continue
+        if is_satisfiable(reduced):
+            count += 1
+    return count
+
+
+def sigma1_holds(
+    formula: CNF, x_vars: Sequence[int], y_assignment: TruthAssignment
+) -> bool:
+    """Does ∃X ψ(X, μ_Y) hold for the given Y-assignment?"""
+    reduced = _restrict_total(formula, y_assignment)
+    if reduced is None:
+        return False
+    return is_satisfiable(reduced)
+
+
+def _restrict_total(formula: CNF, assignment: TruthAssignment) -> CNF | None:
+    """Restrict a CNF by a partial assignment; None if falsified."""
+    clauses: list[Clause] = []
+    for clause in formula.clauses:
+        lits: list[int] = []
+        satisfied = False
+        for lit in clause:
+            var = abs(lit)
+            if var in assignment:
+                if (lit > 0) == assignment[var]:
+                    satisfied = True
+                    break
+            else:
+                lits.append(lit)
+        if satisfied:
+            continue
+        if not lits:
+            return None
+        clauses.append(tuple(lits))
+    return CNF(tuple(clauses), num_vars=formula.num_vars)

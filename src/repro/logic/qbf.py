@@ -1,0 +1,193 @@
+"""Quantified Boolean formulas (prenex form) and their evaluation.
+
+* :class:`QBF` — a prenex QBF ``P1 x1 ... Pm xm ψ`` with a CNF matrix.
+* :func:`evaluate_qbf` — the PSPACE decision procedure (recursive).
+* :func:`suffix_true` — given values for a prefix ``x1..xl``, decide
+  ``P_{l+1} x_{l+1} ... P_m x_m ψ``; this is the exact predicate the
+  inductive distance gadget of Lemma 5.3 must encode, so the gadget tests
+  compare against it directly.
+* :class:`Q3SatInstance` — Q3SAT (Theorems 5.2/6.2 source problem).
+* :func:`count_qbf` — #QBF for ``∃X ∀y1 P2 y2 ... Pn yn ψ``: the number of
+  X-assignments satisfying the rest (Theorems 7.1/7.2 source problem,
+  Ladner 1989).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .cnf import CNF, FormulaError, TruthAssignment, all_assignments
+
+
+class Quantifier(enum.Enum):
+    EXISTS = "∃"
+    FORALL = "∀"
+
+
+E = Quantifier.EXISTS
+A = Quantifier.FORALL
+
+
+@dataclass(frozen=True)
+class QBF:
+    """A prenex QBF; the prefix must quantify every matrix variable.
+
+    ``prefix`` is a tuple of (quantifier, variable) pairs in binding
+    order; variables are positive integers as in :mod:`repro.logic.cnf`.
+    """
+
+    prefix: tuple[tuple[Quantifier, int], ...]
+    matrix: CNF
+
+    def __post_init__(self) -> None:
+        bound = [var for _, var in self.prefix]
+        if len(set(bound)) != len(bound):
+            raise FormulaError(f"duplicate quantified variables: {bound}")
+        occurring = {abs(lit) for c in self.matrix.clauses for lit in c}
+        unbound = occurring - set(bound)
+        if unbound:
+            raise FormulaError(f"matrix variables not quantified: {sorted(unbound)}")
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.prefix)
+
+    @property
+    def variables(self) -> tuple[int, ...]:
+        return tuple(var for _, var in self.prefix)
+
+    @property
+    def quantifiers(self) -> tuple[Quantifier, ...]:
+        return tuple(q for q, _ in self.prefix)
+
+
+def evaluate_qbf(formula: QBF) -> bool:
+    """Decide a closed prenex QBF (recursive PSPACE procedure)."""
+    return suffix_true(formula, ())
+
+
+def suffix_true(formula: QBF, prefix_values: Sequence[bool]) -> bool:
+    """Decide ``P_{l+1} x_{l+1} ... P_m x_m ψ`` under the given prefix.
+
+    ``prefix_values`` assigns the first ``l = len(prefix_values)``
+    quantified variables in binding order.  With ``l = m`` this just
+    evaluates the matrix.
+    """
+    values = tuple(bool(v) for v in prefix_values)
+    if len(values) > formula.num_vars:
+        raise FormulaError("prefix longer than the quantifier prefix")
+    return _suffix_true_cached(formula, values)
+
+
+@lru_cache(maxsize=None)
+def _suffix_true_cached(formula: QBF, values: tuple[bool, ...]) -> bool:
+    level = len(values)
+    if level == formula.num_vars:
+        assignment = {
+            var: values[i] for i, (_, var) in enumerate(formula.prefix)
+        }
+        return formula.matrix.satisfied_by(assignment)
+    quantifier, _ = formula.prefix[level]
+    branches = (
+        _suffix_true_cached(formula, values + (True,)),
+        _suffix_true_cached(formula, values + (False,)),
+    )
+    if quantifier is Quantifier.EXISTS:
+        return any(branches)
+    return all(branches)
+
+
+@dataclass(frozen=True)
+class Q3SatInstance:
+    """Q3SAT: a fully quantified prenex QBF with a 3-CNF matrix."""
+
+    formula: QBF
+
+    def __post_init__(self) -> None:
+        if not self.formula.matrix.is_3cnf():
+            raise FormulaError("Q3SAT requires a 3-CNF matrix")
+
+    @property
+    def num_vars(self) -> int:
+        return self.formula.num_vars
+
+    def is_true(self) -> bool:
+        return evaluate_qbf(self.formula)
+
+
+def q3sat(quantifiers: Sequence[Quantifier], matrix: CNF) -> Q3SatInstance:
+    """Build a Q3SAT instance quantifying x1..xm in order."""
+    prefix = tuple((q, i + 1) for i, q in enumerate(quantifiers))
+    return Q3SatInstance(QBF(prefix, matrix))
+
+
+def count_qbf(
+    matrix: CNF,
+    x_vars: Sequence[int],
+    y_prefix: Sequence[tuple[Quantifier, int]],
+) -> int:
+    """#QBF: count X-assignments μ_X with ``P1 y1 ... Pn yn ψ(μ_X, Y)`` true.
+
+    The paper's #QBF instances have the form ∃X ∀y1 P2 y2 ... Pn yn ψ and
+    ask for the number of witnesses for the leading existential block.
+    """
+    x_vars = list(x_vars)
+    if set(x_vars) & {var for _, var in y_prefix}:
+        raise FormulaError("X variables and Y prefix must be disjoint")
+    count = 0
+    for x_assignment in all_assignments(x_vars):
+        if _inner_true(matrix, y_prefix, 0, dict(x_assignment)):
+            count += 1
+    return count
+
+
+def qbf_inner_true(
+    matrix: CNF,
+    y_prefix: Sequence[tuple[Quantifier, int]],
+    x_assignment: TruthAssignment,
+) -> bool:
+    """Decide ``P1 y1 ... Pn yn ψ(μ_X, Y)`` for a fixed X-assignment."""
+    return _inner_true(matrix, y_prefix, 0, dict(x_assignment))
+
+
+def _inner_true(
+    matrix: CNF,
+    y_prefix: Sequence[tuple[Quantifier, int]],
+    level: int,
+    assignment: dict[int, bool],
+) -> bool:
+    if level == len(y_prefix):
+        return matrix.satisfied_by(assignment)
+    quantifier, var = y_prefix[level]
+    results = []
+    for value in (True, False):
+        assignment[var] = value
+        results.append(_inner_true(matrix, y_prefix, level + 1, assignment))
+    del assignment[var]
+    if quantifier is Quantifier.EXISTS:
+        return any(results)
+    return all(results)
+
+
+def brute_force_qbf(formula: QBF) -> bool:
+    """Reference QBF evaluation via explicit game-tree expansion.
+
+    Used in tests as an oracle for :func:`evaluate_qbf` (both are
+    exponential; this one is deliberately naive).
+    """
+
+    def recurse(level: int, assignment: dict[int, bool]) -> bool:
+        if level == formula.num_vars:
+            return formula.matrix.satisfied_by(assignment)
+        quantifier, var = formula.prefix[level]
+        outcomes = []
+        for value in (False, True):
+            assignment[var] = value
+            outcomes.append(recurse(level + 1, assignment))
+        del assignment[var]
+        return any(outcomes) if quantifier is Quantifier.EXISTS else all(outcomes)
+
+    return recurse(0, {})

@@ -1,0 +1,43 @@
+"""Executable reductions: the paper's lower-bound proofs as verifiable code.
+
+Module map (paper theorem → module):
+
+* Theorem 5.1 (3SAT → QRD; FO membership → QRD) — ``sat_qrd``, ``membership``
+* Theorem 5.2 (Q3SAT → QRD(CQ, F_mono), Lemma 5.3 / Figure 2) — ``q3sat_qrd``
+* Theorem 6.1 (co-3SAT → DRP; FO membership → DRP) — ``sat_drp``, ``membership``
+* Theorem 6.2 (Q3SAT → DRP(CQ, F_mono)) — ``q3sat_drp``
+* Theorem 7.1 (#Σ₁SAT → RDC(CQ, ·); #QBF → RDC(FO, ·), Figure 5) —
+  ``sigma1_rdc``, ``qbf_rdc``, ``gadgets``
+* Theorem 7.2 (#QBF → RDC(CQ, F_mono)) — ``qbf_rdc``
+* Theorem 7.5 / Lemma 7.6 (#SSP → #SSPk → RDC, Turing) — ``ssp``
+"""
+
+from . import (
+    constraints_hardness,
+    gadgets,
+    membership,
+    q3sat_drp,
+    q3sat_qrd,
+    qbf_rdc,
+    sat_drp,
+    sat_qrd,
+    sigma1_rdc,
+    ssp,
+)
+from .base import ReducedCounting, ReducedDecision, ReducedRanking
+
+__all__ = [
+    "ReducedCounting",
+    "ReducedDecision",
+    "ReducedRanking",
+    "constraints_hardness",
+    "gadgets",
+    "membership",
+    "q3sat_drp",
+    "q3sat_qrd",
+    "qbf_rdc",
+    "sat_drp",
+    "sat_qrd",
+    "sigma1_rdc",
+    "ssp",
+]

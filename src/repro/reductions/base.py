@@ -1,0 +1,45 @@
+"""Common result types for the executable reductions.
+
+Each reduction module exposes a ``reduce_*`` function building one of
+these containers from a source logic instance, plus a ``verify_*``
+helper that checks the reduction's defining equivalence by solving both
+sides (the logic side with the solvers of :mod:`repro.logic`, the
+diversification side with the exact solvers of :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.instance import DiversificationInstance
+from ..relational.schema import Row
+
+
+@dataclass
+class ReducedDecision:
+    """A QRD instance produced by a reduction: is there a valid set with
+    F(U) ≥ bound?"""
+
+    instance: DiversificationInstance
+    bound: float
+    note: str = ""
+
+
+@dataclass
+class ReducedRanking:
+    """A DRP instance produced by a reduction: is rank(subset) ≤ r?"""
+
+    instance: DiversificationInstance
+    subset: tuple[Row, ...]
+    r: int
+    note: str = ""
+
+
+@dataclass
+class ReducedCounting:
+    """An RDC instance produced by a reduction: how many valid sets?"""
+
+    instance: DiversificationInstance
+    bound: float
+    note: str = ""

@@ -1,0 +1,188 @@
+"""The Boolean gadget relations of Figure 5 and the CNF→CQ circuit encoder.
+
+Figure 5 of the paper defines four relation instances used by the lower
+bound proofs of Theorem 7.1:
+
+* ``I01``  over ``R01(X)``          — the Boolean domain {0, 1};
+* ``I∨``   over ``R∨(B, A1, A2)``   — B = A1 ∨ A2;
+* ``I∧``   over ``R∧(B, A1, A2)``   — B = A1 ∧ A2;
+* ``I¬``   over ``R¬(A, Ā)``        — Ā = ¬A.
+
+With these, any Boolean formula can be computed inside a conjunctive
+query: each gate becomes one atom whose output is an existentially
+quantified variable.  :func:`encode_cnf_circuit` builds the atom list
+for a CNF (optionally with every clause weakened by an extra variable
+``z``, the ``(ψ ∨ z) ∧ z̄`` construction the proofs use).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..logic.cnf import CNF
+from ..relational.ast import RelationAtom
+from ..relational.schema import Database, Relation, RelationSchema
+from ..relational.terms import Var
+
+R01 = RelationSchema("R01", ("X",))
+R_OR = RelationSchema("R_or", ("B", "A1", "A2"))
+R_AND = RelationSchema("R_and", ("B", "A1", "A2"))
+R_NOT = RelationSchema("R_not", ("A", "A_bar"))
+
+
+def boolean_domain_relation() -> Relation:
+    """I01 = {(1), (0)} — the Boolean domain."""
+    return Relation(R01, [(1,), (0,)])
+
+
+def or_relation() -> Relation:
+    """I∨: B = A1 ∨ A2 (Figure 5)."""
+    return Relation(
+        R_OR,
+        [(0, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1)],
+    )
+
+
+def and_relation() -> Relation:
+    """I∧: B = A1 ∧ A2 (Figure 5)."""
+    return Relation(
+        R_AND,
+        [(0, 0, 0), (0, 0, 1), (0, 1, 0), (1, 1, 1)],
+    )
+
+
+def not_relation() -> Relation:
+    """I¬: Ā = ¬A (Figure 5)."""
+    return Relation(R_NOT, [(0, 1), (1, 0)])
+
+
+def gadget_database(extra: Sequence[Relation] = ()) -> Database:
+    """A database holding all four Figure 5 relations (plus extras)."""
+    db = Database(
+        [boolean_domain_relation(), or_relation(), and_relation(), not_relation()]
+    )
+    for relation in extra:
+        db.add_relation(relation)
+    return db
+
+
+@dataclass
+class CircuitEncoding:
+    """The result of encoding a CNF as conjunctive-query atoms.
+
+    ``atoms`` compute, over the gadget relations, the auxiliary variables
+    and finally ``output_var`` = the formula's truth value; all of
+    ``auxiliary_vars`` (including ``output_var``) are meant to be
+    existentially quantified by the caller.
+    """
+
+    atoms: list[RelationAtom]
+    output_var: str
+    auxiliary_vars: list[str]
+
+
+class _Gensym:
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"{self._prefix}{self._counter}"
+
+
+def encode_cnf_circuit(
+    formula: CNF,
+    var_names: dict[int, str],
+    weaken_with: str | None = None,
+    prefix: str = "g",
+) -> CircuitEncoding:
+    """Atoms computing the truth value of ``formula`` (a CNF).
+
+    ``var_names`` maps each propositional variable to the query-variable
+    carrying its truth value (the caller binds those via ``R01`` atoms).
+    With ``weaken_with=z`` the encoded formula is ``∧_i (C_i ∨ z)`` —
+    note the trailing ``∧ z̄`` of the proofs' ϕ′ is appended separately by
+    :func:`encode_cnf_with_switch`.
+    """
+    gensym = _Gensym(prefix)
+    atoms: list[RelationAtom] = []
+    auxiliary: list[str] = []
+
+    def negated(var: str) -> str:
+        out = gensym.fresh()
+        auxiliary.append(out)
+        atoms.append(RelationAtom(R_NOT.name, (Var(var), Var(out))))
+        return out
+
+    def literal_var(lit: int) -> str:
+        base = var_names[abs(lit)]
+        return base if lit > 0 else negated(base)
+
+    def or_gate(left: str, right: str) -> str:
+        out = gensym.fresh()
+        auxiliary.append(out)
+        atoms.append(RelationAtom(R_OR.name, (Var(out), Var(left), Var(right))))
+        return out
+
+    def and_gate(left: str, right: str) -> str:
+        out = gensym.fresh()
+        auxiliary.append(out)
+        atoms.append(RelationAtom(R_AND.name, (Var(out), Var(left), Var(right))))
+        return out
+
+    clause_outputs: list[str] = []
+    for clause in formula.clauses:
+        inputs = [literal_var(lit) for lit in clause]
+        if weaken_with is not None:
+            inputs.append(weaken_with)
+        current = inputs[0]
+        if len(inputs) == 1:
+            # Normalize through an OR gate so the clause output is always
+            # an auxiliary variable (keeps head/aux bookkeeping uniform).
+            current = or_gate(current, current)
+        else:
+            for nxt in inputs[1:]:
+                current = or_gate(current, nxt)
+        clause_outputs.append(current)
+
+    if not clause_outputs:
+        raise ValueError("cannot encode an empty CNF")
+    output = clause_outputs[0]
+    for nxt in clause_outputs[1:]:
+        output = and_gate(output, nxt)
+    return CircuitEncoding(atoms, output, auxiliary)
+
+
+def encode_cnf_with_switch(
+    formula: CNF,
+    var_names: dict[int, str],
+    switch_var: str,
+    prefix: str = "g",
+) -> CircuitEncoding:
+    """Atoms computing ``ϕ′ = (ψ ∨ z) ∧ z̄`` = ``∧_i (C_i ∨ z) ∧ ¬z``.
+
+    This is the recurring construction of Theorems 6.1 and 7.1: ϕ′ is
+    satisfiable exactly by ψ's satisfying assignments extended with
+    ``z = 0``, and always has a falsifying assignment (``z = 1``).
+    """
+    encoding = encode_cnf_circuit(
+        formula, var_names, weaken_with=switch_var, prefix=prefix
+    )
+    gensym = _Gensym(prefix + "s")
+    not_z = gensym.fresh()
+    encoding.auxiliary_vars.append(not_z)
+    encoding.atoms.append(RelationAtom(R_NOT.name, (Var(switch_var), Var(not_z))))
+    final = gensym.fresh()
+    encoding.auxiliary_vars.append(final)
+    encoding.atoms.append(
+        RelationAtom(R_AND.name, (Var(final), Var(encoding.output_var), Var(not_z)))
+    )
+    return CircuitEncoding(encoding.atoms, final, encoding.auxiliary_vars)
+
+
+def assignment_atoms(var_names: Sequence[str]) -> list[RelationAtom]:
+    """``R01(v)`` atoms generating all truth assignments of ``var_names``
+    (the queries Q_X / Q_Y of the proofs)."""
+    return [RelationAtom(R01.name, (Var(name),)) for name in var_names]

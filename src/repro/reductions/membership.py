@@ -1,0 +1,168 @@
+"""The FO membership problem and its reductions into QRD/DRP over FO.
+
+The membership problem (PSPACE-complete, Vardi 1982): given an FO query
+``Q``, a database ``D`` and a tuple ``s``, decide ``s ∈ Q(D)``.
+
+* :func:`reduce_membership_to_qrd` — Theorem 5.1's FO lower bound:
+  ``D′ = (D, I01)``, ``Q′(x̄, c) = Q(x̄) ∧ R01(c)``, δ_rel picks out
+  ``(s, 1)``, δ_dis ≡ 0, λ = 0, k = 2 (F_MS) / k = 1 (F_MM), B = 1.
+* :func:`reduce_membership_to_drp` — Theorem 6.1's FO lower bound via
+  the complement:
+  ``Q′(x̄, z, c) = (Q(x̄) ∨ (R01(z) ∧ z = 1)) ∧ R01(c)`` with the graded
+  relevance 3/2/1 and ``U = {(s,1,1), (s,1,0)}``; ``s ∉ Q(D)`` iff
+  ``rank(U) = 1``.
+
+Both constructions need a fresh Boolean relation; ``R01`` must not
+already exist in ``D``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from ..core.drp import drp_brute_force
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..core.qrd import qrd_brute_force
+from ..relational.ast import And, Comparison, Or, RelationAtom
+from ..relational.evaluate import membership
+from ..relational.queries import Query
+from ..relational.schema import Database, Relation, Row, SchemaError
+from ..relational.terms import ComparisonOp, Var
+from .base import ReducedDecision, ReducedRanking
+from .gadgets import R01, boolean_domain_relation
+
+
+def _extended_database(db: Database) -> Database:
+    """D′ = (D, I01); refuses to clobber an existing R01."""
+    if db.has_relation(R01.name):
+        raise SchemaError(
+            f"database already has a relation named {R01.name!r}; "
+            "rename it before applying the reduction"
+        )
+    extended = Database()
+    for name in db.relation_names:
+        extended.add_relation(db.relation(name))
+    extended.add_relation(boolean_domain_relation())
+    return extended
+
+
+def reduce_membership_to_qrd(
+    query: Query,
+    db: Database,
+    target: Sequence[Any],
+    max_min: bool = False,
+) -> ReducedDecision:
+    """Theorem 5.1 (FO): s ∈ Q(D) ⇔ a valid set exists for the QRD
+    instance built here."""
+    target = tuple(target)
+    if len(target) != query.arity:
+        raise ValueError("target tuple arity does not match the query")
+    extended = _extended_database(db)
+
+    c = "c__"
+    body = And((query.body, RelationAtom(R01.name, (Var(c),))))
+    prime = Query(
+        tuple(query.head) + (c,),
+        body,
+        name=f"{query.name}_prime",
+    )
+
+    marked = target + (1,)
+    relevance = RelevanceFunction.from_table({marked: 1.0}, default=0.0)
+    distance = DistanceFunction.constant(0.0)
+    if max_min:
+        objective = Objective.max_min(relevance, distance, lam=0.0)
+        k = 1
+    else:
+        objective = Objective.max_sum(relevance, distance, lam=0.0)
+        k = 2
+    instance = DiversificationInstance(prime, extended, k=k, objective=objective)
+    return ReducedDecision(
+        instance,
+        bound=1.0,
+        note=f"Theorem 5.1 FO lower bound ({'F_MM' if max_min else 'F_MS'}, λ=0)",
+    )
+
+
+def reduce_membership_to_drp(
+    query: Query,
+    db: Database,
+    target: Sequence[Any],
+    max_min: bool = False,
+) -> ReducedRanking:
+    """Theorem 6.1 (FO): s ∉ Q(D) ⇔ rank(U) ≤ 1 for the DRP instance."""
+    target = tuple(target)
+    if len(target) != query.arity:
+        raise ValueError("target tuple arity does not match the query")
+    extended = _extended_database(db)
+
+    z, c = "z__", "c__"
+    body = And(
+        (
+            Or(
+                (
+                    query.body,
+                    And(
+                        (
+                            RelationAtom(R01.name, (Var(z),)),
+                            Comparison(ComparisonOp.EQ, Var(z), 1),
+                        )
+                    ),
+                )
+            ),
+            RelationAtom(R01.name, (Var(c),)),
+        )
+    )
+    prime = Query(
+        tuple(query.head) + (z, c),
+        body,
+        name=f"{query.name}_prime",
+    )
+
+    table = {
+        target + (0, 1): 3.0,
+        target + (0, 0): 3.0,
+        target + (1, 1): 2.0,
+        target + (1, 0): 2.0,
+    }
+    relevance = RelevanceFunction.from_table(table, default=1.0)
+    distance = DistanceFunction.constant(0.0)
+    if max_min:
+        objective = Objective.max_min(relevance, distance, lam=0.0)
+        k = 1
+        subset_values = (target + (1, 1),)
+    else:
+        objective = Objective.max_sum(relevance, distance, lam=0.0)
+        k = 2
+        subset_values = (target + (1, 1), target + (1, 0))
+    instance = DiversificationInstance(prime, extended, k=k, objective=objective)
+    subset = tuple(Row(prime.result_schema, values) for values in subset_values)
+    return ReducedRanking(
+        instance,
+        subset,
+        r=1,
+        note=f"Theorem 6.1 FO lower bound ({'F_MM' if max_min else 'F_MS'}, λ=0)",
+    )
+
+
+def verify_qrd_reduction(
+    query: Query, db: Database, target: Sequence[Any], max_min: bool = False
+) -> bool:
+    """Solve both sides: membership oracle vs brute-force QRD."""
+    reduced = reduce_membership_to_qrd(query, db, target, max_min=max_min)
+    expected = membership(query, db, tuple(target))
+    actual = qrd_brute_force(reduced.instance, reduced.bound)
+    return expected == actual
+
+
+def verify_drp_reduction(
+    query: Query, db: Database, target: Sequence[Any], max_min: bool = False
+) -> bool:
+    """Solve both sides: non-membership vs brute-force DRP rank ≤ 1."""
+    reduced = reduce_membership_to_drp(query, db, target, max_min=max_min)
+    expected = not membership(query, db, tuple(target))
+    actual = drp_brute_force(reduced.instance, reduced.subset, reduced.r)
+    return expected == actual

@@ -1,0 +1,176 @@
+"""Theorem 6.2: Q3SAT → DRP(CQ, F_mono).
+
+Two constructions are provided:
+
+* :func:`reduce_q3sat_to_drp_paper` — the paper's construction, verbatim:
+  δ*_dis halves the distances from t̂ = (1,...,1) to tuples starting
+  with 1 and doubles those to tuples starting with 0; U = {t̂}, k = 1,
+  r = 1, λ = 1; the claim is  ϕ true ⇔ rank(U) = 1.
+
+  **Reproduction finding**: the ⇐ direction of the paper's proof fails
+  on instances where no all-ones prefix satisfies its quantified suffix
+  (then δ*(t̂, ·) ≡ 0 yet every other tuple's total is 0 too, so
+  rank(t̂) = 1 even though ϕ is false; the proof's witness t* relies on
+  δ((1^{l0−1},0)-prefixed pairs) = 1, which the minimality of l0 in fact
+  *forbids* when P_{l0} = ∀).  :func:`find_paper_gap_instance` exhibits
+  a concrete failing instance; ``verify_paper_construction_forward``
+  checks the direction that does hold (ϕ true ⇒ rank(U) = 1).
+
+* :func:`reduce_q3sat_to_drp` — a **repaired** construction proving the
+  same PSPACE-hardness, verified in both directions: extend the domain
+  with a third constant so Q(D) = {0,1,2}^m, add a reference tuple
+  t_ref = (2,...,2) whose total pairwise distance is pinned strictly
+  between the best achievable total when ϕ is false (≤ 2^m − 2) and the
+  total of a full witness path when ϕ is true (2^m − 1).  Then
+  rank({t_ref}) = 1 ⇔ ϕ is **false** — a reduction from the complement
+  of Q3SAT, which suffices since PSPACE is closed under complement.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.drp import drp_brute_force
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..logic.cnf import cnf
+from ..logic.qbf import A, E, Q3SatInstance, evaluate_qbf, q3sat
+from ..relational.ast import RelationAtom
+from ..relational.queries import Query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+from .base import ReducedRanking
+from .gadgets import assignment_atoms, boolean_domain_relation
+from .q3sat_qrd import QuantifierDistance, all_assignments_query
+
+Bits = tuple[int, ...]
+
+
+def reduce_q3sat_to_drp_paper(instance: Q3SatInstance) -> ReducedRanking:
+    """The construction exactly as in the proof of Theorem 6.2."""
+    m = instance.num_vars
+    db = Database([boolean_domain_relation()])
+    query = all_assignments_query(m)
+    gadget = QuantifierDistance.for_q3sat(instance)
+    t_hat = (1,) * m
+
+    def distance(left: Row, right: Row) -> float:
+        base = gadget.value(left.values, right.values)
+        pair = {left.values, right.values}
+        if t_hat in pair and len(pair) == 2:
+            other = next(v for v in pair if v != t_hat)
+            if other[0] == 1:
+                return 0.5 * base
+            return 2.0 * base
+        return base
+
+    objective = Objective.mono(
+        RelevanceFunction.constant(1.0),
+        DistanceFunction.from_callable(distance, name="δ*"),
+        lam=1.0,
+    )
+    diversification = DiversificationInstance(query, db, k=1, objective=objective)
+    subset = (Row(query.result_schema, t_hat),)
+    return ReducedRanking(
+        diversification, subset, r=1, note="Theorem 6.2, paper construction"
+    )
+
+
+def verify_paper_construction_forward(instance: Q3SatInstance) -> bool:
+    """The sound direction of the paper's claim: ϕ true ⇒ rank(U) = 1.
+
+    Returns True when the implication holds on this instance (vacuously
+    when ϕ is false).
+    """
+    if not evaluate_qbf(instance.formula):
+        return True
+    reduced = reduce_q3sat_to_drp_paper(instance)
+    return drp_brute_force(reduced.instance, reduced.subset, reduced.r)
+
+
+def paper_construction_answer(instance: Q3SatInstance) -> bool:
+    """What the paper's construction outputs (rank(U) ≤ 1)."""
+    reduced = reduce_q3sat_to_drp_paper(instance)
+    return drp_brute_force(reduced.instance, reduced.subset, reduced.r)
+
+
+def find_paper_gap_instance() -> Q3SatInstance:
+    """A Q3SAT instance on which the paper's construction answers
+    incorrectly: ϕ = ∃x1 ∀x2 (¬x1) ∧ (x2) is false, but no all-ones
+    prefix satisfies its suffix, so δ* ≡ 0 and rank(t̂) = 1."""
+    return q3sat([E, A], cnf([-1], [2]))
+
+
+# ---------------------------------------------------------------------------
+# Repaired construction
+# ---------------------------------------------------------------------------
+
+R_DOM = RelationSchema("Rdom", ("X",))
+
+
+def ternary_domain_relation() -> Relation:
+    """{0, 1, 2}: the Boolean domain plus the reference constant."""
+    return Relation(R_DOM, [(0,), (1,), (2,)])
+
+
+def ternary_assignments_query(m: int) -> Query:
+    """``Q(x̄) = Rdom(x1) ∧ ... ∧ Rdom(xm)`` — Q(D) is {0,1,2}^m."""
+    variables = [f"x{i}" for i in range(1, m + 1)]
+    atoms = [RelationAtom(R_DOM.name, (f"?{v}",)) for v in variables]
+    body = atoms[0]
+    for atom in atoms[1:]:
+        body = body & atom
+    return Query(variables, body, name="Qdom")
+
+
+def reduce_q3sat_to_drp(instance: Q3SatInstance) -> ReducedRanking:
+    """Repaired Theorem 6.2 reduction:  ϕ false ⇔ rank({t_ref}) ≤ 1.
+
+    Distances: the Lemma 5.3 gadget on {0,1}^m; from t_ref = (2,...,2) a
+    constant c to everything; 0 elsewhere.  With
+    c = (2^m − 3/2)/(3^m − 2), the total of t_ref is 2^m − 3/2 + c,
+    strictly separating the false case (every Boolean tuple totals
+    ≤ 2^m − 2 + c) from the true case (a witness path totals
+    2^m − 1 + c > t_ref's total).
+    """
+    m = instance.num_vars
+    db = Database([ternary_domain_relation()])
+    query = ternary_assignments_query(m)
+    gadget = QuantifierDistance.for_q3sat(instance)
+    t_ref = (2,) * m
+    c = Fraction(2**m * 2 - 3, 2 * (3**m - 2))  # (2^m − 3/2)/(3^m − 2)
+
+    def is_boolean(values: Bits) -> bool:
+        return all(v in (0, 1) for v in values)
+
+    def distance(left: Row, right: Row) -> float:
+        lv, rv = left.values, right.values
+        if lv == rv:
+            return 0.0
+        if t_ref in (lv, rv):
+            return float(c)
+        if is_boolean(lv) and is_boolean(rv):
+            return gadget.value(lv, rv)
+        return 0.0
+
+    objective = Objective.mono(
+        RelevanceFunction.constant(1.0),
+        DistanceFunction.from_callable(distance, name="δ-ref"),
+        lam=1.0,
+    )
+    diversification = DiversificationInstance(query, db, k=1, objective=objective)
+    subset = (Row(query.result_schema, t_ref),)
+    return ReducedRanking(
+        diversification,
+        subset,
+        r=1,
+        note="Theorem 6.2, repaired construction (complement reduction)",
+    )
+
+
+def verify_reduction(instance: Q3SatInstance) -> bool:
+    """Solve both sides of the repaired reduction."""
+    reduced = reduce_q3sat_to_drp(instance)
+    expected = not evaluate_qbf(instance.formula)
+    actual = drp_brute_force(reduced.instance, reduced.subset, reduced.r)
+    return expected == actual

@@ -1,0 +1,243 @@
+"""Theorem 5.2: Q3SAT → QRD(CQ, F_mono), via the Lemma 5.3 distance gadget.
+
+The construction, for a Q3SAT instance ϕ = P1 x1 ... Pm xm ψ:
+
+* ``D`` = the Boolean domain relation I01;
+* ``Q(x̄) = R01(x1) ∧ ... ∧ R01(xm)`` — Q(D) is {0,1}^m, all truth
+  assignments;
+* ``δ_rel ≡ 1``, ``λ = 1``, ``k = 1``, ``B = 1``;
+* ``δ_dis`` is the **inductive quantifier distance** of Lemma 5.3
+  (:class:`QuantifierDistance`, the object Figure 2 tabulates):
+  for tuples t, s agreeing on their first l bits and differing at bit
+  l+1, δ_dis(t,s) = 1 iff ``P_{l+1} x_{l+1} ... Pm xm ψ`` is true under
+  the prefix assignment — built *inductively* from the paper's cases
+  (i)/(ii), not by evaluating the suffix directly, so Lemma 5.3 is a
+  checkable property (see ``verify_lemma_5_3``).
+
+ϕ is true ⇔ some singleton {t*} has F_mono({t*}) ≥ 1, i.e. δ_dis(t*, s)
+= 1 for all other s — the counting argument of Theorem 5.2.
+"""
+
+from __future__ import annotations
+
+
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..core.qrd import qrd_brute_force
+from ..logic.cnf import CNF, cnf
+from ..logic.qbf import A, E, Q3SatInstance, Quantifier, evaluate_qbf, q3sat, suffix_true
+from ..relational.queries import Query
+from ..relational.schema import Database, Row
+from .base import ReducedDecision
+from .gadgets import assignment_atoms, boolean_domain_relation
+
+Bits = tuple[int, ...]
+
+
+class QuantifierDistance:
+    """The inductive distance function of the Theorem 5.2 proof.
+
+    Defined on m-bit tuples encoding truth assignments of ϕ's variables.
+    Implementation follows the paper's inductive cases literally:
+
+    (i)  for tuples differing only in the last bit, δ = 1 iff (P_m = ∀
+         and both assignments satisfy ψ) or (P_m = ∃ and at least one
+         does);
+    (ii) for tuples agreeing on their first l bits (l ≤ m−2) and
+         differing at bit l+1, δ = 1 iff the two *canonical pairs* one
+         level down — ((p,b,1,...,1),(p,b,0,...,0)) for b ∈ {1, 0} —
+         have value 1 combined under P_{l+1} (∧ for ∀, ∨ for ∃).
+
+    Lemma 5.3 (verified, not assumed): δ(t, s) = 1 iff
+    ``P_{l+1} x_{l+1} ... Pm xm ψ`` is true under the shared prefix.
+
+    The general constructor takes any quantifier prefix plus a matrix
+    predicate over bit tuples; :meth:`for_q3sat` wires up a Q3SAT
+    instance.  The Theorem 7.2 reduction reuses the class per X-block
+    with the matrix partially evaluated.
+    """
+
+    def __init__(self, quantifiers, matrix_eval):
+        self.quantifiers: tuple[Quantifier, ...] = tuple(quantifiers)
+        self.m = len(self.quantifiers)
+        self._matrix_eval = matrix_eval
+        self._canonical_cache: dict[Bits, int] = {}
+
+    @classmethod
+    def for_q3sat(cls, instance: Q3SatInstance) -> "QuantifierDistance":
+        variables = instance.formula.variables
+        matrix = instance.formula.matrix
+
+        def matrix_eval(bits: Bits) -> bool:
+            assignment = {var: bool(bits[i]) for i, var in enumerate(variables)}
+            return matrix.satisfied_by(assignment)
+
+        return cls(instance.formula.quantifiers, matrix_eval)
+
+    def matrix_true(self, bits: Bits) -> bool:
+        """ψ under the full assignment encoded by ``bits``."""
+        return self._matrix_eval(bits)
+
+    def _canonical(self, prefix: Bits) -> int:
+        """δ of the canonical pair ((prefix,1,...,1), (prefix,0,...,0)).
+
+        ``len(prefix) = j ≤ m−1``; the pair differs first at bit j+1.
+        """
+        cached = self._canonical_cache.get(prefix)
+        if cached is not None:
+            return cached
+        j = len(prefix)
+        if j == self.m - 1:
+            # Case (i): the pair is ((prefix,1),(prefix,0)).
+            top = self.matrix_true(prefix + (1,))
+            bottom = self.matrix_true(prefix + (0,))
+            if self.quantifiers[j] is A:
+                result = int(top and bottom)
+            else:
+                result = int(top or bottom)
+        else:
+            # Case (ii): combine the two canonical pairs one level down.
+            high = self._canonical(prefix + (1,))
+            low = self._canonical(prefix + (0,))
+            if self.quantifiers[j] is A:
+                result = int(bool(high) and bool(low))
+            else:
+                result = int(bool(high) or bool(low))
+        self._canonical_cache[prefix] = result
+        return result
+
+    def value(self, t: Bits, s: Bits) -> float:
+        """δ_dis(t, s) per the inductive definition."""
+        if t == s:
+            return 0.0
+        level = 0
+        while t[level] == s[level]:
+            level += 1
+        if level == self.m - 1:
+            # Case (i) applied to the actual pair.
+            t_true = self.matrix_true(t)
+            s_true = self.matrix_true(s)
+            if self.quantifiers[level] is A:
+                return float(t_true and s_true)
+            return float(t_true or s_true)
+        return float(self._canonical(t[:level]))
+
+def lemma_5_3_reference(instance: Q3SatInstance, t: Bits, s: Bits) -> float:
+    """The value Lemma 5.3 *asserts*: 1 iff the quantified suffix holds
+    under the shared prefix (computed by the QBF engine, independently
+    of the inductive gadget)."""
+    if t == s:
+        return 0.0
+    level = 0
+    while t[level] == s[level]:
+        level += 1
+    prefix = tuple(bool(b) for b in t[:level])
+    return 1.0 if suffix_true(instance.formula, prefix) else 0.0
+
+
+def verify_lemma_5_3(instance: Q3SatInstance) -> bool:
+    """Exhaustively check Lemma 5.3 on every pair of boolean tuples."""
+    distance = QuantifierDistance.for_q3sat(instance)
+    m = instance.num_vars
+    tuples = [_bits(i, m) for i in range(1 << m)]
+    for t in tuples:
+        for s in tuples:
+            if distance.value(t, s) != lemma_5_3_reference(instance, t, s):
+                return False
+    return True
+
+
+def _bits(value: int, width: int) -> Bits:
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def all_assignments_query(m: int, name: str = "QX") -> Query:
+    """``Q(x̄) = R01(x1) ∧ ... ∧ R01(xm)`` — generates {0,1}^m."""
+    variables = [f"x{i}" for i in range(1, m + 1)]
+    atoms = assignment_atoms(variables)
+    body = atoms[0]
+    for atom in atoms[1:]:
+        body = body & atom
+    return Query(variables, body, name=name)
+
+
+def reduce_q3sat_to_qrd_mono(instance: Q3SatInstance) -> ReducedDecision:
+    """Theorem 5.2: ϕ true ⇔ a valid set exists (F_mono, λ=1, k=1, B=1)."""
+    m = instance.num_vars
+    db = Database([boolean_domain_relation()])
+    query = all_assignments_query(m)
+    gadget = QuantifierDistance.for_q3sat(instance)
+
+    def distance(left: Row, right: Row) -> float:
+        return gadget.value(left.values, right.values)
+
+    objective = Objective.mono(
+        RelevanceFunction.constant(1.0),
+        DistanceFunction.from_callable(distance, name="Lemma-5.3"),
+        lam=1.0,
+    )
+    diversification = DiversificationInstance(query, db, k=1, objective=objective)
+    return ReducedDecision(
+        diversification,
+        bound=1.0,
+        note="Theorem 5.2 (F_mono, λ=1, k=1)",
+    )
+
+
+def verify_reduction(instance: Q3SatInstance) -> bool:
+    """Solve both sides: QBF evaluation vs brute-force QRD."""
+    reduced = reduce_q3sat_to_qrd_mono(instance)
+    expected = evaluate_qbf(instance.formula)
+    actual = qrd_brute_force(reduced.instance, reduced.bound)
+    return expected == actual
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+def figure2_instance() -> Q3SatInstance:
+    """The worked example of Figure 2:
+
+    ϕ = ∃x1 ∀x2 ∃x3 ∀x4 ψ,  ψ = (x1 ∨ x2 ∨ ¬x3) ∧ (¬x2 ∨ ¬x3 ∨ x4).
+    """
+    matrix = cnf([1, 2, -3], [-2, -3, 4])
+    return q3sat([E, A, E, A], matrix)
+
+
+def figure2_tuples() -> list[Bits]:
+    """t1..t16 in the figure's order: t_i encodes 16−i in 4 bits
+    (so t1 = 1111, t2 = 1110, ..., t16 = 0000)."""
+    return [_bits(16 - i, 4) for i in range(1, 17)]
+
+
+def figure2_report() -> str:
+    """Regenerate the δ_dis values Figure 2 tabulates, level by level."""
+    instance = figure2_instance()
+    gadget = QuantifierDistance.for_q3sat(instance)
+    tuples = figure2_tuples()
+    names = {bits: f"t{i + 1}" for i, bits in enumerate(tuples)}
+    quantifier_names = {E: "∃", A: "∀"}
+
+    lines = [
+        "Figure 2: the inductive distance function for",
+        "ϕ = ∃x1 ∀x2 ∃x3 ∀x4 ψ,  ψ = (x1∨x2∨¬x3) ∧ (¬x2∨¬x3∨x4)",
+        "",
+    ]
+    m = instance.num_vars
+    for level in range(m - 1, -1, -1):
+        quantifier = instance.formula.quantifiers[level]
+        lines.append(f"l = {level}, P{level + 1} = {quantifier_names[quantifier]}:")
+        block = 1 << (m - level)  # tuples sharing an l-bit prefix
+        half = block // 2
+        for start in range(0, len(tuples), block):
+            t = tuples[start]          # representative of the 1-branch
+            s = tuples[start + half]   # representative of the 0-branch
+            value = gadget.value(t, s)
+            lines.append(
+                f"  δ({names[t]}, {names[s]}) = {int(value)}   "
+                f"[prefix {''.join(map(str, t[:level]))!r}]"
+            )
+        lines.append("")
+    return "\n".join(lines)

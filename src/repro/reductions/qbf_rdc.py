@@ -1,0 +1,251 @@
+"""#QBF counting reductions: Theorem 7.1 (FO case) and Theorem 7.2.
+
+The source problem: given ϕ = ∃X ∀y1 P2 y2 ... Pn yn ψ(X, Y), count the
+X-assignments under which the inner quantified formula holds
+(#·PSPACE-complete, Ladner 1989).
+
+* :func:`reduce_qbf_to_rdc_fo` — Theorem 7.1's FO construction for F_MS
+  (and F_MM with ``max_min=True``): an FO query
+  ``Q(x̄, z, b)`` returning, for every X-assignment and z ∈ {0, 1}, the
+  truth value b of ``Φ′(x̄, z) = ∀y1 P2 y2 ... Pn yn ((ψ ∨ z) ∧ z̄)``.
+  Since FO has negation and disjunction, ψ is written directly with
+  built-in comparisons over the Boolean active domain (the CQ case needs
+  the Figure 5 circuit relations instead; FO does not).  Relevance
+  3-2-…: witnesses (t_X, 0, 1) weigh 1, the always-present anchor
+  (1,…,1, 1, 0) weighs 2; λ = 0; F_MS: k = 2, B = 3;
+  F_MM: k = 1, B = 1.  Parsimonious.
+
+* :func:`reduce_qbf_to_rdc_mono` — Theorem 7.2: RDC(CQ, F_mono) with the
+  block-scaled distance δ**: within each X-block the Lemma 5.3 gadget
+  over the Y-quantifiers, distances from the block top t̆ = (t_X, 1,…,1)
+  scaled ×½ (to s = (t_X, 1, …)) or ×4 (to s = (t_X, 0, …)); across
+  blocks 0.  λ = 1, k = 1, B = 2^{n+1}/(2^{m+n}−1).
+
+  **Reproduction note**: the proof's strict-inequality case analysis
+  requires n ≥ 2 (its own inline remark shows equality at n = 1, which
+  breaks parsimony); we therefore pad the Y-prefix with a dummy ∀
+  variable when n < 2, which leaves the counted quantity unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..core.rdc import rdc_brute_force
+from ..logic.cnf import CNF
+from ..logic.qbf import A, Quantifier, count_qbf
+from ..relational.ast import And, Comparison, Exists, Forall, Formula, Not, Or
+from ..relational.queries import Query
+from ..relational.schema import Database, Row
+from ..relational.terms import ComparisonOp, Var
+from .base import ReducedCounting
+from .gadgets import R01, assignment_atoms, boolean_domain_relation
+from .q3sat_qrd import QuantifierDistance
+
+Bits = tuple[int, ...]
+YPrefix = Sequence[tuple[Quantifier, int]]
+
+
+def _matrix_formula(
+    formula: CNF, var_names: dict[int, str], switch_var: str
+) -> Formula:
+    """``(ψ ∨ z) ∧ z̄`` as an FO formula over Boolean-valued variables."""
+    clause_formulas: list[Formula] = []
+    for clause in formula.clauses:
+        literals: list[Formula] = [
+            Comparison(
+                ComparisonOp.EQ, Var(var_names[abs(lit)]), 1 if lit > 0 else 0
+            )
+            for lit in clause
+        ]
+        literals.append(Comparison(ComparisonOp.EQ, Var(switch_var), 1))
+        clause_formulas.append(Or(literals))
+    clause_formulas.append(Comparison(ComparisonOp.EQ, Var(switch_var), 0))
+    return And(clause_formulas)
+
+
+def _quantified_inner(
+    formula: CNF,
+    var_names: dict[int, str],
+    y_prefix: YPrefix,
+    switch_var: str,
+) -> Formula:
+    """``∀y1 P2 y2 ... Pn yn ((ψ ∨ z) ∧ z̄)`` as an FO formula."""
+    inner = _matrix_formula(formula, var_names, switch_var)
+    for quantifier, var in reversed(list(y_prefix)):
+        name = var_names[var]
+        if quantifier is A:
+            inner = Forall([name], inner)
+        else:
+            inner = Exists([name], inner)
+    return inner
+
+
+def reduce_qbf_to_rdc_fo(
+    formula: CNF,
+    x_vars: Sequence[int],
+    y_prefix: YPrefix,
+    max_min: bool = False,
+) -> ReducedCounting:
+    """Theorem 7.1, FO case: #QBF → RDC(FO, F_MS / F_MM), parsimonious."""
+    x_vars = list(x_vars)
+    m = len(x_vars)
+    var_names = {v: f"x{v}" for v in x_vars}
+    var_names.update({v: f"y{v}" for _, v in y_prefix})
+    z, b = "z", "b"
+
+    phi = _quantified_inner(formula, var_names, y_prefix, z)
+    x_names = [var_names[v] for v in x_vars]
+    body = And(
+        list(assignment_atoms(x_names))
+        + [
+            __make_atom(z),
+            __make_atom(b),
+            Or(
+                (
+                    And((Comparison(ComparisonOp.EQ, Var(b), 1), phi)),
+                    And((Comparison(ComparisonOp.EQ, Var(b), 0), Not(phi))),
+                )
+            ),
+        ]
+    )
+    query = Query(tuple(x_names) + (z, b), body, name="Qqbf")
+    db = Database([boolean_domain_relation()])
+
+    anchor = (1,) * m + (1, 0)
+
+    def relevance(row: Row, _query) -> float:
+        values = row.values
+        if not max_min and values == anchor:
+            return 2.0
+        if values[m] == 0 and values[m + 1] == 1:  # (t_X, z=0, b=1)
+            return 1.0
+        return 0.0
+
+    distance = DistanceFunction.constant(0.0)
+    rel = RelevanceFunction.from_callable(relevance, name="Thm7.1-FO")
+    if max_min:
+        objective = Objective.max_min(rel, distance, lam=0.0)
+        k, bound = 1, 1.0
+    else:
+        objective = Objective.max_sum(rel, distance, lam=0.0)
+        k, bound = 2, 3.0
+    instance = DiversificationInstance(query, db, k=k, objective=objective)
+    return ReducedCounting(
+        instance,
+        bound=bound,
+        note=f"Theorem 7.1 FO case ({'F_MM' if max_min else 'F_MS'})",
+    )
+
+
+def __make_atom(var: str):
+    from ..relational.ast import RelationAtom
+
+    return RelationAtom(R01.name, (Var(var),))
+
+
+def reduce_qbf_to_rdc_mono(
+    formula: CNF,
+    x_vars: Sequence[int],
+    y_prefix: YPrefix,
+) -> ReducedCounting:
+    """Theorem 7.2: #QBF → RDC(CQ, F_mono), parsimonious (n padded ≥ 2)."""
+    x_vars = list(x_vars)
+    y_prefix = list(y_prefix)
+    if not y_prefix or y_prefix[0][0] is not A:
+        raise ValueError("the #QBF instance must start with ∀y1 after the X block")
+    max_var = max(
+        [abs(lit) for c in formula.clauses for lit in c] + x_vars
+        + [v for _, v in y_prefix]
+    )
+    while len(y_prefix) < 2:
+        # Pad with a dummy ∀ variable not occurring in ψ: the inner
+        # formula's truth value is unchanged, and the proof's strict
+        # inequalities need n ≥ 2 (see module docstring).
+        max_var += 1
+        y_prefix.append((A, max_var))
+
+    m, n = len(x_vars), len(y_prefix)
+    var_order = list(x_vars) + [v for _, v in y_prefix]
+    y_quantifiers = [q for q, _ in y_prefix]
+
+    from .q3sat_qrd import all_assignments_query
+
+    db = Database([boolean_domain_relation()])
+    variables = [f"x{i}" for i in range(1, m + n + 1)]
+    atoms = assignment_atoms(variables)
+    body = atoms[0]
+    for atom in atoms[1:]:
+        body = body & atom
+    query = Query(variables, body, name="Qxy")
+
+    block_gadgets: dict[Bits, QuantifierDistance] = {}
+
+    def block_gadget(x_bits: Bits) -> QuantifierDistance:
+        gadget = block_gadgets.get(x_bits)
+        if gadget is None:
+
+            def matrix_eval(y_bits: Bits) -> bool:
+                assignment = {
+                    var: bool(bit)
+                    for var, bit in zip(var_order, x_bits + y_bits)
+                }
+                return formula.satisfied_by(assignment)
+
+            gadget = QuantifierDistance(y_quantifiers, matrix_eval)
+            block_gadgets[x_bits] = gadget
+        return gadget
+
+    def delta_star_star(left: Row, right: Row) -> float:
+        lv, rv = left.values, right.values
+        if lv == rv:
+            return 0.0
+        if lv[:m] != rv[:m]:
+            return 0.0  # different X-blocks
+        x_bits = lv[:m]
+        base = block_gadget(x_bits).value(lv[m:], rv[m:])
+        block_top = x_bits + (1,) * n
+        pair = {lv, rv}
+        if block_top in pair and len(pair) == 2:
+            other = next(v for v in pair if v != block_top)
+            if other[m] == 1:
+                return 0.5 * base
+            return 4.0 * base
+        return base
+
+    objective = Objective.mono(
+        RelevanceFunction.constant(1.0),
+        DistanceFunction.from_callable(delta_star_star, name="δ**"),
+        lam=1.0,
+    )
+    instance = DiversificationInstance(query, db, k=1, objective=objective)
+    bound = 2.0 ** (n + 1) / (2 ** (m + n) - 1)
+    return ReducedCounting(instance, bound=bound, note="Theorem 7.2 (F_mono)")
+
+
+def verify_fo_reduction(
+    formula: CNF,
+    x_vars: Sequence[int],
+    y_prefix: YPrefix,
+    max_min: bool = False,
+) -> bool:
+    """Check parsimony of the FO reduction against the #QBF counter."""
+    reduced = reduce_qbf_to_rdc_fo(formula, x_vars, y_prefix, max_min=max_min)
+    expected = count_qbf(formula, list(x_vars), list(y_prefix))
+    actual = rdc_brute_force(reduced.instance, reduced.bound)
+    return expected == actual
+
+
+def verify_mono_reduction(
+    formula: CNF,
+    x_vars: Sequence[int],
+    y_prefix: YPrefix,
+) -> bool:
+    """Check parsimony of the Theorem 7.2 reduction."""
+    reduced = reduce_qbf_to_rdc_mono(formula, x_vars, y_prefix)
+    expected = count_qbf(formula, list(x_vars), list(y_prefix))
+    actual = rdc_brute_force(reduced.instance, reduced.bound)
+    return expected == actual

@@ -1,0 +1,202 @@
+"""Theorem 6.1: complement of 3SAT → DRP(CQ, F_MS) and DRP(CQ, F_MM).
+
+The shared construction builds ϕ′ = ∧_i (C_i ∨ z) ∧ z̄ and a relation
+``RC(cid, L1, V1, L2, V2, L3, V3, Z, VZ, A)`` holding, for every clause
+``C′_i`` and *every* assignment of its variables (plus z), one tuple
+with the flag ``A`` = whether the assignment satisfies C′_i; clause
+l+1 (z̄) contributes the two special tuples with fresh constants.
+
+``U`` = one tuple per clause with every variable (and z) set to 1, and
+``r = 1``; ``k = l + 1``; ``λ = 1``.
+
+* **F_MM** (sound as stated, verified both ways): δ′ = 2 on consistent
+  clause-distinct satisfying pairs outside U, 1 on pairs inside U, 0
+  otherwise.  FMM(S) = 2 exactly for sets encoding a satisfying
+  assignment with z = 0, so rank(U) = 1 ⇔ ϕ unsatisfiable.
+
+* **F_MS** — **reproduction finding**: with the paper's 0/1 distances a
+  candidate set that is *one edge short of a clique* scores
+  (l+1)l − 2 > l(l−1) = F_MS(U), so for unsatisfiable ϕ whose clauses
+  overlap sparsely the construction can report rank(U) > 1
+  (:func:`find_paper_gap_instance` exhibits ϕ = x ∧ (¬x∨y) ∧ ¬y).
+  :func:`reduce_3sat_to_drp_max_sum` therefore uses a **repaired**
+  distance: pairs inside U weigh c = (l(l+1) − 1)/(l(l+1)) so that
+  F_MS(U) = l(l+1) − 1, mixed pairs weigh 0, and outside pairs weigh
+  0/1 as before.  Only a *full* clique (= satisfying assignment,
+  necessarily z = 0 and hence disjoint from U) can exceed F_MS(U);
+  near-cliques top out at l(l+1) − 2.  The paper-faithful variant is
+  kept as :func:`reduce_3sat_to_drp_max_sum_paper`.
+"""
+
+from __future__ import annotations
+
+from ..core.drp import drp_brute_force
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..logic.cnf import CNF, ThreeSatInstance, all_assignments, cnf
+from ..logic.sat import is_satisfiable
+from ..relational.queries import identity_query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+from .base import ReducedRanking
+
+RC_PRIME_SCHEMA = RelationSchema(
+    "RCp", ("cid", "L1", "V1", "L2", "V2", "L3", "V3", "Z", "VZ", "A")
+)
+
+_Z_NAME = "z"
+
+
+def weakened_clause_relation(instance: ThreeSatInstance) -> Relation:
+    """The relation IC for ϕ′ = ∧(C_i ∨ z) ∧ z̄ (all assignments, flagged)."""
+    relation = Relation(RC_PRIME_SCHEMA)
+    l = len(instance.clauses)
+    for cid, clause in enumerate(instance.clauses, start=1):
+        variables = sorted({abs(lit) for lit in clause})
+        padded = variables + [variables[-1]] * (3 - len(variables))
+        for assignment in all_assignments(variables):
+            for z_value in (0, 1):
+                satisfied = z_value == 1 or any(
+                    assignment[abs(lit)] == (lit > 0) for lit in clause
+                )
+                values: list = [cid]
+                for var in padded:
+                    values.append(f"x{var}")
+                    values.append(1 if assignment[var] else 0)
+                values.extend([_Z_NAME, z_value, 1 if satisfied else 0])
+                relation.add(tuple(values))
+    # Clause l+1 encodes z̄ with fresh constants e1..e3, f1..f3.
+    relation.add((l + 1, "e1", "f1", "e2", "f2", "e3", "f3", _Z_NAME, 1, 0))
+    relation.add((l + 1, "e1", "f1", "e2", "f2", "e3", "f3", _Z_NAME, 0, 1))
+    return relation
+
+
+def row_assignment(row: Row) -> dict[str, int]:
+    """(variable → value) including z; fresh e/f constants included too."""
+    out: dict[str, int] = {}
+    for li, vi in (("L1", "V1"), ("L2", "V2"), ("L3", "V3"), ("Z", "VZ")):
+        out[row[li]] = row[vi]
+    return out
+
+
+def _consistent_distinct_satisfying(left: Row, right: Row) -> bool:
+    if left["cid"] == right["cid"]:
+        return False
+    if left["A"] != 1 or right["A"] != 1:
+        return False
+    lhs, rhs = row_assignment(left), row_assignment(right)
+    return all(rhs.get(var, value) == value for var, value in lhs.items())
+
+
+def _top_set(instance: ThreeSatInstance) -> list[tuple]:
+    """U: one tuple per clause with all variables and z set to 1."""
+    subset: list[tuple] = []
+    l = len(instance.clauses)
+    for cid, clause in enumerate(instance.clauses, start=1):
+        variables = sorted({abs(lit) for lit in clause})
+        padded = variables + [variables[-1]] * (3 - len(variables))
+        values: list = [cid]
+        for var in padded:
+            values.extend([f"x{var}", 1])
+        # z = 1 satisfies every weakened clause, so A = 1.
+        values.extend([_Z_NAME, 1, 1])
+        subset.append(tuple(values))
+    subset.append((l + 1, "e1", "f1", "e2", "f2", "e3", "f3", _Z_NAME, 1, 0))
+    return subset
+
+
+def _build(instance: ThreeSatInstance, distance: DistanceFunction, note: str) -> ReducedRanking:
+    db = Database([weakened_clause_relation(instance)])
+    query = identity_query(RC_PRIME_SCHEMA)
+    objective = Objective.max_sum(
+        RelevanceFunction.constant(1.0), distance, lam=1.0
+    )
+    l = len(instance.clauses)
+    diversification = DiversificationInstance(query, db, k=l + 1, objective=objective)
+    subset = tuple(Row(query.result_schema, values) for values in _top_set(instance))
+    return ReducedRanking(diversification, subset, r=1, note=note)
+
+
+def reduce_3sat_to_drp_max_sum_paper(instance: ThreeSatInstance) -> ReducedRanking:
+    """The F_MS construction exactly as in the proof of Theorem 6.1."""
+
+    def func(left: Row, right: Row) -> float:
+        return 1.0 if _consistent_distinct_satisfying(left, right) else 0.0
+
+    return _build(
+        instance,
+        DistanceFunction.from_callable(func, name="Thm6.1-paper"),
+        note="Theorem 6.1 F_MS, paper construction",
+    )
+
+
+def reduce_3sat_to_drp_max_sum(instance: ThreeSatInstance) -> ReducedRanking:
+    """The repaired F_MS construction: ϕ unsatisfiable ⇔ rank(U) ≤ 1."""
+    u_values = {tuple(v) for v in _top_set(instance)}
+    l = len(instance.clauses)
+    pairs_in_u = l * (l + 1)  # ordered pairs inside U
+    weight = (pairs_in_u - 1) / pairs_in_u
+
+    def func(left: Row, right: Row) -> float:
+        in_u_left = left.values in u_values
+        in_u_right = right.values in u_values
+        if in_u_left and in_u_right:
+            return weight
+        if in_u_left or in_u_right:
+            return 0.0
+        return 1.0 if _consistent_distinct_satisfying(left, right) else 0.0
+
+    return _build(
+        instance,
+        DistanceFunction.from_callable(func, name="Thm6.1-repaired"),
+        note="Theorem 6.1 F_MS, repaired construction",
+    )
+
+
+def reduce_3sat_to_drp_max_min(instance: ThreeSatInstance) -> ReducedRanking:
+    """The F_MM construction of Theorem 6.1 (sound as stated)."""
+    u_values = {tuple(v) for v in _top_set(instance)}
+
+    def func(left: Row, right: Row) -> float:
+        in_u_left = left.values in u_values
+        in_u_right = right.values in u_values
+        if in_u_left and in_u_right:
+            return 1.0
+        if in_u_left or in_u_right:
+            return 0.0
+        return 2.0 if _consistent_distinct_satisfying(left, right) else 0.0
+
+    db = Database([weakened_clause_relation(instance)])
+    query = identity_query(RC_PRIME_SCHEMA)
+    objective = Objective.max_min(
+        RelevanceFunction.constant(1.0),
+        DistanceFunction.from_callable(func, name="Thm6.1-FMM"),
+        lam=1.0,
+    )
+    l = len(instance.clauses)
+    diversification = DiversificationInstance(query, db, k=l + 1, objective=objective)
+    subset = tuple(Row(query.result_schema, values) for values in _top_set(instance))
+    return ReducedRanking(
+        diversification, subset, r=1, note="Theorem 6.1 F_MM"
+    )
+
+
+def find_paper_gap_instance() -> ThreeSatInstance:
+    """An unsatisfiable instance on which the paper's F_MS construction
+    reports rank(U) > 1: ϕ = (x) ∧ (¬x ∨ y) ∧ (¬y).  The chain's sparse
+    variable overlap admits a near-clique of satisfying tuples scoring
+    (l+1)l − 2 = 10 > 6 = l(l−1) = F_MS(U)."""
+    return ThreeSatInstance(cnf([1], [-1, 2], [-2]))
+
+
+def verify_reduction(instance: ThreeSatInstance, which: str = "max-sum") -> bool:
+    """Solve both sides: SAT solver vs brute-force DRP."""
+    if which == "max-sum":
+        reduced = reduce_3sat_to_drp_max_sum(instance)
+    elif which == "max-min":
+        reduced = reduce_3sat_to_drp_max_min(instance)
+    else:
+        raise ValueError(f"unknown reduction variant {which!r}")
+    expected = not is_satisfiable(instance.formula)
+    actual = drp_brute_force(reduced.instance, reduced.subset, reduced.r)
+    return expected == actual

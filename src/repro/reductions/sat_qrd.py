@@ -1,0 +1,192 @@
+"""Theorem 5.1 lower bounds: 3SAT → QRD(CQ, F_MS) and QRD(CQ, F_MM).
+
+The construction (for a 3SAT instance ϕ = C1 ∧ ... ∧ Cl over x1..xm):
+
+* one relation ``RC(cid, L1, V1, L2, V2, L3, V3)`` holding, for every
+  clause ``Ci`` and every truth assignment of its three variables that
+  satisfies ``Ci``, one tuple recording (clause id, variable, value) ×3
+  — at most 8 tuples per clause;
+* ``Q`` is the **identity query** on RC (so these lower bounds also give
+  the data complexity, Theorem 5.4, and the identity-query case,
+  Corollary 8.1);
+* ``δ_rel ≡ 1``; ``δ_dis(t, s) = 1`` iff ``t`` and ``s`` encode distinct
+  clauses and agree on every variable they share, else 0; ``λ = 1``;
+* F_MS: ``k = l``, ``B = l·(l−1)`` — a valid set is a clique of pairwise
+  consistent, clause-distinct satisfying assignments = a satisfying
+  assignment of ϕ.
+* F_MM: same data, ``B = 1`` — the minimum pairwise distance is 1 iff
+  the same clique condition holds.
+
+λ = 1 here makes the same constructions serve Theorem 8.3 (dropping
+δ_rel does not simplify the problems).  The λ = 0 companion lower bound
+of Theorem 8.2 is :func:`reduce_3sat_to_qrd_lambda0`.
+"""
+
+from __future__ import annotations
+
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..core.qrd import qrd_brute_force
+from ..logic.cnf import CNF, ThreeSatInstance, all_assignments
+from ..logic.sat import is_satisfiable
+from ..relational.queries import Query, identity_query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+from .base import ReducedDecision
+from .gadgets import R01, assignment_atoms, boolean_domain_relation
+
+RC_SCHEMA = RelationSchema(
+    "RC", ("cid", "L1", "V1", "L2", "V2", "L3", "V3")
+)
+
+
+def clause_assignment_relation(instance: ThreeSatInstance) -> Relation:
+    """The relation IC: satisfying assignments of each clause, separately.
+
+    Variables are encoded as strings ``"x<i>"``; clauses with fewer than
+    three distinct variables repeat the last variable (the repeated
+    columns then necessarily agree, which preserves the semantics of the
+    shared-variable consistency check).
+    """
+    relation = Relation(RC_SCHEMA)
+    for cid, clause in enumerate(instance.clauses, start=1):
+        variables = sorted({abs(lit) for lit in clause})
+        padded = variables + [variables[-1]] * (3 - len(variables))
+        for assignment in all_assignments(variables):
+            if not _clause_true(clause, assignment):
+                continue
+            values: list = [cid]
+            for var in padded:
+                values.append(f"x{var}")
+                values.append(1 if assignment[var] else 0)
+            relation.add(tuple(values))
+    return relation
+
+
+def _clause_true(clause: tuple[int, ...], assignment: dict[int, bool]) -> bool:
+    return any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+
+
+def row_assignment(row: Row) -> dict[str, int]:
+    """The (variable → value) map encoded by one RC tuple."""
+    out: dict[str, int] = {}
+    for li, vi in (("L1", "V1"), ("L2", "V2"), ("L3", "V3")):
+        out[row[li]] = row[vi]
+    return out
+
+
+def consistency_distance() -> DistanceFunction:
+    """δ_dis of Theorem 5.1: 1 iff distinct clauses and consistent."""
+
+    def func(left: Row, right: Row) -> float:
+        if left["cid"] == right["cid"]:
+            return 0.0
+        lhs, rhs = row_assignment(left), row_assignment(right)
+        for var, value in lhs.items():
+            if var in rhs and rhs[var] != value:
+                return 0.0
+        return 1.0
+
+    return DistanceFunction.from_callable(func, name="clause-consistency")
+
+
+def reduce_3sat_to_qrd_max_sum(instance: ThreeSatInstance) -> ReducedDecision:
+    """3SAT → QRD(CQ, F_MS): ϕ satisfiable ⇔ a valid set exists."""
+    db = Database([clause_assignment_relation(instance)])
+    query = identity_query(RC_SCHEMA)
+    objective = Objective.max_sum(
+        RelevanceFunction.constant(1.0), consistency_distance(), lam=1.0
+    )
+    l = len(instance.clauses)
+    diversification = DiversificationInstance(query, db, k=l, objective=objective)
+    return ReducedDecision(
+        diversification,
+        bound=float(l * (l - 1)),
+        note="Theorem 5.1, F_MS (identity query, λ=1)",
+    )
+
+
+def reduce_3sat_to_qrd_max_min(instance: ThreeSatInstance) -> ReducedDecision:
+    """3SAT → QRD(CQ, F_MM): ϕ satisfiable ⇔ a valid set exists.
+
+    The paper assumes w.l.o.g. ``l > 1`` (with a single clause the
+    min-distance of a singleton set is vacuous); we realize the w.l.o.g.
+    by duplicating the clause of an l = 1 instance, which preserves
+    satisfiability.
+    """
+    if len(instance.clauses) == 1:
+        instance = ThreeSatInstance(
+            CNF(instance.clauses * 2, num_vars=instance.num_vars)
+        )
+    db = Database([clause_assignment_relation(instance)])
+    query = identity_query(RC_SCHEMA)
+    objective = Objective.max_min(
+        RelevanceFunction.constant(1.0), consistency_distance(), lam=1.0
+    )
+    l = len(instance.clauses)
+    diversification = DiversificationInstance(query, db, k=l, objective=objective)
+    return ReducedDecision(
+        diversification,
+        bound=1.0,
+        note="Theorem 5.1, F_MM (identity query, λ=1)",
+    )
+
+
+def reduce_3sat_to_qrd_lambda0(
+    instance: ThreeSatInstance, max_min: bool = False
+) -> ReducedDecision:
+    """Theorem 8.2's λ = 0 lower bound: 3SAT → QRD(CQ, F) with δ_rel only.
+
+    D = I01; ``Q(x̄) = R01(x1) ∧ ... ∧ R01(xm)`` generates all truth
+    assignments; δ_rel(t) = 1 iff the assignment encoded by t satisfies
+    ϕ; δ_dis ≡ 0.  F_MS: k = 2, B = 1; F_MM: k = 1, B = 1.
+    """
+    formula = instance.formula
+    m = formula.num_vars
+    db = Database([boolean_domain_relation()])
+    variables = [f"x{i}" for i in range(1, m + 1)]
+    body_atoms = assignment_atoms(variables)
+    body = body_atoms[0]
+    for atom in body_atoms[1:]:
+        body = body & atom
+    query = Query(variables, body, name="QX")
+
+    def relevance(row: Row, _query) -> float:
+        assignment = {i + 1: bool(row.values[i]) for i in range(m)}
+        return 1.0 if formula.satisfied_by(assignment) else 0.0
+
+    rel = RelevanceFunction.from_callable(relevance, name="ϕ-satisfaction")
+    dis = DistanceFunction.constant(0.0)
+    if max_min:
+        objective = Objective.max_min(rel, dis, lam=0.0)
+        k = 1
+    else:
+        objective = Objective.max_sum(rel, dis, lam=0.0)
+        k = 2
+    diversification = DiversificationInstance(query, db, k=k, objective=objective)
+    return ReducedDecision(
+        diversification,
+        bound=1.0,
+        note=f"Theorem 8.2, {'F_MM' if max_min else 'F_MS'} with λ=0",
+    )
+
+
+def verify_reduction(instance: ThreeSatInstance, which: str = "max-sum") -> bool:
+    """Check the reduction equivalence by solving both sides.
+
+    Returns True iff the SAT solver's verdict on ϕ matches the QRD
+    brute-force verdict on the constructed instance.
+    """
+    if which == "max-sum":
+        reduced = reduce_3sat_to_qrd_max_sum(instance)
+    elif which == "max-min":
+        reduced = reduce_3sat_to_qrd_max_min(instance)
+    elif which == "lambda0-max-sum":
+        reduced = reduce_3sat_to_qrd_lambda0(instance, max_min=False)
+    elif which == "lambda0-max-min":
+        reduced = reduce_3sat_to_qrd_lambda0(instance, max_min=True)
+    else:
+        raise ValueError(f"unknown reduction variant {which!r}")
+    expected = is_satisfiable(instance.formula)
+    actual = qrd_brute_force(reduced.instance, reduced.bound)
+    return expected == actual

@@ -1,0 +1,132 @@
+"""Theorem 7.1 (CQ case): #Σ₁SAT → RDC(CQ, F_MS) and RDC(CQ, F_MM).
+
+Given ϕ(X, Y) = ∃X ψ(X, Y), the construction (parsimonious):
+
+* ``D`` = the four Figure 5 gadget relations;
+* ``ϕ′(ȳ) = ∃x̄, z ((ψ ∨ z) ∧ z̄)`` — satisfied by exactly ψ's
+  Y-witnesses with z = 0, and always falsifiable (z = 1);
+* the CQ query computes, for every truth assignment of (ȳ, z), every
+  achievable circuit output a of ϕ′::
+
+      Q(ȳ, z, a) = ∃x̄, aux (Q_X(x̄) ∧ Q_Y(ȳ) ∧ R01(z) ∧ circuit(x̄,ȳ,z → a))
+
+* **F_MS**: λ = 0, k = 2, B = 3, δ_rel((t_Y, 0, 1)) = 1,
+  δ_rel((1,…,1, 1, 0)) = 2, else 0 — valid sets pair each counted
+  Y-witness with the always-present all-ones/z=1/a=0 anchor tuple;
+* **F_MM**: λ = 0, k = 1, B = 1, δ_rel((t_Y, 0, 1)) = 1 else 0 — valid
+  sets are exactly the witness singletons.
+
+Verification solves both sides: :func:`repro.logic.counting.count_sigma1`
+vs brute-force RDC.
+"""
+
+from __future__ import annotations
+
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..core.rdc import rdc_brute_force
+from ..logic.cnf import CNF
+from ..logic.counting import count_sigma1
+from ..relational.ast import And, Exists, RelationAtom
+from ..relational.queries import Query
+from ..relational.schema import Database, Row
+from ..relational.terms import Var
+from .base import ReducedCounting
+from .gadgets import (
+    R01,
+    assignment_atoms,
+    encode_cnf_with_switch,
+    gadget_database,
+)
+
+
+def _witness_query(formula: CNF, x_vars: list[int], y_vars: list[int]) -> Query:
+    """The CQ query Q(ȳ, z, a) described above."""
+    var_names = {v: f"x{v}" for v in x_vars}
+    var_names.update({v: f"y{v}" for v in y_vars})
+    z = "z"
+    encoding = encode_cnf_with_switch(formula, var_names, switch_var=z)
+
+    x_names = [var_names[v] for v in x_vars]
+    y_names = [var_names[v] for v in y_vars]
+    atoms: list[RelationAtom] = []
+    atoms.extend(assignment_atoms(x_names))
+    atoms.extend(assignment_atoms(y_names))
+    atoms.append(RelationAtom(R01.name, (Var(z),)))
+    atoms.extend(encoding.atoms)
+
+    body = And(atoms)
+    inner_vars = x_names + [
+        v for v in encoding.auxiliary_vars if v != encoding.output_var
+    ]
+    quantified = Exists(inner_vars, body) if inner_vars else body
+    head = tuple(y_names) + (z, encoding.output_var)
+    return Query(head, quantified, name="Qsigma")
+
+
+def reduce_sigma1_to_rdc_max_sum(
+    formula: CNF, x_vars: list[int], y_vars: list[int]
+) -> ReducedCounting:
+    """#Σ₁SAT → RDC(CQ, F_MS) — parsimonious (Theorem 7.1)."""
+    db = gadget_database()
+    query = _witness_query(formula, x_vars, y_vars)
+    n = len(y_vars)
+    anchor = (1,) * n + (1, 0)  # ȳ = 1…1, z = 1, a = 0 — always in Q(D)
+
+    def relevance(row: Row, _query) -> float:
+        values = row.values
+        if values == anchor:
+            return 2.0
+        if values[n] == 0 and values[n + 1] == 1:  # (t_Y, z=0, a=1)
+            return 1.0
+        return 0.0
+
+    objective = Objective.max_sum(
+        RelevanceFunction.from_callable(relevance, name="Thm7.1-FMS"),
+        DistanceFunction.constant(0.0),
+        lam=0.0,
+    )
+    instance = DiversificationInstance(query, db, k=2, objective=objective)
+    return ReducedCounting(instance, bound=3.0, note="Theorem 7.1, F_MS")
+
+
+def reduce_sigma1_to_rdc_max_min(
+    formula: CNF, x_vars: list[int], y_vars: list[int]
+) -> ReducedCounting:
+    """#Σ₁SAT → RDC(CQ, F_MM) — parsimonious (Theorem 7.1)."""
+    db = gadget_database()
+    query = _witness_query(formula, x_vars, y_vars)
+    n = len(y_vars)
+
+    def relevance(row: Row, _query) -> float:
+        values = row.values
+        if values[n] == 0 and values[n + 1] == 1:
+            return 1.0
+        return 0.0
+
+    objective = Objective.max_min(
+        RelevanceFunction.from_callable(relevance, name="Thm7.1-FMM"),
+        DistanceFunction.constant(0.0),
+        lam=0.0,
+    )
+    instance = DiversificationInstance(query, db, k=1, objective=objective)
+    return ReducedCounting(instance, bound=1.0, note="Theorem 7.1, F_MM")
+
+
+def verify_reduction(
+    formula: CNF,
+    x_vars: list[int],
+    y_vars: list[int],
+    which: str = "max-sum",
+) -> bool:
+    """Check parsimony: RDC count equals the #Σ₁SAT model count."""
+    if which == "max-sum":
+        reduced = reduce_sigma1_to_rdc_max_sum(formula, x_vars, y_vars)
+    elif which == "max-min":
+        reduced = reduce_sigma1_to_rdc_max_min(formula, x_vars, y_vars)
+    else:
+        raise ValueError(f"unknown reduction variant {which!r}")
+    expected = count_sigma1(formula, x_vars, y_vars)
+    actual = rdc_brute_force(reduced.instance, reduced.bound)
+    return expected == actual

@@ -1,0 +1,201 @@
+"""#SSP, #SSPk (Lemma 7.6) and the Turing reduction of Theorem 7.5.
+
+* **#SSP** — given a finite set W, weights π : W → ℕ and a target d,
+  count the subsets T ⊆ W with Σ_{w∈T} π(w) = d (#P-complete under
+  parsimonious reductions, Berbeglia & Hahn 2010).
+* **#SSPk** — additionally require |T| = l.  Lemma 7.6 shows #SSPk is
+  #P-complete by a parsimonious reduction from #SSP that tags every
+  element with an indicator digit block (:func:`lemma_7_6_reduction`).
+* **Theorem 7.5** — RDC(CQ, F_mono) is #P-hard under *polynomial Turing*
+  reductions: :func:`count_sspk_via_rdc` computes #SSPk with exactly two
+  RDC oracle calls (count ≥ d minus count ≥ d+1) on an identity-query
+  instance where δ_rel(w) = π(w), δ_dis ≡ 0 and λ = 0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any
+
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..core.rdc import rdc_brute_force, rdc_count
+from ..relational.queries import identity_query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+from .base import ReducedCounting
+
+RW_SCHEMA = RelationSchema("RW", ("W",))
+
+
+@dataclass(frozen=True)
+class SspInstance:
+    """A #SSP instance: elements with natural-number weights, target d."""
+
+    weights: tuple[int, ...]
+    target: int
+
+    def __post_init__(self) -> None:
+        if any(w < 0 for w in self.weights):
+            raise ValueError("weights must be natural numbers")
+        if self.target < 0:
+            raise ValueError("target must be a natural number")
+
+
+@dataclass(frozen=True)
+class SspkInstance:
+    """A #SSPk instance: #SSP plus the cardinality requirement |T| = l."""
+
+    weights: tuple[int, ...]
+    target: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if any(w < 0 for w in self.weights):
+            raise ValueError("weights must be natural numbers")
+        if self.target < 0 or self.size < 0:
+            raise ValueError("target and size must be natural numbers")
+
+
+# ---------------------------------------------------------------------------
+# Reference counters (dynamic programming and brute force)
+# ---------------------------------------------------------------------------
+
+def count_ssp(instance: SspInstance) -> int:
+    """#SSP by dynamic programming over achievable sums."""
+    counts: dict[int, int] = {0: 1}
+    for weight in instance.weights:
+        updated = dict(counts)
+        for total, ways in counts.items():
+            new_total = total + weight
+            updated[new_total] = updated.get(new_total, 0) + ways
+        counts = updated
+    return counts.get(instance.target, 0)
+
+
+def count_sspk(instance: SspkInstance) -> int:
+    """#SSPk by dynamic programming over (cardinality, sum)."""
+    counts: dict[tuple[int, int], int] = {(0, 0): 1}
+    for weight in instance.weights:
+        updated = dict(counts)
+        for (size, total), ways in counts.items():
+            key = (size + 1, total + weight)
+            updated[key] = updated.get(key, 0) + ways
+        counts = updated
+    return counts.get((instance.size, instance.target), 0)
+
+
+def brute_force_sspk(instance: SspkInstance) -> int:
+    """Exponential reference counter (for testing the DP)."""
+    indices = range(len(instance.weights))
+    return sum(
+        1
+        for combo in combinations(indices, instance.size)
+        if sum(instance.weights[i] for i in combo) == instance.target
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 7.6: #SSP → #SSPk, parsimonious
+# ---------------------------------------------------------------------------
+
+def lemma_7_6_reduction(instance: SspInstance) -> SspkInstance:
+    """The digit-block encoding of Lemma 7.6.
+
+    Each element w_i becomes two elements (w_i, 1) and (w_i, 0); a
+    weight is an (n + m)-digit number whose first n digits indicate the
+    element index and whose last m digits carry π(w_i) (for the "1"
+    copy) or 0 (for the "0" copy).  Choosing exactly l = n elements with
+    total d′ = (1…1 indicator block, d) forces exactly one copy per
+    element, and the "1" copies chosen encode the original subset.
+    """
+    n = len(instance.weights)
+    if n == 0:
+        raise ValueError("Lemma 7.6 reduction requires a non-empty W")
+    total_weight = sum(instance.weights)
+    m = max(len(str(total_weight)), 1)
+    base = 10**m
+
+    new_weights: list[int] = []
+    for i, weight in enumerate(instance.weights):
+        indicator = 10 ** (n - 1 - i) * base  # digit i of the index block
+        new_weights.append(indicator + weight)  # the (w_i, 1) copy
+        new_weights.append(indicator)  # the (w_i, 0) copy
+    indicator_all = sum(10 ** (n - 1 - i) for i in range(n)) * base
+    return SspkInstance(
+        weights=tuple(new_weights),
+        target=indicator_all + instance.target,
+        size=n,
+    )
+
+
+def verify_lemma_7_6(instance: SspInstance) -> bool:
+    """#SSP(instance) must equal #SSPk(reduced) — parsimony check."""
+    reduced = lemma_7_6_reduction(instance)
+    return count_ssp(instance) == count_sspk(reduced)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 7.5: #SSPk → RDC(CQ, F_mono), polynomial Turing reduction
+# ---------------------------------------------------------------------------
+
+def build_rdc_instance(instance: SspkInstance) -> DiversificationInstance:
+    """The RDC instance of Theorem 7.5: identity query over I_W,
+    δ_rel(w) = π(w), δ_dis ≡ 0, λ = 0, k = l."""
+    relation = Relation(RW_SCHEMA)
+    labels: dict[tuple[Any, ...], float] = {}
+    for i, weight in enumerate(instance.weights):
+        label = f"w{i}"
+        relation.add((label,))
+        labels[(label,)] = float(weight)
+    db = Database([relation])
+    query = identity_query(RW_SCHEMA)
+    objective = Objective.mono(
+        RelevanceFunction.from_table(labels, default=0.0),
+        DistanceFunction.constant(0.0),
+        lam=0.0,
+    )
+    return DiversificationInstance(query, db, k=max(instance.size, 1), objective=objective)
+
+
+def count_sspk_via_rdc(instance: SspkInstance, oracle: str = "brute-force") -> int:
+    """#SSPk(W, π, d, l) = RDC(…, B = d) − RDC(…, B = d+1).
+
+    ``oracle`` selects the RDC solver used for the two calls:
+    ``"brute-force"`` (the generic counter) or ``"modular-dp"`` (the
+    pseudo-polynomial DP, appropriate since the scores are integers).
+    """
+    if instance.size == 0:
+        return 1 if instance.target == 0 else 0
+    if instance.size > len(instance.weights):
+        return 0
+    rdc = build_rdc_instance(instance)
+    if oracle == "brute-force":
+        at_least_d = rdc_brute_force(rdc, float(instance.target))
+        at_least_d1 = rdc_brute_force(rdc, float(instance.target + 1))
+    elif oracle == "modular-dp":
+        at_least_d = rdc_count(rdc, float(instance.target), method="modular-dp")
+        at_least_d1 = rdc_count(rdc, float(instance.target + 1), method="modular-dp")
+    else:
+        raise ValueError(f"unknown oracle {oracle!r}")
+    return at_least_d - at_least_d1
+
+
+def verify_turing_reduction(instance: SspkInstance, oracle: str = "brute-force") -> bool:
+    """The two-oracle-call count must match the DP reference."""
+    return count_sspk_via_rdc(instance, oracle=oracle) == count_sspk(instance)
+
+
+def reduce_ssp_to_rdc(instance: SspInstance) -> ReducedCounting:
+    """Composite artifact: #SSP → (Lemma 7.6) → #SSPk → RDC instance.
+
+    The returned RDC instance's count at bound d′ minus its count at
+    bound d′+1 equals #SSP(instance).
+    """
+    sspk = lemma_7_6_reduction(instance)
+    rdc = build_rdc_instance(sspk)
+    return ReducedCounting(
+        rdc, bound=float(sspk.target), note="Theorem 7.5 via Lemma 7.6"
+    )

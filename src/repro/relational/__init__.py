@@ -1,0 +1,83 @@
+"""Relational substrate: schemas, databases, query ASTs and evaluation.
+
+Public surface::
+
+    from repro.relational import (
+        Database, Relation, RelationSchema, Row,
+        Query, QueryLanguage, identity_query,
+        evaluate, membership, active_domain,
+    )
+"""
+
+from .ast import (
+    And,
+    Comparison,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    QueryLanguage,
+    RelationAtom,
+    classify,
+)
+from .evaluate import (
+    EvaluationError,
+    active_domain,
+    evaluate,
+    holds,
+    membership,
+    result_size,
+)
+from .io import (
+    dump_database_json,
+    dump_relation_csv,
+    load_database_csv_directory,
+    load_database_json,
+    load_relation_csv,
+)
+from .parser import ParseError, parse_formula, parse_query
+from .queries import Query, QueryError, identity_query
+from .schema import Database, Relation, RelationSchema, Row, SchemaError
+from .terms import ComparisonOp, Const, Term, Var, as_term, parse_op
+
+__all__ = [
+    "And",
+    "Comparison",
+    "ComparisonOp",
+    "Const",
+    "Database",
+    "EvaluationError",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Not",
+    "Or",
+    "ParseError",
+    "Query",
+    "QueryError",
+    "QueryLanguage",
+    "Relation",
+    "RelationAtom",
+    "RelationSchema",
+    "Row",
+    "SchemaError",
+    "Term",
+    "Var",
+    "active_domain",
+    "as_term",
+    "classify",
+    "dump_database_json",
+    "dump_relation_csv",
+    "evaluate",
+    "holds",
+    "identity_query",
+    "load_database_csv_directory",
+    "load_database_json",
+    "load_relation_csv",
+    "membership",
+    "parse_formula",
+    "parse_op",
+    "parse_query",
+    "result_size",
+]

@@ -1,0 +1,142 @@
+"""Relational-algebra operators over :class:`~repro.relational.schema.Relation`.
+
+The paper notes (Section 4.1) that FO is relational algebra, CQ is the
+SPC fragment (selection, projection, Cartesian product), UCQ is SPCU and
+∃FO⁺ is SPCU with joins.  This module provides those operators directly;
+tests use them as an independent oracle against the logical evaluator
+(e.g. a CQ evaluated by joins must match the same query evaluated by the
+formula engine).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from .schema import Relation, RelationSchema, Row, SchemaError
+from .terms import ComparisonOp
+
+
+def select(
+    relation: Relation,
+    predicate: Callable[[Row], bool],
+    name: str | None = None,
+) -> Relation:
+    """σ_predicate(relation)."""
+    schema = relation.schema if name is None else relation.schema.rename(name)
+    out = Relation(schema)
+    for row in relation.rows:
+        if predicate(row):
+            out.add(Row(schema, row.values))
+    return out
+
+
+def select_compare(
+    relation: Relation,
+    attribute: str,
+    op: ComparisonOp,
+    value: Any,
+) -> Relation:
+    """σ_{attribute op value}(relation) with a built-in comparison."""
+    position = relation.schema.position(attribute)
+    return select(relation, lambda row: op.evaluate(row.values[position], value))
+
+
+def project(
+    relation: Relation, attributes: Sequence[str], name: str | None = None
+) -> Relation:
+    """π_attributes(relation) with set semantics."""
+    schema = RelationSchema(name or relation.schema.name, tuple(attributes))
+    positions = [relation.schema.position(a) for a in attributes]
+    out = Relation(schema)
+    for row in relation.rows:
+        out.add(Row(schema, tuple(row.values[p] for p in positions)))
+    return out
+
+
+def rename(relation: Relation, mapping: dict[str, str], name: str | None = None) -> Relation:
+    """ρ(relation): rename attributes according to ``mapping``."""
+    new_attrs = tuple(mapping.get(a, a) for a in relation.schema.attributes)
+    schema = RelationSchema(name or relation.schema.name, new_attrs)
+    out = Relation(schema)
+    for row in relation.rows:
+        out.add(Row(schema, row.values))
+    return out
+
+
+def product(left: Relation, right: Relation, name: str = "product") -> Relation:
+    """Cartesian product; attribute clashes are disambiguated with the
+    right relation's name as a prefix."""
+    right_attrs = []
+    for attr in right.schema.attributes:
+        if attr in left.schema.attributes:
+            right_attrs.append(f"{right.schema.name}.{attr}")
+        else:
+            right_attrs.append(attr)
+    schema = RelationSchema(name, left.schema.attributes + tuple(right_attrs))
+    out = Relation(schema)
+    for lrow in left.rows:
+        for rrow in right.rows:
+            out.add(Row(schema, lrow.values + rrow.values))
+    return out
+
+
+def natural_join(left: Relation, right: Relation, name: str = "join") -> Relation:
+    """⋈ on all shared attribute names (hash join)."""
+    shared = [a for a in left.schema.attributes if right.schema.has_attribute(a)]
+    right_extra = [a for a in right.schema.attributes if a not in shared]
+    schema = RelationSchema(name, left.schema.attributes + tuple(right_extra))
+
+    index: dict[tuple[Any, ...], list[Row]] = {}
+    right_shared_pos = [right.schema.position(a) for a in shared]
+    right_extra_pos = [right.schema.position(a) for a in right_extra]
+    for row in right.rows:
+        key = tuple(row.values[p] for p in right_shared_pos)
+        index.setdefault(key, []).append(row)
+
+    left_shared_pos = [left.schema.position(a) for a in shared]
+    out = Relation(schema)
+    for lrow in left.rows:
+        key = tuple(lrow.values[p] for p in left_shared_pos)
+        for rrow in index.get(key, ()):
+            out.add(Row(schema, lrow.values + tuple(rrow.values[p] for p in right_extra_pos)))
+    return out
+
+
+def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """∪ (schemas must have the same arity; attribute names from left)."""
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError("union requires relations of equal arity")
+    schema = left.schema if name is None else left.schema.rename(name)
+    out = Relation(schema)
+    for row in left.rows:
+        out.add(Row(schema, row.values))
+    for row in right.rows:
+        out.add(Row(schema, row.values))
+    return out
+
+
+def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """− (set difference by tuple values)."""
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError("difference requires relations of equal arity")
+    schema = left.schema if name is None else left.schema.rename(name)
+    right_values = {row.values for row in right.rows}
+    out = Relation(schema)
+    for row in left.rows:
+        if row.values not in right_values:
+            out.add(Row(schema, row.values))
+    return out
+
+
+def intersection(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """∩ (tuple-value intersection)."""
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError("intersection requires relations of equal arity")
+    schema = left.schema if name is None else left.schema.rename(name)
+    right_values = {row.values for row in right.rows}
+    out = Relation(schema)
+    for row in left.rows:
+        if row.values in right_values:
+            out.add(Row(schema, row.values))
+    return out

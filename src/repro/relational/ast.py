@@ -1,0 +1,348 @@
+"""First-order formula AST for the paper's query languages.
+
+Section 4.1 of the paper parameterizes the diversification problems by
+four query languages, all built from relation atoms and built-in
+predicates (=, !=, <, <=, >, >=):
+
+* **CQ** — closure under conjunction and existential quantification;
+* **UCQ** — finite unions of CQ queries;
+* **∃FO⁺** — closure under conjunction, disjunction and ∃;
+* **FO** — full first-order logic (adds negation and ∀).
+
+We represent all four with a single AST and classify formulas
+structurally (:func:`classify`).  Evaluation lives in
+:mod:`repro.relational.evaluate`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from .terms import ComparisonOp, Const, Term, Var, as_term, vars_in
+
+
+class Formula:
+    """Base class for formula nodes.  Nodes are immutable and hashable."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["RelationAtom"]:
+        """All relation atoms anywhere in the formula."""
+        raise NotImplementedError
+
+    def constants(self) -> frozenset[Any]:
+        """All constants mentioned in the formula (for adom(Q, D))."""
+        raise NotImplementedError
+
+    # -- operator sugar ------------------------------------------------
+    def __and__(self, other: "Formula") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class RelationAtom(Formula):
+    """An atom ``R(t1, ..., tn)`` over relation ``R``."""
+
+    __slots__ = ("relation", "terms")
+
+    def __init__(self, relation: str, terms: Sequence[Any]):
+        self.relation = relation
+        self.terms: tuple[Term, ...] = tuple(as_term(t) for t in terms)
+
+    def free_variables(self) -> frozenset[str]:
+        return vars_in(self.terms)
+
+    def atoms(self) -> Iterator["RelationAtom"]:
+        yield self
+
+    def constants(self) -> frozenset[Any]:
+        return frozenset(t.value for t in self.terms if isinstance(t, Const))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationAtom)
+            and self.relation == other.relation
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return hash(("RelationAtom", self.relation, self.terms))
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.terms))
+        return f"{self.relation}({args})"
+
+
+class Comparison(Formula):
+    """A built-in predicate ``left op right``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: ComparisonOp, left: Any, right: Any):
+        self.op = op
+        self.left: Term = as_term(left)
+        self.right: Term = as_term(right)
+
+    def free_variables(self) -> frozenset[str]:
+        return vars_in((self.left, self.right))
+
+    def atoms(self) -> Iterator[RelationAtom]:
+        return iter(())
+
+    def constants(self) -> frozenset[Any]:
+        return frozenset(
+            t.value for t in (self.left, self.right) if isinstance(t, Const)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op.value} {self.right!r})"
+
+
+class And(Formula):
+    """Conjunction of one or more subformulas (flattened)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[Formula]):
+        flat: list[Formula] = []
+        for child in children:
+            if isinstance(child, And):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise ValueError("And requires at least one child")
+        self.children: tuple[Formula, ...] = tuple(flat)
+
+    def free_variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for child in self.children:
+            result |= child.free_variables()
+        return result
+
+    def atoms(self) -> Iterator[RelationAtom]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def constants(self) -> frozenset[Any]:
+        result: frozenset[Any] = frozenset()
+        for child in self.children:
+            result |= child.constants()
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash(("And", self.children))
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.children)) + ")"
+
+
+class Or(Formula):
+    """Disjunction of one or more subformulas (flattened)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[Formula]):
+        flat: list[Formula] = []
+        for child in children:
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise ValueError("Or requires at least one child")
+        self.children: tuple[Formula, ...] = tuple(flat)
+
+    def free_variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for child in self.children:
+            result |= child.free_variables()
+        return result
+
+    def atoms(self) -> Iterator[RelationAtom]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def constants(self) -> frozenset[Any]:
+        result: frozenset[Any] = frozenset()
+        for child in self.children:
+            result |= child.constants()
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.children))
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.children)) + ")"
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Formula):
+        self.child = child
+
+    def free_variables(self) -> frozenset[str]:
+        return self.child.free_variables()
+
+    def atoms(self) -> Iterator[RelationAtom]:
+        yield from self.child.atoms()
+
+    def constants(self) -> frozenset[Any]:
+        return self.child.constants()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.child))
+
+    def __repr__(self) -> str:
+        return f"NOT {self.child!r}"
+
+
+class _Quantifier(Formula):
+    __slots__ = ("variables", "child")
+
+    def __init__(self, variables: Sequence[str] | str, child: Formula):
+        if isinstance(variables, str):
+            variables = (variables,)
+        names = tuple(v.name if isinstance(v, Var) else str(v) for v in variables)
+        if not names:
+            raise ValueError("quantifier requires at least one variable")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate quantified variables: {names}")
+        self.variables: tuple[str, ...] = names
+        self.child = child
+
+    def free_variables(self) -> frozenset[str]:
+        return self.child.free_variables() - frozenset(self.variables)
+
+    def atoms(self) -> Iterator[RelationAtom]:
+        yield from self.child.atoms()
+
+    def constants(self) -> frozenset[Any]:
+        return self.child.constants()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.variables == other.variables  # type: ignore[union-attr]
+            and self.child == other.child  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.variables, self.child))
+
+
+class Exists(_Quantifier):
+    """Existential quantification over one or more variables."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"EXISTS {','.join(self.variables)} . {self.child!r}"
+
+
+class Forall(_Quantifier):
+    """Universal quantification over one or more variables."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"FORALL {','.join(self.variables)} . {self.child!r}"
+
+
+class QueryLanguage(enum.Enum):
+    """The query languages of the paper, ordered by expressiveness."""
+
+    IDENTITY = "identity"
+    CQ = "CQ"
+    UCQ = "UCQ"
+    EFO_PLUS = "∃FO+"
+    FO = "FO"
+
+    def subsumes(self, other: "QueryLanguage") -> bool:
+        """Does this language contain the other (syntactically)?"""
+        order = [
+            QueryLanguage.IDENTITY,
+            QueryLanguage.CQ,
+            QueryLanguage.UCQ,
+            QueryLanguage.EFO_PLUS,
+            QueryLanguage.FO,
+        ]
+        return order.index(self) >= order.index(other)
+
+
+def _is_cq_body(formula: Formula) -> bool:
+    """Is ``formula`` a CQ body (atoms/comparisons under And/Exists)?"""
+    if isinstance(formula, (RelationAtom, Comparison)):
+        return True
+    if isinstance(formula, And):
+        return all(_is_cq_body(c) for c in formula.children)
+    if isinstance(formula, Exists):
+        return _is_cq_body(formula.child)
+    return False
+
+
+def _is_ucq_body(formula: Formula) -> bool:
+    """Is ``formula`` a union (Or) of CQ bodies?  A single CQ also counts."""
+    if isinstance(formula, Or):
+        return all(_is_ucq_body(c) for c in formula.children)
+    return _is_cq_body(formula)
+
+
+def _is_positive_existential(formula: Formula) -> bool:
+    """No negation and no universal quantification anywhere."""
+    if isinstance(formula, (RelationAtom, Comparison)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(_is_positive_existential(c) for c in formula.children)
+    if isinstance(formula, Exists):
+        return _is_positive_existential(formula.child)
+    return False
+
+
+def classify(formula: Formula) -> QueryLanguage:
+    """The *smallest* language of the paper that contains ``formula``.
+
+    Classification is syntactic: a formula logically equivalent to a CQ
+    but written with double negation is classified FO.  This mirrors the
+    paper, where the language is a property of the query's syntax.
+    """
+    if _is_cq_body(formula):
+        return QueryLanguage.CQ
+    if _is_ucq_body(formula):
+        return QueryLanguage.UCQ
+    if _is_positive_existential(formula):
+        return QueryLanguage.EFO_PLUS
+    return QueryLanguage.FO

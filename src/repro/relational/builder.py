@@ -1,0 +1,77 @@
+"""Fluent helpers for building formulas and queries.
+
+These are thin wrappers over the AST constructors so examples and tests
+read close to the paper's notation::
+
+    from repro.relational import builder as qb
+
+    body = qb.exists(
+        ["t", "p", "s"],
+        qb.atom("catalog", "?n", "?t", "?p", "?s")
+        & qb.cmp("?p", "<=", 30)
+        & qb.cmp("?p", ">=", 20),
+    )
+    query = qb.query(["n"], body)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from .ast import And, Comparison, Exists, Forall, Formula, Not, Or, RelationAtom
+from .queries import Query
+from .terms import parse_op
+
+
+def atom(relation: str, *terms: Any) -> RelationAtom:
+    """``R(t1, ..., tn)``; ``"?x"`` strings become variables."""
+    return RelationAtom(relation, terms)
+
+
+def cmp(left: Any, op: str, right: Any) -> Comparison:
+    """A built-in comparison, e.g. ``cmp("?p", "<=", 30)``."""
+    return Comparison(parse_op(op), left, right)
+
+
+def eq(left: Any, right: Any) -> Comparison:
+    return cmp(left, "=", right)
+
+
+def ne(left: Any, right: Any) -> Comparison:
+    return cmp(left, "!=", right)
+
+
+def conj(*formulas: Formula) -> Formula:
+    """Conjunction; a single argument passes through unchanged."""
+    if len(formulas) == 1:
+        return formulas[0]
+    return And(formulas)
+
+
+def disj(*formulas: Formula) -> Formula:
+    """Disjunction; a single argument passes through unchanged."""
+    if len(formulas) == 1:
+        return formulas[0]
+    return Or(formulas)
+
+
+def neg(formula: Formula) -> Not:
+    return Not(formula)
+
+
+def exists(variables: Sequence[str] | str, child: Formula) -> Exists:
+    return Exists(variables, child)
+
+
+def forall(variables: Sequence[str] | str, child: Formula) -> Forall:
+    return Forall(variables, child)
+
+
+def query(
+    head: Sequence[str],
+    body: Formula,
+    name: str = "Q",
+    attribute_names: Sequence[str] | None = None,
+) -> Query:
+    return Query(head, body, name=name, attribute_names=attribute_names)

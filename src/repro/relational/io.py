@@ -1,0 +1,144 @@
+"""Loading and saving relations: CSV and JSON.
+
+Small, dependency-free I/O so databases can come from files rather than
+code (what the CLI and downstream users need):
+
+* CSV — the header row names the attributes; values are parsed as int →
+  float → string (``parse_values=False`` keeps everything as strings);
+* JSON — either ``{"name": ..., "attributes": [...], "rows": [[...]]}``
+  for one relation or ``{"relations": [...]}`` for a database.
+
+Round-tripping (:func:`dump_*` then :func:`load_*`) preserves relation
+contents exactly for int/float/str values.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from .schema import Database, Relation, RelationSchema, SchemaError
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def load_relation_csv(
+    source: str | Path | io.TextIOBase,
+    name: str | None = None,
+    parse_values: bool = True,
+) -> Relation:
+    """Load one relation from a CSV file (header = attribute names)."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open(newline="") as handle:
+            return load_relation_csv(handle, name=name or path.stem, parse_values=parse_values)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty (no header row)") from None
+    schema = RelationSchema(name or "relation", tuple(h.strip() for h in header))
+    relation = Relation(schema)
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != schema.arity:
+            raise SchemaError(
+                f"CSV line {line_number}: expected {schema.arity} values, "
+                f"got {len(row)}"
+            )
+        values = [(_parse_value(v) if parse_values else v) for v in row]
+        relation.add(tuple(values))
+    return relation
+
+
+def dump_relation_csv(relation: Relation, target: str | Path | io.TextIOBase) -> None:
+    """Write one relation as CSV (deterministic row order)."""
+    if isinstance(target, (str, Path)):
+        with Path(target).open("w", newline="") as handle:
+            dump_relation_csv(relation, handle)
+        return
+    writer = csv.writer(target)
+    writer.writerow(relation.schema.attributes)
+    for row in relation.sorted_rows():
+        writer.writerow(row.values)
+
+
+def relation_to_dict(relation: Relation) -> dict[str, Any]:
+    return {
+        "name": relation.schema.name,
+        "attributes": list(relation.schema.attributes),
+        "rows": [list(row.values) for row in relation.sorted_rows()],
+    }
+
+
+def relation_from_dict(data: dict[str, Any]) -> Relation:
+    try:
+        schema = RelationSchema(data["name"], tuple(data["attributes"]))
+        rows = data["rows"]
+    except KeyError as missing:
+        raise SchemaError(f"relation JSON lacks key {missing}") from None
+    relation = Relation(schema)
+    for row in rows:
+        relation.add(tuple(row))
+    return relation
+
+
+def database_to_dict(db: Database) -> dict[str, Any]:
+    return {
+        "relations": [
+            relation_to_dict(db.relation(name)) for name in db.relation_names
+        ]
+    }
+
+
+def database_from_dict(data: dict[str, Any]) -> Database:
+    if "relations" not in data:
+        raise SchemaError('database JSON needs a "relations" list')
+    return Database(relation_from_dict(r) for r in data["relations"])
+
+
+def load_database_json(source: str | Path | io.TextIOBase) -> Database:
+    """Load a database (or single relation) from JSON."""
+    if isinstance(source, (str, Path)):
+        with Path(source).open() as handle:
+            return load_database_json(handle)
+    data = json.load(source)
+    if "relations" in data:
+        return database_from_dict(data)
+    return Database([relation_from_dict(data)])
+
+
+def dump_database_json(
+    db: Database, target: str | Path | io.TextIOBase, indent: int = 2
+) -> None:
+    """Write a database as JSON."""
+    if isinstance(target, (str, Path)):
+        with Path(target).open("w") as handle:
+            dump_database_json(db, handle, indent=indent)
+        return
+    json.dump(database_to_dict(db), target, indent=indent)
+
+
+def load_database_csv_directory(directory: str | Path) -> Database:
+    """Load every ``*.csv`` in a directory as one database (file stem =
+    relation name)."""
+    directory = Path(directory)
+    relations = [
+        load_relation_csv(path) for path in sorted(directory.glob("*.csv"))
+    ]
+    if not relations:
+        raise SchemaError(f"no CSV files found in {directory}")
+    return Database(relations)

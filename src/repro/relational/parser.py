@@ -1,0 +1,318 @@
+"""A textual query language (Datalog-style with FO extensions).
+
+Grammar (case-sensitive; ``--`` starts a line comment)::
+
+    query        :=  head ":-" formula
+    head         :=  NAME "(" var ("," var)* ")"
+    formula      :=  disjunct ("or" disjunct)*
+    disjunct     :=  unary (("," | "and") unary)*
+    unary        :=  "not" unary
+                  |  "exists" varlist ":" unary
+                  |  "forall" varlist ":" unary
+                  |  "(" formula ")"
+                  |  atom | comparison
+    atom         :=  NAME "(" term ("," term)* ")"
+    comparison   :=  term OP term          OP ∈ {=, !=, <, <=, >, >=}
+    term         :=  VARIABLE | NUMBER | STRING | lowercase-NAME
+
+Following Datalog convention, identifiers starting with an uppercase
+letter (or ``_``) are **variables**; lowercase identifiers are string
+constants; numbers and single/double-quoted strings are constants.
+
+Examples::
+
+    parse_query("Q(X) :- edge(X, Y), Y > 3")
+    parse_query('''
+        Sink(X) :- node(X, L), forall W : not edge(X, W)
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from .ast import And, Comparison, Exists, Forall, Formula, Not, Or, RelationAtom
+from .queries import Query
+from .terms import Const, Term, Var, parse_op
+
+
+class ParseError(ValueError):
+    """Raised on malformed query text, with position information."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|==|=|<|>)
+  | (?P<arrow>:-)
+  | (?P<punct>[(),:])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({"not", "exists", "forall", "and", "or"})
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[index]!r} at position {index}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        index = match.end()
+        if kind == "ws":
+            continue
+        if kind == "punct" and value == ":" and tokens and index < len(text):
+            # ':-' is matched as ':' then '-'? No: ':-' needs a lookahead.
+            pass
+        tokens.append(_Token(kind, value, match.start()))
+    return _merge_rule_arrow(tokens)
+
+
+def _merge_rule_arrow(tokens: list[_Token]) -> list[_Token]:
+    """Merge ':' '-' (tokenized separately when NUMBER grabbed the '-')
+    and recognize ':-' written with whitespace between the characters."""
+    merged: list[_Token] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if (
+            token.kind == "punct"
+            and token.text == ":"
+            and i + 1 < len(tokens)
+            and tokens[i + 1].text.startswith("-")
+        ):
+            nxt = tokens[i + 1]
+            if nxt.text == "-":
+                merged.append(_Token("arrow", ":-", token.position))
+                i += 2
+                continue
+            if nxt.kind == "number" and nxt.text.startswith("-"):
+                # ':' directly followed by a negative number literal:
+                # reinterpret as ':-' plus the positive number.
+                merged.append(_Token("arrow", ":-", token.position))
+                merged.append(
+                    _Token("number", nxt.text[1:], nxt.position + 1)
+                )
+                i += 2
+                continue
+        merged.append(token)
+        i += 1
+    return merged
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {token.text!r} "
+                f"at position {token.position}"
+            )
+        return token
+
+    def _at(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.text == text
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "name" and token.text == word
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_query(self, name_hint: str | None = None) -> Query:
+        head_name, head_vars = self._parse_head()
+        self._expect(":-")
+        body = self.parse_formula()
+        self._ensure_consumed()
+        return Query(head_vars, body, name=name_hint or head_name)
+
+    def _parse_head(self) -> tuple[str, list[str]]:
+        token = self._next()
+        if token.kind != "name":
+            raise ParseError(
+                f"expected a head predicate name at position {token.position}"
+            )
+        name = token.text
+        self._expect("(")
+        variables: list[str] = []
+        while True:
+            var_token = self._next()
+            if var_token.kind != "name" or not _is_variable(var_token.text):
+                raise ParseError(
+                    f"head arguments must be variables; found "
+                    f"{var_token.text!r} at position {var_token.position}"
+                )
+            variables.append(var_token.text)
+            if self._at(")"):
+                self._next()
+                break
+            self._expect(",")
+        return name, variables
+
+    def parse_formula(self) -> Formula:
+        disjuncts = [self._parse_conjunction()]
+        while self._at_keyword("or"):
+            self._next()
+            disjuncts.append(self._parse_conjunction())
+        if len(disjuncts) == 1:
+            return disjuncts[0]
+        return Or(disjuncts)
+
+    def _parse_conjunction(self) -> Formula:
+        conjuncts = [self._parse_unary()]
+        while True:
+            if self._at(","):
+                self._next()
+            elif self._at_keyword("and"):
+                self._next()
+            else:
+                break
+            conjuncts.append(self._parse_unary())
+        if len(conjuncts) == 1:
+            return conjuncts[0]
+        return And(conjuncts)
+
+    def _parse_unary(self) -> Formula:
+        if self._at_keyword("not"):
+            self._next()
+            return Not(self._parse_unary())
+        if self._at_keyword("exists") or self._at_keyword("forall"):
+            keyword = self._next().text
+            variables = self._parse_varlist()
+            self._expect(":")
+            child = self._parse_unary()
+            if keyword == "exists":
+                return Exists(variables, child)
+            return Forall(variables, child)
+        if self._at("("):
+            self._next()
+            inner = self.parse_formula()
+            self._expect(")")
+            return inner
+        return self._parse_atom_or_comparison()
+
+    def _parse_varlist(self) -> list[str]:
+        variables: list[str] = []
+        while True:
+            token = self._next()
+            if token.kind != "name" or not _is_variable(token.text):
+                raise ParseError(
+                    f"quantified names must be variables; found "
+                    f"{token.text!r} at position {token.position}"
+                )
+            variables.append(token.text)
+            if self._at(","):
+                self._next()
+                continue
+            break
+        return variables
+
+    def _parse_atom_or_comparison(self) -> Formula:
+        token = self._next()
+        # Relation atom: NAME followed by '('.
+        if token.kind == "name" and token.text not in _KEYWORDS and self._at("("):
+            self._next()  # consume '('
+            terms: list[Term] = []
+            while True:
+                terms.append(self._parse_term())
+                if self._at(")"):
+                    self._next()
+                    break
+                self._expect(",")
+            return RelationAtom(token.text, terms)
+        # Otherwise: comparison — re-read the first term.
+        left = self._term_from_token(token)
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise ParseError(
+                f"expected a comparison operator at position "
+                f"{op_token.position}, found {op_token.text!r}"
+            )
+        right = self._parse_term()
+        return Comparison(parse_op(op_token.text), left, right)
+
+    def _parse_term(self) -> Term:
+        return self._term_from_token(self._next())
+
+    def _term_from_token(self, token: _Token) -> Term:
+        if token.kind == "number":
+            text = token.text
+            return Const(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            return Const(token.text[1:-1])
+        if token.kind == "name":
+            if token.text in _KEYWORDS:
+                raise ParseError(
+                    f"keyword {token.text!r} cannot be a term "
+                    f"(position {token.position})"
+                )
+            if _is_variable(token.text):
+                return Var(token.text)
+            return Const(token.text)
+        raise ParseError(
+            f"expected a term at position {token.position}, "
+            f"found {token.text!r}"
+        )
+
+    def _ensure_consumed(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise ParseError(
+                f"unexpected trailing input {token.text!r} at position "
+                f"{token.position}"
+            )
+
+
+def _is_variable(name: str) -> bool:
+    return name[0].isupper() or name[0] == "_"
+
+
+def parse_query(text: str, name: str | None = None) -> Query:
+    """Parse ``Head(X, ...) :- formula`` into a :class:`Query`."""
+    return _Parser(_tokenize(text), text).parse_query(name_hint=name)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a bare formula (no head)."""
+    parser = _Parser(_tokenize(text), text)
+    formula = parser.parse_formula()
+    parser._ensure_consumed()
+    return formula

@@ -1,0 +1,114 @@
+"""Query objects: a head (output variables) plus a formula body.
+
+A :class:`Query` is the paper's ``Q``: evaluating it on a database ``D``
+yields the answer relation ``Q(D)`` over the result schema ``RQ``.
+Identity queries (``Q(x̄) = R(x̄)``, Section 8) are provided by
+:func:`identity_query` and recognized by :meth:`Query.is_identity`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from .ast import Formula, QueryLanguage, RelationAtom, classify
+from .schema import Database, RelationSchema
+from .terms import Var
+
+
+class QueryError(ValueError):
+    """Raised for malformed queries (e.g. unbound head variables)."""
+
+
+class Query:
+    """A relational query ``Q(head) = body``.
+
+    Parameters
+    ----------
+    head:
+        Names of the output variables, in order.  They must be free in
+        ``body``.
+    body:
+        The :class:`~repro.relational.ast.Formula` defining the query.
+    name:
+        Name for the result schema ``RQ`` (defaults to ``"Q"``).
+    attribute_names:
+        Optional attribute names for the result schema; defaults to the
+        head variable names.
+    """
+
+    def __init__(
+        self,
+        head: Sequence[str],
+        body: Formula,
+        name: str = "Q",
+        attribute_names: Sequence[str] | None = None,
+    ):
+        head_names = tuple(v.name if isinstance(v, Var) else str(v).lstrip("?") for v in head)
+        if len(set(head_names)) != len(head_names):
+            raise QueryError(f"duplicate head variables: {head_names}")
+        if not head_names:
+            raise QueryError("queries must output at least one variable")
+        free = body.free_variables()
+        unbound = [v for v in head_names if v not in free]
+        if unbound:
+            raise QueryError(
+                f"head variables {unbound} do not occur free in the body "
+                f"(free variables: {sorted(free)})"
+            )
+        self.head = head_names
+        self.body = body
+        self.name = name
+        attrs = tuple(attribute_names) if attribute_names is not None else head_names
+        if len(attrs) != len(head_names):
+            raise QueryError("attribute_names must match head arity")
+        self.result_schema = RelationSchema(name, attrs)
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def language(self) -> QueryLanguage:
+        """The smallest language of the paper containing this query."""
+        if self.is_identity():
+            return QueryLanguage.IDENTITY
+        return classify(self.body)
+
+    def is_identity(self) -> bool:
+        """Is this an identity query ``Q(x̄) = R(x̄)`` (Section 8)?"""
+        body = self.body
+        if not isinstance(body, RelationAtom):
+            return False
+        if any(not isinstance(t, Var) for t in body.terms):
+            return False
+        return tuple(t.name for t in body.terms) == self.head  # type: ignore[union-attr]
+
+    def constants(self) -> frozenset[Any]:
+        """Constants appearing in the query (for adom(Q, D))."""
+        return self.body.constants()
+
+    def extra_free_variables(self) -> frozenset[str]:
+        """Free body variables that are not output (disallowed in
+        evaluation; callers should quantify them away explicitly)."""
+        return self.body.free_variables() - frozenset(self.head)
+
+    def __repr__(self) -> str:
+        return f"Query({self.name}({', '.join(self.head)}) = {self.body!r})"
+
+
+def identity_query(schema: RelationSchema, name: str | None = None) -> Query:
+    """Build the identity query on instances of ``schema``.
+
+    For any database ``D`` containing a relation of this schema,
+    ``Q(D) = D[schema.name]`` — the special case studied throughout
+    Section 8 and in all prior work the paper compares against.
+    """
+    variables = tuple(f"x{i}" for i in range(schema.arity))
+    body = RelationAtom(schema.name, tuple(Var(v) for v in variables))
+    return Query(
+        variables,
+        body,
+        name=name or schema.name,
+        attribute_names=schema.attributes,
+    )

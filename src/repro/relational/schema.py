@@ -1,0 +1,279 @@
+"""Relational schemas, tuples, relations and databases.
+
+The paper (Section 3.1) models a database ``D`` over a relational schema
+``R = (R1, ..., Rn)`` where each relation schema is defined over a fixed
+set of attributes.  This module provides the in-memory substrate that all
+higher layers (query evaluation, diversification, reductions) build on.
+
+Values are plain hashable Python objects (ints, floats, strings).  A tuple
+of a relation is an immutable :class:`Row` that knows its schema, supports
+attribute access by name (``row["price"]``) and positional access
+(``row.values[i]``), and is hashable so it can live in sets and serve as a
+dictionary key (distance functions are keyed on pairs of rows).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is malformed or a tuple does not match it."""
+
+
+class RelationSchema:
+    """A named relation schema: a relation name plus an attribute list.
+
+    Example (the paper's Example 1.1 catalog relation)::
+
+        catalog = RelationSchema(
+            "catalog", ("item", "type", "price", "inStock"))
+    """
+
+    __slots__ = ("name", "attributes", "_positions")
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attributes in schema {name!r}: {attrs}")
+        if not attrs:
+            raise SchemaError(f"schema {name!r} must have at least one attribute")
+        self.name = name
+        self.attributes = attrs
+        self._positions = {a: i for i, a in enumerate(attrs)}
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def position(self, attribute: str) -> int:
+        """Return the index of ``attribute``, raising SchemaError if absent."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {self.attributes}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def row(self, *values: Any, **named: Any) -> "Row":
+        """Build a :class:`Row` of this schema from positional or named values."""
+        if values and named:
+            raise SchemaError("pass either positional or named values, not both")
+        if named:
+            missing = [a for a in self.attributes if a not in named]
+            if missing:
+                raise SchemaError(f"missing values for attributes {missing}")
+            extra = [a for a in named if a not in self._positions]
+            if extra:
+                raise SchemaError(f"unknown attributes {extra}")
+            values = tuple(named[a] for a in self.attributes)
+        return Row(self, values)
+
+    def rename(self, name: str) -> "RelationSchema":
+        return RelationSchema(name, self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.name == other.name
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({self.name!r}, {self.attributes!r})"
+
+
+class Row:
+    """An immutable tuple of a relation, tied to a :class:`RelationSchema`.
+
+    Rows compare and hash by **schema attributes + values** (not by schema
+    name), so the same data surfacing through differently-named queries is
+    still recognized as the same answer tuple.
+    """
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: RelationSchema, values: Sequence[Any]):
+        values = tuple(values)
+        if len(values) != schema.arity:
+            raise SchemaError(
+                f"tuple arity {len(values)} does not match schema "
+                f"{schema.name!r} of arity {schema.arity}"
+            )
+        self.schema = schema
+        self.values = values
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.values[self.schema.position(attribute)]
+
+    def at(self, index: int) -> Any:
+        """Positional access (0-based)."""
+        return self.values[index]
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self.schema.attributes, self.values))
+
+    def project(self, attributes: Sequence[str], schema: RelationSchema | None = None) -> "Row":
+        """Return a new row with only ``attributes``, in the given order."""
+        values = tuple(self[a] for a in attributes)
+        if schema is None:
+            schema = RelationSchema(self.schema.name, attributes)
+        return Row(schema, values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Row)
+            and self.values == other.values
+            and self.schema.attributes == other.schema.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __lt__(self, other: "Row") -> bool:
+        return self.values < other.values
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{a}={v!r}" for a, v in zip(self.schema.attributes, self.values))
+        return f"Row({pairs})"
+
+
+class Relation:
+    """A finite set of :class:`Row` values over one :class:`RelationSchema`."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Row | Sequence[Any]] = ()):
+        self.schema = schema
+        self._rows: set[Row] = set()
+        for row in rows:
+            self.add(row)
+
+    def add(self, row: Row | Sequence[Any]) -> None:
+        if not isinstance(row, Row):
+            row = Row(self.schema, row)
+        elif row.schema.attributes != self.schema.attributes:
+            raise SchemaError(
+                f"row schema {row.schema.attributes} does not match relation "
+                f"schema {self.schema.attributes}"
+            )
+        self._rows.add(row)
+
+    def discard(self, row: Row) -> None:
+        self._rows.discard(row)
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        return frozenset(self._rows)
+
+    def sorted_rows(self) -> list[Row]:
+        """Rows in a deterministic (value-sorted) order."""
+        return sorted(self._rows, key=lambda r: tuple(map(_sort_key, r.values)))
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.sorted_rows())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self.schema.attributes == other.schema.attributes
+            and self._rows == other._rows
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - relations rarely hashed
+        return hash((self.schema.attributes, frozenset(self._rows)))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name!r}, {len(self)} rows)"
+
+
+def _sort_key(value: Any) -> tuple[str, str]:
+    """Total order over mixed-type values: group by type name, then repr."""
+    return (type(value).__name__, repr(value))
+
+
+class Database:
+    """A named collection of :class:`Relation` instances.
+
+    The active domain (set of constants appearing anywhere in the database)
+    is what FO quantifiers range over; it is computed lazily and cached,
+    and the cache is invalidated on mutation.
+    """
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        self._adom_cache: frozenset[Any] | None = None
+        for relation in relations:
+            self.add_relation(relation)
+
+    def add_relation(self, relation: Relation) -> None:
+        if relation.schema.name in self._relations:
+            raise SchemaError(f"duplicate relation {relation.schema.name!r}")
+        self._relations[relation.schema.name] = relation
+        self._adom_cache = None
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"database has no relation {name!r}; "
+                f"relations are {sorted(self._relations)}"
+            ) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def insert(self, relation_name: str, *values: Any) -> Row:
+        """Insert a tuple into ``relation_name`` and return the new row."""
+        relation = self.relation(relation_name)
+        row = Row(relation.schema, values)
+        relation.add(row)
+        self._adom_cache = None
+        return row
+
+    def active_domain(self, extra: Iterable[Any] = ()) -> frozenset[Any]:
+        """All constants in the database, optionally extended with ``extra``.
+
+        ``extra`` is for constants that occur in the query but not in the
+        data — the paper's ``adom(Q, D)``.
+        """
+        if self._adom_cache is None:
+            domain: set[Any] = set()
+            for relation in self._relations.values():
+                for row in relation.rows:
+                    domain.update(row.values)
+            self._adom_cache = frozenset(domain)
+        extra = frozenset(extra)
+        if extra:
+            return self._adom_cache | extra
+        return self._adom_cache
+
+    def total_rows(self) -> int:
+        return sum(len(r) for r in self._relations.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}({len(self._relations[name])})" for name in self.relation_names
+        )
+        return f"Database({parts})"

@@ -1,0 +1,147 @@
+"""Terms (variables and constants) and built-in comparison predicates.
+
+The paper's query languages are built from relation atoms and built-in
+predicates ``=, !=, <, <=, >, >=`` over terms (Section 4.1).  A term is
+either a :class:`Var` or a :class:`Const`; comparison operators are the
+:class:`ComparisonOp` enum with executable semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from typing import Any, Callable, Mapping, Union
+
+
+class Var:
+    """A query variable, identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+class Const:
+    """A constant term wrapping a hashable Python value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+Term = Union[Var, Const]
+
+
+def as_term(value: Any) -> Term:
+    """Coerce a raw value to a term.
+
+    Strings beginning with ``?`` become variables (convenience used
+    throughout tests and examples); anything else becomes a constant.
+    ``Var``/``Const`` instances pass through unchanged.
+    """
+    if isinstance(value, (Var, Const)):
+        return value
+    if isinstance(value, str) and value.startswith("?"):
+        return Var(value[1:])
+    return Const(value)
+
+
+def vars_in(terms: tuple[Term, ...]) -> frozenset[str]:
+    """Names of variables among ``terms``."""
+    return frozenset(t.name for t in terms if isinstance(t, Var))
+
+
+class ComparisonOp(enum.Enum):
+    """Built-in predicates of the paper's query languages."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def func(self) -> Callable[[Any, Any], bool]:
+        return _OP_FUNCS[self]
+
+    def negate(self) -> "ComparisonOp":
+        return _OP_NEGATIONS[self]
+
+    def flip(self) -> "ComparisonOp":
+        """The operator with arguments swapped (e.g. ``<`` becomes ``>``)."""
+        return _OP_FLIPS[self]
+
+    def evaluate(self, left: Any, right: Any) -> bool:
+        """Apply the comparison; order comparisons between incomparable
+        types (e.g. int vs str) evaluate to False rather than raising,
+        matching SQL-style three-valued pragmatics collapsed to boolean."""
+        if self in (ComparisonOp.EQ, ComparisonOp.NE):
+            return self.func(left, right)
+        try:
+            return self.func(left, right)
+        except TypeError:
+            return False
+
+    def __repr__(self) -> str:
+        return f"ComparisonOp({self.value!r})"
+
+
+_OP_FUNCS: Mapping[ComparisonOp, Callable[[Any, Any], bool]] = {
+    ComparisonOp.EQ: operator.eq,
+    ComparisonOp.NE: operator.ne,
+    ComparisonOp.LT: operator.lt,
+    ComparisonOp.LE: operator.le,
+    ComparisonOp.GT: operator.gt,
+    ComparisonOp.GE: operator.ge,
+}
+
+_OP_NEGATIONS: Mapping[ComparisonOp, ComparisonOp] = {
+    ComparisonOp.EQ: ComparisonOp.NE,
+    ComparisonOp.NE: ComparisonOp.EQ,
+    ComparisonOp.LT: ComparisonOp.GE,
+    ComparisonOp.LE: ComparisonOp.GT,
+    ComparisonOp.GT: ComparisonOp.LE,
+    ComparisonOp.GE: ComparisonOp.LT,
+}
+
+_OP_FLIPS: Mapping[ComparisonOp, ComparisonOp] = {
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+}
+
+
+def parse_op(symbol: str) -> ComparisonOp:
+    """Parse an operator symbol, accepting ``==`` and ``<>`` aliases."""
+    aliases = {"==": "=", "<>": "!="}
+    symbol = aliases.get(symbol, symbol)
+    for op in ComparisonOp:
+        if op.value == symbol:
+            return op
+    raise ValueError(f"unknown comparison operator {symbol!r}")

@@ -1,0 +1,105 @@
+"""Course-package selection with prerequisite constraints (Example 9.1).
+
+A small curriculum database plus the ρ2-style prerequisite constraints
+of Koutrika et al. / Parameswaran et al. that Section 9 motivates:
+selecting a course requires all of its prerequisites in the package.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.constraints import CompatibilityConstraint, ConstraintBuilder, ConstraintSet
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..relational.queries import Query, identity_query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+
+COURSES = RelationSchema("courses", ("id", "title", "area", "level", "rating"))
+
+AREAS = ("systems", "theory", "ai", "databases", "hci")
+
+_DEFAULT_CATALOG = (
+    ("CS101", "Intro Programming", "systems", 1, 4.1),
+    ("CS110", "Discrete Math", "theory", 1, 3.8),
+    ("CS220", "Data Structures", "systems", 2, 4.3),
+    ("CS230", "Databases I", "databases", 2, 4.0),
+    ("CS240", "Statistics", "theory", 2, 3.6),
+    ("CS310", "Algorithms", "theory", 3, 4.5),
+    ("CS320", "Machine Learning", "ai", 3, 4.7),
+    ("CS330", "Databases II", "databases", 3, 4.2),
+    ("CS340", "Interaction Design", "hci", 3, 3.9),
+    ("CS350", "Operating Systems", "systems", 3, 4.4),
+    ("CS450", "Distributed Systems", "systems", 4, 4.6),
+    ("CS460", "Advanced ML", "ai", 4, 4.8),
+)
+
+PREREQUISITES: dict[str, tuple[str, ...]] = {
+    "CS220": ("CS101",),
+    "CS310": ("CS110", "CS220"),
+    "CS320": ("CS240",),
+    "CS330": ("CS230",),
+    "CS450": ("CS220", "CS350"),
+    "CS460": ("CS320",),
+}
+
+
+def generate(extra_courses: int = 0, seed: int = 3) -> Database:
+    """The default curriculum, optionally padded with random electives."""
+    rng = random.Random(seed)
+    relation = Relation(COURSES)
+    for values in _DEFAULT_CATALOG:
+        relation.add(values)
+    for i in range(extra_courses):
+        relation.add(
+            (
+                f"EL{i:03d}",
+                f"Elective {i}",
+                rng.choice(AREAS),
+                1 + rng.randrange(4),
+                round(3.0 + rng.random() * 2.0, 1),
+            )
+        )
+    return Database([relation])
+
+
+def catalog_query() -> Query:
+    """The identity query over the course catalog."""
+    return identity_query(COURSES)
+
+
+def prerequisite_constraints(
+    prerequisites: dict[str, tuple[str, ...]] | None = None,
+) -> ConstraintSet:
+    """ρ2-style constraints: each course pulls in its prerequisites.
+
+    The class constant m is the largest prerequisite list (≥ 2).
+    """
+    prerequisites = PREREQUISITES if prerequisites is None else prerequisites
+    constraints: list[CompatibilityConstraint] = []
+    widest = 2
+    for course, required in prerequisites.items():
+        constraints.append(
+            ConstraintBuilder.prerequisite(
+                "id", course, required, name=f"prereq[{course}]"
+            )
+        )
+        widest = max(widest, len(required))
+    return ConstraintSet(constraints, m=widest)
+
+
+def rating_relevance() -> RelevanceFunction:
+    """δ_rel = the course's rating."""
+    return RelevanceFunction.from_attribute("rating")
+
+
+def area_distance() -> DistanceFunction:
+    """δ_dis: 2 across areas, 1 across levels in the same area, else 0."""
+
+    def func(left: Row, right: Row) -> float:
+        if left["area"] != right["area"]:
+            return 2.0
+        if left["level"] != right["level"]:
+            return 1.0
+        return 0.0
+
+    return DistanceFunction.from_callable(func, name="area-level")

@@ -1,0 +1,184 @@
+"""The FindGift scenario of Examples 1.1 and 3.1.
+
+Schemas (verbatim from the paper)::
+
+    catalog(item, type, price, inStock)
+    history(item, buyer, recipient, gender, age, rel, event, rating)
+
+:func:`generate` builds a deterministic synthetic database;
+:func:`peter_query` is the paper's Q0 — gifts in a price range that
+Peter has not already bought for Grace (an FO query: it needs negation
+over ``history``); :func:`peter_query_cq` is the CQ fragment without the
+novelty condition.  :func:`relevance_from_history` and
+:func:`type_distance` realize the δ_rel / δ_dis sketched in Example 3.1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..relational.ast import And, Comparison, Exists, Forall, Not, RelationAtom
+from ..relational.queries import Query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+from ..relational.terms import ComparisonOp, Var
+
+CATALOG = RelationSchema("catalog", ("item", "type", "price", "inStock"))
+HISTORY = RelationSchema(
+    "history",
+    ("item", "buyer", "recipient", "gender", "age", "rel", "event", "rating"),
+)
+
+GIFT_TYPES = (
+    "jewelry",
+    "book",
+    "artsy",
+    "educational",
+    "fashion",
+    "game",
+    "music",
+    "sports",
+)
+
+_TYPE_CATEGORY = {
+    "jewelry": "style",
+    "fashion": "style",
+    "book": "culture",
+    "artsy": "culture",
+    "music": "culture",
+    "educational": "learning",
+    "game": "play",
+    "sports": "play",
+}
+
+EVENTS = ("birthday", "wedding", "holiday")
+RELATIONSHIPS = ("relative", "friend", "colleague")
+
+
+def generate(
+    num_items: int = 40,
+    num_history: int = 120,
+    seed: int = 7,
+) -> Database:
+    """A deterministic synthetic FindGift database."""
+    rng = random.Random(seed)
+    catalog = Relation(CATALOG)
+    for i in range(num_items):
+        catalog.add(
+            (
+                f"item{i:03d}",
+                GIFT_TYPES[i % len(GIFT_TYPES)],
+                5 + rng.randrange(0, 95),
+                rng.randrange(0, 50),
+            )
+        )
+    history = Relation(HISTORY)
+    for j in range(num_history):
+        history.add(
+            (
+                f"item{rng.randrange(num_items):03d}",
+                f"buyer{rng.randrange(20):02d}",
+                f"recipient{rng.randrange(30):02d}",
+                rng.choice(("F", "M")),
+                8 + rng.randrange(0, 60),
+                rng.choice(RELATIONSHIPS),
+                rng.choice(EVENTS),
+                1 + rng.randrange(0, 5),
+            )
+        )
+    return Database([catalog, history])
+
+
+def peter_query(
+    buyer: str = "buyer01",
+    recipient: str = "recipient01",
+    low: int = 20,
+    high: int = 30,
+) -> Query:
+    """The paper's Q0 (Example 3.1): items in [low, high] that ``buyer``
+    has *not* previously bought for ``recipient`` — an FO query."""
+    n, t, p, s = Var("n"), Var("t"), Var("p"), Var("s")
+    price_window = And(
+        (
+            RelationAtom(CATALOG.name, (n, t, p, s)),
+            Comparison(ComparisonOp.GE, p, low),
+            Comparison(ComparisonOp.LE, p, high),
+        )
+    )
+    h = [Var(f"h{i}") for i in range(8)]
+    not_bought_before = Forall(
+        [v.name for v in h],
+        Not(
+            And(
+                (
+                    RelationAtom(HISTORY.name, tuple(h)),
+                    Comparison(ComparisonOp.EQ, h[1], buyer),
+                    Comparison(ComparisonOp.EQ, h[2], recipient),
+                    Comparison(ComparisonOp.EQ, h[0], n),
+                )
+            )
+        ),
+    )
+    body = Exists(["t", "p", "s"], And((price_window, not_bought_before)))
+    return Query(["n"], body, name="Q0", attribute_names=("item",))
+
+
+def peter_query_cq(low: int = 20, high: int = 30) -> Query:
+    """The CQ fragment of Q0: the price window without the novelty
+    condition (what Example 1.1 calls expressible in CQ)."""
+    n, t, p, s = Var("n"), Var("t"), Var("p"), Var("s")
+    body = Exists(
+        ["t", "p", "s"],
+        And(
+            (
+                RelationAtom(CATALOG.name, (n, t, p, s)),
+                Comparison(ComparisonOp.GE, p, low),
+                Comparison(ComparisonOp.LE, p, high),
+            )
+        ),
+    )
+    return Query(["n"], body, name="Q0cq", attribute_names=("item",))
+
+
+def relevance_from_history(
+    db: Database,
+    age_low: int = 12,
+    age_high: int = 16,
+    event: str = "holiday",
+    relationship: str = "relative",
+    default: float = 2.5,
+) -> RelevanceFunction:
+    """δ_rel of Example 3.1: mean rating of the item among matching
+    purchases (same age window / event / relationship), else a default."""
+    ratings: dict[str, list[int]] = {}
+    for row in db.relation(HISTORY.name).rows:
+        if not age_low <= row["age"] <= age_high:
+            continue
+        if row["event"] != event or row["rel"] != relationship:
+            continue
+        ratings.setdefault(row["item"], []).append(row["rating"])
+    means = {item: sum(values) / len(values) for item, values in ratings.items()}
+
+    def func(row: Row, _query) -> float:
+        return means.get(row["item"], default)
+
+    return RelevanceFunction.from_callable(func, name="history-rating")
+
+
+def type_distance(db: Database) -> DistanceFunction:
+    """δ_dis of Example 3.1: 2 for items in different categories, 1 for
+    different types within a category, 0 for identical types."""
+    types = {
+        row["item"]: row["type"] for row in db.relation(CATALOG.name).rows
+    }
+
+    def func(left: Row, right: Row) -> float:
+        lt = types.get(left["item"])
+        rt = types.get(right["item"])
+        if lt is None or rt is None or lt == rt:
+            return 0.0
+        if _TYPE_CATEGORY.get(lt) == _TYPE_CATEGORY.get(rt):
+            return 1.0
+        return 2.0
+
+    return DistanceFunction.from_callable(func, name="type-category")

@@ -1,0 +1,146 @@
+"""Random databases, queries and scoring functions for tests/benchmarks.
+
+Everything is seeded and deterministic.  The generators cover:
+
+* :func:`random_database` — a relation of ``n`` rows with numeric and
+  categorical attributes;
+* :func:`random_instance` — a complete diversification instance over an
+  identity query with attribute-driven δ_rel / δ_dis (the workhorse of
+  the property tests and heuristic benchmarks);
+* :func:`random_cq` / :func:`random_ucq` — random conjunctive queries
+  (joins of binary-relation atoms with comparison filters) over a random
+  graph-shaped database, for exercising the evaluator;
+* :func:`scaling_database` — databases of growing size with a fixed
+  query, for the data-complexity benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective, ObjectiveKind
+from ..relational.ast import And, Comparison, Exists, Or, RelationAtom
+from ..relational.queries import Query, identity_query
+from ..relational.schema import Database, Relation, RelationSchema
+from ..relational.terms import ComparisonOp, Var
+
+ITEMS = RelationSchema("items", ("id", "category", "score", "x", "y"))
+
+EDGE = RelationSchema("edge", ("src", "dst"))
+NODE = RelationSchema("node", ("id", "label"))
+
+
+def random_database(n: int = 20, categories: int = 5, seed: int = 0) -> Database:
+    """n items with a category, a score in [0, 10] and 2-D coordinates."""
+    rng = random.Random(seed)
+    relation = Relation(ITEMS)
+    for i in range(n):
+        relation.add(
+            (
+                i,
+                f"c{rng.randrange(categories)}",
+                round(rng.random() * 10.0, 2),
+                round(rng.random() * 100.0, 1),
+                round(rng.random() * 100.0, 1),
+            )
+        )
+    return Database([relation])
+
+
+def euclidean_distance() -> DistanceFunction:
+    """Euclidean distance on the (x, y) attributes — a metric, so the
+    greedy dispersion guarantees apply."""
+
+    def func(left, right):
+        dx = left["x"] - right["x"]
+        dy = left["y"] - right["y"]
+        return (dx * dx + dy * dy) ** 0.5
+
+    return DistanceFunction.from_callable(func, name="euclidean")
+
+
+def random_instance(
+    n: int = 20,
+    k: int = 4,
+    kind: ObjectiveKind = ObjectiveKind.MAX_SUM,
+    lam: float = 0.5,
+    seed: int = 0,
+) -> DiversificationInstance:
+    """A complete instance over an identity query on a random database."""
+    db = random_database(n=n, seed=seed)
+    query = identity_query(ITEMS)
+    objective = Objective(
+        kind,
+        RelevanceFunction.from_attribute("score"),
+        euclidean_distance(),
+        lam,
+    )
+    return DiversificationInstance(query, db, k=k, objective=objective)
+
+
+def graph_database(nodes: int = 12, edge_prob: float = 0.3, seed: int = 0) -> Database:
+    """A labelled random digraph as two relations (node, edge)."""
+    rng = random.Random(seed)
+    node_rel = Relation(NODE)
+    for i in range(nodes):
+        node_rel.add((i, f"L{rng.randrange(3)}"))
+    edge_rel = Relation(EDGE)
+    for i in range(nodes):
+        for j in range(nodes):
+            if i != j and rng.random() < edge_prob:
+                edge_rel.add((i, j))
+    return Database([node_rel, edge_rel])
+
+
+def random_cq(
+    num_atoms: int = 3,
+    num_head: int = 2,
+    seed: int = 0,
+) -> Query:
+    """A random CQ over the graph schema: a chain of edge atoms with an
+    optional label filter, projecting ``num_head`` chain variables."""
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(num_atoms + 1)]
+    atoms: list = [
+        RelationAtom(EDGE.name, (Var(variables[i]), Var(variables[i + 1])))
+        for i in range(num_atoms)
+    ]
+    if rng.random() < 0.5:
+        atoms.append(RelationAtom(NODE.name, (Var(variables[0]), Var("lbl"))))
+        atoms.append(Comparison(ComparisonOp.EQ, Var("lbl"), f"L{rng.randrange(3)}"))
+    head = variables[:num_head]
+    bound = [v for v in variables if v not in head]
+    if any(isinstance(a, RelationAtom) and a.relation == NODE.name for a in atoms):
+        bound.append("lbl")
+    body = And(atoms)
+    if bound:
+        body = Exists(bound, body)
+    return Query(head, body, name=f"cq{seed}")
+
+
+def random_ucq(branches: int = 2, seed: int = 0) -> Query:
+    """A union of random CQ bodies sharing one head variable pair."""
+    rng = random.Random(seed)
+    disjuncts = []
+    for b in range(branches):
+        chain = 1 + rng.randrange(2)
+        variables = ["u", "w"] + [f"m{b}_{i}" for i in range(chain - 1)]
+        path = ["u"] + variables[2:] + ["w"]
+        atoms = [
+            RelationAtom(EDGE.name, (Var(path[i]), Var(path[i + 1])))
+            for i in range(len(path) - 1)
+        ]
+        body = And(atoms) if len(atoms) > 1 else atoms[0]
+        middles = variables[2:]
+        if middles:
+            body = Exists(middles, body)
+        disjuncts.append(body)
+    return Query(["u", "w"], Or(disjuncts), name=f"ucq{seed}")
+
+
+def scaling_database(n: int, seed: int = 0) -> Database:
+    """Growing databases with the fixed :data:`ITEMS` schema (for the
+    data-complexity benchmarks, where Q is fixed and D grows)."""
+    return random_database(n=n, seed=seed)

@@ -1,0 +1,68 @@
+"""Basketball team formation with role quotas (Example 9.1, ρ3).
+
+Players with positions and skill ratings; the ρ3-style quota constraint
+"at most two centers" plus take-together/conflict patterns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.constraints import CompatibilityConstraint, ConstraintBuilder, ConstraintSet
+from ..core.functions import DistanceFunction, RelevanceFunction
+from ..relational.queries import Query, identity_query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+
+PLAYERS = RelationSchema("players", ("id", "name", "position", "skill", "salary"))
+
+POSITIONS = ("center", "forward", "guard")
+
+
+def generate(num_players: int = 18, seed: int = 11) -> Database:
+    rng = random.Random(seed)
+    relation = Relation(PLAYERS)
+    for i in range(num_players):
+        relation.add(
+            (
+                f"p{i:02d}",
+                f"Player {i}",
+                POSITIONS[i % len(POSITIONS)],
+                50 + rng.randrange(0, 50),
+                1 + rng.randrange(0, 20),
+            )
+        )
+    return Database([relation])
+
+
+def roster_query() -> Query:
+    return identity_query(PLAYERS)
+
+
+def quota_constraints() -> ConstraintSet:
+    """ρ3: at most two centers on the selected team (m = 3)."""
+    return ConstraintSet(
+        [ConstraintBuilder.at_most_two("position", "center", "id", name="ρ3")],
+        m=3,
+    )
+
+
+def conflict_constraints(pairs: list[tuple[str, str]]) -> ConstraintSet:
+    """Players who refuse to play together."""
+    constraints: list[CompatibilityConstraint] = [
+        ConstraintBuilder.conflict("id", a, b, name=f"conflict[{a},{b}]")
+        for a, b in pairs
+    ]
+    return ConstraintSet(constraints, m=2)
+
+
+def skill_relevance() -> RelevanceFunction:
+    return RelevanceFunction.from_attribute("skill")
+
+
+def position_distance() -> DistanceFunction:
+    """1 if the two players cover different positions, else 0."""
+
+    def func(left: Row, right: Row) -> float:
+        return 1.0 if left["position"] != right["position"] else 0.0
+
+    return DistanceFunction.from_callable(func, name="position")

@@ -1,0 +1,94 @@
+"""Tests for the exact optimizers (enumeration, branch & bound, modular)."""
+
+import pytest
+
+from repro.algorithms.exact import (
+    best_modular,
+    branch_and_bound_max_sum,
+    exhaustive_best,
+    optimal_value,
+)
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.objectives import ObjectiveKind
+from repro.workloads.synthetic import random_instance
+from tests.conftest import make_small_instance
+
+
+class TestExhaustive:
+    def test_finds_optimum(self, small_instance):
+        best = exhaustive_best(small_instance)
+        assert best is not None
+        expected = max(
+            small_instance.value(s) for s in small_instance.candidate_sets()
+        )
+        assert best[0] == pytest.approx(expected)
+
+    def test_returns_none_when_infeasible(self, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, k=10)
+        assert exhaustive_best(instance) is None
+
+    def test_respects_constraints(self, small_instance):
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 1)])
+        constrained = small_instance.with_constraints(sigma)
+        best = exhaustive_best(constrained)
+        assert best is not None
+        assert all(r["id"] != 1 for r in best[1])
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("lam", [0.0, 0.3, 0.7, 1.0])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exhaustive(self, lam, seed):
+        instance = random_instance(
+            n=9, k=3, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed
+        )
+        bb = branch_and_bound_max_sum(instance)
+        brute = exhaustive_best(instance)
+        assert bb is not None and brute is not None
+        assert bb[0] == pytest.approx(brute[0])
+
+    def test_requires_max_sum(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MAX_MIN
+        )
+        with pytest.raises(ValueError):
+            branch_and_bound_max_sum(instance)
+
+    def test_infeasible_returns_none(self, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, k=10)
+        assert branch_and_bound_max_sum(instance) is None
+
+    def test_k_equals_n(self):
+        instance = random_instance(n=5, k=5, kind=ObjectiveKind.MAX_SUM, seed=1)
+        bb = branch_and_bound_max_sum(instance)
+        brute = exhaustive_best(instance)
+        assert bb[0] == pytest.approx(brute[0])
+
+
+class TestModular:
+    def test_matches_exhaustive_mono(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO, lam=0.6
+        )
+        modular = best_modular(instance)
+        brute = exhaustive_best(instance)
+        assert modular[0] == pytest.approx(brute[0])
+
+    def test_rejects_non_modular(self, small_instance):
+        with pytest.raises(ValueError):
+            best_modular(small_instance)
+
+
+class TestOptimalValue:
+    @pytest.mark.parametrize("kind", list(ObjectiveKind))
+    def test_dispatch_consistency(self, kind, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, kind=kind, lam=0.5)
+        value = optimal_value(instance)
+        expected = max(
+            instance.value(s) for s in instance.candidate_sets()
+        )
+        assert value == pytest.approx(expected)
+
+    def test_none_when_infeasible(self, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, k=10)
+        assert optimal_value(instance) is None

@@ -1,0 +1,174 @@
+"""Tests for greedy, MMR and local-search heuristics, including the
+2-approximation guarantee of greedy max-sum on metric instances."""
+
+import pytest
+
+from repro.algorithms.exact import exhaustive_best, optimal_value
+from repro.algorithms.greedy import (
+    greedy_marginal_max_sum,
+    greedy_max_min,
+    greedy_max_sum,
+)
+from repro.algorithms.local_search import local_search
+from repro.algorithms.mmr import mmr_select
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.objectives import ObjectiveKind
+from repro.workloads.synthetic import random_instance
+from tests.conftest import make_small_instance
+
+
+class TestGreedyMaxSum:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_two_approximation_on_metric_instances(self, seed):
+        """Euclidean δ_dis is a metric, so the pair-greedy is within ½
+        of the optimum (Hassin et al. / Gollapudi & Sharma)."""
+        instance = random_instance(
+            n=10, k=4, kind=ObjectiveKind.MAX_SUM, lam=1.0, seed=seed
+        )
+        greedy = greedy_max_sum(instance)
+        optimum = optimal_value(instance)
+        assert greedy is not None and optimum is not None
+        assert greedy[0] >= 0.5 * optimum - 1e-9
+
+    def test_returns_k_distinct_tuples(self):
+        instance = random_instance(n=9, k=5, kind=ObjectiveKind.MAX_SUM, seed=3)
+        result = greedy_max_sum(instance)
+        assert result is not None
+        assert len(set(result[1])) == 5
+
+    def test_odd_k(self):
+        instance = random_instance(n=9, k=3, kind=ObjectiveKind.MAX_SUM, seed=5)
+        result = greedy_max_sum(instance)
+        assert result is not None and len(result[1]) == 3
+
+    def test_k_one_takes_most_relevant(self):
+        instance = random_instance(n=8, k=1, kind=ObjectiveKind.MAX_SUM, lam=0.3, seed=2)
+        result = greedy_max_sum(instance)
+        best_rel = max(
+            instance.objective.relevance(t, instance.query)
+            for t in instance.answers()
+        )
+        chosen_rel = instance.objective.relevance(result[1][0], instance.query)
+        assert chosen_rel == pytest.approx(best_rel)
+
+    def test_infeasible_returns_none(self):
+        instance = random_instance(n=3, k=5, kind=ObjectiveKind.MAX_SUM, seed=0)
+        assert greedy_max_sum(instance) is None
+
+    def test_wrong_objective_rejected(self, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, kind=ObjectiveKind.MAX_MIN)
+        with pytest.raises(ValueError):
+            greedy_max_sum(instance)
+
+
+class TestGreedyMaxMin:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_two_approximation_at_lambda_one(self, seed):
+        """Max-min dispersion greedy is a 2-approximation for metric
+        distances when only diversity counts."""
+        instance = random_instance(
+            n=10, k=4, kind=ObjectiveKind.MAX_MIN, lam=1.0, seed=seed
+        )
+        greedy = greedy_max_min(instance)
+        optimum = optimal_value(instance)
+        assert greedy[0] >= 0.5 * optimum - 1e-9
+
+    def test_seeds_with_most_relevant(self):
+        instance = random_instance(n=8, k=3, kind=ObjectiveKind.MAX_MIN, lam=0.4, seed=1)
+        result = greedy_max_min(instance)
+        first = result[1][0]
+        best_rel = max(
+            instance.objective.relevance(t, instance.query)
+            for t in instance.answers()
+        )
+        assert instance.objective.relevance(first, instance.query) == pytest.approx(
+            best_rel
+        )
+
+    def test_wrong_objective_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            greedy_max_min(small_instance)
+
+
+class TestMarginalGreedy:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reasonable_quality(self, seed):
+        instance = random_instance(
+            n=10, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=seed
+        )
+        result = greedy_marginal_max_sum(instance)
+        optimum = optimal_value(instance)
+        assert result[0] >= 0.4 * optimum  # loose sanity bound
+
+
+class TestMMR:
+    def test_first_pick_by_relevance(self, small_instance):
+        result = mmr_select(small_instance)
+        assert result[1][0]["id"] == 1  # score 9.0
+
+    def test_lambda_override(self, small_instance):
+        by_relevance = mmr_select(small_instance, lam=0.0)
+        ids = [r["id"] for r in by_relevance[1]]
+        assert ids == [1, 5, 2]  # scores 9, 8, 7
+
+    def test_invalid_lambda(self, small_instance):
+        with pytest.raises(ValueError):
+            mmr_select(small_instance, lam=2.0)
+
+    def test_infeasible(self, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, k=10)
+        assert mmr_select(instance) is None
+
+    @pytest.mark.parametrize("kind", list(ObjectiveKind))
+    def test_score_is_instance_value(self, kind, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, kind=kind)
+        value, picks = mmr_select(instance)
+        assert value == pytest.approx(instance.value(picks))
+
+
+class TestLocalSearch:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_improves_or_matches_seed(self, seed):
+        instance = random_instance(
+            n=9, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=seed
+        )
+        seed_set = tuple(instance.answers()[:3])
+        result = local_search(instance, seed=seed_set)
+        assert result[0] >= instance.value(seed_set) - 1e-12
+
+    def test_local_optimality(self):
+        instance = random_instance(n=8, k=3, kind=ObjectiveKind.MAX_SUM, seed=7)
+        value, picks = local_search(instance)
+        chosen = set(picks)
+        for i, old in enumerate(picks):
+            for new in instance.answers():
+                if new in chosen:
+                    continue
+                trial = list(picks)
+                trial[i] = new
+                assert instance.value(trial) <= value + 1e-9
+
+    def test_respects_constraints(self, small_instance):
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 1)])
+        constrained = small_instance.with_constraints(sigma)
+        result = local_search(constrained)
+        assert all(r["id"] != 1 for r in result[1])
+
+    def test_invalid_seed_rejected(self, small_instance):
+        bad_seed = tuple(small_instance.answers()[:2])
+        with pytest.raises(ValueError):
+            local_search(small_instance, seed=bad_seed)
+
+    def test_matches_optimum_on_small_instances(self):
+        """Not guaranteed in general, but on these small instances local
+        search from the greedy seed reaches the optimum."""
+        hits = 0
+        for seed in range(5):
+            instance = random_instance(
+                n=7, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=seed
+            )
+            result = local_search(instance)
+            optimum = optimal_value(instance)
+            if result[0] >= optimum - 1e-9:
+                hits += 1
+        assert hits >= 3

@@ -1,0 +1,98 @@
+"""Tests for early-termination diversification (the paper's motivation
+for taking Q and D as input rather than Q(D))."""
+
+import pytest
+
+from repro.algorithms.exact import best_modular
+from repro.algorithms.incremental import early_termination_top_k, streaming_qrd
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.objectives import ObjectiveKind
+from repro.core.qrd import qrd_modular
+from repro.workloads.synthetic import random_instance
+from tests.conftest import make_small_instance
+
+
+class TestEarlyTerminationTopK:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exact_optimum(self, seed):
+        instance = random_instance(
+            n=30, k=5, kind=ObjectiveKind.MONO, lam=0.5, seed=seed
+        )
+        early = early_termination_top_k(instance)
+        exact = best_modular(instance)
+        assert early is not None and exact is not None
+        assert early.value == pytest.approx(exact[0])
+
+    def test_consumes_at_most_everything(self):
+        instance = random_instance(n=25, k=4, kind=ObjectiveKind.MONO, seed=1)
+        early = early_termination_top_k(instance)
+        assert early.consumed <= early.total
+        assert 0.0 <= early.savings < 1.0
+
+    def test_stops_early_on_sorted_stream(self):
+        """With exact sorted scores the scan stops right after k+1 tuples
+        (the k collected plus the witness that no later tuple competes)."""
+        instance = random_instance(n=40, k=5, kind=ObjectiveKind.MONO, seed=2)
+        early = early_termination_top_k(instance)
+        assert early.consumed <= 6
+
+    def test_infeasible_returns_none(self):
+        instance = random_instance(n=3, k=5, kind=ObjectiveKind.MONO, seed=0)
+        assert early_termination_top_k(instance) is None
+
+    def test_rejects_non_modular(self, small_instance):
+        with pytest.raises(ValueError, match="modular"):
+            early_termination_top_k(small_instance)
+
+    def test_rejects_constraints(self):
+        instance = random_instance(n=10, k=3, kind=ObjectiveKind.MONO, seed=3)
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 0)])
+        with pytest.raises(ValueError, match="constraints"):
+            early_termination_top_k(instance.with_constraints(sigma))
+
+    def test_slack_consumes_more(self):
+        instance = random_instance(n=30, k=4, kind=ObjectiveKind.MONO, seed=4)
+        tight = early_termination_top_k(instance, slack=0.0)
+        loose = early_termination_top_k(instance, slack=100.0)
+        assert loose.consumed >= tight.consumed
+        assert loose.value == pytest.approx(tight.value)
+
+
+class TestStreamingQRD:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("bound", [0.0, 5.0, 20.0, 1e6])
+    def test_agrees_with_ptime_solver(self, seed, bound):
+        instance = random_instance(
+            n=20, k=4, kind=ObjectiveKind.MONO, lam=0.5, seed=seed
+        )
+        answer, consumed = streaming_qrd(instance, bound)
+        assert answer == qrd_modular(instance, bound)
+        assert consumed <= instance.answer_count
+
+    def test_yes_consumes_exactly_k(self):
+        instance = random_instance(n=30, k=5, kind=ObjectiveKind.MONO, seed=1)
+        answer, consumed = streaming_qrd(instance, 0.0)
+        assert answer and consumed == 5
+
+    def test_early_no_before_k(self):
+        """An unreachable bound is refuted from the very first tuple."""
+        instance = random_instance(n=30, k=5, kind=ObjectiveKind.MONO, seed=1)
+        answer, consumed = streaming_qrd(instance, 1e9)
+        assert not answer and consumed < 5
+
+    def test_max_sum_lambda0_scaling(self):
+        instance = random_instance(
+            n=15, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.0, seed=2
+        )
+        for bound in (0.0, 10.0, 1e6):
+            answer, _ = streaming_qrd(instance, bound)
+            assert answer == qrd_modular(instance, bound)
+
+    def test_insufficient_answers(self):
+        instance = random_instance(n=3, k=5, kind=ObjectiveKind.MONO, seed=0)
+        answer, consumed = streaming_qrd(instance, 0.0)
+        assert not answer and consumed == 3
+
+    def test_rejects_non_modular(self, small_instance):
+        with pytest.raises(ValueError):
+            streaming_qrd(small_instance, 1.0)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.functions import DistanceFunction, RelevanceFunction
+from repro.core.instance import DiversificationInstance
+from repro.core.objectives import Objective, ObjectiveKind
+from repro.relational.queries import identity_query
+from repro.relational.schema import Database, Relation, RelationSchema
+
+
+@pytest.fixture
+def items_schema() -> RelationSchema:
+    return RelationSchema("items", ("id", "category", "score"))
+
+
+@pytest.fixture
+def small_db(items_schema: RelationSchema) -> Database:
+    """Six items over three categories with distinct scores."""
+    relation = Relation(
+        items_schema,
+        [
+            (1, "a", 9.0),
+            (2, "a", 7.0),
+            (3, "b", 6.0),
+            (4, "b", 4.0),
+            (5, "c", 8.0),
+            (6, "c", 2.0),
+        ],
+    )
+    return Database([relation])
+
+
+def category_distance() -> DistanceFunction:
+    def func(left, right):
+        return 1.0 if left["category"] != right["category"] else 0.0
+
+    return DistanceFunction.from_callable(func, name="category")
+
+
+def make_small_instance(
+    db: Database,
+    schema: RelationSchema,
+    kind: ObjectiveKind = ObjectiveKind.MAX_SUM,
+    lam: float = 0.5,
+    k: int = 3,
+) -> DiversificationInstance:
+    objective = Objective(
+        kind,
+        RelevanceFunction.from_attribute("score"),
+        category_distance(),
+        lam,
+    )
+    return DiversificationInstance(identity_query(schema), db, k=k, objective=objective)
+
+
+@pytest.fixture
+def small_instance(small_db, items_schema) -> DiversificationInstance:
+    return make_small_instance(small_db, items_schema)

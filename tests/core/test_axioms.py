@@ -1,0 +1,111 @@
+"""Tests for the executable Gollapudi–Sharma axiom system.
+
+The expected satisfaction pattern (from the WWW 2009 paper, Table 1):
+all three functions are scale invariant and consistent; F_MS and F_MM
+violate stability (the impossibility theorem); monotonicity in the two
+criteria holds for the relevant λ ranges.
+"""
+
+import random
+
+import pytest
+
+from repro.core.axioms import (
+    check_consistency,
+    check_diversity_monotonicity,
+    check_relevance_monotonicity,
+    check_richness,
+    check_scale_invariance,
+    check_stability,
+    stability_counterexample,
+)
+from repro.core.objectives import ObjectiveKind
+
+
+def random_inputs(n, seed):
+    rng = random.Random(seed)
+    relevance = {i: round(rng.random() * 5, 2) for i in range(n)}
+    distance = {
+        (a, b): round(rng.random() * 5, 2)
+        for a in range(n)
+        for b in range(a + 1, n)
+    }
+    return relevance, distance
+
+
+SUM_KINDS = (ObjectiveKind.MAX_SUM, ObjectiveKind.MAX_MIN)
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("kind", list(ObjectiveKind))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_holds_for_all_objectives(self, kind, seed):
+        relevance, distance = random_inputs(5, seed)
+        report = check_scale_invariance(kind, relevance, distance, 5, 2)
+        assert report.holds, report
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("kind", list(ObjectiveKind))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_holds(self, kind, seed):
+        relevance, distance = random_inputs(5, 10 + seed)
+        report = check_consistency(kind, relevance, distance, 5, 2)
+        assert report.holds, report
+
+
+class TestRichness:
+    @pytest.mark.parametrize("kind", SUM_KINDS)
+    def test_sum_objectives_rich(self, kind):
+        report = check_richness(kind, n=4, k=2)
+        assert report.holds, report
+
+    def test_mono_richness_k2(self):
+        # F_mono can also single out any pair via relevance alone.
+        report = check_richness(ObjectiveKind.MONO, n=4, k=2, lam=0.0)
+        assert report.holds, report
+
+
+class TestStability:
+    @pytest.mark.parametrize("kind", SUM_KINDS)
+    def test_violated_by_sum_objectives(self, kind):
+        """The impossibility direction: a counterexample exists."""
+        report = stability_counterexample(kind)
+        assert report is not None, f"{kind} unexpectedly stable everywhere"
+        assert not report.holds
+
+    def test_mono_is_stable(self):
+        """F_mono is modular over a fixed universe, so top-(k+1) extends
+        top-k: no stability counterexample should be found."""
+        assert stability_counterexample(ObjectiveKind.MONO) is None
+
+    def test_stability_holds_on_uniform_inputs(self):
+        # All-equal distances: any k-set is optimal, so stability holds.
+        relevance = {i: 1.0 for i in range(5)}
+        distance = {(a, b): 1.0 for a in range(5) for b in range(a + 1, 5)}
+        for kind in ObjectiveKind:
+            report = check_stability(kind, relevance, distance, 5, 2)
+            assert report.holds, report
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("kind", list(ObjectiveKind))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_relevance_monotone(self, kind, seed):
+        relevance, distance = random_inputs(5, 20 + seed)
+        report = check_relevance_monotonicity(kind, relevance, distance, 5, 3)
+        assert report.holds, report
+
+    @pytest.mark.parametrize("kind", SUM_KINDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_diversity_monotone(self, kind, seed):
+        relevance, distance = random_inputs(5, 30 + seed)
+        report = check_diversity_monotonicity(kind, relevance, distance, 5, 3)
+        assert report.holds, report
+
+    def test_report_repr(self):
+        relevance, distance = random_inputs(4, 1)
+        report = check_scale_invariance(
+            ObjectiveKind.MAX_SUM, relevance, distance, 4, 2
+        )
+        assert "scale invariance" in repr(report)

@@ -1,0 +1,428 @@
+"""The complexity classifier vs the paper, cell by cell.
+
+Every assertion here is one claim of Tables I–III or Figures 1/3/4 of
+Deng & Fan (TODS 2014).  A failure means the reproduction's complexity
+map disagrees with the paper.
+"""
+
+import pytest
+
+from repro.core.complexity import (
+    ComplexityClass as CC,
+    Mode,
+    Problem,
+    Setting,
+    SettingNotCovered,
+    classify,
+    figure_map,
+    render_figure_map,
+    render_table,
+    table1,
+    table2,
+    table3,
+)
+from repro.core.objectives import ObjectiveKind as OK
+from repro.relational.ast import QueryLanguage as QL
+
+SMALL = (QL.CQ, QL.UCQ, QL.EFO_PLUS)
+ALL = SMALL + (QL.FO,)
+SUM_OBJECTIVES = (OK.MAX_SUM, OK.MAX_MIN)
+
+
+def bounds(problem, objective, language, mode, **flags):
+    return classify(Setting(problem, objective, language, mode, **flags)).complexity
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+class TestTableICombined:
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    @pytest.mark.parametrize("language", SMALL)
+    def test_sum_objectives_small_languages(self, objective, language):
+        assert bounds(Problem.QRD, objective, language, Mode.COMBINED) is CC.NP_COMPLETE
+        assert bounds(Problem.DRP, objective, language, Mode.COMBINED) is CC.CONP_COMPLETE
+        assert bounds(Problem.RDC, objective, language, Mode.COMBINED) is CC.SHARP_NP
+
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    def test_sum_objectives_fo(self, objective):
+        assert bounds(Problem.QRD, objective, QL.FO, Mode.COMBINED) is CC.PSPACE_COMPLETE
+        assert bounds(Problem.DRP, objective, QL.FO, Mode.COMBINED) is CC.PSPACE_COMPLETE
+        assert bounds(Problem.RDC, objective, QL.FO, Mode.COMBINED) is CC.SHARP_PSPACE
+
+    @pytest.mark.parametrize("language", ALL)
+    def test_mono_all_languages(self, language):
+        # Theorem 5.2/6.2/7.2: the objective dominates for F_mono.
+        assert bounds(Problem.QRD, OK.MONO, language, Mode.COMBINED) is CC.PSPACE_COMPLETE
+        assert bounds(Problem.DRP, OK.MONO, language, Mode.COMBINED) is CC.PSPACE_COMPLETE
+        assert bounds(Problem.RDC, OK.MONO, language, Mode.COMBINED) is CC.SHARP_PSPACE
+
+
+class TestTableIData:
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    @pytest.mark.parametrize("language", ALL)
+    def test_sum_objectives(self, objective, language):
+        assert bounds(Problem.QRD, objective, language, Mode.DATA) is CC.NP_COMPLETE
+        assert bounds(Problem.DRP, objective, language, Mode.DATA) is CC.CONP_COMPLETE
+        assert (
+            bounds(Problem.RDC, objective, language, Mode.DATA)
+            is CC.SHARP_P_PARSIMONIOUS
+        )
+
+    @pytest.mark.parametrize("language", ALL)
+    def test_mono(self, language):
+        assert bounds(Problem.QRD, OK.MONO, language, Mode.DATA) is CC.PTIME
+        assert bounds(Problem.DRP, OK.MONO, language, Mode.DATA) is CC.PTIME
+        assert bounds(Problem.RDC, OK.MONO, language, Mode.DATA) is CC.SHARP_P_TURING
+
+
+# ---------------------------------------------------------------------------
+# Table II (special cases, Section 8)
+# ---------------------------------------------------------------------------
+
+class TestIdentityQueries:
+    """Corollary 8.1: combined and data complexity coincide."""
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    def test_sum_objectives(self, mode, objective):
+        assert bounds(Problem.QRD, objective, QL.IDENTITY, mode) is CC.NP_COMPLETE
+        assert bounds(Problem.DRP, objective, QL.IDENTITY, mode) is CC.CONP_COMPLETE
+        assert (
+            bounds(Problem.RDC, objective, QL.IDENTITY, mode)
+            is CC.SHARP_P_PARSIMONIOUS
+        )
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_mono(self, mode):
+        assert bounds(Problem.QRD, OK.MONO, QL.IDENTITY, mode) is CC.PTIME
+        assert bounds(Problem.DRP, OK.MONO, QL.IDENTITY, mode) is CC.PTIME
+        assert bounds(Problem.RDC, OK.MONO, QL.IDENTITY, mode) is CC.SHARP_P_TURING
+
+
+class TestLambdaZero:
+    """Theorem 8.2."""
+
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    @pytest.mark.parametrize("language", SMALL)
+    def test_combined_unchanged_small(self, objective, language):
+        assert (
+            bounds(Problem.QRD, objective, language, Mode.COMBINED, lambda_zero=True)
+            is CC.NP_COMPLETE
+        )
+        assert (
+            bounds(Problem.DRP, objective, language, Mode.COMBINED, lambda_zero=True)
+            is CC.CONP_COMPLETE
+        )
+        assert (
+            bounds(Problem.RDC, objective, language, Mode.COMBINED, lambda_zero=True)
+            is CC.SHARP_NP
+        )
+
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    def test_combined_unchanged_fo(self, objective):
+        assert (
+            bounds(Problem.QRD, objective, QL.FO, Mode.COMBINED, lambda_zero=True)
+            is CC.PSPACE_COMPLETE
+        )
+
+    @pytest.mark.parametrize("language", ALL)
+    def test_data_tractable_decision(self, language):
+        for objective in SUM_OBJECTIVES:
+            assert (
+                bounds(Problem.QRD, objective, language, Mode.DATA, lambda_zero=True)
+                is CC.PTIME
+            )
+            assert (
+                bounds(Problem.DRP, objective, language, Mode.DATA, lambda_zero=True)
+                is CC.PTIME
+            )
+
+    @pytest.mark.parametrize("language", ALL)
+    def test_data_counting_split(self, language):
+        # RDC: #P-Turing for F_MS but FP for F_MM.
+        assert (
+            bounds(Problem.RDC, OK.MAX_SUM, language, Mode.DATA, lambda_zero=True)
+            is CC.SHARP_P_TURING
+        )
+        assert (
+            bounds(Problem.RDC, OK.MAX_MIN, language, Mode.DATA, lambda_zero=True)
+            is CC.FP
+        )
+
+    @pytest.mark.parametrize("language", SMALL)
+    def test_mono_combined_drops_to_np(self, language):
+        assert (
+            bounds(Problem.QRD, OK.MONO, language, Mode.COMBINED, lambda_zero=True)
+            is CC.NP_COMPLETE
+        )
+        assert (
+            bounds(Problem.DRP, OK.MONO, language, Mode.COMBINED, lambda_zero=True)
+            is CC.CONP_COMPLETE
+        )
+        assert (
+            bounds(Problem.RDC, OK.MONO, language, Mode.COMBINED, lambda_zero=True)
+            is CC.SHARP_NP
+        )
+
+    def test_mono_combined_fo_stays_pspace(self):
+        assert (
+            bounds(Problem.QRD, OK.MONO, QL.FO, Mode.COMBINED, lambda_zero=True)
+            is CC.PSPACE_COMPLETE
+        )
+        assert (
+            bounds(Problem.RDC, OK.MONO, QL.FO, Mode.COMBINED, lambda_zero=True)
+            is CC.SHARP_PSPACE
+        )
+
+    @pytest.mark.parametrize("language", ALL)
+    def test_mono_data_unchanged(self, language):
+        assert (
+            bounds(Problem.QRD, OK.MONO, language, Mode.DATA, lambda_zero=True)
+            is CC.PTIME
+        )
+        assert (
+            bounds(Problem.RDC, OK.MONO, language, Mode.DATA, lambda_zero=True)
+            is CC.SHARP_P_TURING
+        )
+
+
+class TestLambdaOne:
+    """Theorem 8.3: dropping δ_rel changes nothing."""
+
+    @pytest.mark.parametrize("problem", list(Problem))
+    @pytest.mark.parametrize("objective", list(OK))
+    @pytest.mark.parametrize("language", ALL)
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_identical_to_general(self, problem, objective, language, mode):
+        general = bounds(problem, objective, language, mode)
+        with_flag = bounds(problem, objective, language, mode, lambda_one=True)
+        assert general is with_flag
+
+
+class TestConstantK:
+    """Corollary 8.4."""
+
+    @pytest.mark.parametrize("objective", list(OK))
+    @pytest.mark.parametrize("language", ALL)
+    def test_data_tractable(self, objective, language):
+        assert (
+            bounds(Problem.QRD, objective, language, Mode.DATA, constant_k=True)
+            is CC.PTIME
+        )
+        assert (
+            bounds(Problem.DRP, objective, language, Mode.DATA, constant_k=True)
+            is CC.PTIME
+        )
+        assert (
+            bounds(Problem.RDC, objective, language, Mode.DATA, constant_k=True)
+            is CC.FP
+        )
+
+    @pytest.mark.parametrize("problem", list(Problem))
+    @pytest.mark.parametrize("objective", list(OK))
+    @pytest.mark.parametrize("language", ALL)
+    def test_combined_unchanged(self, problem, objective, language):
+        general = bounds(problem, objective, language, Mode.COMBINED)
+        with_flag = bounds(
+            problem, objective, language, Mode.COMBINED, constant_k=True
+        )
+        assert general is with_flag
+
+
+# ---------------------------------------------------------------------------
+# Table III (constraints, Section 9)
+# ---------------------------------------------------------------------------
+
+class TestConstraints:
+    @pytest.mark.parametrize("problem", list(Problem))
+    @pytest.mark.parametrize("objective", list(OK))
+    @pytest.mark.parametrize("language", ALL)
+    def test_combined_unchanged(self, problem, objective, language):
+        """Corollary 9.2."""
+        general = bounds(problem, objective, language, Mode.COMBINED)
+        with_sigma = bounds(
+            problem, objective, language, Mode.COMBINED, with_constraints=True
+        )
+        assert general is with_sigma
+
+    @pytest.mark.parametrize("language", ALL)
+    def test_mono_data_flips_hard(self, language):
+        """Theorem 9.3."""
+        assert (
+            bounds(Problem.QRD, OK.MONO, language, Mode.DATA, with_constraints=True)
+            is CC.NP_COMPLETE
+        )
+        assert (
+            bounds(Problem.DRP, OK.MONO, language, Mode.DATA, with_constraints=True)
+            is CC.CONP_COMPLETE
+        )
+        assert (
+            bounds(Problem.RDC, OK.MONO, language, Mode.DATA, with_constraints=True)
+            is CC.SHARP_P_PARSIMONIOUS
+        )
+
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    @pytest.mark.parametrize("language", ALL)
+    def test_sum_data_unchanged(self, objective, language):
+        """Theorem 9.3: F_MS / F_MM data complexity already intractable."""
+        assert (
+            bounds(Problem.QRD, objective, language, Mode.DATA, with_constraints=True)
+            is CC.NP_COMPLETE
+        )
+        assert (
+            bounds(Problem.RDC, objective, language, Mode.DATA, with_constraints=True)
+            is CC.SHARP_P_PARSIMONIOUS
+        )
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_identity_mono_flips(self, mode):
+        """Corollary 9.4."""
+        assert (
+            bounds(Problem.QRD, OK.MONO, QL.IDENTITY, mode, with_constraints=True)
+            is CC.NP_COMPLETE
+        )
+        assert (
+            bounds(Problem.DRP, OK.MONO, QL.IDENTITY, mode, with_constraints=True)
+            is CC.CONP_COMPLETE
+        )
+        assert (
+            bounds(Problem.RDC, OK.MONO, QL.IDENTITY, mode, with_constraints=True)
+            is CC.SHARP_P_PARSIMONIOUS
+        )
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    def test_identity_sum_unchanged(self, mode, objective):
+        """Corollary 9.4 (F_MS/F_MM part)."""
+        assert (
+            bounds(Problem.QRD, objective, QL.IDENTITY, mode, with_constraints=True)
+            is CC.NP_COMPLETE
+        )
+
+    @pytest.mark.parametrize("objective", list(OK))
+    @pytest.mark.parametrize("language", ALL)
+    def test_lambda_zero_data_flips(self, objective, language):
+        """Corollary 9.5: all three objectives flip at λ=0 under Σ."""
+        assert (
+            bounds(
+                Problem.QRD, objective, language, Mode.DATA,
+                lambda_zero=True, with_constraints=True,
+            )
+            is CC.NP_COMPLETE
+        )
+        assert (
+            bounds(
+                Problem.RDC, objective, language, Mode.DATA,
+                lambda_zero=True, with_constraints=True,
+            )
+            is CC.SHARP_P_PARSIMONIOUS
+        )
+
+    @pytest.mark.parametrize("language", ALL)
+    def test_lambda_one_mono_data_flips(self, language):
+        """Corollary 9.6."""
+        assert (
+            bounds(
+                Problem.QRD, OK.MONO, language, Mode.DATA,
+                lambda_one=True, with_constraints=True,
+            )
+            is CC.NP_COMPLETE
+        )
+
+    @pytest.mark.parametrize("objective", SUM_OBJECTIVES)
+    @pytest.mark.parametrize("language", ALL)
+    def test_lambda_one_sum_data_unchanged(self, objective, language):
+        """Corollary 9.6 (F_MS/F_MM part)."""
+        assert (
+            bounds(
+                Problem.RDC, objective, language, Mode.DATA,
+                lambda_one=True, with_constraints=True,
+            )
+            is CC.SHARP_P_PARSIMONIOUS
+        )
+
+    @pytest.mark.parametrize("objective", list(OK))
+    @pytest.mark.parametrize("language", ALL)
+    def test_constant_k_robust(self, objective, language):
+        """Corollary 9.7."""
+        assert (
+            bounds(
+                Problem.QRD, objective, language, Mode.DATA,
+                constant_k=True, with_constraints=True,
+            )
+            is CC.PTIME
+        )
+        assert (
+            bounds(
+                Problem.RDC, objective, language, Mode.DATA,
+                constant_k=True, with_constraints=True,
+            )
+            is CC.FP
+        )
+
+
+# ---------------------------------------------------------------------------
+# Guard rails and rendering
+# ---------------------------------------------------------------------------
+
+class TestGuards:
+    def test_lambda_conflict_rejected(self):
+        with pytest.raises(SettingNotCovered):
+            classify(
+                Setting(
+                    Problem.QRD, OK.MONO, QL.CQ, Mode.DATA,
+                    lambda_zero=True, lambda_one=True,
+                )
+            )
+
+    def test_identity_with_lambda_flag_not_covered(self):
+        with pytest.raises(SettingNotCovered):
+            classify(
+                Setting(
+                    Problem.QRD, OK.MAX_SUM, QL.IDENTITY, Mode.DATA,
+                    lambda_zero=True,
+                )
+            )
+
+    def test_tractable_property(self):
+        assert CC.PTIME.tractable and CC.FP.tractable
+        assert not CC.NP_COMPLETE.tractable
+
+
+class TestRendering:
+    def test_table1_has_five_rows(self):
+        assert len(table1()) == 5
+
+    def test_table2_has_five_rows(self):
+        assert len(table2()) == 5
+
+    def test_table3_has_four_rows(self):
+        assert len(table3()) == 4
+
+    def test_render_tables(self):
+        text = render_table(table1(), "Table I")
+        assert "PSPACE-complete" in text and "PTIME" in text
+
+    @pytest.mark.parametrize("problem", list(Problem))
+    def test_figure_maps_have_eleven_nodes(self, problem):
+        assert len(figure_map(problem)) == 11
+
+    @pytest.mark.parametrize("problem", list(Problem))
+    def test_render_figure_maps(self, problem):
+        assert "Figure" in render_figure_map(problem)
+
+    def test_figure1_matches_paper_annotations(self):
+        """Spot-check Figure 1's nodes against the printed figure."""
+        nodes = {n.label: n.bound.complexity for n in figure_map(Problem.QRD)}
+        assert nodes["F_MS/F_MM: FO, combined"] is CC.PSPACE_COMPLETE
+        assert nodes["F_MS/F_MM: CQ/∃FO+, combined"] is CC.NP_COMPLETE
+        assert nodes["F_MS/F_MM: λ=0, data"] is CC.PTIME
+        assert nodes["F_mono: identity queries, combined"] is CC.PTIME
+
+    def test_figure4_matches_paper_annotations(self):
+        nodes = {n.label: n.bound.complexity for n in figure_map(Problem.RDC)}
+        assert nodes["F_MS/F_MM: CQ/FO, data"] is CC.SHARP_P_PARSIMONIOUS
+        assert nodes["F_mono: CQ/FO, data"] is CC.SHARP_P_TURING
+        assert nodes["F_mono: CQ/FO, combined"] is CC.SHARP_PSPACE

@@ -1,0 +1,157 @@
+"""Tests for the class C_m of compatibility constraints (Section 9)."""
+
+import pytest
+
+from repro.core.constraints import (
+    CompatibilityConstraint,
+    ConstraintBuilder,
+    ConstraintError,
+    ConstraintSet,
+    Predicate,
+)
+from repro.relational.schema import RelationSchema, Row
+from repro.relational.terms import ComparisonOp
+
+SCHEMA = RelationSchema("items", ("item", "kind", "id"))
+
+
+def row(item, kind="t", id_=None):
+    return Row(SCHEMA, (item, kind, id_ if id_ is not None else item))
+
+
+class TestPredicate:
+    def test_constant_predicate(self):
+        p = Predicate(0, "item", ComparisonOp.EQ, const="a")
+        assert p.holds((row("a"),))
+        assert not p.holds((row("b"),))
+
+    def test_tuple_tuple_predicate(self):
+        p = Predicate(0, "kind", ComparisonOp.EQ, right_index=1, right_attr="kind")
+        assert p.holds((row("a", "x"), row("b", "x")))
+        assert not p.holds((row("a", "x"), row("b", "y")))
+
+    def test_only_eq_ne_allowed(self):
+        with pytest.raises(ConstraintError):
+            Predicate(0, "item", ComparisonOp.LT, const=5)
+
+    def test_missing_right_attr_rejected(self):
+        with pytest.raises(ConstraintError):
+            Predicate(0, "item", ComparisonOp.EQ, right_index=1)
+
+
+class TestConstraintValidation:
+    def test_chi_cannot_reference_existential(self):
+        chi = (Predicate(1, "item", ComparisonOp.EQ, const="a"),)
+        with pytest.raises(ConstraintError, match="existential"):
+            CompatibilityConstraint(1, 1, chi, ())
+
+    def test_xi_range_checked(self):
+        xi = (Predicate(5, "item", ComparisonOp.EQ, const="a"),)
+        with pytest.raises(ConstraintError, match="out of range"):
+            CompatibilityConstraint(1, 1, (), xi)
+
+    def test_zero_variables_rejected(self):
+        with pytest.raises(ConstraintError):
+            CompatibilityConstraint(0, 0, (), ())
+
+
+class TestBuilderPatterns:
+    def test_take_together(self):
+        # ρ1: a and b selected → c required.
+        c = ConstraintBuilder.take_together("item", ["a", "b"], "c")
+        assert c.satisfied_by([row("a"), row("b"), row("c")])
+        assert not c.satisfied_by([row("a"), row("b")])
+        assert c.satisfied_by([row("a"), row("x")])  # trigger not met
+
+    def test_prerequisite(self):
+        # ρ2: CS450 → CS220 ∧ CS350.
+        c = ConstraintBuilder.prerequisite("item", "CS450", ["CS220", "CS350"])
+        assert c.satisfied_by([row("CS450"), row("CS220"), row("CS350")])
+        assert not c.satisfied_by([row("CS450"), row("CS220")])
+        assert c.satisfied_by([row("CS220")])  # head absent
+
+    def test_conflict(self):
+        c = ConstraintBuilder.conflict("item", "a", "b")
+        assert not c.satisfied_by([row("a"), row("b")])
+        assert c.satisfied_by([row("a"), row("c")])
+        assert c.satisfied_by([row("b")])
+
+    def test_at_most_two(self):
+        # ρ3: at most two tuples with kind = "center".
+        c = ConstraintBuilder.at_most_two("kind", "center", "id")
+        two = [row("a", "center"), row("b", "center"), row("c", "guard")]
+        three = [row("a", "center"), row("b", "center"), row("d", "center")]
+        assert c.satisfied_by(two)
+        assert not c.satisfied_by(three)
+
+    def test_requires_value(self):
+        c = ConstraintBuilder.requires_value("item", "card")
+        assert c.satisfied_by([row("card"), row("x")])
+        assert not c.satisfied_by([row("x")])
+
+    def test_forbids_value(self):
+        c = ConstraintBuilder.forbids_value("item", "bad")
+        assert c.satisfied_by([row("x")])
+        assert not c.satisfied_by([row("bad"), row("x")])
+
+    def test_empty_trigger_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConstraintBuilder.take_together("item", [], "c")
+        with pytest.raises(ConstraintError):
+            ConstraintBuilder.prerequisite("item", "x", [])
+
+
+class TestConstraintSet:
+    def test_all_must_hold(self):
+        sigma = ConstraintSet(
+            [
+                ConstraintBuilder.requires_value("item", "a"),
+                ConstraintBuilder.forbids_value("item", "z"),
+            ]
+        )
+        assert sigma.satisfied_by([row("a"), row("b")])
+        assert not sigma.satisfied_by([row("a"), row("z")])
+        assert not sigma.satisfied_by([row("b")])
+
+    def test_empty_set_always_satisfied(self):
+        sigma = ConstraintSet([])
+        assert sigma.satisfied_by([])
+        assert sigma.satisfied_by([row("anything")])
+
+    def test_m_bound_enforced(self):
+        wide = ConstraintBuilder.at_most_two("kind", "center", "id")  # l = 3
+        with pytest.raises(ConstraintError, match="exceeds"):
+            ConstraintSet([wide], m=2)
+        ConstraintSet([wide], m=3)  # fine
+
+    def test_m_minimum(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet([], m=1)
+
+    def test_iteration_and_len(self):
+        c = ConstraintBuilder.requires_value("item", "a")
+        sigma = ConstraintSet([c])
+        assert len(sigma) == 1
+        assert list(sigma) == [c]
+
+
+class TestSemanticsDetails:
+    def test_universal_variables_range_with_repetition(self):
+        # ∀t0,t1 (t0=a ∧ t1=a → ∃s s=b): with a single 'a' tuple the
+        # premise still fires via t0 = t1.
+        chi = (
+            Predicate(0, "item", ComparisonOp.EQ, const="a"),
+            Predicate(1, "item", ComparisonOp.EQ, const="a"),
+        )
+        xi = (Predicate(2, "item", ComparisonOp.EQ, const="b"),)
+        c = CompatibilityConstraint(2, 1, chi, xi)
+        assert not c.satisfied_by([row("a")])
+        assert c.satisfied_by([row("a"), row("b")])
+
+    def test_vacuous_on_empty_selection(self):
+        c = ConstraintBuilder.prerequisite("item", "x", ["y"])
+        assert c.satisfied_by([])
+
+    def test_existential_only_constraint_on_empty_selection_fails(self):
+        c = ConstraintBuilder.requires_value("item", "x")
+        assert not c.satisfied_by([])

@@ -1,0 +1,126 @@
+"""Property-based invariants over the core problems (hypothesis).
+
+These encode relationships the paper's definitions force:
+
+* RDC(B) > 0  ⇔  QRD(B)  (counting vs decision);
+* RDC is antitone in B;
+* every set of rank 1 achieves the optimum;
+* DRP is monotone in r;
+* the PTIME F_mono algorithms agree with enumeration on random data;
+* λ interpolation: F at λ∈{0,1} matches the single-criterion functions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.drp import drp_brute_force, rank_of, top_r_sets_modular
+from repro.core.functions import DistanceFunction, RelevanceFunction
+from repro.core.instance import DiversificationInstance
+from repro.core.objectives import Objective, ObjectiveKind
+from repro.core.qrd import qrd_brute_force, qrd_decide
+from repro.core.rdc import rdc_brute_force
+from repro.relational.queries import identity_query
+from repro.relational.schema import Database, Relation, RelationSchema
+
+SCHEMA = RelationSchema("items", ("id", "cat", "score"))
+
+
+@st.composite
+def instances(draw, kind=None):
+    n = draw(st.integers(3, 7))
+    k = draw(st.integers(1, min(3, n)))
+    lam = draw(st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+    the_kind = kind or draw(st.sampled_from(list(ObjectiveKind)))
+    rows = [
+        (
+            i,
+            draw(st.integers(0, 2)),
+            draw(st.integers(0, 8)),
+        )
+        for i in range(n)
+    ]
+    db = Database([Relation(SCHEMA, rows)])
+    objective = Objective(
+        the_kind,
+        RelevanceFunction.from_attribute("score"),
+        DistanceFunction.attribute_mismatch(("cat",)),
+        lam,
+    )
+    return DiversificationInstance(identity_query(SCHEMA), db, k=k, objective=objective)
+
+
+@given(instances(), st.floats(0, 50, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_count_positive_iff_decision_yes(instance, bound):
+    assert (rdc_brute_force(instance, bound) > 0) == qrd_brute_force(instance, bound)
+
+
+@given(instances(), st.floats(0, 30), st.floats(0, 30))
+@settings(max_examples=40, deadline=None)
+def test_count_antitone_in_bound(instance, b1, b2):
+    low, high = min(b1, b2), max(b1, b2)
+    assert rdc_brute_force(instance, low) >= rdc_brute_force(instance, high)
+
+
+@given(instances())
+@settings(max_examples=30, deadline=None)
+def test_rank_one_iff_optimal(instance):
+    sets = list(instance.candidate_sets())
+    if not sets:
+        return
+    best_value = max(instance.value(s) for s in sets)
+    for subset in sets[:6]:
+        is_rank_one = rank_of(instance, subset) == 1
+        achieves_best = instance.value(subset) >= best_value - 1e-12
+        assert is_rank_one == achieves_best
+
+
+@given(instances(), st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_drp_monotone_in_r(instance, r):
+    sets = list(instance.candidate_sets())
+    if not sets:
+        return
+    subset = sets[0]
+    if drp_brute_force(instance, subset, r):
+        assert drp_brute_force(instance, subset, r + 1)
+
+
+@given(instances(kind=ObjectiveKind.MONO), st.floats(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_mono_ptime_matches_enumeration(instance, bound):
+    assert qrd_decide(instance, bound, method="modular") == qrd_brute_force(
+        instance, bound
+    )
+
+
+@given(instances(kind=ObjectiveKind.MONO), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_top_r_prefix_stability(instance, r):
+    """The top-r list must be a prefix of the top-(r+1) list by value."""
+    if not list(instance.candidate_sets()):
+        return
+    shorter = [v for v, _ in top_r_sets_modular(instance, r)]
+    longer = [v for v, _ in top_r_sets_modular(instance, r + 1)]
+    assert longer[: len(shorter)] == shorter
+
+
+@given(instances())
+@settings(max_examples=30, deadline=None)
+def test_lambda_endpoints(instance):
+    """λ=0 drops δ_dis entirely; λ=1 drops δ_rel entirely."""
+    sets = list(instance.candidate_sets())
+    if not sets:
+        return
+    subset = sets[0]
+    objective = instance.objective
+    zero = instance.with_objective(objective.with_lambda(0.0))
+    one = instance.with_objective(objective.with_lambda(1.0))
+
+    crippled_distance = Objective(
+        objective.kind, objective.relevance, DistanceFunction.constant(0.0), 0.0
+    )
+    crippled_relevance = Objective(
+        objective.kind, RelevanceFunction.constant(0.0), objective.distance, 1.0
+    )
+    assert zero.value(subset) == instance.with_objective(crippled_distance).value(subset)
+    assert one.value(subset) == instance.with_objective(crippled_relevance).value(subset)

@@ -1,0 +1,133 @@
+"""Tests for the facility-dispersion correspondence (Section 3.2)."""
+
+import pytest
+
+from repro.algorithms.exact import exhaustive_best
+from repro.core.dispersion import (
+    DispersionError,
+    DispersionProblem,
+    from_instance,
+    greedy_max_sum_dispersion,
+    to_instance,
+)
+from repro.core.objectives import ObjectiveKind
+from repro.workloads.synthetic import random_instance
+
+
+def small_problem(maximin=False):
+    weights = (
+        (0.0, 3.0, 1.0, 4.0),
+        (3.0, 0.0, 2.0, 1.0),
+        (1.0, 2.0, 0.0, 5.0),
+        (4.0, 1.0, 5.0, 0.0),
+    )
+    return DispersionProblem(weights, select=2, maximin=maximin)
+
+
+class TestDispersionProblem:
+    def test_value_max_sum(self):
+        problem = small_problem()
+        assert problem.value((0, 3)) == 4.0
+        assert problem.value((2, 3)) == 5.0
+
+    def test_value_max_min(self):
+        problem = DispersionProblem(small_problem().weights, 3, maximin=True)
+        assert problem.value((0, 1, 3)) == 1.0
+
+    def test_solve_max_sum(self):
+        value, chosen = small_problem().solve()
+        assert value == 5.0 and set(chosen) == {2, 3}
+
+    def test_solve_max_min(self):
+        problem = DispersionProblem(small_problem().weights, 2, maximin=True)
+        value, chosen = problem.solve()
+        assert value == 5.0 and set(chosen) == {2, 3}
+
+    def test_asymmetric_rejected(self):
+        weights = ((0.0, 1.0), (2.0, 0.0))
+        with pytest.raises(DispersionError, match="symmetric"):
+            DispersionProblem(weights, 1)
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(DispersionError, match="diagonal"):
+            DispersionProblem(((1.0,),), 1)
+
+    def test_bad_select_rejected(self):
+        with pytest.raises(DispersionError):
+            DispersionProblem(((0.0,),), 2)
+
+
+class TestCorrespondence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+    def test_max_sum_argmax_coincides(self, seed, lam):
+        """argmax F_MS == argmax of the folded dispersion problem."""
+        instance = random_instance(
+            n=8, k=3, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed
+        )
+        problem = from_instance(instance)
+        dispersion_value, chosen = problem.solve()
+        answers = instance.answers()
+        chosen_rows = tuple(answers[i] for i in chosen)
+        best = exhaustive_best(instance)
+        assert best is not None
+        # The folded weights make the values equal outright.
+        assert instance.value(chosen_rows) == pytest.approx(best[0])
+        assert dispersion_value == pytest.approx(best[0])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_max_min_lambda1_coincides(self, seed):
+        instance = random_instance(
+            n=8, k=3, kind=ObjectiveKind.MAX_MIN, lam=1.0, seed=seed
+        )
+        problem = from_instance(instance)
+        assert problem.maximin
+        value, chosen = problem.solve()
+        best = exhaustive_best(instance)
+        assert value == pytest.approx(best[0])
+
+    def test_max_min_mixed_lambda_rejected(self):
+        instance = random_instance(n=6, k=2, kind=ObjectiveKind.MAX_MIN, lam=0.5)
+        with pytest.raises(DispersionError, match="λ = 1"):
+            from_instance(instance)
+
+    def test_mono_rejected(self):
+        instance = random_instance(n=6, k=2, kind=ObjectiveKind.MONO)
+        with pytest.raises(DispersionError, match="F_mono"):
+            from_instance(instance)
+
+    def test_k1_rejected(self):
+        instance = random_instance(n=6, k=1, kind=ObjectiveKind.MAX_SUM)
+        with pytest.raises(DispersionError):
+            from_instance(instance)
+
+
+class TestEmbedding:
+    @pytest.mark.parametrize("maximin", [False, True])
+    def test_round_trip(self, maximin):
+        problem = DispersionProblem(small_problem().weights, 2, maximin=maximin)
+        instance = to_instance(problem)
+        best = exhaustive_best(instance)
+        value, _ = problem.solve()
+        expected = value * (2 if not maximin else 1)
+        # F_MS counts ordered pairs (×2); F_MM is the min itself.
+        assert best[0] == pytest.approx(expected)
+
+
+class TestGreedy:
+    def test_two_approximation(self):
+        problem = small_problem()
+        greedy_value, _ = greedy_max_sum_dispersion(problem)
+        optimal_value, _ = problem.solve()
+        assert greedy_value >= optimal_value / 2
+
+    def test_rejects_maximin(self):
+        problem = DispersionProblem(small_problem().weights, 2, maximin=True)
+        with pytest.raises(DispersionError):
+            greedy_max_sum_dispersion(problem)
+
+    def test_odd_selection(self):
+        problem = DispersionProblem(small_problem().weights, 3)
+        value, chosen = greedy_max_sum_dispersion(problem)
+        assert len(chosen) == 3
+        assert value == problem.value(chosen)

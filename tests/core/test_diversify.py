@@ -1,0 +1,103 @@
+"""Tests for the top-level diversify/decide/rank/count facade."""
+
+import pytest
+
+from repro import core as api
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.objectives import ObjectiveKind
+from repro.workloads.synthetic import random_instance
+from tests.conftest import make_small_instance
+
+
+class TestDiversify:
+    def test_exact_matches_enumeration(self, small_instance):
+        best = max(
+            small_instance.value(s) for s in small_instance.candidate_sets()
+        )
+        result = api.diversify(small_instance, method="exact")
+        assert result is not None
+        assert result[0] == pytest.approx(best)
+
+    @pytest.mark.parametrize("method", ["greedy", "mmr", "local-search"])
+    def test_heuristics_return_candidate_sets(self, small_instance, method):
+        result = api.diversify(small_instance, method=method)
+        assert result is not None
+        value, picks = result
+        assert small_instance.is_candidate_set(picks)
+        assert value == pytest.approx(small_instance.value(picks))
+
+    def test_heuristics_below_exact(self, small_instance):
+        exact = api.diversify(small_instance, method="exact")
+        for method in ("greedy", "mmr", "local-search"):
+            heuristic = api.diversify(small_instance, method=method)
+            assert heuristic[0] <= exact[0] + 1e-9
+
+    def test_mono_auto(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        )
+        best = max(instance.value(s) for s in instance.candidate_sets())
+        result = api.diversify(instance)
+        assert result[0] == pytest.approx(best)
+
+    def test_max_min_exact(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MAX_MIN
+        )
+        best = max(instance.value(s) for s in instance.candidate_sets())
+        result = api.diversify(instance, method="exact")
+        assert result[0] == pytest.approx(best)
+
+    def test_greedy_rejects_constraints(self, small_instance):
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 1)])
+        constrained = small_instance.with_constraints(sigma)
+        with pytest.raises(ValueError):
+            api.diversify(constrained, method="greedy")
+
+    def test_local_search_respects_constraints(self, small_instance):
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 1)])
+        constrained = small_instance.with_constraints(sigma)
+        result = api.diversify(constrained, method="local-search")
+        assert result is not None
+        assert all(r["id"] != 1 for r in result[1])
+
+    def test_no_candidate_sets_returns_none(self, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, k=10)
+        assert api.diversify(instance) is None
+
+    def test_unknown_method(self, small_instance):
+        with pytest.raises(ValueError):
+            api.diversify(small_instance, method="magic")
+
+
+class TestDecisionFacade:
+    def test_decide_and_witness(self, small_instance):
+        best = api.diversify(small_instance, method="exact")[0]
+        assert api.decide(small_instance, best)
+        assert not api.decide(small_instance, best + 1.0)
+        witness = api.witness(small_instance, best)
+        assert witness is not None
+        assert small_instance.value(witness) >= best - 1e-9
+
+    def test_rank_and_top_r(self, small_instance):
+        best = api.diversify(small_instance, method="exact")[1]
+        assert api.rank(small_instance, best) == 1
+        assert api.is_top_r(small_instance, best, 1)
+
+    def test_count(self, small_instance):
+        assert api.count(small_instance, 0.0) == 20
+
+    def test_make_instance(self, small_db, items_schema):
+        from repro.core.objectives import Objective
+        from repro.core.functions import DistanceFunction, RelevanceFunction
+        from repro.relational.queries import identity_query
+
+        instance = api.make_instance(
+            identity_query(items_schema),
+            small_db,
+            3,
+            Objective.max_sum(
+                RelevanceFunction.constant(1.0), DistanceFunction.constant(1.0), 0.5
+            ),
+        )
+        assert instance.answer_count == 6

@@ -1,0 +1,151 @@
+"""Tests for the DRP solvers: exact rank, the Theorem 6.4 top-r
+machinery (heap-based and the paper's FindNext), and dispatch."""
+
+import itertools
+
+import pytest
+
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.drp import (
+    DRPError,
+    drp_brute_force,
+    drp_decide,
+    drp_modular,
+    find_next_top_sets,
+    rank_of,
+    top_r_sets_modular,
+)
+from repro.core.objectives import ObjectiveKind
+from repro.workloads.synthetic import random_instance
+from tests.conftest import make_small_instance
+
+
+def brute_force_top_values(instance, r):
+    values = sorted(
+        (instance.value(s) for s in instance.candidate_sets()), reverse=True
+    )
+    return values[:r]
+
+
+class TestRank:
+    def test_best_set_has_rank_one(self, small_instance):
+        best = max(
+            instance_sets := list(small_instance.candidate_sets()),
+            key=small_instance.value,
+        )
+        assert rank_of(small_instance, best) == 1
+
+    def test_rank_counts_strictly_better(self, small_instance):
+        sets = list(small_instance.candidate_sets())
+        target = min(sets, key=small_instance.value)
+        value = small_instance.value(target)
+        better = sum(1 for s in sets if small_instance.value(s) > value)
+        assert rank_of(small_instance, target) == better + 1
+
+    def test_rank_requires_candidate_set(self, small_instance):
+        rows = small_instance.answers()[:2]
+        with pytest.raises(DRPError):
+            rank_of(small_instance, rows)
+
+    def test_drp_brute_force_threshold(self, small_instance):
+        sets = list(small_instance.candidate_sets())
+        target = min(sets, key=small_instance.value)
+        rank = rank_of(small_instance, target)
+        assert drp_brute_force(small_instance, target, rank)
+        assert not drp_brute_force(small_instance, target, rank - 1)
+
+    def test_invalid_r_rejected(self, small_instance):
+        rows = small_instance.answers()[:3]
+        with pytest.raises(DRPError):
+            drp_brute_force(small_instance, rows, 0)
+
+
+class TestTopRModular:
+    @pytest.fixture
+    def mono_instance(self, small_db, items_schema):
+        return make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO, lam=0.5
+        )
+
+    @pytest.mark.parametrize("r", [1, 2, 3, 5, 10, 20, 25])
+    def test_heap_matches_brute_force(self, mono_instance, r):
+        top = top_r_sets_modular(mono_instance, r)
+        expected = brute_force_top_values(mono_instance, r)
+        assert [v for v, _ in top] == pytest.approx(expected)
+
+    def test_values_non_increasing(self, mono_instance):
+        top = top_r_sets_modular(mono_instance, 10)
+        values = [v for v, _ in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_sets_are_distinct(self, mono_instance):
+        top = top_r_sets_modular(mono_instance, 15)
+        frozen = {frozenset(s) for _, s in top}
+        assert len(frozen) == len(top)
+
+    def test_fewer_sets_than_r(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO, k=6
+        )
+        top = top_r_sets_modular(instance, 5)
+        assert len(top) == 1  # only C(6,6) = 1 candidate set
+
+    def test_requires_modular(self, small_instance):
+        with pytest.raises(DRPError):
+            top_r_sets_modular(small_instance, 2)
+
+    @pytest.mark.parametrize("r", [1, 2, 4, 8])
+    def test_findnext_matches_heap(self, mono_instance, r):
+        heap_values = [v for v, _ in top_r_sets_modular(mono_instance, r)]
+        paper_values = [v for v, _ in find_next_top_sets(mono_instance, r)]
+        assert paper_values == pytest.approx(heap_values)
+
+    def test_findnext_on_random_instances(self):
+        for seed in range(5):
+            instance = random_instance(
+                n=7, k=3, kind=ObjectiveKind.MONO, lam=0.6, seed=seed
+            )
+            heap_values = [v for v, _ in top_r_sets_modular(instance, 6)]
+            paper_values = [v for v, _ in find_next_top_sets(instance, 6)]
+            assert paper_values == pytest.approx(heap_values)
+
+
+class TestModularDecision:
+    @pytest.fixture
+    def mono_instance(self, small_db, items_schema):
+        return make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO, lam=0.5
+        )
+
+    @pytest.mark.parametrize("r", [1, 2, 3, 7])
+    def test_agrees_with_brute_force(self, mono_instance, r):
+        for subset in itertools.islice(mono_instance.candidate_sets(), 12):
+            assert drp_modular(mono_instance, subset, r) == drp_brute_force(
+                mono_instance, subset, r
+            )
+
+    def test_dispatch_auto(self, mono_instance):
+        subset = next(iter(mono_instance.candidate_sets()))
+        rank = rank_of(mono_instance, subset)
+        assert drp_decide(mono_instance, subset, rank)
+        if rank > 1:
+            assert not drp_decide(mono_instance, subset, rank - 1)
+
+    def test_constrained_falls_back(self, small_db, items_schema):
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 1)])
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        ).with_constraints(sigma)
+        subset = next(iter(instance.candidate_sets()))
+        rank = rank_of(instance, subset)
+        assert drp_decide(instance, subset, rank)
+        # Constrained rank only counts Σ-satisfying sets.
+        unconstrained = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        )
+        assert rank <= rank_of(unconstrained, subset)
+
+    def test_unknown_method_rejected(self, small_instance):
+        subset = next(iter(small_instance.candidate_sets()))
+        with pytest.raises(ValueError):
+            drp_decide(small_instance, subset, 1, method="magic")

@@ -1,0 +1,83 @@
+"""Tests for the λ=0 F_MM PTIME DRP algorithm (Theorem 8.2)."""
+
+import itertools
+
+import pytest
+
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.drp import (
+    DRPError,
+    drp_brute_force,
+    drp_decide,
+    drp_max_min_relevance,
+)
+from repro.core.objectives import ObjectiveKind
+from repro.workloads.synthetic import random_instance
+from tests.conftest import make_small_instance
+
+
+@pytest.fixture
+def mm_instance(small_db, items_schema):
+    return make_small_instance(
+        small_db, items_schema, kind=ObjectiveKind.MAX_MIN, lam=0.0
+    )
+
+
+class TestMaxMinRelevanceDRP:
+    @pytest.mark.parametrize("r", [1, 2, 3, 5, 10])
+    def test_agrees_with_brute_force(self, mm_instance, r):
+        for subset in itertools.islice(mm_instance.candidate_sets(), 10):
+            assert drp_max_min_relevance(mm_instance, subset, r) == drp_brute_force(
+                mm_instance, subset, r
+            )
+
+    def test_binomial_semantics(self, mm_instance):
+        # Scores: 9,8,7,6,4,2, k=3.  A set with min rel 4 is beaten by
+        # exactly C(4,3)=4 sets (those inside {9,8,7,6}).
+        rows = {r["score"]: r for r in mm_instance.answers()}
+        subset = (rows[9.0], rows[8.0], rows[4.0])
+        assert drp_max_min_relevance(mm_instance, subset, 5)
+        assert not drp_max_min_relevance(mm_instance, subset, 4)
+        assert drp_brute_force(mm_instance, subset, 5)
+        assert not drp_brute_force(mm_instance, subset, 4)
+
+    def test_best_set_rank_one(self, mm_instance):
+        rows = sorted(mm_instance.answers(), key=lambda r: r["score"], reverse=True)
+        best = tuple(rows[:3])
+        assert drp_max_min_relevance(mm_instance, best, 1)
+
+    def test_rejects_wrong_setting(self, small_instance):
+        subset = next(iter(small_instance.candidate_sets()))
+        with pytest.raises(DRPError):
+            drp_max_min_relevance(small_instance, subset, 1)
+
+    def test_rejects_constraints(self, mm_instance):
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 1)])
+        constrained = mm_instance.with_constraints(sigma)
+        subset = next(iter(constrained.candidate_sets()))
+        with pytest.raises(DRPError, match="constraints"):
+            drp_max_min_relevance(constrained, subset, 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_agreement(self, seed):
+        instance = random_instance(
+            n=9, k=3, kind=ObjectiveKind.MAX_MIN, lam=0.0, seed=seed
+        )
+        for subset in itertools.islice(instance.candidate_sets(), 8):
+            for r in (1, 2, 4):
+                assert drp_max_min_relevance(instance, subset, r) == drp_brute_force(
+                    instance, subset, r
+                )
+
+    def test_auto_dispatch_uses_it(self, mm_instance):
+        subset = next(iter(mm_instance.candidate_sets()))
+        for r in (1, 3, 8):
+            assert drp_decide(mm_instance, subset, r) == drp_brute_force(
+                mm_instance, subset, r
+            )
+
+    def test_explicit_method(self, mm_instance):
+        subset = next(iter(mm_instance.candidate_sets()))
+        assert drp_decide(
+            mm_instance, subset, 30, method="max-min-relevance"
+        ) == drp_brute_force(mm_instance, subset, 30)

@@ -1,0 +1,126 @@
+"""Tests for relevance and distance function wrappers."""
+
+import pytest
+
+from repro.core.functions import (
+    DistanceFunction,
+    FunctionPropertyError,
+    RelevanceFunction,
+    min_pairwise_distance,
+    pairwise_distance_sum,
+)
+from repro.relational.schema import RelationSchema, Row
+
+SCHEMA = RelationSchema("r", ("a", "b"))
+
+
+def row(*values):
+    return Row(SCHEMA, values)
+
+
+class TestRelevance:
+    def test_constant(self):
+        rel = RelevanceFunction.constant(2.5)
+        assert rel(row(1, 2)) == 2.5
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(FunctionPropertyError):
+            RelevanceFunction.constant(-1.0)
+
+    def test_from_table_with_default(self):
+        rel = RelevanceFunction.from_table({(1, 2): 3.0}, default=0.5)
+        assert rel(row(1, 2)) == 3.0
+        assert rel(row(9, 9)) == 0.5
+
+    def test_from_attribute(self):
+        rel = RelevanceFunction.from_attribute("b")
+        assert rel(row(1, 7)) == 7.0
+
+    def test_from_attribute_missing_gives_default(self):
+        rel = RelevanceFunction.from_attribute("zzz", default=1.5)
+        assert rel(row(1, 2)) == 1.5
+
+    def test_from_attribute_non_numeric_gives_default(self):
+        rel = RelevanceFunction.from_attribute("b", default=0.25)
+        assert rel(row(1, "text")) == 0.25
+
+    def test_from_callable_one_arg(self):
+        rel = RelevanceFunction.from_callable(lambda r: r["a"] * 2.0)
+        assert rel(row(3, 0)) == 6.0
+
+    def test_from_callable_two_args(self):
+        rel = RelevanceFunction.from_callable(lambda r, q: 1.0)
+        assert rel(row(1, 2), None) == 1.0
+
+    def test_negative_result_rejected(self):
+        rel = RelevanceFunction.from_callable(lambda r: -5.0)
+        with pytest.raises(FunctionPropertyError):
+            rel(row(1, 2))
+
+
+class TestDistance:
+    def test_diagonal_is_zero(self):
+        dis = DistanceFunction.constant(5.0)
+        assert dis(row(1, 2), row(1, 2)) == 0.0
+
+    def test_constant_off_diagonal(self):
+        dis = DistanceFunction.constant(5.0)
+        assert dis(row(1, 2), row(3, 4)) == 5.0
+
+    def test_symmetrization(self):
+        # An asymmetric callable is forced symmetric.
+        def asymmetric(left, right):
+            return float(left["a"])
+
+        dis = DistanceFunction.from_callable(asymmetric)
+        a, b = row(1, 0), row(2, 0)
+        assert dis(a, b) == dis(b, a)
+
+    def test_from_table_either_order(self):
+        dis = DistanceFunction.from_table({((1, 2), (3, 4)): 7.0})
+        assert dis(row(1, 2), row(3, 4)) == 7.0
+        assert dis(row(3, 4), row(1, 2)) == 7.0
+
+    def test_from_table_default(self):
+        dis = DistanceFunction.from_table({}, default=0.25)
+        assert dis(row(1, 2), row(3, 4)) == 0.25
+
+    def test_attribute_mismatch_all(self):
+        dis = DistanceFunction.attribute_mismatch()
+        assert dis(row(1, 2), row(1, 3)) == 1.0
+        assert dis(row(0, 0), row(1, 1)) == 2.0
+
+    def test_attribute_mismatch_subset(self):
+        dis = DistanceFunction.attribute_mismatch(("a",))
+        assert dis(row(1, 2), row(1, 99)) == 0.0
+
+    def test_numeric_gap(self):
+        dis = DistanceFunction.numeric_gap("b", scale=2.0)
+        assert dis(row(0, 1), row(0, 4)) == 6.0
+
+    def test_negative_distance_rejected(self):
+        dis = DistanceFunction.from_callable(lambda a, b: -1.0)
+        with pytest.raises(FunctionPropertyError):
+            dis(row(1, 2), row(3, 4))
+
+
+class TestAggregates:
+    def test_pairwise_sum_ordered_pairs(self):
+        dis = DistanceFunction.constant(1.0)
+        rows = [row(i, 0) for i in range(4)]
+        # 4 tuples, 12 ordered pairs at distance 1.
+        assert pairwise_distance_sum(rows, dis) == 12.0
+
+    def test_pairwise_sum_empty_and_singleton(self):
+        dis = DistanceFunction.constant(1.0)
+        assert pairwise_distance_sum([], dis) == 0.0
+        assert pairwise_distance_sum([row(1, 1)], dis) == 0.0
+
+    def test_min_pairwise(self):
+        dis = DistanceFunction.numeric_gap("a")
+        rows = [row(0, 0), row(3, 0), row(10, 0)]
+        assert min_pairwise_distance(rows, dis) == 3.0
+
+    def test_min_pairwise_singleton_convention(self):
+        dis = DistanceFunction.constant(9.0)
+        assert min_pairwise_distance([row(1, 1)], dis) == 0.0

@@ -1,0 +1,89 @@
+"""Tests for DiversificationInstance: answers, candidate/valid sets."""
+
+import pytest
+
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.instance import DiversificationInstance, InstanceError
+from repro.core.objectives import ObjectiveKind
+from tests.conftest import make_small_instance
+
+
+class TestInstanceBasics:
+    def test_k_validated(self, small_db, items_schema):
+        with pytest.raises(InstanceError):
+            make_small_instance(small_db, items_schema, k=0)
+
+    def test_answers_cached_and_sorted(self, small_instance):
+        first = small_instance.answers()
+        second = small_instance.answers()
+        assert first is second
+        assert [r["id"] for r in first] == sorted(r["id"] for r in first)
+
+    def test_answer_count(self, small_instance):
+        assert small_instance.answer_count == 6
+
+    def test_in_answers(self, small_instance):
+        row = small_instance.answers()[0]
+        assert small_instance.in_answers(row)
+
+    def test_invalidate_cache(self, small_instance, small_db):
+        small_instance.answers()
+        small_db.insert("items", 7, "d", 5.0)
+        small_instance.invalidate_cache()
+        assert small_instance.answer_count == 7
+
+
+class TestCandidateSets:
+    def test_enumeration_count(self, small_instance):
+        sets = list(small_instance.candidate_sets())
+        assert len(sets) == 20  # C(6, 3)
+
+    def test_is_candidate_set(self, small_instance):
+        rows = small_instance.answers()[:3]
+        assert small_instance.is_candidate_set(rows)
+        assert not small_instance.is_candidate_set(rows[:2])
+        assert not small_instance.is_candidate_set(list(rows[:2]) + [rows[0]])
+
+    def test_candidate_sets_respect_constraints(self, small_instance):
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 1)])
+        constrained = small_instance.with_constraints(sigma)
+        sets = list(constrained.candidate_sets())
+        assert len(sets) == 10  # C(5, 3)
+        assert all(all(r["id"] != 1 for r in s) for s in sets)
+
+    def test_is_valid_set(self, small_instance):
+        rows = small_instance.answers()[:3]
+        value = small_instance.value(rows)
+        assert small_instance.is_valid_set(rows, value)
+        assert not small_instance.is_valid_set(rows, value + 1.0)
+
+
+class TestValue:
+    def test_value_supplies_universe_for_mono(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        )
+        rows = instance.answers()[:3]
+        # Should not raise despite F_mono needing Q(D).
+        assert instance.value(rows) > 0
+
+    def test_item_score(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        )
+        total = sum(instance.item_score(r) for r in instance.answers()[:3])
+        assert instance.value(instance.answers()[:3]) == pytest.approx(total)
+
+
+class TestCopies:
+    def test_with_k_shares_cache(self, small_instance):
+        small_instance.answers()
+        clone = small_instance.with_k(2)
+        assert clone.k == 2
+        assert clone.answers() is small_instance.answers()
+
+    def test_with_objective(self, small_instance):
+        new_objective = small_instance.objective.with_lambda(1.0)
+        clone = small_instance.with_objective(new_objective)
+        assert clone.objective.lam == 1.0
+        assert small_instance.objective.lam == 0.5

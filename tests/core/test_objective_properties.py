@@ -1,0 +1,132 @@
+"""Hypothesis property tests on the objective functions themselves."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.functions import DistanceFunction, RelevanceFunction
+from repro.core.objectives import Objective, ObjectiveKind
+from repro.relational.schema import RelationSchema, Row
+
+SCHEMA = RelationSchema("t", ("id",))
+
+
+@st.composite
+def scored_sets(draw, min_size=1, max_size=5):
+    n = draw(st.integers(min_size, max_size))
+    relevance = {
+        i: draw(st.floats(0, 10, allow_nan=False, allow_infinity=False))
+        for i in range(n)
+    }
+    distance = {}
+    for a in range(n):
+        for b in range(a + 1, n):
+            distance[(a, b)] = draw(
+                st.floats(0, 10, allow_nan=False, allow_infinity=False)
+            )
+    lam = draw(st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]))
+    rows = [Row(SCHEMA, (i,)) for i in range(n)]
+    rel = RelevanceFunction.from_table({(i,): v for i, v in relevance.items()})
+    dis = DistanceFunction.from_table(
+        {((a,), (b,)): v for (a, b), v in distance.items()}
+    )
+    return rows, rel, dis, lam
+
+
+@given(scored_sets())
+@settings(max_examples=60)
+def test_objectives_non_negative(data):
+    rows, rel, dis, lam = data
+    for kind in ObjectiveKind:
+        objective = Objective(kind, rel, dis, lam)
+        value = objective.value(rows, universe=rows)
+        assert value >= -1e-12
+
+
+@given(scored_sets(min_size=2))
+@settings(max_examples=60)
+def test_permutation_invariance(data):
+    rows, rel, dis, lam = data
+    reversed_rows = list(reversed(rows))
+    for kind in ObjectiveKind:
+        objective = Objective(kind, rel, dis, lam)
+        assert math.isclose(
+            objective.value(rows, universe=rows),
+            objective.value(reversed_rows, universe=rows),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+
+@given(scored_sets(min_size=2), st.floats(0.1, 5.0))
+@settings(max_examples=60)
+def test_scale_covariance(data, alpha):
+    """Scaling δ_rel and δ_dis by α scales every objective by α."""
+    rows, rel, dis, lam = data
+
+    scaled_rel = RelevanceFunction.from_callable(
+        lambda r, q=None: alpha * rel(r), name="scaled"
+    )
+    scaled_dis = DistanceFunction.from_callable(
+        lambda a, b: alpha * dis(a, b), name="scaled"
+    )
+    for kind in ObjectiveKind:
+        base = Objective(kind, rel, dis, lam).value(rows, universe=rows)
+        scaled = Objective(kind, scaled_rel, scaled_dis, lam).value(
+            rows, universe=rows
+        )
+        assert math.isclose(scaled, alpha * base, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(scored_sets(min_size=2))
+@settings(max_examples=60)
+def test_max_min_at_most_max_sum_scaled(data):
+    """F_MM picks minima where F_MS sums: F_MM ≤ F_MS/(k−1) pointwise
+    components-wise is not exact, but F_MM ≤ (1−λ)max_rel + λ·max_dis
+    and both are bounded by their aggregates; check the simple bound
+    F_MM(U) ≤ (1−λ)·avg_rel + λ·avg_dis + ε via the sums."""
+    rows, rel, dis, lam = data
+    k = len(rows)
+    mm = Objective(ObjectiveKind.MAX_MIN, rel, dis, lam).value(rows)
+    ms = Objective(ObjectiveKind.MAX_SUM, rel, dis, lam).value(rows)
+    # min·(k−1)·k pairs/items bound the sums from below:
+    # (k−1)(1−λ)·k·min_rel + λ·k(k−1)·min_dis ≤ F_MS, and
+    # F_MM = (1−λ)min_rel + λ·min_dis, so F_MM·k(k−1) ≤ F_MS + slack.
+    assert mm * k * (k - 1) <= ms + 1e-6
+
+
+@given(scored_sets(min_size=2), st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]))
+@settings(max_examples=60)
+def test_lambda_interpolation_is_affine(data, new_lam):
+    """For a fixed set, F(λ) is affine in λ for all three objectives
+    — F(λ) = (1−λ)·F(0)'s relevance part + λ·F(1)'s diversity part —
+    except F_MS where the (k−1) factor multiplies only relevance."""
+    rows, rel, dis, lam = data
+    for kind in ObjectiveKind:
+        at0 = Objective(kind, rel, dis, 0.0).value(rows, universe=rows)
+        at1 = Objective(kind, rel, dis, 1.0).value(rows, universe=rows)
+        mid = Objective(kind, rel, dis, new_lam).value(rows, universe=rows)
+        expected = (1 - new_lam) * at0 + new_lam * at1
+        assert math.isclose(mid, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(scored_sets(min_size=1, max_size=4))
+@settings(max_examples=40)
+def test_mono_modularity(data):
+    """F_mono(U ∪ {t}) − F_mono(U) is independent of U (modularity)."""
+    rows, rel, dis, lam = data
+    if len(rows) < 2:
+        return
+    objective = Objective(ObjectiveKind.MONO, rel, dis, lam)
+    universe = rows
+    extra = rows[-1]
+    base = rows[:-1]
+    for split in range(len(base)):
+        u1 = base[:split]
+        gain = objective.value(list(u1) + [extra], universe=universe) - (
+            objective.value(u1, universe=universe)
+        )
+        gain_full = objective.value(base + [extra], universe=universe) - (
+            objective.value(base, universe=universe)
+        )
+        assert math.isclose(gain, gain_full, rel_tol=1e-9, abs_tol=1e-9)

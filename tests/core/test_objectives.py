@@ -1,0 +1,140 @@
+"""Tests for F_MS, F_MM and F_mono (Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.functions import DistanceFunction, RelevanceFunction
+from repro.core.objectives import Objective, ObjectiveError, ObjectiveKind
+from repro.relational.schema import RelationSchema, Row
+
+SCHEMA = RelationSchema("r", ("id", "score"))
+
+
+def row(i, score):
+    return Row(SCHEMA, (i, score))
+
+
+@pytest.fixture
+def rows():
+    return [row(1, 4.0), row(2, 2.0), row(3, 1.0)]
+
+
+def rel():
+    return RelevanceFunction.from_attribute("score")
+
+
+def unit_distance():
+    return DistanceFunction.constant(1.0)
+
+
+class TestMaxSum:
+    def test_formula(self, rows):
+        # k=3, λ=0.5: (k−1)(1−λ)Σrel + λ·Σ_ordered δ = 2·0.5·7 + 0.5·6 = 10
+        obj = Objective.max_sum(rel(), unit_distance(), lam=0.5)
+        assert obj.value(rows) == pytest.approx(10.0)
+
+    def test_lambda_zero_relevance_only(self, rows):
+        obj = Objective.max_sum(rel(), unit_distance(), lam=0.0)
+        assert obj.value(rows) == pytest.approx(2 * 7.0)
+        assert obj.relevance_only and not obj.diversity_only
+
+    def test_lambda_one_diversity_only(self, rows):
+        obj = Objective.max_sum(rel(), unit_distance(), lam=1.0)
+        assert obj.value(rows) == pytest.approx(6.0)
+        assert obj.diversity_only
+
+    def test_ordered_pair_convention(self):
+        # l tuples with pairwise distance 1 must give l(l−1) at λ=1 —
+        # the bound B of the Theorem 5.1 reduction.
+        obj = Objective.max_sum(rel(), unit_distance(), lam=1.0)
+        for l in (2, 3, 5):
+            subset = [row(i, 1.0) for i in range(l)]
+            assert obj.value(subset) == pytest.approx(l * (l - 1))
+
+    def test_singleton(self):
+        # k=1: the (k−1) factor kills the relevance term.
+        obj = Objective.max_sum(rel(), unit_distance(), lam=0.0)
+        assert obj.value([row(1, 5.0)]) == 0.0
+
+    def test_modular_only_at_lambda_zero(self):
+        assert Objective.max_sum(rel(), unit_distance(), lam=0.0).is_modular
+        assert not Objective.max_sum(rel(), unit_distance(), lam=0.5).is_modular
+
+
+class TestMaxMin:
+    def test_formula(self, rows):
+        obj = Objective.max_min(rel(), unit_distance(), lam=0.5)
+        # (1−λ)·min rel + λ·min dis = 0.5·1 + 0.5·1
+        assert obj.value(rows) == pytest.approx(1.0)
+
+    def test_penalizes_single_bad_item(self, rows):
+        obj = Objective.max_min(rel(), unit_distance(), lam=0.0)
+        bad = rows + [row(9, 0.0)]
+        assert obj.value(bad) == 0.0
+
+    def test_singleton_diversity_convention(self):
+        obj = Objective.max_min(rel(), unit_distance(), lam=1.0)
+        assert obj.value([row(1, 5.0)]) == 0.0
+
+    def test_empty_set(self):
+        obj = Objective.max_min(rel(), unit_distance(), lam=0.5)
+        assert obj.value([]) == 0.0
+
+    def test_never_modular(self):
+        assert not Objective.max_min(rel(), unit_distance(), lam=0.0).is_modular
+
+
+class TestMono:
+    def test_requires_universe(self, rows):
+        obj = Objective.mono(rel(), unit_distance(), lam=0.5)
+        with pytest.raises(ObjectiveError):
+            obj.value(rows)
+
+    def test_formula(self, rows):
+        universe = rows + [row(4, 0.0)]
+        obj = Objective.mono(rel(), unit_distance(), lam=0.5)
+        # v(t) = 0.5·rel + 0.5·(3/3)=0.5·rel + 0.5 per tuple
+        expected = sum(0.5 * r["score"] + 0.5 for r in rows)
+        assert obj.value(rows, universe=universe) == pytest.approx(expected)
+
+    def test_item_score_matches_value(self, rows):
+        universe = rows
+        obj = Objective.mono(rel(), unit_distance(), lam=0.7)
+        total = sum(obj.item_score(r, None, universe) for r in rows)
+        assert obj.value(rows, universe=universe) == pytest.approx(total)
+
+    def test_singleton_universe_convention(self):
+        obj = Objective.mono(rel(), unit_distance(), lam=1.0)
+        only = [row(1, 5.0)]
+        assert obj.value(only, universe=only) == 0.0
+
+    def test_is_modular(self):
+        assert Objective.mono(rel(), unit_distance(), lam=0.5).is_modular
+
+    def test_item_score_lambda_zero_needs_no_universe(self):
+        obj = Objective.mono(rel(), unit_distance(), lam=0.0)
+        assert obj.item_score(row(1, 3.0), None, None) == 3.0
+
+
+class TestObjectiveMisc:
+    def test_lambda_bounds_validated(self):
+        with pytest.raises(ObjectiveError):
+            Objective.max_sum(rel(), unit_distance(), lam=1.5)
+        with pytest.raises(ObjectiveError):
+            Objective.max_sum(rel(), unit_distance(), lam=-0.1)
+
+    def test_with_lambda(self):
+        obj = Objective.max_sum(rel(), unit_distance(), lam=0.5)
+        copy = obj.with_lambda(1.0)
+        assert copy.lam == 1.0 and copy.kind is obj.kind
+        assert obj.lam == 0.5  # original untouched
+
+    def test_item_score_on_non_modular_raises(self):
+        obj = Objective.max_sum(rel(), unit_distance(), lam=0.5)
+        with pytest.raises(ObjectiveError):
+            obj.item_score(row(1, 1.0), None, None)
+
+    def test_value_monotone_in_items_for_max_sum(self, rows):
+        obj = Objective.max_sum(rel(), unit_distance(), lam=0.5)
+        assert obj.value(rows) >= obj.value(rows[:2])

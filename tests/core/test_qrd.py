@@ -1,0 +1,142 @@
+"""Tests for the QRD solvers, including agreement between the PTIME
+algorithms (Theorems 5.4, 8.2) and brute force."""
+
+import itertools
+
+import pytest
+
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.objectives import ObjectiveKind
+from repro.core.qrd import (
+    qrd_brute_force,
+    qrd_decide,
+    qrd_max_min_relevance,
+    qrd_modular,
+    qrd_modular_witness,
+    qrd_witness,
+    qrd_witness_brute_force,
+)
+from repro.workloads.synthetic import random_instance
+from tests.conftest import make_small_instance
+
+
+class TestBruteForce:
+    def test_decides_achievable_bound(self, small_instance):
+        best = max(
+            small_instance.value(s) for s in small_instance.candidate_sets()
+        )
+        assert qrd_brute_force(small_instance, best)
+        assert not qrd_brute_force(small_instance, best + 1e-6)
+
+    def test_witness_is_valid(self, small_instance):
+        witness = qrd_witness_brute_force(small_instance, 1.0)
+        assert witness is not None
+        assert small_instance.is_valid_set(witness, 1.0)
+
+    def test_no_witness_above_optimum(self, small_instance):
+        best = max(
+            small_instance.value(s) for s in small_instance.candidate_sets()
+        )
+        assert qrd_witness_brute_force(small_instance, best + 1.0) is None
+
+    def test_insufficient_answers(self, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, k=10)
+        assert not qrd_brute_force(instance, 0.0)
+
+
+class TestModularPTIME:
+    @pytest.mark.parametrize("lam", [0.0, 0.3, 1.0])
+    def test_mono_agrees_with_brute_force(self, lam, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO, lam=lam
+        )
+        values = [instance.value(s) for s in instance.candidate_sets()]
+        for bound in sorted(set(values))[:5] + [max(values), max(values) + 1]:
+            assert qrd_modular(instance, bound) == qrd_brute_force(instance, bound)
+
+    def test_max_sum_lambda0(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MAX_SUM, lam=0.0
+        )
+        best = max(instance.value(s) for s in instance.candidate_sets())
+        assert qrd_modular(instance, best)
+        assert not qrd_modular(instance, best + 1e-6)
+
+    def test_rejects_non_modular(self, small_instance):
+        with pytest.raises(ValueError, match="not modular"):
+            qrd_modular(small_instance, 1.0)
+
+    def test_rejects_constraints(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        ).with_constraints(ConstraintSet([ConstraintBuilder.forbids_value("id", 1)]))
+        with pytest.raises(ValueError, match="constraints"):
+            qrd_modular(instance, 1.0)
+
+    def test_witness_is_top_k(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        )
+        witness = qrd_modular_witness(instance, 0.0)
+        assert witness is not None
+        chosen = sorted(instance.item_score(r) for r in witness)
+        all_scores = sorted(instance.item_score(r) for r in instance.answers())
+        assert chosen == all_scores[-3:]
+
+
+class TestMaxMinRelevance:
+    def test_agrees_with_brute_force(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MAX_MIN, lam=0.0
+        )
+        for bound in (0.0, 2.0, 4.0, 6.0, 6.5, 7.0, 9.0):
+            assert qrd_max_min_relevance(instance, bound) == qrd_brute_force(
+                instance, bound
+            )
+
+    def test_kth_largest_semantics(self, small_db, items_schema):
+        # Scores are 9,8,7,6,4,2; k=3 → best min-relevance is 7.
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MAX_MIN, lam=0.0
+        )
+        assert qrd_max_min_relevance(instance, 7.0)
+        assert not qrd_max_min_relevance(instance, 7.1)
+
+    def test_rejects_wrong_objective(self, small_instance):
+        with pytest.raises(ValueError):
+            qrd_max_min_relevance(small_instance, 1.0)
+
+
+class TestDispatch:
+    def test_auto_uses_modular_for_mono(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        )
+        best = max(instance.value(s) for s in instance.candidate_sets())
+        assert qrd_decide(instance, best)
+        assert not qrd_decide(instance, best + 1e-6)
+
+    def test_auto_with_constraints_uses_enumeration(self, small_db, items_schema):
+        sigma = ConstraintSet([ConstraintBuilder.requires_value("id", 6)])
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        ).with_constraints(sigma)
+        # Best constrained set must contain item 6 (score 2.0).
+        assert qrd_decide(instance, 0.0)
+        witness = qrd_witness(instance, 0.0)
+        assert witness is not None and any(r["id"] == 6 for r in witness)
+
+    def test_unknown_method_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            qrd_decide(small_instance, 1.0, method="magic")
+
+    @pytest.mark.parametrize("kind", list(ObjectiveKind))
+    @pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+    def test_auto_agrees_with_brute_force_randomized(self, kind, lam):
+        instance = random_instance(n=8, k=3, kind=kind, lam=lam, seed=42)
+        values = sorted(
+            {instance.value(s) for s in instance.candidate_sets()}
+        )
+        probes = [values[0], values[len(values) // 2], values[-1], values[-1] + 1]
+        for bound in probes:
+            assert qrd_decide(instance, bound) == qrd_brute_force(instance, bound)

@@ -1,0 +1,153 @@
+"""Tests for the RDC counters: brute force, the FP case (Theorem 8.2),
+the pseudo-polynomial DP, and consistency with QRD."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import ConstraintBuilder, ConstraintSet
+from repro.core.functions import DistanceFunction, RelevanceFunction
+from repro.core.instance import DiversificationInstance
+from repro.core.objectives import Objective, ObjectiveKind
+from repro.core.qrd import qrd_brute_force
+from repro.core.rdc import (
+    count_max_min_relevance,
+    count_modular_dp,
+    rdc_brute_force,
+    rdc_count,
+)
+from repro.relational.queries import identity_query
+from repro.relational.schema import Database, Relation, RelationSchema
+from tests.conftest import make_small_instance
+
+
+def integer_score_instance(scores, k, kind=ObjectiveKind.MONO, lam=0.0):
+    schema = RelationSchema("w", ("id", "s"))
+    relation = Relation(schema, [(i, s) for i, s in enumerate(scores)])
+    db = Database([relation])
+    objective = Objective(
+        kind,
+        RelevanceFunction.from_attribute("s"),
+        DistanceFunction.constant(0.0),
+        lam,
+    )
+    return DiversificationInstance(identity_query(schema), db, k=k, objective=objective)
+
+
+class TestBruteForce:
+    def test_count_at_zero_bound(self, small_instance):
+        assert rdc_brute_force(small_instance, 0.0) == 20  # C(6,3)
+
+    def test_count_above_optimum_is_zero(self, small_instance):
+        best = max(
+            small_instance.value(s) for s in small_instance.candidate_sets()
+        )
+        assert rdc_brute_force(small_instance, best + 1e-6) == 0
+        assert rdc_brute_force(small_instance, best) >= 1
+
+    def test_monotone_in_bound(self, small_instance):
+        values = sorted(
+            {small_instance.value(s) for s in small_instance.candidate_sets()}
+        )
+        counts = [rdc_brute_force(small_instance, b) for b in values]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_consistent_with_qrd(self, small_instance):
+        for bound in (0.0, 10.0, 20.0, 40.0, 100.0):
+            assert (rdc_brute_force(small_instance, bound) > 0) == qrd_brute_force(
+                small_instance, bound
+            )
+
+    def test_respects_constraints(self, small_db, items_schema):
+        sigma = ConstraintSet([ConstraintBuilder.forbids_value("id", 1)])
+        constrained = make_small_instance(small_db, items_schema).with_constraints(sigma)
+        assert rdc_brute_force(constrained, 0.0) == 10  # C(5,3)
+
+
+class TestMaxMinRelevanceFP:
+    def test_binomial_formula(self):
+        instance = integer_score_instance(
+            [9, 8, 7, 3, 2], k=2, kind=ObjectiveKind.MAX_MIN, lam=0.0
+        )
+        # Tuples with score ≥ 7: three of them → C(3,2) = 3.
+        assert count_max_min_relevance(instance, 7.0) == 3
+        assert count_max_min_relevance(instance, 1.0) == math.comb(5, 2)
+        assert count_max_min_relevance(instance, 10.0) == 0
+
+    def test_agrees_with_brute_force(self):
+        instance = integer_score_instance(
+            [5, 5, 4, 2, 1, 0], k=3, kind=ObjectiveKind.MAX_MIN, lam=0.0
+        )
+        for bound in (0.0, 1.0, 2.0, 4.0, 5.0, 6.0):
+            assert count_max_min_relevance(instance, bound) == rdc_brute_force(
+                instance, bound
+            )
+
+    def test_rejects_wrong_setting(self, small_instance):
+        with pytest.raises(ValueError):
+            count_max_min_relevance(small_instance, 1.0)
+
+
+class TestModularDP:
+    def test_matches_brute_force_mono(self):
+        instance = integer_score_instance([3, 5, 2, 7, 5], k=2)
+        for bound in range(0, 15):
+            assert count_modular_dp(instance, float(bound)) == rdc_brute_force(
+                instance, float(bound)
+            )
+
+    def test_matches_brute_force_max_sum_lambda0(self):
+        instance = integer_score_instance(
+            [3, 5, 2, 7], k=3, kind=ObjectiveKind.MAX_SUM, lam=0.0
+        )
+        # F_MS = (k−1)·Σ = 2·Σ.
+        for bound in (0.0, 10.0, 20.0, 24.0, 28.0, 30.0, 31.0):
+            assert count_modular_dp(instance, bound) == rdc_brute_force(
+                instance, bound
+            )
+
+    def test_k_equals_one_max_sum(self):
+        instance = integer_score_instance(
+            [3, 5], k=1, kind=ObjectiveKind.MAX_SUM, lam=0.0
+        )
+        # (k−1) = 0 ⇒ F_MS ≡ 0.
+        assert count_modular_dp(instance, 0.0) == 2
+        assert count_modular_dp(instance, 0.5) == 0
+
+    def test_zero_bound_counts_everything(self):
+        instance = integer_score_instance([1, 2, 3, 4], k=2)
+        assert count_modular_dp(instance, 0.0) == math.comb(4, 2)
+
+    def test_non_integer_scores_rejected(self):
+        instance = integer_score_instance([1.5, 2.25], k=1)
+        with pytest.raises(ValueError, match="integral"):
+            count_modular_dp(instance, 1.0)
+
+    def test_scale_makes_fractional_scores_work(self):
+        instance = integer_score_instance([1.5, 2.5, 0.5], k=2)
+        assert count_modular_dp(instance, 3.0, scale=2) == rdc_brute_force(
+            instance, 3.0
+        )
+
+    def test_fractional_bound(self):
+        instance = integer_score_instance([1, 2, 3], k=1)
+        # Σ ≥ 2.5 ⇔ Σ ≥ 3 for integer scores.
+        assert count_modular_dp(instance, 2.5) == 1
+
+
+class TestDispatch:
+    def test_auto_uses_fp_counter(self):
+        instance = integer_score_instance(
+            [5, 4, 3], k=2, kind=ObjectiveKind.MAX_MIN, lam=0.0
+        )
+        assert rdc_count(instance, 4.0) == 1
+
+    def test_method_selection(self):
+        instance = integer_score_instance([3, 5, 2], k=2)
+        assert rdc_count(instance, 7.0, method="modular-dp") == rdc_count(
+            instance, 7.0, method="brute-force"
+        )
+
+    def test_unknown_method(self, small_instance):
+        with pytest.raises(ValueError):
+            rdc_count(small_instance, 0.0, method="magic")

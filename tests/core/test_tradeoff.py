@@ -1,0 +1,137 @@
+"""Tests for λ-sweeps and the Pareto frontier."""
+
+import pytest
+
+from repro.core.objectives import ObjectiveKind
+from repro.core.tradeoff import (
+    CriteriaPoint,
+    all_points,
+    criteria,
+    lambda_sweep,
+    pareto_front,
+    render_sweep,
+)
+from repro.workloads.synthetic import random_instance
+from tests.conftest import make_small_instance
+
+
+class TestCriteria:
+    def test_max_sum_coordinates(self, small_instance):
+        subset = small_instance.answers()[:3]
+        point = criteria(small_instance, subset)
+        objective = small_instance.objective
+        expected_rel = sum(
+            objective.relevance(t, small_instance.query) for t in subset
+        )
+        assert point.relevance == pytest.approx(expected_rel)
+        assert point.diversity >= 0
+
+    def test_objective_is_scalarization(self, small_instance):
+        """F_MS(U) = (k−1)(1−λ)·rel + λ·div must hold coordinate-wise."""
+        subset = small_instance.answers()[:3]
+        point = criteria(small_instance, subset)
+        lam = small_instance.objective.lam
+        k = len(subset)
+        expected = (k - 1) * (1 - lam) * point.relevance + lam * point.diversity
+        assert small_instance.value(subset) == pytest.approx(expected)
+
+    def test_max_min_coordinates(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MAX_MIN
+        )
+        subset = instance.answers()[:3]
+        point = criteria(instance, subset)
+        lam = instance.objective.lam
+        expected = (1 - lam) * point.relevance + lam * point.diversity
+        assert instance.value(subset) == pytest.approx(expected)
+
+    def test_mono_coordinates(self, small_db, items_schema):
+        instance = make_small_instance(
+            small_db, items_schema, kind=ObjectiveKind.MONO
+        )
+        subset = instance.answers()[:3]
+        point = criteria(instance, subset)
+        lam = instance.objective.lam
+        expected = (1 - lam) * point.relevance + lam * point.diversity
+        assert instance.value(subset) == pytest.approx(expected)
+
+    def test_dominance(self):
+        a = CriteriaPoint(2.0, 3.0, ())
+        b = CriteriaPoint(1.0, 3.0, ())
+        c = CriteriaPoint(3.0, 1.0, ())
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c) and not c.dominates(a)
+        assert not a.dominates(a)
+
+
+class TestParetoFront:
+    def test_front_is_nondominated(self, small_instance):
+        front = pareto_front(small_instance)
+        for p in front:
+            for q in front:
+                assert not p.dominates(q) or p is q
+
+    def test_front_members_undominated_by_anything(self, small_instance):
+        front = pareto_front(small_instance)
+        points = all_points(small_instance)
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_front_sorted_by_diversity(self, small_instance):
+        front = pareto_front(small_instance)
+        diversities = [p.diversity for p in front]
+        assert diversities == sorted(diversities)
+
+    def test_every_point_dominated_or_on_front(self, small_instance):
+        front = pareto_front(small_instance)
+        keys = {(round(p.relevance, 9), round(p.diversity, 9)) for p in front}
+        for point in all_points(small_instance):
+            on_front = (round(point.relevance, 9), round(point.diversity, 9)) in keys
+            dominated = any(q.dominates(point) for q in front)
+            assert on_front or dominated
+
+
+class TestLambdaSweep:
+    def test_endpoints(self, small_instance):
+        entries = lambda_sweep(small_instance, grid=[0.0, 1.0])
+        # λ=0 maximizes relevance; λ=1 maximizes diversity.
+        rel_only, div_only = entries
+        best_rel = max(p.relevance for p in all_points(small_instance))
+        best_div = max(p.diversity for p in all_points(small_instance))
+        assert rel_only.point.relevance == pytest.approx(best_rel)
+        assert div_only.point.diversity == pytest.approx(best_div)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sweep_walks_the_front_monotonically(self, seed):
+        instance = random_instance(
+            n=10, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=seed
+        )
+        entries = lambda_sweep(instance, grid=[0.0, 0.25, 0.5, 0.75, 1.0])
+        diversities = [e.point.diversity for e in entries]
+        relevances = [e.point.relevance for e in entries]
+        assert diversities == sorted(diversities)
+        assert relevances == sorted(relevances, reverse=True)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_interior_sweep_optima_are_pareto_optimal(self, seed):
+        """Weighted-sum optima at 0 < λ < 1 are Pareto-optimal."""
+        instance = random_instance(
+            n=9, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=10 + seed
+        )
+        points = all_points(instance)
+        for entry in lambda_sweep(instance, grid=[0.25, 0.5, 0.75]):
+            assert not any(q.dominates(entry.point) for q in points)
+
+    def test_invalid_grid_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            lambda_sweep(small_instance, grid=[0.5, 1.5])
+
+    def test_infeasible_instance_rejected(self, small_db, items_schema):
+        instance = make_small_instance(small_db, items_schema, k=10)
+        with pytest.raises(ValueError, match="no candidate"):
+            lambda_sweep(instance)
+
+    def test_render(self, small_instance):
+        text = render_sweep(lambda_sweep(small_instance, grid=[0.0, 1.0]))
+        assert "λ" in text and "diversity" in text

@@ -1,0 +1,99 @@
+"""Tests for CNF formulas and 3SAT instances."""
+
+import random
+
+import pytest
+
+from repro.logic.cnf import (
+    CNF,
+    FormulaError,
+    ThreeSatInstance,
+    all_assignments,
+    cnf,
+    random_3cnf,
+)
+
+
+class TestCNF:
+    def test_construction_and_num_vars(self):
+        f = cnf([1, -2], [3])
+        assert f.num_vars == 3
+        assert len(f.clauses) == 2
+
+    def test_explicit_num_vars_extends(self):
+        f = cnf([1], num_vars=5)
+        assert f.num_vars == 5
+        assert f.variables == (1, 2, 3, 4, 5)
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(FormulaError):
+            cnf([0, 1])
+
+    def test_satisfied_by(self):
+        f = cnf([1, 2], [-1])
+        assert f.satisfied_by({1: False, 2: True})
+        assert not f.satisfied_by({1: True, 2: True})
+
+    def test_is_3cnf(self):
+        assert cnf([1, 2, 3]).is_3cnf()
+        assert not cnf([1, 2, 3, 4]).is_3cnf()
+
+    def test_restrict_drops_satisfied_clauses(self):
+        f = cnf([1, 2], [-1, 3])
+        g = f.restrict({1: True})
+        assert g.clauses == ((3,),)
+
+    def test_restrict_falsified_raises(self):
+        f = cnf([1])
+        with pytest.raises(FormulaError):
+            f.restrict({1: False})
+
+    def test_hashable_and_frozen(self):
+        f = cnf([1, 2])
+        assert hash(f) == hash(cnf([1, 2]))
+
+
+class TestAssignments:
+    def test_all_assignments_count(self):
+        assert len(list(all_assignments([1, 2, 3]))) == 8
+
+    def test_all_assignments_distinct(self):
+        seen = {tuple(sorted(a.items())) for a in all_assignments([1, 2])}
+        assert len(seen) == 4
+
+    def test_all_assignments_empty(self):
+        assignments = list(all_assignments([]))
+        assert assignments == [{}]
+
+
+class TestRandom3CNF:
+    def test_shape(self):
+        f = random_3cnf(6, 10, random.Random(1))
+        assert f.num_vars == 6
+        assert len(f.clauses) == 10
+        assert all(len(c) == 3 for c in f.clauses)
+
+    def test_distinct_variables_per_clause(self):
+        f = random_3cnf(5, 20, random.Random(2))
+        for clause in f.clauses:
+            assert len({abs(lit) for lit in clause}) == 3
+
+    def test_deterministic_under_seed(self):
+        a = random_3cnf(5, 8, random.Random(7))
+        b = random_3cnf(5, 8, random.Random(7))
+        assert a == b
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            random_3cnf(2, 3)
+
+
+class TestThreeSat:
+    def test_valid_instance(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3], [-1, -2]))
+        assert inst.num_vars == 3
+        assert len(inst.clauses) == 2
+
+    def test_oversized_clause_rejected(self):
+        with pytest.raises(FormulaError):
+            ThreeSatInstance(cnf([1, 2, 3, 4]))

@@ -1,0 +1,92 @@
+"""Tests for #SAT and #Σ₁SAT counters."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.cnf import all_assignments, cnf, random_3cnf
+from repro.logic.counting import (
+    brute_force_count,
+    count_models,
+    count_sigma1,
+    sigma1_holds,
+)
+from repro.logic.sat import is_satisfiable
+
+
+class TestCountModels:
+    def test_single_clause(self):
+        # x1 ∨ x2 over 2 vars: 3 models.
+        assert count_models(cnf([1, 2])) == 3
+
+    def test_contradiction(self):
+        assert count_models(cnf([1], [-1])) == 0
+
+    def test_free_variables_double_count(self):
+        # x1 over 3 variables: x1=True, x2/x3 free → 4 models.
+        assert count_models(cnf([1], num_vars=3)) == 4
+
+    def test_empty_formula(self):
+        assert count_models(cnf(num_vars=4)) == 16
+
+    def test_xor_like(self):
+        f = cnf([1, 2], [-1, -2])
+        assert count_models(f) == 2
+
+    def test_scope_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            count_models(cnf([3]), variables=[1, 2])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_brute_force(self, seed):
+        f = random_3cnf(5, 4 + seed % 4, random.Random(seed))
+        assert count_models(f) == brute_force_count(f)
+
+    def test_count_positive_iff_satisfiable(self):
+        for seed in range(8):
+            f = random_3cnf(4, 6, random.Random(seed + 100))
+            assert (count_models(f) > 0) == is_satisfiable(f)
+
+
+class TestSigma1:
+    def test_simple_projection(self):
+        # ϕ(X={1}, Y={2}) = ∃x1 (x1 ∨ y2): every Y assignment works.
+        assert count_sigma1(cnf([1, 2]), [1], [2]) == 2
+
+    def test_forcing_y(self):
+        # ∃x1 (x1 ∧ ¬x1 ∨ ...) — make X irrelevant and Y forced:
+        # clauses: (y2), (x1 ∨ ¬x1) trivially true.
+        assert count_sigma1(cnf([2], num_vars=2), [1], [2]) == 1
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            count_sigma1(cnf([1, 2]), [1], [1, 2])
+
+    def test_stray_variable_rejected(self):
+        with pytest.raises(ValueError):
+            count_sigma1(cnf([3]), [1], [2])
+
+    def test_matches_direct_enumeration(self):
+        f = cnf([1, 3], [-1, 2, -4], [2, -3], num_vars=4)
+        x_vars, y_vars = [1, 2], [3, 4]
+        expected = 0
+        for y_assignment in all_assignments(y_vars):
+            if sigma1_holds(f, x_vars, y_assignment):
+                expected += 1
+        assert count_sigma1(f, x_vars, y_vars) == expected
+
+    def test_empty_x_reduces_to_sat_per_assignment(self):
+        f = cnf([1, 2], num_vars=2)
+        assert count_sigma1(f, [], [1, 2]) == 3
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_agreement_with_definition(self, seed):
+        f = random_3cnf(5, 5, random.Random(seed))
+        x_vars, y_vars = [1, 2], [3, 4, 5]
+        expected = sum(
+            1
+            for ya in all_assignments(y_vars)
+            if sigma1_holds(f, x_vars, ya)
+        )
+        assert count_sigma1(f, x_vars, y_vars) == expected

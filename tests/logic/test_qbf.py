@@ -1,0 +1,124 @@
+"""Tests for QBF evaluation, Q3SAT and #QBF counting."""
+
+import random
+
+import pytest
+
+from repro.logic.cnf import FormulaError, all_assignments, cnf, random_3cnf
+from repro.logic.qbf import (
+    A,
+    E,
+    QBF,
+    brute_force_qbf,
+    count_qbf,
+    evaluate_qbf,
+    q3sat,
+    qbf_inner_true,
+    suffix_true,
+)
+
+
+class TestQBFEvaluation:
+    def test_exists_true(self):
+        # ∃x1 (x1)
+        assert evaluate_qbf(QBF(((E, 1),), cnf([1])))
+
+    def test_forall_false(self):
+        # ∀x1 (x1)
+        assert not evaluate_qbf(QBF(((A, 1),), cnf([1])))
+
+    def test_forall_tautology(self):
+        # ∀x1 (x1 ∨ ¬x1)
+        assert evaluate_qbf(QBF(((A, 1),), cnf([1, -1])))
+
+    def test_alternation(self):
+        # ∀x1 ∃x2 (x1 ↔ x2) as CNF (x̄1∨x2)∧(x1∨x̄2)
+        f = QBF(((A, 1), (E, 2)), cnf([-1, 2], [1, -2]))
+        assert evaluate_qbf(f)
+
+    def test_alternation_reversed_fails(self):
+        # ∃x2 ∀x1 (x1 ↔ x2) is false
+        f = QBF(((E, 2), (A, 1)), cnf([-1, 2], [1, -2]))
+        assert not evaluate_qbf(f)
+
+    def test_unbound_matrix_variable_rejected(self):
+        with pytest.raises(FormulaError):
+            QBF(((E, 1),), cnf([2]))
+
+    def test_duplicate_prefix_variable_rejected(self):
+        with pytest.raises(FormulaError):
+            QBF(((E, 1), (A, 1)), cnf([1]))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        matrix = random_3cnf(5, 4, rng)
+        quantifiers = [rng.choice([E, A]) for _ in range(5)]
+        f = q3sat(quantifiers, matrix).formula
+        assert evaluate_qbf(f) == brute_force_qbf(f)
+
+
+class TestSuffixTrue:
+    def test_full_prefix_evaluates_matrix(self):
+        f = QBF(((E, 1), (A, 2)), cnf([1, 2]))
+        assert suffix_true(f, (True, False))
+        assert not suffix_true(f, (False, False))
+
+    def test_empty_prefix_is_whole_formula(self):
+        f = QBF(((E, 1),), cnf([1]))
+        assert suffix_true(f, ()) == evaluate_qbf(f)
+
+    def test_prefix_too_long_rejected(self):
+        f = QBF(((E, 1),), cnf([1]))
+        with pytest.raises(FormulaError):
+            suffix_true(f, (True, False))
+
+    def test_suffix_matches_semantics(self):
+        # ∃x1 ∀x2 ∃x3 ψ; check level-1 suffixes by brute force.
+        matrix = cnf([1, 2, -3], [-2, 3])
+        f = QBF(((E, 1), (A, 2), (E, 3)), matrix)
+        for x1 in (False, True):
+            expected = all(
+                any(
+                    matrix.satisfied_by({1: x1, 2: x2, 3: x3})
+                    for x3 in (False, True)
+                )
+                for x2 in (False, True)
+            )
+            assert suffix_true(f, (x1,)) == expected
+
+
+class TestQ3Sat:
+    def test_matrix_must_be_3cnf(self):
+        with pytest.raises(FormulaError):
+            q3sat([E, E, E, E], cnf([1, 2, 3, 4]))
+
+    def test_is_true(self):
+        inst = q3sat([E, A], cnf([1, 2], [1, -2]))
+        assert inst.is_true()  # x1 = 1 satisfies both for all x2
+
+
+class TestCountQBF:
+    def test_counts_x_witnesses(self):
+        # ∃X={1} ∀y2 (x1 ∨ (y2 ∨ ¬y2)) — both x1 values work → 2
+        matrix = cnf([1, 2, -2])
+        assert count_qbf(matrix, [1], [(A, 2)]) == 2
+
+    def test_forall_blocks(self):
+        # ∀y2 (x1 ∧ y2 …): matrix (y2) fails for y2=0 → 0 witnesses
+        matrix = cnf([2], num_vars=2)
+        assert count_qbf(matrix, [1], [(A, 2)]) == 0
+
+    def test_matches_direct_enumeration(self):
+        matrix = cnf([1, 3], [-1, 2, 4], [-3, -4], num_vars=4)
+        y_prefix = [(A, 3), (E, 4)]
+        expected = sum(
+            1
+            for xa in all_assignments([1, 2])
+            if qbf_inner_true(matrix, y_prefix, xa)
+        )
+        assert count_qbf(matrix, [1, 2], y_prefix) == expected
+
+    def test_overlap_rejected(self):
+        with pytest.raises(FormulaError):
+            count_qbf(cnf([1]), [1], [(A, 1)])

@@ -1,0 +1,83 @@
+"""Tests for the DPLL SAT solver, cross-checked against brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.cnf import cnf, random_3cnf
+from repro.logic.sat import brute_force_satisfiable, is_satisfiable, solve
+
+
+class TestSolve:
+    def test_trivially_satisfiable(self):
+        assert is_satisfiable(cnf([1, 2], [-1, 2]))
+
+    def test_unit_contradiction(self):
+        assert not is_satisfiable(cnf([1], [-1]))
+
+    def test_empty_formula_is_satisfiable(self):
+        assert is_satisfiable(cnf(num_vars=3))
+
+    def test_model_is_total_and_satisfying(self):
+        f = cnf([1, 2, 3], [-1, -2], [2, -3], num_vars=4)
+        model = solve(f)
+        assert model is not None
+        assert set(model) == {1, 2, 3, 4}
+        assert f.satisfied_by(model)
+
+    def test_classic_unsat_chain(self):
+        # x1, x1→x2, x2→x3, ¬x3
+        f = cnf([1], [-1, 2], [-2, 3], [-3])
+        assert not is_satisfiable(f)
+
+    def test_all_sign_patterns_unsat(self):
+        clauses = []
+        for mask in range(8):
+            clause = tuple(
+                (i + 1) if (mask >> i) & 1 else -(i + 1) for i in range(3)
+            )
+            clauses.append(clause)
+        assert not is_satisfiable(cnf(*clauses))
+
+    def test_pure_literal_case(self):
+        f = cnf([1, 2], [1, 3], [1, -4])
+        model = solve(f)
+        assert model is not None and model[1] is True
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agrees_with_brute_force_random(self, seed):
+        rng = random.Random(seed)
+        f = random_3cnf(5, 3 + seed, rng)
+        assert is_satisfiable(f) == brute_force_satisfiable(f)
+
+
+@st.composite
+def small_cnf(draw):
+    num_vars = draw(st.integers(1, 5))
+    num_clauses = draw(st.integers(0, 8))
+    clauses = []
+    for _ in range(num_clauses):
+        size = draw(st.integers(1, min(3, num_vars)))
+        variables = draw(
+            st.lists(
+                st.integers(1, num_vars), min_size=size, max_size=size, unique=True
+            )
+        )
+        clause = tuple(v if draw(st.booleans()) else -v for v in variables)
+        clauses.append(clause)
+    return cnf(*clauses, num_vars=num_vars)
+
+
+@given(small_cnf())
+@settings(max_examples=80)
+def test_dpll_matches_brute_force(formula):
+    assert is_satisfiable(formula) == brute_force_satisfiable(formula)
+
+
+@given(small_cnf())
+@settings(max_examples=80)
+def test_returned_model_satisfies(formula):
+    model = solve(formula)
+    if model is not None:
+        assert formula.satisfied_by(model)

@@ -1,0 +1,84 @@
+"""Tests for the Theorem 9.3 / Corollary 9.4 lower-bound construction."""
+
+import random
+
+import pytest
+
+from repro.logic.cnf import ThreeSatInstance, cnf, random_3cnf
+from repro.logic.sat import is_satisfiable
+from repro.reductions import constraints_hardness as ch
+from repro.relational.ast import QueryLanguage
+
+
+SAT = [
+    cnf([1, 2, 3]),
+    cnf([1, 2, 3], [-1, -2, 3], [1, -2, -3]),
+    cnf([1], [-2]),
+]
+UNSAT = [
+    cnf([1], [-1]),
+    cnf([1], [-1, 2], [-2]),
+    cnf([1, 2], [1, -2], [-1, 2], [-1, -2]),
+]
+
+
+class TestConstruction:
+    def test_relation_one_tuple_per_satisfying_literal(self):
+        inst = ThreeSatInstance(cnf([1, -2, 3], [2, 2, 2]))
+        relation = ch.literal_relation(inst)
+        # Clause 1 has 3 distinct literals; clause 2 collapses to one.
+        assert len(relation) == 4
+
+    def test_sigma_is_fixed_and_small(self):
+        sigma = ch.fixed_constraints()
+        assert sigma.m == 2
+        assert len(sigma) == 2
+
+    def test_query_is_identity_and_lambda_zero(self):
+        reduced = ch.reduce_3sat_to_constrained_qrd(ThreeSatInstance(cnf([1, 2, 3])))
+        assert reduced.instance.query.language is QueryLanguage.IDENTITY
+        assert reduced.instance.objective.lam == 0.0
+
+    def test_consistency_constraint_semantics(self):
+        sigma = ch.fixed_constraints()
+        relation = ch.literal_relation(ThreeSatInstance(cnf([1, 2, 3], [-1, -2, -3])))
+        rows = {(r["cid"], r["var"], r["val"]): r for r in relation.rows}
+        consistent = [rows[(1, "x1", 1)], rows[(2, "x2", 0)]]
+        conflicting = [rows[(1, "x1", 1)], rows[(2, "x1", 0)]]
+        assert sigma.satisfied_by(consistent)
+        assert not sigma.satisfied_by(conflicting)
+
+    def test_distinct_clause_constraint_semantics(self):
+        sigma = ch.fixed_constraints()
+        relation = ch.literal_relation(ThreeSatInstance(cnf([1, 2, 3])))
+        same_clause = [r for r in relation.rows][:2]
+        assert not sigma.satisfied_by(same_clause)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("formula", SAT + UNSAT)
+    def test_fixed_instances(self, formula):
+        assert ch.verify_reduction(ThreeSatInstance(formula))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        formula = random_3cnf(4, 4 + seed % 3, random.Random(seed))
+        inst = ThreeSatInstance(formula)
+        assert ch.verify_reduction(inst)
+
+    @pytest.mark.parametrize("formula", SAT + UNSAT)
+    def test_unconstrained_control_is_trivially_yes(self, formula):
+        """Without Σ the PTIME algorithm answers yes whenever enough
+        tuples exist — the tractable side of the Theorem 9.3 flip."""
+        inst = ThreeSatInstance(formula)
+        assert ch.unconstrained_control(inst)
+
+    def test_flip_is_visible(self):
+        """The same database answers differently with and without Σ on
+        an unsatisfiable formula."""
+        inst = ThreeSatInstance(cnf([1], [-1]))
+        reduced = ch.reduce_3sat_to_constrained_qrd(inst)
+        from repro.core.qrd import qrd_brute_force
+
+        assert not qrd_brute_force(reduced.instance, reduced.bound)
+        assert ch.unconstrained_control(inst)

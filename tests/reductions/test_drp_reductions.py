@@ -1,0 +1,132 @@
+"""Theorem 6.1 / 6.2 DRP reductions, including the reproduction findings
+about the paper's F_MS and F_mono constructions."""
+
+import random
+
+import pytest
+
+from repro.core.drp import drp_brute_force
+from repro.logic.cnf import ThreeSatInstance, cnf, random_3cnf
+from repro.logic.qbf import A, E, evaluate_qbf, q3sat
+from repro.logic.sat import is_satisfiable
+from repro.reductions import q3sat_drp, sat_drp
+
+
+def random_q3sat(num_vars, num_clauses, seed):
+    rng = random.Random(seed)
+    matrix = random_3cnf(num_vars, num_clauses, rng)
+    quantifiers = [rng.choice([E, A]) for _ in range(num_vars)]
+    return q3sat(quantifiers, matrix)
+
+
+def random_narrow_3sat(seed, num_clauses=3, num_vars=3):
+    """Random 3SAT with 1–2 literals per clause: keeps the DRP search
+    space (C(16l+2, l+1) in the worst case) small enough to enumerate."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.choice((1, 2))
+        variables = rng.sample(range(1, num_vars + 1), size)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in variables))
+    return ThreeSatInstance(cnf(*clauses, num_vars=num_vars))
+
+
+class TestTheorem61Construction:
+    def test_relation_includes_all_assignments_with_flags(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3]))
+        relation = sat_drp.weakened_clause_relation(inst)
+        # Clause 1: 2^4 assignments (3 vars + z); plus 2 z̄ tuples.
+        assert len(relation) == 16 + 2
+
+    def test_top_set_is_candidate(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3], [-1, -2, 3]))
+        reduced = sat_drp.reduce_3sat_to_drp_max_min(inst)
+        assert reduced.instance.is_candidate_set(reduced.subset)
+
+    def test_k_is_l_plus_one(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3], [-1, -2, 3]))
+        reduced = sat_drp.reduce_3sat_to_drp_max_sum(inst)
+        assert reduced.instance.k == 3
+
+
+class TestTheorem61Equivalence:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            cnf([1, 2, 3]),
+            cnf([1], [-1]),
+            cnf([1], [-1, 2], [-2]),
+            cnf([1, 2, 3], [-1, -2, -3]),
+        ],
+    )
+    @pytest.mark.parametrize("which", ["max-sum", "max-min"])
+    def test_fixed_instances(self, formula, which):
+        assert sat_drp.verify_reduction(ThreeSatInstance(formula), which)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances(self, seed):
+        inst = random_narrow_3sat(seed)
+        assert sat_drp.verify_reduction(inst, "max-sum")
+        assert sat_drp.verify_reduction(inst, "max-min")
+
+    def test_one_full_width_instance(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3], [-1, -2, -3]))
+        assert sat_drp.verify_reduction(inst, "max-sum")
+        assert sat_drp.verify_reduction(inst, "max-min")
+
+
+class TestTheorem61Finding:
+    """The paper's F_MS construction fails on sparse-overlap unsat chains
+    (a near-clique scores (l+1)l − 2 > l(l−1) = F_MS(U))."""
+
+    def test_gap_instance_is_unsat(self):
+        gap = sat_drp.find_paper_gap_instance()
+        assert not is_satisfiable(gap.formula)
+
+    def test_paper_construction_answers_wrongly_on_gap(self):
+        gap = sat_drp.find_paper_gap_instance()
+        reduced = sat_drp.reduce_3sat_to_drp_max_sum_paper(gap)
+        # Paper claims: unsat ⇒ rank(U) ≤ 1.  The near-clique refutes it.
+        assert not drp_brute_force(reduced.instance, reduced.subset, reduced.r)
+
+    def test_repaired_construction_correct_on_gap(self):
+        gap = sat_drp.find_paper_gap_instance()
+        assert sat_drp.verify_reduction(gap, "max-sum")
+
+    def test_paper_construction_correct_on_satisfiable_instances(self):
+        """On satisfiable formulas the paper's F_MS construction answers
+        correctly (the full clique exists and outranks U regardless of
+        near-cliques)."""
+        inst = ThreeSatInstance(cnf([1, 2, 3], [-1, 2, 3]))
+        reduced = sat_drp.reduce_3sat_to_drp_max_sum_paper(inst)
+        assert not drp_brute_force(reduced.instance, reduced.subset, reduced.r)
+
+
+class TestTheorem62:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_repaired_reduction_random(self, seed):
+        inst = random_q3sat(3, 3, 300 + seed)
+        assert q3sat_drp.verify_reduction(inst)
+
+    def test_repaired_reduction_true_false(self):
+        assert q3sat_drp.verify_reduction(q3sat([E], cnf([1])))
+        assert q3sat_drp.verify_reduction(q3sat([A], cnf([1])))
+
+    def test_paper_forward_direction_holds(self):
+        for seed in range(6):
+            inst = random_q3sat(3, 3, 400 + seed)
+            assert q3sat_drp.verify_paper_construction_forward(inst)
+
+    def test_paper_gap_instance(self):
+        gap = q3sat_drp.find_paper_gap_instance()
+        assert not evaluate_qbf(gap.formula)
+        # The paper's construction wrongly reports rank ≤ 1 on a false ϕ.
+        assert q3sat_drp.paper_construction_answer(gap)
+        # The repaired construction answers correctly.
+        assert q3sat_drp.verify_reduction(gap)
+
+    def test_reference_tuple_is_candidate(self):
+        inst = random_q3sat(3, 2, 500)
+        reduced = q3sat_drp.reduce_q3sat_to_drp(inst)
+        assert reduced.instance.is_candidate_set(reduced.subset)
+        assert reduced.instance.answer_count == 27  # {0,1,2}^3

@@ -1,0 +1,111 @@
+"""Tests for the Figure 5 gadget relations and the CNF→CQ circuit."""
+
+import pytest
+
+from repro.logic.cnf import all_assignments, cnf
+from repro.reductions.gadgets import (
+    R01,
+    R_AND,
+    R_NOT,
+    R_OR,
+    and_relation,
+    assignment_atoms,
+    boolean_domain_relation,
+    encode_cnf_circuit,
+    encode_cnf_with_switch,
+    gadget_database,
+    not_relation,
+    or_relation,
+)
+from repro.relational.ast import And, Exists
+from repro.relational.evaluate import evaluate
+from repro.relational.queries import Query
+
+
+class TestFigure5Relations:
+    def test_boolean_domain(self):
+        assert {r.values for r in boolean_domain_relation().rows} == {(0,), (1,)}
+
+    def test_or_truth_table(self):
+        rows = {r.values for r in or_relation().rows}
+        assert rows == {
+            (a or b, a, b) for a in (0, 1) for b in (0, 1)
+        } == {(0, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1)}
+
+    def test_and_truth_table(self):
+        rows = {r.values for r in and_relation().rows}
+        assert rows == {(a and b, a, b) for a in (0, 1) for b in (0, 1)}
+
+    def test_not_truth_table(self):
+        assert {r.values for r in not_relation().rows} == {(0, 1), (1, 0)}
+
+    def test_gadget_database(self):
+        db = gadget_database()
+        for name in (R01.name, R_OR.name, R_AND.name, R_NOT.name):
+            assert db.has_relation(name)
+
+
+def circuit_query(formula, num_vars, with_switch=False):
+    """Build Q(vars..., [z,] out) evaluating the circuit on all inputs."""
+    var_names = {i: f"v{i}" for i in range(1, num_vars + 1)}
+    names = [var_names[i] for i in range(1, num_vars + 1)]
+    head = list(names)
+    atoms = assignment_atoms(names)
+    if with_switch:
+        atoms += assignment_atoms(["z"])
+        head.append("z")
+        encoding = encode_cnf_with_switch(formula, var_names, switch_var="z")
+    else:
+        encoding = encode_cnf_circuit(formula, var_names)
+    body = And(atoms + encoding.atoms)
+    inner = [v for v in encoding.auxiliary_vars if v != encoding.output_var]
+    if inner:
+        body = Exists(inner, body)
+    head.append(encoding.output_var)
+    return Query(head, body, name="circuit")
+
+
+class TestCircuitEncoding:
+    @pytest.mark.parametrize(
+        "clauses",
+        [
+            ([(1, 2)]),
+            ([(1,), (-1, 2)]),
+            ([(1, 2, 3), (-1, -2, 3), (2, -3)]),
+            ([(-1,)]),
+        ],
+    )
+    def test_circuit_computes_truth_value(self, clauses):
+        formula = cnf(*clauses)
+        n = formula.num_vars
+        query = circuit_query(formula, n)
+        db = gadget_database()
+        rows = {r.values for r in evaluate(query, db).rows}
+        # Exactly one output per input assignment, equal to ψ's value.
+        assert len(rows) == 2**n
+        for values in rows:
+            assignment = {i + 1: bool(values[i]) for i in range(n)}
+            assert values[-1] == int(formula.satisfied_by(assignment))
+
+    def test_switch_construction_semantics(self):
+        # ϕ' = (ψ ∨ z) ∧ z̄: true exactly on ψ's models with z = 0.
+        formula = cnf([1, 2], [-1])
+        query = circuit_query(formula, 2, with_switch=True)
+        db = gadget_database()
+        rows = {r.values for r in evaluate(query, db).rows}
+        assert len(rows) == 8
+        for v1, v2, z, out in rows:
+            expected = int(
+                z == 0 and formula.satisfied_by({1: bool(v1), 2: bool(v2)})
+            )
+            assert out == expected
+
+    def test_switch_always_falsifiable(self):
+        formula = cnf([1, -1])  # tautology
+        query = circuit_query(formula, 1, with_switch=True)
+        rows = {r.values for r in evaluate(query, gadget_database()).rows}
+        assert any(out == 0 for (_, _, out) in rows)  # z = 1 falsifies
+
+    def test_empty_cnf_rejected(self):
+        with pytest.raises(ValueError):
+            encode_cnf_circuit(cnf(num_vars=1), {1: "v1"})

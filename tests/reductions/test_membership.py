@@ -1,0 +1,84 @@
+"""Theorem 5.1/6.1 FO lower bounds via the membership problem."""
+
+import pytest
+
+from repro.reductions import membership
+from repro.relational import builder as qb
+from repro.relational.ast import And, Exists, Forall, Not, RelationAtom
+from repro.relational.evaluate import evaluate, membership as member_of
+from repro.relational.queries import Query
+from repro.relational.schema import Database, Relation, RelationSchema, SchemaError
+from repro.relational.terms import Var
+
+
+@pytest.fixture
+def db():
+    node = RelationSchema("node", ("id",))
+    edge = RelationSchema("edge", ("src", "dst"))
+    return Database(
+        [
+            Relation(node, [(1,), (2,), (3,), (4,)]),
+            Relation(edge, [(1, 2), (2, 3), (1, 3)]),
+        ]
+    )
+
+
+@pytest.fixture
+def sink_query():
+    """FO query: nodes with no outgoing edge (3 and 4 here)."""
+    x, w = Var("x"), Var("w")
+    body = And(
+        (
+            RelationAtom("node", (x,)),
+            Forall(["w"], Not(RelationAtom("edge", (x, w)))),
+        )
+    )
+    return Query(["x"], body, name="sink")
+
+
+class TestQRDReduction:
+    def test_member_targets(self, db, sink_query):
+        answers = {r.values for r in evaluate(sink_query, db).rows}
+        assert answers == {(3,), (4,)}
+        for target in [(1,), (2,), (3,), (4,)]:
+            assert membership.verify_qrd_reduction(sink_query, db, target)
+            assert membership.verify_qrd_reduction(
+                sink_query, db, target, max_min=True
+            )
+
+    def test_reduction_adds_boolean_relation(self, db, sink_query):
+        reduced = membership.reduce_membership_to_qrd(sink_query, db, (3,))
+        assert reduced.instance.db.has_relation("R01")
+
+    def test_r01_collision_rejected(self, sink_query):
+        r01 = RelationSchema("R01", ("X",))
+        node = RelationSchema("node", ("id",))
+        db = Database([Relation(r01, [(1,)]), Relation(node, [(1,)])])
+        with pytest.raises(SchemaError):
+            membership.reduce_membership_to_qrd(sink_query, db, (1,))
+
+    def test_arity_mismatch_rejected(self, db, sink_query):
+        with pytest.raises(ValueError):
+            membership.reduce_membership_to_qrd(sink_query, db, (1, 2))
+
+
+class TestDRPReduction:
+    def test_both_outcomes(self, db, sink_query):
+        # 3 is a sink (member), 1 is not.
+        assert member_of(sink_query, db, (3,))
+        assert not member_of(sink_query, db, (1,))
+        for target in [(1,), (2,), (3,), (4,)]:
+            assert membership.verify_drp_reduction(sink_query, db, target)
+            assert membership.verify_drp_reduction(
+                sink_query, db, target, max_min=True
+            )
+
+    def test_subset_always_candidate(self, db, sink_query):
+        reduced = membership.reduce_membership_to_drp(sink_query, db, (1,))
+        assert reduced.instance.is_candidate_set(reduced.subset)
+
+    def test_cq_query_membership_also_works(self, db):
+        q = qb.query(["x"], qb.exists(["y"], qb.atom("edge", "?x", "?y")))
+        for target in [(1,), (3,)]:
+            assert membership.verify_qrd_reduction(q, db, target)
+            assert membership.verify_drp_reduction(q, db, target)

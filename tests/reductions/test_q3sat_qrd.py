@@ -1,0 +1,126 @@
+"""Lemma 5.3 / Figure 2 / Theorem 5.2 tests."""
+
+import random
+
+import pytest
+
+from repro.logic.cnf import cnf, random_3cnf
+from repro.logic.qbf import A, E, evaluate_qbf, q3sat
+from repro.reductions import q3sat_qrd
+from repro.reductions.q3sat_qrd import (
+    QuantifierDistance,
+    figure2_instance,
+    figure2_report,
+    figure2_tuples,
+    lemma_5_3_reference,
+    verify_lemma_5_3,
+)
+
+
+def random_q3sat(num_vars, num_clauses, seed):
+    rng = random.Random(seed)
+    matrix = random_3cnf(num_vars, num_clauses, rng)
+    quantifiers = [rng.choice([E, A]) for _ in range(num_vars)]
+    return q3sat(quantifiers, matrix)
+
+
+class TestLemma53:
+    def test_figure2_instance(self):
+        assert verify_lemma_5_3(figure2_instance())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        inst = random_q3sat(4, 3, seed)
+        assert verify_lemma_5_3(inst)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_larger_instances(self, seed):
+        inst = random_q3sat(6, 5, 100 + seed)
+        assert verify_lemma_5_3(inst)
+
+    def test_distance_symmetric_and_zero_diagonal(self):
+        inst = figure2_instance()
+        gadget = QuantifierDistance.for_q3sat(inst)
+        tuples = figure2_tuples()
+        for t in tuples:
+            assert gadget.value(t, t) == 0.0
+            for s in tuples:
+                assert gadget.value(t, s) == gadget.value(s, t)
+
+    def test_distance_depends_only_on_prefix(self):
+        """For first-difference level < m−1 the value ignores suffixes."""
+        inst = random_q3sat(4, 3, 77)
+        gadget = QuantifierDistance.for_q3sat(inst)
+        t1, s1 = (1, 0, 1, 1), (1, 1, 0, 0)  # differ first at index 1
+        t2, s2 = (1, 0, 0, 0), (1, 1, 1, 1)
+        assert gadget.value(t1, s1) == gadget.value(t2, s2)
+
+
+class TestFigure2:
+    def test_paper_values_level3(self):
+        """The l = 3 row of Figure 2, exactly as printed."""
+        gadget = QuantifierDistance.for_q3sat(figure2_instance())
+        t = figure2_tuples()
+        expected = {
+            (0, 1): 0.0,   # δ(t1,t2)
+            (2, 3): 1.0,   # δ(t3,t4)
+            (4, 5): 1.0,
+            (6, 7): 1.0,
+            (8, 9): 0.0,
+            (10, 11): 1.0,
+            (12, 13): 0.0,
+            (14, 15): 1.0,
+        }
+        for (i, j), value in expected.items():
+            assert gadget.value(t[i], t[j]) == value, (i, j)
+
+    def test_paper_values_inner_levels(self):
+        gadget = QuantifierDistance.for_q3sat(figure2_instance())
+        t = figure2_tuples()
+        # l = 2 (P3 = ∃): all four canonical pairs are 1.
+        for i, j in [(0, 2), (4, 6), (8, 10), (12, 14)]:
+            assert gadget.value(t[i], t[j]) == 1.0
+        # l = 1 (P2 = ∀) and l = 0 (P1 = ∃).
+        assert gadget.value(t[0], t[4]) == 1.0
+        assert gadget.value(t[8], t[12]) == 1.0
+        assert gadget.value(t[0], t[8]) == 1.0
+
+    def test_matrix_values_match_figure(self):
+        gadget = QuantifierDistance.for_q3sat(figure2_instance())
+        t = figure2_tuples()
+        # Figure annotations: ψ[t1]=1, ψ[t2]=0, ψ[t3]=1, ψ[t4]=1 …
+        psi = [1, 0, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, 0, 0, 1, 1]
+        for i, expected in enumerate(psi):
+            assert gadget.matrix_true(t[i]) == bool(expected), i
+
+    def test_report_renders(self):
+        report = figure2_report()
+        assert "l = 3" in report and "l = 0" in report
+        assert "δ(t1, t2) = 0" in report
+
+
+class TestTheorem52:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reduction_equivalence_random(self, seed):
+        inst = random_q3sat(4, 3, 200 + seed)
+        assert q3sat_qrd.verify_reduction(inst)
+
+    def test_true_and_false_instances(self):
+        true_inst = q3sat([E], cnf([1]))
+        false_inst = q3sat([A], cnf([1]))
+        assert evaluate_qbf(true_inst.formula)
+        assert not evaluate_qbf(false_inst.formula)
+        assert q3sat_qrd.verify_reduction(true_inst)
+        assert q3sat_qrd.verify_reduction(false_inst)
+
+    def test_reduction_parameters(self):
+        reduced = q3sat_qrd.reduce_q3sat_to_qrd_mono(figure2_instance())
+        assert reduced.instance.k == 1
+        assert reduced.bound == 1.0
+        assert reduced.instance.objective.lam == 1.0
+        assert reduced.instance.answer_count == 16
+
+    def test_unsatisfiable_matrix_edge_case(self):
+        """ψ ≡ false makes δ ≡ 0; QRD must answer no, matching ϕ false."""
+        inst = q3sat([E, A], cnf([1], [-1], [2, -2]))
+        assert q3sat_qrd.verify_reduction(inst)

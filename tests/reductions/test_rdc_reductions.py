@@ -1,0 +1,111 @@
+"""Theorem 7.1 / 7.2 counting reductions (parsimony checks)."""
+
+import random
+
+import pytest
+
+from repro.core.rdc import rdc_brute_force
+from repro.logic.cnf import cnf, random_3cnf
+from repro.logic.counting import count_sigma1
+from repro.logic.qbf import A, E, count_qbf
+from repro.reductions import qbf_rdc, sigma1_rdc
+
+
+def random_split_cnf(num_vars, num_clauses, seed):
+    return random_3cnf(num_vars, num_clauses, random.Random(seed))
+
+
+class TestSigma1Reductions:
+    @pytest.mark.parametrize("which", ["max-sum", "max-min"])
+    def test_fixed_instance(self, which):
+        f = cnf([1, 3], [-1, 2, 4], [-2, -3], num_vars=4)
+        assert sigma1_rdc.verify_reduction(f, [1, 2], [3, 4], which)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("which", ["max-sum", "max-min"])
+    def test_random_instances(self, seed, which):
+        f = random_split_cnf(4, 3, seed)
+        assert sigma1_rdc.verify_reduction(f, [1, 2], [3, 4], which)
+
+    def test_unsatisfiable_formula_counts_zero(self):
+        f = cnf([3], [-3], num_vars=3)  # y-contradiction
+        reduced = sigma1_rdc.reduce_sigma1_to_rdc_max_min(f, [1, 2], [3])
+        assert rdc_brute_force(reduced.instance, reduced.bound) == 0
+        assert count_sigma1(f, [1, 2], [3]) == 0
+
+    def test_tautology_counts_all(self):
+        f = cnf([1, -1], num_vars=2)  # X-tautology, Y free
+        assert sigma1_rdc.verify_reduction(f, [1], [2], "max-min")
+        assert count_sigma1(f, [1], [2]) == 2
+
+    def test_reduction_is_cq(self):
+        from repro.relational.ast import QueryLanguage
+
+        f = cnf([1, 2], num_vars=2)
+        reduced = sigma1_rdc.reduce_sigma1_to_rdc_max_sum(f, [1], [2])
+        assert reduced.instance.query.language is QueryLanguage.CQ
+
+    def test_lambda_zero_and_k(self):
+        f = cnf([1, 2], num_vars=2)
+        ms = sigma1_rdc.reduce_sigma1_to_rdc_max_sum(f, [1], [2])
+        mm = sigma1_rdc.reduce_sigma1_to_rdc_max_min(f, [1], [2])
+        assert ms.instance.objective.lam == 0.0 and ms.instance.k == 2
+        assert mm.instance.objective.lam == 0.0 and mm.instance.k == 1
+
+
+class TestQbfFOReductions:
+    @pytest.mark.parametrize("max_min", [False, True])
+    def test_fixed_instance(self, max_min):
+        f = cnf([1, 3], [-3, 4, 2], [-1, -4], num_vars=4)
+        y_prefix = [(A, 3), (E, 4)]
+        assert qbf_rdc.verify_fo_reduction(f, [1, 2], y_prefix, max_min=max_min)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        f = random_split_cnf(4, 3, 600 + seed)
+        y_prefix = [(A, 3), (E, 4)]
+        assert qbf_rdc.verify_fo_reduction(f, [1, 2], y_prefix)
+
+    def test_alternating_prefix(self):
+        f = random_split_cnf(5, 4, 700)
+        y_prefix = [(A, 3), (E, 4), (A, 5)]
+        assert qbf_rdc.verify_fo_reduction(f, [1, 2], y_prefix)
+
+    def test_query_is_fo(self):
+        from repro.relational.ast import QueryLanguage
+
+        f = cnf([1, 2], num_vars=2)
+        reduced = qbf_rdc.reduce_qbf_to_rdc_fo(f, [1], [(A, 2)])
+        assert reduced.instance.query.language is QueryLanguage.FO
+
+
+class TestTheorem72:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        f = random_split_cnf(4, 3, 800 + seed)
+        y_prefix = [(A, 3), (A, 4)]
+        assert qbf_rdc.verify_mono_reduction(f, [1, 2], y_prefix)
+
+    def test_alternating_y_prefix(self):
+        f = random_split_cnf(4, 4, 900)
+        y_prefix = [(A, 3), (E, 4)]
+        assert qbf_rdc.verify_mono_reduction(f, [1, 2], y_prefix)
+
+    def test_n_equals_one_padding(self):
+        """The reproduction note: n = 1 breaks parsimony in the paper's
+        analysis; padding with a dummy ∀ restores it."""
+        f = cnf([1, 3], [-1, -3], num_vars=3)
+        assert qbf_rdc.verify_mono_reduction(f, [1, 2], [(A, 3)])
+
+    def test_prefix_must_start_with_forall(self):
+        f = cnf([1, 2], num_vars=2)
+        with pytest.raises(ValueError):
+            qbf_rdc.reduce_qbf_to_rdc_mono(f, [1], [(E, 2)])
+
+    def test_count_matches_reference(self):
+        f = cnf([1, 3], [-2, 4], [3, 4], num_vars=4)
+        y_prefix = [(A, 3), (E, 4)]
+        reduced = qbf_rdc.reduce_qbf_to_rdc_mono(f, [1, 2], y_prefix)
+        assert rdc_brute_force(reduced.instance, reduced.bound) == count_qbf(
+            f, [1, 2], y_prefix
+        )

@@ -1,0 +1,94 @@
+"""Theorem 5.1 reductions (3SAT → QRD), verified against the SAT solver."""
+
+import random
+
+import pytest
+
+from repro.logic.cnf import ThreeSatInstance, cnf, random_3cnf
+from repro.logic.sat import is_satisfiable
+from repro.reductions import sat_qrd
+from repro.relational.ast import QueryLanguage
+
+SAT_INSTANCES = [
+    cnf([1, 2, 3]),
+    cnf([1, 2, 3], [-1, -2, 3], [1, -2, -3]),
+    cnf([1, 2], [-1, 2], [1, -2]),
+]
+UNSAT_INSTANCES = [
+    cnf([1], [-1]),
+    cnf([1], [-1, 2], [-2]),
+    cnf([1, 2], [1, -2], [-1, 2], [-1, -2]),
+]
+
+
+class TestConstruction:
+    def test_relation_has_at_most_8_tuples_per_clause(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3], [-1, -2, -3]))
+        relation = sat_qrd.clause_assignment_relation(inst)
+        assert len(relation) <= 16
+        cids = {row["cid"] for row in relation.rows}
+        assert cids == {1, 2}
+
+    def test_only_satisfying_assignments_included(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3]))
+        relation = sat_qrd.clause_assignment_relation(inst)
+        assert len(relation) == 7  # all but (0,0,0)
+
+    def test_query_is_identity(self):
+        reduced = sat_qrd.reduce_3sat_to_qrd_max_sum(
+            ThreeSatInstance(cnf([1, 2, 3]))
+        )
+        assert reduced.instance.query.is_identity()
+        assert reduced.instance.query.language is QueryLanguage.IDENTITY
+
+    def test_lambda_is_one(self):
+        reduced = sat_qrd.reduce_3sat_to_qrd_max_sum(
+            ThreeSatInstance(cnf([1, 2, 3]))
+        )
+        assert reduced.instance.objective.lam == 1.0
+
+    def test_bound_is_l_times_l_minus_one(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3], [-1, 2, 3], [1, -2, 3]))
+        reduced = sat_qrd.reduce_3sat_to_qrd_max_sum(inst)
+        assert reduced.bound == 6.0
+        assert reduced.instance.k == 3
+
+    def test_distance_requires_distinct_clause_and_consistency(self):
+        inst = ThreeSatInstance(cnf([1, 2, 3], [-1, 2, 3]))
+        relation = sat_qrd.clause_assignment_relation(inst)
+        distance = sat_qrd.consistency_distance()
+        rows = list(relation.rows)
+        for left in rows:
+            assert distance(left, left) == 0.0
+            for right in rows:
+                if left["cid"] == right["cid"] and left != right:
+                    assert distance(left, right) == 0.0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("formula", SAT_INSTANCES + UNSAT_INSTANCES)
+    @pytest.mark.parametrize(
+        "which", ["max-sum", "max-min", "lambda0-max-sum", "lambda0-max-min"]
+    )
+    def test_fixed_instances(self, formula, which):
+        assert sat_qrd.verify_reduction(ThreeSatInstance(formula), which)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        formula = random_3cnf(4, 3 + seed % 2, rng)
+        inst = ThreeSatInstance(formula)
+        assert sat_qrd.verify_reduction(inst, "max-sum")
+        assert sat_qrd.verify_reduction(inst, "max-min")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_lambda0(self, seed):
+        rng = random.Random(100 + seed)
+        formula = random_3cnf(4, 5, rng)
+        inst = ThreeSatInstance(formula)
+        assert sat_qrd.verify_reduction(inst, "lambda0-max-sum")
+        assert sat_qrd.verify_reduction(inst, "lambda0-max-min")
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            sat_qrd.verify_reduction(ThreeSatInstance(cnf([1, 2, 3])), "nope")

@@ -1,0 +1,127 @@
+"""#SSP / #SSPk / Lemma 7.6 / Theorem 7.5 tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reductions import ssp
+from repro.reductions.ssp import (
+    SspInstance,
+    SspkInstance,
+    brute_force_sspk,
+    count_ssp,
+    count_sspk,
+    count_sspk_via_rdc,
+    lemma_7_6_reduction,
+    verify_lemma_7_6,
+    verify_turing_reduction,
+)
+
+
+class TestCounters:
+    def test_count_ssp_basic(self):
+        # Subsets of {3,5,2} summing to 5: {5}, {3,2} → 2.
+        assert count_ssp(SspInstance((3, 5, 2), 5)) == 2
+
+    def test_count_ssp_empty_subset(self):
+        assert count_ssp(SspInstance((1, 2), 0)) == 1
+
+    def test_count_ssp_zero_weights(self):
+        # {0,0}: subsets summing to 0: {}, {0a}, {0b}, {0a,0b} → 4.
+        assert count_ssp(SspInstance((0, 0), 0)) == 4
+
+    def test_count_sspk_vs_brute_force(self):
+        inst = SspkInstance((3, 5, 2, 7, 5, 1), 10, 3)
+        assert count_sspk(inst) == brute_force_sspk(inst)
+
+    def test_count_sspk_cardinality_matters(self):
+        weights = (5, 5, 10)
+        assert count_sspk(SspkInstance(weights, 10, 1)) == 1
+        assert count_sspk(SspkInstance(weights, 10, 2)) == 1
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            SspInstance((-1,), 3)
+        with pytest.raises(ValueError):
+            SspkInstance((1,), -1, 1)
+
+    @given(
+        st.lists(st.integers(0, 12), min_size=0, max_size=8),
+        st.integers(0, 30),
+        st.integers(0, 8),
+    )
+    @settings(max_examples=60)
+    def test_sspk_dp_matches_brute_force(self, weights, target, size):
+        inst = SspkInstance(tuple(weights), target, size)
+        assert count_sspk(inst) == brute_force_sspk(inst)
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=7), st.integers(0, 25))
+    @settings(max_examples=50)
+    def test_ssp_equals_sum_over_sizes(self, weights, target):
+        inst = SspInstance(tuple(weights), target)
+        by_size = sum(
+            count_sspk(SspkInstance(tuple(weights), target, l))
+            for l in range(len(weights) + 1)
+        )
+        assert count_ssp(inst) == by_size
+
+
+class TestLemma76:
+    def test_fixed_instances(self):
+        assert verify_lemma_7_6(SspInstance((3, 5, 2, 7, 5), 10))
+        assert verify_lemma_7_6(SspInstance((1, 1, 1), 2))
+        assert verify_lemma_7_6(SspInstance((4,), 4))
+        assert verify_lemma_7_6(SspInstance((4,), 5))
+
+    def test_reduction_shape(self):
+        reduced = lemma_7_6_reduction(SspInstance((3, 5), 8))
+        assert len(reduced.weights) == 4
+        assert reduced.size == 2
+
+    def test_empty_w_rejected(self):
+        with pytest.raises(ValueError):
+            lemma_7_6_reduction(SspInstance((), 0))
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=6), st.integers(0, 20))
+    @settings(max_examples=40)
+    def test_parsimony_randomized(self, weights, target):
+        assert verify_lemma_7_6(SspInstance(tuple(weights), target))
+
+
+class TestTheorem75:
+    @pytest.mark.parametrize("oracle", ["brute-force", "modular-dp"])
+    def test_fixed_instances(self, oracle):
+        for inst in (
+            SspkInstance((3, 5, 2, 7, 5), 10, 2),
+            SspkInstance((1, 2, 3, 4), 6, 2),
+            SspkInstance((1, 1, 1, 1), 2, 2),
+            SspkInstance((5,), 5, 1),
+        ):
+            assert verify_turing_reduction(inst, oracle=oracle)
+
+    def test_size_zero(self):
+        assert count_sspk_via_rdc(SspkInstance((1, 2), 0, 0)) == 1
+        assert count_sspk_via_rdc(SspkInstance((1, 2), 3, 0)) == 0
+
+    def test_size_exceeds_elements(self):
+        assert count_sspk_via_rdc(SspkInstance((1, 2), 3, 5)) == 0
+
+    @given(
+        st.lists(st.integers(0, 8), min_size=1, max_size=6),
+        st.integers(0, 20),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_turing_reduction_randomized(self, weights, target, size):
+        inst = SspkInstance(tuple(weights), target, size)
+        assert verify_turing_reduction(inst)
+
+    def test_composite_artifact(self):
+        source = SspInstance((3, 5, 2), 5)
+        reduced = ssp.reduce_ssp_to_rdc(source)
+        from repro.core.rdc import rdc_brute_force
+
+        at_d = rdc_brute_force(reduced.instance, reduced.bound)
+        at_d1 = rdc_brute_force(reduced.instance, reduced.bound + 1)
+        assert at_d - at_d1 == count_ssp(source)

@@ -1,0 +1,140 @@
+"""Tests for the relational-algebra operators, including cross-checks
+against the logical evaluator (SPC/SPCU ≡ CQ/UCQ, Section 4.1)."""
+
+import pytest
+
+from repro.relational import algebra, builder as qb
+from repro.relational.evaluate import evaluate
+from repro.relational.schema import Database, Relation, RelationSchema, SchemaError
+from repro.relational.terms import ComparisonOp
+
+
+@pytest.fixture
+def r():
+    schema = RelationSchema("r", ("a", "b"))
+    return Relation(schema, [(1, "x"), (2, "y"), (3, "x")])
+
+
+@pytest.fixture
+def s():
+    schema = RelationSchema("s", ("b", "c"))
+    return Relation(schema, [("x", 10), ("y", 20), ("z", 30)])
+
+
+def values_of(relation):
+    return {row.values for row in relation.rows}
+
+
+class TestOperators:
+    def test_select(self, r):
+        out = algebra.select(r, lambda row: row["b"] == "x")
+        assert values_of(out) == {(1, "x"), (3, "x")}
+
+    def test_select_compare(self, r):
+        out = algebra.select_compare(r, "a", ComparisonOp.GE, 2)
+        assert values_of(out) == {(2, "y"), (3, "x")}
+
+    def test_project(self, r):
+        out = algebra.project(r, ("b",))
+        assert values_of(out) == {("x",), ("y",)}  # set semantics
+
+    def test_project_reorder(self, r):
+        out = algebra.project(r, ("b", "a"))
+        assert (("x", 1)) in values_of(out)
+
+    def test_rename(self, r):
+        out = algebra.rename(r, {"a": "id"})
+        assert out.schema.attributes == ("id", "b")
+        assert values_of(out) == values_of(r)
+
+    def test_product(self, r, s):
+        out = algebra.product(r, s)
+        assert len(out) == 9
+        assert out.schema.arity == 4
+
+    def test_product_disambiguates_shared_attributes(self, r):
+        out = algebra.product(r, r)
+        assert "r.a" in out.schema.attributes
+
+    def test_natural_join(self, r, s):
+        out = algebra.natural_join(r, s)
+        assert values_of(out) == {(1, "x", 10), (3, "x", 10), (2, "y", 20)}
+
+    def test_natural_join_no_shared_is_product(self, r):
+        t = Relation(RelationSchema("t", ("d",)), [(7,)])
+        out = algebra.natural_join(r, t)
+        assert len(out) == len(r)
+
+    def test_union(self, r):
+        other = Relation(RelationSchema("r2", ("a", "b")), [(9, "q"), (1, "x")])
+        out = algebra.union(r, other)
+        assert len(out) == 4
+
+    def test_union_arity_mismatch(self, r, s):
+        t = Relation(RelationSchema("t", ("d",)), [(7,)])
+        with pytest.raises(SchemaError):
+            algebra.union(r, t)
+
+    def test_difference(self, r):
+        other = Relation(RelationSchema("r2", ("a", "b")), [(1, "x")])
+        out = algebra.difference(r, other)
+        assert values_of(out) == {(2, "y"), (3, "x")}
+
+    def test_intersection(self, r):
+        other = Relation(RelationSchema("r2", ("a", "b")), [(1, "x"), (9, "z")])
+        out = algebra.intersection(r, other)
+        assert values_of(out) == {(1, "x")}
+
+    def test_join_commutative_on_values(self, r, s):
+        left = algebra.natural_join(r, s)
+        right = algebra.natural_join(s, r)
+        def normalized(rel, attrs):
+            return {tuple(row[a] for a in attrs) for row in rel.rows}
+        attrs = ("a", "b", "c")
+        assert normalized(left, attrs) == normalized(right, attrs)
+
+
+class TestAlgebraVsLogic:
+    """The SPC operators must agree with CQ evaluation (Section 4.1)."""
+
+    def test_join_matches_cq(self, r, s):
+        db = Database([r, s])
+        q = qb.query(
+            ["a", "b", "c"],
+            qb.conj(qb.atom("r", "?a", "?b"), qb.atom("s", "?b", "?c")),
+        )
+        logical = {row.values for row in evaluate(q, db).rows}
+        algebraic = values_of(algebra.natural_join(r, s))
+        assert logical == algebraic
+
+    def test_selection_matches_cq(self, r):
+        db = Database([r])
+        q = qb.query(
+            ["a", "b"],
+            qb.conj(qb.atom("r", "?a", "?b"), qb.cmp("?a", ">=", 2)),
+        )
+        logical = {row.values for row in evaluate(q, db).rows}
+        algebraic = values_of(algebra.select_compare(r, "a", ComparisonOp.GE, 2))
+        assert logical == algebraic
+
+    def test_union_matches_ucq(self, r):
+        r2 = Relation(RelationSchema("r2", ("a", "b")), [(9, "q")])
+        db = Database([r, r2])
+        q = qb.query(
+            ["a", "b"],
+            qb.disj(qb.atom("r", "?a", "?b"), qb.atom("r2", "?a", "?b")),
+        )
+        logical = {row.values for row in evaluate(q, db).rows}
+        algebraic = values_of(algebra.union(r, r2))
+        assert logical == algebraic
+
+    def test_difference_matches_fo(self, r):
+        r2 = Relation(RelationSchema("r2", ("a", "b")), [(1, "x"), (2, "y")])
+        db = Database([r, r2])
+        q = qb.query(
+            ["a", "b"],
+            qb.conj(qb.atom("r", "?a", "?b"), qb.neg(qb.atom("r2", "?a", "?b"))),
+        )
+        logical = {row.values for row in evaluate(q, db).rows}
+        algebraic = values_of(algebra.difference(r, r2))
+        assert logical == algebraic

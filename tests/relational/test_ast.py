@@ -1,0 +1,126 @@
+"""Unit tests for the formula AST and query-language classification."""
+
+import pytest
+
+from repro.relational.ast import (
+    And,
+    Comparison,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    QueryLanguage,
+    RelationAtom,
+    classify,
+)
+from repro.relational.terms import ComparisonOp, Var
+
+
+def atom(name="R", *terms):
+    return RelationAtom(name, terms or ("?x",))
+
+
+class TestNodes:
+    def test_atom_free_variables(self):
+        a = RelationAtom("R", ("?x", 5, "?y"))
+        assert a.free_variables() == {"x", "y"}
+
+    def test_atom_constants(self):
+        a = RelationAtom("R", ("?x", 5, "hello"))
+        assert a.constants() == {5, "hello"}
+
+    def test_comparison_free_variables(self):
+        c = Comparison(ComparisonOp.LE, "?p", 30)
+        assert c.free_variables() == {"p"}
+        assert c.constants() == {30}
+
+    def test_and_flattens(self):
+        f = And((And((atom("A"), atom("B"))), atom("C")))
+        assert len(f.children) == 3
+
+    def test_or_flattens(self):
+        f = Or((Or((atom("A"), atom("B"))), atom("C")))
+        assert len(f.children) == 3
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValueError):
+            And(())
+        with pytest.raises(ValueError):
+            Or(())
+
+    def test_operator_sugar(self):
+        f = atom("A") & atom("B") | ~atom("C")
+        assert isinstance(f, Or)
+
+    def test_exists_binds(self):
+        f = Exists(["x"], RelationAtom("R", ("?x", "?y")))
+        assert f.free_variables() == {"y"}
+
+    def test_forall_binds_multiple(self):
+        f = Forall(["x", "y"], RelationAtom("R", ("?x", "?y")))
+        assert f.free_variables() == set()
+
+    def test_quantifier_duplicate_vars_rejected(self):
+        with pytest.raises(ValueError):
+            Exists(["x", "x"], atom())
+
+    def test_quantifier_shadowing(self):
+        inner = Exists(["x"], RelationAtom("R", ("?x",)))
+        outer = Exists(["x"], And((RelationAtom("S", ("?x",)), inner)))
+        assert outer.free_variables() == set()
+
+    def test_atoms_iteration(self):
+        f = And((atom("A"), Or((atom("B"), Not(atom("C"))))))
+        assert sorted(a.relation for a in f.atoms()) == ["A", "B", "C"]
+
+    def test_node_equality_and_hash(self):
+        f1 = And((atom("A"), atom("B")))
+        f2 = And((atom("A"), atom("B")))
+        assert f1 == f2 and hash(f1) == hash(f2)
+
+    def test_single_string_variable_accepted(self):
+        f = Exists("x", RelationAtom("R", ("?x",)))
+        assert f.variables == ("x",)
+
+
+class TestClassification:
+    def test_single_atom_is_cq(self):
+        assert classify(atom()) is QueryLanguage.CQ
+
+    def test_conjunction_with_comparison_is_cq(self):
+        f = And((atom("A"), Comparison(ComparisonOp.LT, "?x", 5)))
+        assert classify(f) is QueryLanguage.CQ
+
+    def test_exists_cq(self):
+        f = Exists(["y"], And((RelationAtom("R", ("?x", "?y")),)))
+        assert classify(f) is QueryLanguage.CQ
+
+    def test_union_of_cqs_is_ucq(self):
+        f = Or((atom("A"), atom("B")))
+        assert classify(f) is QueryLanguage.UCQ
+
+    def test_disjunction_under_conjunction_is_efo(self):
+        f = And((atom("A"), Or((atom("B"), atom("C")))))
+        assert classify(f) is QueryLanguage.EFO_PLUS
+
+    def test_exists_over_union_is_efo(self):
+        # ∃ above an Or is not a plain union of CQs syntactically.
+        f = Exists(["x"], Or((atom("A"), atom("B"))))
+        assert classify(f) is QueryLanguage.EFO_PLUS
+
+    def test_negation_is_fo(self):
+        assert classify(Not(atom())) is QueryLanguage.FO
+
+    def test_forall_is_fo(self):
+        assert classify(Forall(["x"], RelationAtom("R", ("?x",)))) is QueryLanguage.FO
+
+    def test_double_negation_still_fo(self):
+        # Classification is syntactic, as in the paper.
+        assert classify(Not(Not(atom()))) is QueryLanguage.FO
+
+    def test_subsumption_order(self):
+        assert QueryLanguage.FO.subsumes(QueryLanguage.CQ)
+        assert QueryLanguage.UCQ.subsumes(QueryLanguage.CQ)
+        assert not QueryLanguage.CQ.subsumes(QueryLanguage.UCQ)
+        assert QueryLanguage.CQ.subsumes(QueryLanguage.IDENTITY)
+        assert QueryLanguage.EFO_PLUS.subsumes(QueryLanguage.UCQ)

@@ -1,0 +1,274 @@
+"""Tests for query evaluation: CQ joins, unions, FO with negation and
+quantifiers, membership, and agreement between the two evaluation paths."""
+
+import pytest
+
+from repro.relational import builder as qb
+from repro.relational.ast import (
+    And,
+    Comparison,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    RelationAtom,
+)
+from repro.relational.evaluate import (
+    EvaluationError,
+    active_domain,
+    evaluate,
+    holds,
+    membership,
+    negate,
+    result_size,
+    substitute,
+)
+from repro.relational.queries import Query, QueryError, identity_query
+from repro.relational.schema import Database, Relation, RelationSchema, Row
+from repro.relational.terms import ComparisonOp, Var
+
+
+@pytest.fixture
+def graph_db() -> Database:
+    node = RelationSchema("node", ("id", "label"))
+    edge = RelationSchema("edge", ("src", "dst"))
+    nodes = Relation(node, [(1, "a"), (2, "a"), (3, "b"), (4, "b")])
+    edges = Relation(edge, [(1, 2), (2, 3), (3, 4), (1, 3)])
+    return Database([nodes, edges])
+
+
+def values_of(relation) -> set:
+    return {row.values for row in relation.rows}
+
+
+class TestCQEvaluation:
+    def test_identity_query(self, graph_db):
+        schema = RelationSchema("edge", ("src", "dst"))
+        q = identity_query(schema)
+        assert values_of(evaluate(q, graph_db)) == {(1, 2), (2, 3), (3, 4), (1, 3)}
+
+    def test_single_atom_projection(self, graph_db):
+        q = qb.query(["x"], qb.exists(["y"], qb.atom("edge", "?x", "?y")))
+        assert values_of(evaluate(q, graph_db)) == {(1,), (2,), (3,)}
+
+    def test_join(self, graph_db):
+        body = qb.exists(
+            ["y"],
+            qb.conj(qb.atom("edge", "?x", "?y"), qb.atom("edge", "?y", "?z")),
+        )
+        q = qb.query(["x", "z"], body)
+        assert values_of(evaluate(q, graph_db)) == {(1, 3), (2, 4), (1, 4)}
+
+    def test_join_with_constant(self, graph_db):
+        q = qb.query(["x"], qb.atom("edge", "?x", 3))
+        assert values_of(evaluate(q, graph_db)) == {(2,), (1,)}
+
+    def test_repeated_variable_in_atom(self):
+        schema = RelationSchema("r", ("a", "b"))
+        db = Database([Relation(schema, [(1, 1), (1, 2), (3, 3)])])
+        q = qb.query(["x"], qb.atom("r", "?x", "?x"))
+        assert values_of(evaluate(q, db)) == {(1,), (3,)}
+
+    def test_comparison_filter(self, graph_db):
+        body = qb.conj(qb.atom("edge", "?x", "?y"), qb.cmp("?x", "<", "?y"))
+        q = qb.query(["x", "y"], body)
+        assert values_of(evaluate(q, graph_db)) == {(1, 2), (2, 3), (3, 4), (1, 3)}
+
+    def test_comparison_against_constant(self, graph_db):
+        body = qb.conj(qb.atom("edge", "?x", "?y"), qb.cmp("?y", ">=", 3))
+        q = qb.query(["x", "y"], body)
+        assert values_of(evaluate(q, graph_db)) == {(2, 3), (3, 4), (1, 3)}
+
+    def test_selection_on_label(self, graph_db):
+        body = qb.conj(qb.atom("node", "?x", "?l"), qb.eq("?l", "a"))
+        q = qb.query(["x"], qb.exists(["l"], body))
+        assert values_of(evaluate(q, graph_db)) == {(1,), (2,)}
+
+    def test_cartesian_product(self):
+        r = RelationSchema("r", ("a",))
+        s = RelationSchema("s", ("b",))
+        db = Database([Relation(r, [(1,), (2,)]), Relation(s, [("x",)])])
+        q = qb.query(["a", "b"], qb.conj(qb.atom("r", "?a"), qb.atom("s", "?b")))
+        assert values_of(evaluate(q, db)) == {(1, "x"), (2, "x")}
+
+    def test_empty_result(self, graph_db):
+        q = qb.query(["x"], qb.atom("edge", "?x", 99))
+        assert len(evaluate(q, graph_db)) == 0
+
+
+class TestUCQAndEFO:
+    def test_union(self, graph_db):
+        body = qb.disj(qb.atom("edge", "?x", "?y"), qb.atom("edge", "?y", "?x"))
+        q = qb.query(["x", "y"], body)
+        result = values_of(evaluate(q, graph_db))
+        assert (2, 1) in result and (1, 2) in result
+
+    def test_union_with_different_shapes(self, graph_db):
+        left = qb.exists(["y"], qb.atom("edge", "?x", "?y"))
+        right = qb.exists(["y"], qb.atom("edge", "?y", "?x"))
+        q = qb.query(["x"], qb.disj(left, right))
+        assert values_of(evaluate(q, graph_db)) == {(1,), (2,), (3,), (4,)}
+
+    def test_disjunction_inside_conjunction(self, graph_db):
+        body = qb.conj(
+            qb.atom("node", "?x", "?l"),
+            qb.disj(qb.eq("?l", "a"), qb.eq("?l", "b")),
+        )
+        q = qb.query(["x"], qb.exists(["l"], body))
+        assert values_of(evaluate(q, graph_db)) == {(1,), (2,), (3,), (4,)}
+
+
+class TestFOEvaluation:
+    def test_negation_of_atom(self, graph_db):
+        # Nodes with no outgoing edge to node 2.
+        x = Var("x")
+        body = Exists(
+            ["l"],
+            And(
+                (
+                    RelationAtom("node", (x, Var("l"))),
+                    Not(RelationAtom("edge", (x, 2))),
+                )
+            ),
+        )
+        q = Query(["x"], body)
+        assert values_of(evaluate(q, graph_db)) == {(2,), (3,), (4,)}
+
+    def test_forall_sinks(self, graph_db):
+        # Sinks: nodes with no outgoing edges at all.
+        x, w = Var("x"), Var("w")
+        body = Exists(
+            ["l"],
+            And(
+                (
+                    RelationAtom("node", (x, Var("l"))),
+                    Forall(["w"], Not(RelationAtom("edge", (x, w)))),
+                )
+            ),
+        )
+        q = Query(["x"], body)
+        assert values_of(evaluate(q, graph_db)) == {(4,)}
+
+    def test_forall_with_implication_shape(self, graph_db):
+        # Nodes all of whose out-neighbours have label "b":
+        # ∀w (¬edge(x,w) ∨ ∃l' (node(w,l') ∧ l'=b))
+        x, w = Var("x"), Var("w")
+        neighbour_is_b = Exists(
+            ["l2"],
+            And(
+                (
+                    RelationAtom("node", (w, Var("l2"))),
+                    Comparison(ComparisonOp.EQ, Var("l2"), "b"),
+                )
+            ),
+        )
+        body = Exists(
+            ["l"],
+            And(
+                (
+                    RelationAtom("node", (x, Var("l"))),
+                    Forall(["w"], Or((Not(RelationAtom("edge", (x, w))), neighbour_is_b))),
+                )
+            ),
+        )
+        q = Query(["x"], body)
+        # 2 -> 3(b); 3 -> 4(b); 4 -> nothing (vacuous); 1 -> 2(a) fails.
+        assert values_of(evaluate(q, graph_db)) == {(2,), (3,), (4,)}
+
+    def test_difference_via_negation(self):
+        r = RelationSchema("r", ("a",))
+        s = RelationSchema("s", ("a",))
+        db = Database([Relation(r, [(1,), (2,), (3,)]), Relation(s, [(2,)])])
+        q = qb.query(
+            ["a"], qb.conj(qb.atom("r", "?a"), qb.neg(qb.atom("s", "?a")))
+        )
+        assert values_of(evaluate(q, db)) == {(1,), (3,)}
+
+    def test_holds_requires_bound_variables(self, graph_db):
+        f = RelationAtom("edge", (Var("x"), Var("y")))
+        with pytest.raises(EvaluationError, match="unbound"):
+            holds(f, {"x": 1}, graph_db, graph_db.active_domain())
+
+
+class TestMembership:
+    def test_membership_positive(self, graph_db):
+        q = qb.query(["x", "y"], qb.atom("edge", "?x", "?y"))
+        assert membership(q, graph_db, (1, 2))
+        assert not membership(q, graph_db, (2, 1))
+
+    def test_membership_arity_mismatch(self, graph_db):
+        q = qb.query(["x", "y"], qb.atom("edge", "?x", "?y"))
+        assert not membership(q, graph_db, (1,))
+
+    def test_membership_out_of_domain(self, graph_db):
+        q = qb.query(["x", "y"], qb.atom("edge", "?x", "?y"))
+        assert not membership(q, graph_db, (99, 100))
+
+    def test_membership_agrees_with_evaluate(self, graph_db):
+        body = qb.exists(
+            ["y"],
+            qb.conj(qb.atom("edge", "?x", "?y"), qb.atom("edge", "?y", "?z")),
+        )
+        q = qb.query(["x", "z"], body)
+        answers = values_of(evaluate(q, graph_db))
+        domain = sorted(active_domain(q, graph_db), key=repr)
+        for a in domain:
+            for b in domain:
+                assert membership(q, graph_db, (a, b)) == ((a, b) in answers)
+
+
+class TestQueryValidation:
+    def test_unbound_head_variable_rejected(self):
+        with pytest.raises(QueryError, match="head variables"):
+            Query(["z"], RelationAtom("r", ("?x",)))
+
+    def test_free_body_variables_rejected_at_evaluation(self, graph_db):
+        q = Query(["x"], RelationAtom("edge", ("?x", "?y")))
+        with pytest.raises(QueryError, match="free body variables"):
+            evaluate(q, graph_db)
+
+    def test_identity_query_detection(self):
+        schema = RelationSchema("r", ("a", "b"))
+        assert identity_query(schema).is_identity()
+        q = qb.query(["x"], qb.exists(["y"], qb.atom("r", "?x", "?y")))
+        assert not q.is_identity()
+
+    def test_result_size(self, graph_db):
+        schema = RelationSchema("edge", ("src", "dst"))
+        assert result_size(identity_query(schema), graph_db) == 4
+
+
+class TestNegateAndSubstitute:
+    def test_negate_involution_on_comparison(self):
+        c = Comparison(ComparisonOp.LT, "?x", 5)
+        assert negate(negate(c)) == c
+
+    def test_negate_de_morgan(self):
+        f = And((RelationAtom("r", ("?x",)), RelationAtom("s", ("?x",))))
+        neg = negate(f)
+        assert isinstance(neg, Or)
+        assert all(isinstance(c, Not) for c in neg.children)
+
+    def test_negate_quantifiers(self):
+        f = Exists(["x"], RelationAtom("r", ("?x",)))
+        neg = negate(f)
+        assert isinstance(neg, Forall)
+
+    def test_substitute_grounds_free_vars(self):
+        f = RelationAtom("r", ("?x", "?y"))
+        g = substitute(f, {"x": 1})
+        assert g == RelationAtom("r", (1, "?y"))
+
+    def test_substitute_respects_shadowing(self):
+        inner = RelationAtom("r", ("?x",))
+        f = Exists(["x"], inner)
+        g = substitute(f, {"x": 1})
+        assert g == f  # the bound x must not be replaced
+
+    def test_negate_semantics_preserved(self, graph_db):
+        domain = graph_db.active_domain()
+        f = Exists(["y"], RelationAtom("edge", (Var("x"), Var("y"))))
+        for x in (1, 2, 3, 4):
+            direct = holds(Not(f), {"x": x}, graph_db, domain)
+            pushed = holds(negate(f), {"x": x}, graph_db, domain)
+            assert direct == pushed

@@ -1,0 +1,231 @@
+"""Deeper evaluation tests: the quantifier accelerations, mixed
+generator/residual bodies, and FO-vs-algebra cross-checks."""
+
+import pytest
+
+from repro.relational import algebra, builder as qb
+from repro.relational.ast import (
+    And,
+    Comparison,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    RelationAtom,
+)
+from repro.relational.evaluate import evaluate, holds, membership, negate
+from repro.relational.queries import Query
+from repro.relational.schema import Database, Relation, RelationSchema
+from repro.relational.terms import ComparisonOp, Var
+
+
+@pytest.fixture
+def store_db():
+    """A two-relation store: products and purchases."""
+    products = RelationSchema("product", ("pid", "category", "price"))
+    purchases = RelationSchema("bought", ("customer", "pid"))
+    return Database(
+        [
+            Relation(
+                products,
+                [
+                    (1, "book", 12),
+                    (2, "book", 30),
+                    (3, "game", 45),
+                    (4, "game", 20),
+                    (5, "music", 9),
+                ],
+            ),
+            Relation(
+                purchases,
+                [("ann", 1), ("ann", 3), ("bob", 2), ("bob", 4), ("cara", 5)],
+            ),
+        ]
+    )
+
+
+class TestGeneratorResidualSplit:
+    def test_exists_with_negative_residual(self, store_db):
+        """∃ with a positive generator atom and a negated conjunct:
+        products nobody bought."""
+        p, c, pr, cu = Var("p"), Var("c"), Var("pr"), Var("cu")
+        body = Exists(
+            ["c", "pr"],
+            And(
+                (
+                    RelationAtom("product", (p, c, pr)),
+                    Not(Exists(["cu"], RelationAtom("bought", (cu, p)))),
+                )
+            ),
+        )
+        q = Query(["p"], body)
+        assert {r.values for r in evaluate(q, store_db).rows} == set()
+
+    def test_exists_with_forall_residual(self, store_db):
+        """Customers who only bought books."""
+        cu, p = Var("cu"), Var("p")
+        only_books = Forall(
+            ["p"],
+            Or(
+                (
+                    Not(RelationAtom("bought", (cu, p))),
+                    Exists(
+                        ["pr"],
+                        RelationAtom("product", (p, "book", Var("pr"))),
+                    ),
+                )
+            ),
+        )
+        body = And(
+            (
+                Exists(["p0"], RelationAtom("bought", (cu, Var("p0")))),
+                only_books,
+            )
+        )
+        q = Query(["cu"], body)
+        # ann bought book+game; bob book+game; cara music — nobody.
+        assert len(evaluate(q, store_db)) == 0
+        store_db.insert("bought", "dora", 1)
+        q2 = Query(["cu"], body)
+        assert {r.values for r in evaluate(q2, store_db).rows} == {("dora",)}
+
+    def test_division_pattern(self, store_db):
+        """Relational division via ∀: customers who bought every game."""
+        cu = Var("cu")
+        body = And(
+            (
+                Exists(["px"], RelationAtom("bought", (cu, Var("px")))),
+                Forall(
+                    ["g", "gp"],
+                    Or(
+                        (
+                            Not(
+                                RelationAtom(
+                                    "product", (Var("g"), "game", Var("gp"))
+                                )
+                            ),
+                            RelationAtom("bought", (cu, Var("g"))),
+                        )
+                    ),
+                ),
+            )
+        )
+        q = Query(["cu"], body)
+        # games are pids 3 and 4; ann has 3, bob has 4 — neither has both.
+        assert len(evaluate(q, store_db)) == 0
+        store_db.insert("bought", "ann", 4)
+        q2 = Query(["cu"], body)
+        assert {r.values for r in evaluate(q2, store_db).rows} == {("ann",)}
+
+    def test_division_matches_algebra(self, store_db):
+        """The FO division result equals the algebraic computation."""
+        products = store_db.relation("product")
+        bought = store_db.relation("bought")
+        games = algebra.project(
+            algebra.select(products, lambda r: r["category"] == "game"), ("pid",)
+        )
+        customers = algebra.project(bought, ("customer",))
+        expected = set()
+        for customer_row in customers.rows:
+            cu = customer_row["customer"]
+            owned = {
+                r["pid"] for r in bought.rows if r["customer"] == cu
+            }
+            if {g["pid"] for g in games.rows} <= owned:
+                expected.add((cu,))
+
+        body = And(
+            (
+                Exists(["px"], RelationAtom("bought", (Var("cu"), Var("px")))),
+                Forall(
+                    ["g", "gp"],
+                    Or(
+                        (
+                            Not(
+                                RelationAtom(
+                                    "product", (Var("g"), "game", Var("gp"))
+                                )
+                            ),
+                            RelationAtom("bought", (Var("cu"), Var("g"))),
+                        )
+                    ),
+                ),
+            )
+        )
+        q = Query(["cu"], body)
+        assert {r.values for r in evaluate(q, store_db).rows} == expected
+
+
+class TestComparisonOnlySubformulas:
+    def test_pure_comparison_exists(self, store_db):
+        """∃x over the active domain with only comparisons."""
+        domain = store_db.active_domain()
+        f = Exists(["x"], Comparison(ComparisonOp.GT, Var("x"), 40))
+        assert holds(f, {}, store_db, domain)  # 45 ∈ adom
+        f2 = Exists(["x"], Comparison(ComparisonOp.GT, Var("x"), 100))
+        assert not holds(f2, {}, store_db, domain)
+
+    def test_forall_comparison(self, store_db):
+        domain = frozenset({1, 2, 3})
+        f = Forall(["x"], Comparison(ComparisonOp.LE, Var("x"), 3))
+        assert holds(f, {}, store_db, domain)
+        f2 = Forall(["x"], Comparison(ComparisonOp.LE, Var("x"), 2))
+        assert not holds(f2, {}, store_db, domain)
+
+
+class TestUnionPadding:
+    def test_disjuncts_with_different_variables(self, store_db):
+        """Or-children binding different variable sets expand over the
+        active domain for the missing ones (active-domain semantics)."""
+        body = Or(
+            (
+                RelationAtom("bought", (Var("x"), Var("y"))),
+                And(
+                    (
+                        Exists(["c", "p"], RelationAtom("product", (Var("y"), Var("c"), Var("p")))),
+                        Comparison(ComparisonOp.EQ, Var("x"), "ann"),
+                    )
+                ),
+            )
+        )
+        q = Query(["x", "y"], body)
+        result = {r.values for r in evaluate(q, store_db).rows}
+        assert ("ann", 1) in result  # from the first disjunct
+        assert ("ann", 2) in result  # from the second (product 2)
+        assert ("bob", 2) in result  # bought
+        assert ("bob", 1) not in result
+
+
+class TestNegationConsistency:
+    @pytest.mark.parametrize("value", ["ann", "bob", "cara"])
+    def test_not_membership_agrees(self, store_db, value):
+        q = qb.query(
+            ["c"],
+            qb.conj(
+                qb.exists(["p"], qb.atom("bought", "?c", "?p")),
+                qb.neg(qb.atom("bought", "?c", 1)),
+            ),
+        )
+        answers = {r.values for r in evaluate(q, store_db).rows}
+        assert membership(q, store_db, (value,)) == ((value,) in answers)
+
+    def test_double_negation_identity(self, store_db):
+        base = qb.query(["x", "y"], qb.atom("bought", "?x", "?y"))
+        doubled = Query(
+            ["x", "y"], Not(Not(RelationAtom("bought", (Var("x"), Var("y")))))
+        )
+        assert {r.values for r in evaluate(base, store_db).rows} == {
+            r.values for r in evaluate(doubled, store_db).rows
+        }
+
+    def test_negate_on_quantified_formula_semantics(self, store_db):
+        domain = store_db.active_domain()
+        f = Forall(["p"], Not(RelationAtom("bought", (Var("c"), Var("p")))))
+        for customer in ("ann", "zoe"):
+            expected = not holds(
+                Exists(["p"], RelationAtom("bought", (Var("c"), Var("p")))),
+                {"c": customer},
+                store_db,
+                domain,
+            )
+            assert holds(f, {"c": customer}, store_db, domain) == expected

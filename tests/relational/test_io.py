@@ -1,0 +1,115 @@
+"""Tests for CSV/JSON relation and database I/O."""
+
+import io
+import json
+
+import pytest
+
+from repro.relational.io import (
+    database_from_dict,
+    database_to_dict,
+    dump_database_json,
+    dump_relation_csv,
+    load_database_csv_directory,
+    load_database_json,
+    load_relation_csv,
+    relation_from_dict,
+    relation_to_dict,
+)
+from repro.relational.schema import Database, Relation, RelationSchema, SchemaError
+
+
+@pytest.fixture
+def relation():
+    schema = RelationSchema("items", ("id", "name", "price"))
+    return Relation(schema, [(1, "pen", 2.5), (2, "book", 10.0)])
+
+
+class TestCSV:
+    def test_load_from_string_buffer(self):
+        text = "id,name,price\n1,pen,2.5\n2,book,10\n"
+        relation = load_relation_csv(io.StringIO(text), name="items")
+        assert len(relation) == 2
+        assert relation.schema.attributes == ("id", "name", "price")
+
+    def test_value_parsing(self):
+        text = "a,b,c\n1,2.5,hello\n"
+        relation = load_relation_csv(io.StringIO(text), name="r")
+        row = next(iter(relation.rows))
+        assert row["a"] == 1 and row["b"] == 2.5 and row["c"] == "hello"
+
+    def test_no_parsing_option(self):
+        text = "a\n42\n"
+        relation = load_relation_csv(io.StringIO(text), name="r", parse_values=False)
+        assert next(iter(relation.rows))["a"] == "42"
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError, match="empty"):
+            load_relation_csv(io.StringIO(""), name="r")
+
+    def test_ragged_row_rejected(self):
+        text = "a,b\n1,2\n3\n"
+        with pytest.raises(SchemaError, match="line 3"):
+            load_relation_csv(io.StringIO(text), name="r")
+
+    def test_blank_lines_skipped(self):
+        text = "a\n1\n\n2\n"
+        relation = load_relation_csv(io.StringIO(text), name="r")
+        assert len(relation) == 2
+
+    def test_round_trip(self, relation):
+        buffer = io.StringIO()
+        dump_relation_csv(relation, buffer)
+        loaded = load_relation_csv(io.StringIO(buffer.getvalue()), name="items")
+        assert {r.values for r in loaded.rows} == {r.values for r in relation.rows}
+
+    def test_file_round_trip(self, relation, tmp_path):
+        path = tmp_path / "items.csv"
+        dump_relation_csv(relation, path)
+        loaded = load_relation_csv(path)
+        assert loaded.schema.name == "items"
+        assert len(loaded) == 2
+
+    def test_directory_load(self, relation, tmp_path):
+        dump_relation_csv(relation, tmp_path / "items.csv")
+        other = Relation(RelationSchema("tags", ("id", "tag")), [(1, "x")])
+        dump_relation_csv(other, tmp_path / "tags.csv")
+        db = load_database_csv_directory(tmp_path)
+        assert db.relation_names == ("items", "tags")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(SchemaError, match="no CSV"):
+            load_database_csv_directory(tmp_path)
+
+
+class TestJSON:
+    def test_relation_round_trip(self, relation):
+        data = relation_to_dict(relation)
+        loaded = relation_from_dict(data)
+        assert loaded == relation
+
+    def test_database_round_trip(self, relation):
+        db = Database([relation])
+        data = database_to_dict(db)
+        loaded = database_from_dict(data)
+        assert loaded.relation_names == db.relation_names
+        assert loaded.relation("items") == relation
+
+    def test_file_round_trip(self, relation, tmp_path):
+        db = Database([relation])
+        path = tmp_path / "db.json"
+        dump_database_json(db, path)
+        loaded = load_database_json(path)
+        assert loaded.relation("items") == relation
+
+    def test_single_relation_json_accepted(self, relation, tmp_path):
+        path = tmp_path / "rel.json"
+        path.write_text(json.dumps(relation_to_dict(relation)))
+        db = load_database_json(path)
+        assert db.has_relation("items")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SchemaError):
+            relation_from_dict({"name": "r"})
+        with pytest.raises(SchemaError):
+            database_from_dict({})

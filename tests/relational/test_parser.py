@@ -1,0 +1,204 @@
+"""Tests for the textual query language parser."""
+
+import pytest
+
+from repro.relational.ast import (
+    And,
+    Comparison,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    QueryLanguage,
+    RelationAtom,
+)
+from repro.relational.evaluate import evaluate
+from repro.relational.parser import ParseError, parse_formula, parse_query
+from repro.relational.schema import Database, Relation, RelationSchema
+from repro.relational.terms import ComparisonOp, Const, Var
+
+
+@pytest.fixture
+def db():
+    edge = RelationSchema("edge", ("src", "dst"))
+    node = RelationSchema("node", ("id", "label"))
+    return Database(
+        [
+            Relation(edge, [(1, 2), (2, 3), (1, 3)]),
+            Relation(node, [(1, "a"), (2, "b"), (3, "a")]),
+        ]
+    )
+
+
+class TestFormulas:
+    def test_atom(self):
+        f = parse_formula("edge(X, Y)")
+        assert f == RelationAtom("edge", (Var("X"), Var("Y")))
+
+    def test_atom_with_constants(self):
+        f = parse_formula("edge(X, 3)")
+        assert f == RelationAtom("edge", (Var("X"), Const(3)))
+
+    def test_lowercase_identifier_is_string_constant(self):
+        f = parse_formula("node(X, blue)")
+        assert f == RelationAtom("node", (Var("X"), Const("blue")))
+
+    def test_quoted_string_constant(self):
+        f = parse_formula('node(X, "hello world")')
+        assert f == RelationAtom("node", (Var("X"), Const("hello world")))
+
+    def test_float_constant(self):
+        f = parse_formula("score(X, 2.5)")
+        assert f == RelationAtom("score", (Var("X"), Const(2.5)))
+
+    def test_negative_number(self):
+        f = parse_formula("X > -3")
+        assert f == Comparison(ComparisonOp.GT, Var("X"), Const(-3))
+
+    def test_comparison_operators(self):
+        for text, op in [
+            ("X = Y", ComparisonOp.EQ),
+            ("X != Y", ComparisonOp.NE),
+            ("X <> Y", ComparisonOp.NE),
+            ("X < Y", ComparisonOp.LT),
+            ("X <= Y", ComparisonOp.LE),
+            ("X > Y", ComparisonOp.GT),
+            ("X >= Y", ComparisonOp.GE),
+        ]:
+            assert parse_formula(text) == Comparison(op, Var("X"), Var("Y"))
+
+    def test_conjunction_comma_and_keyword(self):
+        f1 = parse_formula("edge(X, Y), edge(Y, Z)")
+        f2 = parse_formula("edge(X, Y) and edge(Y, Z)")
+        assert isinstance(f1, And) and f1 == f2
+
+    def test_disjunction(self):
+        f = parse_formula("edge(X, Y) or edge(Y, X)")
+        assert isinstance(f, Or) and len(f.children) == 2
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse_formula("a(X) or b(X), c(X)")
+        assert isinstance(f, Or)
+        assert isinstance(f.children[1], And)
+
+    def test_parentheses(self):
+        f = parse_formula("(a(X) or b(X)), c(X)")
+        assert isinstance(f, And)
+        assert isinstance(f.children[0], Or)
+
+    def test_negation(self):
+        f = parse_formula("not edge(X, Y)")
+        assert f == Not(RelationAtom("edge", (Var("X"), Var("Y"))))
+
+    def test_exists(self):
+        f = parse_formula("exists Y : edge(X, Y)")
+        assert isinstance(f, Exists) and f.variables == ("Y",)
+
+    def test_exists_multiple_vars(self):
+        f = parse_formula("exists Y, Z : (edge(X, Y), edge(Y, Z))")
+        assert isinstance(f, Exists) and f.variables == ("Y", "Z")
+
+    def test_forall_with_negation(self):
+        f = parse_formula("forall W : not edge(X, W)")
+        assert isinstance(f, Forall)
+        assert isinstance(f.child, Not)
+
+    def test_quantifier_scopes_one_unary(self):
+        # "exists Y : a(Y), b(X)" — the conjunction is NOT under ∃.
+        f = parse_formula("exists Y : a(Y), b(X)")
+        assert isinstance(f, And)
+        assert isinstance(f.children[0], Exists)
+
+    def test_comments(self):
+        f = parse_formula("edge(X, Y) -- the path start\n, edge(Y, Z)")
+        assert isinstance(f, And)
+
+
+class TestQueries:
+    def test_basic_query(self, db):
+        q = parse_query("Q(X) :- exists Y : edge(X, Y)")
+        assert q.language is QueryLanguage.CQ
+        assert {r.values for r in evaluate(q, db).rows} == {(1,), (2,)}
+
+    def test_query_with_comparison(self, db):
+        q = parse_query("Q(X, Y) :- edge(X, Y), X < Y")
+        assert len(evaluate(q, db)) == 3
+
+    def test_fo_query(self, db):
+        q = parse_query("Sink(X) :- exists L : (node(X, L), forall W : not edge(X, W))")
+        assert q.language is QueryLanguage.FO
+        assert {r.values for r in evaluate(q, db).rows} == {(3,)}
+
+    def test_ucq_query(self, db):
+        q = parse_query("Q(X, Y) :- edge(X, Y) or edge(Y, X)")
+        assert q.language is QueryLanguage.UCQ
+        assert len(evaluate(q, db)) == 6
+
+    def test_query_name_from_head(self):
+        q = parse_query("Reachable(X, Y) :- edge(X, Y)")
+        assert q.name == "Reachable"
+
+    def test_name_override(self):
+        q = parse_query("Q(X, Y) :- edge(X, Y)", name="custom")
+        assert q.name == "custom"
+
+    def test_negative_number_after_arrow(self, db):
+        q = parse_query("Q(X, Y) :- edge(X, Y), X > -5")
+        assert len(evaluate(q, db)) == 3
+
+    def test_underscore_prefixed_variable(self):
+        q = parse_query("Q(_x) :- edge(_x, _x)")
+        assert q.head == ("_x",)
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_formula("edge(X, Y) & edge(Y, Z)")
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) edge(X, Y)")
+
+    def test_constant_in_head(self):
+        with pytest.raises(ParseError, match="variables"):
+            parse_query("Q(x) :- edge(x, Y)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_formula("edge(X, Y) edge(Y, Z)")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_formula("(edge(X, Y)")
+
+    def test_keyword_as_term(self):
+        with pytest.raises(ParseError):
+            parse_formula("edge(X, not)")
+
+    def test_missing_comparison_operand(self):
+        with pytest.raises(ParseError):
+            parse_formula("X >")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_formula("")
+
+
+class TestRoundTrip:
+    """Parsed queries must evaluate identically to hand-built ASTs."""
+
+    def test_against_builder(self, db):
+        from repro.relational import builder as qb
+
+        parsed = parse_query("Q(X, Z) :- exists Y : (edge(X, Y), edge(Y, Z))")
+        built = qb.query(
+            ["X", "Z"],
+            qb.exists(
+                ["Y"],
+                qb.conj(qb.atom("edge", "?X", "?Y"), qb.atom("edge", "?Y", "?Z")),
+            ),
+        )
+        assert {r.values for r in evaluate(parsed, db).rows} == {
+            r.values for r in evaluate(built, db).rows
+        }

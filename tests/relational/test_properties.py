@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for the relational substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import algebra, builder as qb
+from repro.relational.evaluate import evaluate, membership
+from repro.relational.queries import identity_query
+from repro.relational.schema import Database, Relation, RelationSchema
+
+PAIR = st.tuples(st.integers(0, 5), st.integers(0, 5))
+PAIRS = st.lists(PAIR, max_size=12)
+
+
+def edge_relation(pairs, name="edge"):
+    return Relation(RelationSchema(name, ("src", "dst")), pairs)
+
+
+@given(PAIRS)
+def test_identity_query_returns_the_relation(pairs):
+    relation = edge_relation(pairs)
+    db = Database([relation])
+    result = evaluate(identity_query(relation.schema), db)
+    assert {r.values for r in result.rows} == set(pairs)
+
+
+@given(PAIRS, PAIRS)
+def test_union_commutes(p1, p2):
+    r1 = edge_relation(p1, "r1")
+    r2 = edge_relation(p2, "r2")
+    assert {r.values for r in algebra.union(r1, r2).rows} == {
+        r.values for r in algebra.union(r2, r1).rows
+    }
+
+
+@given(PAIRS, PAIRS)
+def test_difference_union_partition(p1, p2):
+    r1 = edge_relation(p1, "r1")
+    r2 = edge_relation(p2, "r2")
+    diff = algebra.difference(r1, r2)
+    inter = algebra.intersection(r1, r2)
+    rebuilt = {r.values for r in algebra.union(diff, inter).rows}
+    assert rebuilt == set(p1)
+
+
+@given(PAIRS)
+@settings(max_examples=30)
+def test_join_with_self_contains_paths(pairs):
+    relation = edge_relation(pairs)
+    db = Database([relation])
+    q = qb.query(
+        ["x", "z"],
+        qb.exists(
+            ["y"],
+            qb.conj(qb.atom("edge", "?x", "?y"), qb.atom("edge", "?y", "?z")),
+        ),
+    )
+    result = {r.values for r in evaluate(q, db).rows}
+    expected = {
+        (a, d) for (a, b) in pairs for (c, d) in pairs if b == c
+    }
+    assert result == expected
+
+
+@given(PAIRS)
+@settings(max_examples=30)
+def test_membership_consistent_with_evaluation(pairs):
+    relation = edge_relation(pairs)
+    db = Database([relation])
+    q = qb.query(["x"], qb.exists(["y"], qb.atom("edge", "?x", "?y")))
+    answers = {r.values for r in evaluate(q, db).rows}
+    for value in db.active_domain():
+        assert membership(q, db, (value,)) == ((value,) in answers)
+
+
+@given(PAIRS)
+@settings(max_examples=30)
+def test_negation_complements_within_domain(pairs):
+    relation = edge_relation(pairs)
+    db = Database([relation])
+    has_out = qb.query(["x"], qb.exists(["y"], qb.atom("edge", "?x", "?y")))
+    no_out = qb.query(
+        ["x"],
+        qb.conj(
+            qb.exists(["y", "w"], qb.disj(qb.atom("edge", "?x", "?y"), qb.atom("edge", "?w", "?x"))),
+            qb.neg(qb.exists(["y"], qb.atom("edge", "?x", "?y"))),
+        ),
+    )
+    touched = {a for (a, b) in pairs} | {b for (a, b) in pairs}
+    out = {r.values[0] for r in evaluate(has_out, db).rows}
+    none = {r.values[0] for r in evaluate(no_out, db).rows}
+    assert out | none == touched
+    assert out & none == set()

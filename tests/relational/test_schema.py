@@ -1,0 +1,206 @@
+"""Unit tests for schemas, rows, relations and databases."""
+
+import pytest
+
+from repro.relational.schema import (
+    Database,
+    Relation,
+    RelationSchema,
+    Row,
+    SchemaError,
+)
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        schema = RelationSchema("catalog", ("item", "price"))
+        assert schema.name == "catalog"
+        assert schema.arity == 2
+        assert schema.attributes == ("item", "price")
+
+    def test_position_lookup(self):
+        schema = RelationSchema("r", ("a", "b", "c"))
+        assert schema.position("a") == 0
+        assert schema.position("c") == 2
+
+    def test_position_unknown_attribute_raises(self):
+        schema = RelationSchema("r", ("a",))
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.position("zzz")
+
+    def test_has_attribute(self):
+        schema = RelationSchema("r", ("a", "b"))
+        assert schema.has_attribute("a")
+        assert not schema.has_attribute("x")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema("r", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("a",))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ())
+
+    def test_row_positional(self):
+        schema = RelationSchema("r", ("a", "b"))
+        row = schema.row(1, 2)
+        assert row["a"] == 1 and row["b"] == 2
+
+    def test_row_named(self):
+        schema = RelationSchema("r", ("a", "b"))
+        row = schema.row(b=2, a=1)
+        assert row.values == (1, 2)
+
+    def test_row_named_missing_raises(self):
+        schema = RelationSchema("r", ("a", "b"))
+        with pytest.raises(SchemaError, match="missing"):
+            schema.row(a=1)
+
+    def test_row_named_extra_raises(self):
+        schema = RelationSchema("r", ("a",))
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.row(a=1, b=2)
+
+    def test_rename(self):
+        schema = RelationSchema("r", ("a",))
+        renamed = schema.rename("s")
+        assert renamed.name == "s"
+        assert renamed.attributes == schema.attributes
+
+    def test_equality_and_hash(self):
+        a = RelationSchema("r", ("x", "y"))
+        b = RelationSchema("r", ("x", "y"))
+        c = RelationSchema("r", ("y", "x"))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestRow:
+    def test_arity_mismatch_raises(self):
+        schema = RelationSchema("r", ("a", "b"))
+        with pytest.raises(SchemaError, match="arity"):
+            Row(schema, (1,))
+
+    def test_attribute_and_positional_access(self):
+        schema = RelationSchema("r", ("a", "b"))
+        row = Row(schema, (10, 20))
+        assert row["b"] == 20
+        assert row.at(0) == 10
+
+    def test_as_dict(self):
+        schema = RelationSchema("r", ("a", "b"))
+        assert Row(schema, (1, 2)).as_dict() == {"a": 1, "b": 2}
+
+    def test_project(self):
+        schema = RelationSchema("r", ("a", "b", "c"))
+        row = Row(schema, (1, 2, 3)).project(("c", "a"))
+        assert row.values == (3, 1)
+
+    def test_rows_compare_by_values_and_attributes(self):
+        s1 = RelationSchema("r", ("a", "b"))
+        s2 = RelationSchema("other", ("a", "b"))
+        assert Row(s1, (1, 2)) == Row(s2, (1, 2))
+        s3 = RelationSchema("r", ("x", "y"))
+        assert Row(s1, (1, 2)) != Row(s3, (1, 2))
+
+    def test_rows_hashable(self):
+        schema = RelationSchema("r", ("a",))
+        assert len({Row(schema, (1,)), Row(schema, (1,)), Row(schema, (2,))}) == 2
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        schema = RelationSchema("r", ("a",))
+        relation = Relation(schema, [(1,), (2,)])
+        assert Row(schema, (1,)) in relation
+        assert len(relation) == 2
+
+    def test_set_semantics(self):
+        schema = RelationSchema("r", ("a",))
+        relation = Relation(schema, [(1,), (1,), (1,)])
+        assert len(relation) == 1
+
+    def test_sorted_rows_deterministic(self):
+        schema = RelationSchema("r", ("a",))
+        relation = Relation(schema, [(3,), (1,), (2,)])
+        assert [r.values for r in relation.sorted_rows()] == [(1,), (2,), (3,)]
+
+    def test_mixed_type_sorting_does_not_raise(self):
+        schema = RelationSchema("r", ("a",))
+        relation = Relation(schema, [(1,), ("x",), (2.5,)])
+        assert len(relation.sorted_rows()) == 3
+
+    def test_schema_mismatch_rejected(self):
+        s1 = RelationSchema("r", ("a",))
+        s2 = RelationSchema("r", ("b",))
+        relation = Relation(s1)
+        with pytest.raises(SchemaError):
+            relation.add(Row(s2, (1,)))
+
+    def test_discard(self):
+        schema = RelationSchema("r", ("a",))
+        relation = Relation(schema, [(1,)])
+        relation.discard(Row(schema, (1,)))
+        assert len(relation) == 0
+
+    def test_equality(self):
+        schema = RelationSchema("r", ("a",))
+        assert Relation(schema, [(1,), (2,)]) == Relation(schema, [(2,), (1,)])
+
+
+class TestDatabase:
+    def test_relation_lookup(self):
+        schema = RelationSchema("r", ("a",))
+        db = Database([Relation(schema, [(1,)])])
+        assert db.has_relation("r")
+        assert len(db.relation("r")) == 1
+
+    def test_missing_relation_raises(self):
+        db = Database()
+        with pytest.raises(SchemaError, match="no relation"):
+            db.relation("nope")
+
+    def test_duplicate_relation_rejected(self):
+        schema = RelationSchema("r", ("a",))
+        db = Database([Relation(schema)])
+        with pytest.raises(SchemaError, match="duplicate"):
+            db.add_relation(Relation(schema))
+
+    def test_insert(self):
+        schema = RelationSchema("r", ("a", "b"))
+        db = Database([Relation(schema)])
+        row = db.insert("r", 1, 2)
+        assert row in db.relation("r")
+
+    def test_active_domain(self):
+        schema = RelationSchema("r", ("a", "b"))
+        db = Database([Relation(schema, [(1, "x"), (2, "y")])])
+        assert db.active_domain() == frozenset({1, 2, "x", "y"})
+
+    def test_active_domain_with_extra(self):
+        schema = RelationSchema("r", ("a",))
+        db = Database([Relation(schema, [(1,)])])
+        assert db.active_domain(extra=[99]) == frozenset({1, 99})
+
+    def test_active_domain_cache_invalidated_on_insert(self):
+        schema = RelationSchema("r", ("a",))
+        db = Database([Relation(schema, [(1,)])])
+        assert 5 not in db.active_domain()
+        db.insert("r", 5)
+        assert 5 in db.active_domain()
+
+    def test_total_rows(self):
+        s1 = RelationSchema("r", ("a",))
+        s2 = RelationSchema("s", ("a",))
+        db = Database([Relation(s1, [(1,), (2,)]), Relation(s2, [(3,)])])
+        assert db.total_rows() == 3
+
+    def test_relation_names_sorted(self):
+        s1 = RelationSchema("zz", ("a",))
+        s2 = RelationSchema("aa", ("a",))
+        db = Database([Relation(s1), Relation(s2)])
+        assert db.relation_names == ("aa", "zz")

@@ -1,0 +1,83 @@
+"""Unit tests for terms and comparison operators."""
+
+import pytest
+
+from repro.relational.terms import ComparisonOp, Const, Var, as_term, parse_op
+
+
+class TestTerms:
+    def test_var_identity(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+
+    def test_const_identity(self):
+        assert Const(1) == Const(1)
+        assert Const(1) != Const("1")
+
+    def test_var_and_const_never_equal(self):
+        assert Var("x") != Const("x")
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_as_term_question_mark_convention(self):
+        assert as_term("?x") == Var("x")
+        assert as_term("x") == Const("x")
+        assert as_term(5) == Const(5)
+
+    def test_as_term_passthrough(self):
+        v = Var("x")
+        assert as_term(v) is v
+        c = Const(3)
+        assert as_term(c) is c
+
+
+class TestComparisonOp:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (ComparisonOp.EQ, 1, 1, True),
+            (ComparisonOp.EQ, 1, 2, False),
+            (ComparisonOp.NE, 1, 2, True),
+            (ComparisonOp.LT, 1, 2, True),
+            (ComparisonOp.LE, 2, 2, True),
+            (ComparisonOp.GT, 3, 2, True),
+            (ComparisonOp.GE, 1, 2, False),
+        ],
+    )
+    def test_evaluate(self, op, left, right, expected):
+        assert op.evaluate(left, right) is expected
+
+    def test_incomparable_types_are_false_not_error(self):
+        assert ComparisonOp.LT.evaluate(1, "x") is False
+        assert ComparisonOp.GE.evaluate("a", 3) is False
+
+    def test_eq_between_types(self):
+        assert ComparisonOp.EQ.evaluate(1, "1") is False
+        assert ComparisonOp.NE.evaluate(1, "1") is True
+
+    @pytest.mark.parametrize("op", list(ComparisonOp))
+    def test_negation_is_involution(self, op):
+        assert op.negate().negate() is op
+
+    @pytest.mark.parametrize("op", list(ComparisonOp))
+    def test_negation_semantics(self, op):
+        for left, right in [(1, 2), (2, 1), (2, 2)]:
+            assert op.evaluate(left, right) != op.negate().evaluate(left, right)
+
+    @pytest.mark.parametrize("op", list(ComparisonOp))
+    def test_flip_semantics(self, op):
+        for left, right in [(1, 2), (2, 1), (2, 2)]:
+            assert op.evaluate(left, right) == op.flip().evaluate(right, left)
+
+    def test_parse_op(self):
+        assert parse_op("=") is ComparisonOp.EQ
+        assert parse_op("==") is ComparisonOp.EQ
+        assert parse_op("<>") is ComparisonOp.NE
+        assert parse_op("<=") is ComparisonOp.LE
+
+    def test_parse_op_unknown(self):
+        with pytest.raises(ValueError):
+            parse_op("~~")

@@ -1,0 +1,133 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def db_json(tmp_path):
+    data = {
+        "relations": [
+            {
+                "name": "items",
+                "attributes": ["id", "category", "score"],
+                "rows": [
+                    [1, "a", 9],
+                    [2, "a", 7],
+                    [3, "b", 6],
+                    [4, "b", 4],
+                    [5, "c", 8],
+                ],
+            }
+        ]
+    }
+    path = tmp_path / "db.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestInformational:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "PSPACE-complete" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 4" in out
+        assert "δ(t1, t2)" in out  # Figure 2 report
+
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "10/10 reductions verified" in out
+        assert "FAIL" not in out
+
+
+class TestDiversify:
+    def test_basic_run(self, db_json, capsys):
+        code = main(
+            [
+                "diversify",
+                "--db", db_json,
+                "--query", "Q(X, C, S) :- items(X, C, S)",
+                "-k", "3",
+                "--objective", "max-sum",
+                "--lambda", "0.5",
+                "--relevance-attr", "S",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F = " in out
+        assert out.count("X=") == 3
+
+    def test_mono_objective(self, db_json, capsys):
+        code = main(
+            [
+                "diversify",
+                "--db", db_json,
+                "--query", "Q(X, C, S) :- items(X, C, S)",
+                "-k", "2",
+                "--objective", "mono",
+                "--relevance-attr", "S",
+                "--distance-attrs", "C",
+            ]
+        )
+        assert code == 0
+        assert "F_mono" in capsys.readouterr().out
+
+    def test_greedy_method(self, db_json, capsys):
+        code = main(
+            [
+                "diversify",
+                "--db", db_json,
+                "--query", "Q(X, C, S) :- items(X, C, S)",
+                "-k", "2",
+                "--method", "greedy",
+            ]
+        )
+        assert code == 0
+
+    def test_infeasible_k(self, db_json, capsys):
+        code = main(
+            [
+                "diversify",
+                "--db", db_json,
+                "--query", "Q(X, C, S) :- items(X, C, S)",
+                "-k", "99",
+            ]
+        )
+        assert code == 1
+        assert "no 99-subset" in capsys.readouterr().out
+
+    def test_csv_directory(self, tmp_path, capsys):
+        (tmp_path / "edge.csv").write_text("src,dst\n1,2\n2,3\n1,3\n")
+        code = main(
+            [
+                "diversify",
+                "--db", str(tmp_path),
+                "--query", "Q(X, Y) :- edge(X, Y)",
+                "-k", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_query_with_filter(self, db_json, capsys):
+        code = main(
+            [
+                "diversify",
+                "--db", db_json,
+                "--query", "Q(X, C, S) :- items(X, C, S), S >= 7",
+                "-k", "2",
+                "--relevance-attr", "S",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Only items with score ≥ 7 may appear (ids 1, 2, 5).
+        assert "X=3" not in out and "X=4" not in out

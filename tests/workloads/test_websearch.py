@@ -1,0 +1,95 @@
+"""Tests for the web-search diversification workload."""
+
+import pytest
+
+from repro.algorithms.exact import exhaustive_best
+from repro.core.objectives import Objective
+from repro.relational.evaluate import evaluate
+from repro.workloads import websearch
+
+
+@pytest.fixture
+def db():
+    return websearch.generate(num_docs=18, num_intents=3, seed=17)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = websearch.generate(seed=1)
+        b = websearch.generate(seed=1)
+        assert {r.values for r in a.relation("docs").rows} == {
+            r.values for r in b.relation("docs").rows
+        }
+
+    def test_one_doc_row_per_document(self, db):
+        assert len(db.relation("docs")) == 18
+
+    def test_every_doc_covers_its_primary_intent(self, db):
+        coverage = websearch.coverage_map(db)
+        for row in db.relation("docs").rows:
+            assert row["primary_intent"] in coverage[row["doc"]]
+            assert coverage[row["doc"]][row["primary_intent"]] == 1.0
+
+    def test_intent_skew(self):
+        db = websearch.generate(num_docs=200, num_intents=4, seed=3, intent_skew=0.7)
+        weights = websearch.intent_weights_from(db)
+        assert max(weights.values()) > 0.5  # head intent dominates
+
+
+class TestScoring:
+    def test_relevance_is_authority(self, db):
+        rel = websearch.authority_relevance()
+        row = next(iter(db.relation("docs").rows))
+        assert rel(row) == row["authority"]
+
+    def test_distance_bounds(self, db):
+        dis = websearch.intent_distance(db)
+        rows = list(db.relation("docs").rows)
+        for left in rows[:6]:
+            for right in rows[:6]:
+                value = dis(left, right)
+                assert 0.0 <= value <= 1.0
+
+    def test_identical_coverage_gives_zero_distance(self, db):
+        dis = websearch.intent_distance(db)
+        coverage = websearch.coverage_map(db)
+        rows = list(db.relation("docs").rows)
+        for left in rows:
+            for right in rows:
+                if left == right:
+                    continue
+                if set(coverage[left["doc"]]) == set(coverage[right["doc"]]):
+                    assert dis(left, right) == 0.0
+
+    def test_coverage_monotone_in_selection(self, db):
+        rows = list(db.relation("docs").rows)
+        small = websearch.intent_coverage(db, rows[:2])
+        large = websearch.intent_coverage(db, rows[:5])
+        assert large >= small
+
+    def test_coverage_bounded_by_one(self, db):
+        rows = list(db.relation("docs").rows)
+        assert websearch.intent_coverage(db, rows) <= 1.0 + 1e-9
+
+
+class TestDiversificationImproves:
+    def test_diversified_coverage_at_least_relevance_only(self, db):
+        """On a skewed pool, diversified top-k should cover at least as
+        well as authority-only ranking (the paper's motivation)."""
+        from repro.core.instance import DiversificationInstance
+
+        query = websearch.documents_query()
+        objective = Objective.max_sum(
+            websearch.authority_relevance(),
+            websearch.intent_distance(db),
+            lam=0.8,
+        )
+        instance = DiversificationInstance(query, db, k=5, objective=objective)
+        diversified = exhaustive_best(instance)
+        assert diversified is not None
+        by_authority = sorted(
+            instance.answers(), key=lambda r: r["authority"], reverse=True
+        )[:5]
+        assert websearch.intent_coverage(db, diversified[1]) >= (
+            websearch.intent_coverage(db, by_authority) - 1e-9
+        )

@@ -1,0 +1,172 @@
+"""Tests for the workload generators (gifts, courses, teams, synthetic)."""
+
+import pytest
+
+from repro.core import diversify as _api  # noqa: F401 (import check)
+from repro.core.objectives import Objective, ObjectiveKind
+from repro.relational.ast import QueryLanguage
+from repro.relational.evaluate import evaluate
+from repro.workloads import courses, gifts, synthetic, teams
+
+
+class TestGifts:
+    def test_generate_deterministic(self):
+        a = gifts.generate(num_items=10, num_history=20, seed=5)
+        b = gifts.generate(num_items=10, num_history=20, seed=5)
+        assert {r.values for r in a.relation("catalog").rows} == {
+            r.values for r in b.relation("catalog").rows
+        }
+
+    def test_schemas_match_paper(self):
+        db = gifts.generate(num_items=5, num_history=5)
+        assert db.relation("catalog").schema.attributes == (
+            "item", "type", "price", "inStock",
+        )
+        assert db.relation("history").schema.attributes == (
+            "item", "buyer", "recipient", "gender", "age", "rel", "event", "rating",
+        )
+
+    def test_cq_query_language_and_semantics(self):
+        db = gifts.generate(num_items=20, num_history=10, seed=1)
+        q = gifts.peter_query_cq(low=10, high=90)
+        assert q.language is QueryLanguage.CQ
+        answers = evaluate(q, db)
+        prices = {
+            row["price"]
+            for row in db.relation("catalog").rows
+            if 10 <= row["price"] <= 90
+        }
+        assert len(answers) == len(
+            {r["item"] for r in db.relation("catalog").rows if 10 <= r["price"] <= 90}
+        )
+
+    def test_fo_query_excludes_past_gifts(self):
+        db = gifts.generate(num_items=20, num_history=60, seed=2)
+        buyer, recipient = None, None
+        for row in db.relation("history").rows:
+            item_price = next(
+                r["price"]
+                for r in db.relation("catalog").rows
+                if r["item"] == row["item"]
+            )
+            if 5 <= item_price <= 100:
+                buyer, recipient, item = row["buyer"], row["recipient"], row["item"]
+                break
+        assert buyer is not None
+        q = gifts.peter_query(buyer=buyer, recipient=recipient, low=5, high=100)
+        assert q.language is QueryLanguage.FO
+        answers = {r["item"] for r in evaluate(q, db).rows}
+        assert item not in answers
+
+    def test_relevance_non_negative_and_uses_history(self):
+        db = gifts.generate(seed=4)
+        rel = gifts.relevance_from_history(db)
+        for row in list(db.relation("catalog").rows)[:10]:
+            item_row = row.project(("item",))
+            assert rel(item_row) >= 0.0
+
+    def test_type_distance_categories(self):
+        db = gifts.generate(seed=4)
+        dis = gifts.type_distance(db)
+        rows = list(db.relation("catalog").rows)
+        items = {r["type"]: r.project(("item",)) for r in rows}
+        if "jewelry" in items and "fashion" in items:
+            assert dis(items["jewelry"], items["fashion"]) == 1.0
+        if "artsy" in items and "educational" in items:
+            assert dis(items["artsy"], items["educational"]) == 2.0
+
+
+class TestCourses:
+    def test_prerequisites_constraint_set(self):
+        sigma = courses.prerequisite_constraints()
+        assert len(sigma) == len(courses.PREREQUISITES)
+
+    def test_constraints_enforced(self):
+        db = courses.generate()
+        rows = {r["id"]: r for r in db.relation("courses").rows}
+        sigma = courses.prerequisite_constraints()
+        # The transitive closure: CS450 → {CS220, CS350}, CS220 → {CS101}.
+        ok = [rows["CS450"], rows["CS220"], rows["CS350"], rows["CS101"]]
+        bad = [rows["CS450"], rows["CS220"], rows["CS101"]]  # CS350 missing
+        assert sigma.satisfied_by(ok)
+        assert not sigma.satisfied_by(bad)
+
+    def test_extra_courses(self):
+        db = courses.generate(extra_courses=5)
+        assert len(db.relation("courses")) == 17
+
+    def test_scoring_functions(self):
+        db = courses.generate()
+        rel = courses.rating_relevance()
+        dis = courses.area_distance()
+        rows = list(db.relation("courses").rows)
+        assert rel(rows[0]) > 0
+        same_area = [r for r in rows if r["area"] == "systems"]
+        other = next(r for r in rows if r["area"] == "theory")
+        assert dis(same_area[0], other) == 2.0
+
+
+class TestTeams:
+    def test_quota_constraint(self):
+        db = teams.generate(num_players=9)
+        rows = list(db.relation("players").rows)
+        centers = [r for r in rows if r["position"] == "center"]
+        sigma = teams.quota_constraints()
+        assert sigma.satisfied_by(centers[:2])
+        if len(centers) >= 3:
+            assert not sigma.satisfied_by(centers[:3])
+
+    def test_conflicts(self):
+        db = teams.generate(num_players=6)
+        rows = {r["id"]: r for r in db.relation("players").rows}
+        sigma = teams.conflict_constraints([("p00", "p01")])
+        assert not sigma.satisfied_by([rows["p00"], rows["p01"]])
+        assert sigma.satisfied_by([rows["p00"], rows["p02"]])
+
+    def test_position_distance(self):
+        db = teams.generate(num_players=6)
+        rows = list(db.relation("players").rows)
+        dis = teams.position_distance()
+        same = [r for r in rows if r["position"] == "center"]
+        diff = next(r for r in rows if r["position"] != "center")
+        if len(same) >= 2:
+            assert dis(same[0], same[1]) == 0.0
+        assert dis(same[0], diff) == 1.0
+
+
+class TestSynthetic:
+    def test_random_database_size(self):
+        db = synthetic.random_database(n=15, seed=1)
+        assert len(db.relation("items")) == 15
+
+    def test_random_instance_complete(self):
+        instance = synthetic.random_instance(n=10, k=3, seed=2)
+        assert instance.answer_count == 10
+        subset = instance.answers()[:3]
+        assert instance.value(subset) >= 0
+
+    def test_euclidean_is_metric_triangle(self):
+        db = synthetic.random_database(n=6, seed=3)
+        dis = synthetic.euclidean_distance()
+        rows = list(db.relation("items").rows)
+        for a in rows[:4]:
+            for b in rows[:4]:
+                for c in rows[:4]:
+                    assert dis(a, c) <= dis(a, b) + dis(b, c) + 1e-9
+
+    def test_graph_database_and_random_cq(self):
+        db = synthetic.graph_database(nodes=8, edge_prob=0.4, seed=1)
+        q = synthetic.random_cq(num_atoms=2, num_head=2, seed=1)
+        result = evaluate(q, db)
+        assert result.schema.arity == 2
+
+    def test_random_ucq_evaluates(self):
+        db = synthetic.graph_database(nodes=7, edge_prob=0.5, seed=2)
+        q = synthetic.random_ucq(branches=2, seed=2)
+        assert q.language.value in ("UCQ", "∃FO+")
+        evaluate(q, db)  # must not raise
+
+    def test_scaling_database_grows(self):
+        small = synthetic.scaling_database(5)
+        large = synthetic.scaling_database(50)
+        assert len(large.relation("items")) > len(small.relation("items"))
