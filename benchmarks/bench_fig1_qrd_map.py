@@ -9,8 +9,6 @@ settings, so the timings must drop by orders of magnitude along them:
       →  PTIME (F_mono data / λ=0 data / constant-k data).
 """
 
-import pytest
-
 from repro.core.complexity import Problem, figure_map, render_figure_map
 from repro.core.objectives import ObjectiveKind
 from repro.core.qrd import qrd_brute_force, qrd_max_min_relevance, qrd_modular

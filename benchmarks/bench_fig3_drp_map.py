@@ -7,8 +7,6 @@ representative solver per complexity band of the figure — PSPACE
 constant-k data).
 """
 
-import pytest
-
 from repro.core.complexity import Problem, figure_map, render_figure_map
 from repro.core.drp import drp_brute_force, rank_of, top_r_sets_modular
 from repro.core.objectives import ObjectiveKind

@@ -8,8 +8,6 @@ Turing-reduction machinery of Theorem 7.5 (two oracle calls).
 
 import random
 
-import pytest
-
 from repro.core.complexity import Problem, figure_map, render_figure_map
 from repro.core.objectives import ObjectiveKind
 from repro.core.rdc import count_max_min_relevance, rdc_brute_force

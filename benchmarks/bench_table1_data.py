@@ -19,9 +19,9 @@ appears as the gap between `bench_qrd_data_max_sum_exact` (n ≤ 20) and
 
 import pytest
 
-from repro.core.drp import drp_brute_force, rank_of, top_r_sets_modular
+from repro.core.drp import rank_of, top_r_sets_modular
 from repro.core.objectives import ObjectiveKind
-from repro.core.qrd import qrd_brute_force, qrd_modular
+from repro.core.qrd import qrd_modular
 from repro.core.rdc import count_modular_dp, rdc_brute_force
 from repro.algorithms.exact import branch_and_bound_max_sum
 

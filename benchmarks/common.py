@@ -11,6 +11,7 @@ constraints arrive) appear as order-of-magnitude gaps at equal sizes.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 from repro.core.functions import DistanceFunction, RelevanceFunction
 from repro.core.instance import DiversificationInstance
@@ -64,6 +65,61 @@ def data_instance(
         lam,
     )
     return DiversificationInstance(identity_query(ITEMS), db, k=k, objective=objective)
+
+
+@dataclass
+class EngineBenchRecord:
+    """One direct-vs-kernel comparison from ``bench_engine.py``.
+
+    ``direct_seconds`` is the per-instance objective-callable path;
+    ``engine_seconds`` is the same batch through the
+    :class:`repro.engine.DiversificationEngine` (kernel precompute
+    included), so the speedup is end-to-end, not just the inner loop.
+    """
+
+    scenario: str
+    algorithm: str
+    n: int
+    batch: int
+    backend: str
+    direct_seconds: float
+    engine_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.engine_seconds <= 0.0:
+            return float("inf")
+        return self.direct_seconds / self.engine_seconds
+
+
+def render_engine_report(
+    records: list[EngineBenchRecord],
+    title: str = "engine vs direct path",
+) -> str:
+    """An aligned text table of engine benchmark records."""
+    header = ("scenario", "algorithm", "n", "batch", "backend",
+              "direct [s]", "engine [s]", "speedup")
+    rows = [header]
+    for r in records:
+        rows.append(
+            (
+                r.scenario,
+                r.algorithm,
+                str(r.n),
+                str(r.batch),
+                r.backend,
+                f"{r.direct_seconds:.4f}",
+                f"{r.engine_seconds:.4f}",
+                f"{r.speedup:.2f}x",
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [title, "-" * len(title)]
+    for idx, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
 
 
 def integer_score_instance(

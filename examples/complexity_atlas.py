@@ -10,7 +10,6 @@ one live reduction per hardness theorem to show the machinery is real.
 from repro.core import Problem, render_figure_map, render_table, table1, table2, table3
 from repro.logic import cnf
 from repro.logic.cnf import ThreeSatInstance
-from repro.logic.qbf import A, E
 from repro.reductions import (
     gadgets,
     q3sat_drp,

@@ -15,7 +15,10 @@ The package implements the paper's full system surface:
 * :mod:`repro.algorithms` — exact optimizers and the heuristics the
   paper's conclusion calls for (greedy dispersion, MMR, local search);
 * :mod:`repro.workloads` — the motivating scenarios (gifts, courses,
-  teams) and random generators.
+  teams) and random generators;
+* :mod:`repro.engine` — the shared scoring kernel (precomputed
+  relevance/distance arrays, NumPy-backed when available) and the batch
+  diversification engine with LRU kernel caching.
 
 Quickstart::
 
@@ -32,13 +35,14 @@ Quickstart::
     value, picks = core.diversify(instance)
 """
 
-from . import algorithms, core, logic, reductions, relational, workloads
+from . import algorithms, core, engine, logic, reductions, relational, workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "algorithms",
     "core",
+    "engine",
     "logic",
     "reductions",
     "relational",

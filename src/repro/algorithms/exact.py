@@ -16,7 +16,6 @@ solvers and measure heuristic quality.
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
 
 from ..core.instance import DiversificationInstance
 from ..core.objectives import ObjectiveKind

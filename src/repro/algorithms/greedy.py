@@ -16,15 +16,24 @@ carry approximation guarantees:
   dispersion (λ = 1).
 * :func:`greedy_marginal_max_sum` — simple one-at-a-time marginal-gain
   greedy (the baseline most systems ship).
+
+Each heuristic accepts an optional precomputed
+:class:`~repro.engine.kernel.ScoringKernel`; with one, candidate scoring
+reads the precomputed relevance vector / distance matrix instead of
+re-invoking the objective's Python callables per pair, selecting the
+same tuples as the direct path.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..core.instance import DiversificationInstance
 from ..core.objectives import ObjectiveKind
 from ..relational.schema import Row
+
+if TYPE_CHECKING:
+    from ..engine.kernel import ScoringKernel
 
 SearchResult = tuple[float, tuple[Row, ...]]
 
@@ -53,7 +62,10 @@ def _pair_weight(
     return (1.0 - lam) * relevance + distance
 
 
-def greedy_max_sum(instance: DiversificationInstance) -> SearchResult | None:
+def greedy_max_sum(
+    instance: DiversificationInstance,
+    kernel: "ScoringKernel | None" = None,
+) -> SearchResult | None:
     """Pair-greedy 2-approximation for F_MS (Gollapudi & Sharma 2009).
 
     Picks ⌊k/2⌋ disjoint pairs of maximum weight, plus an arbitrary
@@ -61,6 +73,8 @@ def greedy_max_sum(instance: DiversificationInstance) -> SearchResult | None:
     """
     if instance.objective.kind is not ObjectiveKind.MAX_SUM:
         raise ValueError("greedy_max_sum requires F_MS")
+    if kernel is not None:
+        return _greedy_max_sum_kernel(instance, kernel)
     answers = list(instance.answers())
     k = instance.k
     if len(answers) < k:
@@ -96,7 +110,35 @@ def greedy_max_sum(instance: DiversificationInstance) -> SearchResult | None:
     return (instance.value(subset), subset)
 
 
-def greedy_max_min(instance: DiversificationInstance) -> SearchResult | None:
+def _greedy_max_sum_kernel(
+    instance: DiversificationInstance, kernel: "ScoringKernel"
+) -> SearchResult | None:
+    kernel.ensure_matches(instance)
+    k = instance.k
+    if kernel.n < k:
+        return None
+    objective = instance.objective
+    if k == 1:
+        best = kernel.argmax(kernel.relevance_scores())
+        subset = (kernel.answers[best],)
+        return (kernel.value([best], objective), subset)
+
+    chosen: list[int] = []
+    available = list(range(kernel.n))
+    while len(chosen) + 1 < k:
+        i, j = kernel.best_pair(available, objective.lam, k)
+        chosen.extend((i, j))
+        available = [t for t in available if t != i and t != j]
+    if len(chosen) < k:
+        chosen.append(kernel.argmax(kernel.relevance_scores(), within=available))
+    subset = tuple(kernel.answers[i] for i in chosen)
+    return (kernel.value(chosen, objective), subset)
+
+
+def greedy_max_min(
+    instance: DiversificationInstance,
+    kernel: "ScoringKernel | None" = None,
+) -> SearchResult | None:
     """Greedy 2-approximation for max-min dispersion, adapted to F_MM.
 
     Seeds with the most relevant tuple, then repeatedly adds the tuple
@@ -104,6 +146,8 @@ def greedy_max_min(instance: DiversificationInstance) -> SearchResult | None:
     """
     if instance.objective.kind is not ObjectiveKind.MAX_MIN:
         raise ValueError("greedy_max_min requires F_MM")
+    if kernel is not None:
+        return _greedy_max_min_kernel(instance, kernel)
     answers = list(instance.answers())
     k = instance.k
     if len(answers) < k:
@@ -132,10 +176,40 @@ def greedy_max_min(instance: DiversificationInstance) -> SearchResult | None:
     return (instance.value(subset), subset)
 
 
-def greedy_marginal_max_sum(instance: DiversificationInstance) -> SearchResult | None:
+def _greedy_max_min_kernel(
+    instance: DiversificationInstance, kernel: "ScoringKernel"
+) -> SearchResult | None:
+    kernel.ensure_matches(instance)
+    k = instance.k
+    if kernel.n < k:
+        return None
+    objective = instance.objective
+    lam = objective.lam
+    # At λ = 1 the direct path treats every relevance as 0.0, so the
+    # seeding max() degenerates to the first answer tuple.
+    seed = kernel.argmax(kernel.relevance_scores()) if lam < 1.0 else 0
+    chosen = [seed]
+    excluded = {seed}
+    min_dist = kernel.copy_distance_row(seed)
+    while len(chosen) < k:
+        scores = kernel.affine_scores(1.0 - lam, lam, min_dist)
+        nxt = kernel.argmax(scores, excluded=excluded)
+        chosen.append(nxt)
+        excluded.add(nxt)
+        kernel.minimum_inplace(min_dist, nxt)
+    subset = tuple(kernel.answers[i] for i in chosen)
+    return (kernel.value(chosen, objective), subset)
+
+
+def greedy_marginal_max_sum(
+    instance: DiversificationInstance,
+    kernel: "ScoringKernel | None" = None,
+) -> SearchResult | None:
     """One-at-a-time marginal-gain greedy for F_MS (baseline heuristic)."""
     if instance.objective.kind is not ObjectiveKind.MAX_SUM:
         raise ValueError("greedy_marginal_max_sum requires F_MS")
+    if kernel is not None:
+        return _greedy_marginal_kernel(instance, kernel)
     answers = list(instance.answers())
     k = instance.k
     if len(answers) < k:
@@ -162,3 +236,27 @@ def greedy_marginal_max_sum(instance: DiversificationInstance) -> SearchResult |
         chosen.append(best_tuple)
     subset = tuple(chosen)
     return (instance.value(subset), subset)
+
+
+def _greedy_marginal_kernel(
+    instance: DiversificationInstance, kernel: "ScoringKernel"
+) -> SearchResult | None:
+    kernel.ensure_matches(instance)
+    k = instance.k
+    if kernel.n < k:
+        return None
+    objective = instance.objective
+    lam = objective.lam
+    rel_coef = (k - 1) * (1.0 - lam)
+    dist_coef = 2.0 * lam
+    chosen: list[int] = []
+    excluded: set[int] = set()
+    sum_dist = kernel.zeros_vector()
+    while len(chosen) < k:
+        gains = kernel.affine_scores(rel_coef, dist_coef, sum_dist)
+        nxt = kernel.argmax(gains, excluded=excluded)
+        chosen.append(nxt)
+        excluded.add(nxt)
+        kernel.add_row_inplace(sum_dist, nxt)
+    subset = tuple(kernel.answers[i] for i in chosen)
+    return (kernel.value(chosen, objective), subset)

@@ -25,10 +25,13 @@ non-modular objectives.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from ..core.instance import DiversificationInstance
 from ..relational.schema import Row
+
+if TYPE_CHECKING:
+    from ..engine.kernel import ScoringKernel
 
 
 class EarlyTerminationResult:
@@ -62,13 +65,23 @@ class EarlyTerminationResult:
         )
 
 
-def _sorted_stream(instance: DiversificationInstance) -> list[tuple[float, Row]]:
+def _sorted_stream(
+    instance: DiversificationInstance,
+    kernel: "ScoringKernel | None" = None,
+) -> list[tuple[float, Row]]:
     """The answer tuples with their item scores, best first.
 
     In a full system the scores would come from an index; here the
-    stream order is what matters for the early-termination logic.
+    stream order is what matters for the early-termination logic.  With
+    a kernel, item scores come from the precomputed relevance vector /
+    distance-matrix row sums instead of per-row objective calls.
     """
-    scored = [(instance.item_score(t), t) for t in instance.answers()]
+    if kernel is not None:
+        kernel.ensure_matches(instance)
+        scores = kernel.item_scores(instance.objective)
+        scored = list(zip(scores, kernel.answers))
+    else:
+        scored = [(instance.item_score(t), t) for t in instance.answers()]
     scored.sort(key=lambda pair: pair[0], reverse=True)
     return scored
 
@@ -76,6 +89,7 @@ def _sorted_stream(instance: DiversificationInstance) -> list[tuple[float, Row]]
 def early_termination_top_k(
     instance: DiversificationInstance,
     slack: float = 0.0,
+    kernel: "ScoringKernel | None" = None,
 ) -> EarlyTerminationResult | None:
     """Top-k by item score with provable early stopping.
 
@@ -89,7 +103,7 @@ def early_termination_top_k(
         )
     if len(instance.constraints) > 0:
         raise ValueError("early termination does not support constraints")
-    stream = _sorted_stream(instance)
+    stream = _sorted_stream(instance, kernel)
     k = instance.k
     if len(stream) < k:
         return None
@@ -115,14 +129,17 @@ def early_termination_top_k(
                 if next_score <= kth + slack:
                     break
     rows = tuple(selected[i] for i in sorted(selected))
-    return EarlyTerminationResult(
-        rows, consumed, len(stream), instance.value(rows)
-    )
+    if kernel is not None:
+        value = kernel.value([kernel.index_of(r) for r in rows], instance.objective)
+    else:
+        value = instance.value(rows)
+    return EarlyTerminationResult(rows, consumed, len(stream), value)
 
 
 def streaming_qrd(
     instance: DiversificationInstance,
     bound: float,
+    kernel: "ScoringKernel | None" = None,
 ) -> tuple[bool, int]:
     """Early-terminating QRD for modular objectives.
 
@@ -142,7 +159,7 @@ def streaming_qrd(
     if instance.objective.kind is ObjectiveKind.MAX_SUM:
         scale = float(max(instance.k - 1, 0))
 
-    stream = _sorted_stream(instance)
+    stream = _sorted_stream(instance, kernel)
     k = instance.k
     if len(stream) < k:
         return False, len(stream)

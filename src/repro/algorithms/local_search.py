@@ -6,14 +6,22 @@ optimum is reached.  Handles all three objectives and, unlike the greedy
 heuristics, also respects compatibility constraints (a swap is admitted
 only if the resulting set still satisfies Σ — the natural heuristic for
 the constrained cases the paper proves hard, Theorem 9.3).
+
+With a precomputed :class:`~repro.engine.kernel.ScoringKernel`, trial
+values during the swap scan are computed from the cached distance matrix
+instead of re-invoking the objective's callables per trial set.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..core.instance import DiversificationInstance
 from ..relational.schema import Row
+
+if TYPE_CHECKING:
+    from ..engine.kernel import ScoringKernel
 
 SearchResult = tuple[float, tuple[Row, ...]]
 
@@ -22,6 +30,7 @@ def local_search(
     instance: DiversificationInstance,
     seed: Sequence[Row] | None = None,
     max_rounds: int = 1000,
+    kernel: "ScoringKernel | None" = None,
 ) -> SearchResult | None:
     """Best-improvement local search over single-tuple swaps.
 
@@ -29,6 +38,8 @@ def local_search(
     Returns None when no candidate set exists.  The result is a local
     optimum: no single swap improves F while keeping Σ satisfied.
     """
+    if kernel is not None:
+        return _local_search_kernel(instance, seed, max_rounds, kernel)
     answers = instance.answers()
     if len(answers) < instance.k:
         return None
@@ -63,6 +74,54 @@ def local_search(
         current[position] = new
         current_value = value
     return (current_value, tuple(current))
+
+
+def _local_search_kernel(
+    instance: DiversificationInstance,
+    seed: Sequence[Row] | None,
+    max_rounds: int,
+    kernel: "ScoringKernel",
+) -> SearchResult | None:
+    kernel.ensure_matches(instance)
+    if kernel.n < instance.k:
+        return None
+    if seed is None:
+        seed = _initial_set(instance)
+        if seed is None:
+            return None
+    seed_rows = list(seed)
+    if not instance.is_candidate_set(seed_rows):
+        raise ValueError("seed is not a candidate set for the instance")
+    objective = instance.objective
+    answers = kernel.answers
+    constrained = len(instance.constraints) > 0
+    current = [kernel.index_of(row) for row in seed_rows]
+    current_value = kernel.value(current, objective)
+
+    for _ in range(max_rounds):
+        best_swap: tuple[int, int, float] | None = None
+        chosen_set = set(current)
+        for position in range(len(current)):
+            for new in range(kernel.n):
+                if new in chosen_set:
+                    continue
+                trial = list(current)
+                trial[position] = new
+                if constrained and not instance.constraints.satisfied_by(
+                    [answers[i] for i in trial]
+                ):
+                    continue
+                value = kernel.value(trial, objective)
+                if value > current_value + 1e-12 and (
+                    best_swap is None or value > best_swap[2]
+                ):
+                    best_swap = (position, new, value)
+        if best_swap is None:
+            break
+        position, new, value = best_swap
+        current[position] = new
+        current_value = value
+    return (current_value, tuple(answers[i] for i in current))
 
 
 def _initial_set(instance: DiversificationInstance) -> tuple[Row, ...] | None:

@@ -28,11 +28,10 @@ the axiom table in Gollapudi & Sharma.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 from ..relational.queries import identity_query
-from ..relational.schema import Database, Relation, RelationSchema, Row
+from ..relational.schema import Database, Relation, RelationSchema
 from .functions import DistanceFunction, RelevanceFunction
 from .instance import DiversificationInstance
 from .objectives import Objective, ObjectiveKind

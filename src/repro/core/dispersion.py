@@ -23,13 +23,16 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..relational.queries import identity_query
 from ..relational.schema import Database, Relation, RelationSchema
 from .functions import DistanceFunction, RelevanceFunction
 from .instance import DiversificationInstance
 from .objectives import Objective, ObjectiveKind
+
+if TYPE_CHECKING:
+    from ..engine.kernel import ScoringKernel
 
 
 class DispersionError(ValueError):
@@ -91,7 +94,10 @@ class DispersionProblem:
         return best_value, best
 
 
-def from_instance(instance: DiversificationInstance) -> DispersionProblem:
+def from_instance(
+    instance: DiversificationInstance,
+    kernel: "ScoringKernel | None" = None,
+) -> DispersionProblem:
     """Fold an identity-query F_MS/F_MM instance into pairwise weights.
 
     For F_MS: ``w(i,j) = (1−λ)(δ_rel(i)+δ_rel(j)) + 2λ·δ_dis(i,j)`` —
@@ -101,28 +107,49 @@ def from_instance(instance: DiversificationInstance) -> DispersionProblem:
     weights are the distances
     themselves; mixed-λ F_MM does not fold into pure dispersion (its
     min-relevance term is per-point), so it is rejected here.
+
+    With a precomputed :class:`~repro.engine.kernel.ScoringKernel` the
+    relevance/distance reads come from the kernel's arrays instead of
+    fresh per-pair function calls.
     """
     if not instance.query.is_identity():
         raise DispersionError("the dispersion view requires an identity query")
     objective = instance.objective
-    answers = instance.answers()
-    n = len(answers)
+    lam = objective.lam
+    if kernel is not None:
+        kernel.ensure_matches(instance)
+        answers = kernel.answers
+        n = kernel.n
+
+        def rel_of(i: int) -> float:
+            return kernel.relevance_of(i) if lam < 1.0 else 0.0
+
+        def dist_of(i: int, j: int) -> float:
+            return kernel.distance_between(i, j)
+
+    else:
+        answers = instance.answers()
+        n = len(answers)
+
+        def rel_of(i: int) -> float:
+            return (
+                objective.relevance(answers[i], instance.query) if lam < 1.0 else 0.0
+            )
+
+        def dist_of(i: int, j: int) -> float:
+            return objective.distance(answers[i], answers[j])
+
     k = instance.k
     if k < 2:
         raise DispersionError("dispersion needs k ≥ 2")
-    lam = objective.lam
 
     if objective.kind is ObjectiveKind.MAX_SUM:
-        rel = [
-            objective.relevance(t, instance.query) if lam < 1.0 else 0.0
-            for t in answers
-        ]
+        rel = [rel_of(i) for i in range(n)]
         weights = [
             [
                 0.0
                 if i == j
-                else (1.0 - lam) * (rel[i] + rel[j])
-                + 2.0 * lam * objective.distance(answers[i], answers[j])
+                else (1.0 - lam) * (rel[i] + rel[j]) + 2.0 * lam * dist_of(i, j)
                 for j in range(n)
             ]
             for i in range(n)
@@ -136,10 +163,7 @@ def from_instance(instance: DiversificationInstance) -> DispersionProblem:
                 "(the min-relevance term is per-point, not pairwise)"
             )
         weights = [
-            [
-                0.0 if i == j else objective.distance(answers[i], answers[j])
-                for j in range(n)
-            ]
+            [0.0 if i == j else dist_of(i, j) for j in range(n)]
             for i in range(n)
         ]
         return DispersionProblem(tuple(map(tuple, weights)), k, maximin=True)

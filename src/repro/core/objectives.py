@@ -30,9 +30,7 @@ collapses to PTIME (Theorem 5.4) while F_MS / F_MM stay NP-hard.
 from __future__ import annotations
 
 import enum
-import math
 from collections.abc import Iterable, Sequence
-from typing import Any
 
 from ..relational.queries import Query
 from ..relational.schema import Row

@@ -1,0 +1,43 @@
+"""Shared scoring kernel + batch diversification engine.
+
+The scalability layer the paper's Section 10 motivates: heuristics for
+the intractable QRD/DRP/RDC cases need to run at data scale, and the
+dominant cost on the direct path is re-invoking the Python-level
+``δ_rel`` / ``δ_dis`` callables per candidate pair on every step.
+
+* :class:`ScoringKernel` materializes ``Q(D)`` once and precomputes the
+  relevance vector and pairwise-distance matrix (NumPy-backed when
+  available, pure-Python fallback with identical semantics);
+* :class:`DiversificationEngine` runs batches of ``(Q, D, k, F)``
+  instances through a chosen algorithm with kernel reuse and an LRU
+  cache keyed on the ``(query, db, δ_rel, δ_dis)`` materialization.
+
+All heuristics in :mod:`repro.algorithms` accept an optional ``kernel``
+argument and fall back to the direct-objective path without one.
+"""
+
+from .engine import (
+    ALGORITHMS,
+    CacheStats,
+    DiversificationEngine,
+    EngineError,
+    EngineResult,
+    auto_algorithm,
+    modular_top_k,
+    variants_grid,
+)
+from .kernel import KernelError, ScoringKernel, numpy_available
+
+__all__ = [
+    "ALGORITHMS",
+    "CacheStats",
+    "DiversificationEngine",
+    "EngineError",
+    "EngineResult",
+    "KernelError",
+    "ScoringKernel",
+    "auto_algorithm",
+    "modular_top_k",
+    "numpy_available",
+    "variants_grid",
+]

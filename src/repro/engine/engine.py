@@ -1,0 +1,301 @@
+"""Batch diversification engine with kernel reuse.
+
+The production pattern the ROADMAP aims at is *many* diversification
+requests over the same materialized answer set: λ-sweeps for trade-off
+tuning, k-sweeps for pagination, algorithm bake-offs, and repeated
+queries against a slowly-changing database.  On the direct path every
+such request re-pays the per-pair scoring-function overhead; the
+:class:`DiversificationEngine` instead routes every request through a
+:class:`~repro.engine.kernel.ScoringKernel` held in an LRU cache keyed
+on the ``(query, database, δ_rel, δ_dis)`` materialization, so a batch
+of ``(Q, D, k, F)`` instances over shared data pays the precomputation
+once.
+
+    engine = DiversificationEngine(algorithm="mmr")
+    results = engine.run_batch(instances)          # kernels reused
+    grid = engine.sweep(instance, ks=[5, 10], lams=[0.2, 0.5, 0.8])
+
+Algorithms are looked up in :data:`ALGORITHMS` by name; ``"auto"``
+dispatches on the objective: the PTIME top-k optimum for modular
+objectives (Theorem 5.4), pair-greedy for F_MS, GMC-greedy for F_MM,
+and constraint-aware local search when Σ is non-empty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from ..algorithms.greedy import (
+    greedy_marginal_max_sum,
+    greedy_max_min,
+    greedy_max_sum,
+)
+from ..algorithms.local_search import local_search
+from ..algorithms.mmr import mmr_select
+from ..core.instance import DiversificationInstance
+from ..core.objectives import ObjectiveKind
+from ..relational.schema import Row
+from .kernel import ScoringKernel
+
+SearchResult = tuple[float, tuple[Row, ...]]
+
+
+class EngineError(ValueError):
+    """Raised on engine misuse (unknown algorithm, bad configuration)."""
+
+
+def modular_top_k(
+    instance: DiversificationInstance,
+    kernel: ScoringKernel | None = None,
+) -> SearchResult | None:
+    """PTIME optimum for modular objectives: the k best item scores
+    (kernel-backed variant of :func:`repro.algorithms.exact.best_modular`)."""
+    if kernel is None:
+        from ..algorithms.exact import best_modular
+
+        return best_modular(instance)
+    if not instance.objective.is_modular:
+        raise ValueError("modular_top_k requires a modular objective")
+    if len(instance.constraints) > 0:
+        raise ValueError("modular_top_k does not support constraints")
+    kernel.ensure_matches(instance)
+    if kernel.n < instance.k:
+        return None
+    scores = kernel.item_scores(instance.objective)
+    chosen = sorted(range(kernel.n), key=lambda i: scores[i], reverse=True)[
+        : instance.k
+    ]
+    subset = tuple(kernel.answers[i] for i in chosen)
+    return (kernel.value(chosen, instance.objective), subset)
+
+
+def _mmr(instance, kernel=None):
+    return mmr_select(instance, kernel=kernel)
+
+
+def _local_search(instance, kernel=None):
+    return local_search(instance, kernel=kernel)
+
+
+ALGORITHMS: dict[
+    str, Callable[[DiversificationInstance, ScoringKernel | None], SearchResult | None]
+] = {
+    "greedy_max_sum": greedy_max_sum,
+    "greedy_max_min": greedy_max_min,
+    "greedy_marginal_max_sum": greedy_marginal_max_sum,
+    "mmr": _mmr,
+    "local_search": _local_search,
+    "modular_top_k": modular_top_k,
+}
+
+
+def variants_grid(
+    instance: DiversificationInstance,
+    ks: Iterable[int] | None = None,
+    lams: Iterable[float] | None = None,
+) -> list[tuple[int, float, DiversificationInstance]]:
+    """The k × λ variant grid of one instance, sharing one materialization.
+
+    Materializes ``instance.answers()`` first so every ``with_k`` /
+    ``with_objective`` clone copies the populated answer cache — the
+    whole grid then costs a single query evaluation.  Used by
+    :meth:`DiversificationEngine.sweep` and the engine benchmark, so
+    both always measure the same workload.
+    """
+    instance.answers()
+    k_grid = list(ks) if ks is not None else [instance.k]
+    lam_grid = list(lams) if lams is not None else [instance.objective.lam]
+    grid = []
+    for lam in lam_grid:
+        if lam == instance.objective.lam:
+            base = instance
+        else:
+            base = instance.with_objective(instance.objective.with_lambda(lam))
+        for k in k_grid:
+            grid.append((k, lam, base if k == instance.k else base.with_k(k)))
+    return grid
+
+
+def auto_algorithm(instance: DiversificationInstance) -> str:
+    """The natural heuristic for an instance (see module docstring)."""
+    if len(instance.constraints) > 0:
+        return "local_search"
+    if instance.objective.is_modular:
+        return "modular_top_k"
+    if instance.objective.kind is ObjectiveKind.MAX_SUM:
+        return "greedy_max_sum"
+    if instance.objective.kind is ObjectiveKind.MAX_MIN:
+        return "greedy_max_min"
+    return "local_search"
+
+
+@dataclass
+class CacheStats:
+    """Kernel-cache counters (mutated in place by the engine)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """One solved instance: the score, the rows, and how it was solved."""
+
+    value: float
+    rows: tuple[Row, ...]
+    algorithm: str
+    kernel_reused: bool
+    backend: str
+
+
+class DiversificationEngine:
+    """Runs batches of diversification instances with kernel reuse.
+
+    ``cache_size`` bounds the number of live kernels (LRU eviction);
+    ``use_numpy`` selects the kernel backend (None = auto-detect).
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "auto",
+        cache_size: int = 8,
+        use_numpy: bool | None = None,
+    ):
+        if cache_size < 1:
+            raise EngineError(f"cache_size must be >= 1, got {cache_size}")
+        if algorithm != "auto" and algorithm not in ALGORITHMS:
+            raise EngineError(
+                f"unknown algorithm {algorithm!r}; "
+                f"choose 'auto' or one of {sorted(ALGORITHMS)}"
+            )
+        self.algorithm = algorithm
+        self.cache_size = cache_size
+        self.use_numpy = use_numpy
+        self._cache: OrderedDict[tuple[int, int, int, int], ScoringKernel] = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    # -- kernel cache -----------------------------------------------------
+
+    @staticmethod
+    def _cache_key(instance: DiversificationInstance) -> tuple[int, int, int, int]:
+        objective = instance.objective
+        return (
+            id(instance.query),
+            id(instance.db),
+            id(objective.relevance),
+            id(objective.distance),
+        )
+
+    def kernel_for(self, instance: DiversificationInstance) -> ScoringKernel:
+        """The cached kernel for this instance's materialization, built
+        on first use.  Cached kernels hold strong references to their
+        query/db/function objects, so the ``id``-based key cannot be
+        recycled while the entry is live; :meth:`ScoringKernel.matches`
+        re-verifies identity on every hit, and
+        :meth:`ScoringKernel.is_fresh_for` re-materializes Q(D) (the
+        evaluation every direct-path algorithm performs anyway) so an
+        in-place database mutation triggers a rebuild instead of
+        silently serving the stale snapshot."""
+        key = self._cache_key(instance)
+        kernel = self._cache.get(key)
+        if (
+            kernel is not None
+            and kernel.matches(instance)
+            and kernel.is_fresh_for(instance)
+        ):
+            self._cache.move_to_end(key)
+            self.stats.hits += 1
+            return kernel
+        kernel = ScoringKernel(instance, use_numpy=self.use_numpy)
+        self._cache[key] = kernel
+        self._cache.move_to_end(key)
+        self.stats.misses += 1
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return kernel
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cached_kernels(self) -> int:
+        return len(self._cache)
+
+    # -- solving ----------------------------------------------------------
+
+    def run(
+        self,
+        instance: DiversificationInstance,
+        algorithm: str | None = None,
+    ) -> EngineResult | None:
+        """Solve one instance through its (possibly cached) kernel.
+
+        Returns None when the instance has no candidate set of size k
+        (mirroring the underlying algorithms).
+        """
+        name = algorithm if algorithm is not None else self.algorithm
+        if name == "auto":
+            name = auto_algorithm(instance)
+        try:
+            func = ALGORITHMS[name]
+        except KeyError:
+            raise EngineError(
+                f"unknown algorithm {name!r}; choose one of {sorted(ALGORITHMS)}"
+            ) from None
+        hits_before = self.stats.hits
+        kernel = self.kernel_for(instance)
+        result = func(instance, kernel)
+        if result is None:
+            return None
+        value, rows = result
+        return EngineResult(
+            value=float(value),
+            rows=rows,
+            algorithm=name,
+            kernel_reused=self.stats.hits > hits_before,
+            backend=kernel.backend,
+        )
+
+    def run_batch(
+        self,
+        instances: Iterable[DiversificationInstance],
+        algorithm: str | None = None,
+    ) -> list[EngineResult | None]:
+        """Solve many instances, reusing kernels across shared (Q, D)."""
+        return [self.run(instance, algorithm) for instance in instances]
+
+    def sweep(
+        self,
+        instance: DiversificationInstance,
+        ks: Iterable[int] | None = None,
+        lams: Iterable[float] | None = None,
+        algorithm: str | None = None,
+    ) -> list[tuple[int, float, EngineResult | None]]:
+        """Solve a k × λ grid of variants of one instance on one kernel.
+
+        Variants are built with ``with_k`` / ``with_lambda``, which keep
+        the query/db/function identities — every grid cell after the
+        first is a kernel-cache hit.
+        """
+        return [
+            (k, lam, self.run(variant, algorithm))
+            for k, lam, variant in variants_grid(instance, ks, lams)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"DiversificationEngine(algorithm={self.algorithm!r}, "
+            f"cache={len(self._cache)}/{self.cache_size}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

@@ -1,0 +1,391 @@
+"""Shared scoring kernels: ``Q(D)`` materialized once, scores precomputed.
+
+Every heuristic in :mod:`repro.algorithms` scores candidates through
+``objective.relevance`` / ``objective.distance``, which on the direct
+path means re-invoking Python callables per candidate pair on every
+greedy step — the hot path is quadratic in *call overhead*, not just in
+arithmetic.  A :class:`ScoringKernel` materializes the answer set once
+and precomputes
+
+* the relevance vector ``rel[i] = δ_rel(t_i, Q)``, and
+* the symmetric pairwise-distance matrix ``dist[i][j] = δ_dis(t_i, t_j)``
+  (zero diagonal),
+
+so each ``(Q, D, δ_rel, δ_dis)`` combination pays the function-call cost
+exactly once, after which every algorithm — and every ``k``/``λ``
+variant of the same instance — reuses the arrays.
+
+The kernel is NumPy-backed when NumPy is importable and falls back to a
+pure-Python implementation with identical semantics otherwise (the
+fallback can also be forced with ``use_numpy=False``, which the parity
+tests exercise).  All scalar reads go through ``float(...)``, and the
+aggregation loops mirror :mod:`repro.core.objectives` operation by
+operation, so a kernel-backed algorithm selects the same tuples and
+reports the same objective values as the direct path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..core.objectives import Objective, ObjectiveError, ObjectiveKind
+from ..relational.schema import Row
+
+if TYPE_CHECKING:
+    from ..core.instance import DiversificationInstance
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI cell
+    _np = None
+
+
+def numpy_available() -> bool:
+    """True when the NumPy backend can be used in this interpreter."""
+    return _np is not None
+
+
+class KernelError(ValueError):
+    """Raised on kernel misuse (backend unavailable, instance mismatch)."""
+
+
+class ScoringKernel:
+    """Precomputed relevance vector + distance matrix for one ``(Q, D)``.
+
+    The kernel is a *snapshot*: it captures ``Q(D)`` at construction
+    time and is keyed (see :meth:`matches`) on the identity of the
+    query, database, relevance function and distance function — the
+    trade-off λ and the result size k are deliberately **not** part of
+    the key, so ``with_k`` / ``with_lambda`` variants of an instance all
+    share one kernel.
+    """
+
+    __slots__ = (
+        "query",
+        "db",
+        "relevance",
+        "distance",
+        "answers",
+        "n",
+        "backend",
+        "_index",
+        "_rel",
+        "_dist",
+        "_row_sums",
+        "_item_scores_cache",
+    )
+
+    def __init__(
+        self,
+        instance: "DiversificationInstance",
+        use_numpy: bool | None = None,
+    ):
+        if use_numpy is None:
+            use_numpy = _np is not None
+        elif use_numpy and _np is None:
+            raise KernelError(
+                "use_numpy=True requested but numpy is not installed; "
+                "pass use_numpy=None (auto) or False for the pure-Python backend"
+            )
+        objective = instance.objective
+        self.query = instance.query
+        self.db = instance.db
+        self.relevance = objective.relevance
+        self.distance = objective.distance
+        self.answers: tuple[Row, ...] = tuple(instance.answers())
+        n = len(self.answers)
+        self.n = n
+        self._index = {row: i for i, row in enumerate(self.answers)}
+
+        rel = [self.relevance(t, self.query) for t in self.answers]
+        dist = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            row_i = self.answers[i]
+            dist_i = dist[i]
+            for j in range(i + 1, n):
+                value = self.distance(row_i, self.answers[j])
+                dist_i[j] = value
+                dist[j][i] = value
+
+        if use_numpy:
+            self.backend = "numpy"
+            self._rel = _np.asarray(rel, dtype=_np.float64)
+            self._dist = _np.asarray(dist, dtype=_np.float64)
+        else:
+            self.backend = "python"
+            self._rel = rel
+            self._dist = dist
+        # Sequential left-to-right sums (not numpy's pairwise summation):
+        # bitwise-identical to the direct path's per-row generator sums,
+        # so item-score orderings never diverge between backends.
+        self._row_sums = [sum(row) for row in dist]
+        self._item_scores_cache = {}
+
+    @classmethod
+    def from_instance(
+        cls,
+        instance: "DiversificationInstance",
+        use_numpy: bool | None = None,
+    ) -> "ScoringKernel":
+        return cls(instance, use_numpy=use_numpy)
+
+    # -- identity ---------------------------------------------------------
+
+    def matches(self, instance: "DiversificationInstance") -> bool:
+        """Is this kernel valid for ``instance``?
+
+        True when the instance shares the *same objects* for query,
+        database, relevance and distance — the contract under which the
+        precomputed arrays are guaranteed to agree with direct calls.
+        """
+        objective = instance.objective
+        return (
+            self.query is instance.query
+            and self.db is instance.db
+            and self.relevance is objective.relevance
+            and self.distance is objective.distance
+        )
+
+    def ensure_matches(self, instance: "DiversificationInstance") -> None:
+        if not self.matches(instance):
+            raise KernelError(
+                "kernel was built for a different (query, db, δ_rel, δ_dis); "
+                "build one with ScoringKernel.from_instance(instance)"
+            )
+
+    def is_fresh_for(self, instance: "DiversificationInstance") -> bool:
+        """Does the snapshot still agree with ``instance.answers()``?
+
+        The kernel captures Q(D) at construction; if the database was
+        mutated in place (and ``invalidate_cache()`` called), the arrays
+        are stale.  This re-materializes the instance's answer set —
+        the same evaluation cost every direct-path algorithm pays — and
+        compares row-by-row, so the engine's cache can detect staleness
+        without trusting object identity alone.
+        """
+        rows = instance.answers()
+        return len(rows) == self.n and all(
+            a == b for a, b in zip(self.answers, rows)
+        )
+
+    def index_of(self, row: Row) -> int:
+        try:
+            return self._index[row]
+        except KeyError:
+            raise KernelError(f"row {row!r} is not in the materialized Q(D)") from None
+
+    # -- scalar access ----------------------------------------------------
+
+    def relevance_of(self, i: int) -> float:
+        return float(self._rel[i])
+
+    def distance_between(self, i: int, j: int) -> float:
+        if self.backend == "numpy":
+            return float(self._dist[i, j])
+        return self._dist[i][j]
+
+    def _dist_row(self, i: int):
+        return self._dist[i]
+
+    def row_distance_sums(self) -> list[float]:
+        """``Σ_j dist[i][j]`` per row (the F_mono diversity numerator)."""
+        return self._row_sums
+
+    # -- vector primitives (backend-generic) ------------------------------
+
+    def relevance_scores(self):
+        """The relevance vector (backend array; treat as read-only)."""
+        return self._rel
+
+    def zeros_vector(self):
+        if self.backend == "numpy":
+            return _np.zeros(self.n, dtype=_np.float64)
+        return [0.0] * self.n
+
+    def copy_distance_row(self, i: int):
+        if self.backend == "numpy":
+            return self._dist[i].copy()
+        return list(self._dist[i])
+
+    def minimum_inplace(self, vec, i: int):
+        """Elementwise ``vec = min(vec, dist[i])`` (novelty tracking)."""
+        if self.backend == "numpy":
+            _np.minimum(vec, self._dist[i], out=vec)
+            return vec
+        row = self._dist[i]
+        for j in range(self.n):
+            if row[j] < vec[j]:
+                vec[j] = row[j]
+        return vec
+
+    def add_row_inplace(self, vec, i: int):
+        """Elementwise ``vec += dist[i]`` (marginal-gain tracking)."""
+        if self.backend == "numpy":
+            vec += self._dist[i]
+            return vec
+        row = self._dist[i]
+        for j in range(self.n):
+            vec[j] = vec[j] + row[j]
+        return vec
+
+    def affine_scores(self, alpha: float, beta: float, vec):
+        """Elementwise ``alpha * rel + beta * vec`` — the shape of every
+        incremental selection rule (MMR, GMC, marginal greedy)."""
+        if self.backend == "numpy":
+            return alpha * self._rel + beta * vec
+        rel = self._rel
+        return [alpha * rel[j] + beta * vec[j] for j in range(self.n)]
+
+    def argmax(
+        self,
+        vec,
+        excluded: set[int] | frozenset[int] = frozenset(),
+        within: Sequence[int] | None = None,
+    ) -> int:
+        """Index of the first maximum of ``vec``, skipping ``excluded``
+        (or restricted to ``within``), replicating the strict-``>`` /
+        first-wins tie-breaking of the direct-path loops."""
+        if within is not None:
+            if self.backend == "numpy":
+                idx = _np.asarray(within, dtype=_np.intp)
+                return int(within[int(_np.argmax(vec[idx]))])
+            best = -float("inf")
+            best_i = -1
+            for j in within:
+                if vec[j] > best:
+                    best = vec[j]
+                    best_i = j
+            return best_i
+        if self.backend == "numpy":
+            if excluded:
+                masked = vec.copy()
+                masked[list(excluded)] = -_np.inf
+                return int(_np.argmax(masked))
+            return int(_np.argmax(vec))
+        best = -float("inf")
+        best_i = -1
+        for j in range(self.n):
+            if j in excluded:
+                continue
+            if vec[j] > best:
+                best = vec[j]
+                best_i = j
+        return best_i
+
+    def best_pair(
+        self, available: Sequence[int], lam: float, k: int
+    ) -> tuple[int, int]:
+        """The max-weight pair of the dispersion-graph view of F_MS:
+
+            w(i, j) = (1−λ)(rel_i + rel_j) + (2λ/(k−1)) · dist[i][j]
+
+        scanning pairs of ``available`` in (i asc, j asc) order with
+        strict improvement — the same scan order and tie-breaking as the
+        direct pair-greedy loop.
+        """
+        coef_rel = 1.0 - lam
+        coef_dist = 2.0 * lam / (k - 1)
+        if self.backend == "numpy":
+            idx = _np.asarray(available, dtype=_np.intp)
+            sub_rel = self._rel[idx]
+            weights = coef_rel * (sub_rel[:, None] + sub_rel[None, :]) + coef_dist * (
+                self._dist[_np.ix_(idx, idx)]
+            )
+            upper_i, upper_j = _np.triu_indices(len(available), k=1)
+            best = int(_np.argmax(weights[upper_i, upper_j]))
+            return available[int(upper_i[best])], available[int(upper_j[best])]
+        rel = self._rel
+        dist = self._dist
+        best_weight = -float("inf")
+        best_pair = (-1, -1)
+        for pos, i in enumerate(available):
+            rel_i = rel[i]
+            dist_i = dist[i]
+            for j in available[pos + 1 :]:
+                weight = coef_rel * (rel_i + rel[j]) + coef_dist * dist_i[j]
+                if weight > best_weight:
+                    best_weight = weight
+                    best_pair = (i, j)
+        return best_pair
+
+    # -- objective evaluation ---------------------------------------------
+
+    def item_scores(self, objective: Objective) -> list[float]:
+        """Per-item scores ``v(t)`` for modular objectives, mirroring
+        :meth:`repro.core.objectives.Objective.item_score`.
+
+        Memoized per ``(kind, λ)``: the scores are index-independent, so
+        repeated :meth:`value` calls (local-search swap scans) reuse one
+        list instead of rebuilding it per evaluation.
+        """
+        key = (objective.kind, objective.lam)
+        cached = self._item_scores_cache.get(key)
+        if cached is not None:
+            return cached
+        scores = self._compute_item_scores(objective)
+        self._item_scores_cache[key] = scores
+        return scores
+
+    def _compute_item_scores(self, objective: Objective) -> list[float]:
+        lam = objective.lam
+        n = self.n
+        if objective.kind is ObjectiveKind.MONO:
+            sums = self.row_distance_sums()
+            scores = []
+            for i in range(n):
+                relevance_part = (1.0 - lam) * (
+                    self.relevance_of(i) if lam < 1.0 else 0.0
+                )
+                diversity_part = 0.0
+                if lam > 0.0 and n > 1:
+                    diversity_part = lam * float(sums[i]) / (n - 1)
+                scores.append(relevance_part + diversity_part)
+            return scores
+        if objective.kind is ObjectiveKind.MAX_SUM and objective.relevance_only:
+            return [self.relevance_of(i) for i in range(n)]
+        raise ObjectiveError(
+            f"{objective.kind.value} with λ={objective.lam} has no per-item decomposition"
+        )
+
+    def value(self, indices: Sequence[int], objective: Objective) -> float:
+        """``F(U)`` over answer indices — same arithmetic, same operation
+        order as :meth:`repro.core.objectives.Objective.value`."""
+        indices = list(indices)
+        lam = objective.lam
+        if objective.kind is ObjectiveKind.MAX_SUM:
+            k = len(indices)
+            relevance_part = 0.0
+            if lam < 1.0:
+                relevance_part = sum(self.relevance_of(i) for i in indices)
+            distance_part = 0.0
+            if lam > 0.0:
+                total = 0.0
+                for pos, i in enumerate(indices):
+                    for j in indices[pos + 1 :]:
+                        total += self.distance_between(i, j)
+                distance_part = 2.0 * total
+            return (k - 1) * (1.0 - lam) * relevance_part + lam * distance_part
+        if objective.kind is ObjectiveKind.MAX_MIN:
+            if not indices:
+                return 0.0
+            relevance_part = 0.0
+            if lam < 1.0:
+                relevance_part = min(self.relevance_of(i) for i in indices)
+            distance_part = 0.0
+            if lam > 0.0 and len(indices) >= 2:
+                best = float("inf")
+                for pos, i in enumerate(indices):
+                    for j in indices[pos + 1 :]:
+                        value = self.distance_between(i, j)
+                        if value < best:
+                            best = value
+                distance_part = best
+            return (1.0 - lam) * relevance_part + lam * distance_part
+        scores = self.item_scores(objective)
+        return sum(scores[i] for i in indices)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScoringKernel(Q={self.query.name}, n={self.n}, backend={self.backend})"
+        )

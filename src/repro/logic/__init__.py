@@ -59,4 +59,5 @@ __all__ = [
     "random_3cnf",
     "sigma1_holds",
     "solve",
+    "suffix_true",
 ]

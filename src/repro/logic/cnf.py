@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 Literal = int
 Clause = tuple[Literal, ...]

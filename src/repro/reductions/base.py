@@ -9,8 +9,7 @@ diversification side with the exact solvers of :mod:`repro.core`).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.instance import DiversificationInstance
 from ..relational.schema import Row

@@ -29,7 +29,7 @@ from ..core.qrd import qrd_brute_force
 from ..relational.ast import And, Comparison, Or, RelationAtom
 from ..relational.evaluate import membership
 from ..relational.queries import Query
-from ..relational.schema import Database, Relation, Row, SchemaError
+from ..relational.schema import Database, Row, SchemaError
 from ..relational.terms import ComparisonOp, Var
 from .base import ReducedDecision, ReducedRanking
 from .gadgets import R01, boolean_domain_relation

@@ -40,7 +40,7 @@ from ..relational.ast import RelationAtom
 from ..relational.queries import Query
 from ..relational.schema import Database, Relation, RelationSchema, Row
 from .base import ReducedRanking
-from .gadgets import assignment_atoms, boolean_domain_relation
+from .gadgets import boolean_domain_relation
 from .q3sat_qrd import QuantifierDistance, all_assignments_query
 
 Bits = tuple[int, ...]

@@ -25,7 +25,7 @@ from ..core.functions import DistanceFunction, RelevanceFunction
 from ..core.instance import DiversificationInstance
 from ..core.objectives import Objective
 from ..core.qrd import qrd_brute_force
-from ..logic.cnf import CNF, cnf
+from ..logic.cnf import cnf
 from ..logic.qbf import A, E, Q3SatInstance, Quantifier, evaluate_qbf, q3sat, suffix_true
 from ..relational.queries import Query
 from ..relational.schema import Database, Row

@@ -172,7 +172,6 @@ def reduce_qbf_to_rdc_mono(
     var_order = list(x_vars) + [v for _, v in y_prefix]
     y_quantifiers = [q for q, _ in y_prefix]
 
-    from .q3sat_qrd import all_assignments_query
 
     db = Database([boolean_domain_relation()])
     variables = [f"x{i}" for i in range(1, m + n + 1)]

@@ -34,7 +34,7 @@ from ..core.drp import drp_brute_force
 from ..core.functions import DistanceFunction, RelevanceFunction
 from ..core.instance import DiversificationInstance
 from ..core.objectives import Objective
-from ..logic.cnf import CNF, ThreeSatInstance, all_assignments, cnf
+from ..logic.cnf import ThreeSatInstance, all_assignments, cnf
 from ..logic.sat import is_satisfiable
 from ..relational.queries import identity_query
 from ..relational.schema import Database, Relation, RelationSchema, Row

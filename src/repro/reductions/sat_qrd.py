@@ -33,7 +33,7 @@ from ..logic.sat import is_satisfiable
 from ..relational.queries import Query, identity_query
 from ..relational.schema import Database, Relation, RelationSchema, Row
 from .base import ReducedDecision
-from .gadgets import R01, assignment_atoms, boolean_domain_relation
+from .gadgets import assignment_atoms, boolean_domain_relation
 
 RC_SCHEMA = RelationSchema(
     "RC", ("cid", "L1", "V1", "L2", "V2", "L3", "V3")

@@ -30,7 +30,7 @@ from ..logic.cnf import CNF
 from ..logic.counting import count_sigma1
 from ..relational.ast import And, Exists, RelationAtom
 from ..relational.queries import Query
-from ..relational.schema import Database, Row
+from ..relational.schema import Row
 from ..relational.terms import Var
 from .base import ReducedCounting
 from .gadgets import (

@@ -14,7 +14,6 @@
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Any
@@ -24,7 +23,7 @@ from ..core.instance import DiversificationInstance
 from ..core.objectives import Objective
 from ..core.rdc import rdc_brute_force, rdc_count
 from ..relational.queries import identity_query
-from ..relational.schema import Database, Relation, RelationSchema, Row
+from ..relational.schema import Database, Relation, RelationSchema
 from .base import ReducedCounting
 
 RW_SCHEMA = RelationSchema("RW", ("W",))

@@ -30,7 +30,6 @@ Examples::
 from __future__ import annotations
 
 import re
-from collections.abc import Iterator
 from dataclasses import dataclass
 
 from .ast import And, Comparison, Exists, Forall, Formula, Not, Or, RelationAtom

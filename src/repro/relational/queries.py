@@ -12,7 +12,7 @@ from collections.abc import Sequence
 from typing import Any
 
 from .ast import Formula, QueryLanguage, RelationAtom, classify
-from .schema import Database, RelationSchema
+from .schema import RelationSchema
 from .terms import Var
 
 

@@ -14,7 +14,7 @@ dictionary key (distance functions are keyed on pairs of rows).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
 

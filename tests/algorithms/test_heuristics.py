@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.algorithms.exact import exhaustive_best, optimal_value
+from repro.algorithms.exact import optimal_value
 from repro.algorithms.greedy import (
     greedy_marginal_max_sum,
     greedy_max_min,

@@ -9,7 +9,6 @@ from repro.core.constraints import ConstraintBuilder, ConstraintSet
 from repro.core.objectives import ObjectiveKind
 from repro.core.qrd import qrd_modular
 from repro.workloads.synthetic import random_instance
-from tests.conftest import make_small_instance
 
 
 class TestEarlyTerminationTopK:

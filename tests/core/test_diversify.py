@@ -5,7 +5,6 @@ import pytest
 from repro import core as api
 from repro.core.constraints import ConstraintBuilder, ConstraintSet
 from repro.core.objectives import ObjectiveKind
-from repro.workloads.synthetic import random_instance
 from tests.conftest import make_small_instance
 
 

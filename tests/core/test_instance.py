@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.constraints import ConstraintBuilder, ConstraintSet
-from repro.core.instance import DiversificationInstance, InstanceError
+from repro.core.instance import InstanceError
 from repro.core.objectives import ObjectiveKind
 from tests.conftest import make_small_instance
 

@@ -1,11 +1,9 @@
 """Tests for F_MS, F_MM and F_mono (Section 3.2)."""
 
-import math
-
 import pytest
 
 from repro.core.functions import DistanceFunction, RelevanceFunction
-from repro.core.objectives import Objective, ObjectiveError, ObjectiveKind
+from repro.core.objectives import Objective, ObjectiveError
 from repro.relational.schema import RelationSchema, Row
 
 SCHEMA = RelationSchema("r", ("id", "score"))

@@ -1,8 +1,6 @@
 """Tests for the QRD solvers, including agreement between the PTIME
 algorithms (Theorems 5.4, 8.2) and brute force."""
 
-import itertools
-
 import pytest
 
 from repro.core.constraints import ConstraintBuilder, ConstraintSet

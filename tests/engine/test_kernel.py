@@ -1,0 +1,141 @@
+"""Unit tests for the ScoringKernel: construction, identity, scoring."""
+
+import pytest
+
+from repro.core.dispersion import from_instance
+from repro.core.objectives import ObjectiveError, ObjectiveKind
+from repro.engine import KernelError, ScoringKernel, numpy_available
+from repro.workloads.synthetic import random_instance
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+
+def backend_kernels(instance):
+    return [ScoringKernel(instance, use_numpy=flag) for flag in BACKENDS]
+
+
+class TestConstruction:
+    def test_backend_names(self):
+        instance = random_instance(n=6, k=2)
+        assert ScoringKernel(instance, use_numpy=False).backend == "python"
+        if numpy_available():
+            assert ScoringKernel(instance, use_numpy=True).backend == "numpy"
+            assert ScoringKernel(instance).backend == "numpy"
+
+    def test_use_numpy_true_without_numpy_raises(self, monkeypatch):
+        import repro.engine.kernel as kernel_mod
+
+        monkeypatch.setattr(kernel_mod, "_np", None)
+        instance = random_instance(n=4, k=2)
+        with pytest.raises(KernelError):
+            ScoringKernel(instance, use_numpy=True)
+        # auto falls back silently
+        assert ScoringKernel(instance).backend == "python"
+
+    def test_snapshot_of_answers(self):
+        instance = random_instance(n=8, k=3)
+        kernel = ScoringKernel(instance, use_numpy=False)
+        assert kernel.n == 8
+        assert list(kernel.answers) == instance.answers()
+
+
+class TestScalars:
+    def test_relevance_and_distance_agree_with_direct_calls(self):
+        instance = random_instance(n=10, k=3, seed=4)
+        objective = instance.objective
+        answers = instance.answers()
+        for kernel in backend_kernels(instance):
+            for i, row in enumerate(answers):
+                assert kernel.relevance_of(i) == objective.relevance(
+                    row, instance.query
+                )
+                for j, other in enumerate(answers):
+                    assert kernel.distance_between(i, j) == pytest.approx(
+                        objective.distance(row, other)
+                    )
+
+    def test_matrix_symmetric_zero_diagonal(self):
+        instance = random_instance(n=9, k=3, seed=1)
+        for kernel in backend_kernels(instance):
+            for i in range(kernel.n):
+                assert kernel.distance_between(i, i) == 0.0
+                for j in range(kernel.n):
+                    assert kernel.distance_between(i, j) == kernel.distance_between(
+                        j, i
+                    )
+
+    def test_index_of(self):
+        instance = random_instance(n=7, k=2)
+        kernel = ScoringKernel(instance, use_numpy=False)
+        for i, row in enumerate(kernel.answers):
+            assert kernel.index_of(row) == i
+        other = random_instance(n=12, k=2, seed=99)
+        with pytest.raises(KernelError):
+            kernel.index_of(other.answers()[-1])
+
+
+class TestMatching:
+    def test_matches_same_materialization_and_lambda_variants(self):
+        instance = random_instance(n=6, k=2, lam=0.5)
+        kernel = ScoringKernel(instance, use_numpy=False)
+        assert kernel.matches(instance)
+        relaxed = instance.with_objective(instance.objective.with_lambda(0.9))
+        assert kernel.matches(relaxed)
+        assert kernel.matches(instance.with_k(4))
+
+    def test_mismatch_raises(self):
+        kernel = ScoringKernel(random_instance(n=6, k=2, seed=0), use_numpy=False)
+        other = random_instance(n=6, k=2, seed=0)  # equal data, new objects
+        assert not kernel.matches(other)
+        with pytest.raises(KernelError):
+            kernel.ensure_matches(other)
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "kind", [ObjectiveKind.MAX_SUM, ObjectiveKind.MAX_MIN, ObjectiveKind.MONO]
+    )
+    @pytest.mark.parametrize("lam", [0.0, 0.4, 1.0])
+    def test_value_matches_instance_value(self, kind, lam):
+        instance = random_instance(n=10, k=4, kind=kind, lam=lam, seed=6)
+        answers = instance.answers()
+        subsets = [[0, 3, 5, 8], [1, 2, 4], [9], []]
+        for kernel in backend_kernels(instance):
+            for indices in subsets:
+                rows = [answers[i] for i in indices]
+                assert kernel.value(indices, instance.objective) == pytest.approx(
+                    instance.value(rows), rel=1e-12, abs=1e-12
+                )
+
+    def test_item_scores_match_instance(self):
+        instance = random_instance(n=9, k=3, kind=ObjectiveKind.MONO, lam=0.6, seed=2)
+        direct = [instance.item_score(t) for t in instance.answers()]
+        for kernel in backend_kernels(instance):
+            scores = kernel.item_scores(instance.objective)
+            assert scores == pytest.approx(direct, rel=1e-12)
+
+    def test_item_scores_reject_non_modular(self):
+        instance = random_instance(n=6, k=2, kind=ObjectiveKind.MAX_SUM, lam=0.5)
+        kernel = ScoringKernel(instance, use_numpy=False)
+        with pytest.raises(ObjectiveError):
+            kernel.item_scores(instance.objective)
+
+
+class TestDispersionRouting:
+    def test_from_instance_kernel_equals_direct(self):
+        instance = random_instance(n=8, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.7)
+        direct = from_instance(instance)
+        for kernel in backend_kernels(instance):
+            routed = from_instance(instance, kernel=kernel)
+            assert routed.select == direct.select
+            assert routed.maximin == direct.maximin
+            for row_a, row_b in zip(routed.weights, direct.weights):
+                assert row_a == pytest.approx(row_b, rel=1e-12)
+
+    def test_from_instance_maximin_routing(self):
+        instance = random_instance(n=7, k=3, kind=ObjectiveKind.MAX_MIN, lam=1.0)
+        direct = from_instance(instance)
+        kernel = ScoringKernel(instance, use_numpy=False)
+        routed = from_instance(instance, kernel=kernel)
+        assert routed.weights == direct.weights
+        assert routed.maximin

@@ -1,0 +1,153 @@
+"""Property tests: kernel-backed heuristics == direct-objective paths.
+
+The engine's core guarantee (ISSUE 1): routing greedy / incremental /
+MMR through a precomputed :class:`ScoringKernel` must return the same
+objective values (and, absent float ties, the same tuples) as the
+direct path, on randomized workload instances, for both kernel
+backends.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.greedy import (
+    greedy_marginal_max_sum,
+    greedy_max_min,
+    greedy_max_sum,
+)
+from repro.algorithms.incremental import early_termination_top_k, streaming_qrd
+from repro.algorithms.local_search import local_search
+from repro.algorithms.mmr import mmr_select
+from repro.core.objectives import ObjectiveKind
+from repro.engine import ScoringKernel, numpy_available
+from repro.workloads.synthetic import random_instance
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+LAMBDAS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def assert_same_result(direct, kernel_result):
+    assert (direct is None) == (kernel_result is None)
+    if direct is None:
+        return
+    assert kernel_result[0] == pytest.approx(direct[0], rel=1e-9, abs=1e-9)
+    assert kernel_result[1] == direct[1]
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("lam", LAMBDAS)
+@pytest.mark.parametrize("seed", range(4))
+def test_greedy_max_sum_parity(seed, lam, use_numpy):
+    instance = random_instance(
+        n=14, k=5, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed
+    )
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    assert_same_result(greedy_max_sum(instance), greedy_max_sum(instance, kernel))
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("lam", LAMBDAS)
+@pytest.mark.parametrize("seed", range(4))
+def test_greedy_marginal_parity(seed, lam, use_numpy):
+    instance = random_instance(
+        n=14, k=5, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed
+    )
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    assert_same_result(
+        greedy_marginal_max_sum(instance),
+        greedy_marginal_max_sum(instance, kernel),
+    )
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("lam", LAMBDAS)
+@pytest.mark.parametrize("seed", range(4))
+def test_greedy_max_min_parity(seed, lam, use_numpy):
+    instance = random_instance(
+        n=13, k=4, kind=ObjectiveKind.MAX_MIN, lam=lam, seed=seed
+    )
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    assert_same_result(greedy_max_min(instance), greedy_max_min(instance, kernel))
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("lam", LAMBDAS)
+@pytest.mark.parametrize("seed", range(4))
+def test_mmr_parity(seed, lam, use_numpy):
+    instance = random_instance(
+        n=15, k=5, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed
+    )
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    assert_same_result(mmr_select(instance), mmr_select(instance, kernel=kernel))
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+@pytest.mark.parametrize("seed", range(4))
+def test_incremental_parity(seed, lam, use_numpy):
+    instance = random_instance(n=16, k=4, kind=ObjectiveKind.MONO, lam=lam, seed=seed)
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    direct = early_termination_top_k(instance)
+    routed = early_termination_top_k(instance, kernel=kernel)
+    assert routed.selected == direct.selected
+    assert routed.consumed == direct.consumed
+    assert routed.value == pytest.approx(direct.value, rel=1e-9)
+    for bound in (direct.value * 0.5, direct.value, direct.value * 1.5 + 1.0):
+        assert streaming_qrd(instance, bound) == streaming_qrd(
+            instance, bound, kernel=kernel
+        )
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_local_search_parity(use_numpy):
+    # Local search compares trial values internally; identical arithmetic
+    # means identical swap sequences on the python backend, and the
+    # numpy backend must land on an equally-scored local optimum.
+    instance = random_instance(n=10, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.6, seed=3)
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    direct = local_search(instance)
+    routed = local_search(instance, kernel=kernel)
+    assert routed[0] == pytest.approx(direct[0], rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    k=st.integers(min_value=1, max_value=5),
+    lam=st.sampled_from(LAMBDAS),
+    seed=st.integers(min_value=0, max_value=10_000),
+    kind=st.sampled_from([ObjectiveKind.MAX_SUM, ObjectiveKind.MAX_MIN]),
+)
+def test_hypothesis_parity(n, k, lam, seed, kind):
+    if k > n:
+        k = n
+    instance = random_instance(n=n, k=k, kind=kind, lam=lam, seed=seed)
+    for use_numpy in BACKENDS:
+        kernel = ScoringKernel(instance, use_numpy=use_numpy)
+        if kind is ObjectiveKind.MAX_SUM:
+            assert_same_result(
+                greedy_max_sum(instance), greedy_max_sum(instance, kernel)
+            )
+            assert_same_result(
+                mmr_select(instance), mmr_select(instance, kernel=kernel)
+            )
+        else:
+            assert_same_result(
+                greedy_max_min(instance), greedy_max_min(instance, kernel)
+            )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="requires numpy")
+def test_backends_agree_with_each_other():
+    for seed in range(3):
+        instance = random_instance(
+            n=12, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=seed
+        )
+        python_kernel = ScoringKernel(instance, use_numpy=False)
+        numpy_kernel = ScoringKernel(instance, use_numpy=True)
+        py = greedy_max_sum(instance, python_kernel)
+        np_ = greedy_max_sum(instance, numpy_kernel)
+        assert py[1] == np_[1]
+        assert py[0] == pytest.approx(np_[0], rel=1e-12)

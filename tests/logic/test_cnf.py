@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.logic.cnf import (
-    CNF,
     FormulaError,
     ThreeSatInstance,
     all_assignments,

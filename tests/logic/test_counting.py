@@ -3,7 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.logic.cnf import all_assignments, cnf, random_3cnf
 from repro.logic.counting import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.logic.cnf import all_assignments, cnf
+from repro.logic.cnf import cnf
 from repro.reductions.gadgets import (
     R01,
     R_AND,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.reductions import membership
 from repro.relational import builder as qb
-from repro.relational.ast import And, Exists, Forall, Not, RelationAtom
+from repro.relational.ast import And, Forall, Not, RelationAtom
 from repro.relational.evaluate import evaluate, membership as member_of
 from repro.relational.queries import Query
 from repro.relational.schema import Database, Relation, RelationSchema, SchemaError

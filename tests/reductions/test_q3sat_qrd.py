@@ -12,7 +12,6 @@ from repro.reductions.q3sat_qrd import (
     figure2_instance,
     figure2_report,
     figure2_tuples,
-    lemma_5_3_reference,
     verify_lemma_5_3,
 )
 

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.logic.cnf import ThreeSatInstance, cnf, random_3cnf
-from repro.logic.sat import is_satisfiable
 from repro.reductions import sat_qrd
 from repro.relational.ast import QueryLanguage
 

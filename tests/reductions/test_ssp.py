@@ -1,7 +1,5 @@
 """#SSP / #SSPk / Lemma 7.6 / Theorem 7.5 tests."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -13,7 +13,7 @@ from repro.relational.ast import (
     RelationAtom,
     classify,
 )
-from repro.relational.terms import ComparisonOp, Var
+from repro.relational.terms import ComparisonOp
 
 
 def atom(name="R", *terms):

@@ -24,7 +24,7 @@ from repro.relational.evaluate import (
     substitute,
 )
 from repro.relational.queries import Query, QueryError, identity_query
-from repro.relational.schema import Database, Relation, RelationSchema, Row
+from repro.relational.schema import Database, Relation, RelationSchema
 from repro.relational.terms import ComparisonOp, Var
 
 

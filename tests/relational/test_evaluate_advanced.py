@@ -13,7 +13,7 @@ from repro.relational.ast import (
     Or,
     RelationAtom,
 )
-from repro.relational.evaluate import evaluate, holds, membership, negate
+from repro.relational.evaluate import evaluate, holds, membership
 from repro.relational.queries import Query
 from repro.relational.schema import Database, Relation, RelationSchema
 from repro.relational.terms import ComparisonOp, Var

@@ -4,7 +4,6 @@ import pytest
 
 from repro.algorithms.exact import exhaustive_best
 from repro.core.objectives import Objective
-from repro.relational.evaluate import evaluate
 from repro.workloads import websearch
 
 

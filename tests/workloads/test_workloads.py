@@ -1,9 +1,6 @@
 """Tests for the workload generators (gifts, courses, teams, synthetic)."""
 
-import pytest
-
 from repro.core import diversify as _api  # noqa: F401 (import check)
-from repro.core.objectives import Objective, ObjectiveKind
 from repro.relational.ast import QueryLanguage
 from repro.relational.evaluate import evaluate
 from repro.workloads import courses, gifts, synthetic, teams
