@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Kernel delta-patching vs full rebuild under database updates.
+
+Two measurements over the :class:`repro.workloads.streaming`
+insert/delete trace:
+
+* **single-delta micro**: at n≈200 websearch rows, the wall time of
+  ``ScoringKernel.apply_delta`` on a one-row delta vs a full kernel
+  rebuild — the acceptance target is a >= 5x speedup;
+* **serving-loop regimes**: a
+  :class:`~repro.engine.DiversificationEngine` serving MMR requests
+  while the database mutates, with ``updates_per_solve`` updates
+  landing between consecutive solves.  The patching engine
+  (default ``patch_threshold``) is timed against an identical engine
+  with patching disabled (``patch_threshold=0``, every stale kernel
+  rebuilt), both driven by identical traces.
+
+Every run also re-verifies correctness: the patched kernel must be
+element-wise equal to a freshly built one after the whole trace.
+
+Usage::
+
+    python benchmarks/bench_updates.py               # full run (n=200)
+    python benchmarks/bench_updates.py --smoke       # sub-second CI check
+    python benchmarks/bench_updates.py --check       # exit non-zero unless >=5x
+    python benchmarks/bench_updates.py --no-numpy    # pure-Python kernels
+    python benchmarks/bench_updates.py --json out.json
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH/pip install
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine import (
+    DiversificationEngine,
+    ScoringKernel,
+    compute_delta,
+    numpy_available,
+)
+from repro.workloads.streaming import StreamingWebSearch
+
+import common
+
+SMOKE_BUDGET_SECONDS = 2.0
+SPEEDUP_TARGET = 5.0
+
+
+def _assert_kernel_parity(kernel, instance, use_numpy):
+    """The whole point of patching is that nobody can tell: compare the
+    maintained kernel element-wise against a fresh rebuild."""
+    fresh = ScoringKernel(instance, use_numpy=use_numpy)
+    assert kernel.snapshot_equals(list(fresh.answers)), "answers diverged"
+    for i in range(fresh.n):
+        assert kernel.relevance_of(i) == fresh.relevance_of(i), "relevance diverged"
+        for j in range(fresh.n):
+            assert kernel.distance_between(i, j) == fresh.distance_between(
+                i, j
+            ), "distance diverged"
+    maintained = [float(v) for v in kernel.row_distance_sums()]
+    rebuilt = [float(v) for v in fresh.row_distance_sums()]
+    assert maintained == rebuilt, "row sums diverged"
+
+
+def single_delta_micro(n, use_numpy, repeat=5, k=10, lam=0.5, seed=17):
+    """Best-of-``repeat`` timings of a one-row patch vs a full rebuild.
+
+    Alternates one insert event and one delete event per round, so each
+    ``apply_delta`` call is a single-row delta and the corpus size stays
+    ~n throughout.
+    """
+    workload = StreamingWebSearch(
+        num_docs=n, num_intents=6, seed=seed, insert_fraction=1.0
+    )
+    instance = workload.make_instance(k=k, lam=lam)
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+
+    best_patch = float("inf")
+    best_rebuild = float("inf")
+    patched_rows = 0
+    for _ in range(repeat):
+        event = workload.step()  # insert_fraction=1.0 -> always an arrival
+        instance.invalidate_cache()
+        rows = instance.answers()
+        delta = compute_delta(kernel, rows)
+        start = time.perf_counter()
+        kernel.apply_delta(delta.inserted, delta.deleted)
+        best_patch = min(best_patch, time.perf_counter() - start)
+        patched_rows += delta.size
+
+        start = time.perf_counter()
+        ScoringKernel(instance, use_numpy=use_numpy)
+        best_rebuild = min(best_rebuild, time.perf_counter() - start)
+
+        # Retire the document again so n stays put; time this single-row
+        # deletion patch too (a delta is a delta).
+        workload.retire(event.doc)
+        instance.invalidate_cache()
+        delta = compute_delta(kernel, instance.answers())
+        start = time.perf_counter()
+        kernel.apply_delta(delta.inserted, delta.deleted)
+        best_patch = min(best_patch, time.perf_counter() - start)
+        patched_rows += delta.size
+
+    _assert_kernel_parity(kernel, instance, use_numpy)
+    return {
+        "n": kernel.n,
+        "backend": kernel.backend,
+        "patch_seconds": best_patch,
+        "rebuild_seconds": best_rebuild,
+        "speedup": best_rebuild / best_patch if best_patch > 0 else float("inf"),
+        "patched_rows": patched_rows,
+    }
+
+
+def _serve_loop(n, events, updates_per_solve, use_numpy, patch_threshold, seed, k, lam):
+    workload = StreamingWebSearch(num_docs=n, num_intents=6, seed=seed)
+    instance = workload.make_instance(k=k, lam=lam)
+    engine = DiversificationEngine(
+        algorithm="mmr", use_numpy=use_numpy, patch_threshold=patch_threshold
+    )
+    engine.run(instance)  # initial materialization (untimed warm-up)
+    applied = 0
+    start = time.perf_counter()
+    while applied < events:
+        for _ in range(min(updates_per_solve, events - applied)):
+            workload.step()
+            applied += 1
+        instance.invalidate_cache()
+        result = engine.run(instance)
+        assert result is not None
+    elapsed = time.perf_counter() - start
+    kernel = engine.kernel_for(instance)
+    _assert_kernel_parity(kernel, instance, use_numpy)
+    return elapsed, engine.stats, kernel.backend
+
+
+def run_regimes(n, events, regimes, use_numpy, seed=17, k=10, lam=0.5):
+    records = []
+    for updates_per_solve in regimes:
+        patch_time, patch_stats, backend = _serve_loop(
+            n, events, updates_per_solve, use_numpy, 0.5, seed, k, lam
+        )
+        rebuild_time, _, _ = _serve_loop(
+            n, events, updates_per_solve, use_numpy, 0.0, seed, k, lam
+        )
+        records.append(
+            common.UpdateBenchRecord(
+                scenario="websearch-stream",
+                n=n,
+                events=events,
+                updates_per_solve=updates_per_solve,
+                backend=backend,
+                patch_seconds=patch_time,
+                rebuild_seconds=rebuild_time,
+                # Both counters describe the *patching* engine's run: how
+                # often it patched, and how often the delta exceeded the
+                # threshold and fell back to a rebuild.
+                patches=patch_stats.patches,
+                stale_rebuilds=patch_stats.stale_rebuilds,
+            )
+        )
+    return records
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"tiny sizes with a {SMOKE_BUDGET_SECONDS:g}s budget (CI rot check)",
+    )
+    parser.add_argument("--n", type=int, default=200, help="answer-pool size")
+    parser.add_argument("--events", type=int, default=60, help="trace length")
+    parser.add_argument(
+        "--repeat", type=int, default=5, help="micro-bench repetitions"
+    )
+    parser.add_argument(
+        "--no-numpy",
+        action="store_true",
+        help="force the pure-Python kernel backend",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero unless the single-delta speedup is >= {SPEEDUP_TARGET:g}x",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write results as JSON (perf-trajectory artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    use_numpy = False if args.no_numpy else None
+    budget = time.perf_counter()
+    if args.smoke:
+        n, events, repeat, regimes = 40, 16, 2, (1, 4)
+    else:
+        n, events, repeat, regimes = args.n, args.events, args.repeat, (1, 4, 16)
+
+    micro = single_delta_micro(n, use_numpy, repeat=repeat)
+    records = run_regimes(n, events, regimes, use_numpy)
+    elapsed = time.perf_counter() - budget
+
+    print(
+        common.render_update_report(
+            records, title=f"kernel patch vs rebuild (n={n}, events={events})"
+        )
+    )
+    print(
+        f"\nsingle-row delta at n={micro['n']} ({micro['backend']}): "
+        f"patch {micro['patch_seconds'] * 1e3:.3f}ms vs rebuild "
+        f"{micro['rebuild_seconds'] * 1e3:.3f}ms -> {micro['speedup']:.1f}x "
+        f"(target >= {SPEEDUP_TARGET:g}x)"
+    )
+
+    if args.json is not None:
+        payload = {
+            "bench": "updates",
+            "n": n,
+            "events": events,
+            "numpy": numpy_available() and not args.no_numpy,
+            "single_delta": micro,
+            "regimes": [r.as_dict() for r in records],
+            "wall_seconds": elapsed,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.smoke:
+        print(f"smoke wall time: {elapsed:.3f}s (budget {SMOKE_BUDGET_SECONDS}s)")
+        if elapsed > SMOKE_BUDGET_SECONDS:
+            print("SMOKE BUDGET EXCEEDED", file=sys.stderr)
+            return 1
+        return 0
+
+    verdict = "PASS" if micro["speedup"] >= SPEEDUP_TARGET else "FAIL"
+    print(f"single-delta speedup target -> {verdict}")
+    if args.check and micro["speedup"] < SPEEDUP_TARGET:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

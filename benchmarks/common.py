@@ -92,27 +92,11 @@ class EngineBenchRecord:
         return self.direct_seconds / self.engine_seconds
 
 
-def render_engine_report(
-    records: list[EngineBenchRecord],
-    title: str = "engine vs direct path",
+def _render_table(
+    title: str, header: tuple[str, ...], body: list[tuple[str, ...]]
 ) -> str:
-    """An aligned text table of engine benchmark records."""
-    header = ("scenario", "algorithm", "n", "batch", "backend",
-              "direct [s]", "engine [s]", "speedup")
-    rows = [header]
-    for r in records:
-        rows.append(
-            (
-                r.scenario,
-                r.algorithm,
-                str(r.n),
-                str(r.batch),
-                r.backend,
-                f"{r.direct_seconds:.4f}",
-                f"{r.engine_seconds:.4f}",
-                f"{r.speedup:.2f}x",
-            )
-        )
+    """An aligned text table: title, underline, header, rows."""
+    rows = [header] + body
     widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
     lines = [title, "-" * len(title)]
     for idx, row in enumerate(rows):
@@ -120,6 +104,86 @@ def render_engine_report(
         if idx == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+def render_engine_report(
+    records: list[EngineBenchRecord],
+    title: str = "engine vs direct path",
+) -> str:
+    """An aligned text table of engine benchmark records."""
+    header = ("scenario", "algorithm", "n", "batch", "backend",
+              "direct [s]", "engine [s]", "speedup")
+    body = [
+        (
+            r.scenario,
+            r.algorithm,
+            str(r.n),
+            str(r.batch),
+            r.backend,
+            f"{r.direct_seconds:.4f}",
+            f"{r.engine_seconds:.4f}",
+            f"{r.speedup:.2f}x",
+        )
+        for r in records
+    ]
+    return _render_table(title, header, body)
+
+
+@dataclass
+class UpdateBenchRecord:
+    """One patch-vs-rebuild comparison from ``bench_updates.py``.
+
+    ``updates_per_solve`` is the regime: how many database updates land
+    between consecutive engine solves (1 = every update served
+    immediately; higher values batch updates into larger deltas, where
+    patching progressively loses its edge over rebuilding).
+    """
+
+    scenario: str
+    n: int
+    events: int
+    updates_per_solve: int
+    backend: str
+    patch_seconds: float
+    rebuild_seconds: float
+    patches: int
+    stale_rebuilds: int
+
+    @property
+    def speedup(self) -> float:
+        if self.patch_seconds <= 0.0:
+            return float("inf")
+        return self.rebuild_seconds / self.patch_seconds
+
+    def as_dict(self) -> dict:
+        payload = dict(self.__dict__)
+        payload["speedup"] = self.speedup
+        return payload
+
+
+def render_update_report(
+    records: "list[UpdateBenchRecord]",
+    title: str = "kernel patch vs rebuild",
+) -> str:
+    """An aligned text table of update-maintenance benchmark records."""
+    header = ("scenario", "n", "events", "upd/solve", "backend",
+              "patch [s]", "rebuild [s]", "speedup", "patches", "rebuilds")
+    body = [
+        (
+            r.scenario,
+            str(r.n),
+            str(r.events),
+            str(r.updates_per_solve),
+            r.backend,
+            f"{r.patch_seconds:.4f}",
+            f"{r.rebuild_seconds:.4f}",
+            f"{r.speedup:.2f}x",
+            str(r.patches),
+            str(r.stale_rebuilds),
+        )
+        for r in records
+    ]
+    return _render_table(title, header, body)
 
 
 def integer_score_instance(

@@ -79,34 +79,35 @@ def greedy_max_sum(
     k = instance.k
     if len(answers) < k:
         return None
-    if k == 1:
-        best = max(
-            answers, key=lambda t: instance.objective.relevance(t, instance.query)
-        )
-        return (instance.value((best,)), (best,))
 
-    chosen: list[Row] = []
-    available = list(answers)
+    def relevance(i: int) -> float:
+        return instance.objective.relevance(answers[i], instance.query)
+
+    if k == 1:
+        best = max(range(len(answers)), key=relevance)
+        return (instance.value((answers[best],)), (answers[best],))
+
+    # Index-based bookkeeping (mirroring the kernel path): with
+    # duplicated answer rows, equality-based removal would discard every
+    # copy of a picked tuple instead of just the picked position.
+    chosen: list[int] = []
+    available = list(range(len(answers)))
     while len(chosen) + 1 < k:
-        best_pair: tuple[Row, Row] | None = None
+        best_pair: tuple[int, int] | None = None
         best_weight = -1.0
-        for i, left in enumerate(available):
-            for right in available[i + 1 :]:
-                weight = _pair_weight(instance, left, right)
+        for pos, i in enumerate(available):
+            for j in available[pos + 1 :]:
+                weight = _pair_weight(instance, answers[i], answers[j])
                 if weight > best_weight:
                     best_weight = weight
-                    best_pair = (left, right)
+                    best_pair = (i, j)
         assert best_pair is not None
         chosen.extend(best_pair)
         available = [t for t in available if t not in best_pair]
     if len(chosen) < k:
         # k odd: add the best remaining singleton by relevance.
-        extra = max(
-            available,
-            key=lambda t: instance.objective.relevance(t, instance.query),
-        )
-        chosen.append(extra)
-    subset = tuple(chosen)
+        chosen.append(max(available, key=relevance))
+    subset = tuple(answers[i] for i in chosen)
     return (instance.value(subset), subset)
 
 
@@ -158,21 +159,25 @@ def greedy_max_min(
     def relevance(t: Row) -> float:
         return objective.relevance(t, instance.query) if lam < 1.0 else 0.0
 
-    chosen = [max(answers, key=relevance)]
+    # Index-based bookkeeping: each answer position is its own candidate,
+    # so duplicated rows stay selectable (matching the kernel path).
+    chosen = [max(range(len(answers)), key=lambda i: relevance(answers[i]))]
+    excluded = set(chosen)
     while len(chosen) < k:
-        best_tuple: Row | None = None
+        best_index = -1
         best_score = -1.0
-        for t in answers:
-            if t in chosen:
+        for i, t in enumerate(answers):
+            if i in excluded:
                 continue
-            min_distance = min(objective.distance(t, s) for s in chosen)
+            min_distance = min(objective.distance(t, answers[s]) for s in chosen)
             score = (1.0 - lam) * relevance(t) + lam * min_distance
             if score > best_score:
                 best_score = score
-                best_tuple = t
-        assert best_tuple is not None
-        chosen.append(best_tuple)
-    subset = tuple(chosen)
+                best_index = i
+        assert best_index >= 0
+        chosen.append(best_index)
+        excluded.add(best_index)
+    subset = tuple(answers[i] for i in chosen)
     return (instance.value(subset), subset)
 
 
@@ -217,24 +222,30 @@ def greedy_marginal_max_sum(
     objective = instance.objective
     lam = objective.lam
 
-    chosen: list[Row] = []
+    # Index-based bookkeeping: duplicated rows are distinct candidates,
+    # matching the kernel path's excluded-index set.
+    chosen: list[int] = []
+    excluded: set[int] = set()
     while len(chosen) < k:
-        best_tuple: Row | None = None
+        best_index = -1
         best_gain = -1.0
-        for t in answers:
-            if t in chosen:
+        for i, t in enumerate(answers):
+            if i in excluded:
                 continue
             gain = 0.0
             if lam < 1.0:
                 gain += (k - 1) * (1.0 - lam) * objective.relevance(t, instance.query)
             if lam > 0.0:
-                gain += 2.0 * lam * sum(objective.distance(t, s) for s in chosen)
+                gain += 2.0 * lam * sum(
+                    objective.distance(t, answers[s]) for s in chosen
+                )
             if gain > best_gain:
                 best_gain = gain
-                best_tuple = t
-        assert best_tuple is not None
-        chosen.append(best_tuple)
-    subset = tuple(chosen)
+                best_index = i
+        assert best_index >= 0
+        chosen.append(best_index)
+        excluded.add(best_index)
+    subset = tuple(answers[i] for i in chosen)
     return (instance.value(subset), subset)
 
 

@@ -15,6 +15,12 @@ in the style of Fagin's TA:
 * :func:`streaming_qrd` — the decision variant: stop as soon as the
   running top-k total reaches B ("yes"), or the optimistic completion
   bound falls below B ("no").
+* :func:`repair_after_delta` — solution maintenance under database
+  updates: after a :class:`~repro.engine.updates.KernelDelta` has been
+  applied to the kernel, re-run the selection algorithm only when a
+  deleted row was selected or an inserted row's optimistic bound beats
+  the current marginal; otherwise the previous selection provably
+  survives and is kept (parity with solving from scratch).
 
 These are *correct* only for modular F (F_mono; F_MS at λ = 0): for
 F_MS/F_MM with λ > 0 the paper's hardness results say no such shortcut
@@ -32,6 +38,7 @@ from ..relational.schema import Row
 
 if TYPE_CHECKING:
     from ..engine.kernel import ScoringKernel
+    from ..engine.updates import KernelDelta
 
 
 class EarlyTerminationResult:
@@ -134,6 +141,166 @@ def early_termination_top_k(
     else:
         value = instance.value(rows)
     return EarlyTerminationResult(rows, consumed, len(stream), value)
+
+
+class RepairResult:
+    """Outcome of :func:`repair_after_delta`.
+
+    ``reran`` is True when the solution was recomputed from scratch;
+    ``reason`` explains the decision either way (for observability in a
+    serving loop).
+    """
+
+    __slots__ = ("value", "rows", "reran", "reason")
+
+    def __init__(self, value: float, rows: tuple[Row, ...], reran: bool, reason: str):
+        self.value = value
+        self.rows = rows
+        self.reran = reran
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        verb = "reran" if self.reran else "kept"
+        return (
+            f"RepairResult({verb}: {self.reason!r}, k={len(self.rows)}, "
+            f"value={self.value:.3f})"
+        )
+
+
+_EPS = 1e-9
+
+
+def repair_after_delta(
+    instance: DiversificationInstance,
+    kernel: "ScoringKernel",
+    previous: tuple[Row, ...],
+    delta: "KernelDelta",
+    algorithm: str = "auto",
+) -> RepairResult | None:
+    """Repair a diversified set after a database delta, re-running the
+    algorithm only when the delta can actually change its output.
+
+    ``kernel`` must already reflect the post-delta ``Q(D)`` (i.e. be
+    patched via ``apply_delta`` or freshly built), ``previous`` is the
+    selection the algorithm produced *before* the delta, and ``delta``
+    is the applied :class:`~repro.engine.updates.KernelDelta`.
+
+    The fast path keeps ``previous`` (with its value recomputed on the
+    new kernel) only under conditions where re-running provably returns
+    the same selection — the parity guarantee:
+
+    * the delta deleted no selected row (deleting only never-selected
+      rows preserves every first-wins scan: surviving candidates keep
+      their relative order, and each round's winner is still present);
+    * every inserted row is provably uncompetitive for the algorithm —
+      for the incremental-selection heuristics (``mmr``,
+      ``greedy_max_min``) its optimistic score bound
+      ``(1−λ)·rel + λ·max_j dist`` stays strictly below every round's
+      winning score (lower-bounded by the final-set marginal, since
+      novelty minima only shrink as the chosen prefix grows) and its
+      relevance stays below the seed pick's; for ``modular_top_k`` its
+      item score stays strictly below the k-th selected score;
+    * the objective's scores are universe-independent (F_mono with
+      λ > 0 rescores *every* row on any delta, so it always re-runs).
+
+    Algorithms without a sound insertion bound (pair-greedy, marginal
+    greedy) re-run on any insertion, and local search — whose
+    seed-and-swap trajectory can shift when *any* row order changes —
+    re-runs on any non-empty delta.  Returns None when the post-delta
+    instance has no size-k candidate set.
+    """
+    from ..engine.engine import ALGORITHMS, EngineError, auto_algorithm
+
+    name = auto_algorithm(instance) if algorithm == "auto" else algorithm
+    try:
+        solver = ALGORITHMS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown algorithm {name!r}; choose 'auto' or one of {sorted(ALGORITHMS)}"
+        ) from None
+    kernel.ensure_matches(instance)
+    if kernel.n != delta.new_size:
+        raise ValueError(
+            f"kernel snapshot (n={kernel.n}) does not reflect the delta "
+            f"(new_size={delta.new_size}); apply_delta first"
+        )
+
+    def rerun(reason: str) -> RepairResult | None:
+        result = solver(instance, kernel)
+        if result is None:
+            return None
+        return RepairResult(float(result[0]), result[1], True, reason)
+
+    def keep(reason: str) -> RepairResult:
+        indices = [kernel.index_of(row) for row in previous]
+        value = kernel.value(indices, instance.objective)
+        return RepairResult(float(value), tuple(previous), False, reason)
+
+    previous = tuple(previous)
+    objective = instance.objective
+    if len(previous) != instance.k:
+        return rerun("result size k changed")
+    if delta.is_empty:
+        return keep("empty delta")
+    if len(instance.constraints) > 0:
+        return rerun("constraints may interact with the delta")
+    from ..core.objectives import ObjectiveKind
+
+    if objective.kind is ObjectiveKind.MONO and objective.lam > 0.0:
+        return rerun("F_mono rescores every row on any delta")
+    if name == "local_search":
+        # Local search seeds from the first candidate set and walks a
+        # swap trajectory; deleting even a never-selected row can shift
+        # the seed and land on a different local optimum, so no
+        # deletion-only keep is sound here.
+        return rerun("local-search trajectory is order-dependent")
+    if delta.touches(previous):
+        return rerun("a deleted row was selected")
+    if not delta.inserted:
+        return keep("deletions never selected")
+
+    lam = objective.lam
+    prev_idx = [kernel.index_of(row) for row in previous]
+
+    if name == "modular_top_k":
+        scores = kernel.item_scores(objective)
+        kth = min(scores[i] for i in prev_idx)
+        for row in delta.inserted:
+            if scores[kernel.index_of(row)] >= kth - _EPS:
+                return rerun("an inserted row's score reaches the top k")
+        return keep("no inserted row reaches the top k")
+
+    if name in ("mmr", "greedy_max_min"):
+        # greedy_max_min zeroes relevance at λ = 1 and seeds by position,
+        # where any insertion can shift the seed — no sound skip there.
+        if name == "greedy_max_min" and lam >= 1.0:
+            return rerun("λ=1 seeding is position-dependent")
+        rel = kernel.relevance_of
+        max_prev_rel = max(rel(i) for i in prev_idx)
+        marginal = float("inf")
+        for pos, s in enumerate(prev_idx):
+            # Exclude by *position*, not index value: a duplicate-bearing
+            # selection maps twin picks to one kernel index, and dropping
+            # both copies would hide the 0-distance to the twin and
+            # overestimate the marginal (wrongly skipping a re-run).
+            others = [u for other, u in enumerate(prev_idx) if other != pos]
+            novelty = (
+                min(kernel.distance_between(s, u) for u in others) if others else 0.0
+            )
+            marginal = min(marginal, (1.0 - lam) * rel(s) + lam * novelty)
+        for row in delta.inserted:
+            i = kernel.index_of(row)
+            if rel(i) >= max_prev_rel - _EPS:
+                return rerun("an inserted row competes for the seed pick")
+            max_dist = max(
+                kernel.distance_between(i, j) for j in range(kernel.n) if j != i
+            )
+            bound = (1.0 - lam) * rel(i) + lam * max_dist
+            if bound >= marginal - _EPS:
+                return rerun("an inserted row's bound beats the current marginal")
+        return keep("no inserted row is competitive")
+
+    return rerun(f"no sound insertion bound for {name!r}")
 
 
 def streaming_qrd(

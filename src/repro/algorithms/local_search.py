@@ -101,9 +101,13 @@ def _local_search_kernel(
     for _ in range(max_rounds):
         best_swap: tuple[int, int, float] | None = None
         chosen_set = set(current)
+        # Value-based skip, matching the direct path: a swap may not
+        # introduce a row equal to a current member (candidate sets are
+        # value-distinct), even when duplicated answer positions exist.
+        chosen_rows = {answers[i] for i in current}
         for position in range(len(current)):
             for new in range(kernel.n):
-                if new in chosen_set:
+                if new in chosen_set or answers[new] in chosen_rows:
                     continue
                 trial = list(current)
                 trial[position] = new

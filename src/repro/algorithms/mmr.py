@@ -52,21 +52,27 @@ def mmr_select(
     def relevance(t: Row) -> float:
         return objective.relevance(t, instance.query)
 
-    chosen: list[Row] = [max(answers, key=relevance)]
-    remaining = [t for t in answers if t != chosen[0]]
+    # Index-based bookkeeping (mirroring _mmr_select_kernel): with
+    # duplicated answer rows, equality-based removal would drop *all*
+    # copies of a pick at once — starving the pool below k or diverging
+    # from the kernel path.  Each position is its own candidate.
+    first = max(range(len(answers)), key=lambda i: relevance(answers[i]))
+    chosen = [first]
+    remaining = [i for i in range(len(answers)) if i != first]
     while len(chosen) < k:
-        best_tuple: Row | None = None
+        best_index = -1
         best_score = float("-inf")
-        for t in remaining:
-            novelty = min(objective.distance(t, s) for s in chosen)
+        for i in remaining:
+            t = answers[i]
+            novelty = min(objective.distance(t, answers[s]) for s in chosen)
             score = (1.0 - trade_off) * relevance(t) + trade_off * novelty
             if score > best_score:
                 best_score = score
-                best_tuple = t
-        assert best_tuple is not None
-        chosen.append(best_tuple)
-        remaining.remove(best_tuple)
-    subset = tuple(chosen)
+                best_index = i
+        assert best_index >= 0
+        chosen.append(best_index)
+        remaining.remove(best_index)
+    subset = tuple(answers[i] for i in chosen)
     return (instance.value(subset), subset)
 
 

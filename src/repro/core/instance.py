@@ -108,6 +108,14 @@ class DiversificationInstance:
         """
         answers = self.answers()
         has_constraints = len(self.constraints) > 0
+        # Candidate sets are value-distinct k-subsets; when Q(D) carries
+        # duplicated rows, enumerate over the distinct values (first
+        # occurrences, order preserved) so each candidate set is yielded
+        # exactly once — position combinations would repeat values and
+        # double-count sets for callers like the #RDC counter.  The
+        # common duplicate-free case pays one up-front set() only.
+        if len(set(answers)) != len(answers):
+            answers = list(dict.fromkeys(answers))
         for combo in itertools.combinations(answers, self.k):
             if has_constraints and not self.constraints.satisfied_by(combo):
                 continue

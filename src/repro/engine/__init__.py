@@ -10,7 +10,11 @@ dominant cost on the direct path is re-invoking the Python-level
   available, pure-Python fallback with identical semantics);
 * :class:`DiversificationEngine` runs batches of ``(Q, D, k, F)``
   instances through a chosen algorithm with kernel reuse and an LRU
-  cache keyed on the ``(query, db, δ_rel, δ_dis)`` materialization.
+  cache keyed on the ``(query, db, δ_rel, δ_dis)`` materialization;
+* :mod:`repro.engine.updates` diffs a kernel snapshot against a freshly
+  materialized ``Q(D)`` (:class:`KernelDelta`), and
+  :meth:`ScoringKernel.apply_delta` patches the arrays in O(n·|Δ|) so
+  in-place database updates do not re-pay the O(n²) precomputation.
 
 All heuristics in :mod:`repro.algorithms` accept an optional ``kernel``
 argument and fall back to the direct-objective path without one.
@@ -27,6 +31,7 @@ from .engine import (
     variants_grid,
 )
 from .kernel import KernelError, ScoringKernel, numpy_available
+from .updates import KernelDelta, compute_delta, delta_for_instance
 
 __all__ = [
     "ALGORITHMS",
@@ -34,9 +39,12 @@ __all__ = [
     "DiversificationEngine",
     "EngineError",
     "EngineResult",
+    "KernelDelta",
     "KernelError",
     "ScoringKernel",
     "auto_algorithm",
+    "compute_delta",
+    "delta_for_instance",
     "modular_top_k",
     "numpy_available",
     "variants_grid",

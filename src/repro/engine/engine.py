@@ -38,6 +38,7 @@ from ..core.instance import DiversificationInstance
 from ..core.objectives import ObjectiveKind
 from ..relational.schema import Row
 from .kernel import ScoringKernel
+from .updates import compute_delta
 
 SearchResult = tuple[float, tuple[Row, ...]]
 
@@ -133,15 +134,30 @@ def auto_algorithm(instance: DiversificationInstance) -> str:
 
 @dataclass
 class CacheStats:
-    """Kernel-cache counters (mutated in place by the engine)."""
+    """Kernel-cache counters (mutated in place by the engine).
+
+    Every :meth:`DiversificationEngine.kernel_for` lookup lands in
+    exactly one of ``hits`` (fresh cached kernel served), ``patches``
+    (stale cached kernel delta-patched in place) or ``misses`` (kernel
+    built from scratch); ``stale_rebuilds`` counts the subset of misses
+    that displaced a matching-but-stale kernel whose delta exceeded the
+    patch threshold, and ``evictions`` counts LRU displacements — so the
+    counters add up under mutation-heavy workloads.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    patches: int = 0
+    stale_rebuilds: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.patches
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
+        total = self.lookups
         return self.hits / total if total else 0.0
 
 
@@ -160,7 +176,10 @@ class DiversificationEngine:
     """Runs batches of diversification instances with kernel reuse.
 
     ``cache_size`` bounds the number of live kernels (LRU eviction);
-    ``use_numpy`` selects the kernel backend (None = auto-detect).
+    ``use_numpy`` selects the kernel backend (None = auto-detect);
+    ``patch_threshold`` is the largest delta, as a fraction of the
+    answer-set size, that a stale cached kernel is delta-patched for
+    (larger deltas rebuild from scratch — 0 disables patching).
     """
 
     def __init__(
@@ -168,6 +187,7 @@ class DiversificationEngine:
         algorithm: str = "auto",
         cache_size: int = 8,
         use_numpy: bool | None = None,
+        patch_threshold: float = 0.5,
     ):
         if cache_size < 1:
             raise EngineError(f"cache_size must be >= 1, got {cache_size}")
@@ -176,9 +196,14 @@ class DiversificationEngine:
                 f"unknown algorithm {algorithm!r}; "
                 f"choose 'auto' or one of {sorted(ALGORITHMS)}"
             )
+        if patch_threshold < 0.0:
+            raise EngineError(
+                f"patch_threshold must be >= 0, got {patch_threshold}"
+            )
         self.algorithm = algorithm
         self.cache_size = cache_size
         self.use_numpy = use_numpy
+        self.patch_threshold = patch_threshold
         self._cache: OrderedDict[tuple[int, int, int, int], ScoringKernel] = (
             OrderedDict()
         )
@@ -201,21 +226,29 @@ class DiversificationEngine:
         on first use.  Cached kernels hold strong references to their
         query/db/function objects, so the ``id``-based key cannot be
         recycled while the entry is live; :meth:`ScoringKernel.matches`
-        re-verifies identity on every hit, and
-        :meth:`ScoringKernel.is_fresh_for` re-materializes Q(D) (the
-        evaluation every direct-path algorithm performs anyway) so an
-        in-place database mutation triggers a rebuild instead of
-        silently serving the stale snapshot."""
+        re-verifies identity on every hit, and the snapshot is compared
+        against the re-materialized Q(D) (the evaluation every
+        direct-path algorithm performs anyway) so an in-place database
+        mutation is never served stale.  A stale kernel whose delta is
+        within ``patch_threshold`` is **patched** in place
+        (:meth:`ScoringKernel.apply_delta`, O(n·|Δ|)) rather than
+        rebuilt; beyond the threshold it is rebuilt and the displaced
+        snapshot is accounted in ``stats.stale_rebuilds``."""
         key = self._cache_key(instance)
         kernel = self._cache.get(key)
-        if (
-            kernel is not None
-            and kernel.matches(instance)
-            and kernel.is_fresh_for(instance)
-        ):
-            self._cache.move_to_end(key)
-            self.stats.hits += 1
-            return kernel
+        if kernel is not None and kernel.matches(instance):
+            rows = instance.answers()
+            if kernel.snapshot_equals(rows):
+                self._cache.move_to_end(key)
+                self.stats.hits += 1
+                return kernel
+            delta = compute_delta(kernel, rows)
+            if delta.size <= self.patch_threshold * max(kernel.n, len(rows), 1):
+                kernel.apply_delta(delta.inserted, delta.deleted)
+                self._cache.move_to_end(key)
+                self.stats.patches += 1
+                return kernel
+            self.stats.stale_rebuilds += 1
         kernel = ScoringKernel(instance, use_numpy=self.use_numpy)
         self._cache[key] = kernel
         self._cache.move_to_end(key)
@@ -253,7 +286,7 @@ class DiversificationEngine:
             raise EngineError(
                 f"unknown algorithm {name!r}; choose one of {sorted(ALGORITHMS)}"
             ) from None
-        hits_before = self.stats.hits
+        reused_before = self.stats.hits + self.stats.patches
         kernel = self.kernel_for(instance)
         result = func(instance, kernel)
         if result is None:
@@ -263,7 +296,7 @@ class DiversificationEngine:
             value=float(value),
             rows=rows,
             algorithm=name,
-            kernel_reused=self.stats.hits > hits_before,
+            kernel_reused=self.stats.hits + self.stats.patches > reused_before,
             backend=kernel.backend,
         )
 

@@ -30,7 +30,7 @@ from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from ..core.objectives import Objective, ObjectiveError, ObjectiveKind
-from ..relational.schema import Row
+from ..relational.schema import Row, row_sort_key
 
 if TYPE_CHECKING:
     from ..core.instance import DiversificationInstance
@@ -50,6 +50,15 @@ class KernelError(ValueError):
     """Raised on kernel misuse (backend unavailable, instance mismatch)."""
 
 
+def _first_occurrence_index(answers: Sequence[Row]) -> dict[Row, int]:
+    """Row → first snapshot position (the duplicate-row contract of
+    :meth:`ScoringKernel.index_of`)."""
+    index: dict[Row, int] = {}
+    for i, row in enumerate(answers):
+        index.setdefault(row, i)
+    return index
+
+
 class ScoringKernel:
     """Precomputed relevance vector + distance matrix for one ``(Q, D)``.
 
@@ -59,6 +68,10 @@ class ScoringKernel:
     trade-off λ and the result size k are deliberately **not** part of
     the key, so ``with_k`` / ``with_lambda`` variants of an instance all
     share one kernel.
+
+    The snapshot is *maintainable*: :meth:`apply_delta` patches the
+    arrays in place after database updates at O(n·|Δ|) scoring-call
+    cost, keeping the kernel element-wise equal to a fresh rebuild.
     """
 
     __slots__ = (
@@ -96,7 +109,7 @@ class ScoringKernel:
         self.answers: tuple[Row, ...] = tuple(instance.answers())
         n = len(self.answers)
         self.n = n
-        self._index = {row: i for i, row in enumerate(self.answers)}
+        self._index = _first_occurrence_index(self.answers)
 
         rel = [self.relevance(t, self.query) for t in self.answers]
         dist = [[0.0] * n for _ in range(n)]
@@ -116,11 +129,15 @@ class ScoringKernel:
             self.backend = "python"
             self._rel = rel
             self._dist = dist
+        self._recompute_row_sums()
+        self._item_scores_cache = {}
+
+    def _recompute_row_sums(self) -> None:
         # Sequential left-to-right sums (not numpy's pairwise summation):
         # bitwise-identical to the direct path's per-row generator sums,
         # so item-score orderings never diverge between backends.
-        self._row_sums = [sum(row) for row in dist]
-        self._item_scores_cache = {}
+        rows = self._dist.tolist() if self.backend == "numpy" else self._dist
+        self._row_sums = [sum(row) for row in rows]
 
     @classmethod
     def from_instance(
@@ -159,21 +176,156 @@ class ScoringKernel:
 
         The kernel captures Q(D) at construction; if the database was
         mutated in place (and ``invalidate_cache()`` called), the arrays
-        are stale.  This re-materializes the instance's answer set —
-        the same evaluation cost every direct-path algorithm pays — and
-        compares row-by-row, so the engine's cache can detect staleness
-        without trusting object identity alone.
+        are stale.  This re-materializes the instance's answer set — the
+        same evaluation cost every direct-path algorithm pays — and
+        compares row-by-row.  A stale kernel is not dead weight: compute
+        the :func:`~repro.engine.updates.delta_for_instance` and
+        :meth:`apply_delta` it (the engine's cache does exactly that).
         """
-        rows = instance.answers()
+        return self.snapshot_equals(instance.answers())
+
+    def snapshot_equals(self, rows: Sequence[Row]) -> bool:
+        """Element-wise comparison of the snapshot against ``rows``."""
         return len(rows) == self.n and all(
             a == b for a, b in zip(self.answers, rows)
         )
 
     def index_of(self, row: Row) -> int:
+        """The snapshot position of ``row``.
+
+        Duplicate-row contract: when equal rows occur several times in
+        the materialized answer set, the index of the **first**
+        occurrence is returned — matching the candidate every
+        first-wins selection loop prefers, so index round-trips agree
+        with a row's position in ``answers`` for all first occurrences.
+        """
         try:
             return self._index[row]
         except KeyError:
             raise KernelError(f"row {row!r} is not in the materialized Q(D)") from None
+
+    # -- delta maintenance -------------------------------------------------
+
+    def apply_delta(
+        self,
+        inserted: Sequence[Row] = (),
+        deleted: Sequence[Row] = (),
+    ) -> "ScoringKernel":
+        """Patch the snapshot in place to reflect ``Q(D)`` after updates.
+
+        ``deleted`` rows are removed from the snapshot (consuming one
+        occurrence per deletion, earliest occurrence first), and
+        ``inserted`` rows are merged into the value-sorted answer order —
+        the order ``Relation.sorted_rows`` produces — so a patched kernel
+        is element-wise equal (answers, relevance vector, distance
+        matrix, row sums, index) to one freshly built from the updated
+        database.  Only entries involving inserted rows invoke
+        ``δ_rel``/``δ_dis``: O(n·|Δ|) scoring calls instead of the O(n²)
+        of a rebuild; surviving entries are copied from the old arrays.
+
+        Raises :class:`KernelError` when a deleted row is not in the
+        snapshot (the delta does not describe this kernel's state).
+        """
+        inserted = list(inserted)
+        deleted = list(deleted)
+        if not inserted and not deleted:
+            return self
+
+        remove: dict[Row, int] = {}
+        for row in deleted:
+            remove[row] = remove.get(row, 0) + 1
+        kept: list[int] = []
+        for i, row in enumerate(self.answers):
+            pending = remove.get(row, 0)
+            if pending:
+                remove[row] = pending - 1
+            else:
+                kept.append(i)
+        missing = [row for row, count in remove.items() if count > 0]
+        if missing:
+            raise KernelError(
+                f"cannot delete rows missing from the snapshot: {missing[:3]!r}"
+            )
+
+        # Merge inserted rows into the kept (already sorted) order at the
+        # position a fresh sorted_rows() materialization would give them.
+        incoming = sorted(inserted, key=row_sort_key)
+        incoming_keys = [row_sort_key(row) for row in incoming]
+        merged: list[tuple[Row, int]] = []  # (row, old index or -1)
+        pos = 0
+        for i in kept:
+            row = self.answers[i]
+            key = row_sort_key(row)
+            while pos < len(incoming) and incoming_keys[pos] < key:
+                merged.append((incoming[pos], -1))
+                pos += 1
+            merged.append((row, i))
+        merged.extend((row, -1) for row in incoming[pos:])
+
+        new_answers = tuple(row for row, _ in merged)
+        old_of_new = [old for _, old in merged]
+        m = len(new_answers)
+        new_positions = [p for p, old in enumerate(old_of_new) if old < 0]
+        new_set = set(new_positions)
+
+        if self.backend == "numpy":
+            new_rel = _np.empty(m, dtype=_np.float64)
+            for p, old in enumerate(old_of_new):
+                new_rel[p] = (
+                    self._rel[old]
+                    if old >= 0
+                    else self.relevance(new_answers[p], self.query)
+                )
+            new_dist = _np.zeros((m, m), dtype=_np.float64)
+            if kept:
+                kept_pos = _np.asarray(
+                    [p for p, old in enumerate(old_of_new) if old >= 0],
+                    dtype=_np.intp,
+                )
+                old_idx = _np.asarray(
+                    [old for old in old_of_new if old >= 0], dtype=_np.intp
+                )
+                new_dist[_np.ix_(kept_pos, kept_pos)] = self._dist[
+                    _np.ix_(old_idx, old_idx)
+                ]
+        else:
+            new_rel = [
+                self._rel[old]
+                if old >= 0
+                else self.relevance(new_answers[p], self.query)
+                for p, old in enumerate(old_of_new)
+            ]
+            new_dist = []
+            for old in old_of_new:
+                if old >= 0:
+                    old_row = self._dist[old]
+                    new_dist.append(
+                        [old_row[q] if q >= 0 else 0.0 for q in old_of_new]
+                    )
+                else:
+                    new_dist.append([0.0] * m)
+
+        for p in new_positions:
+            row_p = new_answers[p]
+            for q in range(m):
+                if q == p or (q < p and q in new_set):
+                    continue  # zero diagonal / pair already filled
+                value = self.distance(row_p, new_answers[q])
+                if self.backend == "numpy":
+                    new_dist[p, q] = value
+                    new_dist[q, p] = value
+                else:
+                    new_dist[p][q] = value
+                    new_dist[q][p] = value
+
+        self.answers = new_answers
+        self.n = m
+        self._rel = new_rel
+        self._dist = new_dist
+        self._index = _first_occurrence_index(new_answers)
+        self._recompute_row_sums()
+        self._item_scores_cache = {}
+        return self
 
     # -- scalar access ----------------------------------------------------
 

@@ -178,7 +178,7 @@ class Relation:
 
     def sorted_rows(self) -> list[Row]:
         """Rows in a deterministic (value-sorted) order."""
-        return sorted(self._rows, key=lambda r: tuple(map(_sort_key, r.values)))
+        return sorted(self._rows, key=row_sort_key)
 
     def __contains__(self, row: object) -> bool:
         return row in self._rows
@@ -206,6 +206,16 @@ class Relation:
 def _sort_key(value: Any) -> tuple[str, str]:
     """Total order over mixed-type values: group by type name, then repr."""
     return (type(value).__name__, repr(value))
+
+
+def row_sort_key(row: Row) -> tuple[tuple[str, str], ...]:
+    """The deterministic total-order key behind :meth:`Relation.sorted_rows`.
+
+    Exposed so snapshot maintainers (e.g. kernel delta patching) can merge
+    new rows into an existing materialization at exactly the position a
+    fresh ``sorted_rows()`` call would put them.
+    """
+    return tuple(map(_sort_key, row.values))
 
 
 class Database:
@@ -251,6 +261,11 @@ class Database:
         relation.add(row)
         self._adom_cache = None
         return row
+
+    def delete(self, relation_name: str, row: Row) -> None:
+        """Remove ``row`` from ``relation_name`` (no-op if absent)."""
+        self.relation(relation_name).discard(row)
+        self._adom_cache = None
 
     def active_domain(self, extra: Iterable[Any] = ()) -> frozenset[Any]:
         """All constants in the database, optionally extended with ``extra``.

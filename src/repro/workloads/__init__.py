@@ -1,6 +1,6 @@
 """Synthetic workload generators: the paper's motivating scenarios plus
 random instances for tests and benchmarks."""
 
-from . import courses, gifts, synthetic, teams, websearch
+from . import courses, gifts, streaming, synthetic, teams, websearch
 
-__all__ = ["courses", "gifts", "synthetic", "teams", "websearch"]
+__all__ = ["courses", "gifts", "streaming", "synthetic", "teams", "websearch"]

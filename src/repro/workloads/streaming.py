@@ -1,0 +1,191 @@
+"""Streaming web-search corpus: timestamped insert/delete traces.
+
+The ROADMAP's north star is a long-lived serving process over
+continuously-arriving traffic; this workload supplies the update side
+of that story.  It wraps the :mod:`repro.workloads.websearch` corpus in
+a :class:`StreamingWebSearch` session whose database is mutated
+*in place* by a reproducible stream of :class:`UpdateEvent`\\ s —
+documents arriving (insert) and expiring (delete) — while the query,
+relevance and distance *objects* stay fixed, so every post-update
+instance hits the same engine kernel-cache key and exercises the
+delta-patching path (:meth:`ScoringKernel.apply_delta`) instead of a
+rebuild.
+
+The distance function reads intent coverage from a live map maintained
+by the session (unlike :func:`websearch.intent_distance`, which
+snapshots coverage at construction), so inserted documents are scored
+correctly without re-deriving the closure.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..core.functions import DistanceFunction
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
+from ..relational.schema import Row
+from . import websearch
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One timestamped database update: a document arriving or expiring."""
+
+    timestamp: float
+    op: str  # "insert" | "delete"
+    doc: str
+    rows: tuple[Row, ...]  # the rows added to / removed from the database
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateEvent(t={self.timestamp:.3f}, {self.op} {self.doc}, "
+            f"{len(self.rows)} rows)"
+        )
+
+
+class StreamingWebSearch:
+    """A websearch corpus under a reproducible insert/delete stream.
+
+    ``insert_fraction`` is the probability of an arrival (vs. an
+    expiry); event inter-arrival times are exponential, so timestamps
+    look like a Poisson process.  The same ``(num_docs, num_intents,
+    seed, insert_fraction)`` parameters always replay the same trace —
+    two sessions built alike can be driven in lockstep to compare
+    maintenance strategies on identical update sequences.
+    """
+
+    def __init__(
+        self,
+        num_docs: int = 50,
+        num_intents: int = 4,
+        seed: int = 17,
+        insert_fraction: float = 0.5,
+    ):
+        if not 0.0 <= insert_fraction <= 1.0:
+            raise ValueError(
+                f"insert_fraction must be in [0,1], got {insert_fraction}"
+            )
+        self.num_intents = num_intents
+        self.insert_fraction = insert_fraction
+        self.db = websearch.generate(
+            num_docs=num_docs, num_intents=num_intents, seed=seed
+        )
+        self.query = websearch.documents_query()
+        self.relevance = websearch.authority_relevance()
+        self._coverage = websearch.coverage_map(self.db)
+        self.distance = DistanceFunction.from_callable(
+            self._live_jaccard, name="intent-jaccard-live"
+        )
+        self._rng = random.Random(seed + 1)
+        self._next_doc = num_docs
+        self._clock = 0.0
+        self._doc_rows: dict[str, list[tuple[str, Row]]] = {}
+        for row in self.db.relation(websearch.DOCS.name).rows:
+            self._doc_rows.setdefault(row["doc"], []).append(
+                (websearch.DOCS.name, row)
+            )
+        for row in self.db.relation(websearch.RESULTS.name).rows:
+            self._doc_rows.setdefault(row["doc"], []).append(
+                (websearch.RESULTS.name, row)
+            )
+
+    def _live_jaccard(self, left: Row, right: Row) -> float:
+        a = set(self._coverage.get(left["doc"], ()))
+        b = set(self._coverage.get(right["doc"], ()))
+        if not a and not b:
+            return 0.0
+        return 1.0 - len(a & b) / len(a | b)
+
+    @property
+    def live_docs(self) -> list[str]:
+        """Currently present document ids (sorted)."""
+        return sorted(self._doc_rows)
+
+    def make_instance(self, k: int = 10, lam: float = 0.5) -> DiversificationInstance:
+        """A diversification instance over the *live* database.
+
+        Reuses the session's query/db/relevance/distance objects, so
+        instances built before and after updates share one engine
+        kernel-cache key (the update path, not a new materialization).
+        """
+        objective = Objective.max_sum(self.relevance, self.distance, lam=lam)
+        return DiversificationInstance(self.query, self.db, k=k, objective=objective)
+
+    # -- the stream --------------------------------------------------------
+
+    def step(self) -> UpdateEvent:
+        """Apply one update to the database and return the event.
+
+        Mixed streams (``insert_fraction > 0``) keep a floor of two live
+        documents by forcing an arrival when the pool runs low, so
+        instances stay solvable; a pure-deletion stream
+        (``insert_fraction == 0``) honors its contract instead, draining
+        the pool and raising :class:`ValueError` once it is empty.
+        """
+        if not self._doc_rows and self.insert_fraction == 0.0:
+            raise ValueError("deletion-only stream exhausted: no live documents")
+        self._clock += self._rng.expovariate(1.0)
+        force_insert = len(self._doc_rows) <= 2 and self.insert_fraction > 0.0
+        if force_insert or self._rng.random() < self.insert_fraction:
+            return self._insert()
+        return self._delete()
+
+    def trace(self, num_events: int) -> Iterator[UpdateEvent]:
+        """Apply and yield ``num_events`` updates, one at a time."""
+        for _ in range(num_events):
+            yield self.step()
+
+    def _insert(self) -> UpdateEvent:
+        doc = f"doc{self._next_doc:03d}"
+        self._next_doc += 1
+        rng = self._rng
+        primary = rng.randrange(self.num_intents)
+        authority = round(0.2 + 0.8 * rng.random(), 3)
+        covered = {primary}
+        for intent in range(self.num_intents):
+            if intent != primary and rng.random() < 0.25:
+                covered.add(intent)
+        rows: list[tuple[str, Row]] = []
+        docs_row = self.db.insert(
+            websearch.DOCS.name, doc, f"intent{primary}", authority
+        )
+        rows.append((websearch.DOCS.name, docs_row))
+        coverage: dict[str, float] = {}
+        for intent in sorted(covered):
+            quality = (
+                1.0 if intent == primary else round(0.3 + 0.4 * rng.random(), 3)
+            )
+            result_row = self.db.insert(
+                websearch.RESULTS.name, doc, f"intent{intent}", quality, authority
+            )
+            rows.append((websearch.RESULTS.name, result_row))
+            coverage[f"intent{intent}"] = quality
+        self._coverage[doc] = coverage
+        self._doc_rows[doc] = rows
+        return UpdateEvent(
+            self._clock, "insert", doc, tuple(row for _, row in rows)
+        )
+
+    def _delete(self) -> UpdateEvent:
+        return self.retire(self._rng.choice(sorted(self._doc_rows)))
+
+    def retire(self, doc: str) -> UpdateEvent:
+        """Expire a specific live document (outside the random stream)."""
+        if doc not in self._doc_rows:
+            raise ValueError(f"document {doc!r} is not live")
+        rows = self._doc_rows.pop(doc)
+        for relation_name, row in rows:
+            self.db.delete(relation_name, row)
+        self._coverage.pop(doc, None)
+        return UpdateEvent(
+            self._clock, "delete", doc, tuple(row for _, row in rows)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingWebSearch(docs={len(self._doc_rows)}, "
+            f"intents={self.num_intents}, t={self._clock:.3f})"
+        )

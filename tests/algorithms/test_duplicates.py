@@ -1,0 +1,136 @@
+"""Duplicate-row correctness: direct path == kernel path for every
+registered algorithm when the answer set carries duplicated tuples.
+
+Query evaluation is set-semantics, so a materialized Q(D) never carries
+duplicates on its own — but kernels and algorithms accept any snapshot
+(user-built instances, future bag-semantics queries), and the historical
+direct-path bookkeeping removed candidates *by equality*, dropping every
+copy of a picked row at once: MMR could crash on its ``best_tuple is not
+None`` assertion, and the greedy loops silently diverged from the
+index-based kernel path.  These tests pin the physical-row contract:
+each answer position is its own candidate, and both paths agree.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objectives import ObjectiveKind
+from repro.engine import ALGORITHMS, ScoringKernel, numpy_available
+from repro.workloads.synthetic import random_instance
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+KIND_FOR = {
+    "greedy_max_min": ObjectiveKind.MAX_MIN,
+    "modular_top_k": ObjectiveKind.MONO,
+}
+
+
+def instance_with_duplicates(algorithm, seed, lam=0.5, n=10, k=4, extra=(0, 3, 3)):
+    kind = KIND_FOR.get(algorithm, ObjectiveKind.MAX_SUM)
+    instance = random_instance(n=n, k=k, kind=kind, lam=lam, seed=seed)
+    answers = instance.answers()
+    # Inject duplicated rows directly into the materialization cache —
+    # the only way duplicates can reach algorithms today, and the shape
+    # any future bag-semantics evaluation would produce.
+    instance._result_cache = answers + [answers[i] for i in extra]
+    return instance
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("seed", range(3))
+def test_direct_equals_kernel_with_duplicates(algorithm, seed, use_numpy):
+    instance = instance_with_duplicates(algorithm, seed)
+    func = ALGORITHMS[algorithm]
+    direct = func(instance, None)
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    routed = func(instance, kernel)
+    assert (direct is None) == (routed is None)
+    if direct is None:
+        return
+    assert routed[1] == direct[1]
+    assert routed[0] == pytest.approx(direct[0], rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("algorithm", ["mmr", "greedy_max_sum", "greedy_max_min"])
+def test_duplicate_heavy_pool_does_not_crash(algorithm):
+    """Fewer distinct values than k, but enough positions: the old
+    equality-based removal starved the pool and crashed MMR here."""
+    kind = KIND_FOR.get(algorithm, ObjectiveKind.MAX_SUM)
+    instance = random_instance(n=3, k=4, kind=kind, lam=0.5, seed=8)
+    answers = instance.answers()
+    instance._result_cache = answers + answers  # 6 positions, 3 values
+    func = ALGORITHMS[algorithm]
+    direct = func(instance, None)
+    routed = func(instance, ScoringKernel(instance, use_numpy=False))
+    assert direct is not None and routed is not None
+    assert direct[1] == routed[1]
+    assert len(direct[1]) == 4
+
+
+def test_local_search_returns_none_without_distinct_candidate_set():
+    """Candidate sets are value-distinct; a duplicate-heavy pool with
+    fewer distinct values than k has none, on both paths."""
+    instance = random_instance(n=3, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=8)
+    answers = instance.answers()
+    instance._result_cache = answers + answers
+    assert ALGORITHMS["local_search"](instance, None) is None
+    assert (
+        ALGORITHMS["local_search"](
+            instance, ScoringKernel(instance, use_numpy=False)
+        )
+        is None
+    )
+
+
+def test_candidate_sets_skip_duplicate_values():
+    instance = random_instance(n=4, k=2, seed=5)
+    answers = instance.answers()
+    instance._result_cache = answers + [answers[0]]
+    seen = set()
+    for combo in instance.candidate_sets():
+        assert len(set(combo)) == 2
+        assert instance.is_candidate_set(combo)
+        # Each value-distinct set appears exactly once — enumeration
+        # counters (#RDC) must not double-count duplicate positions.
+        key = frozenset(combo)
+        assert key not in seen
+        seen.add(key)
+    assert len(seen) == 6  # C(4, 2) over the distinct values
+
+
+def test_kernel_index_of_first_occurrence():
+    instance = random_instance(n=6, k=2, seed=4)
+    answers = instance.answers()
+    instance._result_cache = [answers[0]] + answers  # answers[0] at 0 and 1
+    kernel = ScoringKernel(instance, use_numpy=False)
+    assert kernel.index_of(answers[0]) == 0
+    # Every first occurrence round-trips to its position.
+    seen = set()
+    for i, row in enumerate(kernel.answers):
+        if row not in seen:
+            assert kernel.index_of(row) == i
+            seen.add(row)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    lam=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    dup_positions=st.lists(
+        st.integers(min_value=0, max_value=7), min_size=1, max_size=5
+    ),
+)
+def test_hypothesis_duplicate_parity(seed, lam, dup_positions):
+    for algorithm in ("mmr", "greedy_max_sum", "greedy_marginal_max_sum"):
+        instance = instance_with_duplicates(
+            algorithm, seed, lam=lam, n=8, k=3, extra=tuple(dup_positions)
+        )
+        func = ALGORITHMS[algorithm]
+        direct = func(instance, None)
+        for use_numpy in BACKENDS:
+            routed = func(instance, ScoringKernel(instance, use_numpy=use_numpy))
+            assert routed[1] == direct[1]
+            assert routed[0] == pytest.approx(direct[0], rel=1e-9, abs=1e-9)

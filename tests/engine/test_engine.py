@@ -201,7 +201,7 @@ class TestCaching:
         engine.clear_cache()
         assert engine.cached_kernels == 0
 
-    def test_in_place_db_mutation_rebuilds_kernel(self):
+    def test_in_place_db_mutation_patches_kernel(self):
         from repro.algorithms.mmr import mmr_select
 
         instance = teams_instance(k=3, num_players=9)
@@ -212,10 +212,47 @@ class TestCaching:
         relation.add(("p99", "Star Player", "guard", 99, 20))
         instance.invalidate_cache()
         result = engine.run(instance)
-        # The stale kernel (without p99) must not be served.
-        assert engine.stats.misses == 2
-        assert not result.kernel_reused
+        # The stale kernel (without p99) must not be served as-is: the
+        # single-row delta is patched in place, not rebuilt.
+        assert engine.stats.misses == 1
+        assert engine.stats.patches == 1
+        assert result.kernel_reused
         direct = mmr_select(instance)
         assert result.rows == direct[1]
         assert result.value == pytest.approx(direct[0], rel=1e-9)
         assert any(row["id"] == "p99" for row in result.rows)
+
+    def test_large_mutation_rebuilds_instead_of_patching(self):
+        instance = teams_instance(k=3, num_players=8)
+        engine = DiversificationEngine(algorithm="mmr")
+        engine.run(instance)
+        # Replace most of the roster: the delta exceeds the patch
+        # threshold, so the stale kernel is displaced and rebuilt.
+        relation = instance.db.relation(teams.PLAYERS.name)
+        for row in list(relation.rows)[:6]:
+            relation.discard(row)
+        for i in range(6):
+            relation.add((f"n{i:02d}", f"New Player {i}", "center", 50 + i, 10))
+        instance.invalidate_cache()
+        result = engine.run(instance)
+        assert engine.stats.misses == 2
+        assert engine.stats.stale_rebuilds == 1
+        assert engine.stats.patches == 0
+        assert not result.kernel_reused
+
+    def test_patch_threshold_zero_disables_patching(self):
+        instance = teams_instance(k=3, num_players=9)
+        engine = DiversificationEngine(algorithm="mmr", patch_threshold=0.0)
+        engine.run(instance)
+        instance.db.relation(teams.PLAYERS.name).add(
+            ("p98", "Another Player", "guard", 42, 15)
+        )
+        instance.invalidate_cache()
+        engine.run(instance)
+        assert engine.stats.patches == 0
+        assert engine.stats.misses == 2
+        assert engine.stats.stale_rebuilds == 1
+
+    def test_negative_patch_threshold_rejected(self):
+        with pytest.raises(EngineError):
+            DiversificationEngine(patch_threshold=-0.1)

@@ -1,0 +1,97 @@
+"""Streaming workload: reproducibility, live coverage, database state."""
+
+import pytest
+
+from repro.workloads import websearch
+from repro.workloads.streaming import StreamingWebSearch, UpdateEvent
+
+
+class TestTrace:
+    def test_same_seed_same_trace(self):
+        a = StreamingWebSearch(num_docs=10, seed=5)
+        b = StreamingWebSearch(num_docs=10, seed=5)
+        events_a = list(a.trace(20))
+        events_b = list(b.trace(20))
+        assert [(e.timestamp, e.op, e.doc) for e in events_a] == [
+            (e.timestamp, e.op, e.doc) for e in events_b
+        ]
+        assert a.live_docs == b.live_docs
+
+    def test_timestamps_increase(self):
+        workload = StreamingWebSearch(num_docs=8, seed=2)
+        stamps = [event.timestamp for event in workload.trace(15)]
+        assert stamps == sorted(stamps)
+        assert all(later > 0 for later in stamps)
+
+    def test_insert_fraction_one_only_inserts(self):
+        workload = StreamingWebSearch(num_docs=5, seed=3, insert_fraction=1.0)
+        events = list(workload.trace(10))
+        assert all(event.op == "insert" for event in events)
+        assert len(workload.live_docs) == 15
+
+    def test_insert_fraction_validated(self):
+        with pytest.raises(ValueError):
+            StreamingWebSearch(insert_fraction=1.5)
+
+    def test_deletion_only_stream_drains_then_raises(self):
+        workload = StreamingWebSearch(num_docs=4, seed=2, insert_fraction=0.0)
+        events = list(workload.trace(4))
+        assert all(event.op == "delete" for event in events)
+        assert workload.live_docs == []
+        with pytest.raises(ValueError):
+            workload.step()
+
+    def test_mixed_stream_keeps_two_doc_floor(self):
+        workload = StreamingWebSearch(num_docs=3, seed=6, insert_fraction=0.2)
+        for _ in range(40):
+            workload.step()
+            assert len(workload.live_docs) >= 2
+
+
+class TestDatabaseState:
+    def test_events_mutate_docs_and_results(self):
+        workload = StreamingWebSearch(num_docs=6, seed=7, insert_fraction=1.0)
+        docs = workload.db.relation(websearch.DOCS.name)
+        results = workload.db.relation(websearch.RESULTS.name)
+        before_docs, before_results = len(docs), len(results)
+        event = workload.step()
+        assert isinstance(event, UpdateEvent)
+        assert len(docs) == before_docs + 1
+        # one docs row + one results row per covered intent
+        assert len(results) == before_results + len(event.rows) - 1
+
+    def test_retire_removes_all_rows_and_coverage(self):
+        workload = StreamingWebSearch(num_docs=6, seed=7)
+        doc = workload.live_docs[0]
+        event = workload.retire(doc)
+        assert event.op == "delete"
+        assert doc not in workload.live_docs
+        docs = workload.db.relation(websearch.DOCS.name)
+        results = workload.db.relation(websearch.RESULTS.name)
+        assert all(row["doc"] != doc for row in docs.rows)
+        assert all(row["doc"] != doc for row in results.rows)
+        with pytest.raises(ValueError):
+            workload.retire(doc)
+
+    def test_live_distance_sees_inserted_docs(self):
+        workload = StreamingWebSearch(num_docs=5, seed=11, insert_fraction=1.0)
+        event = workload.step()
+        docs = workload.db.relation(websearch.DOCS.name)
+        new_row = next(row for row in docs.rows if row["doc"] == event.doc)
+        other = next(row for row in docs.rows if row["doc"] != event.doc)
+        # A snapshot distance (websearch.intent_distance) would see an
+        # empty coverage set for the new doc; the live one must not.
+        value = workload.distance(new_row, other)
+        assert 0.0 <= value <= 1.0
+        same = workload.distance(new_row, new_row)
+        assert same == 0.0
+
+    def test_instances_share_kernel_cache_key(self):
+        from repro.engine import DiversificationEngine
+
+        workload = StreamingWebSearch(num_docs=8, seed=13)
+        engine = DiversificationEngine(algorithm="mmr")
+        engine.run(workload.make_instance(k=3))
+        engine.run(workload.make_instance(k=4, lam=0.8))
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == 1
