@@ -1,3 +1,4 @@
+#!/usr/bin/env python
 """Heuristics vs exact optimizers (the algorithms Section 10 calls for).
 
 The paper's conclusion motivates heuristic/approximation algorithms for
@@ -5,100 +6,203 @@ the intractable cases.  This bench measures, on metric instances where
 the classic guarantees apply:
 
 * runtime: greedy/MMR are orders of magnitude faster than exact search;
-* quality: the achieved fraction of the exact optimum is recorded in
-  ``extra_info`` (greedy max-sum must stay ≥ 0.5 by the dispersion
-  2-approximation theorem; in practice it is ≥ 0.9 here).
+* quality: the achieved fraction of the exact optimum (greedy max-sum
+  must stay ≥ 0.5 by the dispersion 2-approximation theorem; in
+  practice it is ≥ 0.9 here);
+* scaling: greedy at sizes far beyond exact reach (C(120, 6) ≈ 10^10
+  subsets would be needed for enumeration).
+
+Every measurement runs through the unified kernel substrate — the
+heuristics and the exact optimizers are dispatched from ``ALGORITHMS``
+via one :class:`~repro.engine.DiversificationEngine`, so the per-instance
+kernel is built once and shared across the bake-off, exactly the
+serving shape.
+
+Usage::
+
+    python benchmarks/bench_heuristics.py               # full run
+    python benchmarks/bench_heuristics.py --smoke       # sub-second CI check
+    python benchmarks/bench_heuristics.py --no-numpy    # pure-Python kernels
+    python benchmarks/bench_heuristics.py --json out.json
 """
 
-import pytest
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
 
-from repro.algorithms.exact import branch_and_bound_max_sum, exhaustive_best
-from repro.algorithms.greedy import greedy_max_min, greedy_max_sum
-from repro.algorithms.local_search import local_search
-from repro.algorithms.mmr import mmr_select
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH/pip install
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.core.objectives import ObjectiveKind
+from repro.engine import DiversificationEngine, numpy_available
 
 import common
 
+SMOKE_BUDGET_SECONDS = 2.0
 
-def _max_sum_instance(n=16, k=5, lam=0.7, seed=2):
-    return common.data_instance(n=n, k=k, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed)
+# The dispersion 2-approximation bound for the metric greedy heuristics.
+GUARANTEED = {"greedy_max_sum": 0.5, "greedy_max_min": 0.5}
+
+HEURISTICS = {
+    ObjectiveKind.MAX_SUM: [
+        "greedy_max_sum",
+        "greedy_marginal_max_sum",
+        "mmr",
+        "local_search",
+    ],
+    ObjectiveKind.MAX_MIN: ["greedy_max_min", "mmr", "local_search"],
+}
+
+EXACT = {
+    ObjectiveKind.MAX_SUM: "branch_and_bound_max_sum",
+    ObjectiveKind.MAX_MIN: "exhaustive",
+}
 
 
-def _max_min_instance(n=14, k=4, lam=1.0, seed=2):
-    return common.data_instance(n=n, k=k, kind=ObjectiveKind.MAX_MIN, lam=lam, seed=seed)
+def _timed_run(engine, instance, algorithm, repeat):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = engine.run(instance, algorithm=algorithm)
+        best = min(best, time.perf_counter() - start)
+    return best, result
 
 
-def bench_exact_branch_and_bound(benchmark):
-    instance = _max_sum_instance()
+def bakeoff(kind, n, k, lam, seed, use_numpy, repeat, with_exact=True):
+    """One instance, every applicable heuristic, one shared kernel."""
+    instance = common.data_instance(n=n, k=k, kind=kind, lam=lam, seed=seed)
     instance.answers()
-    result = benchmark.pedantic(
-        branch_and_bound_max_sum, args=(instance,), rounds=2, iterations=1
+    engine = DiversificationEngine(use_numpy=use_numpy)
+
+    optimum = math.nan
+    exact_seconds = math.nan
+    if with_exact:
+        exact_seconds, exact_result = _timed_run(
+            engine, instance, EXACT[kind], repeat
+        )
+        optimum = exact_result.value
+
+    records = []
+    for algorithm in HEURISTICS[kind]:
+        seconds, result = _timed_run(engine, instance, algorithm, repeat)
+        quality = math.nan
+        if optimum == optimum:  # not NaN
+            quality = result.value / optimum if optimum else 1.0
+            floor = GUARANTEED.get(algorithm)
+            assert floor is None or quality >= floor - 1e-9, (
+                f"{algorithm} broke its {floor}-approximation: {quality:.4f}"
+            )
+        records.append(
+            common.HeuristicsBenchRecord(
+                objective=kind.value,
+                algorithm=algorithm,
+                n=n,
+                k=k,
+                lam=lam,
+                backend=result.backend,
+                seconds=seconds,
+                exact_seconds=exact_seconds,
+                quality=quality,
+            )
+        )
+    return records
+
+
+def scaling_sweep(sizes, use_numpy, repeat, k=6, lam=0.7, seed=4):
+    """Greedy max-sum at sizes beyond exact reach (no quality column)."""
+    records = []
+    for n in sizes:
+        records.extend(
+            bakeoff(
+                ObjectiveKind.MAX_SUM,
+                n=n,
+                k=k,
+                lam=lam,
+                seed=seed,
+                use_numpy=use_numpy,
+                repeat=repeat,
+                with_exact=False,
+            )
+        )
+    return records
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"tiny sizes with a {SMOKE_BUDGET_SECONDS:g}s budget (CI rot check)",
     )
-    benchmark.extra_info["optimum"] = round(result[0], 2)
-
-
-def bench_exact_enumeration_max_min(benchmark):
-    instance = _max_min_instance()
-    instance.answers()
-    result = benchmark.pedantic(
-        exhaustive_best, args=(instance,), rounds=2, iterations=1
+    parser.add_argument("--repeat", type=int, default=1, help="best-of repetitions")
+    parser.add_argument(
+        "--no-numpy",
+        action="store_true",
+        help="force the pure-Python kernel backend",
     )
-    benchmark.extra_info["optimum"] = round(result[0], 2)
+    parser.add_argument("--json", default=None, help="write records to this JSON file")
+    args = parser.parse_args(argv)
+
+    use_numpy = False if args.no_numpy else None
+    start = time.perf_counter()
+    if args.smoke:
+        records = bakeoff(
+            ObjectiveKind.MAX_SUM, n=12, k=4, lam=0.7, seed=2,
+            use_numpy=use_numpy, repeat=args.repeat,
+        )
+        records += bakeoff(
+            ObjectiveKind.MAX_MIN, n=10, k=3, lam=1.0, seed=2,
+            use_numpy=use_numpy, repeat=args.repeat,
+        )
+        title = "heuristics smoke (n=12/10)"
+    else:
+        records = bakeoff(
+            ObjectiveKind.MAX_SUM, n=16, k=5, lam=0.7, seed=2,
+            use_numpy=use_numpy, repeat=args.repeat,
+        )
+        records += bakeoff(
+            ObjectiveKind.MAX_MIN, n=14, k=4, lam=1.0, seed=2,
+            use_numpy=use_numpy, repeat=args.repeat,
+        )
+        records += scaling_sweep([30, 60, 120], use_numpy, args.repeat)
+        title = (
+            f"heuristics vs exact (numpy={numpy_available() and not args.no_numpy})"
+        )
+    elapsed = time.perf_counter() - start
+
+    print(common.render_heuristics_report(records, title=title))
+    if args.json:
+
+        def jsonable(record):
+            # NaN (no exact reference at this size) is not valid JSON;
+            # strict consumers of the BENCH_*.json artifacts need null.
+            return {
+                key: None if isinstance(value, float) and value != value else value
+                for key, value in record.as_dict().items()
+            }
+
+        payload = {
+            "bench": "heuristics",
+            "smoke": args.smoke,
+            "records": [jsonable(r) for r in records],
+            "wall_seconds": elapsed,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=1, allow_nan=False))
+        print(f"\nwrote {args.json}")
+
+    if args.smoke:
+        print(f"\nsmoke wall time: {elapsed:.3f}s (budget {SMOKE_BUDGET_SECONDS}s)")
+        if elapsed > SMOKE_BUDGET_SECONDS:
+            print("SMOKE BUDGET EXCEEDED", file=sys.stderr)
+            return 1
+    return 0
 
 
-def bench_greedy_max_sum(benchmark):
-    instance = _max_sum_instance()
-    instance.answers()
-    optimum = branch_and_bound_max_sum(instance)[0]
-    result = benchmark.pedantic(
-        greedy_max_sum, args=(instance,), rounds=3, iterations=1
-    )
-    ratio = result[0] / optimum if optimum else 1.0
-    assert ratio >= 0.5 - 1e-9  # the dispersion 2-approximation bound
-    benchmark.extra_info["quality_vs_optimum"] = round(ratio, 4)
-
-
-def bench_greedy_max_min(benchmark):
-    instance = _max_min_instance()
-    instance.answers()
-    optimum = exhaustive_best(instance)[0]
-    result = benchmark.pedantic(
-        greedy_max_min, args=(instance,), rounds=3, iterations=1
-    )
-    ratio = result[0] / optimum if optimum else 1.0
-    assert ratio >= 0.5 - 1e-9
-    benchmark.extra_info["quality_vs_optimum"] = round(ratio, 4)
-
-
-def bench_mmr(benchmark):
-    instance = _max_sum_instance()
-    instance.answers()
-    optimum = branch_and_bound_max_sum(instance)[0]
-    result = benchmark.pedantic(mmr_select, args=(instance,), rounds=3, iterations=1)
-    benchmark.extra_info["quality_vs_optimum"] = round(result[0] / optimum, 4)
-
-
-def bench_local_search(benchmark):
-    instance = _max_sum_instance()
-    instance.answers()
-    optimum = branch_and_bound_max_sum(instance)[0]
-    result = benchmark.pedantic(
-        local_search, args=(instance,), rounds=2, iterations=1
-    )
-    benchmark.extra_info["quality_vs_optimum"] = round(result[0] / optimum, 4)
-
-
-@pytest.mark.parametrize("n", [30, 60, 120])
-def bench_greedy_scales_polynomially(benchmark, n):
-    """Greedy max-sum at sizes far beyond exact reach (C(120, 6) ≈ 10^10
-    subsets would be needed for enumeration)."""
-    instance = common.data_instance(
-        n=n, k=6, kind=ObjectiveKind.MAX_SUM, lam=0.7, seed=4
-    )
-    instance.answers()
-    result = benchmark.pedantic(
-        greedy_max_sum, args=(instance,), rounds=2, iterations=1
-    )
-    benchmark.extra_info["n"] = n
-    benchmark.extra_info["value"] = round(result[0], 2)
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -186,6 +186,54 @@ def render_update_report(
     return _render_table(title, header, body)
 
 
+@dataclass
+class HeuristicsBenchRecord:
+    """One heuristic-vs-exact measurement from ``bench_heuristics.py``.
+
+    ``quality`` is the achieved fraction of the exact optimum (NaN when
+    the optimum is out of exact reach at this size); ``seconds`` is the
+    engine-path wall time for the heuristic, kernel precompute included
+    on the first algorithm per instance and reused after.
+    """
+
+    objective: str
+    algorithm: str
+    n: int
+    k: int
+    lam: float
+    backend: str
+    seconds: float
+    exact_seconds: float
+    quality: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def render_heuristics_report(
+    records: "list[HeuristicsBenchRecord]",
+    title: str = "heuristics vs exact optimizers",
+) -> str:
+    """An aligned text table of heuristic benchmark records."""
+    header = ("objective", "algorithm", "n", "k", "lam", "backend",
+              "heur [s]", "exact [s]", "quality")
+    body = [
+        (
+            r.objective,
+            r.algorithm,
+            str(r.n),
+            str(r.k),
+            f"{r.lam:g}",
+            r.backend,
+            f"{r.seconds:.4f}",
+            f"{r.exact_seconds:.4f}" if r.exact_seconds == r.exact_seconds else "-",
+            f"{r.quality:.4f}" if r.quality == r.quality else "-",
+        )
+        for r in records
+    ]
+    return _render_table(title, header, body)
+
+
 def integer_score_instance(
     n: int,
     k: int,

@@ -13,6 +13,12 @@ Commands:
           --query "Q(X) :- exists Y : items(X, Y)" \\
           -k 5 --objective max-sum --lambda 0.5 \\
           --relevance-attr score
+
+  ``diversify`` dispatches through the process-wide
+  :class:`~repro.engine.engine.DiversificationEngine`: ``--algorithm``
+  selects any engine algorithm by name (or ``auto``), and
+  ``--cache-stats`` prints the kernel-cache counters — repeated
+  identical queries within one process reuse the cached ScoringKernel.
 """
 
 from __future__ import annotations
@@ -79,20 +85,52 @@ def _cmd_verify(_args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _cmd_diversify(args: argparse.Namespace) -> int:
-    from .core.diversify import diversify, make_instance
+# In-process session memo: the engine's kernel cache is keyed on the
+# *identity* of (query, db, δ_rel, δ_dis), so repeated CLI invocations
+# within one process must hand it the same objects, not equal reloads.
+# Keyed on the resolved inputs plus a filesystem fingerprint, so an
+# edited database file is reloaded rather than served stale.  Bounded
+# (oldest-out) so programmatic callers cycling many databases through
+# main() don't pin them all in memory.
+_CLI_SESSIONS: dict[tuple, tuple] = {}
+_CLI_SESSIONS_MAX = 8
+
+
+def _db_fingerprint(path: Path) -> tuple:
+    if path.is_dir():
+        return tuple(
+            sorted(
+                (entry.name, entry.stat().st_mtime_ns, entry.stat().st_size)
+                for entry in path.glob("*.csv")
+            )
+        )
+    stat = path.stat()
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _load_session(args: argparse.Namespace):
+    """The (db, query, δ_rel, δ_dis) for this invocation, memoized."""
     from .core.functions import DistanceFunction, RelevanceFunction
-    from .core.objectives import Objective, ObjectiveKind
     from .relational.io import load_database_csv_directory, load_database_json
     from .relational.parser import parse_query
 
     path = Path(args.db)
+    key = (
+        str(path.resolve()),
+        args.query,
+        args.relevance_attr,
+        args.distance_attrs,
+    )
+    fingerprint = _db_fingerprint(path)
+    cached = _CLI_SESSIONS.get(key)
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+
     if path.is_dir():
         db = load_database_csv_directory(path)
     else:
         db = load_database_json(path)
     query = parse_query(args.query)
-
     relevance = (
         RelevanceFunction.from_attribute(args.relevance_attr)
         if args.relevance_attr
@@ -103,6 +141,20 @@ def _cmd_diversify(args: argparse.Namespace) -> int:
         if args.distance_attrs
         else DistanceFunction.attribute_mismatch()
     )
+    session = (db, query, relevance, distance)
+    _CLI_SESSIONS.pop(key, None)  # re-insert at the end (freshest)
+    _CLI_SESSIONS[key] = (fingerprint, session)
+    while len(_CLI_SESSIONS) > _CLI_SESSIONS_MAX:
+        _CLI_SESSIONS.pop(next(iter(_CLI_SESSIONS)))
+    return session
+
+
+def _cmd_diversify(args: argparse.Namespace) -> int:
+    from .core.diversify import make_instance, method_algorithm
+    from .core.objectives import Objective, ObjectiveKind
+    from .engine.engine import default_engine
+
+    db, query, relevance, distance = _load_session(args)
     kind = {
         "max-sum": ObjectiveKind.MAX_SUM,
         "max-min": ObjectiveKind.MAX_MIN,
@@ -110,16 +162,38 @@ def _cmd_diversify(args: argparse.Namespace) -> int:
     }[args.objective]
     objective = Objective(kind, relevance, distance, args.trade_off)
     instance = make_instance(query, db, args.k, objective)
-    result = diversify(instance, method=args.method)
+
+    engine = default_engine()
+    if args.algorithm is not None:
+        name, label = args.algorithm, f"algorithm {args.algorithm}"
+    else:
+        name, label = method_algorithm(instance, args.method), f"method {args.method}"
+    try:
+        result = engine.run(instance, algorithm=name)
+    except ValueError as exc:  # objective/algorithm mismatch, constraints, …
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    code = 0
     if result is None:
         print(f"no {args.k}-subset exists (|Q(D)| = {instance.answer_count})")
-        return 1
-    value, picks = result
-    print(f"F = {value:.4f}  (objective {kind.value}, λ = {args.trade_off}, "
-          f"method {args.method})")
-    for row in picks:
-        print("  " + ", ".join(f"{a}={v!r}" for a, v in row.as_dict().items()))
-    return 0
+        code = 1
+    else:
+        print(
+            f"F = {result.value:.4f}  (objective {kind.value}, "
+            f"λ = {args.trade_off}, {label})"
+        )
+        for row in result.rows:
+            print("  " + ", ".join(f"{a}={v!r}" for a, v in row.as_dict().items()))
+    if args.cache_stats:
+        stats = engine.stats
+        print(
+            f"kernel cache: hits={stats.hits} misses={stats.misses} "
+            f"patches={stats.patches} stale_rebuilds={stats.stale_rebuilds} "
+            f"evictions={stats.evictions} lookups={stats.lookups} "
+            f"hit_rate={stats.hit_rate:.2f} backend={result.backend if result else 'n/a'}"
+        )
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,6 +238,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=["auto", "exact", "greedy", "mmr", "local-search"],
         default="auto",
+        help="paper-facing solver family (exact/heuristic)",
+    )
+    d.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="NAME",
+        # Validated in the handler against repro.engine.ALGORITHMS —
+        # argparse choices would force importing the engine (and numpy)
+        # at parser-build time for every subcommand.
+        help="dispatch a specific engine algorithm directly, e.g. mmr, "
+        "greedy_max_sum, exhaustive, or 'auto' (overrides --method)",
+    )
+    d.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the process-wide kernel-cache counters after solving",
     )
     d.set_defaults(func=_cmd_diversify)
     return parser

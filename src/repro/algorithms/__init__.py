@@ -1,19 +1,35 @@
-"""Exact optimizers and heuristics for the diversification function problem."""
+"""Exact optimizers and heuristics for the diversification function problem.
+
+Every algorithm is an index-based selector over a
+:class:`~repro.engine.kernel.ScoringKernel` (the ``select_*`` names);
+the row-returning signatures are thin adapters kept for the original
+API (see :mod:`repro.algorithms.substrate`).
+"""
 
 from .exact import (
     best_modular,
     branch_and_bound_max_sum,
     exhaustive_best,
     optimal_value,
+    select_best_modular,
+    select_branch_and_bound_max_sum,
+    select_exhaustive,
 )
-from .greedy import greedy_marginal_max_sum, greedy_max_min, greedy_max_sum
+from .greedy import (
+    greedy_marginal_max_sum,
+    greedy_max_min,
+    greedy_max_sum,
+    select_greedy_marginal_max_sum,
+    select_greedy_max_min,
+    select_greedy_max_sum,
+)
 from .incremental import (
     EarlyTerminationResult,
     early_termination_top_k,
     streaming_qrd,
 )
-from .local_search import local_search
-from .mmr import mmr_select
+from .local_search import local_search, select_local_search
+from .mmr import mmr_select, select_mmr
 
 __all__ = [
     "EarlyTerminationResult",
@@ -28,4 +44,12 @@ __all__ = [
     "local_search",
     "mmr_select",
     "optimal_value",
+    "select_best_modular",
+    "select_branch_and_bound_max_sum",
+    "select_exhaustive",
+    "select_greedy_marginal_max_sum",
+    "select_greedy_max_min",
+    "select_greedy_max_sum",
+    "select_local_search",
+    "select_mmr",
 ]

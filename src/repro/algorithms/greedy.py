@@ -17,11 +17,10 @@ carry approximation guarantees:
 * :func:`greedy_marginal_max_sum` — simple one-at-a-time marginal-gain
   greedy (the baseline most systems ship).
 
-Each heuristic accepts an optional precomputed
-:class:`~repro.engine.kernel.ScoringKernel`; with one, candidate scoring
-reads the precomputed relevance vector / distance matrix instead of
-re-invoking the objective's Python callables per pair, selecting the
-same tuples as the direct path.
+Each heuristic is an index-based selector over a
+:class:`~repro.engine.kernel.ScoringKernel` (``select_*``); the
+row-returning signatures are adapters that build — or accept — a kernel
+and delegate, so there is exactly one scoring loop per rule.
 """
 
 from __future__ import annotations
@@ -29,101 +28,40 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.instance import DiversificationInstance
-from ..core.objectives import ObjectiveKind
-from ..relational.schema import Row
+from ..core.objectives import Objective, ObjectiveKind
+from .substrate import SearchResult, ensure_kernel, selection_result
 
 if TYPE_CHECKING:
     from ..engine.kernel import ScoringKernel
 
-SearchResult = tuple[float, tuple[Row, ...]]
+__all__ = [
+    "greedy_max_sum",
+    "greedy_max_min",
+    "greedy_marginal_max_sum",
+    "select_greedy_max_sum",
+    "select_greedy_max_min",
+    "select_greedy_marginal_max_sum",
+]
 
 
-def _pair_weight(
-    instance: DiversificationInstance, left: Row, right: Row
-) -> float:
-    """The edge weight of the dispersion-graph view of F_MS:
-
-        w(t, s) = (1−λ)(δ_rel(t) + δ_rel(s)) + (2λ/(k−1))·δ_dis(t, s)
-
-    Summing w over the C(k,2) edges of U yields F_MS(U)/(k−1), so
-    maximizing total edge weight maximizes F_MS.
-    """
-    objective = instance.objective
-    lam = objective.lam
-    k = instance.k
-    relevance = 0.0
-    if lam < 1.0:
-        relevance = objective.relevance(left, instance.query) + objective.relevance(
-            right, instance.query
-        )
-    distance = 0.0
-    if lam > 0.0 and k > 1:
-        distance = 2.0 * lam / (k - 1) * objective.distance(left, right)
-    return (1.0 - lam) * relevance + distance
-
-
-def greedy_max_sum(
-    instance: DiversificationInstance,
-    kernel: "ScoringKernel | None" = None,
-) -> SearchResult | None:
+def select_greedy_max_sum(
+    kernel: "ScoringKernel", objective: Objective, k: int
+) -> list[int] | None:
     """Pair-greedy 2-approximation for F_MS (Gollapudi & Sharma 2009).
 
-    Picks ⌊k/2⌋ disjoint pairs of maximum weight, plus an arbitrary
-    remaining tuple when k is odd.  Returns None when |Q(D)| < k.
+    Picks ⌊k/2⌋ disjoint pairs of maximum dispersion-graph weight
+
+        w(i, j) = (1−λ)(rel_i + rel_j) + (2λ/(k−1)) · dist[i][j]
+
+    plus the most relevant remaining singleton when k is odd.  Returns
+    None when the snapshot holds fewer than k rows.
     """
-    if instance.objective.kind is not ObjectiveKind.MAX_SUM:
+    if objective.kind is not ObjectiveKind.MAX_SUM:
         raise ValueError("greedy_max_sum requires F_MS")
-    if kernel is not None:
-        return _greedy_max_sum_kernel(instance, kernel)
-    answers = list(instance.answers())
-    k = instance.k
-    if len(answers) < k:
-        return None
-
-    def relevance(i: int) -> float:
-        return instance.objective.relevance(answers[i], instance.query)
-
-    if k == 1:
-        best = max(range(len(answers)), key=relevance)
-        return (instance.value((answers[best],)), (answers[best],))
-
-    # Index-based bookkeeping (mirroring the kernel path): with
-    # duplicated answer rows, equality-based removal would discard every
-    # copy of a picked tuple instead of just the picked position.
-    chosen: list[int] = []
-    available = list(range(len(answers)))
-    while len(chosen) + 1 < k:
-        best_pair: tuple[int, int] | None = None
-        best_weight = -1.0
-        for pos, i in enumerate(available):
-            for j in available[pos + 1 :]:
-                weight = _pair_weight(instance, answers[i], answers[j])
-                if weight > best_weight:
-                    best_weight = weight
-                    best_pair = (i, j)
-        assert best_pair is not None
-        chosen.extend(best_pair)
-        available = [t for t in available if t not in best_pair]
-    if len(chosen) < k:
-        # k odd: add the best remaining singleton by relevance.
-        chosen.append(max(available, key=relevance))
-    subset = tuple(answers[i] for i in chosen)
-    return (instance.value(subset), subset)
-
-
-def _greedy_max_sum_kernel(
-    instance: DiversificationInstance, kernel: "ScoringKernel"
-) -> SearchResult | None:
-    kernel.ensure_matches(instance)
-    k = instance.k
     if kernel.n < k:
         return None
-    objective = instance.objective
     if k == 1:
-        best = kernel.argmax(kernel.relevance_scores())
-        subset = (kernel.answers[best],)
-        return (kernel.value([best], objective), subset)
-
+        return [kernel.argmax(kernel.relevance_scores())]
     chosen: list[int] = []
     available = list(range(kernel.n))
     while len(chosen) + 1 < k:
@@ -131,67 +69,38 @@ def _greedy_max_sum_kernel(
         chosen.extend((i, j))
         available = [t for t in available if t != i and t != j]
     if len(chosen) < k:
+        # k odd: add the best remaining singleton by relevance.
         chosen.append(kernel.argmax(kernel.relevance_scores(), within=available))
-    subset = tuple(kernel.answers[i] for i in chosen)
-    return (kernel.value(chosen, objective), subset)
+    return chosen
 
 
-def greedy_max_min(
+def greedy_max_sum(
     instance: DiversificationInstance,
     kernel: "ScoringKernel | None" = None,
 ) -> SearchResult | None:
+    """Row-based adapter for :func:`select_greedy_max_sum`."""
+    if instance.objective.kind is not ObjectiveKind.MAX_SUM:
+        raise ValueError("greedy_max_sum requires F_MS")
+    kernel = ensure_kernel(instance, kernel)
+    indices = select_greedy_max_sum(kernel, instance.objective, instance.k)
+    return selection_result(kernel, instance.objective, indices)
+
+
+def select_greedy_max_min(
+    kernel: "ScoringKernel", objective: Objective, k: int
+) -> list[int] | None:
     """Greedy 2-approximation for max-min dispersion, adapted to F_MM.
 
-    Seeds with the most relevant tuple, then repeatedly adds the tuple
-    ``t`` maximizing  min((1−λ)·δ_rel(t), λ·min_{s∈chosen} δ_dis(t,s)).
+    Seeds with the most relevant row, then repeatedly adds the row ``i``
+    maximizing ``(1−λ)·rel_i + λ·min_{s∈chosen} dist[i][s]``.  At λ = 1
+    relevance is treated as 0.0 everywhere, so the seed degenerates to
+    the first snapshot row.
     """
-    if instance.objective.kind is not ObjectiveKind.MAX_MIN:
+    if objective.kind is not ObjectiveKind.MAX_MIN:
         raise ValueError("greedy_max_min requires F_MM")
-    if kernel is not None:
-        return _greedy_max_min_kernel(instance, kernel)
-    answers = list(instance.answers())
-    k = instance.k
-    if len(answers) < k:
-        return None
-    objective = instance.objective
-    lam = objective.lam
-
-    def relevance(t: Row) -> float:
-        return objective.relevance(t, instance.query) if lam < 1.0 else 0.0
-
-    # Index-based bookkeeping: each answer position is its own candidate,
-    # so duplicated rows stay selectable (matching the kernel path).
-    chosen = [max(range(len(answers)), key=lambda i: relevance(answers[i]))]
-    excluded = set(chosen)
-    while len(chosen) < k:
-        best_index = -1
-        best_score = -1.0
-        for i, t in enumerate(answers):
-            if i in excluded:
-                continue
-            min_distance = min(objective.distance(t, answers[s]) for s in chosen)
-            score = (1.0 - lam) * relevance(t) + lam * min_distance
-            if score > best_score:
-                best_score = score
-                best_index = i
-        assert best_index >= 0
-        chosen.append(best_index)
-        excluded.add(best_index)
-    subset = tuple(answers[i] for i in chosen)
-    return (instance.value(subset), subset)
-
-
-def _greedy_max_min_kernel(
-    instance: DiversificationInstance, kernel: "ScoringKernel"
-) -> SearchResult | None:
-    kernel.ensure_matches(instance)
-    k = instance.k
     if kernel.n < k:
         return None
-    objective = instance.objective
     lam = objective.lam
-    # At λ = 1 the direct path treats every relevance as 0.0, so the
-    # seeding max() degenerates to the first answer tuple.
     seed = kernel.argmax(kernel.relevance_scores()) if lam < 1.0 else 0
     chosen = [seed]
     excluded = {seed}
@@ -202,61 +111,34 @@ def _greedy_max_min_kernel(
         chosen.append(nxt)
         excluded.add(nxt)
         kernel.minimum_inplace(min_dist, nxt)
-    subset = tuple(kernel.answers[i] for i in chosen)
-    return (kernel.value(chosen, objective), subset)
+    return chosen
 
 
-def greedy_marginal_max_sum(
+def greedy_max_min(
     instance: DiversificationInstance,
     kernel: "ScoringKernel | None" = None,
 ) -> SearchResult | None:
-    """One-at-a-time marginal-gain greedy for F_MS (baseline heuristic)."""
-    if instance.objective.kind is not ObjectiveKind.MAX_SUM:
+    """Row-based adapter for :func:`select_greedy_max_min`."""
+    if instance.objective.kind is not ObjectiveKind.MAX_MIN:
+        raise ValueError("greedy_max_min requires F_MM")
+    kernel = ensure_kernel(instance, kernel)
+    indices = select_greedy_max_min(kernel, instance.objective, instance.k)
+    return selection_result(kernel, instance.objective, indices)
+
+
+def select_greedy_marginal_max_sum(
+    kernel: "ScoringKernel", objective: Objective, k: int
+) -> list[int] | None:
+    """One-at-a-time marginal-gain greedy for F_MS (baseline heuristic).
+
+    Each round adds the row maximizing the marginal F_MS gain
+
+        (k−1)(1−λ)·rel_i + 2λ·Σ_{s∈chosen} dist[i][s]
+    """
+    if objective.kind is not ObjectiveKind.MAX_SUM:
         raise ValueError("greedy_marginal_max_sum requires F_MS")
-    if kernel is not None:
-        return _greedy_marginal_kernel(instance, kernel)
-    answers = list(instance.answers())
-    k = instance.k
-    if len(answers) < k:
-        return None
-    objective = instance.objective
-    lam = objective.lam
-
-    # Index-based bookkeeping: duplicated rows are distinct candidates,
-    # matching the kernel path's excluded-index set.
-    chosen: list[int] = []
-    excluded: set[int] = set()
-    while len(chosen) < k:
-        best_index = -1
-        best_gain = -1.0
-        for i, t in enumerate(answers):
-            if i in excluded:
-                continue
-            gain = 0.0
-            if lam < 1.0:
-                gain += (k - 1) * (1.0 - lam) * objective.relevance(t, instance.query)
-            if lam > 0.0:
-                gain += 2.0 * lam * sum(
-                    objective.distance(t, answers[s]) for s in chosen
-                )
-            if gain > best_gain:
-                best_gain = gain
-                best_index = i
-        assert best_index >= 0
-        chosen.append(best_index)
-        excluded.add(best_index)
-    subset = tuple(answers[i] for i in chosen)
-    return (instance.value(subset), subset)
-
-
-def _greedy_marginal_kernel(
-    instance: DiversificationInstance, kernel: "ScoringKernel"
-) -> SearchResult | None:
-    kernel.ensure_matches(instance)
-    k = instance.k
     if kernel.n < k:
         return None
-    objective = instance.objective
     lam = objective.lam
     rel_coef = (k - 1) * (1.0 - lam)
     dist_coef = 2.0 * lam
@@ -268,6 +150,18 @@ def _greedy_marginal_kernel(
         nxt = kernel.argmax(gains, excluded=excluded)
         chosen.append(nxt)
         excluded.add(nxt)
-        kernel.add_row_inplace(sum_dist, nxt)
-    subset = tuple(kernel.answers[i] for i in chosen)
-    return (kernel.value(chosen, objective), subset)
+        if lam > 0.0:  # λ = 0 gains never read the distance matrix
+            kernel.add_row_inplace(sum_dist, nxt)
+    return chosen
+
+
+def greedy_marginal_max_sum(
+    instance: DiversificationInstance,
+    kernel: "ScoringKernel | None" = None,
+) -> SearchResult | None:
+    """Row-based adapter for :func:`select_greedy_marginal_max_sum`."""
+    if instance.objective.kind is not ObjectiveKind.MAX_SUM:
+        raise ValueError("greedy_marginal_max_sum requires F_MS")
+    kernel = ensure_kernel(instance, kernel)
+    indices = select_greedy_marginal_max_sum(kernel, instance.objective, instance.k)
+    return selection_result(kernel, instance.objective, indices)

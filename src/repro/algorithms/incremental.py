@@ -34,7 +34,9 @@ import heapq
 from typing import TYPE_CHECKING
 
 from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective
 from ..relational.schema import Row
+from .substrate import ensure_kernel
 
 if TYPE_CHECKING:
     from ..engine.kernel import ScoringKernel
@@ -73,22 +75,20 @@ class EarlyTerminationResult:
 
 
 def _sorted_stream(
-    instance: DiversificationInstance,
-    kernel: "ScoringKernel | None" = None,
-) -> list[tuple[float, Row]]:
-    """The answer tuples with their item scores, best first.
+    kernel: "ScoringKernel", objective: Objective
+) -> list[tuple[float, int]]:
+    """The snapshot indices with their item scores, best first.
 
     In a full system the scores would come from an index; here the
-    stream order is what matters for the early-termination logic.  With
-    a kernel, item scores come from the precomputed relevance vector /
-    distance-matrix row sums instead of per-row objective calls.
+    stream order is what matters for the early-termination logic.  Item
+    scores come from the kernel's precomputed relevance vector /
+    distance-matrix row sums; the stable sort keeps snapshot order
+    among score ties.  The stream carries each distinct row once (first
+    occurrence) — a top-k over duplicate positions would select the
+    same tuple twice, which is not a candidate set.
     """
-    if kernel is not None:
-        kernel.ensure_matches(instance)
-        scores = kernel.item_scores(instance.objective)
-        scored = list(zip(scores, kernel.answers))
-    else:
-        scored = [(instance.item_score(t), t) for t in instance.answers()]
+    scores = kernel.item_scores(objective)
+    scored = [(scores[i], i) for i in kernel.distinct_indices()]
     scored.sort(key=lambda pair: pair[0], reverse=True)
     return scored
 
@@ -110,23 +110,24 @@ def early_termination_top_k(
         )
     if len(instance.constraints) > 0:
         raise ValueError("early termination does not support constraints")
-    stream = _sorted_stream(instance, kernel)
+    kernel = ensure_kernel(instance, kernel)
+    stream = _sorted_stream(kernel, instance.objective)
     k = instance.k
     if len(stream) < k:
         return None
 
     heap: list[tuple[float, int]] = []  # min-heap of the best k scores
-    selected: dict[int, Row] = {}
+    selected: dict[int, int] = {}  # arrival position → snapshot index
     consumed = 0
-    for score, row in stream:
+    for score, index in stream:
         consumed += 1
         if len(heap) < k:
             heapq.heappush(heap, (score, consumed))
-            selected[consumed] = row
+            selected[consumed] = index
         elif score > heap[0][0]:
             _, evicted = heapq.heapreplace(heap, (score, consumed))
             del selected[evicted]
-            selected[consumed] = row
+            selected[consumed] = index
         if len(heap) == k:
             # The stream is sorted: no later tuple can beat the current
             # k-th best score.
@@ -135,11 +136,9 @@ def early_termination_top_k(
                 next_score = stream[consumed][0]
                 if next_score <= kth + slack:
                     break
-    rows = tuple(selected[i] for i in sorted(selected))
-    if kernel is not None:
-        value = kernel.value([kernel.index_of(r) for r in rows], instance.objective)
-    else:
-        value = instance.value(rows)
+    indices = [selected[i] for i in sorted(selected)]
+    rows = tuple(kernel.answers[i] for i in indices)
+    value = kernel.value(indices, instance.objective)
     return EarlyTerminationResult(rows, consumed, len(stream), value)
 
 
@@ -326,13 +325,14 @@ def streaming_qrd(
     if instance.objective.kind is ObjectiveKind.MAX_SUM:
         scale = float(max(instance.k - 1, 0))
 
-    stream = _sorted_stream(instance, kernel)
+    kernel = ensure_kernel(instance, kernel)
+    stream = _sorted_stream(kernel, instance.objective)
     k = instance.k
     if len(stream) < k:
         return False, len(stream)
 
     total = 0.0
-    for consumed, (score, _row) in enumerate(stream, start=1):
+    for consumed, (score, _index) in enumerate(stream, start=1):
         total += score
         if consumed == k:
             # Sorted stream: these are the k best scores — final answer.

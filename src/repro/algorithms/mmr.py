@@ -10,9 +10,10 @@ against.  MMR incrementally selects
 guarantee for F_MS/F_MM but is fast — the benchmarks measure the quality
 gap against the exact optimizers.
 
-With a precomputed :class:`~repro.engine.kernel.ScoringKernel` the
-per-candidate novelty minimum becomes one vector update per selection
-instead of |chosen| distance calls per candidate per round.
+:func:`select_mmr` is the index-based selector over a
+:class:`~repro.engine.kernel.ScoringKernel` (the per-candidate novelty
+minimum is one vector update per selection); :func:`mmr_select` is the
+row-based adapter.
 """
 
 from __future__ import annotations
@@ -20,12 +21,38 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.instance import DiversificationInstance
-from ..relational.schema import Row
+from ..core.objectives import Objective
+from .substrate import SearchResult, ensure_kernel, selection_result
 
 if TYPE_CHECKING:
     from ..engine.kernel import ScoringKernel
 
-SearchResult = tuple[float, tuple[Row, ...]]
+__all__ = ["mmr_select", "select_mmr"]
+
+
+def select_mmr(
+    kernel: "ScoringKernel",
+    objective: Objective,
+    k: int,
+    lam: float | None = None,
+) -> list[int] | None:
+    """MMR as an index selector; ``lam`` defaults to the objective's λ."""
+    if kernel.n < k:
+        return None
+    trade_off = objective.lam if lam is None else lam
+    if not 0.0 <= trade_off <= 1.0:
+        raise ValueError(f"λ must be in [0,1], got {trade_off}")
+    first = kernel.argmax(kernel.relevance_scores())
+    chosen = [first]
+    excluded = {first}
+    novelty = kernel.copy_distance_row(first)
+    while len(chosen) < k:
+        scores = kernel.affine_scores(1.0 - trade_off, trade_off, novelty)
+        nxt = kernel.argmax(scores, excluded=excluded)
+        chosen.append(nxt)
+        excluded.add(nxt)
+        kernel.minimum_inplace(novelty, nxt)
+    return chosen
 
 
 def mmr_select(
@@ -38,67 +65,6 @@ def mmr_select(
     Returns (F(U), U) where F is the instance's own objective — so the
     score is directly comparable with the exact optimum.
     """
-    if kernel is not None:
-        return _mmr_select_kernel(instance, lam, kernel)
-    answers = list(instance.answers())
-    k = instance.k
-    if len(answers) < k:
-        return None
-    objective = instance.objective
-    trade_off = objective.lam if lam is None else lam
-    if not 0.0 <= trade_off <= 1.0:
-        raise ValueError(f"λ must be in [0,1], got {trade_off}")
-
-    def relevance(t: Row) -> float:
-        return objective.relevance(t, instance.query)
-
-    # Index-based bookkeeping (mirroring _mmr_select_kernel): with
-    # duplicated answer rows, equality-based removal would drop *all*
-    # copies of a pick at once — starving the pool below k or diverging
-    # from the kernel path.  Each position is its own candidate.
-    first = max(range(len(answers)), key=lambda i: relevance(answers[i]))
-    chosen = [first]
-    remaining = [i for i in range(len(answers)) if i != first]
-    while len(chosen) < k:
-        best_index = -1
-        best_score = float("-inf")
-        for i in remaining:
-            t = answers[i]
-            novelty = min(objective.distance(t, answers[s]) for s in chosen)
-            score = (1.0 - trade_off) * relevance(t) + trade_off * novelty
-            if score > best_score:
-                best_score = score
-                best_index = i
-        assert best_index >= 0
-        chosen.append(best_index)
-        remaining.remove(best_index)
-    subset = tuple(answers[i] for i in chosen)
-    return (instance.value(subset), subset)
-
-
-def _mmr_select_kernel(
-    instance: DiversificationInstance,
-    lam: float | None,
-    kernel: "ScoringKernel",
-) -> SearchResult | None:
-    kernel.ensure_matches(instance)
-    k = instance.k
-    if kernel.n < k:
-        return None
-    objective = instance.objective
-    trade_off = objective.lam if lam is None else lam
-    if not 0.0 <= trade_off <= 1.0:
-        raise ValueError(f"λ must be in [0,1], got {trade_off}")
-
-    first = kernel.argmax(kernel.relevance_scores())
-    chosen = [first]
-    excluded = {first}
-    novelty = kernel.copy_distance_row(first)
-    while len(chosen) < k:
-        scores = kernel.affine_scores(1.0 - trade_off, trade_off, novelty)
-        nxt = kernel.argmax(scores, excluded=excluded)
-        chosen.append(nxt)
-        excluded.add(nxt)
-        kernel.minimum_inplace(novelty, nxt)
-    subset = tuple(kernel.answers[i] for i in chosen)
-    return (kernel.value(chosen, objective), subset)
+    kernel = ensure_kernel(instance, kernel)
+    indices = select_mmr(kernel, instance.objective, instance.k, lam)
+    return selection_result(kernel, instance.objective, indices)

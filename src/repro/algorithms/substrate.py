@@ -1,0 +1,69 @@
+"""The kernel-native selection substrate.
+
+Every algorithm in :mod:`repro.algorithms` is an *index-based selector*
+
+    select_<name>(kernel, objective, k, ...) -> list[int] | None
+
+over a :class:`~repro.engine.kernel.ScoringKernel`: it reads the
+precomputed relevance vector / distance matrix and returns snapshot
+indices (None when no size-k selection exists).  Rows only re-enter at
+the edges — the legacy row-returning signatures
+(``greedy_max_sum(instance, kernel=None)`` etc.) are thin adapters that
+:func:`ensure_kernel` and wrap the selector's indices back into
+``(F(U), rows)`` via :func:`selection_result`.
+
+There is deliberately no non-kernel scoring loop left anywhere: the
+pure-Python kernel backend *is* the no-NumPy path, so one loop per
+algorithm serves both backends and every caller (engine, facade, CLI).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..relational.schema import Row
+
+if TYPE_CHECKING:
+    from ..core.instance import DiversificationInstance
+    from ..core.objectives import Objective
+    from ..engine.kernel import ScoringKernel
+
+SearchResult = tuple[float, tuple[Row, ...]]
+
+
+def ensure_kernel(
+    instance: "DiversificationInstance",
+    kernel: "ScoringKernel | None",
+) -> "ScoringKernel":
+    """The kernel an adapter runs on: the caller's (identity-checked)
+    or a fresh per-call build.
+
+    A fresh build is deliberate — batch callers that want kernel reuse
+    go through :class:`~repro.engine.engine.DiversificationEngine`,
+    whose LRU cache hands the same kernel back; the legacy signatures
+    stay honest one-shot costs (and the engine benchmark's "direct"
+    column stays meaningful).
+    """
+    if kernel is None:
+        # Imported lazily: repro.engine.engine imports the algorithm
+        # modules, so a module-level import here would be circular.
+        from ..engine.kernel import kernel_for_instance
+
+        return kernel_for_instance(instance)
+    kernel.ensure_matches(instance)
+    return kernel
+
+
+def selection_result(
+    kernel: "ScoringKernel",
+    objective: "Objective",
+    indices: Sequence[int] | None,
+) -> SearchResult | None:
+    """Fold selector indices back into the legacy ``(F(U), rows)`` shape."""
+    if indices is None:
+        return None
+    return (
+        kernel.value(indices, objective),
+        tuple(kernel.answers[i] for i in indices),
+    )

@@ -108,40 +108,42 @@ def from_instance(
     themselves; mixed-λ F_MM does not fold into pure dispersion (its
     min-relevance term is per-point), so it is rejected here.
 
-    With a precomputed :class:`~repro.engine.kernel.ScoringKernel` the
-    relevance/distance reads come from the kernel's arrays instead of
-    fresh per-pair function calls.
+    The relevance/distance reads come from a
+    :class:`~repro.engine.kernel.ScoringKernel` — the caller's, or the
+    process-wide engine's cached kernel for this materialization —
+    never from fresh per-pair function calls.
     """
     if not instance.query.is_identity():
         raise DispersionError("the dispersion view requires an identity query")
-    objective = instance.objective
-    lam = objective.lam
-    if kernel is not None:
-        kernel.ensure_matches(instance)
-        answers = kernel.answers
-        n = kernel.n
-
-        def rel_of(i: int) -> float:
-            return kernel.relevance_of(i) if lam < 1.0 else 0.0
-
-        def dist_of(i: int, j: int) -> float:
-            return kernel.distance_between(i, j)
-
-    else:
-        answers = instance.answers()
-        n = len(answers)
-
-        def rel_of(i: int) -> float:
-            return (
-                objective.relevance(answers[i], instance.query) if lam < 1.0 else 0.0
-            )
-
-        def dist_of(i: int, j: int) -> float:
-            return objective.distance(answers[i], answers[j])
-
     k = instance.k
     if k < 2:
         raise DispersionError("dispersion needs k ≥ 2")
+    objective = instance.objective
+    lam = objective.lam
+    # Reject unsupported objectives before paying for (and caching) an
+    # O(n²) kernel the caller can never use.
+    if objective.kind is ObjectiveKind.MAX_MIN and lam != 1.0:
+        raise DispersionError(
+            "F_MM folds into Max-Min Dispersion only at λ = 1 "
+            "(the min-relevance term is per-point, not pairwise)"
+        )
+    if objective.kind not in (ObjectiveKind.MAX_SUM, ObjectiveKind.MAX_MIN):
+        raise DispersionError("F_mono does not reduce to facility dispersion")
+    if kernel is None:
+        # The default engine's LRU cache makes repeated extractions over
+        # one materialization pay the precomputation once.
+        from ..engine.engine import default_engine
+
+        kernel = default_engine().kernel_for(instance)
+    else:
+        kernel.ensure_matches(instance)
+    n = kernel.n
+
+    def rel_of(i: int) -> float:
+        return kernel.relevance_of(i) if lam < 1.0 else 0.0
+
+    def dist_of(i: int, j: int) -> float:
+        return kernel.distance_between(i, j)
 
     if objective.kind is ObjectiveKind.MAX_SUM:
         rel = [rel_of(i) for i in range(n)]
@@ -156,19 +158,11 @@ def from_instance(
         ]
         return DispersionProblem(tuple(map(tuple, weights)), k, maximin=False)
 
-    if objective.kind is ObjectiveKind.MAX_MIN:
-        if lam != 1.0:
-            raise DispersionError(
-                "F_MM folds into Max-Min Dispersion only at λ = 1 "
-                "(the min-relevance term is per-point, not pairwise)"
-            )
-        weights = [
-            [0.0 if i == j else dist_of(i, j) for j in range(n)]
-            for i in range(n)
-        ]
-        return DispersionProblem(tuple(map(tuple, weights)), k, maximin=True)
-
-    raise DispersionError("F_mono does not reduce to facility dispersion")
+    weights = [
+        [0.0 if i == j else dist_of(i, j) for j in range(n)]
+        for i in range(n)
+    ]
+    return DispersionProblem(tuple(map(tuple, weights)), k, maximin=True)
 
 
 _POINTS = RelationSchema("points", ("id",))

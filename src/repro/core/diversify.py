@@ -36,56 +36,59 @@ def make_instance(
     return DiversificationInstance(query, db, k, objective, constraints)
 
 
+def method_algorithm(instance: DiversificationInstance, method: str) -> str:
+    """Map a facade ``method`` to the engine algorithm it dispatches to.
+
+    * ``"auto"``/``"exact"`` — the cheapest exact solver that applies
+      (per-item top-k for modular F, branch and bound for F_MS,
+      enumeration otherwise / under constraints);
+    * ``"greedy"`` — objective-matched greedy (pair-greedy for F_MS,
+      GMC-style for F_MM, per-item top-k for F_mono);
+    * ``"mmr"`` — Maximal Marginal Relevance;
+    * ``"local-search"`` — swap-based local search (constraint-aware).
+    """
+    if method in ("auto", "exact"):
+        if len(instance.constraints) == 0:
+            if instance.objective.is_modular:
+                return "modular_top_k"
+            if instance.objective.kind is ObjectiveKind.MAX_SUM:
+                return "branch_and_bound_max_sum"
+        return "exhaustive"
+    if method == "greedy":
+        if len(instance.constraints) > 0:
+            raise ValueError("greedy heuristics ignore constraints; use local-search")
+        kind = instance.objective.kind
+        if kind is ObjectiveKind.MAX_SUM:
+            return "greedy_max_sum"
+        if kind is ObjectiveKind.MAX_MIN:
+            return "greedy_max_min"
+        return "modular_top_k"
+    if method == "mmr":
+        if len(instance.constraints) > 0:
+            raise ValueError("MMR ignores constraints; use local-search")
+        return "mmr"
+    if method == "local-search":
+        return "local_search"
+    raise ValueError(f"unknown method {method!r}")
+
+
 def diversify(
     instance: DiversificationInstance,
     method: str = "auto",
 ) -> tuple[float, tuple[Row, ...]] | None:
     """Compute a best (or heuristically good) k-set, with its F value.
 
-    ``method``:
-
-    * ``"auto"``/``"exact"`` — the exact optimum via the cheapest exact
-      solver that applies;
-    * ``"greedy"`` — objective-matched greedy (pair-greedy for F_MS,
-      GMC-style for F_MM, per-item top-k for F_mono);
-    * ``"mmr"`` — Maximal Marginal Relevance;
-    * ``"local-search"`` — swap-based local search (constraint-aware).
+    See :func:`method_algorithm` for the ``method`` values.  Dispatches
+    through the process-wide :func:`repro.engine.engine.default_engine`,
+    so repeated calls over the same materialization reuse one cached
+    :class:`~repro.engine.kernel.ScoringKernel`.
 
     Returns None when no candidate set exists.
     """
-    from ..algorithms import (
-        best_modular,
-        branch_and_bound_max_sum,
-        exhaustive_best,
-        greedy_max_min,
-        greedy_max_sum,
-        local_search,
-        mmr_select,
-    )
+    from ..engine.engine import default_engine
 
-    if method in ("auto", "exact"):
-        if len(instance.constraints) == 0:
-            if instance.objective.is_modular:
-                return best_modular(instance)
-            if instance.objective.kind is ObjectiveKind.MAX_SUM:
-                return branch_and_bound_max_sum(instance)
-        return exhaustive_best(instance)
-    if method == "greedy":
-        if len(instance.constraints) > 0:
-            raise ValueError("greedy heuristics ignore constraints; use local-search")
-        kind = instance.objective.kind
-        if kind is ObjectiveKind.MAX_SUM:
-            return greedy_max_sum(instance)
-        if kind is ObjectiveKind.MAX_MIN:
-            return greedy_max_min(instance)
-        return best_modular(instance)
-    if method == "mmr":
-        if len(instance.constraints) > 0:
-            raise ValueError("MMR ignores constraints; use local-search")
-        return mmr_select(instance)
-    if method == "local-search":
-        return local_search(instance)
-    raise ValueError(f"unknown method {method!r}")
+    result = default_engine().run(instance, algorithm=method_algorithm(instance, method))
+    return None if result is None else (result.value, result.rows)
 
 
 def decide(

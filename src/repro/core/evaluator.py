@@ -1,0 +1,119 @@
+"""Shared index-based objective evaluation.
+
+Historically the objective arithmetic lived twice: once in
+:meth:`repro.core.objectives.Objective.value` (over rows, re-invoking
+``δ_rel``/``δ_dis`` per pair) and once in
+:meth:`repro.engine.kernel.ScoringKernel.value` (over snapshot indices,
+reading precomputed arrays).  Keeping the two operation-by-operation
+identical was a hand-maintained invariant; this module is now the single
+owner of the formulas.  Callers supply *accessors* — ``relevance_of(i)``
+and ``distance_between(i, j)`` over whatever index space they use — and
+the evaluator owns the aggregation order, so a kernel-backed value and a
+direct value are the same float by construction, not by parallel
+maintenance.
+
+The aggregation order is load-bearing: sums are sequential
+left-to-right (never pairwise/NumPy summation) and pair scans run in
+``(i ascending, j > i ascending)`` order, so results are bitwise-stable
+across callers and backends.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+__all__ = [
+    "max_sum_value",
+    "max_min_value",
+    "modular_value",
+    "mono_item_score",
+]
+
+
+def max_sum_value(
+    indices: Sequence[int],
+    lam: float,
+    relevance_of: Callable[[int], float],
+    distance_between: Callable[[int, int], float],
+) -> float:
+    """``F_MS(U)`` over an index set.
+
+        F_MS(U) = (k−1)(1−λ)·Σ_{i∈U} δ_rel(i) + λ·Σ_{ordered pairs} δ_dis
+
+    The ordered-pair distance sum is computed as twice the unordered-pair
+    sum (``δ_dis`` is symmetric); ``δ_rel`` is not invoked at λ = 1 and
+    ``δ_dis`` is not invoked at λ = 0, mirroring the special-case
+    semantics of Section 8 (an absent function is never called).
+    """
+    indices = list(indices)
+    k = len(indices)
+    relevance_part = 0.0
+    if lam < 1.0:
+        relevance_part = sum(relevance_of(i) for i in indices)
+    distance_part = 0.0
+    if lam > 0.0:
+        total = 0.0
+        for pos, i in enumerate(indices):
+            for j in indices[pos + 1 :]:
+                total += distance_between(i, j)
+        distance_part = 2.0 * total
+    return (k - 1) * (1.0 - lam) * relevance_part + lam * distance_part
+
+
+def max_min_value(
+    indices: Sequence[int],
+    lam: float,
+    relevance_of: Callable[[int], float],
+    distance_between: Callable[[int, int], float],
+) -> float:
+    """``F_MM(U)`` over an index set.
+
+        F_MM(U) = (1−λ)·min_{i∈U} δ_rel(i) + λ·min_{pairs} δ_dis
+
+    Both minima are 0 by convention when undefined (empty set / fewer
+    than two members), matching :func:`min_pairwise_distance`.
+    """
+    indices = list(indices)
+    if not indices:
+        return 0.0
+    relevance_part = 0.0
+    if lam < 1.0:
+        relevance_part = min(relevance_of(i) for i in indices)
+    distance_part = 0.0
+    if lam > 0.0 and len(indices) >= 2:
+        best = float("inf")
+        for pos, i in enumerate(indices):
+            for j in indices[pos + 1 :]:
+                value = distance_between(i, j)
+                if value < best:
+                    best = value
+        distance_part = best
+    return (1.0 - lam) * relevance_part + lam * distance_part
+
+
+def modular_value(
+    indices: Sequence[int], item_score_of: Callable[[int], float]
+) -> float:
+    """A modular objective is a plain sum of per-item scores."""
+    return sum(item_score_of(i) for i in indices)
+
+
+def mono_item_score(
+    lam: float,
+    relevance_value: float,
+    distance_total: float,
+    universe_size: int,
+) -> float:
+    """The F_mono per-item score ``v(t)`` of Theorem 5.4:
+
+        v(t) = (1−λ)·δ_rel(t,Q) + λ/(|Q(D)|−1) · Σ_{t'∈Q(D)} δ_dis(t,t')
+
+    ``relevance_value`` must already be 0.0 at λ = 1 (the caller owns
+    the don't-invoke-δ_rel convention); ``distance_total`` is the row's
+    distance sum over the whole answer set.
+    """
+    relevance_part = (1.0 - lam) * relevance_value
+    diversity_part = 0.0
+    if lam > 0.0 and universe_size > 1:
+        diversity_part = lam * distance_total / (universe_size - 1)
+    return relevance_part + diversity_part

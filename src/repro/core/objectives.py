@@ -34,12 +34,8 @@ from collections.abc import Iterable, Sequence
 
 from ..relational.queries import Query
 from ..relational.schema import Row
-from .functions import (
-    DistanceFunction,
-    RelevanceFunction,
-    min_pairwise_distance,
-    pairwise_distance_sum,
-)
+from .evaluator import max_min_value, max_sum_value, mono_item_score
+from .functions import DistanceFunction, RelevanceFunction
 
 
 class ObjectiveKind(enum.Enum):
@@ -148,25 +144,23 @@ class Objective:
         return self._mono(rows, query, universe)
 
     def _max_sum(self, rows: list[Row], query: Query | None) -> float:
-        k = len(rows)
-        relevance_part = 0.0
-        if self.lam < 1.0:
-            relevance_part = sum(self.relevance(t, query) for t in rows)
-        distance_part = 0.0
-        if self.lam > 0.0:
-            distance_part = pairwise_distance_sum(rows, self.distance)
-        return (k - 1) * (1.0 - self.lam) * relevance_part + self.lam * distance_part
+        # The arithmetic lives in core.evaluator, shared with the
+        # ScoringKernel's index-based path; here the "indices" are just
+        # positions into the row list.
+        return max_sum_value(
+            range(len(rows)),
+            self.lam,
+            lambda i: self.relevance(rows[i], query),
+            lambda i, j: self.distance(rows[i], rows[j]),
+        )
 
     def _max_min(self, rows: list[Row], query: Query | None) -> float:
-        if not rows:
-            return 0.0
-        relevance_part = 0.0
-        if self.lam < 1.0:
-            relevance_part = min(self.relevance(t, query) for t in rows)
-        distance_part = 0.0
-        if self.lam > 0.0:
-            distance_part = min_pairwise_distance(rows, self.distance)
-        return (1.0 - self.lam) * relevance_part + self.lam * distance_part
+        return max_min_value(
+            range(len(rows)),
+            self.lam,
+            lambda i: self.relevance(rows[i], query),
+            lambda i, j: self.distance(rows[i], rows[j]),
+        )
 
     def _mono(
         self,
@@ -195,18 +189,18 @@ class Objective:
         this raises :class:`ObjectiveError`.
         """
         if self.kind is ObjectiveKind.MONO:
-            relevance_part = (1.0 - self.lam) * (
-                self.relevance(row, query) if self.lam < 1.0 else 0.0
-            )
-            diversity_part = 0.0
+            relevance_value = self.relevance(row, query) if self.lam < 1.0 else 0.0
+            distance_total = 0.0
+            n = 0
             if self.lam > 0.0:
                 if universe is None:
                     raise ObjectiveError("F_mono item score requires Q(D)")
                 n = len(universe)
                 if n > 1:
-                    total = sum(self.distance(row, other) for other in universe)
-                    diversity_part = self.lam * total / (n - 1)
-            return relevance_part + diversity_part
+                    distance_total = sum(
+                        self.distance(row, other) for other in universe
+                    )
+            return mono_item_score(self.lam, relevance_value, distance_total, n)
         if self.kind is ObjectiveKind.MAX_SUM and self.relevance_only:
             return self.relevance(row, query)
         raise ObjectiveError(

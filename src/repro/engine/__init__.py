@@ -16,8 +16,10 @@ dominant cost on the direct path is re-invoking the Python-level
   :meth:`ScoringKernel.apply_delta` patches the arrays in O(n·|Δ|) so
   in-place database updates do not re-pay the O(n²) precomputation.
 
-All heuristics in :mod:`repro.algorithms` accept an optional ``kernel``
-argument and fall back to the direct-objective path without one.
+Every algorithm in :mod:`repro.algorithms` is an index-based selector
+over a kernel; the row-based signatures accept an optional ``kernel``
+and build a fresh one (via :func:`kernel_for_instance`) when none is
+passed — there is no separate non-kernel scoring path.
 """
 
 from .engine import (
@@ -27,10 +29,17 @@ from .engine import (
     EngineError,
     EngineResult,
     auto_algorithm,
+    default_engine,
     modular_top_k,
+    reset_default_engine,
     variants_grid,
 )
-from .kernel import KernelError, ScoringKernel, numpy_available
+from .kernel import (
+    KernelError,
+    ScoringKernel,
+    kernel_for_instance,
+    numpy_available,
+)
 from .updates import KernelDelta, compute_delta, delta_for_instance
 
 __all__ = [
@@ -44,8 +53,11 @@ __all__ = [
     "ScoringKernel",
     "auto_algorithm",
     "compute_delta",
+    "default_engine",
     "delta_for_instance",
+    "kernel_for_instance",
     "modular_top_k",
     "numpy_available",
+    "reset_default_engine",
     "variants_grid",
 ]

@@ -27,6 +27,11 @@ from collections import OrderedDict
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
+from ..algorithms.exact import (
+    best_modular,
+    branch_and_bound_max_sum,
+    exhaustive_best,
+)
 from ..algorithms.greedy import (
     greedy_marginal_max_sum,
     greedy_max_min,
@@ -37,7 +42,7 @@ from ..algorithms.mmr import mmr_select
 from ..core.instance import DiversificationInstance
 from ..core.objectives import ObjectiveKind
 from ..relational.schema import Row
-from .kernel import ScoringKernel
+from .kernel import ScoringKernel, kernel_for_instance
 from .updates import compute_delta
 
 SearchResult = tuple[float, tuple[Row, ...]]
@@ -51,25 +56,13 @@ def modular_top_k(
     instance: DiversificationInstance,
     kernel: ScoringKernel | None = None,
 ) -> SearchResult | None:
-    """PTIME optimum for modular objectives: the k best item scores
-    (kernel-backed variant of :func:`repro.algorithms.exact.best_modular`)."""
-    if kernel is None:
-        from ..algorithms.exact import best_modular
+    """PTIME optimum for modular objectives: the k best item scores.
 
-        return best_modular(instance)
-    if not instance.objective.is_modular:
-        raise ValueError("modular_top_k requires a modular objective")
-    if len(instance.constraints) > 0:
-        raise ValueError("modular_top_k does not support constraints")
-    kernel.ensure_matches(instance)
-    if kernel.n < instance.k:
-        return None
-    scores = kernel.item_scores(instance.objective)
-    chosen = sorted(range(kernel.n), key=lambda i: scores[i], reverse=True)[
-        : instance.k
-    ]
-    subset = tuple(kernel.answers[i] for i in chosen)
-    return (kernel.value(chosen, instance.objective), subset)
+    Kept under its engine-facing name; the selection itself is
+    :func:`repro.algorithms.exact.select_best_modular` — the same
+    selector every other caller runs.
+    """
+    return best_modular(instance, kernel)
 
 
 def _mmr(instance, kernel=None):
@@ -89,6 +82,11 @@ ALGORITHMS: dict[
     "mmr": _mmr,
     "local_search": _local_search,
     "modular_top_k": modular_top_k,
+    # Exact optimizers — exponential in the worst case, but engine
+    # dispatchable so batch/CLI callers can request certified optima
+    # through the same cached-kernel path.
+    "exhaustive": exhaustive_best,
+    "branch_and_bound_max_sum": branch_and_bound_max_sum,
 }
 
 
@@ -249,7 +247,7 @@ class DiversificationEngine:
                 self.stats.patches += 1
                 return kernel
             self.stats.stale_rebuilds += 1
-        kernel = ScoringKernel(instance, use_numpy=self.use_numpy)
+        kernel = kernel_for_instance(instance, use_numpy=self.use_numpy)
         self._cache[key] = kernel
         self._cache.move_to_end(key)
         self.stats.misses += 1
@@ -332,3 +330,30 @@ class DiversificationEngine:
             f"cache={len(self._cache)}/{self.cache_size}, "
             f"hits={self.stats.hits}, misses={self.stats.misses})"
         )
+
+
+_default_engine: DiversificationEngine | None = None
+
+
+def default_engine() -> DiversificationEngine:
+    """The process-wide engine behind the non-batch entry points.
+
+    ``core.diversify.diversify``, ``core.dispersion.from_instance`` and
+    the ``python -m repro diversify`` CLI all dispatch through this one
+    instance, so its LRU kernel cache, delta patching and ``CacheStats``
+    accounting cover every caller — including repeated CLI queries
+    within one process.  Callers that want isolated caches or different
+    knobs construct their own :class:`DiversificationEngine`.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = DiversificationEngine()
+    return _default_engine
+
+
+def reset_default_engine() -> DiversificationEngine:
+    """Replace the process-wide engine with a fresh one (test isolation,
+    or dropping every cached kernel at once) and return it."""
+    global _default_engine
+    _default_engine = DiversificationEngine()
+    return _default_engine

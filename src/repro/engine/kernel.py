@@ -29,6 +29,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from ..core.evaluator import (
+    max_min_value,
+    max_sum_value,
+    modular_value,
+    mono_item_score,
+)
 from ..core.objectives import Objective, ObjectiveError, ObjectiveKind
 from ..relational.schema import Row, row_sort_key
 
@@ -93,6 +99,7 @@ class ScoringKernel:
         self,
         instance: "DiversificationInstance",
         use_numpy: bool | None = None,
+        defer_distances: bool = False,
     ):
         if use_numpy is None:
             use_numpy = _np is not None
@@ -107,11 +114,27 @@ class ScoringKernel:
         self.relevance = objective.relevance
         self.distance = objective.distance
         self.answers: tuple[Row, ...] = tuple(instance.answers())
-        n = len(self.answers)
-        self.n = n
+        self.n = len(self.answers)
         self._index = _first_occurrence_index(self.answers)
+        self.backend = "numpy" if use_numpy else "python"
 
         rel = [self.relevance(t, self.query) for t in self.answers]
+        if use_numpy:
+            self._rel = _np.asarray(rel, dtype=_np.float64)
+        else:
+            self._rel = rel
+        # ``defer_distances=True`` skips the O(n²) matrix until a
+        # distance is actually read — relevance-only (λ = 0) modular
+        # selection never reads one, and any later reader triggers
+        # materialization transparently.
+        self._dist = None
+        self._row_sums = None
+        if not defer_distances:
+            self._materialize_distances()
+        self._item_scores_cache = {}
+
+    def _materialize_distances(self) -> None:
+        n = self.n
         dist = [[0.0] * n for _ in range(n)]
         for i in range(n):
             row_i = self.answers[i]
@@ -120,17 +143,21 @@ class ScoringKernel:
                 value = self.distance(row_i, self.answers[j])
                 dist_i[j] = value
                 dist[j][i] = value
-
-        if use_numpy:
-            self.backend = "numpy"
-            self._rel = _np.asarray(rel, dtype=_np.float64)
+        if self.backend == "numpy":
             self._dist = _np.asarray(dist, dtype=_np.float64)
         else:
-            self.backend = "python"
-            self._rel = rel
             self._dist = dist
         self._recompute_row_sums()
-        self._item_scores_cache = {}
+
+    def _require_dist(self) -> None:
+        if self._dist is None:
+            self._materialize_distances()
+
+    @property
+    def distances_materialized(self) -> bool:
+        """False while a ``defer_distances`` kernel has not yet paid the
+        O(n²) pairwise precomputation."""
+        return self._dist is not None
 
     def _recompute_row_sums(self) -> None:
         # Sequential left-to-right sums (not numpy's pairwise summation):
@@ -276,18 +303,6 @@ class ScoringKernel:
                     if old >= 0
                     else self.relevance(new_answers[p], self.query)
                 )
-            new_dist = _np.zeros((m, m), dtype=_np.float64)
-            if kept:
-                kept_pos = _np.asarray(
-                    [p for p, old in enumerate(old_of_new) if old >= 0],
-                    dtype=_np.intp,
-                )
-                old_idx = _np.asarray(
-                    [old for old in old_of_new if old >= 0], dtype=_np.intp
-                )
-                new_dist[_np.ix_(kept_pos, kept_pos)] = self._dist[
-                    _np.ix_(old_idx, old_idx)
-                ]
         else:
             new_rel = [
                 self._rel[old]
@@ -295,35 +310,58 @@ class ScoringKernel:
                 else self.relevance(new_answers[p], self.query)
                 for p, old in enumerate(old_of_new)
             ]
-            new_dist = []
-            for old in old_of_new:
-                if old >= 0:
-                    old_row = self._dist[old]
-                    new_dist.append(
-                        [old_row[q] if q >= 0 else 0.0 for q in old_of_new]
-                    )
-                else:
-                    new_dist.append([0.0] * m)
 
-        for p in new_positions:
-            row_p = new_answers[p]
-            for q in range(m):
-                if q == p or (q < p and q in new_set):
-                    continue  # zero diagonal / pair already filled
-                value = self.distance(row_p, new_answers[q])
-                if self.backend == "numpy":
-                    new_dist[p, q] = value
-                    new_dist[q, p] = value
-                else:
-                    new_dist[p][q] = value
-                    new_dist[q][p] = value
+        # A deferred distance matrix stays deferred: there is nothing to
+        # patch, and the next distance read materializes against the
+        # updated snapshot.
+        new_dist = None
+        if self._dist is not None:
+            if self.backend == "numpy":
+                new_dist = _np.zeros((m, m), dtype=_np.float64)
+                if kept:
+                    kept_pos = _np.asarray(
+                        [p for p, old in enumerate(old_of_new) if old >= 0],
+                        dtype=_np.intp,
+                    )
+                    old_idx = _np.asarray(
+                        [old for old in old_of_new if old >= 0], dtype=_np.intp
+                    )
+                    new_dist[_np.ix_(kept_pos, kept_pos)] = self._dist[
+                        _np.ix_(old_idx, old_idx)
+                    ]
+            else:
+                new_dist = []
+                for old in old_of_new:
+                    if old >= 0:
+                        old_row = self._dist[old]
+                        new_dist.append(
+                            [old_row[q] if q >= 0 else 0.0 for q in old_of_new]
+                        )
+                    else:
+                        new_dist.append([0.0] * m)
+
+            for p in new_positions:
+                row_p = new_answers[p]
+                for q in range(m):
+                    if q == p or (q < p and q in new_set):
+                        continue  # zero diagonal / pair already filled
+                    value = self.distance(row_p, new_answers[q])
+                    if self.backend == "numpy":
+                        new_dist[p, q] = value
+                        new_dist[q, p] = value
+                    else:
+                        new_dist[p][q] = value
+                        new_dist[q][p] = value
 
         self.answers = new_answers
         self.n = m
         self._rel = new_rel
         self._dist = new_dist
         self._index = _first_occurrence_index(new_answers)
-        self._recompute_row_sums()
+        if new_dist is not None:
+            self._recompute_row_sums()
+        else:
+            self._row_sums = None
         self._item_scores_cache = {}
         return self
 
@@ -333,16 +371,39 @@ class ScoringKernel:
         return float(self._rel[i])
 
     def distance_between(self, i: int, j: int) -> float:
+        if self._dist is None:
+            self._materialize_distances()
         if self.backend == "numpy":
             return float(self._dist[i, j])
         return self._dist[i][j]
 
     def _dist_row(self, i: int):
+        self._require_dist()
         return self._dist[i]
+
+    def distance_rows(self) -> list[list[float]]:
+        """The full distance matrix as plain float lists (one copy) —
+        for consumers that transform it wholesale, e.g. the
+        branch-and-bound bound arrays."""
+        self._require_dist()
+        if self.backend == "numpy":
+            return self._dist.tolist()
+        return [list(row) for row in self._dist]
 
     def row_distance_sums(self) -> list[float]:
         """``Σ_j dist[i][j]`` per row (the F_mono diversity numerator)."""
+        self._require_dist()
         return self._row_sums
+
+    def distinct_indices(self) -> list[int]:
+        """First-occurrence index of each distinct row value, ascending.
+
+        This is the index-space image of the value-distinct candidate
+        enumeration of ``DiversificationInstance.candidate_sets``:
+        k-combinations of these indices visit every candidate set
+        exactly once even when the snapshot carries duplicated rows.
+        """
+        return list(self._index.values())
 
     # -- vector primitives (backend-generic) ------------------------------
 
@@ -356,12 +417,14 @@ class ScoringKernel:
         return [0.0] * self.n
 
     def copy_distance_row(self, i: int):
+        self._require_dist()
         if self.backend == "numpy":
             return self._dist[i].copy()
         return list(self._dist[i])
 
     def minimum_inplace(self, vec, i: int):
         """Elementwise ``vec = min(vec, dist[i])`` (novelty tracking)."""
+        self._require_dist()
         if self.backend == "numpy":
             _np.minimum(vec, self._dist[i], out=vec)
             return vec
@@ -373,6 +436,7 @@ class ScoringKernel:
 
     def add_row_inplace(self, vec, i: int):
         """Elementwise ``vec += dist[i]`` (marginal-gain tracking)."""
+        self._require_dist()
         if self.backend == "numpy":
             vec += self._dist[i]
             return vec
@@ -438,12 +502,16 @@ class ScoringKernel:
         """
         coef_rel = 1.0 - lam
         coef_dist = 2.0 * lam / (k - 1)
+        # λ = 0 weighs pairs by relevance alone — leave a deferred
+        # distance matrix unmaterialized.
+        if coef_dist != 0.0:
+            self._require_dist()
         if self.backend == "numpy":
             idx = _np.asarray(available, dtype=_np.intp)
             sub_rel = self._rel[idx]
-            weights = coef_rel * (sub_rel[:, None] + sub_rel[None, :]) + coef_dist * (
-                self._dist[_np.ix_(idx, idx)]
-            )
+            weights = coef_rel * (sub_rel[:, None] + sub_rel[None, :])
+            if coef_dist != 0.0:
+                weights = weights + coef_dist * self._dist[_np.ix_(idx, idx)]
             upper_i, upper_j = _np.triu_indices(len(available), k=1)
             best = int(_np.argmax(weights[upper_i, upper_j]))
             return available[int(upper_i[best])], available[int(upper_j[best])]
@@ -453,9 +521,11 @@ class ScoringKernel:
         best_pair = (-1, -1)
         for pos, i in enumerate(available):
             rel_i = rel[i]
-            dist_i = dist[i]
+            dist_i = dist[i] if coef_dist != 0.0 else None
             for j in available[pos + 1 :]:
-                weight = coef_rel * (rel_i + rel[j]) + coef_dist * dist_i[j]
+                weight = coef_rel * (rel_i + rel[j])
+                if coef_dist != 0.0:
+                    weight += coef_dist * dist_i[j]
                 if weight > best_weight:
                     best_weight = weight
                     best_pair = (i, j)
@@ -483,17 +553,16 @@ class ScoringKernel:
         lam = objective.lam
         n = self.n
         if objective.kind is ObjectiveKind.MONO:
-            sums = self.row_distance_sums()
-            scores = []
-            for i in range(n):
-                relevance_part = (1.0 - lam) * (
-                    self.relevance_of(i) if lam < 1.0 else 0.0
+            sums = self.row_distance_sums() if lam > 0.0 else [0.0] * n
+            return [
+                mono_item_score(
+                    lam,
+                    self.relevance_of(i) if lam < 1.0 else 0.0,
+                    float(sums[i]),
+                    n,
                 )
-                diversity_part = 0.0
-                if lam > 0.0 and n > 1:
-                    diversity_part = lam * float(sums[i]) / (n - 1)
-                scores.append(relevance_part + diversity_part)
-            return scores
+                for i in range(n)
+            ]
         if objective.kind is ObjectiveKind.MAX_SUM and objective.relevance_only:
             return [self.relevance_of(i) for i in range(n)]
         raise ObjectiveError(
@@ -501,43 +570,46 @@ class ScoringKernel:
         )
 
     def value(self, indices: Sequence[int], objective: Objective) -> float:
-        """``F(U)`` over answer indices — same arithmetic, same operation
-        order as :meth:`repro.core.objectives.Objective.value`."""
+        """``F(U)`` over answer indices.
+
+        Delegates to the shared :mod:`repro.core.evaluator` arithmetic —
+        the same functions :meth:`repro.core.objectives.Objective.value`
+        folds through — with the kernel's array reads as accessors, so
+        index-based and row-based evaluation agree float for float.
+        """
         indices = list(indices)
-        lam = objective.lam
         if objective.kind is ObjectiveKind.MAX_SUM:
-            k = len(indices)
-            relevance_part = 0.0
-            if lam < 1.0:
-                relevance_part = sum(self.relevance_of(i) for i in indices)
-            distance_part = 0.0
-            if lam > 0.0:
-                total = 0.0
-                for pos, i in enumerate(indices):
-                    for j in indices[pos + 1 :]:
-                        total += self.distance_between(i, j)
-                distance_part = 2.0 * total
-            return (k - 1) * (1.0 - lam) * relevance_part + lam * distance_part
+            return max_sum_value(
+                indices, objective.lam, self.relevance_of, self.distance_between
+            )
         if objective.kind is ObjectiveKind.MAX_MIN:
-            if not indices:
-                return 0.0
-            relevance_part = 0.0
-            if lam < 1.0:
-                relevance_part = min(self.relevance_of(i) for i in indices)
-            distance_part = 0.0
-            if lam > 0.0 and len(indices) >= 2:
-                best = float("inf")
-                for pos, i in enumerate(indices):
-                    for j in indices[pos + 1 :]:
-                        value = self.distance_between(i, j)
-                        if value < best:
-                            best = value
-                distance_part = best
-            return (1.0 - lam) * relevance_part + lam * distance_part
+            return max_min_value(
+                indices, objective.lam, self.relevance_of, self.distance_between
+            )
         scores = self.item_scores(objective)
-        return sum(scores[i] for i in indices)
+        return modular_value(indices, scores.__getitem__)
 
     def __repr__(self) -> str:
         return (
             f"ScoringKernel(Q={self.query.name}, n={self.n}, backend={self.backend})"
         )
+
+
+def kernel_for_instance(
+    instance: "DiversificationInstance",
+    use_numpy: bool | None = None,
+) -> ScoringKernel:
+    """Build a kernel sized to the instance's objective.
+
+    Relevance-only F_MS (λ = 0, Theorem 8.2) is solved from the
+    relevance vector alone, so its kernel defers the O(n²) distance
+    matrix; any consumer that does read a distance later pays the
+    materialization then.  Every non-engine entry point (the legacy
+    row-based algorithm signatures, the dispersion view) builds kernels
+    through here so the deferral policy lives in one place.
+    """
+    objective = instance.objective
+    defer = (
+        objective.kind is ObjectiveKind.MAX_SUM and objective.relevance_only
+    )
+    return ScoringKernel(instance, use_numpy=use_numpy, defer_distances=defer)

@@ -1,0 +1,117 @@
+"""Kernel-backed exact search: branch-and-bound vs enumeration.
+
+The exact optimizers are now index-based selectors over a
+:class:`ScoringKernel`; these tests pin that the kernel-array bound
+computation of ``branch_and_bound_max_sum`` still finds the same optimum
+as plain enumeration on randomized instances, under both kernel
+backends, with and without duplicated snapshot rows — and that a shared
+kernel (the engine's cached shape) gives the same answers as per-call
+builds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.exact import (
+    best_modular,
+    branch_and_bound_max_sum,
+    exhaustive_best,
+    optimal_value,
+)
+from repro.core.objectives import ObjectiveKind
+from repro.engine import ScoringKernel, numpy_available
+from repro.workloads.synthetic import random_instance
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+LAMBDAS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def with_duplicates(instance, extra=(0, 2, 2)):
+    answers = instance.answers()
+    instance._result_cache = answers + [answers[i] for i in extra]
+    return instance
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("lam", LAMBDAS)
+@pytest.mark.parametrize("seed", range(4))
+def test_branch_and_bound_matches_exhaustive(seed, lam, use_numpy):
+    instance = random_instance(n=9, k=3, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed)
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    bb = branch_and_bound_max_sum(instance, kernel)
+    brute = exhaustive_best(instance, kernel)
+    assert bb is not None and brute is not None
+    assert bb[0] == pytest.approx(brute[0], rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+@pytest.mark.parametrize("seed", range(3))
+def test_branch_and_bound_matches_exhaustive_with_duplicates(seed, lam, use_numpy):
+    """Duplicated snapshot rows: enumeration dedups to value-distinct
+    candidate sets; B&B works over positions.  Zero-distance twins add
+    nothing to F_MS, so the optima coincide."""
+    instance = with_duplicates(
+        random_instance(n=8, k=3, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed)
+    )
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    bb = branch_and_bound_max_sum(instance, kernel)
+    brute = exhaustive_best(instance, kernel)
+    assert bb is not None and brute is not None
+    assert bb[0] == pytest.approx(brute[0], rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("kind", [ObjectiveKind.MONO, ObjectiveKind.MAX_SUM])
+def test_modular_matches_exhaustive_on_shared_kernel(kind, use_numpy):
+    lam = 0.6 if kind is ObjectiveKind.MONO else 0.0
+    instance = random_instance(n=10, k=3, kind=kind, lam=lam, seed=11)
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    modular = best_modular(instance, kernel)
+    brute = exhaustive_best(instance, kernel)
+    assert modular[0] == pytest.approx(brute[0], rel=1e-9, abs=1e-9)
+
+
+def test_shared_kernel_equals_per_call_builds():
+    instance = random_instance(n=9, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.4, seed=7)
+    kernel = ScoringKernel(instance, use_numpy=False)
+    assert branch_and_bound_max_sum(instance, kernel) == branch_and_bound_max_sum(
+        instance
+    )
+    assert exhaustive_best(instance, kernel) == exhaustive_best(instance)
+    assert optimal_value(instance, kernel) == optimal_value(instance)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="requires numpy")
+@pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+def test_exact_backends_agree(lam):
+    instance = random_instance(n=9, k=3, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=3)
+    py = branch_and_bound_max_sum(instance, ScoringKernel(instance, use_numpy=False))
+    np_ = branch_and_bound_max_sum(instance, ScoringKernel(instance, use_numpy=True))
+    assert py[1] == np_[1]
+    assert py[0] == pytest.approx(np_[0], rel=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    k=st.integers(min_value=1, max_value=4),
+    lam=st.sampled_from(LAMBDAS),
+    seed=st.integers(min_value=0, max_value=10_000),
+    dups=st.lists(st.integers(min_value=0, max_value=2), max_size=3),
+)
+def test_hypothesis_branch_and_bound_parity(n, k, lam, seed, dups):
+    if k > n:
+        k = n
+    instance = random_instance(n=n, k=k, kind=ObjectiveKind.MAX_SUM, lam=lam, seed=seed)
+    if dups:
+        with_duplicates(instance, extra=tuple(dups))
+    for use_numpy in BACKENDS:
+        kernel = ScoringKernel(instance, use_numpy=use_numpy)
+        bb = branch_and_bound_max_sum(instance, kernel)
+        brute = exhaustive_best(instance, kernel)
+        assert (bb is None) == (brute is None)
+        if bb is not None:
+            assert bb[0] == pytest.approx(brute[0], rel=1e-9, abs=1e-9)

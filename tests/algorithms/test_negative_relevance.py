@@ -1,0 +1,103 @@
+"""Negative-relevance regression: every registered algorithm must
+select correctly when δ_rel is negative everywhere.
+
+The paper defines δ_rel as non-negative and the wrapped
+:class:`RelevanceFunction` enforces that — but learned scorers routinely
+emit raw logits / centered scores, and the historical direct-path loops
+seeded their running maxima with ``-1.0`` sentinels (``best_weight``,
+``best_score``, ``best_gain``), which crash (no candidate ever beats the
+sentinel) or mis-select as soon as scores go negative.  The unified
+kernel substrate seeds with ``-inf`` / first-candidate semantics, so the
+whole ``ALGORITHMS`` table must now handle signed scores; these tests
+pin that.
+"""
+
+import pytest
+
+from repro.core.functions import DistanceFunction, RelevanceFunction
+from repro.core.instance import DiversificationInstance
+from repro.core.objectives import Objective, ObjectiveKind
+from repro.engine import ALGORITHMS, ScoringKernel, numpy_available
+from repro.relational.queries import identity_query
+from repro.relational.schema import Database, Relation, RelationSchema
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+ITEMS = RelationSchema("signed", ("id", "score", "x"))
+
+
+class SignedRelevance(RelevanceFunction):
+    """A relevance wrapper that admits negative scores (raw logits)."""
+
+    def __call__(self, row, query=None):
+        return float(self._func(row, query))
+
+
+def signed_instance(kind, lam, k=3, n=6):
+    """All-negative relevance, distances small enough that every
+    combined candidate score stays below the old ``-1.0`` sentinels."""
+    rows = [(i, -5.0 + 0.5 * i, float(i)) for i in range(n)]
+    db = Database([Relation(ITEMS, rows)])
+    objective = Objective(
+        kind,
+        SignedRelevance(lambda row, query: row["score"], name="signed"),
+        DistanceFunction.numeric_gap("x", scale=0.01),
+        lam,
+    )
+    return DiversificationInstance(identity_query(ITEMS), db, k=k, objective=objective)
+
+
+def kind_and_lambda(algorithm):
+    if algorithm == "greedy_max_min":
+        return ObjectiveKind.MAX_MIN, 0.5
+    if algorithm == "modular_top_k":
+        return ObjectiveKind.MAX_SUM, 0.0  # relevance-only modular F_MS
+    return ObjectiveKind.MAX_SUM, 0.5
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_algorithm_selects_under_negative_relevance(algorithm, use_numpy):
+    kind, lam = kind_and_lambda(algorithm)
+    instance = signed_instance(kind, lam)
+    func = ALGORITHMS[algorithm]
+    for kernel in (None, ScoringKernel(instance, use_numpy=use_numpy)):
+        result = func(instance, kernel)
+        assert result is not None, f"{algorithm} found no selection"
+        value, rows = result
+        assert len(rows) == instance.k
+        assert len(set(rows)) == instance.k
+        assert value == pytest.approx(instance.value(rows), rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["modular_top_k", "greedy_marginal_max_sum", "mmr"]
+)
+def test_relevance_only_selection_picks_least_negative(algorithm):
+    """At λ = 0 the optimum is the k least-negative scores — exactly the
+    candidates a ``-1.0`` sentinel scan can never admit."""
+    instance = signed_instance(ObjectiveKind.MAX_SUM, 0.0, k=3, n=6)
+    result = ALGORITHMS[algorithm](instance, None)
+    assert result is not None
+    picked = sorted(row["id"] for row in result[1])
+    assert picked == [3, 4, 5]
+
+
+def test_greedy_max_min_seeds_with_most_relevant_negative():
+    instance = signed_instance(ObjectiveKind.MAX_MIN, 0.5, k=2, n=5)
+    result = ALGORITHMS["greedy_max_min"](instance, None)
+    assert result is not None
+    # The GMC seed is argmax δ_rel = the least-negative row (id 4).
+    assert result[1][0]["id"] == 4
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_exact_optimizers_agree_under_negative_relevance(use_numpy):
+    instance = signed_instance(ObjectiveKind.MAX_SUM, 0.5, k=3, n=7)
+    kernel = ScoringKernel(instance, use_numpy=use_numpy)
+    exhaustive = ALGORITHMS["exhaustive"](instance, kernel)
+    bnb = ALGORITHMS["branch_and_bound_max_sum"](instance, kernel)
+    assert exhaustive is not None and bnb is not None
+    assert bnb[0] == pytest.approx(exhaustive[0], rel=1e-9, abs=1e-9)
+    # B&B visits candidates in bound order, so only the *set* is pinned.
+    assert set(bnb[1]) == set(exhaustive[1])

@@ -131,3 +131,93 @@ class TestDiversify:
         out = capsys.readouterr().out
         # Only items with score ≥ 7 may appear (ids 1, 2, 5).
         assert "X=3" not in out and "X=4" not in out
+
+
+class TestEngineDispatch:
+    """The --algorithm / --cache-stats flags and the kernel-cache path."""
+
+    BASE = [
+        "diversify",
+        "--query", "Q(X, C, S) :- items(X, C, S)",
+        "-k", "3",
+        "--objective", "max-sum",
+        "--relevance-attr", "S",
+    ]
+
+    @pytest.fixture(autouse=True)
+    def fresh_engine(self):
+        from repro.engine import reset_default_engine
+
+        yield reset_default_engine()
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["auto", "mmr", "greedy_max_sum", "greedy_marginal_max_sum",
+         "branch_and_bound_max_sum", "exhaustive", "local_search"],
+    )
+    def test_algorithm_flag(self, db_json, capsys, algorithm):
+        code = main(self.BASE + ["--db", db_json, "--algorithm", algorithm])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"algorithm {algorithm}" in out
+        assert out.count("X=") == 3
+
+    def test_algorithm_flag_rejects_unknown(self, db_json, capsys):
+        code = main(self.BASE + ["--db", db_json, "--algorithm", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err and "mmr" in err  # names listed
+
+    def test_algorithm_objective_mismatch_fails_gracefully(self, db_json, capsys):
+        code = main(self.BASE + ["--db", db_json, "--algorithm", "greedy_max_min"])
+        assert code == 2
+        assert "requires F_MM" in capsys.readouterr().err
+
+    def test_cache_stats_flag(self, db_json, capsys):
+        code = main(self.BASE + ["--db", db_json, "--cache-stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel cache:" in out
+        assert "misses=1" in out
+
+    def test_second_identical_invocation_hits_kernel_cache(
+        self, db_json, capsys, fresh_engine
+    ):
+        argv = self.BASE + ["--db", db_json, "--cache-stats"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "hits=0 misses=1" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # Same process, same inputs: the session memo returns identical
+        # (query, db, δ_rel, δ_dis) objects, so the engine serves the
+        # cached ScoringKernel instead of re-materializing Q(D) scores.
+        assert "hits=1 misses=1" in second
+        assert fresh_engine.stats.hits == 1
+
+    def test_edited_database_is_not_served_stale(self, db_json, capsys, tmp_path):
+        argv = self.BASE + ["--db", db_json, "--cache-stats"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        data = json.loads(open(db_json).read())
+        data["relations"][0]["rows"].append([6, "d", 10])
+        import os
+        import time
+
+        with open(db_json, "w") as fh:
+            fh.write(json.dumps(data))
+        # Guarantee a fingerprint change even on coarse mtime clocks.
+        stat = os.stat(db_json)
+        os.utime(db_json, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "X=6" in out  # the new top-scoring row is picked up
+
+    def test_cache_stats_on_infeasible_run(self, db_json, capsys):
+        code = main(
+            self.BASE[:3] + ["-k", "99", "--db", db_json, "--cache-stats"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no 99-subset" in out
+        assert "backend=n/a" in out
