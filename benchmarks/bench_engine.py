@@ -201,7 +201,10 @@ def main(argv=None):
     print(
         common.render_engine_report(
             records,
-            title=f"engine vs direct path (n={args.n}, numpy={numpy_available() and not args.no_numpy})",
+            title=(
+                f"engine vs direct path "
+                f"(n={args.n}, numpy={numpy_available() and not args.no_numpy})"
+            ),
         )
     )
 

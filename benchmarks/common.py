@@ -187,6 +187,49 @@ def render_update_report(
 
 
 @dataclass
+class KernelBuildRecord:
+    """One kernel-construction measurement from ``bench_kernel_build.py``.
+
+    ``mode`` names the construction path: ``scalar-adapter`` (the
+    pre-provider behaviour — n(n−1)/2 Python calls through the wrapped
+    callables), ``batch-loop`` (the provider interface with
+    vectorization disabled: blocked scalar loops over the raw metric),
+    or ``feature-space`` (the vectorized fast path).  ``speedup`` is
+    measured against the scalar-adapter build at the same (n, backend).
+    """
+
+    scenario: str
+    mode: str
+    n: int
+    backend: str
+    build_seconds: float
+    speedup: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def render_kernel_build_report(
+    records: "list[KernelBuildRecord]",
+    title: str = "kernel construction by scoring path",
+) -> str:
+    """An aligned text table of kernel-construction benchmark records."""
+    header = ("scenario", "mode", "n", "backend", "build [s]", "speedup")
+    body = [
+        (
+            r.scenario,
+            r.mode,
+            str(r.n),
+            r.backend,
+            f"{r.build_seconds:.4f}",
+            f"{r.speedup:.2f}x",
+        )
+        for r in records
+    ]
+    return _render_table(title, header, body)
+
+
+@dataclass
 class HeuristicsBenchRecord:
     """One heuristic-vs-exact measurement from ``bench_heuristics.py``.
 

@@ -74,7 +74,10 @@ def _cmd_verify(_args: argparse.Namespace) -> int:
         ("Th. 6.1  co3SAT → DRP(CQ,F_MS) [repaired]", sat_drp.verify_reduction(phi, "max-sum")),
         ("Th. 6.2  Q3SAT → DRP(CQ,F_mono) [repaired]", q3sat_drp.verify_reduction(q)),
         ("Th. 7.1  #Σ₁SAT → RDC(CQ,F_MS)", sigma1_rdc.verify_reduction(f, [1, 2], [3, 4])),
-        ("Th. 7.5  #SSPk → RDC (Turing)", ssp.verify_turing_reduction(ssp.SspkInstance((3, 5, 2, 7, 5), 10, 2))),
+        (
+            "Th. 7.5  #SSPk → RDC (Turing)",
+            ssp.verify_turing_reduction(ssp.SspkInstance((3, 5, 2, 7, 5), 10, 2)),
+        ),
         ("Th. 9.3  3SAT → QRD(identity,F_mono,Σ)", constraints_hardness.verify_reduction(phi)),
     ]
     failures = 0

@@ -105,8 +105,9 @@ def select_greedy_max_min(
     chosen = [seed]
     excluded = {seed}
     min_dist = kernel.copy_distance_row(seed)
+    scratch = kernel.zeros_vector()  # reused per round; scored in place
     while len(chosen) < k:
-        scores = kernel.affine_scores(1.0 - lam, lam, min_dist)
+        scores = kernel.affine_scores(1.0 - lam, lam, min_dist, out=scratch)
         nxt = kernel.argmax(scores, excluded=excluded)
         chosen.append(nxt)
         excluded.add(nxt)
@@ -145,8 +146,9 @@ def select_greedy_marginal_max_sum(
     chosen: list[int] = []
     excluded: set[int] = set()
     sum_dist = kernel.zeros_vector()
+    scratch = kernel.zeros_vector()  # reused per round; scored in place
     while len(chosen) < k:
-        gains = kernel.affine_scores(rel_coef, dist_coef, sum_dist)
+        gains = kernel.affine_scores(rel_coef, dist_coef, sum_dist, out=scratch)
         nxt = kernel.argmax(gains, excluded=excluded)
         chosen.append(nxt)
         excluded.add(nxt)

@@ -46,8 +46,9 @@ def select_mmr(
     chosen = [first]
     excluded = {first}
     novelty = kernel.copy_distance_row(first)
+    scratch = kernel.zeros_vector()  # reused per round; scored in place
     while len(chosen) < k:
-        scores = kernel.affine_scores(1.0 - trade_off, trade_off, novelty)
+        scores = kernel.affine_scores(1.0 - trade_off, trade_off, novelty, out=scratch)
         nxt = kernel.argmax(scores, excluded=excluded)
         chosen.append(nxt)
         excluded.add(nxt)

@@ -488,7 +488,10 @@ def figure_map(problem: Problem) -> list[FigureNode]:
         ("F_mono: CQ/FO, combined", Setting(problem, mono, cq, Mode.COMBINED)),
         ("F_mono: CQ/FO, data", Setting(problem, mono, cq, Mode.DATA)),
         ("F_mono: identity queries, combined", Setting(problem, mono, identity, Mode.COMBINED)),
-        ("F_mono: λ=0, combined (CQ/∃FO+)", Setting(problem, mono, cq, Mode.COMBINED, lambda_zero=True)),
+        (
+            "F_mono: λ=0, combined (CQ/∃FO+)",
+            Setting(problem, mono, cq, Mode.COMBINED, lambda_zero=True),
+        ),
         ("F_mono: λ=0, data", Setting(problem, mono, cq, Mode.DATA, lambda_zero=True)),
     ]
     return [FigureNode(label, setting, classify(setting)) for label, setting in nodes]

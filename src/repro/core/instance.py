@@ -65,6 +65,12 @@ class DiversificationInstance:
     def answer_count(self) -> int:
         return len(self.answers())
 
+    @property
+    def provider(self):
+        """The batch-native scoring provider carried by the objective
+        (None when the objective is plain scalar callables)."""
+        return self.objective.provider
+
     def in_answers(self, row: Row) -> bool:
         """Membership test against the cached answer set."""
         if self._result_cache is not None:

@@ -53,6 +53,14 @@ class Objective:
 
     ``value`` scores a set of answer tuples; for :data:`ObjectiveKind.MONO`
     the full answer set ``Q(D)`` must be supplied as ``universe``.
+
+    An objective may additionally carry a batch-native
+    :class:`~repro.core.providers.ScoringProvider` — the scoring kernel
+    then builds its arrays through the provider's vectorized batch
+    methods instead of n² scalar calls.  To keep the scalar and batch
+    views from ever drifting, a provider-backed objective must use the
+    provider's *derived* scalar callables (the blessed constructor is
+    :meth:`from_provider`).
     """
 
     def __init__(
@@ -61,13 +69,24 @@ class Objective:
         relevance: RelevanceFunction,
         distance: DistanceFunction,
         lam: float = 0.5,
+        provider=None,
     ):
         if not 0.0 <= lam <= 1.0:
             raise ObjectiveError(f"λ must be in [0,1], got {lam}")
+        if provider is not None and (
+            provider.relevance_function() is not relevance
+            or provider.distance_function() is not distance
+        ):
+            raise ObjectiveError(
+                "a provider-backed objective must use the provider's derived "
+                "scalar callables (provider.relevance_function() / "
+                ".distance_function()); use Objective.from_provider(...)"
+            )
         self.kind = kind
         self.relevance = relevance
         self.distance = distance
         self.lam = float(lam)
+        self.provider = provider
 
     # -- convenience constructors ---------------------------------------
 
@@ -77,8 +96,9 @@ class Objective:
         relevance: RelevanceFunction,
         distance: DistanceFunction,
         lam: float = 0.5,
+        provider=None,
     ) -> "Objective":
-        return cls(ObjectiveKind.MAX_SUM, relevance, distance, lam)
+        return cls(ObjectiveKind.MAX_SUM, relevance, distance, lam, provider=provider)
 
     @classmethod
     def max_min(
@@ -86,8 +106,9 @@ class Objective:
         relevance: RelevanceFunction,
         distance: DistanceFunction,
         lam: float = 0.5,
+        provider=None,
     ) -> "Objective":
-        return cls(ObjectiveKind.MAX_MIN, relevance, distance, lam)
+        return cls(ObjectiveKind.MAX_MIN, relevance, distance, lam, provider=provider)
 
     @classmethod
     def mono(
@@ -95,8 +116,27 @@ class Objective:
         relevance: RelevanceFunction,
         distance: DistanceFunction,
         lam: float = 0.5,
+        provider=None,
     ) -> "Objective":
-        return cls(ObjectiveKind.MONO, relevance, distance, lam)
+        return cls(ObjectiveKind.MONO, relevance, distance, lam, provider=provider)
+
+    @classmethod
+    def from_provider(
+        cls, kind: ObjectiveKind, provider, lam: float = 0.5
+    ) -> "Objective":
+        """An objective scored through a batch-native provider.
+
+        The scalar callables are derived from the provider (one
+        definition, two views), so direct ``δ_rel``/``δ_dis`` calls and
+        the kernel's vectorized construction agree float for float.
+        """
+        return cls(
+            kind,
+            provider.relevance_function(),
+            provider.distance_function(),
+            lam,
+            provider=provider,
+        )
 
     # -- properties -------------------------------------------------------
 
@@ -209,7 +249,9 @@ class Objective:
 
     def with_lambda(self, lam: float) -> "Objective":
         """A copy of this objective with a different trade-off λ."""
-        return Objective(self.kind, self.relevance, self.distance, lam)
+        return Objective(
+            self.kind, self.relevance, self.distance, lam, provider=self.provider
+        )
 
     def __repr__(self) -> str:
         return (

@@ -20,6 +20,12 @@ Every algorithm in :mod:`repro.algorithms` is an index-based selector
 over a kernel; the row-based signatures accept an optional ``kernel``
 and build a fresh one (via :func:`kernel_for_instance`) when none is
 passed — there is no separate non-kernel scoring path.
+
+Kernel construction itself is batch-native: all scoring routes through
+a :class:`~repro.core.providers.ScoringProvider` (the objective's own
+vectorized provider, or a :class:`ScalarCallableProvider` adapter for
+plain callables), and the distance matrix is assembled from tiled
+``distance_block`` calls of :data:`DEFAULT_BLOCK_SIZE` rows.
 """
 
 from .engine import (
@@ -35,6 +41,7 @@ from .engine import (
     variants_grid,
 )
 from .kernel import (
+    DEFAULT_BLOCK_SIZE,
     KernelError,
     ScoringKernel,
     kernel_for_instance,
@@ -45,6 +52,7 @@ from .updates import KernelDelta, compute_delta, delta_for_instance
 __all__ = [
     "ALGORITHMS",
     "CacheStats",
+    "DEFAULT_BLOCK_SIZE",
     "DiversificationEngine",
     "EngineError",
     "EngineResult",

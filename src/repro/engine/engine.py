@@ -177,7 +177,9 @@ class DiversificationEngine:
     ``use_numpy`` selects the kernel backend (None = auto-detect);
     ``patch_threshold`` is the largest delta, as a fraction of the
     answer-set size, that a stale cached kernel is delta-patched for
-    (larger deltas rebuild from scratch — 0 disables patching).
+    (larger deltas rebuild from scratch — 0 disables patching);
+    ``block_size`` is the tile width of the blocked kernel construction
+    (None = :data:`~repro.engine.kernel.DEFAULT_BLOCK_SIZE`).
     """
 
     def __init__(
@@ -186,6 +188,7 @@ class DiversificationEngine:
         cache_size: int = 8,
         use_numpy: bool | None = None,
         patch_threshold: float = 0.5,
+        block_size: int | None = None,
     ):
         if cache_size < 1:
             raise EngineError(f"cache_size must be >= 1, got {cache_size}")
@@ -198,10 +201,13 @@ class DiversificationEngine:
             raise EngineError(
                 f"patch_threshold must be >= 0, got {patch_threshold}"
             )
+        if block_size is not None and block_size < 1:
+            raise EngineError(f"block_size must be >= 1, got {block_size}")
         self.algorithm = algorithm
         self.cache_size = cache_size
         self.use_numpy = use_numpy
         self.patch_threshold = patch_threshold
+        self.block_size = block_size
         self._cache: OrderedDict[tuple[int, int, int, int], ScoringKernel] = (
             OrderedDict()
         )
@@ -247,7 +253,7 @@ class DiversificationEngine:
                 self.stats.patches += 1
                 return kernel
             self.stats.stale_rebuilds += 1
-        kernel = kernel_for_instance(instance, use_numpy=self.use_numpy)
+        kernel = kernel_for_instance(instance, use_numpy=self.use_numpy, block_size=self.block_size)
         self._cache[key] = kernel
         self._cache.move_to_end(key)
         self.stats.misses += 1

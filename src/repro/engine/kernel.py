@@ -15,6 +15,15 @@ so each ``(Q, D, δ_rel, δ_dis)`` combination pays the function-call cost
 exactly once, after which every algorithm — and every ``k``/``λ``
 variant of the same instance — reuses the arrays.
 
+Construction is **batch-native**: all scoring goes through a
+:class:`~repro.core.providers.ScoringProvider` — the objective's own
+when it carries one, else a :class:`ScalarCallableProvider` adapting the
+scalar callables with identical floats and call counts.  The distance
+matrix is assembled from tiled ``distance_block`` calls (``block_size``
+rows per tile, symmetric tiles computed once and mirrored), so a
+vectorizing provider fills it with a handful of array operations instead
+of n(n−1)/2 interpreter-bound calls.
+
 The kernel is NumPy-backed when NumPy is importable and falls back to a
 pure-Python implementation with identical semantics otherwise (the
 fallback can also be forced with ``use_numpy=False``, which the parity
@@ -36,6 +45,7 @@ from ..core.evaluator import (
     mono_item_score,
 )
 from ..core.objectives import Objective, ObjectiveError, ObjectiveKind
+from ..core.providers import provider_for
 from ..relational.schema import Row, row_sort_key
 
 if TYPE_CHECKING:
@@ -45,6 +55,11 @@ try:
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI cell
     _np = None
+
+#: Rows per tile of the blocked distance-matrix construction.  Large
+#: enough that NumPy per-call overhead amortizes, small enough that a
+#: tile's feature matrices stay cache-friendly.
+DEFAULT_BLOCK_SIZE = 256
 
 
 def numpy_available() -> bool:
@@ -85,6 +100,8 @@ class ScoringKernel:
         "db",
         "relevance",
         "distance",
+        "provider",
+        "block_size",
         "answers",
         "n",
         "backend",
@@ -100,6 +117,7 @@ class ScoringKernel:
         instance: "DiversificationInstance",
         use_numpy: bool | None = None,
         defer_distances: bool = False,
+        block_size: int | None = None,
     ):
         if use_numpy is None:
             use_numpy = _np is not None
@@ -108,21 +126,29 @@ class ScoringKernel:
                 "use_numpy=True requested but numpy is not installed; "
                 "pass use_numpy=None (auto) or False for the pure-Python backend"
             )
+        if block_size is None:
+            block_size = DEFAULT_BLOCK_SIZE
+        elif block_size < 1:
+            raise KernelError(f"block_size must be >= 1, got {block_size}")
         objective = instance.objective
         self.query = instance.query
         self.db = instance.db
         self.relevance = objective.relevance
         self.distance = objective.distance
+        self.provider = provider_for(objective)
+        self.block_size = int(block_size)
         self.answers: tuple[Row, ...] = tuple(instance.answers())
         self.n = len(self.answers)
         self._index = _first_occurrence_index(self.answers)
         self.backend = "numpy" if use_numpy else "python"
 
-        rel = [self.relevance(t, self.query) for t in self.answers]
+        rel = self.provider.relevance_batch(
+            self.answers, self.query, use_numpy=use_numpy
+        )
         if use_numpy:
             self._rel = _np.asarray(rel, dtype=_np.float64)
         else:
-            self._rel = rel
+            self._rel = [float(v) for v in rel]
         # ``defer_distances=True`` skips the O(n²) matrix until a
         # distance is actually read — relevance-only (λ = 0) modular
         # selection never reads one, and any later reader triggers
@@ -134,19 +160,53 @@ class ScoringKernel:
         self._item_scores_cache = {}
 
     def _materialize_distances(self) -> None:
+        """Assemble the distance matrix from tiled provider blocks.
+
+        Tiles of ``block_size`` rows; only tiles on or above the
+        diagonal are scored (``rows_a is rows_b`` marks the symmetric
+        diagonal tiles, which providers score triangle-once), and
+        below-diagonal tiles are mirrored — so a scalar provider pays
+        exactly n(n−1)/2 distance calls and a vectorizing provider one
+        array op per tile.
+        """
         n = self.n
-        dist = [[0.0] * n for _ in range(n)]
-        for i in range(n):
-            row_i = self.answers[i]
-            dist_i = dist[i]
-            for j in range(i + 1, n):
-                value = self.distance(row_i, self.answers[j])
-                dist_i[j] = value
-                dist[j][i] = value
-        if self.backend == "numpy":
-            self._dist = _np.asarray(dist, dtype=_np.float64)
+        step = self.block_size
+        provider = self.provider
+        answers = self.answers
+        use_numpy = self.backend == "numpy"
+        if use_numpy:
+            dist = _np.zeros((n, n), dtype=_np.float64)
+            for a0 in range(0, n, step):
+                a1 = min(a0 + step, n)
+                rows_a = answers[a0:a1]
+                for b0 in range(a0, n, step):
+                    b1 = min(b0 + step, n)
+                    rows_b = rows_a if b0 == a0 else answers[b0:b1]
+                    block = _np.asarray(
+                        provider.distance_block(rows_a, rows_b, use_numpy=True),
+                        dtype=_np.float64,
+                    )
+                    dist[a0:a1, b0:b1] = block
+                    if b0 != a0:
+                        dist[b0:b1, a0:a1] = block.T
         else:
-            self._dist = dist
+            dist = [[0.0] * n for _ in range(n)]
+            for a0 in range(0, n, step):
+                a1 = min(a0 + step, n)
+                rows_a = answers[a0:a1]
+                for b0 in range(a0, n, step):
+                    b1 = min(b0 + step, n)
+                    rows_b = rows_a if b0 == a0 else answers[b0:b1]
+                    block = provider.distance_block(rows_a, rows_b, use_numpy=False)
+                    for i, block_row in enumerate(block):
+                        dist_row = dist[a0 + i]
+                        for j, value in enumerate(block_row):
+                            dist_row[b0 + j] = value
+                    if b0 != a0:
+                        for i, block_row in enumerate(block):
+                            for j, value in enumerate(block_row):
+                                dist[b0 + j][a0 + i] = value
+        self._dist = dist
         self._recompute_row_sums()
 
     def _require_dist(self) -> None:
@@ -162,17 +222,26 @@ class ScoringKernel:
     def _recompute_row_sums(self) -> None:
         # Sequential left-to-right sums (not numpy's pairwise summation):
         # bitwise-identical to the direct path's per-row generator sums,
-        # so item-score orderings never diverge between backends.
-        rows = self._dist.tolist() if self.backend == "numpy" else self._dist
-        self._row_sums = [sum(row) for row in rows]
+        # so item-score orderings never diverge between backends.  The
+        # numpy path accumulates column by column — the same left-to-
+        # right IEEE additions as ``sum(row)`` (including the 0.0 seed),
+        # vectorized across rows.
+        if self.backend == "numpy":
+            acc = _np.zeros(self.n, dtype=_np.float64)
+            for j in range(self.n):
+                acc = acc + self._dist[:, j]
+            self._row_sums = acc.tolist()
+        else:
+            self._row_sums = [sum(row) for row in self._dist]
 
     @classmethod
     def from_instance(
         cls,
         instance: "DiversificationInstance",
         use_numpy: bool | None = None,
+        block_size: int | None = None,
     ) -> "ScoringKernel":
-        return cls(instance, use_numpy=use_numpy)
+        return cls(instance, use_numpy=use_numpy, block_size=block_size)
 
     # -- identity ---------------------------------------------------------
 
@@ -293,30 +362,40 @@ class ScoringKernel:
         old_of_new = [old for _, old in merged]
         m = len(new_answers)
         new_positions = [p for p, old in enumerate(old_of_new) if old < 0]
-        new_set = set(new_positions)
+        new_rows = [new_answers[p] for p in new_positions]
+        use_numpy = self.backend == "numpy"
 
-        if self.backend == "numpy":
+        # Inserted rows are scored through the provider's batch methods:
+        # one relevance_batch call and one distance_block call per delta
+        # instead of O(n·|Δ|) scalar invocations.
+        inserted_rel = (
+            self.provider.relevance_batch(new_rows, self.query, use_numpy=use_numpy)
+            if new_rows
+            else None
+        )
+        if use_numpy:
             new_rel = _np.empty(m, dtype=_np.float64)
             for p, old in enumerate(old_of_new):
-                new_rel[p] = (
-                    self._rel[old]
-                    if old >= 0
-                    else self.relevance(new_answers[p], self.query)
+                if old >= 0:
+                    new_rel[p] = self._rel[old]
+            if new_rows:
+                new_rel[_np.asarray(new_positions, dtype=_np.intp)] = _np.asarray(
+                    inserted_rel, dtype=_np.float64
                 )
         else:
-            new_rel = [
-                self._rel[old]
-                if old >= 0
-                else self.relevance(new_answers[p], self.query)
-                for p, old in enumerate(old_of_new)
-            ]
+            new_rel = [0.0] * m
+            for p, old in enumerate(old_of_new):
+                if old >= 0:
+                    new_rel[p] = self._rel[old]
+            for value, p in zip(inserted_rel or (), new_positions):
+                new_rel[p] = float(value)
 
         # A deferred distance matrix stays deferred: there is nothing to
         # patch, and the next distance read materializes against the
         # updated snapshot.
         new_dist = None
         if self._dist is not None:
-            if self.backend == "numpy":
+            if use_numpy:
                 new_dist = _np.zeros((m, m), dtype=_np.float64)
                 if kept:
                     kept_pos = _np.asarray(
@@ -340,18 +419,25 @@ class ScoringKernel:
                     else:
                         new_dist.append([0.0] * m)
 
-            for p in new_positions:
-                row_p = new_answers[p]
-                for q in range(m):
-                    if q == p or (q < p and q in new_set):
-                        continue  # zero diagonal / pair already filled
-                    value = self.distance(row_p, new_answers[q])
-                    if self.backend == "numpy":
-                        new_dist[p, q] = value
-                        new_dist[q, p] = value
-                    else:
-                        new_dist[p][q] = value
-                        new_dist[q][p] = value
+            if new_rows:
+                # One |Δ| × m block covers every entry touching an
+                # inserted row; the provider's symmetry contract makes
+                # the row/column mirror writes consistent (including
+                # inserted-inserted pairs, which the block scores twice
+                # with equal values, and the zero diagonal).
+                block = self.provider.distance_block(
+                    new_rows, list(new_answers), use_numpy=use_numpy
+                )
+                if use_numpy:
+                    block = _np.asarray(block, dtype=_np.float64)
+                    pos = _np.asarray(new_positions, dtype=_np.intp)
+                    new_dist[pos, :] = block
+                    new_dist[:, pos] = block.T
+                else:
+                    for block_row, p in zip(block, new_positions):
+                        new_dist[p] = [float(v) for v in block_row]
+                        for q in range(m):
+                            new_dist[q][p] = new_dist[p][q]
 
         self.answers = new_answers
         self.n = m
@@ -445,13 +531,28 @@ class ScoringKernel:
             vec[j] = vec[j] + row[j]
         return vec
 
-    def affine_scores(self, alpha: float, beta: float, vec):
+    def affine_scores(self, alpha: float, beta: float, vec, out=None):
         """Elementwise ``alpha * rel + beta * vec`` — the shape of every
-        incremental selection rule (MMR, GMC, marginal greedy)."""
+        incremental selection rule (MMR, GMC, marginal greedy).
+
+        ``out`` is an optional reusable buffer (from
+        :meth:`zeros_vector`): selector inner loops call this once per
+        pick, and writing into a scratch vector avoids allocating two
+        fresh arrays per round.  The element-wise operations (and hence
+        the floats) are identical either way.
+        """
         if self.backend == "numpy":
-            return alpha * self._rel + beta * vec
+            if out is None:
+                return alpha * self._rel + beta * vec
+            _np.multiply(self._rel, alpha, out=out)
+            out += beta * vec
+            return out
         rel = self._rel
-        return [alpha * rel[j] + beta * vec[j] for j in range(self.n)]
+        if out is None:
+            return [alpha * rel[j] + beta * vec[j] for j in range(self.n)]
+        for j in range(self.n):
+            out[j] = alpha * rel[j] + beta * vec[j]
+        return out
 
     def argmax(
         self,
@@ -553,6 +654,15 @@ class ScoringKernel:
         lam = objective.lam
         n = self.n
         if objective.kind is ObjectiveKind.MONO:
+            if self.backend == "numpy":
+                # Array arithmetic with the same operation order as
+                # mono_item_score: (1−λ)·rel, then + (λ·sums)/(n−1) —
+                # element-wise identical to the scalar fold below.
+                scores = (1.0 - lam) * self._rel if lam < 1.0 else _np.zeros(n, dtype=_np.float64)
+                if lam > 0.0 and n > 1:
+                    sums = _np.asarray(self.row_distance_sums(), dtype=_np.float64)
+                    scores = scores + lam * sums / (n - 1)
+                return scores.tolist()
             sums = self.row_distance_sums() if lam > 0.0 else [0.0] * n
             return [
                 mono_item_score(
@@ -564,6 +674,8 @@ class ScoringKernel:
                 for i in range(n)
             ]
         if objective.kind is ObjectiveKind.MAX_SUM and objective.relevance_only:
+            if self.backend == "numpy":
+                return self._rel.tolist()
             return [self.relevance_of(i) for i in range(n)]
         raise ObjectiveError(
             f"{objective.kind.value} with λ={objective.lam} has no per-item decomposition"
@@ -598,6 +710,7 @@ class ScoringKernel:
 def kernel_for_instance(
     instance: "DiversificationInstance",
     use_numpy: bool | None = None,
+    block_size: int | None = None,
 ) -> ScoringKernel:
     """Build a kernel sized to the instance's objective.
 
@@ -612,4 +725,9 @@ def kernel_for_instance(
     defer = (
         objective.kind is ObjectiveKind.MAX_SUM and objective.relevance_only
     )
-    return ScoringKernel(instance, use_numpy=use_numpy, defer_distances=defer)
+    return ScoringKernel(
+        instance,
+        use_numpy=use_numpy,
+        defer_distances=defer,
+        block_size=block_size,
+    )

@@ -11,7 +11,10 @@ module supplies the diff layer:
   (multiset insert/delete difference, order-preserving), and
 * :meth:`~repro.engine.kernel.ScoringKernel.apply_delta` consumes that
   delta, growing/shrinking the relevance vector, distance matrix, row
-  sums and index in O(n·|Δ|) scoring calls.
+  sums and index — scoring the inserted rows through the objective's
+  provider as one ``relevance_batch`` call plus one ``distance_block``
+  call per delta (O(n·|Δ|) scalar calls only when the provider is the
+  scalar adapter).
 
 The engine's existing staleness check (`snapshot_equals` against the
 re-materialized ``Q(D)``) thereby becomes the *trigger for patching*

@@ -11,6 +11,7 @@ import random
 
 from ..core.constraints import CompatibilityConstraint, ConstraintBuilder, ConstraintSet
 from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.providers import FeatureSpaceProvider, HierarchyMetric
 from ..relational.queries import Query, identity_query
 from ..relational.schema import Database, Relation, RelationSchema, Row
 
@@ -92,14 +93,29 @@ def rating_relevance() -> RelevanceFunction:
     return RelevanceFunction.from_attribute("rating")
 
 
+def scoring_provider() -> FeatureSpaceProvider:
+    """The batch-native scorer: δ_rel = rating, δ_dis = the (area, level)
+    hierarchy — the weight of the first differing feature column (2
+    across areas, 1 across levels), vectorized as pure comparisons."""
+    area_codes: dict[str, float] = {area: float(i) for i, area in enumerate(AREAS)}
+
+    def features(row: Row) -> tuple[float, float]:
+        code = area_codes.setdefault(row["area"], float(len(area_codes)))
+        return (code, float(row["level"]))
+
+    return FeatureSpaceProvider(
+        features,
+        metric=HierarchyMetric((2.0, 1.0), name="area-level"),
+        relevance=rating_relevance(),
+        name="courses",
+        distance_name="area-level",
+    )
+
+
 def area_distance() -> DistanceFunction:
-    """δ_dis: 2 across areas, 1 across levels in the same area, else 0."""
+    """δ_dis: 2 across areas, 1 across levels in the same area, else 0.
 
-    def func(left: Row, right: Row) -> float:
-        if left["area"] != right["area"]:
-            return 2.0
-        if left["level"] != right["level"]:
-            return 1.0
-        return 0.0
-
-    return DistanceFunction.from_callable(func, name="area-level")
+    Derived from :func:`scoring_provider`, so the scalar callable and
+    the vectorized block path share one definition.
+    """
+    return scoring_provider().distance_function()

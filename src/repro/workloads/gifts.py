@@ -16,12 +16,19 @@ novelty condition.  :func:`relevance_from_history` and
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 
 from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.providers import ScoringProvider
 from ..relational.ast import And, Comparison, Exists, Forall, Not, RelationAtom
 from ..relational.queries import Query
 from ..relational.schema import Database, Relation, RelationSchema, Row
 from ..relational.terms import ComparisonOp, Var
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI cell
+    _np = None
 
 CATALOG = RelationSchema("catalog", ("item", "type", "price", "inStock"))
 HISTORY = RelationSchema(
@@ -165,20 +172,104 @@ def relevance_from_history(
     return RelevanceFunction.from_callable(func, name="history-rating")
 
 
-def type_distance(db: Database) -> DistanceFunction:
-    """δ_dis of Example 3.1: 2 for items in different categories, 1 for
-    different types within a category, 0 for identical types."""
-    types = {
-        row["item"]: row["type"] for row in db.relation(CATALOG.name).rows
-    }
+class GiftTypeProvider(ScoringProvider):
+    """Batch-native δ_dis of Example 3.1 over a catalog snapshot.
 
-    def func(left: Row, right: Row) -> float:
-        lt = types.get(left["item"])
-        rt = types.get(right["item"])
+    Items are encoded to (category, type) integer codes at construction;
+    a distance block is then three vectorized comparisons — 0 for equal
+    types, 1 within a category, 2 across categories — with the
+    unknown-item convention (items missing from the catalog are distance
+    0 to everything) applied as a mask.  A :class:`HierarchyMetric`
+    cannot express that convention, hence the custom provider.
+    """
+
+    def __init__(self, db: Database, relevance: RelevanceFunction | None = None):
+        super().__init__()
+        # The default relevance (mean historical rating) scans the
+        # history relation, which distance-only callers like
+        # type_distance never need — build it lazily on first use.
+        self._db = db
+        self._relevance = relevance
+        self.name = "gift-types"
+        self._types: dict[str, str] = {
+            row["item"]: row["type"] for row in db.relation(CATALOG.name).rows
+        }
+        type_codes: dict[str | None, int] = {}
+        category_codes: dict[str | None, int] = {}
+        self._codes: dict[str, tuple[int, int]] = {}
+        for item, gift_type in self._types.items():
+            category = _TYPE_CATEGORY.get(gift_type)
+            self._codes[item] = (
+                category_codes.setdefault(category, len(category_codes)),
+                type_codes.setdefault(gift_type, len(type_codes)),
+            )
+
+    def relevance_at(self, row: Row, query=None) -> float:
+        return self.relevance_function()(row, query)
+
+    def relevance_function(self) -> RelevanceFunction:
+        if self._relevance is None:
+            self._relevance = relevance_from_history(self._db)
+        return self._relevance
+
+    def distance_at(self, left: Row, right: Row) -> float:
+        lt = self._types.get(left["item"])
+        rt = self._types.get(right["item"])
         if lt is None or rt is None or lt == rt:
             return 0.0
         if _TYPE_CATEGORY.get(lt) == _TYPE_CATEGORY.get(rt):
             return 1.0
         return 2.0
 
-    return DistanceFunction.from_callable(func, name="type-category")
+    def _code_arrays(self, rows: Sequence[Row]):
+        codes = [self._codes.get(row["item"]) for row in rows]
+        category = _np.asarray(
+            [c[0] if c is not None else -1 for c in codes], dtype=_np.intp
+        )
+        gift_type = _np.asarray(
+            [c[1] if c is not None else -1 for c in codes], dtype=_np.intp
+        )
+        known = category >= 0
+        return category, gift_type, known
+
+    def distance_block(self, rows_a, rows_b, use_numpy: bool = False):
+        if not use_numpy:
+            return super().distance_block(rows_a, rows_b, use_numpy=False)
+        if not rows_a or not rows_b:
+            return _np.zeros((len(rows_a), len(rows_b)))
+        cat_a, type_a, known_a = self._code_arrays(rows_a)
+        if rows_a is rows_b:
+            cat_b, type_b, known_b = cat_a, type_a, known_a
+        else:
+            cat_b, type_b, known_b = self._code_arrays(rows_b)
+        type_eq = type_a[:, None] == type_b[None, :]
+        cat_eq = cat_a[:, None] == cat_b[None, :]
+        out = _np.where(type_eq, 0.0, _np.where(cat_eq, 1.0, 2.0))
+        known = known_a[:, None] & known_b[None, :]
+        return _np.where(known, out, 0.0)
+
+    def distance_function(self) -> DistanceFunction:
+        if self._derived_distance is None:
+            self._derived_distance = DistanceFunction(
+                self.distance_at, name="type-category", symmetrize=False
+            )
+        return self._derived_distance
+
+
+def scoring_provider(
+    db: Database, relevance: RelevanceFunction | None = None
+) -> GiftTypeProvider:
+    """The batch-native scorer: δ_rel defaults to
+    :func:`relevance_from_history`, δ_dis is the vectorized
+    type/category hierarchy of :class:`GiftTypeProvider`."""
+    return GiftTypeProvider(db, relevance=relevance)
+
+
+def type_distance(db: Database) -> DistanceFunction:
+    """δ_dis of Example 3.1: 2 for items in different categories, 1 for
+    different types within a category, 0 for identical types.
+
+    Derived from :func:`scoring_provider`, so the scalar callable and
+    the vectorized block path share one definition.
+    """
+    return scoring_provider(db).distance_function()

@@ -23,9 +23,9 @@ import random
 from collections.abc import Iterator
 from dataclasses import dataclass
 
-from ..core.functions import DistanceFunction
 from ..core.instance import DiversificationInstance
 from ..core.objectives import Objective
+from ..core.providers import FeatureSpaceProvider
 from ..relational.schema import Row
 from . import websearch
 
@@ -74,11 +74,23 @@ class StreamingWebSearch:
             num_docs=num_docs, num_intents=num_intents, seed=seed
         )
         self.query = websearch.documents_query()
-        self.relevance = websearch.authority_relevance()
         self._coverage = websearch.coverage_map(self.db)
-        self.distance = DistanceFunction.from_callable(
-            self._live_jaccard, name="intent-jaccard-live"
+        # The provider reads intent coverage from the live map (unlike
+        # websearch.scoring_provider, which snapshots it), over the
+        # fixed intent universe of the session.  Feature caching is
+        # safe: document ids are never reused and a document's coverage
+        # is immutable once inserted, so a cached vector can only go
+        # unreferenced, never stale.
+        self._intent_position = {f"intent{i}": i for i in range(num_intents)}
+        self.provider = FeatureSpaceProvider(
+            self._features,
+            metric="jaccard",
+            relevance=websearch.authority_relevance(),
+            name="websearch-stream",
+            distance_name="intent-jaccard-live",
         )
+        self.relevance = self.provider.relevance_function()
+        self.distance = self.provider.distance_function()
         self._rng = random.Random(seed + 1)
         self._next_doc = num_docs
         self._clock = 0.0
@@ -92,26 +104,37 @@ class StreamingWebSearch:
                 (websearch.RESULTS.name, row)
             )
 
-    def _live_jaccard(self, left: Row, right: Row) -> float:
-        a = set(self._coverage.get(left["doc"], ()))
-        b = set(self._coverage.get(right["doc"], ()))
-        if not a and not b:
-            return 0.0
-        return 1.0 - len(a & b) / len(a | b)
+    def _features(self, row: Row) -> tuple[float, ...]:
+        """Binary intent-incidence vector from the *live* coverage map."""
+        vector = [0.0] * self.num_intents
+        for intent in self._coverage.get(row["doc"], ()):
+            vector[self._intent_position[intent]] = 1.0
+        return tuple(vector)
 
     @property
     def live_docs(self) -> list[str]:
         """Currently present document ids (sorted)."""
         return sorted(self._doc_rows)
 
-    def make_instance(self, k: int = 10, lam: float = 0.5) -> DiversificationInstance:
+    def make_instance(
+        self, k: int = 10, lam: float = 0.5, use_provider: bool = True
+    ) -> DiversificationInstance:
         """A diversification instance over the *live* database.
 
         Reuses the session's query/db/relevance/distance objects, so
         instances built before and after updates share one engine
         kernel-cache key (the update path, not a new materialization).
+        By default the objective carries the session's batch-native
+        provider (vectorized kernel construction and delta patching);
+        ``use_provider=False`` drops it, leaving the scalar-adapter path
+        — the benchmark baseline.
         """
-        objective = Objective.max_sum(self.relevance, self.distance, lam=lam)
+        objective = Objective.max_sum(
+            self.relevance,
+            self.distance,
+            lam=lam,
+            provider=self.provider if use_provider else None,
+        )
         return DiversificationInstance(self.query, self.db, k=k, objective=objective)
 
     # -- the stream --------------------------------------------------------

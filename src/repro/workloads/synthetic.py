@@ -21,9 +21,10 @@ import random
 from ..core.functions import DistanceFunction, RelevanceFunction
 from ..core.instance import DiversificationInstance
 from ..core.objectives import Objective, ObjectiveKind
+from ..core.providers import FeatureSpaceProvider
 from ..relational.ast import And, Comparison, Exists, Or, RelationAtom
 from ..relational.queries import Query, identity_query
-from ..relational.schema import Database, Relation, RelationSchema
+from ..relational.schema import Database, Relation, RelationSchema, Row
 from ..relational.terms import ComparisonOp, Var
 
 ITEMS = RelationSchema("items", ("id", "category", "score", "x", "y"))
@@ -49,16 +50,31 @@ def random_database(n: int = 20, categories: int = 5, seed: int = 0) -> Database
     return Database([relation])
 
 
+def _xy_features(row: Row) -> tuple[float, float]:
+    return (float(row["x"]), float(row["y"]))
+
+
+def scoring_provider() -> FeatureSpaceProvider:
+    """The batch-native scorer: δ_rel = the ``score`` attribute, δ_dis =
+    Euclidean distance on the (x, y) feature plane — the whole distance
+    matrix is one vectorized computation per block."""
+    return FeatureSpaceProvider(
+        _xy_features,
+        metric="euclidean",
+        relevance=RelevanceFunction.from_attribute("score"),
+        name="synthetic-xy",
+        distance_name="euclidean",
+    )
+
+
 def euclidean_distance() -> DistanceFunction:
     """Euclidean distance on the (x, y) attributes — a metric, so the
-    greedy dispersion guarantees apply."""
+    greedy dispersion guarantees apply.
 
-    def func(left, right):
-        dx = left["x"] - right["x"]
-        dy = left["y"] - right["y"]
-        return (dx * dx + dy * dy) ** 0.5
-
-    return DistanceFunction.from_callable(func, name="euclidean")
+    Derived from :func:`scoring_provider`, so the scalar callable and
+    the vectorized feature-space path share one definition.
+    """
+    return scoring_provider().distance_function()
 
 
 def random_instance(
@@ -68,15 +84,16 @@ def random_instance(
     lam: float = 0.5,
     seed: int = 0,
 ) -> DiversificationInstance:
-    """A complete instance over an identity query on a random database."""
+    """A complete instance over an identity query on a random database.
+
+    Provider-backed: the objective carries the workload's vectorized
+    :func:`scoring_provider`, so kernels built from these instances take
+    the feature-space fast path (with scalar callables derived from the
+    same provider).
+    """
     db = random_database(n=n, seed=seed)
     query = identity_query(ITEMS)
-    objective = Objective(
-        kind,
-        RelevanceFunction.from_attribute("score"),
-        euclidean_distance(),
-        lam,
-    )
+    objective = Objective.from_provider(kind, scoring_provider(), lam=lam)
     return DiversificationInstance(query, db, k=k, objective=objective)
 
 

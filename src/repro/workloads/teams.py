@@ -10,6 +10,7 @@ import random
 
 from ..core.constraints import CompatibilityConstraint, ConstraintBuilder, ConstraintSet
 from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.providers import FeatureSpaceProvider, HierarchyMetric
 from ..relational.queries import Query, identity_query
 from ..relational.schema import Database, Relation, RelationSchema, Row
 
@@ -59,10 +60,29 @@ def skill_relevance() -> RelevanceFunction:
     return RelevanceFunction.from_attribute("skill")
 
 
+def scoring_provider() -> FeatureSpaceProvider:
+    """The batch-native scorer: δ_rel = skill, δ_dis = position mismatch
+    (a one-level hierarchy over encoded positions)."""
+    position_codes: dict[str, float] = {
+        position: float(i) for i, position in enumerate(POSITIONS)
+    }
+
+    def features(row: Row) -> tuple[float]:
+        return (position_codes.setdefault(row["position"], float(len(position_codes))),)
+
+    return FeatureSpaceProvider(
+        features,
+        metric=HierarchyMetric((1.0,), name="position"),
+        relevance=skill_relevance(),
+        name="teams",
+        distance_name="position",
+    )
+
+
 def position_distance() -> DistanceFunction:
-    """1 if the two players cover different positions, else 0."""
+    """1 if the two players cover different positions, else 0.
 
-    def func(left: Row, right: Row) -> float:
-        return 1.0 if left["position"] != right["position"] else 0.0
-
-    return DistanceFunction.from_callable(func, name="position")
+    Derived from :func:`scoring_provider`, so the scalar callable and
+    the vectorized block path share one definition.
+    """
+    return scoring_provider().distance_function()

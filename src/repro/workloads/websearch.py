@@ -23,6 +23,7 @@ import random
 from collections.abc import Sequence
 
 from ..core.functions import DistanceFunction, RelevanceFunction
+from ..core.providers import FeatureSpaceProvider
 from ..relational.queries import Query, identity_query
 from ..relational.schema import Database, Relation, RelationSchema, Row
 
@@ -92,18 +93,43 @@ def authority_relevance() -> RelevanceFunction:
     return RelevanceFunction.from_attribute("authority")
 
 
-def intent_distance(db: Database) -> DistanceFunction:
-    """δ_dis = 1 − Jaccard similarity of the covered intent sets."""
+def scoring_provider(db: Database, vectorize: bool = True) -> FeatureSpaceProvider:
+    """The batch-native scorer over a snapshot of ``db``'s coverage.
+
+    Each document becomes a binary intent-incidence vector; the Jaccard
+    distance block is then two matmuls over the 0/1 feature matrices —
+    exactly equal, float for float, to the pairwise set computation (set
+    sizes are exact small integers in float64).  ``vectorize=False``
+    keeps the provider interface but scores blocks with scalar metric
+    loops (the benchmark's batch-loop baseline).
+    """
     coverage = coverage_map(db)
+    intents = sorted({intent for covered in coverage.values() for intent in covered})
+    position = {intent: i for i, intent in enumerate(intents)}
 
-    def func(left: Row, right: Row) -> float:
-        a = set(coverage.get(left["doc"], ()))
-        b = set(coverage.get(right["doc"], ()))
-        if not a and not b:
-            return 0.0
-        return 1.0 - len(a & b) / len(a | b)
+    def features(row: Row) -> tuple[float, ...]:
+        vector = [0.0] * len(intents)
+        for intent in coverage.get(row["doc"], ()):
+            vector[position[intent]] = 1.0
+        return tuple(vector)
 
-    return DistanceFunction.from_callable(func, name="intent-jaccard")
+    return FeatureSpaceProvider(
+        features,
+        metric="jaccard",
+        relevance=authority_relevance(),
+        name="websearch-intents",
+        distance_name="intent-jaccard",
+        vectorize=vectorize,
+    )
+
+
+def intent_distance(db: Database) -> DistanceFunction:
+    """δ_dis = 1 − Jaccard similarity of the covered intent sets.
+
+    Derived from :func:`scoring_provider`, so the scalar callable and
+    the vectorized block path share one definition.
+    """
+    return scoring_provider(db).distance_function()
 
 
 def intent_weights_from(db: Database) -> dict[str, float]:

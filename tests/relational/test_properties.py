@@ -81,7 +81,9 @@ def test_negation_complements_within_domain(pairs):
     no_out = qb.query(
         ["x"],
         qb.conj(
-            qb.exists(["y", "w"], qb.disj(qb.atom("edge", "?x", "?y"), qb.atom("edge", "?w", "?x"))),
+            qb.exists(
+                ["y", "w"], qb.disj(qb.atom("edge", "?x", "?y"), qb.atom("edge", "?w", "?x"))
+            ),
             qb.neg(qb.exists(["y"], qb.atom("edge", "?x", "?y"))),
         ),
     )
