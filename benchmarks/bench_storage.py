@@ -1,0 +1,389 @@
+#!/usr/bin/env python
+"""Kernel storage bake-off: dense vs tiled vs float32 vs parallel builds.
+
+The pluggable storage layer (ISSUE 5) exists to remove the single
+contiguous O(n²) float64 allocation as the ceiling on answer-pool size.
+This bench measures, per storage policy, the two costs that justify it —
+**peak memory** (tracemalloc, over one cold full materialization) and
+**build time** (kernel construction + every tile built) — on the
+websearch workload:
+
+* ``dense-f64``   — the historical contiguous matrix (the baseline);
+* ``tiled-f64``   — lazy tile grid, float64 at rest (bit-identical);
+* ``tiled-f32``   — tiles narrowed to float32 at rest (≈half the matrix
+  bytes; reductions stay float64);
+* ``tiled-parallel`` — tiled-f64 with a thread pool building independent
+  tiles concurrently (NumPy releases the GIL inside the jaccard matmuls).
+
+Every run re-verifies correctness in-bench (these assertions gate CI):
+float64 configs must be element-wise *equal* to dense on a sampled
+index grid, tiled-f32 must stay inside the documented relative-error
+envelope, and the MMR selection must be identical across all configs.
+
+Acceptance targets (ISSUE 5, measured at full sizes, reported in the
+JSON): tiled-f32 peak < 60% of dense-f64 peak at n=10,000, and the
+parallel tiled build ≥ 2× faster than the serial tiled build at
+n ≥ 2000 with 4 workers.
+
+Usage::
+
+    python benchmarks/bench_storage.py                # full run (2k, 10k)
+    python benchmarks/bench_storage.py --smoke        # CI-sized, sub-5s
+    python benchmarks/bench_storage.py --lazy-smoke   # lazy-path CI check
+    python benchmarks/bench_storage.py --check        # fail unless targets met
+    python benchmarks/bench_storage.py --no-numpy     # pure-Python kernels
+    python benchmarks/bench_storage.py --json BENCH_storage.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH/pip install
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.algorithms.mmr import mmr_select
+from repro.core.instance import DiversificationInstance
+from repro.core.objectives import Objective, ObjectiveKind
+from repro.engine import ScoringKernel, TiledStorage, numpy_available
+from repro.workloads import websearch
+
+import common
+
+SMOKE_BUDGET_SECONDS = 5.0
+PARALLEL_WORKERS = 4
+MEMORY_TARGET_RATIO = 0.60   # tiled-f32 peak vs dense-f64 peak
+PARALLEL_TARGET_SPEEDUP = 2.0  # serial tiled vs parallel tiled build
+#: Documented float32 storage envelope: one binary32 rounding per entry
+#: (≤ 2⁻²⁴ ≈ 6e-8 relative), with slack for the zero-vs-tiny edge.
+F32_REL_ENVELOPE = 1e-6
+
+CONFIGS = (
+    ("dense-f64", dict(storage="dense")),
+    ("tiled-f64", dict(storage="tiled")),
+    ("tiled-f32", dict(storage="tiled", dtype="float32")),
+    ("tiled-parallel", dict(storage="tiled", workers=PARALLEL_WORKERS)),
+)
+
+
+def build_instances(n, k=10, lam=0.5, seed=17):
+    """One same-data instance per storage config.
+
+    All configs share one database and one materialized answer set
+    (primed before timing); each gets its own provider instance so the
+    per-provider feature cache of one config never pre-warms another.
+    """
+    db = websearch.generate(num_docs=n, num_intents=8, seed=seed)
+    query = websearch.documents_query()
+    instances = {}
+    for config, _ in CONFIGS:
+        objective = Objective.from_provider(
+            ObjectiveKind.MAX_SUM, websearch.scoring_provider(db), lam=lam
+        )
+        instance = DiversificationInstance(query, db, k=k, objective=objective)
+        instance.answers()  # prime the Q(D) cache; not part of the build
+        instances[config] = instance
+    return instances
+
+
+def full_build(instance, knobs, use_numpy):
+    kernel = ScoringKernel(instance, use_numpy=use_numpy, **knobs)
+    kernel.materialize_all()
+    return kernel
+
+
+def measure_config(instance, knobs, use_numpy, repeat):
+    """(best-of build seconds, tracemalloc peak bytes, kernel)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        full_build(instance, knobs, use_numpy)
+        best = min(best, time.perf_counter() - start)
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        kernel = full_build(instance, knobs, use_numpy)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return best, peak, kernel
+
+
+def sample_indices(n, limit=48):
+    step = max(1, n // limit)
+    idx = list(range(0, n, step))
+    if idx[-1] != n - 1:
+        idx.append(n - 1)
+    return idx
+
+
+def assert_storage_parity(config, kernel, dense_vals, dense_sums, idx):
+    """The in-bench correctness gate (CI fails when these trip)."""
+    exact = kernel.dtype == "float64"
+    for i in idx:
+        for j in idx:
+            value = kernel.distance_between(i, j)
+            base = dense_vals[(i, j)]
+            if exact:
+                assert value == base, (
+                    f"{config}: dist[{i}][{j}] diverged: {value!r} != {base!r}"
+                )
+            else:
+                err = abs(value - base) / (abs(base) or 1.0)
+                assert err <= F32_REL_ENVELOPE, (
+                    f"{config}: dist[{i}][{j}] outside float32 envelope: "
+                    f"rel err {err:.3e}"
+                )
+    if exact:
+        assert kernel.row_distance_sums() == dense_sums, (
+            f"{config}: row sums diverged"
+        )
+
+
+def run_sizes(sizes, use_numpy, repeat):
+    records = []
+    for n in sizes:
+        instances = build_instances(n)
+        # The dense baseline is built once and kept; every other config
+        # is measured, parity- and selection-checked against it, then
+        # dropped — so at most two O(n²) kernels are resident at a time
+        # (the bench must not itself need 4× the dense footprint).
+        results = {}
+        base_seconds, base_peak, dense = measure_config(
+            instances["dense-f64"], dict(CONFIGS[0][1]), use_numpy, repeat
+        )
+        results["dense-f64"] = (base_seconds, base_peak, dense.dtype)
+        idx = sample_indices(dense.n)
+        dense_vals = {(i, j): dense.distance_between(i, j) for i in idx for j in idx}
+        dense_sums = dense.row_distance_sums()
+        dense_pick = mmr_select(instances["dense-f64"], kernel=dense)
+        assert dense_pick is not None, "dense-f64: MMR returned no selection"
+        dense_rows = [list(row.values) for row in dense_pick[1]]
+        for config, knobs in CONFIGS[1:]:
+            seconds, peak, kernel = measure_config(
+                instances[config], knobs, use_numpy, repeat
+            )
+            assert_storage_parity(config, kernel, dense_vals, dense_sums, idx)
+            result = mmr_select(instances[config], kernel=kernel)
+            assert result is not None, f"{config}: MMR returned no selection"
+            rows = [list(row.values) for row in result[1]]
+            assert rows == dense_rows, f"selection diverged: {config} != dense-f64"
+            results[config] = (seconds, peak, kernel.dtype)
+            del kernel
+        for config, knobs in CONFIGS:
+            seconds, peak, dtype = results[config]
+            records.append(
+                common.StorageBenchRecord(
+                    scenario="websearch",
+                    config=config,
+                    n=dense.n,
+                    backend=dense.backend,
+                    dtype=dtype,
+                    workers=knobs.get("workers") or 1,
+                    build_seconds=seconds,
+                    peak_bytes=peak,
+                    peak_ratio=peak / base_peak if base_peak else 1.0,
+                    build_speedup=(
+                        base_seconds / seconds if seconds > 0 else float("inf")
+                    ),
+                )
+            )
+    return records
+
+
+def acceptance(records):
+    """The ISSUE 5 targets, from the largest measured size."""
+    by = {}
+    for r in records:
+        by.setdefault(r.n, {})[r.config] = r
+    top_n = max(by) if by else 0
+    top = by.get(top_n, {})
+    memory_ratio = None
+    parallel_speedup = None
+    if "tiled-f32" in top and "dense-f64" in top:
+        memory_ratio = top["tiled-f32"].peak_ratio
+    eligible = [
+        by[n] for n in by if n >= 2000
+        and "tiled-f64" in by[n] and "tiled-parallel" in by[n]
+    ]
+    if eligible:
+        parallel_speedup = max(
+            cell["tiled-f64"].build_seconds / cell["tiled-parallel"].build_seconds
+            for cell in eligible
+            if cell["tiled-parallel"].build_seconds > 0
+        )
+    return {
+        "n": top_n,
+        "memory_ratio_f32": memory_ratio,
+        "memory_target": MEMORY_TARGET_RATIO,
+        "parallel_speedup": parallel_speedup,
+        "parallel_target": PARALLEL_TARGET_SPEEDUP,
+    }
+
+
+def run_lazy_smoke(use_numpy):
+    """The CI lazy-path check: selectors run on a tiled kernel without
+    forcing full materialization, and select identically to dense."""
+    n, block = (2000, 128) if use_numpy else (300, 32)
+    instances = build_instances(n, k=5)
+    dense = ScoringKernel(instances["dense-f64"], use_numpy=use_numpy)
+    tiled = ScoringKernel(
+        instances["tiled-f64"],
+        use_numpy=use_numpy,
+        storage="tiled",
+        block_size=block,
+    )
+    storage = tiled._storage
+    assert isinstance(storage, TiledStorage)
+    assert storage.tiles_built == 0, "tiled storage built tiles at construction"
+    direct = mmr_select(instances["dense-f64"], kernel=dense)
+    routed = mmr_select(instances["tiled-f64"], kernel=tiled)
+    assert routed is not None and direct is not None
+    assert [list(r.values) for r in routed[1]] == [
+        list(r.values) for r in direct[1]
+    ], "lazy tiled MMR selection diverged from dense"
+    built, total = storage.tiles_built, storage.total_tiles
+    assert 0 < built < total, (
+        f"MMR on n={n} should touch some but not all tiles, built {built}/{total}"
+    )
+    print(
+        f"lazy smoke ok: n={n}, backend={'numpy' if use_numpy else 'python'}, "
+        f"MMR touched {built}/{total} tiles, selection identical to dense"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"small sizes with a {SMOKE_BUDGET_SECONDS:g}s budget (CI rot check)",
+    )
+    parser.add_argument(
+        "--lazy-smoke",
+        action="store_true",
+        help="CI check that selectors run lazily on tiled storage "
+        "(partial tile builds) with dense-identical selections",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="answer-pool sizes to measure (default 2000 10000)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="best-of repetitions per config"
+    )
+    parser.add_argument(
+        "--no-numpy",
+        action="store_true",
+        help="force the pure-Python kernel backend",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            f"exit non-zero unless tiled-f32 peak < {MEMORY_TARGET_RATIO:.0%} of "
+            f"dense and parallel build >= {PARALLEL_TARGET_SPEEDUP:g}x serial tiled"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write results as JSON (perf-trajectory artifact)",
+    )
+    args = parser.parse_args(argv)
+    if args.check and (args.smoke or args.lazy_smoke):
+        # The acceptance targets are meaningless at smoke sizes; refuse
+        # rather than silently skipping the gate.
+        parser.error("--check requires a full-size run; drop --smoke/--lazy-smoke")
+
+    use_numpy = False if args.no_numpy else (True if numpy_available() else False)
+
+    if args.lazy_smoke:
+        return run_lazy_smoke(use_numpy)
+
+    start = time.perf_counter()
+    if args.smoke:
+        sizes = (150, 300)
+    else:
+        sizes = tuple(args.sizes) if args.sizes else (2000, 10000)
+
+    records = run_sizes(sizes, use_numpy, args.repeat)
+    elapsed = time.perf_counter() - start
+
+    print(
+        common.render_storage_report(
+            records, title=f"kernel storage (websearch, sizes {list(sizes)})"
+        )
+    )
+    summary = acceptance(records)
+    if summary["memory_ratio_f32"] is not None:
+        print(
+            f"\ntiled-f32 peak at n={summary['n']}: "
+            f"{summary['memory_ratio_f32']:.0%} of dense-f64 "
+            f"(target < {MEMORY_TARGET_RATIO:.0%})"
+        )
+    if summary["parallel_speedup"] is not None:
+        print(
+            f"parallel tiled build at n>=2000/{PARALLEL_WORKERS} workers: "
+            f"{summary['parallel_speedup']:.2f}x serial tiled "
+            f"(target >= {PARALLEL_TARGET_SPEEDUP:g}x)"
+        )
+    cpus = os.cpu_count() or 1
+    if cpus < PARALLEL_WORKERS:
+        print(
+            f"note: only {cpus} CPU(s) visible — a {PARALLEL_WORKERS}-worker "
+            "thread pool cannot beat the serial build on this machine; "
+            "interpret the parallel row accordingly"
+        )
+
+    if args.json is not None:
+        payload = {
+            "bench": "storage",
+            "sizes": list(sizes),
+            "numpy": use_numpy,
+            "cpu_count": os.cpu_count() or 1,
+            "records": [r.as_dict() for r in records],
+            "acceptance": summary,
+            "wall_seconds": elapsed,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.smoke:
+        print(f"smoke wall time: {elapsed:.3f}s (budget {SMOKE_BUDGET_SECONDS}s)")
+        if elapsed > SMOKE_BUDGET_SECONDS:
+            print("SMOKE BUDGET EXCEEDED", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.check:
+        failed = []
+        if (
+            summary["memory_ratio_f32"] is None
+            or summary["memory_ratio_f32"] >= MEMORY_TARGET_RATIO
+        ):
+            failed.append("memory")
+        if (
+            summary["parallel_speedup"] is None
+            or summary["parallel_speedup"] < PARALLEL_TARGET_SPEEDUP
+        ):
+            failed.append("parallel")
+        print(f"storage acceptance -> {'FAIL: ' + ', '.join(failed) if failed else 'PASS'}")
+        return 1 if failed else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

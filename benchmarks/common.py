@@ -230,6 +230,58 @@ def render_kernel_build_report(
 
 
 @dataclass
+class StorageBenchRecord:
+    """One kernel-storage measurement from ``bench_storage.py``.
+
+    ``config`` names the storage policy (``dense-f64``, ``tiled-f64``,
+    ``tiled-f32``, ``tiled-parallel``); ``build_seconds`` is the full
+    materialization (construction + every tile built) and ``peak_bytes``
+    the tracemalloc peak over one cold build.  ``peak_ratio`` and
+    ``build_speedup`` are relative to the dense-f64 baseline at the same
+    ``(n, backend)``.
+    """
+
+    scenario: str
+    config: str
+    n: int
+    backend: str
+    dtype: str
+    workers: int
+    build_seconds: float
+    peak_bytes: int
+    peak_ratio: float
+    build_speedup: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def render_storage_report(
+    records: "list[StorageBenchRecord]",
+    title: str = "kernel storage: memory and build time",
+) -> str:
+    """An aligned text table of kernel-storage benchmark records."""
+    header = ("scenario", "config", "n", "backend", "dtype", "workers",
+              "build [s]", "peak [MiB]", "peak ratio", "speedup")
+    body = [
+        (
+            r.scenario,
+            r.config,
+            str(r.n),
+            r.backend,
+            r.dtype,
+            str(r.workers),
+            f"{r.build_seconds:.4f}",
+            f"{r.peak_bytes / (1024 * 1024):.1f}",
+            f"{r.peak_ratio:.2f}",
+            f"{r.build_speedup:.2f}x",
+        )
+        for r in records
+    ]
+    return _render_table(title, header, body)
+
+
+@dataclass
 class HeuristicsBenchRecord:
     """One heuristic-vs-exact measurement from ``bench_heuristics.py``.
 

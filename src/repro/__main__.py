@@ -19,6 +19,10 @@ Commands:
   selects any engine algorithm by name (or ``auto``), and
   ``--cache-stats`` prints the kernel-cache counters — repeated
   identical queries within one process reuse the cached ScoringKernel.
+  ``--storage`` / ``--dtype`` / ``--workers`` / ``--block-size`` select
+  the kernel-storage policy (tiled / float32 / parallel builds); any
+  non-default combination routes through a dedicated engine memoized on
+  the knob tuple, so repeated invocations still reuse kernels.
 """
 
 from __future__ import annotations
@@ -152,10 +156,48 @@ def _load_session(args: argparse.Namespace):
     return session
 
 
+# Engines with non-default kernel-storage knobs, memoized per knob
+# tuple so repeated in-process invocations with the same policy still
+# reuse cached kernels (the default-knob path keeps using the shared
+# process-wide engine).  Bounded oldest-out like _CLI_SESSIONS: each
+# engine retains up to cache_size O(n²) kernels, so a programmatic
+# caller sweeping knob values must not pin every engine forever.
+_CLI_ENGINES: dict[tuple, object] = {}
+_CLI_ENGINES_MAX = 4
+
+
+def _engine_for(args: argparse.Namespace):
+    from .engine.engine import DiversificationEngine, default_engine
+    from .engine.kernel import DEFAULT_BLOCK_SIZE
+
+    # Normalize explicitly-passed default-equivalent knobs to None so
+    # e.g. `--storage dense` alone still shares the process-wide engine
+    # (and its kernel cache) instead of splitting into a second one.
+    knobs = (
+        args.storage if args.storage != "dense" else None,
+        args.dtype if args.dtype != "float64" else None,
+        args.workers if args.workers != 1 else None,
+        args.block_size if args.block_size != DEFAULT_BLOCK_SIZE else None,
+    )
+    if knobs == (None, None, None, None):
+        return default_engine()
+    engine = _CLI_ENGINES.pop(knobs, None)
+    if engine is None:
+        engine = DiversificationEngine(
+            storage=args.storage,
+            dtype=args.dtype,
+            workers=args.workers,
+            block_size=args.block_size,
+        )
+    _CLI_ENGINES[knobs] = engine  # re-insert at the end (freshest)
+    while len(_CLI_ENGINES) > _CLI_ENGINES_MAX:
+        _CLI_ENGINES.pop(next(iter(_CLI_ENGINES)))
+    return engine
+
+
 def _cmd_diversify(args: argparse.Namespace) -> int:
     from .core.diversify import make_instance, method_algorithm
     from .core.objectives import Objective, ObjectiveKind
-    from .engine.engine import default_engine
 
     db, query, relevance, distance = _load_session(args)
     kind = {
@@ -166,7 +208,11 @@ def _cmd_diversify(args: argparse.Namespace) -> int:
     objective = Objective(kind, relevance, distance, args.trade_off)
     instance = make_instance(query, db, args.k, objective)
 
-    engine = default_engine()
+    try:
+        engine = _engine_for(args)
+    except ValueError as exc:  # bad storage/dtype/workers combination
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.algorithm is not None:
         name, label = args.algorithm, f"algorithm {args.algorithm}"
     else:
@@ -257,6 +303,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-stats",
         action="store_true",
         help="print the process-wide kernel-cache counters after solving",
+    )
+    d.add_argument(
+        "--storage",
+        choices=["dense", "tiled"],
+        default=None,
+        help="kernel distance-matrix layout: dense (one contiguous "
+        "float64 matrix, default) or tiled (lazy block grid; removes "
+        "the O(n^2) contiguous-allocation ceiling)",
+    )
+    d.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default=None,
+        help="at-rest dtype of tiled distance tiles (float32 halves "
+        "matrix memory; reductions stay float64; tiled-only)",
+    )
+    d.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread-pool width for parallel tiled-matrix builds",
+    )
+    d.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="rows per tile of the blocked kernel construction",
     )
     d.set_defaults(func=_cmd_diversify)
     return parser

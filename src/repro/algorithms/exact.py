@@ -153,8 +153,15 @@ def select_branch_and_bound_max_sum(
         for i in candidates
     ]
     if lam > 0.0:
-        full = kernel.distance_rows()
-        dis = [[2.0 * lam * full[i][j] for j in candidates] for i in candidates]
+        # Per-row accessor reads, not distance_rows(): no O(n²) list
+        # copy of the whole matrix is made, and under lazy tiled
+        # storage only the candidates' tile-rows are built — tile-rows
+        # holding nothing but duplicate positions stay unbuilt (with an
+        # all-distinct snapshot every tile-row is still touched).
+        dis = []
+        for i in candidates:
+            row = kernel.copy_distance_row(i)
+            dis.append([2.0 * lam * float(row[j]) for j in candidates])
     else:
         dis = [[0.0] * n for _ in range(n)]
 

@@ -16,6 +16,18 @@ The aggregation order is load-bearing: sums are sequential
 left-to-right (never pairwise/NumPy summation) and pair scans run in
 ``(i ascending, j > i ascending)`` order, so results are bitwise-stable
 across callers and backends.
+
+Dtype contract (load-bearing for narrow kernel storage): every
+aggregation here runs in float64 — accessors return Python floats and
+all intermediates are Python floats.  Kernel storage may hold the
+distance matrix in a narrower dtype at rest
+(:class:`~repro.engine.storage.TiledStorage` with ``dtype="float32"``),
+but its accessors widen each value back to float64 *before* it reaches
+these folds, so narrowing perturbs individual inputs (by ≤ 2⁻²⁴
+relative each) without ever degrading the reduction arithmetic itself.
+Evaluating the same index set through a float64 and a float32-at-rest
+kernel therefore differs only by the storage rounding of the inputs,
+never by accumulation order or precision.
 """
 
 from __future__ import annotations

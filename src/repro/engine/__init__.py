@@ -26,6 +26,14 @@ a :class:`~repro.core.providers.ScoringProvider` (the objective's own
 vectorized provider, or a :class:`ScalarCallableProvider` adapter for
 plain callables), and the distance matrix is assembled from tiled
 ``distance_block`` calls of :data:`DEFAULT_BLOCK_SIZE` rows.
+
+Where the matrix *lives* is pluggable (:mod:`repro.engine.storage`):
+:class:`DenseStorage` is the historical single contiguous float64
+allocation, :class:`TiledStorage` keeps it as a lazy grid of tiles —
+built on first touch, optionally in parallel (``workers=``), optionally
+float32 at rest (``dtype=``) — selected by the ``storage``/``dtype``/
+``workers`` knobs on :class:`ScoringKernel`, :func:`kernel_for_instance`
+and :class:`DiversificationEngine`.
 """
 
 from .engine import (
@@ -47,18 +55,32 @@ from .kernel import (
     kernel_for_instance,
     numpy_available,
 )
+from .storage import (
+    STORAGE_DTYPES,
+    STORAGE_KINDS,
+    DenseStorage,
+    KernelStorage,
+    StorageError,
+    TiledStorage,
+)
 from .updates import KernelDelta, compute_delta, delta_for_instance
 
 __all__ = [
     "ALGORITHMS",
     "CacheStats",
     "DEFAULT_BLOCK_SIZE",
+    "DenseStorage",
     "DiversificationEngine",
     "EngineError",
     "EngineResult",
     "KernelDelta",
     "KernelError",
+    "KernelStorage",
+    "STORAGE_DTYPES",
+    "STORAGE_KINDS",
     "ScoringKernel",
+    "StorageError",
+    "TiledStorage",
     "auto_algorithm",
     "compute_delta",
     "default_engine",

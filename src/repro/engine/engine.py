@@ -43,6 +43,7 @@ from ..core.instance import DiversificationInstance
 from ..core.objectives import ObjectiveKind
 from ..relational.schema import Row
 from .kernel import ScoringKernel, kernel_for_instance
+from .storage import STORAGE_DTYPES, STORAGE_KINDS
 from .updates import compute_delta
 
 SearchResult = tuple[float, tuple[Row, ...]]
@@ -180,6 +181,14 @@ class DiversificationEngine:
     (larger deltas rebuild from scratch — 0 disables patching);
     ``block_size`` is the tile width of the blocked kernel construction
     (None = :data:`~repro.engine.kernel.DEFAULT_BLOCK_SIZE`).
+
+    ``storage`` / ``dtype`` / ``workers`` are the kernel-storage policy
+    knobs (see :mod:`repro.engine.storage`): ``storage="tiled"`` keeps
+    distance matrices as lazy tile grids instead of one contiguous
+    allocation, ``dtype="float32"`` (tiled only) halves at-rest matrix
+    memory while reductions stay float64, and ``workers`` parallelizes
+    full tile builds over a thread pool.  Every kernel this engine
+    builds inherits them.
     """
 
     def __init__(
@@ -189,6 +198,9 @@ class DiversificationEngine:
         use_numpy: bool | None = None,
         patch_threshold: float = 0.5,
         block_size: int | None = None,
+        storage: str | None = None,
+        dtype: str | None = None,
+        workers: int | None = None,
     ):
         if cache_size < 1:
             raise EngineError(f"cache_size must be >= 1, got {cache_size}")
@@ -203,11 +215,34 @@ class DiversificationEngine:
             )
         if block_size is not None and block_size < 1:
             raise EngineError(f"block_size must be >= 1, got {block_size}")
+        if storage is not None and storage not in STORAGE_KINDS:
+            raise EngineError(
+                f"unknown storage {storage!r}; choose one of {STORAGE_KINDS}"
+            )
+        if dtype is not None and dtype not in STORAGE_DTYPES:
+            raise EngineError(
+                f"unknown dtype {dtype!r}; choose one of {STORAGE_DTYPES}"
+            )
+        if (dtype or "float64") != "float64" and (storage or "dense") == "dense":
+            raise EngineError(
+                "dense storage is float64-only; pass storage='tiled' with "
+                f"dtype={dtype!r}"
+            )
+        if workers is not None and workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        if workers is not None and workers > 1 and (storage or "dense") == "dense":
+            raise EngineError(
+                "dense storage builds serially; pass storage='tiled' with "
+                f"workers={workers}"
+            )
         self.algorithm = algorithm
         self.cache_size = cache_size
         self.use_numpy = use_numpy
         self.patch_threshold = patch_threshold
         self.block_size = block_size
+        self.storage = storage
+        self.dtype = dtype
+        self.workers = workers
         self._cache: OrderedDict[tuple[int, int, int, int], ScoringKernel] = (
             OrderedDict()
         )
@@ -253,7 +288,14 @@ class DiversificationEngine:
                 self.stats.patches += 1
                 return kernel
             self.stats.stale_rebuilds += 1
-        kernel = kernel_for_instance(instance, use_numpy=self.use_numpy, block_size=self.block_size)
+        kernel = kernel_for_instance(
+            instance,
+            use_numpy=self.use_numpy,
+            block_size=self.block_size,
+            storage=self.storage,
+            dtype=self.dtype,
+            workers=self.workers,
+        )
         self._cache[key] = kernel
         self._cache.move_to_end(key)
         self.stats.misses += 1

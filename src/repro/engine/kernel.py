@@ -24,6 +24,15 @@ rows per tile, symmetric tiles computed once and mirrored), so a
 vectorizing provider fills it with a handful of array operations instead
 of n(n−1)/2 interpreter-bound calls.
 
+*Where* the matrix lives is pluggable (:mod:`repro.engine.storage`):
+``storage="dense"`` (default) keeps the historical single contiguous
+float64 allocation; ``storage="tiled"`` keeps the matrix as a lazy grid
+of tiles — built on first touch, optionally in parallel
+(``workers=``), optionally narrowed to float32 at rest (``dtype=``) —
+which removes the O(n²)-contiguous-allocation ceiling on pool size.
+Every matrix read/write below delegates through the storage object, and
+reductions always run in float64 regardless of the storage dtype.
+
 The kernel is NumPy-backed when NumPy is importable and falls back to a
 pure-Python implementation with identical semantics otherwise (the
 fallback can also be forced with ``use_numpy=False``, which the parity
@@ -47,6 +56,7 @@ from ..core.evaluator import (
 from ..core.objectives import Objective, ObjectiveError, ObjectiveKind
 from ..core.providers import provider_for
 from ..relational.schema import Row, row_sort_key
+from .storage import STORAGE_DTYPES, STORAGE_KINDS, KernelStorage, make_storage
 
 if TYPE_CHECKING:
     from ..core.instance import DiversificationInstance
@@ -93,6 +103,12 @@ class ScoringKernel:
     The snapshot is *maintainable*: :meth:`apply_delta` patches the
     arrays in place after database updates at O(n·|Δ|) scoring-call
     cost, keeping the kernel element-wise equal to a fresh rebuild.
+
+    The distance matrix lives behind a
+    :class:`~repro.engine.storage.KernelStorage` selected by the
+    ``storage`` / ``dtype`` / ``workers`` policy knobs; selectors only
+    ever touch the accessor methods below, so the storage layout is
+    invisible to them.
     """
 
     __slots__ = (
@@ -102,12 +118,15 @@ class ScoringKernel:
         "distance",
         "provider",
         "block_size",
+        "storage_kind",
+        "dtype",
+        "workers",
         "answers",
         "n",
         "backend",
         "_index",
         "_rel",
-        "_dist",
+        "_storage",
         "_row_sums",
         "_item_scores_cache",
     )
@@ -118,6 +137,9 @@ class ScoringKernel:
         use_numpy: bool | None = None,
         defer_distances: bool = False,
         block_size: int | None = None,
+        storage: str | None = None,
+        dtype: str | None = None,
+        workers: int | None = None,
     ):
         if use_numpy is None:
             use_numpy = _np is not None
@@ -130,6 +152,30 @@ class ScoringKernel:
             block_size = DEFAULT_BLOCK_SIZE
         elif block_size < 1:
             raise KernelError(f"block_size must be >= 1, got {block_size}")
+        if storage is None:
+            storage = "dense"
+        if storage not in STORAGE_KINDS:
+            raise KernelError(
+                f"unknown storage {storage!r}; choose one of {STORAGE_KINDS}"
+            )
+        if dtype is None:
+            dtype = "float64"
+        if dtype not in STORAGE_DTYPES:
+            raise KernelError(
+                f"unknown dtype {dtype!r}; choose one of {STORAGE_DTYPES}"
+            )
+        if storage == "dense" and dtype != "float64":
+            raise KernelError(
+                "dense storage is float64-only (the bit-exact parity "
+                "baseline); use storage='tiled' for dtype='float32'"
+            )
+        if workers is not None and workers < 1:
+            raise KernelError(f"workers must be >= 1, got {workers}")
+        if storage == "dense" and workers is not None and workers > 1:
+            raise KernelError(
+                "dense storage builds serially; use storage='tiled' for "
+                f"workers={workers}"
+            )
         objective = instance.objective
         self.query = instance.query
         self.db = instance.db
@@ -137,6 +183,9 @@ class ScoringKernel:
         self.distance = objective.distance
         self.provider = provider_for(objective)
         self.block_size = int(block_size)
+        self.storage_kind = storage
+        self.dtype = dtype
+        self.workers = workers
         self.answers: tuple[Row, ...] = tuple(instance.answers())
         self.n = len(self.answers)
         self._index = _first_occurrence_index(self.answers)
@@ -149,90 +198,80 @@ class ScoringKernel:
             self._rel = _np.asarray(rel, dtype=_np.float64)
         else:
             self._rel = [float(v) for v in rel]
-        # ``defer_distances=True`` skips the O(n²) matrix until a
-        # distance is actually read — relevance-only (λ = 0) modular
+        # ``defer_distances=True`` skips distance storage entirely until
+        # a distance is actually read — relevance-only (λ = 0) modular
         # selection never reads one, and any later reader triggers
-        # materialization transparently.
-        self._dist = None
+        # materialization transparently.  Tiled storage is additionally
+        # lazy *within* the matrix: allocating it builds no tiles.
+        self._storage: KernelStorage | None = None
         self._row_sums = None
         if not defer_distances:
             self._materialize_distances()
         self._item_scores_cache = {}
 
-    def _materialize_distances(self) -> None:
-        """Assemble the distance matrix from tiled provider blocks.
+    def _build_distance_block(self, a0: int, a1: int, b0: int, b1: int):
+        """The storage-facing block builder: provider distances for
+        answer rows ``[a0:a1] × [b0:b1]``.
 
-        Tiles of ``block_size`` rows; only tiles on or above the
-        diagonal are scored (``rows_a is rows_b`` marks the symmetric
-        diagonal tiles, which providers score triangle-once), and
-        below-diagonal tiles are mirrored — so a scalar provider pays
-        exactly n(n−1)/2 distance calls and a vectorizing provider one
-        array op per tile.
+        Reads ``self.answers`` at call time (not at storage-construction
+        time), so lazily-built tiles of a delta-patched kernel score
+        against the updated snapshot.  Equal ranges pass ``rows_a is
+        rows_b`` so providers score symmetric diagonal blocks
+        triangle-once — a scalar provider pays exactly n(n−1)/2 distance
+        calls for the full matrix, a vectorizing provider one array op
+        per tile.
         """
-        n = self.n
-        step = self.block_size
-        provider = self.provider
         answers = self.answers
-        use_numpy = self.backend == "numpy"
-        if use_numpy:
-            dist = _np.zeros((n, n), dtype=_np.float64)
-            for a0 in range(0, n, step):
-                a1 = min(a0 + step, n)
-                rows_a = answers[a0:a1]
-                for b0 in range(a0, n, step):
-                    b1 = min(b0 + step, n)
-                    rows_b = rows_a if b0 == a0 else answers[b0:b1]
-                    block = _np.asarray(
-                        provider.distance_block(rows_a, rows_b, use_numpy=True),
-                        dtype=_np.float64,
-                    )
-                    dist[a0:a1, b0:b1] = block
-                    if b0 != a0:
-                        dist[b0:b1, a0:a1] = block.T
-        else:
-            dist = [[0.0] * n for _ in range(n)]
-            for a0 in range(0, n, step):
-                a1 = min(a0 + step, n)
-                rows_a = answers[a0:a1]
-                for b0 in range(a0, n, step):
-                    b1 = min(b0 + step, n)
-                    rows_b = rows_a if b0 == a0 else answers[b0:b1]
-                    block = provider.distance_block(rows_a, rows_b, use_numpy=False)
-                    for i, block_row in enumerate(block):
-                        dist_row = dist[a0 + i]
-                        for j, value in enumerate(block_row):
-                            dist_row[b0 + j] = value
-                    if b0 != a0:
-                        for i, block_row in enumerate(block):
-                            for j, value in enumerate(block_row):
-                                dist[b0 + j][a0 + i] = value
-        self._dist = dist
-        self._recompute_row_sums()
+        rows_a = answers[a0:a1]
+        rows_b = rows_a if (a0, a1) == (b0, b1) else answers[b0:b1]
+        return self.provider.distance_block(
+            rows_a, rows_b, use_numpy=self.backend == "numpy"
+        )
 
-    def _require_dist(self) -> None:
-        if self._dist is None:
+    def _materialize_distances(self) -> None:
+        """Allocate the distance storage.
+
+        Dense storage fills the whole matrix here (eager, the historical
+        behaviour); tiled storage allocates an empty grid and scores
+        tiles on first touch — :meth:`materialize_all` forces the full
+        build (in parallel when ``workers`` > 1).
+        """
+        self._storage = make_storage(
+            self.storage_kind,
+            self.n,
+            self._build_distance_block,
+            self.backend == "numpy",
+            self.block_size,
+            dtype=self.dtype,
+            workers=self.workers,
+        )
+        self._row_sums = None
+
+    def _require_dist(self) -> KernelStorage:
+        if self._storage is None:
             self._materialize_distances()
+        return self._storage
 
     @property
     def distances_materialized(self) -> bool:
-        """False while a ``defer_distances`` kernel has not yet paid the
-        O(n²) pairwise precomputation."""
-        return self._dist is not None
+        """False while a ``defer_distances`` kernel has not yet allocated
+        distance storage.  Note that tiled storage is lazy internally:
+        see :attr:`distances_fully_built` for "every pair scored"."""
+        return self._storage is not None
 
-    def _recompute_row_sums(self) -> None:
-        # Sequential left-to-right sums (not numpy's pairwise summation):
-        # bitwise-identical to the direct path's per-row generator sums,
-        # so item-score orderings never diverge between backends.  The
-        # numpy path accumulates column by column — the same left-to-
-        # right IEEE additions as ``sum(row)`` (including the 0.0 seed),
-        # vectorized across rows.
-        if self.backend == "numpy":
-            acc = _np.zeros(self.n, dtype=_np.float64)
-            for j in range(self.n):
-                acc = acc + self._dist[:, j]
-            self._row_sums = acc.tolist()
-        else:
-            self._row_sums = [sum(row) for row in self._dist]
+    @property
+    def distances_fully_built(self) -> bool:
+        """Has every pairwise distance actually been scored and stored?
+        (Dense storage: equal to :attr:`distances_materialized`; tiled
+        storage: only after every tile has been touched or
+        :meth:`materialize_all` ran.)"""
+        return self._storage is not None and self._storage.is_fully_built
+
+    def materialize_all(self) -> None:
+        """Force the full O(n²) distance materialization now — tiled
+        kernels build every remaining tile (through the ``workers``
+        thread pool when configured)."""
+        self._require_dist().ensure_all()
 
     @classmethod
     def from_instance(
@@ -240,8 +279,18 @@ class ScoringKernel:
         instance: "DiversificationInstance",
         use_numpy: bool | None = None,
         block_size: int | None = None,
+        storage: str | None = None,
+        dtype: str | None = None,
+        workers: int | None = None,
     ) -> "ScoringKernel":
-        return cls(instance, use_numpy=use_numpy, block_size=block_size)
+        return cls(
+            instance,
+            use_numpy=use_numpy,
+            block_size=block_size,
+            storage=storage,
+            dtype=dtype,
+            workers=workers,
+        )
 
     # -- identity ---------------------------------------------------------
 
@@ -317,7 +366,9 @@ class ScoringKernel:
         matrix, row sums, index) to one freshly built from the updated
         database.  Only entries involving inserted rows invoke
         ``δ_rel``/``δ_dis``: O(n·|Δ|) scoring calls instead of the O(n²)
-        of a rebuild; surviving entries are copied from the old arrays.
+        of a rebuild; surviving entries are copied from the old storage
+        (dense: one contiguous remap; tiled: per-tile patches, so no
+        O(n²) scratch allocation appears even transiently).
 
         Raises :class:`KernelError` when a deleted row is not in the
         snapshot (the delta does not describe this kernel's state).
@@ -390,36 +441,15 @@ class ScoringKernel:
             for value, p in zip(inserted_rel or (), new_positions):
                 new_rel[p] = float(value)
 
-        # A deferred distance matrix stays deferred: there is nothing to
-        # patch, and the next distance read materializes against the
-        # updated snapshot.
-        new_dist = None
-        if self._dist is not None:
-            if use_numpy:
-                new_dist = _np.zeros((m, m), dtype=_np.float64)
-                if kept:
-                    kept_pos = _np.asarray(
-                        [p for p, old in enumerate(old_of_new) if old >= 0],
-                        dtype=_np.intp,
-                    )
-                    old_idx = _np.asarray(
-                        [old for old in old_of_new if old >= 0], dtype=_np.intp
-                    )
-                    new_dist[_np.ix_(kept_pos, kept_pos)] = self._dist[
-                        _np.ix_(old_idx, old_idx)
-                    ]
-            else:
-                new_dist = []
-                for old in old_of_new:
-                    if old >= 0:
-                        old_row = self._dist[old]
-                        new_dist.append(
-                            [old_row[q] if q >= 0 else 0.0 for q in old_of_new]
-                        )
-                    else:
-                        new_dist.append([0.0] * m)
-
-            if new_rows:
+        # Unallocated distance storage stays unallocated: there is
+        # nothing to patch, and the next distance read materializes
+        # against the updated snapshot.  An allocated storage is asked to
+        # remap itself — a fully-built tiled grid patches tile by tile,
+        # a partially-built one is re-derived lazily.
+        new_storage = None
+        if self._storage is not None:
+            block = None
+            if new_rows and self._storage.is_fully_built:
                 # One |Δ| × m block covers every entry touching an
                 # inserted row; the provider's symmetry contract makes
                 # the row/column mirror writes consistent (including
@@ -428,26 +458,16 @@ class ScoringKernel:
                 block = self.provider.distance_block(
                     new_rows, list(new_answers), use_numpy=use_numpy
                 )
-                if use_numpy:
-                    block = _np.asarray(block, dtype=_np.float64)
-                    pos = _np.asarray(new_positions, dtype=_np.intp)
-                    new_dist[pos, :] = block
-                    new_dist[:, pos] = block.T
-                else:
-                    for block_row, p in zip(block, new_positions):
-                        new_dist[p] = [float(v) for v in block_row]
-                        for q in range(m):
-                            new_dist[q][p] = new_dist[p][q]
+            new_storage = self._storage.remap(
+                old_of_new, new_positions, block, self._build_distance_block
+            )
 
         self.answers = new_answers
         self.n = m
         self._rel = new_rel
-        self._dist = new_dist
+        self._storage = new_storage
         self._index = _first_occurrence_index(new_answers)
-        if new_dist is not None:
-            self._recompute_row_sums()
-        else:
-            self._row_sums = None
+        self._row_sums = None
         self._item_scores_cache = {}
         return self
 
@@ -457,28 +477,24 @@ class ScoringKernel:
         return float(self._rel[i])
 
     def distance_between(self, i: int, j: int) -> float:
-        if self._dist is None:
-            self._materialize_distances()
-        if self.backend == "numpy":
-            return float(self._dist[i, j])
-        return self._dist[i][j]
-
-    def _dist_row(self, i: int):
-        self._require_dist()
-        return self._dist[i]
+        return self._require_dist().get(i, j)
 
     def distance_rows(self) -> list[list[float]]:
         """The full distance matrix as plain float lists (one copy) —
-        for consumers that transform it wholesale, e.g. the
-        branch-and-bound bound arrays."""
-        self._require_dist()
-        if self.backend == "numpy":
-            return self._dist.tolist()
-        return [list(row) for row in self._dist]
+        for consumers that transform it wholesale.  Forces the full
+        build on lazy storage; per-row consumers should prefer
+        :meth:`copy_distance_row`, which touches one tile-row only."""
+        return self._require_dist().to_lists()
 
     def row_distance_sums(self) -> list[float]:
-        """``Σ_j dist[i][j]`` per row (the F_mono diversity numerator)."""
-        self._require_dist()
+        """``Σ_j dist[i][j]`` per row (the F_mono diversity numerator).
+
+        Computed on first use (forcing the full matrix build) and cached
+        until the next :meth:`apply_delta`; always float64 arithmetic in
+        the same left-to-right order on every storage kind and backend.
+        """
+        if self._row_sums is None:
+            self._row_sums = self._require_dist().row_sums64()
         return self._row_sums
 
     def distinct_indices(self) -> list[int]:
@@ -503,33 +519,15 @@ class ScoringKernel:
         return [0.0] * self.n
 
     def copy_distance_row(self, i: int):
-        self._require_dist()
-        if self.backend == "numpy":
-            return self._dist[i].copy()
-        return list(self._dist[i])
+        return self._require_dist().copy_row64(i)
 
     def minimum_inplace(self, vec, i: int):
         """Elementwise ``vec = min(vec, dist[i])`` (novelty tracking)."""
-        self._require_dist()
-        if self.backend == "numpy":
-            _np.minimum(vec, self._dist[i], out=vec)
-            return vec
-        row = self._dist[i]
-        for j in range(self.n):
-            if row[j] < vec[j]:
-                vec[j] = row[j]
-        return vec
+        return self._require_dist().minimum_into(vec, i)
 
     def add_row_inplace(self, vec, i: int):
         """Elementwise ``vec += dist[i]`` (marginal-gain tracking)."""
-        self._require_dist()
-        if self.backend == "numpy":
-            vec += self._dist[i]
-            return vec
-        row = self._dist[i]
-        for j in range(self.n):
-            vec[j] = vec[j] + row[j]
-        return vec
+        return self._require_dist().add_into(vec, i)
 
     def affine_scores(self, alpha: float, beta: float, vec, out=None):
         """Elementwise ``alpha * rel + beta * vec`` — the shape of every
@@ -603,26 +601,24 @@ class ScoringKernel:
         """
         coef_rel = 1.0 - lam
         coef_dist = 2.0 * lam / (k - 1)
-        # λ = 0 weighs pairs by relevance alone — leave a deferred
-        # distance matrix unmaterialized.
-        if coef_dist != 0.0:
-            self._require_dist()
+        # λ = 0 weighs pairs by relevance alone — leave unallocated
+        # distance storage unallocated (and lazy tiles unbuilt).
+        storage = self._require_dist() if coef_dist != 0.0 else None
         if self.backend == "numpy":
             idx = _np.asarray(available, dtype=_np.intp)
             sub_rel = self._rel[idx]
             weights = coef_rel * (sub_rel[:, None] + sub_rel[None, :])
             if coef_dist != 0.0:
-                weights = weights + coef_dist * self._dist[_np.ix_(idx, idx)]
+                weights = weights + coef_dist * storage.gather64(available, available)
             upper_i, upper_j = _np.triu_indices(len(available), k=1)
             best = int(_np.argmax(weights[upper_i, upper_j]))
             return available[int(upper_i[best])], available[int(upper_j[best])]
         rel = self._rel
-        dist = self._dist
         best_weight = -float("inf")
         best_pair = (-1, -1)
         for pos, i in enumerate(available):
             rel_i = rel[i]
-            dist_i = dist[i] if coef_dist != 0.0 else None
+            dist_i = storage.row64(i) if coef_dist != 0.0 else None
             for j in available[pos + 1 :]:
                 weight = coef_rel * (rel_i + rel[j])
                 if coef_dist != 0.0:
@@ -703,7 +699,10 @@ class ScoringKernel:
 
     def __repr__(self) -> str:
         return (
-            f"ScoringKernel(Q={self.query.name}, n={self.n}, backend={self.backend})"
+            f"ScoringKernel(Q={self.query.name}, n={self.n}, "
+            f"backend={self.backend}, storage={self.storage_kind}"
+            + (f":{self.dtype}" if self.dtype != "float64" else "")
+            + ")"
         )
 
 
@@ -711,15 +710,20 @@ def kernel_for_instance(
     instance: "DiversificationInstance",
     use_numpy: bool | None = None,
     block_size: int | None = None,
+    storage: str | None = None,
+    dtype: str | None = None,
+    workers: int | None = None,
 ) -> ScoringKernel:
     """Build a kernel sized to the instance's objective.
 
     Relevance-only F_MS (λ = 0, Theorem 8.2) is solved from the
-    relevance vector alone, so its kernel defers the O(n²) distance
-    matrix; any consumer that does read a distance later pays the
+    relevance vector alone, so its kernel defers distance storage
+    entirely; any consumer that does read a distance later pays the
     materialization then.  Every non-engine entry point (the legacy
     row-based algorithm signatures, the dispersion view) builds kernels
-    through here so the deferral policy lives in one place.
+    through here so the deferral policy lives in one place, and the
+    ``storage`` / ``dtype`` / ``workers`` policy knobs thread through
+    unchanged.
     """
     objective = instance.objective
     defer = (
@@ -730,4 +734,7 @@ def kernel_for_instance(
         use_numpy=use_numpy,
         defer_distances=defer,
         block_size=block_size,
+        storage=storage,
+        dtype=dtype,
+        workers=workers,
     )

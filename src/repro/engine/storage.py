@@ -1,0 +1,742 @@
+"""Pluggable kernel storage: how the pairwise-distance matrix is held.
+
+:class:`~repro.engine.kernel.ScoringKernel` used to own a single
+contiguous O(n²) float64 allocation.  That layout is the binding
+constraint on answer-pool size — the scaling wall the blocked/partitioned
+processing literature (Zhang et al.; Capannini et al.) attacks — and
+since PR 3 every selector consumes the matrix exclusively through kernel
+accessor methods, the layout can change beneath them.  This module is
+that seam: a :class:`KernelStorage` contract plus two implementations.
+
+* :class:`DenseStorage` — the previous behaviour, verbatim: one
+  contiguous float64 matrix (NumPy 2-D array or list-of-lists), filled
+  eagerly at construction from blocked provider calls.  The default.
+* :class:`TiledStorage` — the matrix stays a grid of ``block_size``-square
+  tiles.  Tiles are built **lazily** on first touch (a selector that
+  reads only some rows never pays for the rest), only on-or-above the
+  diagonal (below-diagonal tiles are transpose mirrors — views on the
+  NumPy backend, so they cost no memory), optionally **in parallel**
+  (:meth:`TiledStorage.ensure_all` maps independent tile builds over a
+  thread pool; NumPy releases the GIL inside the vectorized block
+  kernels), and optionally **narrowed** to float32 (``dtype="float32"``
+  halves storage; every read widens back to float64 so reductions and
+  selector arithmetic stay in double precision).
+
+Exactness contract: with ``dtype="float64"`` a tiled matrix is
+element-wise identical to the dense one — tiles are filled from the same
+``distance_block`` provider calls (whose values are block-shape
+independent by the provider exactness contract), row sums accumulate in
+the same left-to-right IEEE order, and delta patches copy the same
+floats — so selections cannot differ across storage kinds.
+``dtype="float32"`` deliberately steps outside that contract: stored
+values are the correctly-rounded float32 neighbours of the float64
+distances (a ≤ 2⁻²⁴ relative perturbation per entry), which the parity
+suite bounds and the pinned-selection tests show is selection-preserving
+on the reference workloads.
+
+Every method that *reads* matrix content returns float64 (Python floats,
+float64 rows, float64 gathers) regardless of the storage dtype; the
+narrow dtype exists only at rest.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI cells
+    _np = None
+
+__all__ = [
+    "StorageError",
+    "KernelStorage",
+    "DenseStorage",
+    "TiledStorage",
+    "STORAGE_KINDS",
+    "STORAGE_DTYPES",
+    "make_storage",
+]
+
+#: Recognized ``storage=`` spellings.
+STORAGE_KINDS = ("dense", "tiled")
+
+#: Recognized ``dtype=`` spellings (float32 is tiled-only).
+STORAGE_DTYPES = ("float64", "float32")
+
+#: ``BlockBuilder(a0, a1, b0, b1)`` returns the provider distance block
+#: for answer rows ``[a0:a1] × [b0:b1]`` — a float64 NumPy array on the
+#: numpy backend, nested float lists on the pure-Python backend.  Equal
+#: ranges mark a symmetric diagonal block (providers score the triangle
+#: once).  The kernel owns the builder; storage owns when it runs.
+BlockBuilder = Callable[[int, int, int, int], object]
+
+
+class StorageError(ValueError):
+    """Raised on kernel-storage misuse (bad kind/dtype/workers)."""
+
+
+def _float32_round(value: float) -> float:
+    """``value`` rounded to its nearest float32 and widened back — the
+    pure-Python spelling of ``np.float64(np.float32(value))``, including
+    the overflow-to-infinity behaviour of the NumPy cast (``struct``
+    refuses to pack finite doubles beyond float32 range)."""
+    try:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    except OverflowError:
+        return math.inf if value > 0 else -math.inf
+
+
+class KernelStorage:
+    """The matrix contract :class:`ScoringKernel` delegates through.
+
+    Implementations own layout, laziness and dtype; the kernel owns the
+    snapshot, the relevance vector and all objective arithmetic.  All
+    reads return float64 values.  Instances are not safe for concurrent
+    readers — parallelism lives inside :meth:`ensure_all` only.
+    """
+
+    #: Empty so subclass ``__slots__`` actually take effect (a slotted
+    #: subclass of a dict-bearing base still gets a ``__dict__``).
+    __slots__ = ()
+
+    kind: str = "storage"
+    n: int
+    backend: str  # "numpy" | "python"
+    dtype: str
+
+    # -- build state ------------------------------------------------------
+
+    @property
+    def is_fully_built(self) -> bool:
+        """Has every matrix entry been scored/stored?"""
+        raise NotImplementedError
+
+    def ensure_all(self) -> None:
+        """Force every entry to be built (lazy storages pay the full
+        O(n²) scoring here; possibly in parallel)."""
+        raise NotImplementedError
+
+    # -- element / row reads ----------------------------------------------
+
+    def get(self, i: int, j: int) -> float:
+        raise NotImplementedError
+
+    def row64(self, i: int):
+        """Row ``i`` as a float64 backend vector.  May be a live view —
+        callers must treat it as read-only."""
+        raise NotImplementedError
+
+    def copy_row64(self, i: int):
+        """Row ``i`` as a fresh, caller-owned float64 vector."""
+        raise NotImplementedError
+
+    def minimum_into(self, vec, i: int):
+        """Elementwise ``vec = min(vec, row_i)`` into a float64 vector."""
+        raise NotImplementedError
+
+    def add_into(self, vec, i: int):
+        """Elementwise ``vec += row_i`` into a float64 vector."""
+        raise NotImplementedError
+
+    # -- aggregate reads --------------------------------------------------
+
+    def row_sums64(self) -> list[float]:
+        """Left-to-right per-row sums (float list, float64 arithmetic)."""
+        raise NotImplementedError
+
+    def gather64(self, rows: Sequence[int], cols: Sequence[int]):
+        """The ``rows × cols`` submatrix as float64 (2-D array / lists)."""
+        raise NotImplementedError
+
+    def to_lists(self) -> list[list[float]]:
+        """The full matrix as plain float lists (one copy)."""
+        raise NotImplementedError
+
+    # -- delta maintenance ------------------------------------------------
+
+    def remap(
+        self,
+        old_of_new: Sequence[int],
+        new_positions: Sequence[int],
+        inserted_block,
+        builder: BlockBuilder,
+    ) -> "KernelStorage":
+        """A storage for the patched snapshot of ``len(old_of_new)`` rows.
+
+        ``old_of_new[p]`` is the old index of new position ``p`` (−1 for
+        inserted rows); ``new_positions`` lists the inserted positions in
+        the order of ``inserted_block``'s rows, which hold the provider
+        distances of each inserted row against the *entire new* snapshot
+        (``None`` when nothing was inserted).  ``builder`` scores blocks
+        of the new snapshot — lazy storages keep it for tiles the patch
+        does not cover.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, backend={self.backend}, dtype={self.dtype})"
+
+
+class DenseStorage(KernelStorage):
+    """One contiguous float64 matrix — the historical kernel layout.
+
+    Construction is eager: the full matrix is assembled at ``__init__``
+    from blocked builder calls (tiles on/above the diagonal scored,
+    below-diagonal mirrored), exactly as the pre-storage kernel did.
+    """
+
+    kind = "dense"
+    dtype = "float64"
+
+    __slots__ = ("n", "backend", "_m")
+
+    def __init__(
+        self,
+        n: int,
+        builder: BlockBuilder | None,
+        use_numpy: bool,
+        block_size: int,
+    ):
+        self.n = n
+        self.backend = "numpy" if use_numpy else "python"
+        if builder is None:
+            self._m = None  # filled by _from_matrix
+            return
+        step = block_size
+        if use_numpy:
+            dist = _np.zeros((n, n), dtype=_np.float64)
+            for a0 in range(0, n, step):
+                a1 = min(a0 + step, n)
+                for b0 in range(a0, n, step):
+                    b1 = min(b0 + step, n)
+                    block = _np.asarray(builder(a0, a1, b0, b1), dtype=_np.float64)
+                    dist[a0:a1, b0:b1] = block
+                    if b0 != a0:
+                        dist[b0:b1, a0:a1] = block.T
+        else:
+            dist = [[0.0] * n for _ in range(n)]
+            for a0 in range(0, n, step):
+                a1 = min(a0 + step, n)
+                for b0 in range(a0, n, step):
+                    b1 = min(b0 + step, n)
+                    block = builder(a0, a1, b0, b1)
+                    for i, block_row in enumerate(block):
+                        dist_row = dist[a0 + i]
+                        for j, value in enumerate(block_row):
+                            dist_row[b0 + j] = value
+                    if b0 != a0:
+                        for i, block_row in enumerate(block):
+                            for j, value in enumerate(block_row):
+                                dist[b0 + j][a0 + i] = value
+        self._m = dist
+
+    @classmethod
+    def _from_matrix(cls, matrix, n: int, use_numpy: bool) -> "DenseStorage":
+        storage = cls(n, None, use_numpy, block_size=1)
+        storage._m = matrix
+        return storage
+
+    # -- build state ------------------------------------------------------
+
+    @property
+    def is_fully_built(self) -> bool:
+        return True
+
+    def ensure_all(self) -> None:
+        pass
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, i: int, j: int) -> float:
+        if self.backend == "numpy":
+            return float(self._m[i, j])
+        return self._m[i][j]
+
+    def row64(self, i: int):
+        return self._m[i]
+
+    def copy_row64(self, i: int):
+        if self.backend == "numpy":
+            return self._m[i].copy()
+        return list(self._m[i])
+
+    def minimum_into(self, vec, i: int):
+        if self.backend == "numpy":
+            _np.minimum(vec, self._m[i], out=vec)
+            return vec
+        row = self._m[i]
+        for j in range(self.n):
+            if row[j] < vec[j]:
+                vec[j] = row[j]
+        return vec
+
+    def add_into(self, vec, i: int):
+        if self.backend == "numpy":
+            vec += self._m[i]
+            return vec
+        row = self._m[i]
+        for j in range(self.n):
+            vec[j] = vec[j] + row[j]
+        return vec
+
+    def row_sums64(self) -> list[float]:
+        # Sequential left-to-right sums (not numpy's pairwise summation):
+        # bitwise-identical to the pure-Python ``sum(row)``, so item-score
+        # orderings never diverge between backends or storage kinds.  The
+        # numpy path accumulates column by column — the same left-to-right
+        # IEEE additions (including the 0.0 seed), vectorized across rows.
+        if self.backend == "numpy":
+            acc = _np.zeros(self.n, dtype=_np.float64)
+            for j in range(self.n):
+                acc = acc + self._m[:, j]
+            return acc.tolist()
+        return [sum(row) for row in self._m]
+
+    def gather64(self, rows: Sequence[int], cols: Sequence[int]):
+        if self.backend == "numpy":
+            return self._m[
+                _np.ix_(
+                    _np.asarray(rows, dtype=_np.intp),
+                    _np.asarray(cols, dtype=_np.intp),
+                )
+            ]
+        return [[self._m[i][j] for j in cols] for i in rows]
+
+    def to_lists(self) -> list[list[float]]:
+        if self.backend == "numpy":
+            return self._m.tolist()
+        return [list(row) for row in self._m]
+
+    # -- delta maintenance ------------------------------------------------
+
+    def remap(
+        self,
+        old_of_new: Sequence[int],
+        new_positions: Sequence[int],
+        inserted_block,
+        builder: BlockBuilder,
+    ) -> "DenseStorage":
+        m = len(old_of_new)
+        use_numpy = self.backend == "numpy"
+        kept = [old for old in old_of_new if old >= 0]
+        if use_numpy:
+            new_dist = _np.zeros((m, m), dtype=_np.float64)
+            if kept:
+                kept_pos = _np.asarray(
+                    [p for p, old in enumerate(old_of_new) if old >= 0],
+                    dtype=_np.intp,
+                )
+                old_idx = _np.asarray(kept, dtype=_np.intp)
+                new_dist[_np.ix_(kept_pos, kept_pos)] = self._m[
+                    _np.ix_(old_idx, old_idx)
+                ]
+            if new_positions:
+                block = _np.asarray(inserted_block, dtype=_np.float64)
+                pos = _np.asarray(new_positions, dtype=_np.intp)
+                new_dist[pos, :] = block
+                new_dist[:, pos] = block.T
+        else:
+            new_dist = []
+            for old in old_of_new:
+                if old >= 0:
+                    old_row = self._m[old]
+                    new_dist.append(
+                        [old_row[q] if q >= 0 else 0.0 for q in old_of_new]
+                    )
+                else:
+                    new_dist.append([0.0] * m)
+            if new_positions:
+                for block_row, p in zip(inserted_block, new_positions):
+                    new_dist[p] = [float(v) for v in block_row]
+                    for q in range(m):
+                        new_dist[q][p] = new_dist[p][q]
+        return DenseStorage._from_matrix(new_dist, m, use_numpy)
+
+
+class TiledStorage(KernelStorage):
+    """A lazy grid of ``block_size``-square tiles.
+
+    Only tiles on/above the diagonal are scored (each exactly once, on
+    first touch); a below-diagonal tile is the transpose of its mirror —
+    a zero-copy view on the NumPy backend.  ``dtype="float32"`` stores
+    tiles narrowed (reads widen back to float64); on the pure-Python
+    backend float32 values are emulated by round-tripping each float
+    through IEEE binary32, so both backends store the same numbers.
+    ``workers`` > 1 parallelizes :meth:`ensure_all` over a thread pool of
+    independent tile builds.
+    """
+
+    kind = "tiled"
+
+    __slots__ = (
+        "n",
+        "backend",
+        "dtype",
+        "block_size",
+        "workers",
+        "_builder",
+        "_nb",
+        "_tiles",
+        "_built_upper",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        builder: BlockBuilder,
+        use_numpy: bool,
+        block_size: int,
+        dtype: str = "float64",
+        workers: int | None = None,
+    ):
+        if dtype not in STORAGE_DTYPES:
+            raise StorageError(
+                f"unknown storage dtype {dtype!r}; choose one of {STORAGE_DTYPES}"
+            )
+        if workers is not None and workers < 1:
+            raise StorageError(f"workers must be >= 1, got {workers}")
+        self.n = n
+        self.backend = "numpy" if use_numpy else "python"
+        self.dtype = dtype
+        self.block_size = block_size
+        self.workers = workers
+        self._builder = builder
+        self._nb = -(-n // block_size) if n else 0
+        self._tiles: dict[tuple[int, int], object] = {}
+        self._built_upper: set[tuple[int, int]] = set()
+
+    # -- tile plumbing ----------------------------------------------------
+
+    def _bounds(self, b: int) -> tuple[int, int]:
+        lo = b * self.block_size
+        return lo, min(lo + self.block_size, self.n)
+
+    def _narrow(self, block):
+        """A provider block converted to the storage dtype."""
+        if self.backend == "numpy":
+            target = _np.float32 if self.dtype == "float32" else _np.float64
+            return _np.asarray(block, dtype=target)
+        if self.dtype == "float32":
+            return [[_float32_round(v) for v in row] for row in block]
+        return [[float(v) for v in row] for row in block]
+
+    def _build_upper(self, bi: int, bj: int):
+        a0, a1 = self._bounds(bi)
+        b0, b1 = self._bounds(bj)
+        return self._narrow(self._builder(a0, a1, b0, b1))
+
+    def _store_upper(self, bi: int, bj: int, tile) -> None:
+        self._tiles[(bi, bj)] = tile
+        if bi != bj and self.backend == "numpy":
+            self._tiles[(bj, bi)] = tile.T  # zero-copy view
+        self._built_upper.add((bi, bj))
+
+    def _tile(self, bi: int, bj: int):
+        tile = self._tiles.get((bi, bj))
+        if tile is not None:
+            return tile
+        ui, uj = (bi, bj) if bi <= bj else (bj, bi)
+        upper = self._tiles.get((ui, uj))
+        if upper is None:
+            upper = self._build_upper(ui, uj)
+            self._store_upper(ui, uj, upper)
+            if (bi, bj) in self._tiles:  # numpy mirrors appear with the build
+                return self._tiles[(bi, bj)]
+        if (bi, bj) == (ui, uj):
+            return upper
+        # Pure-Python mirror: transposed on first touch only (the float
+        # objects are shared with the upper tile; only the list skeleton
+        # is new), so never-read mirror sides cost nothing.
+        mirror = [list(col) for col in zip(*upper)]
+        self._tiles[(bi, bj)] = mirror
+        return mirror
+
+    def _tile64(self, bi: int, bj: int):
+        """Tile as float64 (numpy backend only; may copy to widen)."""
+        return self._tile(bi, bj).astype(_np.float64, copy=False)
+
+    @property
+    def tiles_built(self) -> int:
+        """Scored (on/above-diagonal) tiles built so far — the lazy-path
+        observability hook the tests and the storage bench assert on."""
+        return len(self._built_upper)
+
+    @property
+    def total_tiles(self) -> int:
+        return self._nb * (self._nb + 1) // 2
+
+    @property
+    def is_fully_built(self) -> bool:
+        return len(self._built_upper) >= self.total_tiles
+
+    def ensure_all(self) -> None:
+        pending = [
+            (bi, bj)
+            for bi in range(self._nb)
+            for bj in range(bi, self._nb)
+            if (bi, bj) not in self._built_upper
+        ]
+        if not pending:
+            return
+        workers = self.workers or 1
+        if workers > 1 and len(pending) > 1:
+            # Diagonal tiles first, serially: they touch every row range
+            # once, so providers with per-row caches (feature vectors)
+            # warm them without worker threads racing to duplicate the
+            # GIL-bound cache fills.  The off-diagonal bulk — the
+            # GIL-releasing vectorized block kernels — then fans out
+            # over the pool; tile builds are independent and the dict
+            # writes all happen on this thread.
+            diagonal = [c for c in pending if c[0] == c[1]]
+            for bi, bj in diagonal:
+                self._store_upper(bi, bj, self._build_upper(bi, bj))
+            rest = [c for c in pending if c[0] != c[1]]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for (bi, bj), tile in zip(
+                    rest, pool.map(lambda c: self._build_upper(*c), rest)
+                ):
+                    self._store_upper(bi, bj, tile)
+        else:
+            for bi, bj in pending:
+                self._store_upper(bi, bj, self._build_upper(bi, bj))
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, i: int, j: int) -> float:
+        bi, li = divmod(i, self.block_size)
+        bj, lj = divmod(j, self.block_size)
+        tile = self._tile(bi, bj)
+        if self.backend == "numpy":
+            return float(tile[li, lj])
+        return tile[li][lj]
+
+    def _row_parts(self, i: int):
+        bi, local = divmod(i, self.block_size)
+        return [self._tile(bi, b)[local] for b in range(self._nb)]
+
+    def row64(self, i: int):
+        if self.backend == "numpy":
+            parts = self._row_parts(i)
+            if len(parts) == 1:
+                return parts[0].astype(_np.float64)  # always a fresh copy
+            return _np.concatenate(parts).astype(_np.float64, copy=False)
+        row: list[float] = []
+        for part in self._row_parts(i):
+            row.extend(part)
+        return row
+
+    def copy_row64(self, i: int):
+        return self.row64(i)  # assembly always yields a fresh vector
+
+    def minimum_into(self, vec, i: int):
+        if self.backend == "numpy":
+            _np.minimum(vec, self.row64(i), out=vec)
+            return vec
+        row = self.row64(i)
+        for j in range(self.n):
+            if row[j] < vec[j]:
+                vec[j] = row[j]
+        return vec
+
+    def add_into(self, vec, i: int):
+        if self.backend == "numpy":
+            vec += self.row64(i)
+            return vec
+        row = self.row64(i)
+        for j in range(self.n):
+            vec[j] = vec[j] + row[j]
+        return vec
+
+    def row_sums64(self) -> list[float]:
+        # Same left-to-right column accumulation as DenseStorage,
+        # restricted to one tile-row of rows at a time — each row's
+        # additions happen in the identical IEEE order, so float64 tiled
+        # row sums are bitwise-equal to dense ones.
+        self.ensure_all()
+        if self.backend == "numpy":
+            sums = _np.zeros(self.n, dtype=_np.float64)
+            for bi in range(self._nb):
+                a0, a1 = self._bounds(bi)
+                rows = _np.concatenate(
+                    [self._tile64(bi, b) for b in range(self._nb)], axis=1
+                )
+                acc = _np.zeros(a1 - a0, dtype=_np.float64)
+                for j in range(self.n):
+                    acc = acc + rows[:, j]
+                sums[a0:a1] = acc
+            return sums.tolist()
+        return [sum(self.row64(i)) for i in range(self.n)]
+
+    def gather64(self, rows: Sequence[int], cols: Sequence[int]):
+        if self.backend != "numpy":
+            return [[self.get(i, j) for j in cols] for i in rows]
+        # Widening float32 → float64 is exact, so gathering in the
+        # storage dtype first loses nothing.
+        return self._gather_raw(rows, cols).astype(_np.float64, copy=False)
+
+    def to_lists(self) -> list[list[float]]:
+        self.ensure_all()
+        return [list(self.row64(i)) for i in range(self.n)]
+
+    # -- delta maintenance ------------------------------------------------
+
+    def remap(
+        self,
+        old_of_new: Sequence[int],
+        new_positions: Sequence[int],
+        inserted_block,
+        builder: BlockBuilder,
+    ) -> "TiledStorage":
+        m = len(old_of_new)
+        new = TiledStorage(
+            m,
+            builder,
+            self.backend == "numpy",
+            self.block_size,
+            dtype=self.dtype,
+            workers=self.workers,
+        )
+        if not self.is_fully_built:
+            # A partially-built grid is cheaper to re-derive lazily from
+            # the new snapshot than to patch: untouched tiles were never
+            # scored, so there is nothing to salvage tile-for-tile.
+            return new
+        delta_of = {p: d for d, p in enumerate(new_positions)}
+        use_numpy = self.backend == "numpy"
+        if use_numpy and new_positions:
+            inserted_block = _np.asarray(inserted_block, dtype=_np.float64)
+        for bi in range(new._nb):
+            r0, r1 = new._bounds(bi)
+            for bj in range(bi, new._nb):
+                c0, c1 = new._bounds(bj)
+                tile = self._remap_tile(
+                    old_of_new, delta_of, inserted_block, r0, r1, c0, c1
+                )
+                new._store_upper(bi, bj, tile)
+        return new
+
+    def _remap_tile(self, old_of_new, delta_of, block, r0, r1, c0, c1):
+        """One patched tile: kept×kept entries gathered from the old
+        grid (dtype-to-dtype, no re-rounding), entries touching an
+        inserted row overlaid from the provider's Δ×m block (narrowed
+        exactly as a fresh build would narrow them)."""
+        if self.backend == "numpy":
+            kept_r = [
+                (p - r0, old_of_new[p])
+                for p in range(r0, r1)
+                if old_of_new[p] >= 0
+            ]
+            kept_c = [
+                (q - c0, old_of_new[q])
+                for q in range(c0, c1)
+                if old_of_new[q] >= 0
+            ]
+            target = _np.float32 if self.dtype == "float32" else _np.float64
+            tile = _np.zeros((r1 - r0, c1 - c0), dtype=target)
+            if kept_r and kept_c:
+                sub = self._gather_raw([o for _, o in kept_r], [o for _, o in kept_c])
+                tile[_np.ix_([p for p, _ in kept_r], [q for q, _ in kept_c])] = sub
+            for p in range(r0, r1):
+                d = delta_of.get(p)
+                if d is not None:
+                    tile[p - r0, :] = block[d, c0:c1].astype(target)
+            for q in range(c0, c1):
+                d = delta_of.get(q)
+                if d is not None:
+                    tile[:, q - c0] = block[d, r0:r1].astype(target)
+            return tile
+        tile = []
+        for p in range(r0, r1):
+            old_r = old_of_new[p]
+            d_r = delta_of.get(p)
+            row = []
+            for q in range(c0, c1):
+                old_c = old_of_new[q]
+                if d_r is not None:
+                    value = self._narrow_scalar(float(block[d_r][q]))
+                elif old_c < 0:
+                    value = self._narrow_scalar(float(block[delta_of[q]][p]))
+                else:
+                    value = self.get(old_r, old_c)
+                row.append(value)
+            tile.append(row)
+        return tile
+
+    def _narrow_scalar(self, value: float) -> float:
+        if self.dtype == "float32":
+            return _float32_round(value)
+        return value
+
+    def _gather_raw(self, rows: Sequence[int], cols: Sequence[int]):
+        """``rows × cols`` submatrix in the storage dtype (numpy only)."""
+        target = _np.float32 if self.dtype == "float32" else _np.float64
+        out = _np.empty((len(rows), len(cols)), dtype=target)
+        row_groups: dict[int, list[int]] = {}
+        for p, i in enumerate(rows):
+            row_groups.setdefault(i // self.block_size, []).append(p)
+        col_groups: dict[int, list[int]] = {}
+        for q, j in enumerate(cols):
+            col_groups.setdefault(j // self.block_size, []).append(q)
+        for bi, rp in row_groups.items():
+            li = [rows[p] - bi * self.block_size for p in rp]
+            for bj, cq in col_groups.items():
+                lj = [cols[q] - bj * self.block_size for q in cq]
+                tile = self._tile(bi, bj)
+                out[_np.ix_(rp, cq)] = tile[_np.ix_(li, lj)]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TiledStorage(n={self.n}, backend={self.backend}, dtype={self.dtype}, "
+            f"block={self.block_size}, tiles={self.tiles_built}/{self.total_tiles}, "
+            f"workers={self.workers or 1})"
+        )
+
+
+def make_storage(
+    kind: str,
+    n: int,
+    builder: BlockBuilder,
+    use_numpy: bool,
+    block_size: int,
+    dtype: str = "float64",
+    workers: int | None = None,
+) -> KernelStorage:
+    """The storage object behind one kernel's distance matrix.
+
+    ``dense`` is eager, contiguous, float64-only (the historical layout
+    and the parity baseline); ``tiled`` is lazy, blocked, dtype-aware and
+    optionally parallel.  The float32 knob is deliberately rejected for
+    dense storage: narrowing only pays when the matrix no longer has to
+    exist as one allocation, and keeping dense float64-only preserves it
+    as the bit-exact reference every parity suite compares against.
+    """
+    if kind not in STORAGE_KINDS:
+        raise StorageError(
+            f"unknown storage kind {kind!r}; choose one of {STORAGE_KINDS}"
+        )
+    if dtype not in STORAGE_DTYPES:
+        raise StorageError(
+            f"unknown storage dtype {dtype!r}; choose one of {STORAGE_DTYPES}"
+        )
+    if workers is not None and workers < 1:
+        raise StorageError(f"workers must be >= 1, got {workers}")
+    if kind == "dense":
+        if dtype != "float64":
+            raise StorageError(
+                "dense storage is float64-only (the bit-exact parity "
+                "baseline); use storage='tiled' for dtype='float32'"
+            )
+        if workers is not None and workers > 1:
+            raise StorageError(
+                "dense storage builds serially; use storage='tiled' for "
+                f"workers={workers}"
+            )
+        return DenseStorage(n, builder, use_numpy, block_size)
+    return TiledStorage(
+        n, builder, use_numpy, block_size, dtype=dtype, workers=workers
+    )

@@ -14,7 +14,11 @@ module supplies the diff layer:
   sums and index — scoring the inserted rows through the objective's
   provider as one ``relevance_batch`` call plus one ``distance_block``
   call per delta (O(n·|Δ|) scalar calls only when the provider is the
-  scalar adapter).
+  scalar adapter).  The matrix patch is delegated to the kernel's
+  storage: dense storage remaps into one fresh contiguous matrix, tiled
+  storage patches tile by tile (kept entries copied dtype-to-dtype,
+  inserted rows/columns overlaid per tile), so a tiled kernel never
+  allocates O(n²) contiguously — not even transiently during a patch.
 
 The engine's existing staleness check (`snapshot_equals` against the
 re-materialized ``Q(D)``) thereby becomes the *trigger for patching*

@@ -1,0 +1,345 @@
+"""Storage parity suite: the matrix layout must be invisible.
+
+The kernel-storage refactor (ISSUE 5) swaps the contiguous O(n²)
+distance matrix for a pluggable backend (:mod:`repro.engine.storage`)
+beneath the accessor methods every selector consumes.  These tests pin
+the contract:
+
+* dense float64 and tiled float64 are **element-wise equal** — every
+  entry, every row copy, every row sum, on both kernel backends, through
+  ``apply_delta`` patches, under duplicated rows, and at adversarial
+  ``block_size`` values (1, n−1, > n);
+* tiled float32 stays inside the documented relative-error envelope and
+  still reproduces the pinned selections of every registered algorithm;
+* tiled storage is actually lazy (tiles appear on first touch, never at
+  construction) and the parallel build produces the identical grid.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.incremental import early_termination_top_k
+from repro.core.objectives import ObjectiveKind
+from repro.engine import (
+    ALGORITHMS,
+    DiversificationEngine,
+    EngineError,
+    KernelError,
+    ScoringKernel,
+    TiledStorage,
+    numpy_available,
+)
+from repro.workloads.synthetic import random_instance
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+#: One binary32 rounding per stored entry (≤ 2⁻²⁴ relative), with slack.
+F32_REL_ENVELOPE = 1e-6
+
+PINS = json.loads(
+    (Path(__file__).parent.parent / "data" / "unified_path_pins.json").read_text()
+)
+
+KINDS = {
+    "max_sum": ObjectiveKind.MAX_SUM,
+    "max_min": ObjectiveKind.MAX_MIN,
+    "mono": ObjectiveKind.MONO,
+}
+
+
+def tiled_kernel(instance, use_numpy, block_size=5, dtype=None, workers=None):
+    return ScoringKernel(
+        instance,
+        use_numpy=use_numpy,
+        storage="tiled",
+        block_size=block_size,
+        dtype=dtype,
+        workers=workers,
+    )
+
+
+def assert_matrices_equal(dense, tiled):
+    assert tiled.n == dense.n
+    assert tiled.distance_rows() == dense.distance_rows()
+    assert tiled.row_distance_sums() == dense.row_distance_sums()
+    for i in range(dense.n):
+        assert list(tiled.copy_distance_row(i)) == list(dense.copy_distance_row(i))
+        for j in range(dense.n):
+            assert tiled.distance_between(i, j) == dense.distance_between(i, j)
+
+
+class TestElementWiseParity:
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    @pytest.mark.parametrize("block_size", [1, 5, 16, 17, 1000])
+    def test_dense_vs_tiled_equal(self, use_numpy, block_size):
+        # n=17 makes block_size=16 the n−1 case and 1000 the > n case.
+        instance = random_instance(
+            n=17, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=2
+        )
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        tiled = tiled_kernel(instance, use_numpy, block_size=block_size)
+        assert_matrices_equal(dense, tiled)
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_duplicate_rows(self, use_numpy):
+        instance = random_instance(
+            n=10, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=4
+        )
+        answers = instance.answers()
+        instance._result_cache = answers + [answers[i] for i in (0, 3, 3)]
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        tiled = tiled_kernel(instance, use_numpy, block_size=4)
+        assert_matrices_equal(dense, tiled)
+
+    @pytest.mark.skipif(not numpy_available(), reason="requires numpy")
+    def test_backends_agree_on_tiled(self):
+        instance = random_instance(
+            n=13, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=7
+        )
+        py = tiled_kernel(instance, use_numpy=False, block_size=4)
+        np_ = tiled_kernel(instance, use_numpy=True, block_size=4)
+        assert py.distance_rows() == np_.distance_rows()
+        assert py.row_distance_sums() == np_.row_distance_sums()
+
+
+class TestLaziness:
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_tiles_build_on_touch(self, use_numpy):
+        instance = random_instance(
+            n=20, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=1
+        )
+        kernel = tiled_kernel(instance, use_numpy, block_size=5)
+        storage = kernel._storage
+        assert isinstance(storage, TiledStorage)
+        assert storage.tiles_built == 0
+        assert not kernel.distances_fully_built
+        kernel.distance_between(0, 19)  # one off-diagonal tile
+        assert storage.tiles_built == 1
+        kernel.copy_distance_row(0)  # the rest of tile-row 0
+        assert storage.tiles_built == storage._nb
+        kernel.materialize_all()
+        assert storage.is_fully_built
+        assert kernel.distances_fully_built
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_mirror_tiles_are_shared(self, use_numpy):
+        """Reading (i, j) and (j, i) must build one scored tile, not two."""
+        instance = random_instance(
+            n=12, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=3
+        )
+        kernel = tiled_kernel(instance, use_numpy, block_size=4)
+        storage = kernel._storage
+        a = kernel.distance_between(1, 10)
+        b = kernel.distance_between(10, 1)
+        assert a == b
+        assert storage.tiles_built == 1
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_parallel_build_identical(self, use_numpy):
+        instance = random_instance(
+            n=19, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=6
+        )
+        serial = tiled_kernel(instance, use_numpy, block_size=4)
+        parallel = tiled_kernel(instance, use_numpy, block_size=4, workers=3)
+        serial.materialize_all()
+        parallel.materialize_all()
+        assert parallel._storage.is_fully_built
+        assert serial.distance_rows() == parallel.distance_rows()
+
+
+class TestDeltaParity:
+    def mutate(self, kernel, instance):
+        rows = list(instance.answers())
+        kernel.apply_delta(inserted=[rows[3], rows[5]], deleted=[rows[1], rows[8]])
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    @pytest.mark.parametrize("block_size", [1, 4, 30])
+    def test_patched_tiled_equals_patched_dense(self, use_numpy, block_size):
+        instance = random_instance(
+            n=14, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=5
+        )
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        tiled = tiled_kernel(instance, use_numpy, block_size=block_size)
+        tiled.materialize_all()
+        self.mutate(dense, instance)
+        self.mutate(tiled, instance)
+        assert tiled.answers == dense.answers
+        assert_matrices_equal(dense, tiled)
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_partially_built_tiled_survives_delta(self, use_numpy):
+        """A lazily part-built grid is re-derived against the patched
+        snapshot — later reads must match a patched dense kernel."""
+        instance = random_instance(
+            n=14, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=5
+        )
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        tiled = tiled_kernel(instance, use_numpy, block_size=4)
+        tiled.distance_between(0, 13)  # partial touch only
+        self.mutate(dense, instance)
+        self.mutate(tiled, instance)
+        assert tiled.answers == dense.answers
+        assert_matrices_equal(dense, tiled)
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_patched_f32_equals_fresh_f32(self, use_numpy):
+        """The float32 patch must re-narrow exactly as a fresh build."""
+        instance = random_instance(
+            n=12, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=8
+        )
+        patched = tiled_kernel(instance, use_numpy, block_size=4, dtype="float32")
+        patched.materialize_all()
+        self.mutate(patched, instance)
+        # A fresh kernel over the patched answer set (injected into the
+        # materialization cache) is the rebuild the patch must match.
+        instance._result_cache = list(patched.answers)
+        fresh = tiled_kernel(instance, use_numpy, block_size=4, dtype="float32")
+        assert fresh.distance_rows() == patched.distance_rows()
+
+
+class TestFloat32:
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_envelope(self, use_numpy):
+        instance = random_instance(
+            n=15, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=0
+        )
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        narrow = tiled_kernel(instance, use_numpy, block_size=4, dtype="float32")
+        saw_nonzero = False
+        for i in range(dense.n):
+            for j in range(dense.n):
+                base = dense.distance_between(i, j)
+                value = narrow.distance_between(i, j)
+                if base:
+                    saw_nonzero = True
+                    assert abs(value - base) / abs(base) <= F32_REL_ENVELOPE
+                else:
+                    assert value == 0.0
+        assert saw_nonzero
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_backends_store_identical_float32(self, use_numpy):
+        """The pure-Python binary32 round-trip must equal NumPy's cast."""
+        if not numpy_available():
+            pytest.skip("requires numpy for the cross-check")
+        instance = random_instance(
+            n=11, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=9
+        )
+        py = tiled_kernel(instance, use_numpy=False, block_size=4, dtype="float32")
+        np_ = tiled_kernel(instance, use_numpy=True, block_size=4, dtype="float32")
+        assert py.distance_rows() == np_.distance_rows()
+
+
+def pin_instance(pin):
+    return random_instance(
+        n=pin["n"],
+        k=pin["k"],
+        kind=KINDS[pin["kind"]],
+        lam=pin["lam"],
+        seed=pin["seed"],
+    )
+
+
+def pin_id(pin):
+    return f"{pin['algorithm']}-{pin['kind']}-lam{pin['lam']}-s{pin['seed']}"
+
+
+def run_pin(pin, kernel, instance):
+    if pin["algorithm"] == "early_termination_top_k":
+        result = early_termination_top_k(instance, kernel=kernel)
+        return None if result is None else (result.value, result.selected)
+    return ALGORITHMS[pin["algorithm"]](instance, kernel)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("pin", PINS, ids=pin_id)
+def test_tiled_kernel_matches_pins(pin, use_numpy):
+    """Acceptance: all selectors produce identical selections on dense
+    vs tiled storage for the full pinned parity suite (float64 exact)."""
+    instance = pin_instance(pin)
+    kernel = tiled_kernel(instance, use_numpy, block_size=5)
+    result = run_pin(pin, kernel, instance)
+    assert result is not None
+    assert result[0] == pytest.approx(pin["value"], rel=1e-9, abs=1e-9)
+    assert [list(row.values) for row in result[1]] == pin["rows"]
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("pin", PINS, ids=pin_id)
+def test_tiled_float32_matches_pinned_selections(pin, use_numpy):
+    """The float32 carve-out: values may drift inside the envelope, but
+    the selected index sets stay identical on the pinned suite."""
+    instance = pin_instance(pin)
+    kernel = tiled_kernel(instance, use_numpy, block_size=5, dtype="float32")
+    result = run_pin(pin, kernel, instance)
+    assert result is not None
+    assert result[0] == pytest.approx(pin["value"], rel=1e-5, abs=1e-5)
+    assert [list(row.values) for row in result[1]] == pin["rows"]
+
+
+class TestValidation:
+    def test_dense_rejects_float32(self):
+        instance = random_instance(n=5, k=2)
+        with pytest.raises(KernelError):
+            ScoringKernel(instance, use_numpy=False, dtype="float32")
+
+    def test_unknown_storage_and_dtype(self):
+        instance = random_instance(n=5, k=2)
+        with pytest.raises(KernelError):
+            ScoringKernel(instance, use_numpy=False, storage="sparse")
+        with pytest.raises(KernelError):
+            ScoringKernel(
+                instance, use_numpy=False, storage="tiled", dtype="float16"
+            )
+
+    def test_bad_workers(self):
+        instance = random_instance(n=5, k=2)
+        with pytest.raises(KernelError):
+            ScoringKernel(instance, use_numpy=False, storage="tiled", workers=0)
+
+    def test_dense_rejects_parallel_workers(self):
+        """workers>1 on dense would be silently serial — reject it like
+        the dtype knob instead (workers=1 is the harmless default)."""
+        instance = random_instance(n=5, k=2)
+        with pytest.raises(KernelError):
+            ScoringKernel(instance, use_numpy=False, workers=4)
+        kernel = ScoringKernel(instance, use_numpy=False, workers=1)
+        assert kernel.storage_kind == "dense"
+
+    def test_engine_knob_validation(self):
+        with pytest.raises(EngineError):
+            DiversificationEngine(storage="sparse")
+        with pytest.raises(EngineError):
+            DiversificationEngine(dtype="float16")
+        with pytest.raises(EngineError):
+            DiversificationEngine(dtype="float32")  # dense default
+        with pytest.raises(EngineError):
+            DiversificationEngine(storage="tiled", workers=0)
+        with pytest.raises(EngineError):
+            DiversificationEngine(workers=4)  # dense default, silent no-op
+
+
+class TestEngineThreading:
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_engine_builds_tiled_kernels(self, use_numpy):
+        instance = random_instance(
+            n=12, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=2
+        )
+        dense_engine = DiversificationEngine(use_numpy=use_numpy)
+        tiled_engine = DiversificationEngine(
+            use_numpy=use_numpy,
+            storage="tiled",
+            dtype="float32",
+            workers=2,
+            block_size=4,
+        )
+        dense_result = dense_engine.run(instance)
+        tiled_result = tiled_engine.run(instance)
+        kernel = tiled_engine.kernel_for(instance)
+        assert kernel.storage_kind == "tiled"
+        assert kernel.dtype == "float32"
+        assert kernel.workers == 2
+        assert tiled_result.rows == dense_result.rows
+        assert tiled_result.value == pytest.approx(dense_result.value, rel=1e-5)
