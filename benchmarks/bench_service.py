@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""Serving-layer throughput: coalescing + TTL cache vs naive serving.
+
+The serving layer's claim is operational, not algorithmic: on a
+duplicate-heavy request mix (the web regime — many concurrent users
+asking for the same diversified result page), in-flight coalescing and
+the TTL result cache turn N identical requests into one engine
+computation.  This bench drives the *same*
+:class:`repro.service.core.DiversificationService` twice over an
+identical request trace:
+
+* **baseline** — ``coalesce=False, result_ttl=0``: every request runs
+  the selector (the kernel LRU still deduplicates the O(n²) build —
+  the baseline is the *engine's* best effort without the service);
+* **service** — coalescing on, TTL cache on.
+
+The trace is W waves; each wave fires D duplicates of each of K
+distinct ``(k, λ)`` requests concurrently.  Acceptance (asserted
+in-bench, CI-enforced in --smoke): the service serves the trace at
+>= 3x the baseline's throughput, computes each distinct key exactly
+once per TTL window, and the coalesce/cache counters account for every
+non-computed request.
+
+--http-smoke boots the real stdlib HTTP server and fires concurrent
+duplicate POSTs from ``urllib`` worker threads, then asserts the same
+single-build invariant through ``GET /stats``.
+
+Usage::
+
+    python benchmarks/bench_service.py               # full run
+    python benchmarks/bench_service.py --smoke       # CI check (asserts >=3x)
+    python benchmarks/bench_service.py --http-smoke  # end-to-end HTTP check
+    python benchmarks/bench_service.py --json out.json
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH/pip install
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.api import DiversifyRequest, EngineConfig
+from repro.engine import numpy_available
+from repro.service.core import DiversificationService, ServiceConfig
+from repro.service.http import ServiceServer
+
+import common
+
+SPEEDUP_TARGET = 3.0
+
+
+def _trace(distinct, duplication, n):
+    """One wave of the duplicate-heavy mix: ``distinct`` (k, λ) keys over
+    one corpus, each duplicated ``duplication`` times, interleaved the
+    way concurrent arrivals land (round-robin, not grouped)."""
+    ks = [4 + 2 * i for i in range(distinct)]
+    lams = [round(0.2 + 0.6 * i / max(1, distinct - 1), 3) for i in range(distinct)]
+    unique = [
+        DiversifyRequest(
+            workload="synthetic", params={"n": n}, k=k, lam=lam, algorithm="mmr"
+        )
+        for k, lam in zip(ks, lams)
+    ]
+    return [unique[i % distinct] for i in range(distinct * duplication)]
+
+
+async def _drive(service, trace, waves):
+    for _ in range(waves):
+        responses = await asyncio.gather(*[service.diversify(r) for r in trace])
+        assert all(r.feasible for r in responses), "trace must be feasible"
+
+
+def run_trace(coalesce, ttl, trace, waves, max_concurrent):
+    service = DiversificationService(
+        ServiceConfig(
+            engine=EngineConfig(),
+            coalesce=coalesce,
+            result_ttl=ttl,
+            max_concurrent=max_concurrent,
+        )
+    )
+    start = time.perf_counter()
+    asyncio.run(_drive(service, trace, waves))
+    return time.perf_counter() - start, service
+
+
+def bench_serving(n, distinct, duplication, waves):
+    trace = _trace(distinct, duplication, n)
+    total = len(trace) * waves
+    # every request computes; concurrency cap sized so the baseline is
+    # never quota-rejected (it is serialized by the tenant lock anyway)
+    baseline_seconds, baseline = run_trace(
+        False, 0.0, trace, waves, max_concurrent=total + 1
+    )
+    service_seconds, service = run_trace(
+        True, 300.0, trace, waves, max_concurrent=total + 1
+    )
+
+    # -- invariants the speedup rests on (always asserted) ---------------
+    assert baseline.computed == total, (
+        f"baseline must compute every request: {baseline.computed} != {total}"
+    )
+    assert service.computed == distinct, (
+        f"service must compute each distinct key once: "
+        f"{service.computed} != {distinct}"
+    )
+    stats = service.results.stats
+    assert service.coalesced + stats.hits == total - distinct, (
+        "every non-computed request must be coalesced or TTL-served: "
+        f"{service.coalesced} + {stats.hits} != {total - distinct}"
+    )
+    # both sides build the kernel exactly once (the LRU dedups it)
+    assert baseline.engine_for("default").stats.misses == 1
+    assert service.engine_for("default").stats.misses == 1
+    # responses agree: same selector, same kernel
+    return common.ServiceBenchRecord(
+        scenario=f"synthetic n={n}",
+        requests=total,
+        distinct=distinct,
+        backend="numpy" if numpy_available() else "python",
+        baseline_seconds=baseline_seconds,
+        service_seconds=service_seconds,
+        computed=service.computed,
+        coalesced=service.coalesced,
+        cache_hits=stats.hits,
+    )
+
+
+def run_http_smoke(n=60, duplication=8):
+    """Boot the real HTTP server; fire concurrent duplicate POSTs from
+    urllib worker threads; assert the single-build invariant via /stats."""
+    import threading
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    service = DiversificationService(ServiceConfig())
+    server = ServiceServer(service, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(10.0), "server failed to start"
+    base = f"http://127.0.0.1:{server.port}"
+    body = json.dumps(
+        {"workload": "synthetic", "params": {"n": n}, "k": 5, "algorithm": "mmr"}
+    ).encode()
+
+    def post(_):
+        request = urllib.request.Request(
+            f"{base}/diversify", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.load(response)
+
+    with ThreadPoolExecutor(max_workers=duplication) as pool:
+        responses = list(pool.map(post, range(duplication)))
+    with urllib.request.urlopen(f"{base}/stats", timeout=30) as response:
+        stats = json.load(response)
+    with urllib.request.urlopen(f"{base}/healthz", timeout=30) as response:
+        health = json.load(response)
+
+    async def shutdown():
+        await server.stop()
+        handlers = [
+            t for t in asyncio.all_tasks() if t is not asyncio.current_task()
+        ]
+        await asyncio.gather(*handlers, return_exceptions=True)
+
+    asyncio.run_coroutine_threadsafe(shutdown(), loop).result(timeout=10.0)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10.0)
+    loop.close()
+
+    assert health["status"] == "ok"
+    assert all(r["feasible"] for r in responses)
+    assert len({json.dumps(r["value"]) for r in responses}) == 1, (
+        "duplicates must agree"
+    )
+    # exactly one engine computation; every other request was coalesced
+    # (in flight with the leader) or TTL-served (landed after it)
+    computed = stats["requests"]["computed"]
+    coalesced = stats["requests"]["coalesced"]
+    cached = stats["result_cache"]["hits"]
+    assert computed == 1, f"expected one computation, saw {computed}"
+    assert coalesced + cached == duplication - 1, (
+        f"{coalesced} coalesced + {cached} cached != {duplication - 1}"
+    )
+    assert stats["tenants"]["default"]["kernel_cache"]["misses"] == 1
+    assert stats["latency"]["diversify"]["count"] == duplication
+    assert stats["latency"]["diversify"]["p95_ms"] is not None
+    print(
+        f"http smoke ok: {duplication} concurrent duplicates -> "
+        f"1 computed, {coalesced} coalesced, {cached} TTL hits "
+        f"(p95 {stats['latency']['diversify']['p95_ms']} ms)"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI; asserts the >=3x throughput target",
+    )
+    parser.add_argument(
+        "--http-smoke",
+        action="store_true",
+        help="boot the stdlib HTTP server and verify coalescing end-to-end",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the records as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.http_smoke:
+        return run_http_smoke()
+
+    if args.smoke:
+        scenarios = [(80, 5, 8, 1)]
+    else:
+        scenarios = [(80, 5, 8, 1), (150, 5, 8, 2), (150, 10, 16, 2)]
+
+    records = []
+    for n, distinct, duplication, waves in scenarios:
+        records.append(bench_serving(n, distinct, duplication, waves))
+
+    print(common.render_service_report(records))
+    worst = min(r.speedup for r in records)
+    print(f"\nworst-case speedup: {worst:.2f}x (target {SPEEDUP_TARGET:.0f}x)")
+
+    if args.json is not None:
+        payload = {
+            "benchmark": "service",
+            "smoke": args.smoke,
+            "speedup_target": SPEEDUP_TARGET,
+            "records": [r.as_dict() for r in records],
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    assert worst >= SPEEDUP_TARGET, (
+        f"coalescing+TTL must serve the duplicate-heavy trace at "
+        f">= {SPEEDUP_TARGET}x the naive throughput; measured {worst:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -329,6 +329,66 @@ def render_heuristics_report(
     return _render_table(title, header, body)
 
 
+@dataclass
+class ServiceBenchRecord:
+    """One serving-layer measurement from ``bench_service.py``.
+
+    ``baseline_seconds`` serves the trace with coalescing and the TTL
+    cache disabled (every request runs the selector; the kernel LRU
+    still deduplicates the O(n²) build); ``service_seconds`` is the
+    same trace with both on.  ``computed``/``coalesced``/``cache_hits``
+    are the service-side counters — together they must account for
+    every request, which the bench asserts before reporting.
+    """
+
+    scenario: str
+    requests: int
+    distinct: int
+    backend: str
+    baseline_seconds: float
+    service_seconds: float
+    computed: int
+    coalesced: int
+    cache_hits: int
+
+    @property
+    def speedup(self) -> float:
+        if self.service_seconds <= 0.0:
+            return float("inf")
+        return self.baseline_seconds / self.service_seconds
+
+    def as_dict(self) -> dict:
+        payload = dict(self.__dict__)
+        payload["speedup"] = self.speedup
+        return payload
+
+
+def render_service_report(
+    records: "list[ServiceBenchRecord]",
+    title: str = "serving layer: coalescing + TTL cache vs naive",
+) -> str:
+    """An aligned text table of serving-layer benchmark records."""
+    header = ("scenario", "requests", "distinct", "backend",
+              "naive [s]", "service [s]", "speedup", "computed",
+              "coalesced", "ttl hits")
+    body = [
+        (
+            r.scenario,
+            str(r.requests),
+            str(r.distinct),
+            r.backend,
+            f"{r.baseline_seconds:.4f}",
+            f"{r.service_seconds:.4f}",
+            f"{r.speedup:.2f}x",
+            str(r.computed),
+            str(r.coalesced),
+            str(r.cache_hits),
+        )
+        for r in records
+    ]
+    return _render_table(title, header, body)
+
+
 def integer_score_instance(
     n: int,
     k: int,

@@ -18,7 +18,14 @@ The package implements the paper's full system surface:
   teams) and random generators;
 * :mod:`repro.engine` — the shared scoring kernel (precomputed
   relevance/distance arrays, NumPy-backed when available) and the batch
-  diversification engine with LRU kernel caching.
+  diversification engine with LRU kernel caching;
+* :mod:`repro.api` — the unified request/config surface
+  (:class:`~repro.api.EngineConfig`, :class:`~repro.api.DiversifyRequest`,
+  :class:`~repro.api.DiversifyResponse`) shared by the engine, the CLI
+  and the serving layer;
+* :mod:`repro.service` — diversification-as-a-service: an asyncio
+  serving core with request coalescing, a TTL result cache, per-tenant
+  quotas/telemetry, and a stdlib HTTP adapter.
 
 Quickstart::
 
@@ -35,17 +42,29 @@ Quickstart::
     value, picks = core.diversify(instance)
 """
 
-from . import algorithms, core, engine, logic, reductions, relational, workloads
+from . import (
+    algorithms,
+    api,
+    core,
+    engine,
+    logic,
+    reductions,
+    relational,
+    service,
+    workloads,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "algorithms",
+    "api",
     "core",
     "engine",
     "logic",
     "reductions",
     "relational",
+    "service",
     "workloads",
     "__version__",
 ]

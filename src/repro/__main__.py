@@ -16,19 +16,33 @@ Commands:
 
   ``diversify`` dispatches through the process-wide
   :class:`~repro.engine.engine.DiversificationEngine`: ``--algorithm``
-  selects any engine algorithm by name (or ``auto``), and
-  ``--cache-stats`` prints the kernel-cache counters — repeated
+  selects any engine algorithm by name (or ``auto``), ``--json`` emits
+  the machine-readable :class:`~repro.api.DiversifyResponse` wire form,
+  and ``--cache-stats`` prints the kernel-cache counters — repeated
   identical queries within one process reuse the cached ScoringKernel.
-  ``--storage`` / ``--dtype`` / ``--workers`` / ``--block-size`` select
-  the kernel-storage policy (tiled / float32 / parallel builds); any
-  non-default combination routes through a dedicated engine memoized on
-  the knob tuple, so repeated invocations still reuse kernels.
+
+* ``serve``     — boot the diversification service
+  (:mod:`repro.service`): an asyncio HTTP server with request
+  coalescing, a TTL result cache and per-tenant quotas::
+
+      python -m repro serve --port 8787 --storage tiled --workers 4
+
+Both ``diversify`` and ``serve`` share one engine-policy flag set
+(:func:`repro.api.add_engine_config_args`: ``--storage`` / ``--dtype``
+/ ``--workers`` / ``--block-size`` / ``--cache-size`` /
+``--patch-threshold``), layered over ``REPRO_*`` environment variables
+(:meth:`repro.api.EngineConfig.from_env`).  Any non-default policy
+routes through a dedicated engine memoized on the
+:class:`~repro.api.EngineConfig`, so repeated invocations still reuse
+kernels.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 
@@ -156,40 +170,49 @@ def _load_session(args: argparse.Namespace):
     return session
 
 
-# Engines with non-default kernel-storage knobs, memoized per knob
-# tuple so repeated in-process invocations with the same policy still
-# reuse cached kernels (the default-knob path keeps using the shared
-# process-wide engine).  Bounded oldest-out like _CLI_SESSIONS: each
-# engine retains up to cache_size O(n²) kernels, so a programmatic
-# caller sweeping knob values must not pin every engine forever.
-_CLI_ENGINES: dict[tuple, object] = {}
+# Engines with a non-default EngineConfig, memoized on the (frozen,
+# hashable) config so repeated in-process invocations with the same
+# policy still reuse cached kernels (the default-config path keeps
+# using the shared process-wide engine).  Bounded oldest-out like
+# _CLI_SESSIONS: each engine retains up to cache_size O(n²) kernels, so
+# a programmatic caller sweeping knob values must not pin every engine
+# forever.
+_CLI_ENGINES: dict[object, object] = {}
 _CLI_ENGINES_MAX = 4
 
 
-def _engine_for(args: argparse.Namespace):
-    from .engine.engine import DiversificationEngine, default_engine
+def _config_for(args: argparse.Namespace):
+    """The engine policy for this invocation: dataclass defaults,
+    layered under ``REPRO_*`` env vars, layered under explicit flags."""
+    from .api import EngineConfig
     from .engine.kernel import DEFAULT_BLOCK_SIZE
 
+    config = EngineConfig.from_args(args, base=EngineConfig.from_env())
     # Normalize explicitly-passed default-equivalent knobs to None so
     # e.g. `--storage dense` alone still shares the process-wide engine
     # (and its kernel cache) instead of splitting into a second one.
-    knobs = (
-        args.storage if args.storage != "dense" else None,
-        args.dtype if args.dtype != "float64" else None,
-        args.workers if args.workers != 1 else None,
-        args.block_size if args.block_size != DEFAULT_BLOCK_SIZE else None,
+    return replace(
+        config,
+        storage=config.storage if config.storage != "dense" else None,
+        dtype=config.dtype if config.dtype != "float64" else None,
+        workers=config.workers if config.workers != 1 else None,
+        block_size=config.block_size
+        if config.block_size != DEFAULT_BLOCK_SIZE
+        else None,
     )
-    if knobs == (None, None, None, None):
+
+
+def _engine_for(args: argparse.Namespace):
+    from .api import EngineConfig
+    from .engine.engine import DiversificationEngine, default_engine
+
+    config = _config_for(args)
+    if config == EngineConfig():
         return default_engine()
-    engine = _CLI_ENGINES.pop(knobs, None)
+    engine = _CLI_ENGINES.pop(config, None)
     if engine is None:
-        engine = DiversificationEngine(
-            storage=args.storage,
-            dtype=args.dtype,
-            workers=args.workers,
-            block_size=args.block_size,
-        )
-    _CLI_ENGINES[knobs] = engine  # re-insert at the end (freshest)
+        engine = DiversificationEngine(config=config)
+    _CLI_ENGINES[config] = engine  # re-insert at the end (freshest)
     while len(_CLI_ENGINES) > _CLI_ENGINES_MAX:
         _CLI_ENGINES.pop(next(iter(_CLI_ENGINES)))
     return engine
@@ -223,6 +246,24 @@ def _cmd_diversify(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.json:
+        from .api import DiversifyResponse
+
+        payload = DiversifyResponse.from_result(result).to_dict()
+        if args.cache_stats:
+            stats = engine.stats
+            payload["kernel_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "patches": stats.patches,
+                "stale_rebuilds": stats.stale_rebuilds,
+                "evictions": stats.evictions,
+                "lookups": stats.lookups,
+                "hit_rate": round(stats.hit_rate, 4),
+            }
+        print(json.dumps(payload, indent=2))
+        return 0 if result is not None else 1
+
     code = 0
     if result is None:
         print(f"no {args.k}-subset exists (|Q(D)| = {instance.answer_count})")
@@ -245,7 +286,50 @@ def _cmd_diversify(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .api import ApiError
+    from .service.core import DiversificationService, ServiceConfig
+    from .service.http import ServiceServer
+
+    try:
+        engine_config = _config_for(args).validate()
+    except ApiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = DiversificationService(
+        ServiceConfig(
+            engine=engine_config,
+            algorithm=args.algorithm,
+            result_ttl=args.result_ttl,
+            result_cache_size=args.result_cache_size,
+            coalesce=not args.no_coalesce,
+            max_concurrent=args.max_concurrent,
+            max_k=args.max_k,
+        )
+    )
+
+    async def run() -> None:
+        server = ServiceServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"serving on http://{args.host}:{server.port} "
+            f"(workloads: {', '.join(service.registry.names())})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from .api import add_engine_config_args
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Query result diversification (Deng & Fan reproduction)",
@@ -305,35 +389,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the process-wide kernel-cache counters after solving",
     )
     d.add_argument(
-        "--storage",
-        choices=["dense", "tiled"],
-        default=None,
-        help="kernel distance-matrix layout: dense (one contiguous "
-        "float64 matrix, default) or tiled (lazy block grid; removes "
-        "the O(n^2) contiguous-allocation ceiling)",
+        "--json",
+        action="store_true",
+        help="emit the DiversifyResponse wire form (strict JSON, NaN → "
+        "null) instead of human-readable text",
     )
-    d.add_argument(
-        "--dtype",
-        choices=["float64", "float32"],
-        default=None,
-        help="at-rest dtype of tiled distance tiles (float32 halves "
-        "matrix memory; reductions stay float64; tiled-only)",
-    )
-    d.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="thread-pool width for parallel tiled-matrix builds",
-    )
-    d.add_argument(
-        "--block-size",
-        type=int,
-        default=None,
-        metavar="ROWS",
-        help="rows per tile of the blocked kernel construction",
-    )
+    add_engine_config_args(d)
     d.set_defaults(func=_cmd_diversify)
+
+    s = sub.add_parser(
+        "serve",
+        help="boot the diversification service (asyncio HTTP, coalescing, "
+        "TTL cache)",
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8787, help="0 = OS-assigned")
+    s.add_argument(
+        "--algorithm",
+        default="auto",
+        metavar="NAME",
+        help="default engine algorithm for served requests",
+    )
+    s.add_argument(
+        "--result-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="TTL of the result cache (0 disables it)",
+    )
+    s.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="entry bound of the TTL result cache",
+    )
+    s.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable in-flight request coalescing (benchmark baseline)",
+    )
+    s.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-tenant ceiling on concurrently computing requests",
+    )
+    s.add_argument(
+        "--max-k",
+        type=int,
+        default=1000,
+        metavar="K",
+        help="per-request k ceiling (quota, HTTP 429)",
+    )
+    add_engine_config_args(s)
+    s.set_defaults(func=_cmd_serve)
     return parser
 
 

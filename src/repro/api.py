@@ -1,0 +1,577 @@
+"""The unified request/config object model shared by the engine, the CLI
+and the serving layer.
+
+Before this module, every entry point grew its own copy of the engine's
+policy knobs — ``storage=/dtype=/workers=/block_size=/patch_threshold=``
+duplicated across :class:`~repro.engine.engine.DiversificationEngine`,
+:func:`~repro.engine.kernel.kernel_for_instance` and the CLI's argparse
+wiring.  This module collapses that sprawl into three value objects:
+
+* :class:`EngineConfig` — the frozen engine policy bundle.  Constructed
+  directly, from parsed CLI args (:meth:`EngineConfig.from_args`, with
+  the flags added by :func:`add_engine_config_args`), or from
+  ``REPRO_*`` environment variables (:meth:`EngineConfig.from_env`).
+  ``DiversificationEngine(config=...)`` and
+  ``kernel_for_instance(..., config=...)`` consume it; the old loose
+  kwargs keep working through a shim that emits ``DeprecationWarning``.
+* :class:`DiversifyRequest` — one diversification request: either an
+  in-process :class:`~repro.core.instance.DiversificationInstance` or a
+  wire-friendly ``(workload, params)`` pair resolved through the
+  serving layer's registry, plus ``k``/``λ``/``algorithm``/``tenant``.
+  :meth:`DiversifyRequest.key` is the coalescing identity the service
+  uses to detect duplicate in-flight work.
+* :class:`DiversifyResponse` — the serving-facing result: objective
+  value, snapshot index list, rows, and cache provenance (computed /
+  coalesced / cached), with a stable JSON round-trip
+  (:meth:`DiversifyResponse.to_dict` / ``from_dict``, NaN → null).
+
+Deprecation policy: the loose keyword surface
+(``DiversificationEngine(storage=..., dtype=..., ...)``) remains
+functional and float-for-float equivalent to the config path for at
+least one minor release after the warning appeared; new knobs are added
+to :class:`EngineConfig` only.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any
+
+from .relational.schema import RelationSchema, Row
+
+if TYPE_CHECKING:
+    import argparse
+
+    from .core.instance import DiversificationInstance
+    from .engine.engine import EngineResult
+
+
+class ApiError(ValueError):
+    """Raised on malformed configs, requests, or serialized payloads."""
+
+
+# -- JSON scalar helpers ---------------------------------------------------
+
+
+def json_float(value: float | None) -> float | None:
+    """A float made safe for strict JSON parsers: NaN → None (null)."""
+    if value is None:
+        return None
+    value = float(value)
+    return None if math.isnan(value) else value
+
+
+def float_from_json(value: float | None) -> float:
+    """Inverse of :func:`json_float` for required floats: null → NaN."""
+    return float("nan") if value is None else float(value)
+
+
+def _json_scalar(value: Any) -> Any:
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def row_to_dict(row: Row) -> dict[str, Any]:
+    """A JSON-ready form of one answer tuple (schema + values)."""
+    return {
+        "relation": row.schema.name,
+        "attributes": list(row.schema.attributes),
+        "values": [_json_scalar(v) for v in row.values],
+    }
+
+
+def row_from_dict(data: Mapping[str, Any]) -> Row:
+    """Rebuild a :class:`Row` from :func:`row_to_dict` output.
+
+    Rows compare by attributes + values, so the round-trip is
+    equality-stable even though the schema object is rebuilt.
+    """
+    schema = RelationSchema(data["relation"], tuple(data["attributes"]))
+    return Row(schema, tuple(data["values"]))
+
+
+def _check_keys(data: Mapping[str, Any], allowed: set[str], what: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ApiError(
+            f"unknown {what} field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def canonical_params(params: Mapping[str, Any] | None) -> tuple:
+    """A hashable, order-independent identity for a params mapping."""
+    if not params:
+        return ()
+    return tuple(sorted((str(k), repr(v)) for k, v in params.items()))
+
+
+# -- EngineConfig ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The engine's policy knobs as one frozen, hashable value.
+
+    Field semantics are exactly the historical loose kwargs of
+    :class:`~repro.engine.engine.DiversificationEngine`:
+
+    * ``storage`` — kernel distance-matrix layout (``"dense"`` default /
+      ``"tiled"``); ``dtype`` — at-rest tile dtype (tiled only);
+      ``workers`` — thread-pool width for parallel tile builds;
+      ``block_size`` — rows per tile of the blocked construction;
+    * ``patch_threshold`` — largest stale-kernel delta (fraction of n)
+      that is patched in place rather than rebuilt;
+    * ``cache_size`` — LRU bound on live kernels per engine.
+
+    ``None`` means "engine default" for the storage-policy knobs, so
+    ``EngineConfig()`` is the historical default engine.
+    """
+
+    storage: str | None = None
+    dtype: str | None = None
+    workers: int | None = None
+    block_size: int | None = None
+    patch_threshold: float = 0.5
+    cache_size: int = 8
+
+    def validate(self) -> "EngineConfig":
+        """Check the knob combination; raises :class:`ApiError`.
+
+        The messages mirror the engine's historical constructor errors
+        (the engine re-raises them as ``EngineError``).
+        """
+        from .engine.storage import STORAGE_DTYPES, STORAGE_KINDS
+
+        if self.cache_size < 1:
+            raise ApiError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.patch_threshold < 0.0:
+            raise ApiError(
+                f"patch_threshold must be >= 0, got {self.patch_threshold}"
+            )
+        if self.block_size is not None and self.block_size < 1:
+            raise ApiError(f"block_size must be >= 1, got {self.block_size}")
+        if self.storage is not None and self.storage not in STORAGE_KINDS:
+            raise ApiError(
+                f"unknown storage {self.storage!r}; choose one of {STORAGE_KINDS}"
+            )
+        if self.dtype is not None and self.dtype not in STORAGE_DTYPES:
+            raise ApiError(
+                f"unknown dtype {self.dtype!r}; choose one of {STORAGE_DTYPES}"
+            )
+        if (self.dtype or "float64") != "float64" and (
+            self.storage or "dense"
+        ) == "dense":
+            raise ApiError(
+                "dense storage is float64-only; pass storage='tiled' with "
+                f"dtype={self.dtype!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ApiError(f"workers must be >= 1, got {self.workers}")
+        if (
+            self.workers is not None
+            and self.workers > 1
+            and (self.storage or "dense") == "dense"
+        ):
+            raise ApiError(
+                "dense storage builds serially; pass storage='tiled' with "
+                f"workers={self.workers}"
+            )
+        return self
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_args(
+        cls,
+        args: "argparse.Namespace",
+        base: "EngineConfig | None" = None,
+    ) -> "EngineConfig":
+        """The config selected by the flags of
+        :func:`add_engine_config_args`; flags left unset fall back to
+        ``base`` (e.g. :meth:`from_env`) or the dataclass defaults."""
+        config = base if base is not None else cls()
+        overrides = {
+            name: value
+            for name in ("storage", "dtype", "workers", "block_size",
+                         "patch_threshold", "cache_size")
+            if (value := getattr(args, name, None)) is not None
+        }
+        return replace(config, **overrides)
+
+    @classmethod
+    def from_env(
+        cls, environ: Mapping[str, str] | None = None
+    ) -> "EngineConfig":
+        """The config selected by ``REPRO_<FIELD>`` environment
+        variables (``REPRO_STORAGE``, ``REPRO_DTYPE``, ``REPRO_WORKERS``,
+        ``REPRO_BLOCK_SIZE``, ``REPRO_PATCH_THRESHOLD``,
+        ``REPRO_CACHE_SIZE``) — the deployment-facing twin of
+        :meth:`from_args`."""
+        env = os.environ if environ is None else environ
+        overrides: dict[str, Any] = {}
+        for spec in fields(cls):
+            raw = env.get(f"REPRO_{spec.name.upper()}")
+            if raw is None or raw == "":
+                continue
+            if spec.name in ("workers", "block_size", "cache_size"):
+                try:
+                    overrides[spec.name] = int(raw)
+                except ValueError:
+                    raise ApiError(
+                        f"REPRO_{spec.name.upper()} must be an integer, got {raw!r}"
+                    ) from None
+            elif spec.name == "patch_threshold":
+                try:
+                    overrides[spec.name] = float(raw)
+                except ValueError:
+                    raise ApiError(
+                        f"REPRO_PATCH_THRESHOLD must be a float, got {raw!r}"
+                    ) from None
+            else:
+                overrides[spec.name] = raw
+        return replace(cls(), **overrides)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        _check_keys(data, {f.name for f in fields(cls)}, "EngineConfig")
+        return cls(**data)
+
+
+def add_engine_config_args(parser: "argparse.ArgumentParser") -> None:
+    """Install the shared :class:`EngineConfig` flags on a subparser.
+
+    One definition serves every subcommand (``diversify``, ``serve``);
+    parse results feed :meth:`EngineConfig.from_args`.
+    """
+    parser.add_argument(
+        "--storage",
+        choices=["dense", "tiled"],
+        default=None,
+        help="kernel distance-matrix layout: dense (one contiguous "
+        "float64 matrix, default) or tiled (lazy block grid; removes "
+        "the O(n^2) contiguous-allocation ceiling)",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default=None,
+        help="at-rest dtype of tiled distance tiles (float32 halves "
+        "matrix memory; reductions stay float64; tiled-only)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread-pool width for parallel tiled-matrix builds",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="rows per tile of the blocked kernel construction",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU bound on live kernels per engine (default 8)",
+    )
+    parser.add_argument(
+        "--patch-threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="largest stale-kernel delta (fraction of n) patched in "
+        "place instead of rebuilt (default 0.5; 0 disables patching)",
+    )
+
+
+# -- DiversifyRequest ------------------------------------------------------
+
+_REQUEST_WIRE_FIELDS = {"workload", "params", "k", "lam", "algorithm", "tenant"}
+
+
+@dataclass(frozen=True)
+class DiversifyRequest:
+    """One diversification request, in-process or on the wire.
+
+    Exactly one of two source forms:
+
+    * ``instance=`` — an in-process
+      :class:`~repro.core.instance.DiversificationInstance`; ``k``/
+      ``lam`` overrides are applied via ``with_k``/``with_lambda`` so
+      every variant keeps the engine's kernel-cache identity;
+    * ``workload=`` (+ optional ``params``) — a registry name the
+      serving layer resolves to a shared base instance, so concurrent
+      requests naming the same corpus share one kernel.
+
+    ``algorithm=None`` means the engine's own default; ``tenant``
+    selects the per-tenant engine (and quota pool) in the service.
+    """
+
+    workload: str | None = None
+    params: Mapping[str, Any] | None = None
+    k: int = 10
+    lam: float = 0.5
+    algorithm: str | None = None
+    tenant: str = "default"
+    instance: "DiversificationInstance | None" = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self):
+        if self.instance is None and self.workload is None:
+            raise ApiError(
+                "a DiversifyRequest needs a source: pass instance= "
+                "(in-process) or workload= (registry name)"
+            )
+        if self.k < 1:
+            raise ApiError(f"k must be a positive integer, got {self.k}")
+        if not 0.0 <= float(self.lam) <= 1.0:
+            raise ApiError(f"λ must be in [0,1], got {self.lam}")
+        if self.params is not None:
+            object.__setattr__(self, "params", dict(self.params))
+
+    # -- identity ----------------------------------------------------------
+
+    def key(self) -> tuple:
+        """The coalescing/result-cache identity of this request.
+
+        Two requests with equal keys would run the same computation:
+        same tenant, same materialization source — ``(workload,
+        params)`` on the wire, the ``(query, db, δ_rel, δ_dis)`` object
+        identities in process — and same ``(k, λ, algorithm)``.
+        """
+        if self.instance is not None:
+            objective = self.instance.objective
+            source: tuple = (
+                "instance",
+                id(self.instance.query),
+                id(self.instance.db),
+                id(objective.relevance),
+                id(objective.distance),
+            )
+        else:
+            source = ("workload", self.workload, canonical_params(self.params))
+        return (self.tenant, source, self.k, float(self.lam), self.algorithm or "auto")
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(
+        self, base: "DiversificationInstance | None" = None
+    ) -> "DiversificationInstance":
+        """The concrete instance this request asks to solve.
+
+        ``base`` (from a workload registry) takes precedence over the
+        carried ``instance``.  ``k``/``λ`` are applied through
+        ``with_k`` / ``with_objective(with_lambda)``, which preserve the
+        query/db/function identities — every variant of one base hits
+        the same engine kernel-cache entry.
+        """
+        source = base if base is not None else self.instance
+        if source is None:
+            raise ApiError(
+                f"request names workload {self.workload!r} but no base "
+                "instance was supplied; resolve it through a registry"
+            )
+        instance = source
+        if self.k != instance.k:
+            instance = instance.with_k(self.k)
+        if float(self.lam) != instance.objective.lam:
+            instance = instance.with_objective(
+                instance.objective.with_lambda(float(self.lam))
+            )
+        return instance
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The wire form.  In-process requests (``instance=``) have no
+        stable serialization and raise :class:`ApiError`."""
+        if self.instance is not None:
+            raise ApiError(
+                "an instance-backed DiversifyRequest is in-process only; "
+                "name a registered workload to serialize it"
+            )
+        return {
+            "workload": self.workload,
+            "params": dict(self.params) if self.params else {},
+            "k": self.k,
+            "lam": float(self.lam),
+            "algorithm": self.algorithm,
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DiversifyRequest":
+        _check_keys(data, _REQUEST_WIRE_FIELDS, "DiversifyRequest")
+        workload = data.get("workload")
+        if not isinstance(workload, str) or not workload:
+            raise ApiError("DiversifyRequest needs a 'workload' name")
+        params = data.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise ApiError(f"'params' must be an object, got {type(params).__name__}")
+        kwargs: dict[str, Any] = {"workload": workload, "params": params}
+        if "k" in data:
+            if not isinstance(data["k"], int) or isinstance(data["k"], bool):
+                raise ApiError(f"'k' must be an integer, got {data['k']!r}")
+            kwargs["k"] = data["k"]
+        if "lam" in data:
+            if not isinstance(data["lam"], (int, float)) or isinstance(
+                data["lam"], bool
+            ):
+                raise ApiError(f"'lam' must be a number, got {data['lam']!r}")
+            kwargs["lam"] = float(data["lam"])
+        if data.get("algorithm") is not None:
+            kwargs["algorithm"] = str(data["algorithm"])
+        if data.get("tenant") is not None:
+            kwargs["tenant"] = str(data["tenant"])
+        return cls(**kwargs)
+
+
+# -- DiversifyResponse -----------------------------------------------------
+
+#: Cache-provenance values a response can carry.
+CACHE_PROVENANCE = ("computed", "coalesced", "cached")
+
+
+@dataclass(frozen=True)
+class DiversifyResponse:
+    """One served diversification result.
+
+    ``indices`` are snapshot positions in the kernel's materialized
+    ``Q(D)`` (first occurrence under duplicated rows); ``rows`` are the
+    selected tuples themselves.  ``cache`` records provenance:
+    ``"computed"`` (this request ran the engine), ``"coalesced"`` (it
+    awaited an identical in-flight request), or ``"cached"`` (served
+    from the TTL result cache).  ``feasible`` is False when no size-k
+    candidate set exists (value/indices/rows are then None).
+    """
+
+    feasible: bool
+    value: float | None
+    indices: tuple[int, ...] | None
+    rows: tuple[Row, ...] | None
+    algorithm: str | None
+    backend: str | None
+    kernel_reused: bool = False
+    cache: str = "computed"
+    elapsed_ms: float | None = None
+
+    @classmethod
+    def from_result(
+        cls,
+        result: "EngineResult | None",
+        cache: str = "computed",
+        elapsed_ms: float | None = None,
+    ) -> "DiversifyResponse":
+        """Wrap an engine result (None = infeasible) for serving."""
+        if result is None:
+            return cls(
+                feasible=False,
+                value=None,
+                indices=None,
+                rows=None,
+                algorithm=None,
+                backend=None,
+                cache=cache,
+                elapsed_ms=elapsed_ms,
+            )
+        return cls(
+            feasible=True,
+            value=result.value,
+            indices=result.indices,
+            rows=result.rows,
+            algorithm=result.algorithm,
+            backend=result.backend,
+            kernel_reused=result.kernel_reused,
+            cache=cache,
+            elapsed_ms=elapsed_ms,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON form (NaN → null); inverse of :meth:`from_dict`."""
+        return {
+            "feasible": self.feasible,
+            "value": json_float(self.value),
+            "indices": list(self.indices) if self.indices is not None else None,
+            "rows": [row_to_dict(r) for r in self.rows]
+            if self.rows is not None
+            else None,
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "kernel_reused": self.kernel_reused,
+            "cache": self.cache,
+            "elapsed_ms": json_float(self.elapsed_ms),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DiversifyResponse":
+        _check_keys(
+            data,
+            {
+                "feasible",
+                "value",
+                "indices",
+                "rows",
+                "algorithm",
+                "backend",
+                "kernel_reused",
+                "cache",
+                "elapsed_ms",
+            },
+            "DiversifyResponse",
+        )
+        feasible = bool(data.get("feasible"))
+        value = data.get("value")
+        if feasible:
+            # A feasible response always carries a value; null encodes NaN.
+            value = float_from_json(value)
+        indices = data.get("indices")
+        rows = data.get("rows")
+        cache = data.get("cache", "computed")
+        if cache not in CACHE_PROVENANCE:
+            raise ApiError(
+                f"unknown cache provenance {cache!r}; "
+                f"expected one of {CACHE_PROVENANCE}"
+            )
+        return cls(
+            feasible=feasible,
+            value=value,
+            indices=tuple(indices) if indices is not None else None,
+            rows=tuple(row_from_dict(r) for r in rows)
+            if rows is not None
+            else None,
+            algorithm=data.get("algorithm"),
+            backend=data.get("backend"),
+            kernel_reused=bool(data.get("kernel_reused", False)),
+            cache=cache,
+            elapsed_ms=data.get("elapsed_ms"),
+        )
+
+
+__all__ = [
+    "ApiError",
+    "CACHE_PROVENANCE",
+    "DiversifyRequest",
+    "DiversifyResponse",
+    "EngineConfig",
+    "add_engine_config_args",
+    "canonical_params",
+    "float_from_json",
+    "json_float",
+    "row_from_dict",
+    "row_to_dict",
+]

@@ -14,6 +14,7 @@ the solver the paper's complexity map recommends:
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..relational.queries import Query
 from ..relational.schema import Database, Row
@@ -23,6 +24,9 @@ from .instance import DiversificationInstance
 from .objectives import Objective, ObjectiveKind
 from .qrd import qrd_decide, qrd_witness
 from .rdc import rdc_count
+
+if TYPE_CHECKING:
+    from ..api import DiversifyRequest
 
 
 def make_instance(
@@ -73,21 +77,35 @@ def method_algorithm(instance: DiversificationInstance, method: str) -> str:
 
 
 def diversify(
-    instance: DiversificationInstance,
+    instance: "DiversificationInstance | DiversifyRequest",
     method: str = "auto",
 ) -> tuple[float, tuple[Row, ...]] | None:
     """Compute a best (or heuristically good) k-set, with its F value.
 
-    See :func:`method_algorithm` for the ``method`` values.  Dispatches
-    through the process-wide :func:`repro.engine.engine.default_engine`,
-    so repeated calls over the same materialization reuse one cached
+    Accepts a :class:`DiversificationInstance` (see
+    :func:`method_algorithm` for the ``method`` values) or an
+    instance-backed :class:`repro.api.DiversifyRequest` — the unified
+    request object shared with the engine and the serving layer; its
+    ``k``/``λ`` are applied to the carried instance and its
+    ``algorithm`` (when set) overrides ``method``.  Dispatches through
+    the process-wide :func:`repro.engine.engine.default_engine`, so
+    repeated calls over the same materialization reuse one cached
     :class:`~repro.engine.kernel.ScoringKernel`.
 
     Returns None when no candidate set exists.
     """
+    from ..api import DiversifyRequest
     from ..engine.engine import default_engine
 
-    result = default_engine().run(instance, algorithm=method_algorithm(instance, method))
+    if isinstance(instance, DiversifyRequest):
+        request = instance
+        resolved = request.resolve()
+        algorithm = request.algorithm or method_algorithm(resolved, method)
+        result = default_engine().run(resolved, algorithm=algorithm)
+    else:
+        result = default_engine().run(
+            instance, algorithm=method_algorithm(instance, method)
+        )
     return None if result is None else (result.value, result.rows)
 
 

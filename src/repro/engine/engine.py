@@ -23,9 +23,10 @@ and constraint-aware local search when Σ is non-empty.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..algorithms.exact import (
     best_modular,
@@ -39,11 +40,18 @@ from ..algorithms.greedy import (
 )
 from ..algorithms.local_search import local_search
 from ..algorithms.mmr import mmr_select
+from ..api import (
+    DiversifyRequest,
+    EngineConfig,
+    float_from_json,
+    json_float,
+    row_from_dict,
+    row_to_dict,
+)
 from ..core.instance import DiversificationInstance
 from ..core.objectives import ObjectiveKind
 from ..relational.schema import Row
 from .kernel import ScoringKernel, kernel_for_instance
-from .storage import STORAGE_DTYPES, STORAGE_KINDS
 from .updates import compute_delta
 
 SearchResult = tuple[float, tuple[Row, ...]]
@@ -162,13 +170,44 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class EngineResult:
-    """One solved instance: the score, the rows, and how it was solved."""
+    """One solved instance: the score, the rows, and how it was solved.
+
+    ``indices`` are the selection's snapshot positions in the kernel's
+    materialized ``Q(D)`` (first occurrence under duplicated rows) —
+    the stable, order-preserving identity the serialized form carries
+    alongside the rows themselves.
+    """
 
     value: float
     rows: tuple[Row, ...]
     algorithm: str
     kernel_reused: bool
     backend: str
+    indices: tuple[int, ...] | None = None
+
+    def to_dict(self) -> dict:
+        """Strict-JSON form (NaN → null); inverse of :meth:`from_dict`."""
+        return {
+            "value": json_float(self.value),
+            "rows": [row_to_dict(row) for row in self.rows],
+            "indices": list(self.indices) if self.indices is not None else None,
+            "algorithm": self.algorithm,
+            "kernel_reused": self.kernel_reused,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineResult":
+        """Rebuild a result from :meth:`to_dict` output (null → NaN)."""
+        indices = data.get("indices")
+        return cls(
+            value=float_from_json(data["value"]),
+            rows=tuple(row_from_dict(row) for row in data["rows"]),
+            algorithm=data["algorithm"],
+            kernel_reused=bool(data.get("kernel_reused", False)),
+            backend=data["backend"],
+            indices=tuple(indices) if indices is not None else None,
+        )
 
 
 class DiversificationEngine:
@@ -194,59 +233,86 @@ class DiversificationEngine:
     def __init__(
         self,
         algorithm: str = "auto",
-        cache_size: int = 8,
+        cache_size: int | None = None,
         use_numpy: bool | None = None,
-        patch_threshold: float = 0.5,
+        patch_threshold: float | None = None,
         block_size: int | None = None,
         storage: str | None = None,
         dtype: str | None = None,
         workers: int | None = None,
+        *,
+        config: EngineConfig | None = None,
     ):
-        if cache_size < 1:
-            raise EngineError(f"cache_size must be >= 1, got {cache_size}")
         if algorithm != "auto" and algorithm not in ALGORITHMS:
             raise EngineError(
                 f"unknown algorithm {algorithm!r}; "
                 f"choose 'auto' or one of {sorted(ALGORITHMS)}"
             )
-        if patch_threshold < 0.0:
-            raise EngineError(
-                f"patch_threshold must be >= 0, got {patch_threshold}"
+        loose = {
+            name: value
+            for name, value in (
+                ("cache_size", cache_size),
+                ("patch_threshold", patch_threshold),
+                ("block_size", block_size),
+                ("storage", storage),
+                ("dtype", dtype),
+                ("workers", workers),
             )
-        if block_size is not None and block_size < 1:
-            raise EngineError(f"block_size must be >= 1, got {block_size}")
-        if storage is not None and storage not in STORAGE_KINDS:
+            if value is not None
+        }
+        if config is not None and loose:
             raise EngineError(
-                f"unknown storage {storage!r}; choose one of {STORAGE_KINDS}"
+                "pass the engine policy either as config=EngineConfig(...) "
+                f"or as loose kwargs, not both (got loose {sorted(loose)})"
             )
-        if dtype is not None and dtype not in STORAGE_DTYPES:
-            raise EngineError(
-                f"unknown dtype {dtype!r}; choose one of {STORAGE_DTYPES}"
-            )
-        if (dtype or "float64") != "float64" and (storage or "dense") == "dense":
-            raise EngineError(
-                "dense storage is float64-only; pass storage='tiled' with "
-                f"dtype={dtype!r}"
-            )
-        if workers is not None and workers < 1:
-            raise EngineError(f"workers must be >= 1, got {workers}")
-        if workers is not None and workers > 1 and (storage or "dense") == "dense":
-            raise EngineError(
-                "dense storage builds serially; pass storage='tiled' with "
-                f"workers={workers}"
-            )
+        if config is None:
+            config = EngineConfig()
+            if loose:
+                warnings.warn(
+                    "the loose DiversificationEngine policy kwargs "
+                    f"({', '.join(sorted(loose))}) are deprecated; pass "
+                    "config=repro.api.EngineConfig(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                config = replace(config, **loose)
+        try:
+            config.validate()
+        except ValueError as exc:
+            raise EngineError(str(exc)) from None
         self.algorithm = algorithm
-        self.cache_size = cache_size
         self.use_numpy = use_numpy
-        self.patch_threshold = patch_threshold
-        self.block_size = block_size
-        self.storage = storage
-        self.dtype = dtype
-        self.workers = workers
+        self.config = config
         self._cache: OrderedDict[tuple[int, int, int, int], ScoringKernel] = (
             OrderedDict()
         )
         self.stats = CacheStats()
+
+    # Read-only views of the config knobs, kept for the historical
+    # attribute surface (benchmarks and downstream code read these).
+    @property
+    def cache_size(self) -> int:
+        return self.config.cache_size
+
+    @property
+    def patch_threshold(self) -> float:
+        return self.config.patch_threshold
+
+    @property
+    def block_size(self) -> int | None:
+        return self.config.block_size
+
+    @property
+    def storage(self) -> str | None:
+        return self.config.storage
+
+    @property
+    def dtype(self) -> str | None:
+        return self.config.dtype
+
+    @property
+    def workers(self) -> int | None:
+        return self.config.workers
 
     # -- kernel cache -----------------------------------------------------
 
@@ -291,10 +357,7 @@ class DiversificationEngine:
         kernel = kernel_for_instance(
             instance,
             use_numpy=self.use_numpy,
-            block_size=self.block_size,
-            storage=self.storage,
-            dtype=self.dtype,
-            workers=self.workers,
+            config=self.config,
         )
         self._cache[key] = kernel
         self._cache.move_to_end(key)
@@ -303,6 +366,16 @@ class DiversificationEngine:
             self._cache.popitem(last=False)
             self.stats.evictions += 1
         return kernel
+
+    def peek_kernel(self, instance: DiversificationInstance) -> ScoringKernel | None:
+        """The cached kernel for this instance's materialization, if one
+        is live — no build, no patching, no stats mutation.  The serving
+        layer's delta path uses this to diff the pre-update snapshot
+        (``compute_delta``) before :meth:`kernel_for` patches it."""
+        kernel = self._cache.get(self._cache_key(instance))
+        if kernel is not None and kernel.matches(instance):
+            return kernel
+        return None
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -313,16 +386,41 @@ class DiversificationEngine:
 
     # -- solving ----------------------------------------------------------
 
+    @staticmethod
+    def _resolve_request(
+        instance: DiversificationInstance | None,
+        algorithm: str | None,
+        request: DiversifyRequest | None,
+    ) -> tuple[DiversificationInstance, str | None]:
+        """Fold an optional :class:`~repro.api.DiversifyRequest` into the
+        historical ``(instance, algorithm)`` pair.  An explicit
+        ``instance`` serves as the request's base (registry-resolved
+        callers); an explicit ``algorithm`` wins over the request's."""
+        if request is not None:
+            instance = request.resolve(instance)
+            if algorithm is None:
+                algorithm = request.algorithm
+        if instance is None:
+            raise EngineError("run() needs an instance or a request")
+        return instance, algorithm
+
     def run(
         self,
-        instance: DiversificationInstance,
+        instance: DiversificationInstance | None = None,
         algorithm: str | None = None,
+        *,
+        request: DiversifyRequest | None = None,
     ) -> EngineResult | None:
         """Solve one instance through its (possibly cached) kernel.
 
-        Returns None when the instance has no candidate set of size k
-        (mirroring the underlying algorithms).
+        Accepts either the historical ``(instance, algorithm)`` pair or
+        a :class:`~repro.api.DiversifyRequest` (``request=``), whose
+        ``k``/``λ``/``algorithm`` are applied on top of its carried (or
+        explicitly passed) base instance.  Returns None when the
+        instance has no candidate set of size k (mirroring the
+        underlying algorithms).
         """
+        instance, algorithm = self._resolve_request(instance, algorithm, request)
         name = algorithm if algorithm is not None else self.algorithm
         if name == "auto":
             name = auto_algorithm(instance)
@@ -344,29 +442,44 @@ class DiversificationEngine:
             algorithm=name,
             kernel_reused=self.stats.hits + self.stats.patches > reused_before,
             backend=kernel.backend,
+            indices=tuple(kernel.index_of(row) for row in rows),
         )
 
     def run_batch(
         self,
-        instances: Iterable[DiversificationInstance],
+        instances: Iterable[DiversificationInstance] | None = None,
         algorithm: str | None = None,
+        *,
+        requests: Iterable[DiversifyRequest] | None = None,
     ) -> list[EngineResult | None]:
-        """Solve many instances, reusing kernels across shared (Q, D)."""
+        """Solve many instances (or requests), reusing kernels across
+        shared (Q, D) materializations."""
+        if requests is not None:
+            if instances is not None:
+                raise EngineError("pass instances= or requests=, not both")
+            return [self.run(request=req, algorithm=algorithm) for req in requests]
+        if instances is None:
+            raise EngineError("run_batch() needs instances or requests")
         return [self.run(instance, algorithm) for instance in instances]
 
     def sweep(
         self,
-        instance: DiversificationInstance,
+        instance: DiversificationInstance | None = None,
         ks: Iterable[int] | None = None,
         lams: Iterable[float] | None = None,
         algorithm: str | None = None,
+        *,
+        request: DiversifyRequest | None = None,
     ) -> list[tuple[int, float, EngineResult | None]]:
         """Solve a k × λ grid of variants of one instance on one kernel.
 
+        The base may come from a :class:`~repro.api.DiversifyRequest`
+        (``request=``; its own ``k``/``λ`` seed the grid defaults).
         Variants are built with ``with_k`` / ``with_lambda``, which keep
         the query/db/function identities — every grid cell after the
         first is a kernel-cache hit.
         """
+        instance, algorithm = self._resolve_request(instance, algorithm, request)
         return [
             (k, lam, self.run(variant, algorithm))
             for k, lam, variant in variants_grid(instance, ks, lams)

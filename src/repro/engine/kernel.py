@@ -713,6 +713,7 @@ def kernel_for_instance(
     storage: str | None = None,
     dtype: str | None = None,
     workers: int | None = None,
+    config=None,
 ) -> ScoringKernel:
     """Build a kernel sized to the instance's objective.
 
@@ -723,8 +724,15 @@ def kernel_for_instance(
     row-based algorithm signatures, the dispersion view) builds kernels
     through here so the deferral policy lives in one place, and the
     ``storage`` / ``dtype`` / ``workers`` policy knobs thread through
-    unchanged.
+    unchanged.  ``config`` (a :class:`repro.api.EngineConfig`) supplies
+    any knob not passed explicitly — the engine hands its whole policy
+    bundle through this parameter.
     """
+    if config is not None:
+        block_size = block_size if block_size is not None else config.block_size
+        storage = storage if storage is not None else config.storage
+        dtype = dtype if dtype is not None else config.dtype
+        workers = workers if workers is not None else config.workers
     objective = instance.objective
     defer = (
         objective.kind is ObjectiveKind.MAX_SUM and objective.relevance_only

@@ -1,0 +1,38 @@
+"""Diversification-as-a-service: the async serving layer.
+
+Transport-agnostic core (:mod:`~repro.service.core`) with request
+coalescing, a TTL result cache, per-tenant quotas and telemetry, plus a
+dependency-free stdlib HTTP adapter (:mod:`~repro.service.http`) and
+the workload registry (:mod:`~repro.service.registry`) that maps wire
+names to identity-stable base instances.
+"""
+
+from .cache import ResultCacheStats, TTLCache
+from .core import DiversificationService, QuotaError, ServiceConfig, ServiceError
+from .http import ServiceServer, serve
+from .registry import (
+    RegistryError,
+    StaticWorkload,
+    StreamingWorkload,
+    WorkloadRegistry,
+    default_registry,
+)
+from .telemetry import EndpointTelemetry, LatencyHistogram
+
+__all__ = [
+    "DiversificationService",
+    "EndpointTelemetry",
+    "LatencyHistogram",
+    "QuotaError",
+    "RegistryError",
+    "ResultCacheStats",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "StaticWorkload",
+    "StreamingWorkload",
+    "TTLCache",
+    "WorkloadRegistry",
+    "default_registry",
+    "serve",
+]

@@ -1,0 +1,477 @@
+"""Diversification-as-a-service: the transport-agnostic async core.
+
+:class:`DiversificationService` wraps per-tenant
+:class:`~repro.engine.engine.DiversificationEngine` instances behind an
+asyncio façade, adding the serving concerns the engine deliberately
+does not know about:
+
+* **request coalescing** — identical in-flight requests (equal
+  :meth:`~repro.api.DiversifyRequest.key`: same tenant, corpus, k, λ,
+  algorithm) await one computation instead of racing N; λ/k-sweep
+  members over one corpus additionally share a kernel through the
+  engine's LRU;
+* a **TTL result cache** (:class:`~repro.service.cache.TTLCache`) in
+  front of the kernel LRU, so repeats within the TTL window never touch
+  the engine;
+* **quotas** — a per-tenant ceiling on concurrently *computing*
+  requests (coalesced followers are free) and per-request ``k``/answer
+  -set ceilings, rejected with :class:`QuotaError` (HTTP 429);
+* **telemetry** — per-endpoint latency histograms and the counters
+  surfaced by :meth:`stats` (the ``/stats`` payload);
+* the **delta path** — :meth:`delta` drives a streaming workload's
+  update feed through the engine's ``apply_delta`` kernel patching and
+  :func:`~repro.algorithms.incremental.repair_after_delta` selection
+  repair.
+
+Engine work is CPU-bound and the engine is not thread-safe, so each
+tenant's engine runs under an :class:`asyncio.Lock` and executes in a
+worker thread (``asyncio.to_thread``) — the event loop stays responsive
+while kernels build, and one tenant's work never interleaves.
+
+The core is transport-agnostic: :mod:`repro.service.http` adapts it to
+HTTP; tests and benchmarks drive it in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..api import DiversifyRequest, DiversifyResponse, EngineConfig
+from ..engine.engine import DiversificationEngine
+from .cache import TTLCache
+from .registry import WorkloadRegistry, default_registry
+from .telemetry import EndpointTelemetry
+
+
+class ServiceError(ValueError):
+    """Raised on malformed service requests (HTTP 400)."""
+
+
+class QuotaError(RuntimeError):
+    """Raised when a tenant exceeds its serving quota (HTTP 429)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The serving layer's policy bundle.
+
+    ``engine`` is the per-tenant :class:`~repro.api.EngineConfig` (every
+    tenant's engine is built from the same policy); ``algorithm`` is the
+    engines' default algorithm.  ``result_ttl``/``result_cache_size``
+    shape the TTL result cache (``ttl <= 0`` disables it);
+    ``coalesce=False`` disables in-flight request coalescing (the
+    benchmark baseline).  ``max_concurrent`` caps each tenant's
+    simultaneously *computing* requests; ``max_k`` and ``max_answer_set``
+    bound request size (``None`` = unlimited); ``max_sweep_cells`` caps
+    a sweep's k × λ grid.
+    """
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    algorithm: str = "auto"
+    result_ttl: float = 30.0
+    result_cache_size: int = 256
+    coalesce: bool = True
+    max_concurrent: int = 8
+    max_k: int | None = 1000
+    max_answer_set: int | None = None
+    max_sweep_cells: int = 64
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine.to_dict(),
+            "algorithm": self.algorithm,
+            "result_ttl": self.result_ttl,
+            "result_cache_size": self.result_cache_size,
+            "coalesce": self.coalesce,
+            "max_concurrent": self.max_concurrent,
+            "max_k": self.max_k,
+            "max_answer_set": self.max_answer_set,
+            "max_sweep_cells": self.max_sweep_cells,
+        }
+
+
+class DiversificationService:
+    """The async serving core (see module docstring)."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        registry: WorkloadRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = registry if registry is not None else default_registry()
+        self._clock = clock
+        self.results = TTLCache(
+            ttl=self.config.result_ttl,
+            max_entries=self.config.result_cache_size,
+            clock=clock,
+        )
+        self.telemetry = EndpointTelemetry()
+        self._engines: dict[str, DiversificationEngine] = {}
+        self._locks: dict[str, asyncio.Lock] = {}
+        self._active: dict[str, int] = {}
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        # Last computed selection per request key — the `previous` that
+        # the delta path's repair_after_delta picks up.
+        self._selections: dict[tuple, tuple] = {}
+        self.coalesced = 0
+        self.computed = 0
+        self.quota_rejections = 0
+        self._started = clock()
+
+    # -- tenants -----------------------------------------------------------
+
+    def engine_for(self, tenant: str) -> DiversificationEngine:
+        """The tenant's engine (created lazily from the shared config)."""
+        engine = self._engines.get(tenant)
+        if engine is None:
+            engine = DiversificationEngine(
+                algorithm=self.config.algorithm, config=self.config.engine
+            )
+            self._engines[tenant] = engine
+            self._locks[tenant] = asyncio.Lock()
+            self._active[tenant] = 0
+        return engine
+
+    # -- request validation / resolution ----------------------------------
+
+    def _check_quota(self, request: DiversifyRequest) -> None:
+        if self.config.max_k is not None and request.k > self.config.max_k:
+            self.quota_rejections += 1
+            raise QuotaError(
+                f"tenant {request.tenant!r}: k={request.k} exceeds the "
+                f"per-request ceiling max_k={self.config.max_k}"
+            )
+        if self._active.get(request.tenant, 0) >= self.config.max_concurrent:
+            self.quota_rejections += 1
+            raise QuotaError(
+                f"tenant {request.tenant!r}: {self.config.max_concurrent} "
+                "concurrent requests already computing"
+            )
+
+    def _resolve(self, request: DiversifyRequest):
+        if request.instance is not None:
+            instance = request.resolve()
+        else:
+            handle = self.registry.handle(request.workload, request.params)
+            instance = request.resolve(handle.base_instance())
+        if (
+            self.config.max_answer_set is not None
+            and instance.answer_count > self.config.max_answer_set
+        ):
+            self.quota_rejections += 1
+            raise QuotaError(
+                f"tenant {request.tenant!r}: answer set of "
+                f"{instance.answer_count} rows exceeds "
+                f"max_answer_set={self.config.max_answer_set}"
+            )
+        return instance
+
+    # -- the serving spine -------------------------------------------------
+
+    async def _serve(
+        self,
+        endpoint: str,
+        request: DiversifyRequest,
+        key: tuple,
+        compute: Callable[[], Any],
+        stamp: Callable[[Any, str, float], Any],
+    ) -> Any:
+        """TTL lookup → coalesce → quota → locked compute, shared by
+        ``diversify`` and ``sweep``.
+
+        ``compute`` runs synchronously in a worker thread under the
+        tenant lock; ``stamp(payload, provenance, elapsed_ms)`` attaches
+        cache provenance to the (immutable) payload for this caller.
+        The in-flight registration happens before the first ``await``,
+        so every follower task scheduled while the leader computes
+        observes the future and coalesces deterministically.
+        """
+        start = self._clock()
+
+        def _finish(payload: Any, provenance: str) -> Any:
+            elapsed = (self._clock() - start) * 1000.0
+            self.telemetry.record(endpoint, (self._clock() - start))
+            return stamp(payload, provenance, elapsed)
+
+        cached = self.results.get(key)
+        if cached is not None:
+            return _finish(cached, "cached")
+        future = self._inflight.get(key) if self.config.coalesce else None
+        if future is not None:
+            self.coalesced += 1
+            payload = await asyncio.shield(future)
+            return _finish(payload, "coalesced")
+        self._check_quota(request)
+        self.engine_for(request.tenant)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if self.config.coalesce:
+            self._inflight[key] = future
+        self._active[request.tenant] += 1
+        try:
+            async with self._locks[request.tenant]:
+                payload = await asyncio.to_thread(compute)
+            self.computed += 1
+            future.set_result(payload)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved: followers re-raise their copy
+            raise
+        finally:
+            self._active[request.tenant] -= 1
+            if self.config.coalesce:
+                self._inflight.pop(key, None)
+        self.results.put(key, payload)
+        return _finish(payload, "computed")
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def diversify(self, request: DiversifyRequest) -> DiversifyResponse:
+        """Serve one diversification request (``POST /diversify``)."""
+        key = request.key()
+        engine = self.engine_for(request.tenant)
+
+        def compute() -> DiversifyResponse:
+            instance = self._resolve(request)
+            result = engine.run(instance, request.algorithm)
+            if result is not None:
+                self._selections[key] = result.rows
+            return DiversifyResponse.from_result(result)
+
+        def stamp(
+            payload: DiversifyResponse, provenance: str, elapsed_ms: float
+        ) -> DiversifyResponse:
+            return replace(payload, cache=provenance, elapsed_ms=elapsed_ms)
+
+        return await self._serve("diversify", request, key, compute, stamp)
+
+    async def sweep(
+        self,
+        request: DiversifyRequest,
+        ks: Iterable[int] | None = None,
+        lams: Iterable[float] | None = None,
+    ) -> dict[str, Any]:
+        """Serve a k × λ grid over one corpus (``POST /sweep``).
+
+        The grid runs as one coalescable unit: identical concurrent
+        sweeps await one computation, and the member cells share one
+        kernel through the engine's LRU (the λ-sweep case the engine was
+        built for).
+        """
+        k_grid = [int(k) for k in ks] if ks is not None else [request.k]
+        lam_grid = (
+            [float(lam) for lam in lams] if lams is not None else [request.lam]
+        )
+        if not k_grid or not lam_grid:
+            raise ServiceError("sweep needs at least one k and one λ")
+        cells = len(k_grid) * len(lam_grid)
+        if cells > self.config.max_sweep_cells:
+            raise ServiceError(
+                f"sweep of {cells} cells exceeds "
+                f"max_sweep_cells={self.config.max_sweep_cells}"
+            )
+        key = ("sweep", request.key(), tuple(k_grid), tuple(lam_grid))
+        engine = self.engine_for(request.tenant)
+
+        def compute() -> dict[str, Any]:
+            instance = self._resolve(request)
+            grid = engine.sweep(
+                instance, ks=k_grid, lams=lam_grid, algorithm=request.algorithm
+            )
+            return {
+                "workload": request.workload,
+                "cells": [
+                    {
+                        "k": k,
+                        "lam": lam,
+                        **DiversifyResponse.from_result(result).to_dict(),
+                    }
+                    for k, lam, result in grid
+                ],
+            }
+
+        def stamp(
+            payload: dict[str, Any], provenance: str, elapsed_ms: float
+        ) -> dict[str, Any]:
+            return {
+                **payload,
+                "cache": provenance,
+                "elapsed_ms": round(elapsed_ms, 3),
+            }
+
+        return await self._serve("sweep", request, key, compute, stamp)
+
+    async def delta(
+        self,
+        workload: str,
+        params: Mapping[str, Any] | None = None,
+        events: int = 1,
+        tenant: str = "default",
+        k: int | None = None,
+        lam: float = 0.5,
+        algorithm: str | None = None,
+    ) -> dict[str, Any]:
+        """Apply update-feed events and repair (``POST /delta``).
+
+        Steps the workload's stream ``events`` times (insert/delete
+        against the live database), evicts the workload's TTL-cached
+        results, and — when ``k`` is given — refreshes the selection:
+        the engine's :meth:`~repro.engine.engine.DiversificationEngine.
+        kernel_for` patches the cached kernel in place
+        (``apply_delta``, O(n·|Δ|)) and
+        :func:`~repro.algorithms.incremental.repair_after_delta` decides
+        whether the previous selection survives or must be re-run.
+        """
+        start = self._clock()
+        handle = self.registry.handle(workload, params)
+        if not getattr(handle, "supports_updates", False):
+            raise ServiceError(
+                f"workload {workload!r} has no update feed; use a "
+                "streaming workload for /delta"
+            )
+        engine = self.engine_for(tenant)
+        request = (
+            DiversifyRequest(
+                workload=workload,
+                params=params,
+                k=k,
+                lam=lam,
+                algorithm=algorithm,
+                tenant=tenant,
+            )
+            if k is not None
+            else None
+        )
+
+        def compute() -> dict[str, Any]:
+            applied = handle.apply_updates(int(events))
+            payload: dict[str, Any] = {
+                "workload": workload,
+                "events": [
+                    {"op": event.op, "doc": event.doc, "rows": len(event.rows)}
+                    for event in applied
+                ],
+            }
+            if request is None:
+                return payload
+            instance = self._resolve(request)
+            key = request.key()
+            previous = self._selections.get(key)
+            stale_kernel = engine.peek_kernel(instance)
+            before = (engine.stats.patches, engine.stats.stale_rebuilds)
+            if stale_kernel is not None and previous is not None:
+                from ..algorithms.incremental import repair_after_delta
+                from ..engine.updates import compute_delta
+
+                delta = compute_delta(stale_kernel, instance.answers())
+                kernel = engine.kernel_for(instance)  # patches or rebuilds
+                repair = repair_after_delta(
+                    instance,
+                    kernel,
+                    previous,
+                    delta,
+                    algorithm=algorithm or "auto",
+                )
+                if repair is None:
+                    payload["selection"] = DiversifyResponse.from_result(
+                        None
+                    ).to_dict()
+                else:
+                    self._selections[key] = repair.rows
+                    payload["selection"] = DiversifyResponse(
+                        feasible=True,
+                        value=repair.value,
+                        indices=tuple(kernel.index_of(r) for r in repair.rows),
+                        rows=repair.rows,
+                        algorithm=algorithm or "auto",
+                        backend=kernel.backend,
+                        kernel_reused=not repair.reran,
+                    ).to_dict()
+                    payload["repair"] = {
+                        "reran": repair.reran,
+                        "reason": repair.reason,
+                    }
+            else:
+                result = engine.run(instance, algorithm)
+                if result is not None:
+                    self._selections[key] = result.rows
+                payload["selection"] = DiversifyResponse.from_result(result).to_dict()
+            after = (engine.stats.patches, engine.stats.stale_rebuilds)
+            payload["kernel"] = {
+                "patches": after[0] - before[0],
+                "stale_rebuilds": after[1] - before[1],
+            }
+            return payload
+
+        async with self._locks[tenant]:
+            payload = await asyncio.to_thread(compute)
+
+        # The database moved: every cached result naming this workload is
+        # stale.  Request keys nest the ("workload", name, params) source
+        # tuple (sweep keys nest a whole request key), so scan recursively.
+        def mentions_workload(key: Any) -> bool:
+            if not isinstance(key, tuple):
+                return False
+            if len(key) >= 2 and key[0] == "workload" and key[1] == workload:
+                return True
+            return any(mentions_workload(part) for part in key)
+
+        self.results.invalidate(mentions_workload)
+        self.telemetry.record("delta", self._clock() - start)
+        payload["elapsed_ms"] = round((self._clock() - start) * 1000.0, 3)
+        return payload
+
+    # -- telemetry endpoints ----------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        """Liveness payload (``GET /healthz``)."""
+        return {
+            "status": "ok",
+            "uptime_s": round(self._clock() - self._started, 3),
+            "workloads": self.registry.names(),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """The telemetry payload (``GET /stats``): request counters,
+        result-cache and per-tenant kernel-cache stats, and per-endpoint
+        latency percentiles."""
+        tenants = {}
+        for tenant, engine in sorted(self._engines.items()):
+            stats = engine.stats
+            tenants[tenant] = {
+                "active": self._active.get(tenant, 0),
+                "cached_kernels": engine.cached_kernels,
+                "kernel_cache": {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "patches": stats.patches,
+                    "stale_rebuilds": stats.stale_rebuilds,
+                    "evictions": stats.evictions,
+                    "lookups": stats.lookups,
+                    "hit_rate": round(stats.hit_rate, 4),
+                },
+            }
+        return {
+            "uptime_s": round(self._clock() - self._started, 3),
+            "config": self.config.to_dict(),
+            "requests": {
+                "computed": self.computed,
+                "coalesced": self.coalesced,
+                "inflight": len(self._inflight),
+                "quota_rejections": self.quota_rejections,
+            },
+            "result_cache": {
+                "entries": len(self.results),
+                "ttl_s": self.results.ttl,
+                **self.results.stats.to_dict(),
+            },
+            "tenants": tenants,
+            "latency": self.telemetry.to_dict(),
+        }

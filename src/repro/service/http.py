@@ -1,0 +1,249 @@
+"""Stdlib HTTP adapter for :class:`~repro.service.core.DiversificationService`.
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`
+(no FastAPI/uvicorn — the repo is dependency-free): request-line +
+header + ``Content-Length`` body parsing, JSON in / JSON out, one
+route table.  Every service exception class maps to one status code,
+so clients get machine-readable errors:
+
+========================================  ======
+:class:`~repro.api.ApiError`,             400
+:class:`~repro.service.core.ServiceError`
+unknown route / workload                  404
+(:class:`~repro.service.registry.RegistryError`)
+method not allowed                        405
+:class:`~repro.service.core.QuotaError`   429
+anything else                             500
+========================================  ======
+
+Routes:
+
+* ``GET /healthz`` — liveness;
+* ``GET /stats`` — telemetry (cache stats, coalesce counters, latency
+  percentiles);
+* ``POST /diversify`` — a :class:`~repro.api.DiversifyRequest` wire
+  object;
+* ``POST /sweep`` — the same plus ``ks``/``lams`` grids;
+* ``POST /delta`` — ``{workload, events, k?, ...}`` driving the update
+  feed + kernel patch + selection repair.
+
+Connections are ``Connection: close`` (one request per connection);
+the smoke benchmark shows this is nowhere near the bottleneck — the
+O(n²) kernel work is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from ..api import ApiError, DiversifyRequest
+from .core import DiversificationService, QuotaError, ServiceError
+from .registry import RegistryError
+
+#: Upper bound on accepted request bodies (1 MiB is generous for JSON).
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """An error with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _encode(status: int, payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, Any] | None]:
+    """Parse one request: (method, path, decoded JSON body or None)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionResetError("client closed before sending a request")
+    try:
+        method, target, _version = request_line.decode("ascii").split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = 0
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "invalid Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body: dict[str, Any] | None = None
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body
+
+
+class ServiceServer:
+    """The HTTP front end; create via :func:`serve` or instantiate and
+    :meth:`start` directly (tests bind port 0 and read ``port``)."""
+
+    def __init__(
+        self,
+        service: DiversificationService,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # With port 0 the OS picks; expose the bound port for clients.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+                status, payload = await self._dispatch(method, path, body)
+            except HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except (ConnectionResetError, asyncio.IncompleteReadError):
+                return
+            writer.write(_encode(status, payload))
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, method: str, path: str, body: dict[str, Any] | None
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    raise HttpError(405, "use GET /healthz")
+                return 200, self.service.healthz()
+            if path == "/stats":
+                if method != "GET":
+                    raise HttpError(405, "use GET /stats")
+                return 200, self.service.stats()
+            if path == "/diversify":
+                if method != "POST":
+                    raise HttpError(405, "use POST /diversify")
+                response = await self.service.diversify(
+                    DiversifyRequest.from_dict(body or {})
+                )
+                return 200, response.to_dict()
+            if path == "/sweep":
+                if method != "POST":
+                    raise HttpError(405, "use POST /sweep")
+                data = dict(body or {})
+                ks = data.pop("ks", None)
+                lams = data.pop("lams", None)
+                request = DiversifyRequest.from_dict(data)
+                return 200, await self.service.sweep(request, ks=ks, lams=lams)
+            if path == "/delta":
+                if method != "POST":
+                    raise HttpError(405, "use POST /delta")
+                data = dict(body or {})
+                allowed = {
+                    "workload",
+                    "params",
+                    "events",
+                    "tenant",
+                    "k",
+                    "lam",
+                    "algorithm",
+                }
+                unknown = sorted(set(data) - allowed)
+                if unknown:
+                    raise HttpError(
+                        400, f"unknown key(s) {unknown} for /delta"
+                    )
+                workload = data.pop("workload", None)
+                if not isinstance(workload, str) or not workload:
+                    raise HttpError(400, "/delta needs a 'workload' name")
+                return 200, await self.service.delta(workload, **data)
+            raise HttpError(404, f"no route for {path!r}")
+        except HttpError:
+            raise
+        except (ApiError, ServiceError) as exc:
+            return 400, {"error": str(exc)}
+        except RegistryError as exc:
+            return 404, {"error": str(exc)}
+        except QuotaError as exc:
+            return 429, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive 500
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+
+async def serve(
+    service: DiversificationService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+) -> None:
+    """Boot a server and serve until cancelled (the ``repro serve`` CLI
+    entry point)."""
+    server = ServiceServer(
+        service if service is not None else DiversificationService(),
+        host=host,
+        port=port,
+    )
+    await server.start()
+    await server.serve_forever()

@@ -1,0 +1,90 @@
+"""Per-endpoint latency telemetry for the serving layer.
+
+One :class:`LatencyHistogram` per endpoint, windowed over the most
+recent samples (a fixed-size deque, so memory stays bounded on a
+long-lived process) with lifetime count/total kept separately.  The
+``/stats`` endpoint reports each endpoint's p50/p95/p99 and mean over
+the window — the shape dashboards and smoke tests assert on.
+
+Percentiles use the nearest-rank method on the sorted window: p-th
+percentile = the ``ceil(p/100 · n)``-th smallest sample.  With a small
+window this is deliberately simple and allocation-light; a serving
+fleet wanting exact long-horizon quantiles would ship these windows to
+an aggregator instead.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any
+
+#: Samples retained per endpoint (the percentile window).
+DEFAULT_WINDOW = 2048
+
+
+class LatencyHistogram:
+    """A windowed latency reservoir with nearest-rank percentiles."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples_ms: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total_ms = 0.0
+
+    def record(self, seconds: float) -> None:
+        ms = float(seconds) * 1000.0
+        self._samples_ms.append(ms)
+        self.count += 1
+        self.total_ms += ms
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile over the current window, in ms
+        (None while empty)."""
+        if not self._samples_ms:
+            return None
+        ordered = sorted(self._samples_ms)
+        rank = max(1, math.ceil((p / 100.0) * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    @property
+    def mean_ms(self) -> float | None:
+        return self.total_ms / self.count if self.count else None
+
+    def summary(self) -> dict[str, Any]:
+        def _round(value: float | None) -> float | None:
+            return None if value is None else round(value, 3)
+
+        return {
+            "count": self.count,
+            "mean_ms": _round(self.mean_ms),
+            "p50_ms": _round(self.percentile(50)),
+            "p95_ms": _round(self.percentile(95)),
+            "p99_ms": _round(self.percentile(99)),
+        }
+
+
+class EndpointTelemetry:
+    """Latency histograms keyed by endpoint name (created on first
+    record), rendered as one ``/stats`` sub-object."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self.window = window
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def record(self, endpoint: str, seconds: float) -> None:
+        histogram = self._histograms.get(endpoint)
+        if histogram is None:
+            histogram = self._histograms[endpoint] = LatencyHistogram(self.window)
+        histogram.record(seconds)
+
+    def histogram(self, endpoint: str) -> LatencyHistogram | None:
+        return self._histograms.get(endpoint)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            endpoint: histogram.summary()
+            for endpoint, histogram in sorted(self._histograms.items())
+        }

@@ -221,3 +221,88 @@ class TestEngineDispatch:
         out = capsys.readouterr().out
         assert "no 99-subset" in out
         assert "backend=n/a" in out
+
+
+class TestJsonOutput:
+    """The --json flag emits the DiversifyResponse wire form."""
+
+    BASE = [
+        "diversify",
+        "--query", "Q(X, C, S) :- items(X, C, S)",
+        "-k", "3",
+        "--relevance-attr", "S",
+        "--json",
+    ]
+
+    def test_json_payload_round_trips(self, db_json, capsys):
+        from repro.api import DiversifyResponse
+
+        code = main(self.BASE + ["--db", db_json])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        response = DiversifyResponse.from_dict(payload)
+        assert response.feasible is True
+        assert len(response.rows) == 3
+        assert len(response.indices) == 3
+        assert response.value is not None
+
+    def test_json_with_cache_stats(self, db_json, capsys):
+        code = main(self.BASE + ["--db", db_json, "--cache-stats"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel_cache"]["lookups"] >= 1
+
+    def test_json_infeasible(self, db_json, capsys):
+        code = main(self.BASE[:3] + ["-k", "99", "--db", db_json, "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is False
+        assert payload["rows"] is None
+
+
+class TestSharedEngineFlags:
+    """diversify and serve share one EngineConfig flag set."""
+
+    BASE = [
+        "diversify",
+        "--query", "Q(X, C, S) :- items(X, C, S)",
+        "-k", "2",
+        "--relevance-attr", "S",
+    ]
+
+    def test_storage_flags_route_through_config(self, db_json, capsys):
+        code = main(
+            self.BASE
+            + ["--db", db_json, "--storage", "tiled", "--dtype", "float32",
+               "--workers", "2"]
+        )
+        assert code == 0
+        assert "F = " in capsys.readouterr().out
+
+    def test_invalid_combination_rejected(self, db_json, capsys):
+        code = main(
+            self.BASE + ["--db", db_json, "--storage", "dense", "--dtype",
+                         "float32"]
+        )
+        assert code == 2
+        assert "float64-only" in capsys.readouterr().err
+
+    def test_serve_parser_accepts_engine_flags(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--storage", "tiled", "--workers", "2",
+             "--result-ttl", "5", "--no-coalesce"]
+        )
+        assert args.storage == "tiled"
+        assert args.workers == 2
+        assert args.result_ttl == 5.0
+        assert args.no_coalesce is True
+        assert args.func.__name__ == "_cmd_serve"
+
+    def test_env_config_layering(self, db_json, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORAGE", "tiled")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        code = main(self.BASE + ["--db", db_json, "--cache-stats"])
+        assert code == 0
+        assert "F = " in capsys.readouterr().out
