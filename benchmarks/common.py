@@ -282,6 +282,59 @@ def render_storage_report(
 
 
 @dataclass
+class SketchBenchRecord:
+    """One sketched-vs-full-matrix measurement from ``bench_sketch.py``.
+
+    ``config`` names the kernel plan (``dense-f64``, ``tiled-f64``,
+    ``sketched``); ``seconds`` covers build **plus** the greedy F_MS
+    selection (the sketched plan never materializes a matrix, so build
+    alone would flatter it) and ``peak_bytes`` the tracemalloc peak over
+    that cold build+select.  ``peak_ratio`` is relative to dense-f64 at
+    the same ``(n, backend)`` (NaN when dense is out of reach at this
+    n); ``quality`` is the achieved fraction of the exact marginal-
+    greedy F_MS (1.0 for the exact configs); ``columns`` is the sketch
+    width m (0 for full-matrix configs).
+    """
+
+    scenario: str
+    config: str
+    n: int
+    backend: str
+    columns: int
+    seconds: float
+    peak_bytes: int
+    peak_ratio: float
+    quality: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def render_sketch_report(
+    records: "list[SketchBenchRecord]",
+    title: str = "sketched selection: memory and quality",
+) -> str:
+    """An aligned text table of sketch benchmark records."""
+    header = ("scenario", "config", "n", "backend", "m",
+              "build+select [s]", "peak [MiB]", "peak ratio", "quality")
+    body = [
+        (
+            r.scenario,
+            r.config,
+            str(r.n),
+            r.backend,
+            str(r.columns) if r.columns else "-",
+            f"{r.seconds:.4f}",
+            f"{r.peak_bytes / (1024 * 1024):.1f}",
+            f"{r.peak_ratio:.3f}" if r.peak_ratio == r.peak_ratio else "n/a",
+            f"{r.quality:.4f}",
+        )
+        for r in records
+    ]
+    return _render_table(title, header, body)
+
+
+@dataclass
 class HeuristicsBenchRecord:
     """One heuristic-vs-exact measurement from ``bench_heuristics.py``.
 

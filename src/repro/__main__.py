@@ -30,7 +30,8 @@ Commands:
 Both ``diversify`` and ``serve`` share one engine-policy flag set
 (:func:`repro.api.add_engine_config_args`: ``--storage`` / ``--dtype``
 / ``--workers`` / ``--block-size`` / ``--cache-size`` /
-``--patch-threshold``), layered over ``REPRO_*`` environment variables
+``--patch-threshold`` / ``--sketch-columns`` / ``--landmarks`` /
+``--approx``), layered over ``REPRO_*`` environment variables
 (:meth:`repro.api.EngineConfig.from_env`).  Any non-default policy
 routes through a dedicated engine memoized on the
 :class:`~repro.api.EngineConfig`, so repeated invocations still reuse
@@ -42,7 +43,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import replace
 from pathlib import Path
 
 
@@ -183,23 +183,15 @@ _CLI_ENGINES_MAX = 4
 
 def _config_for(args: argparse.Namespace):
     """The engine policy for this invocation: dataclass defaults,
-    layered under ``REPRO_*`` env vars, layered under explicit flags."""
-    from .api import EngineConfig
-    from .engine.kernel import DEFAULT_BLOCK_SIZE
+    layered under ``REPRO_*`` env vars, layered under explicit flags.
 
-    config = EngineConfig.from_args(args, base=EngineConfig.from_env())
-    # Normalize explicitly-passed default-equivalent knobs to None so
-    # e.g. `--storage dense` alone still shares the process-wide engine
-    # (and its kernel cache) instead of splitting into a second one.
-    return replace(
-        config,
-        storage=config.storage if config.storage != "dense" else None,
-        dtype=config.dtype if config.dtype != "float64" else None,
-        workers=config.workers if config.workers != 1 else None,
-        block_size=config.block_size
-        if config.block_size != DEFAULT_BLOCK_SIZE
-        else None,
-    )
+    Canonicalized (:meth:`EngineConfig.canonical`) so explicitly-passed
+    default-equivalent knobs — e.g. ``--storage dense`` alone — still
+    share the process-wide engine (and its kernel cache) instead of
+    splitting into a second one keyed on the spelling."""
+    from .api import EngineConfig
+
+    return EngineConfig.from_args(args, base=EngineConfig.from_env()).canonical()
 
 
 def _engine_for(args: argparse.Namespace):
@@ -307,6 +299,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
             max_concurrent=args.max_concurrent,
             max_k=args.max_k,
+            approx_over=args.approx_over,
         )
     )
 
@@ -442,6 +435,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1000,
         metavar="K",
         help="per-request k ceiling (quota, HTTP 429)",
+    )
+    s.add_argument(
+        "--approx-over",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admit answer sets larger than N to the sketched "
+        "approximate path (with certificate) instead of rejecting them",
     )
     add_engine_config_args(s)
     s.set_defaults(func=_cmd_serve)

@@ -3,7 +3,9 @@
 Every algorithm is an index-based selector over a
 :class:`~repro.engine.kernel.ScoringKernel` (the ``select_*`` names);
 the row-returning signatures are thin adapters kept for the original
-API (see :mod:`repro.algorithms.substrate`).
+API (see :mod:`repro.algorithms.substrate`).  Selectors declare their
+kernel data-access needs (:class:`~repro.algorithms.substrate.KernelAccess`);
+the sketched and streaming selectors run below full-matrix access.
 """
 
 from .exact import (
@@ -30,13 +32,30 @@ from .incremental import (
 )
 from .local_search import local_search, select_local_search
 from .mmr import mmr_select, select_mmr
+from .sketched import (
+    select_sketched_marginal_max_sum,
+    select_sketched_max_min,
+    select_sketched_mmr,
+)
+from .streaming import StreamingGreedySelector, select_streaming_greedy
+from .substrate import (
+    ApproxCertificate,
+    KernelAccess,
+    SelectionResult,
+    declares_access,
+    resolve_access,
+)
 
 __all__ = [
+    "ApproxCertificate",
     "EarlyTerminationResult",
+    "KernelAccess",
+    "SelectionResult",
+    "StreamingGreedySelector",
     "best_modular",
-    "early_termination_top_k",
-    "streaming_qrd",
     "branch_and_bound_max_sum",
+    "declares_access",
+    "early_termination_top_k",
     "exhaustive_best",
     "greedy_marginal_max_sum",
     "greedy_max_min",
@@ -44,6 +63,7 @@ __all__ = [
     "local_search",
     "mmr_select",
     "optimal_value",
+    "resolve_access",
     "select_best_modular",
     "select_branch_and_bound_max_sum",
     "select_exhaustive",
@@ -52,4 +72,9 @@ __all__ = [
     "select_greedy_max_sum",
     "select_local_search",
     "select_mmr",
+    "select_sketched_marginal_max_sum",
+    "select_sketched_max_min",
+    "select_sketched_mmr",
+    "select_streaming_greedy",
+    "streaming_qrd",
 ]

@@ -120,12 +120,16 @@ class EngineConfig:
     :class:`~repro.engine.engine.DiversificationEngine`:
 
     * ``storage`` — kernel distance-matrix layout (``"dense"`` default /
-      ``"tiled"``); ``dtype`` — at-rest tile dtype (tiled only);
-      ``workers`` — thread-pool width for parallel tile builds;
-      ``block_size`` — rows per tile of the blocked construction;
+      ``"tiled"`` / ``"sketched"``); ``dtype`` — at-rest tile dtype
+      (tiled only); ``workers`` — thread-pool width for parallel tile
+      builds; ``block_size`` — rows per tile of the blocked construction;
     * ``patch_threshold`` — largest stale-kernel delta (fraction of n)
       that is patched in place rather than rebuilt;
-    * ``cache_size`` — LRU bound on live kernels per engine.
+    * ``cache_size`` — LRU bound on live kernels per engine;
+    * ``sketch_columns`` / ``landmarks`` — the sketched-storage plan
+      (landmark column count and placement strategy; sketched-only);
+    * ``approx`` — opt into the sketched approximate selectors.  Exact
+      paths never route through approximation without this flag.
 
     ``None`` means "engine default" for the storage-policy knobs, so
     ``EngineConfig()`` is the historical default engine.
@@ -137,6 +141,9 @@ class EngineConfig:
     block_size: int | None = None
     patch_threshold: float = 0.5
     cache_size: int = 8
+    sketch_columns: int | None = None
+    landmarks: str | None = None
+    approx: bool = False
 
     def validate(self) -> "EngineConfig":
         """Check the knob combination; raises :class:`ApiError`.
@@ -180,7 +187,66 @@ class EngineConfig:
                 "dense storage builds serially; pass storage='tiled' with "
                 f"workers={self.workers}"
             )
+        if (self.dtype or "float64") != "float64" and self.storage == "sketched":
+            raise ApiError(
+                "sketched storage keeps exact float64 landmark columns; "
+                f"dtype={self.dtype!r} is tiled-only"
+            )
+        if self.sketch_columns is not None:
+            if self.storage != "sketched":
+                raise ApiError(
+                    "sketch_columns only applies to storage='sketched', "
+                    f"got storage={self.storage!r}"
+                )
+            if self.sketch_columns < 2:
+                raise ApiError(
+                    f"sketch_columns must be >= 2, got {self.sketch_columns}"
+                )
+        if self.landmarks is not None:
+            from .core.providers import LANDMARK_STRATEGIES
+
+            if self.storage != "sketched":
+                raise ApiError(
+                    "landmarks only applies to storage='sketched', "
+                    f"got storage={self.storage!r}"
+                )
+            if self.landmarks not in LANDMARK_STRATEGIES:
+                raise ApiError(
+                    f"unknown landmark strategy {self.landmarks!r}; "
+                    f"choose one of {LANDMARK_STRATEGIES}"
+                )
+        if self.approx and self.storage != "sketched":
+            raise ApiError(
+                "approx selection runs over a sketch plan; pass "
+                "storage='sketched' (optionally with sketch_columns/landmarks)"
+            )
         return self
+
+    def canonical(self) -> "EngineConfig":
+        """This config with default-equivalent knobs normalized away.
+
+        ``storage="dense"``, ``dtype="float64"``, ``workers=1``,
+        ``block_size=DEFAULT_BLOCK_SIZE`` and ``landmarks="uniform"``
+        each spell the engine default explicitly; the engine treats them
+        identically to ``None``.  Canonicalizing maps both spellings to
+        one frozen value, so every memo keyed on a config — the CLI's
+        per-config engine table, equality against ``EngineConfig()`` —
+        sees one identity per *behavior* rather than per spelling.
+        """
+        from .engine.kernel import DEFAULT_BLOCK_SIZE
+
+        overrides: dict[str, Any] = {}
+        if self.storage == "dense":
+            overrides["storage"] = None
+        if self.dtype == "float64":
+            overrides["dtype"] = None
+        if self.workers == 1:
+            overrides["workers"] = None
+        if self.block_size == DEFAULT_BLOCK_SIZE:
+            overrides["block_size"] = None
+        if self.landmarks == "uniform":
+            overrides["landmarks"] = None
+        return replace(self, **overrides) if overrides else self
 
     # -- construction helpers ---------------------------------------------
 
@@ -197,7 +263,8 @@ class EngineConfig:
         overrides = {
             name: value
             for name in ("storage", "dtype", "workers", "block_size",
-                         "patch_threshold", "cache_size")
+                         "patch_threshold", "cache_size",
+                         "sketch_columns", "landmarks", "approx")
             if (value := getattr(args, name, None)) is not None
         }
         return replace(config, **overrides)
@@ -209,15 +276,28 @@ class EngineConfig:
         """The config selected by ``REPRO_<FIELD>`` environment
         variables (``REPRO_STORAGE``, ``REPRO_DTYPE``, ``REPRO_WORKERS``,
         ``REPRO_BLOCK_SIZE``, ``REPRO_PATCH_THRESHOLD``,
-        ``REPRO_CACHE_SIZE``) — the deployment-facing twin of
-        :meth:`from_args`."""
+        ``REPRO_CACHE_SIZE``, ``REPRO_SKETCH_COLUMNS``,
+        ``REPRO_LANDMARKS``, ``REPRO_APPROX``) — the deployment-facing
+        twin of :meth:`from_args`."""
         env = os.environ if environ is None else environ
         overrides: dict[str, Any] = {}
         for spec in fields(cls):
             raw = env.get(f"REPRO_{spec.name.upper()}")
             if raw is None or raw == "":
                 continue
-            if spec.name in ("workers", "block_size", "cache_size"):
+            if spec.name == "approx":
+                lowered = raw.strip().lower()
+                if lowered in ("1", "true", "yes", "on"):
+                    overrides[spec.name] = True
+                elif lowered in ("0", "false", "no", "off"):
+                    overrides[spec.name] = False
+                else:
+                    raise ApiError(
+                        f"REPRO_APPROX must be a boolean, got {raw!r}"
+                    )
+            elif spec.name in (
+                "workers", "block_size", "cache_size", "sketch_columns"
+            ):
                 try:
                     overrides[spec.name] = int(raw)
                 except ValueError:
@@ -254,11 +334,13 @@ def add_engine_config_args(parser: "argparse.ArgumentParser") -> None:
     """
     parser.add_argument(
         "--storage",
-        choices=["dense", "tiled"],
+        choices=["dense", "tiled", "sketched"],
         default=None,
         help="kernel distance-matrix layout: dense (one contiguous "
-        "float64 matrix, default) or tiled (lazy block grid; removes "
-        "the O(n^2) contiguous-allocation ceiling)",
+        "float64 matrix, default), tiled (lazy block grid; removes "
+        "the O(n^2) contiguous-allocation ceiling), or sketched "
+        "(m landmark distance columns, m << n; sub-quadratic plan "
+        "for the --approx selectors)",
     )
     parser.add_argument(
         "--dtype",
@@ -295,6 +377,29 @@ def add_engine_config_args(parser: "argparse.ArgumentParser") -> None:
         metavar="FRAC",
         help="largest stale-kernel delta (fraction of n) patched in "
         "place instead of rebuilt (default 0.5; 0 disables patching)",
+    )
+    parser.add_argument(
+        "--sketch-columns",
+        type=int,
+        default=None,
+        metavar="M",
+        help="landmark distance columns of the sketched plan "
+        "(>= 2; default max(16, sqrt(n)); --storage sketched only)",
+    )
+    parser.add_argument(
+        "--landmarks",
+        choices=["uniform", "relevance", "farthest"],
+        default=None,
+        help="landmark placement strategy of the sketched plan "
+        "(default uniform; --storage sketched only)",
+    )
+    parser.add_argument(
+        "--approx",
+        action="store_const",
+        const=True,
+        default=None,
+        help="opt into the sketched approximate selectors (requires "
+        "--storage sketched); results carry a lower/upper certificate",
     )
 
 
@@ -458,6 +563,11 @@ class DiversifyResponse:
     awaited an identical in-flight request), or ``"cached"`` (served
     from the TTL result cache).  ``feasible`` is False when no size-k
     candidate set exists (value/indices/rows are then None).
+
+    ``certificate`` is the wire form of an
+    :class:`~repro.algorithms.substrate.ApproxCertificate` when the
+    result came off an approximate (sketched/streamed) path, else None —
+    exact serves never carry one.
     """
 
     feasible: bool
@@ -469,6 +579,7 @@ class DiversifyResponse:
     kernel_reused: bool = False
     cache: str = "computed"
     elapsed_ms: float | None = None
+    certificate: Mapping[str, Any] | None = None
 
     @classmethod
     def from_result(
@@ -489,6 +600,7 @@ class DiversifyResponse:
                 cache=cache,
                 elapsed_ms=elapsed_ms,
             )
+        certificate = getattr(result, "certificate", None)
         return cls(
             feasible=True,
             value=result.value,
@@ -499,6 +611,7 @@ class DiversifyResponse:
             kernel_reused=result.kernel_reused,
             cache=cache,
             elapsed_ms=elapsed_ms,
+            certificate=certificate.to_dict() if certificate is not None else None,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -515,6 +628,9 @@ class DiversifyResponse:
             "kernel_reused": self.kernel_reused,
             "cache": self.cache,
             "elapsed_ms": json_float(self.elapsed_ms),
+            "certificate": dict(self.certificate)
+            if self.certificate is not None
+            else None,
         }
 
     @classmethod
@@ -531,6 +647,7 @@ class DiversifyResponse:
                 "kernel_reused",
                 "cache",
                 "elapsed_ms",
+                "certificate",
             },
             "DiversifyResponse",
         )
@@ -559,6 +676,7 @@ class DiversifyResponse:
             kernel_reused=bool(data.get("kernel_reused", False)),
             cache=cache,
             elapsed_ms=data.get("elapsed_ms"),
+            certificate=data.get("certificate"),
         )
 
 

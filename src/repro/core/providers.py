@@ -69,7 +69,11 @@ __all__ = [
     "MismatchMetric",
     "provider_for",
     "resolve_metric",
+    "LANDMARK_STRATEGIES",
 ]
+
+#: Recognized landmark-selection strategies for distance sketches.
+LANDMARK_STRATEGIES = ("uniform", "relevance", "farthest")
 
 
 class ProviderError(ValueError):
@@ -152,6 +156,74 @@ class ScoringProvider:
         if use_numpy:
             return _np.asarray(block, dtype=_np.float64).reshape(len(rows_a), len(rows_b))
         return block
+
+    # -- landmark sampling -------------------------------------------------
+
+    def select_landmarks(
+        self,
+        rows: Sequence[Row],
+        relevance: Sequence[float],
+        m: int,
+        strategy: str = "uniform",
+        use_numpy: bool = False,
+    ) -> list[int]:
+        """``m`` landmark row positions for a distance sketch.
+
+        The hook providers may override (e.g. a feature-space provider
+        could cluster its feature matrix); the default implements the
+        three named strategies, all deterministic (no RNG — repeated
+        builds of the same snapshot pick the same landmarks):
+
+        * ``uniform`` — evenly spaced snapshot positions;
+        * ``relevance`` — evenly spaced *ranks* of the relevance
+          ordering, so landmarks stratify the relevance range instead of
+          the storage order;
+        * ``farthest`` — greedy k-center: seed at the most relevant row,
+          then repeatedly add the row farthest (by min distance) from
+          the chosen set.  O(m·n) provider distance calls.
+        """
+        n = len(rows)
+        if strategy not in LANDMARK_STRATEGIES:
+            raise ProviderError(
+                f"unknown landmark strategy {strategy!r}; choose one of "
+                f"{LANDMARK_STRATEGIES}"
+            )
+        if m < 2:
+            raise ProviderError(f"need at least 2 landmarks, got {m}")
+        if m >= n:
+            return list(range(n))
+        if strategy == "uniform":
+            return [(i * n) // m for i in range(m)]
+        if strategy == "relevance":
+            ranked = sorted(range(n), key=lambda i: (-relevance[i], i))
+            return sorted(ranked[(i * n) // m] for i in range(m))
+        # farthest: greedy k-center, seeded at the most relevant row.
+        seed = max(range(n), key=lambda i: (relevance[i], -i))
+        chosen = [seed]
+        column = self.distance_block(rows, [rows[seed]], use_numpy=use_numpy)
+        if use_numpy:
+            min_dist = _np.asarray(column, dtype=_np.float64).reshape(n)
+        else:
+            min_dist = [float(row[0]) for row in column]
+        while len(chosen) < m:
+            if use_numpy:
+                nxt = int(_np.argmax(min_dist))
+            else:
+                nxt = max(range(n), key=lambda i: (min_dist[i], -i))
+            chosen.append(nxt)
+            column = self.distance_block(rows, [rows[nxt]], use_numpy=use_numpy)
+            if use_numpy:
+                _np.minimum(
+                    min_dist,
+                    _np.asarray(column, dtype=_np.float64).reshape(n),
+                    out=min_dist,
+                )
+            else:
+                for i, row in enumerate(column):
+                    value = float(row[0])
+                    if value < min_dist[i]:
+                        min_dist[i] = value
+        return chosen
 
     # -- derived scalar callables -----------------------------------------
 

@@ -34,6 +34,14 @@ built on first touch, optionally in parallel (``workers=``), optionally
 float32 at rest (``dtype=``) — selected by the ``storage``/``dtype``/
 ``workers`` knobs on :class:`ScoringKernel`, :func:`kernel_for_instance`
 and :class:`DiversificationEngine`.
+
+Whether a matrix is needed *at all* is negotiated: selectors declare a
+:class:`~repro.algorithms.substrate.KernelAccess` level, and kernels
+planned below ``FULL_MATRIX`` defer materialization.
+``storage="sketched"`` (:class:`SketchedStorage`) keeps only m landmark
+distance columns for the ``--approx`` selectors — the sub-quadratic
+plan; exact reads against a sketched kernel fall back to a lazy tiled
+grid, so nothing is ever approximated without opting in.
 """
 
 from .engine import (
@@ -60,6 +68,7 @@ from .storage import (
     STORAGE_KINDS,
     DenseStorage,
     KernelStorage,
+    SketchedStorage,
     StorageError,
     TiledStorage,
 )
@@ -79,6 +88,7 @@ __all__ = [
     "STORAGE_DTYPES",
     "STORAGE_KINDS",
     "ScoringKernel",
+    "SketchedStorage",
     "StorageError",
     "TiledStorage",
     "auto_algorithm",

@@ -40,6 +40,16 @@ from ..algorithms.greedy import (
 )
 from ..algorithms.local_search import local_search
 from ..algorithms.mmr import mmr_select
+from ..algorithms.sketched import (
+    select_sketched_marginal_max_sum,
+    select_sketched_max_min,
+    select_sketched_mmr,
+)
+from ..algorithms.substrate import (
+    ApproxCertificate,
+    KernelAccess,
+    resolve_access,
+)
 from ..api import (
     DiversifyRequest,
     EngineConfig,
@@ -74,12 +84,21 @@ def modular_top_k(
     return best_modular(instance, kernel)
 
 
+modular_top_k.kernel_access = best_modular.kernel_access
+
+
 def _mmr(instance, kernel=None):
     return mmr_select(instance, kernel=kernel)
 
 
+_mmr.kernel_access = mmr_select.kernel_access
+
+
 def _local_search(instance, kernel=None):
     return local_search(instance, kernel=kernel)
+
+
+_local_search.kernel_access = local_search.kernel_access
 
 
 ALGORITHMS: dict[
@@ -96,6 +115,21 @@ ALGORITHMS: dict[
     # through the same cached-kernel path.
     "exhaustive": exhaustive_best,
     "branch_and_bound_max_sum": branch_and_bound_max_sum,
+}
+
+#: The sketched (SAMPLED_COLUMNS) counterpart of each approximable
+#: exact selector.  ``run()`` dispatches here only when the engine
+#: config opted in (``approx=True``), the objective actually reads
+#: distances (λ > 0 — at λ = 0 the exact path is already sub-quadratic)
+#: and the instance carries no constraints (the sketched loops are
+#: unconstrained).  Both greedy F_MS spellings map to the marginal
+#: sketched loop: pair-greedy's per-pick pair scan is exactly what the
+#: sketch removes.
+_SKETCHED_SELECTORS: dict[str, Callable] = {
+    "greedy_max_sum": select_sketched_marginal_max_sum,
+    "greedy_marginal_max_sum": select_sketched_marginal_max_sum,
+    "mmr": select_sketched_mmr,
+    "greedy_max_min": select_sketched_max_min,
 }
 
 
@@ -176,6 +210,11 @@ class EngineResult:
     materialized ``Q(D)`` (first occurrence under duplicated rows) —
     the stable, order-preserving identity the serialized form carries
     alongside the rows themselves.
+
+    ``certificate`` is non-None exactly when the result came off an
+    approximate (sketched) path: ``value`` is still the exact objective
+    of the returned rows, and the certificate brackets it with the
+    sketch's lower/upper-bound evaluations.
     """
 
     value: float
@@ -184,6 +223,7 @@ class EngineResult:
     kernel_reused: bool
     backend: str
     indices: tuple[int, ...] | None = None
+    certificate: ApproxCertificate | None = None
 
     def to_dict(self) -> dict:
         """Strict-JSON form (NaN → null); inverse of :meth:`from_dict`."""
@@ -194,12 +234,16 @@ class EngineResult:
             "algorithm": self.algorithm,
             "kernel_reused": self.kernel_reused,
             "backend": self.backend,
+            "certificate": self.certificate.to_dict()
+            if self.certificate is not None
+            else None,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "EngineResult":
         """Rebuild a result from :meth:`to_dict` output (null → NaN)."""
         indices = data.get("indices")
+        certificate = data.get("certificate")
         return cls(
             value=float_from_json(data["value"]),
             rows=tuple(row_from_dict(row) for row in data["rows"]),
@@ -207,6 +251,9 @@ class EngineResult:
             kernel_reused=bool(data.get("kernel_reused", False)),
             backend=data["backend"],
             indices=tuple(indices) if indices is not None else None,
+            certificate=ApproxCertificate.from_dict(certificate)
+            if certificate is not None
+            else None,
         )
 
 
@@ -326,7 +373,11 @@ class DiversificationEngine:
             id(objective.distance),
         )
 
-    def kernel_for(self, instance: DiversificationInstance) -> ScoringKernel:
+    def kernel_for(
+        self,
+        instance: DiversificationInstance,
+        access: str | None = None,
+    ) -> ScoringKernel:
         """The cached kernel for this instance's materialization, built
         on first use.  Cached kernels hold strong references to their
         query/db/function objects, so the ``id``-based key cannot be
@@ -338,7 +389,15 @@ class DiversificationEngine:
         within ``patch_threshold`` is **patched** in place
         (:meth:`ScoringKernel.apply_delta`, O(n·|Δ|)) rather than
         rebuilt; beyond the threshold it is rebuilt and the displaced
-        snapshot is accounted in ``stats.stale_rebuilds``."""
+        snapshot is accounted in ``stats.stale_rebuilds``.
+
+        ``access`` is the requesting selector's declared
+        :class:`~repro.algorithms.substrate.KernelAccess` level; a fresh
+        build below ``FULL_MATRIX`` defers matrix materialization (the
+        kernel still materializes lazily if a full-matrix consumer later
+        shares it from the cache, so sharing across access levels is
+        always sound — deferral only shifts *when* storage fills, never
+        which floats it holds)."""
         key = self._cache_key(instance)
         kernel = self._cache.get(key)
         if kernel is not None and kernel.matches(instance):
@@ -358,6 +417,7 @@ class DiversificationEngine:
             instance,
             use_numpy=self.use_numpy,
             config=self.config,
+            access=access,
         )
         self._cache[key] = kernel
         self._cache.move_to_end(key)
@@ -431,7 +491,25 @@ class DiversificationEngine:
                 f"unknown algorithm {name!r}; choose one of {sorted(ALGORITHMS)}"
             ) from None
         reused_before = self.stats.hits + self.stats.patches
-        kernel = self.kernel_for(instance)
+        if self._use_approx(name, instance):
+            kernel = self.kernel_for(instance, access=KernelAccess.SAMPLED_COLUMNS)
+            selection = _SKETCHED_SELECTORS[name](
+                kernel, instance.objective, instance.k
+            )
+            if selection is None:
+                return None
+            return EngineResult(
+                value=float(selection.value),
+                rows=selection.rows,
+                algorithm=name,
+                kernel_reused=self.stats.hits + self.stats.patches > reused_before,
+                backend=kernel.backend,
+                indices=selection.indices,
+                certificate=selection.certificate,
+            )
+        kernel = self.kernel_for(
+            instance, access=resolve_access(func, instance.objective)
+        )
         result = func(instance, kernel)
         if result is None:
             return None
@@ -443,6 +521,19 @@ class DiversificationEngine:
             kernel_reused=self.stats.hits + self.stats.patches > reused_before,
             backend=kernel.backend,
             indices=tuple(kernel.index_of(row) for row in rows),
+        )
+
+    def _use_approx(self, name: str, instance: DiversificationInstance) -> bool:
+        """Whether this solve takes the sketched approximate path:
+        the config opted in, the algorithm has a sketched counterpart,
+        the objective reads distances (λ > 0 — relevance-only solves
+        are already matrix-free on the exact path), and the instance is
+        unconstrained."""
+        return (
+            self.config.approx
+            and name in _SKETCHED_SELECTORS
+            and instance.objective.lam > 0.0
+            and len(instance.constraints) == 0
         )
 
     def run_batch(

@@ -44,6 +44,7 @@ reports the same objective values as the direct path.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
@@ -54,9 +55,15 @@ from ..core.evaluator import (
     mono_item_score,
 )
 from ..core.objectives import Objective, ObjectiveError, ObjectiveKind
-from ..core.providers import provider_for
+from ..core.providers import LANDMARK_STRATEGIES, provider_for
 from ..relational.schema import Row, row_sort_key
-from .storage import STORAGE_DTYPES, STORAGE_KINDS, KernelStorage, make_storage
+from .storage import (
+    STORAGE_DTYPES,
+    STORAGE_KINDS,
+    KernelStorage,
+    SketchedStorage,
+    make_storage,
+)
 
 if TYPE_CHECKING:
     from ..core.instance import DiversificationInstance
@@ -121,12 +128,15 @@ class ScoringKernel:
         "storage_kind",
         "dtype",
         "workers",
+        "sketch_columns",
+        "landmarks",
         "answers",
         "n",
         "backend",
         "_index",
         "_rel",
         "_storage",
+        "_sketch",
         "_row_sums",
         "_item_scores_cache",
     )
@@ -140,6 +150,8 @@ class ScoringKernel:
         storage: str | None = None,
         dtype: str | None = None,
         workers: int | None = None,
+        sketch_columns: int | None = None,
+        landmarks: str | None = None,
     ):
         if use_numpy is None:
             use_numpy = _np is not None
@@ -176,6 +188,33 @@ class ScoringKernel:
                 "dense storage builds serially; use storage='tiled' for "
                 f"workers={workers}"
             )
+        if storage == "sketched" and dtype != "float64":
+            raise KernelError(
+                "sketched storage keeps its landmark columns (and the "
+                "tiled exact-read fallback) in float64; dtype="
+                f"{dtype!r} is not supported with storage='sketched'"
+            )
+        if sketch_columns is not None:
+            if storage != "sketched":
+                raise KernelError(
+                    "sketch_columns only applies to storage='sketched', "
+                    f"got storage={storage!r}"
+                )
+            if sketch_columns < 2:
+                raise KernelError(
+                    f"sketch_columns must be >= 2, got {sketch_columns}"
+                )
+        if landmarks is not None:
+            if storage != "sketched":
+                raise KernelError(
+                    "landmarks only applies to storage='sketched', "
+                    f"got storage={storage!r}"
+                )
+            if landmarks not in LANDMARK_STRATEGIES:
+                raise KernelError(
+                    f"unknown landmark strategy {landmarks!r}; choose one "
+                    f"of {LANDMARK_STRATEGIES}"
+                )
         objective = instance.objective
         self.query = instance.query
         self.db = instance.db
@@ -186,6 +225,8 @@ class ScoringKernel:
         self.storage_kind = storage
         self.dtype = dtype
         self.workers = workers
+        self.sketch_columns = sketch_columns
+        self.landmarks = landmarks
         self.answers: tuple[Row, ...] = tuple(instance.answers())
         self.n = len(self.answers)
         self._index = _first_occurrence_index(self.answers)
@@ -203,9 +244,13 @@ class ScoringKernel:
         # selection never reads one, and any later reader triggers
         # materialization transparently.  Tiled storage is additionally
         # lazy *within* the matrix: allocating it builds no tiles.
+        # Sketched kernels never build exact storage eagerly: the whole
+        # point of the plan is that the sketch absorbs the bulk reads
+        # and exact reads stay a lazily-tiled exception.
         self._storage: KernelStorage | None = None
+        self._sketch: SketchedStorage | None = None
         self._row_sums = None
-        if not defer_distances:
+        if not defer_distances and storage != "sketched":
             self._materialize_distances()
         self._item_scores_cache = {}
 
@@ -234,10 +279,14 @@ class ScoringKernel:
         Dense storage fills the whole matrix here (eager, the historical
         behaviour); tiled storage allocates an empty grid and scores
         tiles on first touch — :meth:`materialize_all` forces the full
-        build (in parallel when ``workers`` > 1).
+        build (in parallel when ``workers`` > 1).  Sketched kernels keep
+        their *exact* reads on a lazy tiled grid: only the tiles a
+        selector actually touches (typically none) are ever scored, and
+        the landmark columns live in :meth:`sketch` instead.
         """
+        kind = "tiled" if self.storage_kind == "sketched" else self.storage_kind
         self._storage = make_storage(
-            self.storage_kind,
+            kind,
             self.n,
             self._build_distance_block,
             self.backend == "numpy",
@@ -272,6 +321,124 @@ class ScoringKernel:
         kernels build every remaining tile (through the ``workers``
         thread pool when configured)."""
         self._require_dist().ensure_all()
+
+    # -- sketched (landmark-column) access ---------------------------------
+
+    @property
+    def effective_sketch_columns(self) -> int:
+        """The landmark count m the sketch will use: the configured
+        ``sketch_columns``, else ``max(16, ⌊√n⌋)`` — O(n^1.5) total
+        sketch memory/scoring, ~1% of the dense matrix at n = 10,000 —
+        clamped to ``[2, n]``."""
+        m = self.sketch_columns
+        if m is None:
+            m = max(16, math.isqrt(max(self.n, 1)))
+        return max(2, min(self.n, m))
+
+    @property
+    def sketch_built(self) -> bool:
+        return self._sketch is not None
+
+    def sketch(self) -> SketchedStorage:
+        """The landmark-column distance sketch, built on first use.
+
+        Landmark positions come from the provider's
+        :meth:`~repro.core.providers.ScoringProvider.select_landmarks`
+        hook (strategy = the kernel's ``landmarks`` knob, default
+        ``uniform``), and the n×m columns are scored exactly through the
+        same ``distance_block`` calls a full build would make — just m
+        columns of them.  Any ``storage`` kind may ask for a sketch, but
+        only ``storage='sketched'`` kernels are *planned* around one.
+        """
+        if self._sketch is None:
+            use_numpy = self.backend == "numpy"
+            strategy = self.landmarks or "uniform"
+            positions = self.provider.select_landmarks(
+                self.answers,
+                [float(v) for v in self._rel],
+                self.effective_sketch_columns,
+                strategy=strategy,
+                use_numpy=use_numpy,
+            )
+            answers = self.answers
+            provider = self.provider
+
+            def columns_builder(a0: int, a1: int, landmark_positions):
+                return provider.distance_block(
+                    answers[a0:a1],
+                    [answers[p] for p in landmark_positions],
+                    use_numpy=use_numpy,
+                )
+
+            self._sketch = SketchedStorage.build(
+                self.n,
+                positions,
+                columns_builder,
+                use_numpy,
+                self.block_size,
+                strategy,
+            )
+        return self._sketch
+
+    def selected_value(self, indices: Sequence[int], objective: Objective) -> float:
+        """Exact ``F(U)`` for a small selected set **without touching the
+        full matrix**: the ≤ k chosen rows are re-scored through one
+        provider ``distance_block`` call (same floats the matrix holds),
+        so approximate selectors can report exact values at O(k²)
+        provider cost.  Falls back to :meth:`value` for modular
+        objectives, whose item scores may need full row sums anyway.
+        """
+        indices = list(indices)
+        if objective.kind not in (ObjectiveKind.MAX_SUM, ObjectiveKind.MAX_MIN):
+            return self.value(indices, objective)
+        lam = objective.lam
+        rows = [self.answers[i] for i in indices]
+        block = None
+        if lam > 0.0 and len(rows) > 1:
+            block = self.provider.distance_block(
+                rows, rows, use_numpy=self.backend == "numpy"
+            )
+
+        def rel_at(p: int) -> float:
+            return float(self._rel[indices[p]])
+
+        def dist_at(p: int, q: int) -> float:
+            if self.backend == "numpy":
+                return float(block[p, q])
+            return float(block[p][q])
+
+        local = list(range(len(indices)))
+        if objective.kind is ObjectiveKind.MAX_SUM:
+            return max_sum_value(local, lam, rel_at, dist_at)
+        return max_min_value(local, lam, rel_at, dist_at)
+
+    def sketch_value(
+        self,
+        indices: Sequence[int],
+        objective: Objective,
+        bound: str = "lower",
+    ) -> float:
+        """``F(U)`` evaluated with every pairwise distance replaced by
+        the sketch's ``bound`` ("lower" / "upper") — since F_MS and F_MM
+        are monotone non-decreasing in distances, these bracket the
+        exact value for any metric distance."""
+        indices = list(indices)
+        if objective.kind not in (ObjectiveKind.MAX_SUM, ObjectiveKind.MAX_MIN):
+            raise ObjectiveError(
+                f"sketch bounds are defined for max-sum/max-min, not "
+                f"{objective.kind.value}"
+            )
+        sketch = self.sketch()
+        bound_at = (
+            sketch.lower_bound if bound == "lower" else sketch.upper_bound
+        )
+
+        def dist_at(i: int, j: int) -> float:
+            return bound_at(i, j)
+
+        if objective.kind is ObjectiveKind.MAX_SUM:
+            return max_sum_value(indices, objective.lam, self.relevance_of, dist_at)
+        return max_min_value(indices, objective.lam, self.relevance_of, dist_at)
 
     @classmethod
     def from_instance(
@@ -462,10 +629,33 @@ class ScoringKernel:
                 old_of_new, new_positions, block, self._build_distance_block
             )
 
+        # A built sketch is patched the same way: surviving rows keep
+        # their landmark columns, deleted-landmark columns are dropped,
+        # and inserted rows are scored against the surviving landmarks
+        # (|Δ| × m provider calls).  If the delete leaves too few
+        # columns, remap returns None and the next sketch() rebuilds.
+        new_sketch = None
+        if self._sketch is not None:
+            provider = self.provider
+
+            def sketch_rows_builder(
+                row_positions, landmark_positions, _answers=new_answers
+            ):
+                return provider.distance_block(
+                    [_answers[p] for p in row_positions],
+                    [_answers[p] for p in landmark_positions],
+                    use_numpy=use_numpy,
+                )
+
+            new_sketch = self._sketch.remap(
+                old_of_new, new_positions, sketch_rows_builder
+            )
+
         self.answers = new_answers
         self.n = m
         self._rel = new_rel
         self._storage = new_storage
+        self._sketch = new_sketch
         self._index = _first_occurrence_index(new_answers)
         self._row_sums = None
         self._item_scores_cache = {}
@@ -714,29 +904,49 @@ def kernel_for_instance(
     dtype: str | None = None,
     workers: int | None = None,
     config=None,
+    access: str | None = None,
 ) -> ScoringKernel:
-    """Build a kernel sized to the instance's objective.
+    """Build a kernel sized to the instance's objective — and, when the
+    caller negotiated one, to the selector's declared data access.
 
     Relevance-only F_MS (λ = 0, Theorem 8.2) is solved from the
     relevance vector alone, so its kernel defers distance storage
     entirely; any consumer that does read a distance later pays the
-    materialization then.  Every non-engine entry point (the legacy
-    row-based algorithm signatures, the dispersion view) builds kernels
-    through here so the deferral policy lives in one place, and the
-    ``storage`` / ``dtype`` / ``workers`` policy knobs thread through
-    unchanged.  ``config`` (a :class:`repro.api.EngineConfig`) supplies
-    any knob not passed explicitly — the engine hands its whole policy
-    bundle through this parameter.
+    materialization then.  ``access`` (a
+    :class:`~repro.algorithms.substrate.KernelAccess` level, typically
+    resolved by the engine from the selector's declaration) extends that
+    policy uniformly: any level below ``FULL_MATRIX`` defers distance
+    storage, since the selector promised not to read the whole matrix —
+    deferral never changes *what* the storage holds once built, only
+    *when* it is built, so the exactness contract is untouched.  With
+    ``access=None`` (or ``FULL_MATRIX``) the historical behaviour is
+    preserved verbatim.
+
+    Every non-engine entry point (the legacy row-based algorithm
+    signatures, the dispersion view) builds kernels through here so the
+    deferral policy lives in one place, and the ``storage`` / ``dtype``
+    / ``workers`` / sketch policy knobs thread through unchanged.
+    ``config`` (a :class:`repro.api.EngineConfig`) supplies any knob not
+    passed explicitly — the engine hands its whole policy bundle through
+    this parameter.
     """
+    sketch_columns = None
+    landmarks = None
     if config is not None:
         block_size = block_size if block_size is not None else config.block_size
         storage = storage if storage is not None else config.storage
         dtype = dtype if dtype is not None else config.dtype
         workers = workers if workers is not None else config.workers
+        sketch_columns = getattr(config, "sketch_columns", None)
+        landmarks = getattr(config, "landmarks", None)
     objective = instance.objective
-    defer = (
-        objective.kind is ObjectiveKind.MAX_SUM and objective.relevance_only
-    )
+    defer = objective.kind is ObjectiveKind.MAX_SUM and objective.relevance_only
+    if access is not None:
+        from ..algorithms.substrate import KernelAccess
+
+        # Access-driven deferral is strictly monotone: it can only defer
+        # *more* than the historical policy, never materialize earlier.
+        defer = defer or not KernelAccess.requires_matrix(access)
     return ScoringKernel(
         instance,
         use_numpy=use_numpy,
@@ -745,4 +955,6 @@ def kernel_for_instance(
         storage=storage,
         dtype=dtype,
         workers=workers,
+        sketch_columns=sketch_columns,
+        landmarks=landmarks,
     )

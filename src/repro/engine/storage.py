@@ -56,13 +56,17 @@ __all__ = [
     "KernelStorage",
     "DenseStorage",
     "TiledStorage",
+    "SketchedStorage",
     "STORAGE_KINDS",
     "STORAGE_DTYPES",
     "make_storage",
 ]
 
-#: Recognized ``storage=`` spellings.
-STORAGE_KINDS = ("dense", "tiled")
+#: Recognized ``storage=`` spellings.  ``sketched`` is not a
+#: full-matrix :class:`KernelStorage` — it selects the landmark-column
+#: :class:`SketchedStorage` plan inside the kernel (exact reads fall
+#: back to a lazy tiled grid), so :func:`make_storage` rejects it.
+STORAGE_KINDS = ("dense", "tiled", "sketched")
 
 #: Recognized ``dtype=`` spellings (float32 is tiled-only).
 STORAGE_DTYPES = ("float64", "float32")
@@ -697,6 +701,196 @@ class TiledStorage(KernelStorage):
         )
 
 
+class SketchedStorage:
+    """m exact landmark distance columns (m ≪ n) — an O(n·m) sketch.
+
+    Not a :class:`KernelStorage`: it cannot answer arbitrary pairwise
+    reads exactly, so it lives *beside* the kernel's exact storage
+    rather than behind the same contract.  What it stores is the n×m
+    matrix ``C`` with ``C[i][l] = d(answers[i], answers[landmark_l])``
+    scored exactly through the provider.  For any metric distance the
+    triangle inequality then brackets every pairwise distance:
+
+        max_l |C[i][l] − C[j][l]|  ≤  d(i, j)  ≤  min_l (C[i][l] + C[j][l])
+
+    The approximate selectors greedily maximize the objective under the
+    *lower* bounds (an admissible surrogate for max-sum/max-min style
+    objectives, which are monotone in distances) and then score the
+    chosen ≤ k rows exactly, so the reported value is never an estimate
+    and the bound evaluations become the recorded
+    :class:`~repro.algorithms.substrate.ApproxCertificate`.
+
+    A landmark column is exact by construction: if ``j`` is landmark
+    ``l`` then the lower and upper bounds at column ``l`` both collapse
+    to ``C[i][l]`` itself.
+    """
+
+    kind = "sketched"
+    dtype = "float64"
+
+    __slots__ = ("n", "backend", "strategy", "landmark_positions", "_c")
+
+    def __init__(
+        self,
+        n: int,
+        landmark_positions: Sequence[int],
+        columns,
+        use_numpy: bool,
+        strategy: str,
+    ):
+        if len(landmark_positions) < 2:
+            raise StorageError(
+                "a distance sketch needs at least 2 landmark columns, "
+                f"got {len(landmark_positions)}"
+            )
+        self.n = n
+        self.backend = "numpy" if use_numpy else "python"
+        self.strategy = strategy
+        self.landmark_positions = tuple(landmark_positions)
+        if use_numpy:
+            self._c = _np.asarray(columns, dtype=_np.float64)
+        else:
+            self._c = [[float(v) for v in row] for row in columns]
+
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        landmark_positions: Sequence[int],
+        columns_builder: Callable[[int, int, Sequence[int]], object],
+        use_numpy: bool,
+        block_size: int,
+        strategy: str,
+    ) -> "SketchedStorage":
+        """Score the n×m landmark columns in row blocks.
+
+        ``columns_builder(a0, a1, landmarks)`` returns the provider
+        distance block of answer rows ``[a0:a1]`` against the landmark
+        rows — the kernel closes it over its snapshot.
+        """
+        landmarks = list(landmark_positions)
+        if use_numpy:
+            c = _np.empty((n, len(landmarks)), dtype=_np.float64)
+            for a0 in range(0, n, block_size):
+                a1 = min(a0 + block_size, n)
+                c[a0:a1, :] = _np.asarray(
+                    columns_builder(a0, a1, landmarks), dtype=_np.float64
+                )
+        else:
+            c = []
+            for a0 in range(0, n, block_size):
+                a1 = min(a0 + block_size, n)
+                for row in columns_builder(a0, a1, landmarks):
+                    c.append([float(v) for v in row])
+        return cls(n, landmarks, c, use_numpy, strategy)
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def columns(self) -> int:
+        return len(self.landmark_positions)
+
+    # -- bound reads (all O(m) per pair, O(n·m) per row) -------------------
+
+    def lower_bound(self, i: int, j: int) -> float:
+        if self.backend == "numpy":
+            return float(_np.max(_np.abs(self._c[i] - self._c[j])))
+        ci, cj = self._c[i], self._c[j]
+        return max(abs(a - b) for a, b in zip(ci, cj))
+
+    def upper_bound(self, i: int, j: int) -> float:
+        if self.backend == "numpy":
+            return float(_np.min(self._c[i] + self._c[j]))
+        ci, cj = self._c[i], self._c[j]
+        return min(a + b for a, b in zip(ci, cj))
+
+    def lower_bound_row(self, j: int):
+        """``lb[i] = max_l |C[i][l] − C[j][l]|`` for every i, as a fresh
+        float64 backend vector (the sketched analogue of
+        ``copy_row64``)."""
+        if self.backend == "numpy":
+            return _np.max(_np.abs(self._c - self._c[j]), axis=1)
+        cj = self._c[j]
+        return [
+            max(abs(a - b) for a, b in zip(ci, cj)) for ci in self._c
+        ]
+
+    def upper_bound_row(self, j: int):
+        """``ub[i] = min_l (C[i][l] + C[j][l])`` for every i."""
+        if self.backend == "numpy":
+            return _np.min(self._c + self._c[j], axis=1)
+        cj = self._c[j]
+        return [
+            min(a + b for a, b in zip(ci, cj)) for ci in self._c
+        ]
+
+    # -- delta maintenance ------------------------------------------------
+
+    def remap(
+        self,
+        old_of_new: Sequence[int],
+        new_positions: Sequence[int],
+        rows_builder: Callable[[Sequence[int], Sequence[int]], object],
+    ) -> "SketchedStorage | None":
+        """The sketch for a patched snapshot, or ``None`` when too few
+        landmark columns survive the delete (caller rebuilds lazily).
+
+        Kept rows keep their scored columns; columns whose landmark row
+        was deleted are dropped; inserted rows are scored against the
+        surviving landmarks via ``rows_builder(row_positions,
+        landmark_positions)`` over the *new* snapshot.
+        """
+        m = len(old_of_new)
+        new_pos_of_old = {
+            old: p for p, old in enumerate(old_of_new) if old >= 0
+        }
+        kept_cols = []
+        new_landmarks = []
+        for col, old_landmark in enumerate(self.landmark_positions):
+            new_pos = new_pos_of_old.get(old_landmark)
+            if new_pos is not None:
+                kept_cols.append(col)
+                new_landmarks.append(new_pos)
+        if len(kept_cols) < 2:
+            return None
+        use_numpy = self.backend == "numpy"
+        inserted = (
+            rows_builder(list(new_positions), new_landmarks)
+            if new_positions
+            else None
+        )
+        if use_numpy:
+            c = _np.zeros((m, len(kept_cols)), dtype=_np.float64)
+            kept_pos = [p for p, old in enumerate(old_of_new) if old >= 0]
+            if kept_pos:
+                old_idx = _np.asarray(
+                    [old_of_new[p] for p in kept_pos], dtype=_np.intp
+                )
+                c[_np.asarray(kept_pos, dtype=_np.intp), :] = self._c[
+                    _np.ix_(old_idx, _np.asarray(kept_cols, dtype=_np.intp))
+                ]
+            if new_positions:
+                c[_np.asarray(list(new_positions), dtype=_np.intp), :] = (
+                    _np.asarray(inserted, dtype=_np.float64)
+                )
+        else:
+            c = [[0.0] * len(kept_cols) for _ in range(m)]
+            for p, old in enumerate(old_of_new):
+                if old >= 0:
+                    old_row = self._c[old]
+                    c[p] = [old_row[col] for col in kept_cols]
+            if new_positions:
+                for block_row, p in zip(inserted, new_positions):
+                    c[p] = [float(v) for v in block_row]
+        return SketchedStorage(m, new_landmarks, c, use_numpy, self.strategy)
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchedStorage(n={self.n}, columns={self.columns}, "
+            f"backend={self.backend}, strategy={self.strategy})"
+        )
+
+
 def make_storage(
     kind: str,
     n: int,
@@ -718,6 +912,12 @@ def make_storage(
     if kind not in STORAGE_KINDS:
         raise StorageError(
             f"unknown storage kind {kind!r}; choose one of {STORAGE_KINDS}"
+        )
+    if kind == "sketched":
+        raise StorageError(
+            "storage='sketched' is a kernel plan, not a full-matrix "
+            "storage: the kernel pairs a SketchedStorage sidecar with a "
+            "lazy tiled grid for exact reads (see ScoringKernel.sketch)"
         )
     if dtype not in STORAGE_DTYPES:
         raise StorageError(

@@ -68,6 +68,16 @@ class ServiceConfig:
     simultaneously *computing* requests; ``max_k`` and ``max_answer_set``
     bound request size (``None`` = unlimited); ``max_sweep_cells`` caps
     a sweep's k × λ grid.
+
+    ``approx_over`` admits large answer sets to the **sketched** path
+    instead of rejecting them: a request whose materialized answer set
+    exceeds it runs on a per-tenant approximate engine (``storage=
+    "sketched"``, ``approx=True`` layered over ``engine``) and its
+    response carries the approximation certificate.  Requests routed
+    this way are exempt from ``max_answer_set`` — the quota exists to
+    keep O(n²) kernels out of the serving path, and the sketched plan
+    is O(n·m).  ``None`` (default) disables approximate admission;
+    exact serving behavior is unchanged.
     """
 
     engine: EngineConfig = field(default_factory=EngineConfig)
@@ -79,6 +89,7 @@ class ServiceConfig:
     max_k: int | None = 1000
     max_answer_set: int | None = None
     max_sweep_cells: int = 64
+    approx_over: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -91,6 +102,7 @@ class ServiceConfig:
             "max_k": self.max_k,
             "max_answer_set": self.max_answer_set,
             "max_sweep_cells": self.max_sweep_cells,
+            "approx_over": self.approx_over,
         }
 
 
@@ -113,6 +125,7 @@ class DiversificationService:
         )
         self.telemetry = EndpointTelemetry()
         self._engines: dict[str, DiversificationEngine] = {}
+        self._approx_engines: dict[str, DiversificationEngine] = {}
         self._locks: dict[str, asyncio.Lock] = {}
         self._active: dict[str, int] = {}
         self._inflight: dict[tuple, asyncio.Future] = {}
@@ -122,6 +135,8 @@ class DiversificationService:
         self.coalesced = 0
         self.computed = 0
         self.quota_rejections = 0
+        self.served_exact = 0
+        self.served_approx = 0
         self._started = clock()
 
     # -- tenants -----------------------------------------------------------
@@ -136,6 +151,27 @@ class DiversificationService:
             self._engines[tenant] = engine
             self._locks[tenant] = asyncio.Lock()
             self._active[tenant] = 0
+        return engine
+
+    def approx_engine_for(self, tenant: str) -> DiversificationEngine:
+        """The tenant's sketched-path engine for ``approx_over``
+        admissions: the shared engine config with ``storage="sketched"``
+        and ``approx=True`` layered on (dtype dropped — the sketch keeps
+        exact float64 columns).  A configured already-approximate engine
+        is reused as-is."""
+        base = self.config.engine
+        if base.approx:
+            return self.engine_for(tenant)
+        engine = self._approx_engines.get(tenant)
+        if engine is None:
+            self.engine_for(tenant)  # ensure the tenant lock exists
+            engine = DiversificationEngine(
+                algorithm=self.config.algorithm,
+                config=replace(
+                    base, storage="sketched", approx=True, dtype=None
+                ),
+            )
+            self._approx_engines[tenant] = engine
         return engine
 
     # -- request validation / resolution ----------------------------------
@@ -155,22 +191,43 @@ class DiversificationService:
             )
 
     def _resolve(self, request: DiversifyRequest):
+        """The concrete instance plus its serving path: ``(instance,
+        approx)`` where ``approx`` is True when the answer set crossed
+        ``approx_over`` and the request is admitted to the sketched
+        engine (exempt from ``max_answer_set``)."""
         if request.instance is not None:
             instance = request.resolve()
         else:
             handle = self.registry.handle(request.workload, request.params)
             instance = request.resolve(handle.base_instance())
+        count = instance.answer_count
+        approx = (
+            self.config.approx_over is not None
+            and count > self.config.approx_over
+        )
         if (
-            self.config.max_answer_set is not None
-            and instance.answer_count > self.config.max_answer_set
+            not approx
+            and self.config.max_answer_set is not None
+            and count > self.config.max_answer_set
         ):
             self.quota_rejections += 1
             raise QuotaError(
                 f"tenant {request.tenant!r}: answer set of "
-                f"{instance.answer_count} rows exceeds "
+                f"{count} rows exceeds "
                 f"max_answer_set={self.config.max_answer_set}"
             )
-        return instance
+        return instance, approx
+
+    def _count_serve(self, result) -> None:
+        """Tally one solved instance as exact or approximate.  Keyed on
+        the result's certificate, not the engine it ran on: a sketched
+        engine still solves λ = 0 / constrained instances exactly."""
+        if result is None:
+            return
+        if getattr(result, "certificate", None) is not None:
+            self.served_approx += 1
+        else:
+            self.served_exact += 1
 
     # -- the serving spine -------------------------------------------------
 
@@ -239,8 +296,10 @@ class DiversificationService:
         engine = self.engine_for(request.tenant)
 
         def compute() -> DiversifyResponse:
-            instance = self._resolve(request)
-            result = engine.run(instance, request.algorithm)
+            instance, approx = self._resolve(request)
+            eng = self.approx_engine_for(request.tenant) if approx else engine
+            result = eng.run(instance, request.algorithm)
+            self._count_serve(result)
             if result is not None:
                 self._selections[key] = result.rows
             return DiversifyResponse.from_result(result)
@@ -281,10 +340,13 @@ class DiversificationService:
         engine = self.engine_for(request.tenant)
 
         def compute() -> dict[str, Any]:
-            instance = self._resolve(request)
-            grid = engine.sweep(
+            instance, approx = self._resolve(request)
+            eng = self.approx_engine_for(request.tenant) if approx else engine
+            grid = eng.sweep(
                 instance, ks=k_grid, lams=lam_grid, algorithm=request.algorithm
             )
+            for _, _, result in grid:
+                self._count_serve(result)
             return {
                 "workload": request.workload,
                 "cells": [
@@ -361,7 +423,9 @@ class DiversificationService:
             }
             if request is None:
                 return payload
-            instance = self._resolve(request)
+            # The delta path repairs an *exact* cached kernel in place;
+            # approximate admission never applies here.
+            instance, _ = self._resolve(request)
             key = request.key()
             previous = self._selections.get(key)
             stale_kernel = engine.peek_kernel(instance)
@@ -400,6 +464,7 @@ class DiversificationService:
                     }
             else:
                 result = engine.run(instance, algorithm)
+                self._count_serve(result)
                 if result is not None:
                     self._selections[key] = result.rows
                 payload["selection"] = DiversifyResponse.from_result(result).to_dict()
@@ -458,6 +523,11 @@ class DiversificationService:
                     "hit_rate": round(stats.hit_rate, 4),
                 },
             }
+            approx_engine = self._approx_engines.get(tenant)
+            if approx_engine is not None:
+                tenants[tenant]["approx_cached_kernels"] = (
+                    approx_engine.cached_kernels
+                )
         return {
             "uptime_s": round(self._clock() - self._started, 3),
             "config": self.config.to_dict(),
@@ -466,6 +536,8 @@ class DiversificationService:
                 "coalesced": self.coalesced,
                 "inflight": len(self._inflight),
                 "quota_rejections": self.quota_rejections,
+                "served_exact": self.served_exact,
+                "served_approx": self.served_approx,
             },
             "result_cache": {
                 "entries": len(self.results),

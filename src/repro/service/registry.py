@@ -107,7 +107,7 @@ class StreamingWorkload:
 def _build_synthetic(params: Mapping[str, Any]) -> StaticWorkload:
     p = _take(
         params,
-        {"n": 80, "seed": 0, "objective": "max-sum"},
+        {"n": 80, "seed": 0, "objective": "max-sum", "lam": 0.5},
         "synthetic",
     )
     kind = OBJECTIVE_KINDS.get(p["objective"])
@@ -118,7 +118,7 @@ def _build_synthetic(params: Mapping[str, Any]) -> StaticWorkload:
         )
     return StaticWorkload(
         lambda: synthetic.random_instance(
-            n=int(p["n"]), kind=kind, seed=int(p["seed"])
+            n=int(p["n"]), kind=kind, lam=float(p["lam"]), seed=int(p["seed"])
         )
     )
 

@@ -93,6 +93,85 @@ class TestEngineConfig:
             EngineConfig.from_env({"REPRO_WORKERS": "many"})
 
 
+class TestSketchedConfig:
+    """The sketched/approx knobs added by the capability-negotiation
+    refactor, and the canonical keying the CLI + service share."""
+
+    def test_sketched_validation(self):
+        EngineConfig(storage="sketched").validate()
+        EngineConfig(
+            storage="sketched", sketch_columns=8, landmarks="farthest",
+            approx=True,
+        ).validate()
+        with pytest.raises(ApiError, match="float64"):
+            EngineConfig(storage="sketched", dtype="float32").validate()
+        with pytest.raises(ApiError, match="sketch_columns"):
+            EngineConfig(storage="tiled", sketch_columns=8).validate()
+        with pytest.raises(ApiError, match="sketch_columns"):
+            EngineConfig(storage="sketched", sketch_columns=1).validate()
+        with pytest.raises(ApiError, match="landmark"):
+            EngineConfig(storage="sketched", landmarks="grid").validate()
+        with pytest.raises(ApiError, match="landmark"):
+            EngineConfig(landmarks="uniform").validate()
+        with pytest.raises(ApiError, match="approx"):
+            EngineConfig(approx=True).validate()
+
+    def test_canonical_collapses_spelled_out_defaults(self):
+        spelled = EngineConfig(
+            storage="dense", dtype="float64", workers=1, block_size=256,
+        )
+        assert spelled.canonical() == EngineConfig()
+        sketched = EngineConfig(storage="sketched", landmarks="uniform")
+        assert sketched.canonical() == EngineConfig(storage="sketched")
+        # non-defaults survive canonicalization
+        kept = EngineConfig(storage="tiled", dtype="float32", workers=2)
+        assert kept.canonical() == kept
+
+    def test_sketched_round_trip(self):
+        config = EngineConfig(
+            storage="sketched", sketch_columns=12, landmarks="relevance",
+            approx=True,
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_from_args_and_env(self):
+        parser = argparse.ArgumentParser()
+        add_engine_config_args(parser)
+        args = parser.parse_args(
+            ["--storage", "sketched", "--sketch-columns", "16",
+             "--landmarks", "farthest", "--approx"]
+        )
+        assert EngineConfig.from_args(args) == EngineConfig(
+            storage="sketched", sketch_columns=16, landmarks="farthest",
+            approx=True,
+        )
+        env = {
+            "REPRO_STORAGE": "sketched",
+            "REPRO_SKETCH_COLUMNS": "16",
+            "REPRO_LANDMARKS": "farthest",
+            "REPRO_APPROX": "yes",
+        }
+        assert EngineConfig.from_env(env) == EngineConfig(
+            storage="sketched", sketch_columns=16, landmarks="farthest",
+            approx=True,
+        )
+        with pytest.raises(ApiError, match="REPRO_APPROX"):
+            EngineConfig.from_env({"REPRO_APPROX": "maybe"})
+
+    def test_approx_response_carries_certificate(self, instance):
+        engine = DiversificationEngine(
+            config=EngineConfig(storage="sketched", approx=True)
+        )
+        response = DiversifyResponse.from_result(engine.run(instance))
+        assert response.certificate is not None
+        assert response.certificate["strategy"] == "uniform"
+        clone = DiversifyResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))
+        )
+        assert clone == response
+        assert clone.certificate == response.certificate
+
+
 class TestEngineConfigShim:
     def test_loose_kwargs_warn(self):
         with pytest.warns(DeprecationWarning, match="deprecated"):

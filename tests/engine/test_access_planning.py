@@ -1,0 +1,225 @@
+"""Capability negotiation: declared access drives storage planning.
+
+Selectors declare a :class:`KernelAccess` level; the engine plans each
+kernel build from it.  The observable contract tested here:
+
+* engine runs for ``ROWS_ONLY`` / ``SAMPLED_COLUMNS`` selectors never
+  build full-matrix storage at all (a counting ``make_storage`` spy
+  sees zero calls);
+* ``FULL_MATRIX`` selectors still build storage exactly as before;
+* relevance-only (λ = 0) kernels stay deferred through build *and*
+  through delta patching (the ``defer_distances`` interaction gap);
+* opting in to ``approx`` reroutes sketch-capable algorithms through
+  the sketched selectors with a certificate, while ``approx=False`` on
+  sketched storage — and every λ = 0 solve — stays exact,
+  float-for-float.
+"""
+
+import pytest
+
+import repro.engine.kernel as kernel_module
+from repro.algorithms.substrate import KernelAccess, resolve_access
+from repro.api import EngineConfig
+from repro.core.objectives import ObjectiveKind
+from repro.engine import DiversificationEngine, EngineResult, numpy_available
+from repro.engine.engine import ALGORITHMS
+from repro.workloads.streaming import StreamingWebSearch
+from repro.workloads.synthetic import random_instance
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+
+@pytest.fixture
+def storage_spy(monkeypatch):
+    """Counts every distance-storage build the kernel layer performs."""
+    calls = []
+    real = kernel_module.make_storage
+
+    def spy(kind, *args, **kwargs):
+        calls.append(kind)
+        return real(kind, *args, **kwargs)
+
+    monkeypatch.setattr(kernel_module, "make_storage", spy)
+    return calls
+
+
+class TestDeclaredAccess:
+    def test_every_algorithm_resolves(self):
+        instance = random_instance(n=10, k=3, lam=0.5, seed=0)
+        for name, func in ALGORITHMS.items():
+            level = resolve_access(func, instance.objective)
+            assert level in (
+                KernelAccess.ROWS_ONLY,
+                KernelAccess.SAMPLED_COLUMNS,
+                KernelAccess.SELECTED_ROWS,
+                KernelAccess.FULL_MATRIX,
+            ), name
+
+    def test_relevance_only_demotes_to_rows_only(self):
+        lam0 = random_instance(n=10, k=3, lam=0.0, seed=0)
+        lam5 = random_instance(n=10, k=3, lam=0.5, seed=0)
+        for name in ("greedy_max_sum", "greedy_marginal_max_sum", "local_search"):
+            func = ALGORITHMS[name]
+            assert resolve_access(func, lam0.objective) == KernelAccess.ROWS_ONLY
+            assert resolve_access(func, lam5.objective) != KernelAccess.ROWS_ONLY
+
+    def test_undeclared_selector_defaults_to_full_matrix(self):
+        instance = random_instance(n=10, k=3, lam=0.5, seed=0)
+
+        def legacy_selector(inst, kernel):  # no declares_access
+            return 0.0, []
+
+        assert (
+            resolve_access(legacy_selector, instance.objective)
+            == KernelAccess.FULL_MATRIX
+        )
+
+
+class TestStoragePlanning:
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    @pytest.mark.parametrize(
+        "kind, lam, algorithm",
+        [
+            (ObjectiveKind.MONO, 0.0, "modular_top_k"),
+            (ObjectiveKind.MAX_SUM, 0.0, "greedy_max_sum"),
+            (ObjectiveKind.MAX_SUM, 0.0, "greedy_marginal_max_sum"),
+        ],
+    )
+    def test_rows_only_runs_build_no_storage(
+        self, storage_spy, use_numpy, kind, lam, algorithm
+    ):
+        instance = random_instance(n=30, k=4, kind=kind, lam=lam, seed=1)
+        engine = DiversificationEngine(use_numpy=use_numpy)
+        result = engine.run(instance, algorithm)
+        assert result is not None
+        assert storage_spy == []
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_sampled_columns_runs_build_no_storage(self, storage_spy, use_numpy):
+        instance = random_instance(n=30, k=4, lam=0.5, seed=1)
+        engine = DiversificationEngine(
+            use_numpy=use_numpy,
+            config=EngineConfig(storage="sketched", approx=True),
+        )
+        result = engine.run(instance, "greedy_max_sum")
+        assert result is not None
+        assert result.certificate is not None
+        assert storage_spy == []
+
+    @pytest.mark.parametrize("algorithm", ["greedy_max_sum", "local_search"])
+    def test_full_matrix_runs_still_build_storage(self, storage_spy, algorithm):
+        instance = random_instance(n=20, k=4, lam=0.5, seed=1)
+        engine = DiversificationEngine()
+        result = engine.run(instance, algorithm)
+        assert result is not None
+        assert len(storage_spy) >= 1
+
+    def test_selected_rows_defers_until_first_distance_read(self, storage_spy):
+        """mmr declares SELECTED_ROWS: the build itself allocates no
+        storage — only the first actual distance read does."""
+        instance = random_instance(n=20, k=4, lam=0.5, seed=1)
+        engine = DiversificationEngine()
+        kernel = engine.kernel_for(
+            instance, access=KernelAccess.SELECTED_ROWS
+        )
+        assert storage_spy == []
+        assert not kernel.distances_materialized
+        engine.run(instance, "mmr")
+        assert len(storage_spy) >= 1
+
+
+class TestDeferredDeltaRegression:
+    """The satellite-2 gap: a λ = 0 relevance-only kernel must stay
+    matrix-free through its whole lifecycle, including delta patching."""
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_lam0_kernel_stays_deferred_across_updates(self, use_numpy):
+        workload = StreamingWebSearch(num_docs=30, seed=3)
+        instance = workload.make_instance(k=4, lam=0.0)
+        engine = DiversificationEngine(use_numpy=use_numpy)
+        first = engine.run(instance, "greedy_max_sum")
+        assert first is not None
+        [kernel] = engine._cache.values()
+        assert not kernel.distances_materialized
+
+        for _ in range(3):
+            workload.step()
+        instance.invalidate_cache()
+        second = engine.run(instance, "greedy_max_sum")
+        assert second is not None
+        assert engine.stats.patches >= 1
+        [kernel] = engine._cache.values()
+        assert not kernel.distances_materialized
+
+    def test_deferred_kernel_materializes_for_full_matrix_consumer(self):
+        """Sharing across access levels is monotone-safe: the same
+        cached kernel lazily materializes when a FULL_MATRIX algorithm
+        arrives, and its floats match a never-deferred run."""
+        instance = random_instance(n=20, k=4, lam=0.0, seed=4)
+        engine = DiversificationEngine()
+        engine.run(instance, "greedy_max_sum")
+        [kernel] = engine._cache.values()
+        assert not kernel.distances_materialized
+
+        shifted = instance.objective.with_lambda(0.7)
+        full = engine.run(instance.with_objective(shifted), "greedy_max_sum")
+        assert full is not None
+
+
+class TestApproxDispatch:
+    def test_approx_requires_opt_in(self):
+        instance = random_instance(n=25, k=4, lam=0.5, seed=5)
+        engine = DiversificationEngine(
+            config=EngineConfig(storage="sketched", approx=False)
+        )
+        exact = DiversificationEngine()
+        result = engine.run(instance, "greedy_max_sum")
+        baseline = exact.run(instance, "greedy_max_sum")
+        # approx off: sketched storage still solves exactly, bit-equal.
+        assert result.certificate is None
+        assert result.value == baseline.value
+        assert result.rows == baseline.rows
+
+    def test_approx_run_carries_certificate(self):
+        instance = random_instance(n=40, k=5, lam=0.5, seed=6)
+        engine = DiversificationEngine(
+            config=EngineConfig(storage="sketched", approx=True)
+        )
+        exact = DiversificationEngine()
+        result = engine.run(instance, "greedy_max_sum")
+        cert = result.certificate
+        assert cert is not None
+        assert cert.lower <= result.value <= cert.upper + 1e-9
+        baseline = exact.run(instance, "greedy_marginal_max_sum")
+        assert result.value >= 0.9 * baseline.value
+
+    def test_approx_skips_relevance_only(self):
+        instance = random_instance(n=25, k=4, lam=0.0, seed=7)
+        engine = DiversificationEngine(
+            config=EngineConfig(storage="sketched", approx=True)
+        )
+        exact = DiversificationEngine()
+        result = engine.run(instance, "greedy_max_sum")
+        assert result.certificate is None
+        assert result.value == exact.run(instance, "greedy_max_sum").value
+
+    def test_approx_reuses_cached_kernel(self):
+        instance = random_instance(n=30, k=4, lam=0.5, seed=8)
+        engine = DiversificationEngine(
+            config=EngineConfig(storage="sketched", approx=True)
+        )
+        first = engine.run(instance, "greedy_max_sum")
+        second = engine.run(instance, "mmr")
+        assert not first.kernel_reused
+        assert second.kernel_reused
+        assert second.certificate is not None
+
+    def test_approx_result_roundtrips(self):
+        instance = random_instance(n=30, k=4, lam=0.5, seed=9)
+        engine = DiversificationEngine(
+            config=EngineConfig(storage="sketched", approx=True)
+        )
+        result = engine.run(instance, "greedy_max_sum")
+        revived = EngineResult.from_dict(result.to_dict())
+        assert revived.certificate == result.certificate
+        assert revived.value == result.value

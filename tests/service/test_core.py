@@ -322,6 +322,71 @@ class TestDelta:
         assert "selection" not in payload
 
 
+class TestApproxAdmission:
+    """``approx_over``: answer sets beyond the threshold run on the
+    per-tenant sketched engine and report their certificate; everything
+    else (and every delta repair) stays exact."""
+
+    BIG = DiversifyRequest(workload="synthetic", params={"n": 400}, k=5)
+
+    def make_approx_service(self, **overrides):
+        return make_service(max_answer_set=100, approx_over=150, **overrides)
+
+    def test_small_requests_stay_exact(self):
+        service = self.make_approx_service()
+        response = run(service.diversify(REQ))  # n=40
+        assert response.certificate is None
+        assert service.served_exact == 1
+        assert service.served_approx == 0
+
+    def test_midsize_requests_still_hit_quota(self):
+        service = self.make_approx_service()
+        with pytest.raises(QuotaError, match="max_answer_set"):
+            run(service.diversify(
+                DiversifyRequest(workload="synthetic", params={"n": 120}, k=5)
+            ))
+
+    def test_large_requests_route_to_sketched_engine(self):
+        service = self.make_approx_service()
+        response = run(service.diversify(self.BIG))
+        assert response.feasible
+        cert = response.certificate
+        assert cert is not None
+        assert cert["lower"] <= response.value <= cert["upper"] + 1e-9
+        assert service.served_approx == 1
+        stats = service.stats()
+        assert stats["requests"]["served_approx"] == 1
+        assert stats["requests"]["served_exact"] == 0
+        assert stats["tenants"]["default"]["approx_cached_kernels"] == 1
+        assert stats["config"]["approx_over"] == 150
+
+    def test_approx_admission_disabled_by_default(self):
+        service = make_service(max_answer_set=100)
+        with pytest.raises(QuotaError, match="max_answer_set"):
+            run(service.diversify(self.BIG))
+
+    def test_relevance_only_admission_is_exact(self):
+        """The sketched engine only approximates λ > 0 solves; a λ = 0
+        request over the threshold is admitted but served exactly."""
+        service = self.make_approx_service()
+        request = DiversifyRequest(
+            workload="synthetic", params={"n": 400}, k=5, lam=0.0
+        )
+        response = run(service.diversify(request))
+        assert response.certificate is None
+        assert service.served_exact == 1
+        assert service.served_approx == 0
+
+    def test_sweep_cells_carry_certificates(self):
+        service = self.make_approx_service(max_sweep_cells=16)
+        request = DiversifyRequest(workload="synthetic", params={"n": 400})
+        payload = run(service.sweep(request, ks=[3, 5], lams=[0.3, 0.7]))
+        cells = payload["cells"]
+        assert len(cells) == 4
+        assert all(cell["certificate"] is not None for cell in cells)
+        assert service.served_approx == 4
+
+
 class TestErrorsAndStats:
     def test_unknown_workload(self):
         service = make_service()
