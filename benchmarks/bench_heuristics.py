@@ -190,6 +190,7 @@ def main(argv=None):
         payload = {
             "bench": "heuristics",
             "smoke": args.smoke,
+            "host": common.host_info(),
             "records": [jsonable(r) for r in records],
             "wall_seconds": elapsed,
         }

@@ -208,6 +208,7 @@ def main(argv=None):
             "bench": "kernel_build",
             "sizes": list(sizes),
             "numpy": numpy_available() and not args.no_numpy,
+            "host": common.host_info(),
             "records": [r.as_dict() for r in records],
             "acceptance_speedup": speedup,
             "wall_seconds": elapsed,

@@ -1,0 +1,306 @@
+#!/usr/bin/env python
+"""Retrieval front end: millions of rows -> a kernel-sized pool.
+
+Every selector in this repo pays O(pool²) for its kernel, so the only
+way to serve a million-row corpus is to never show the kernel a million
+rows.  This bench measures the candidate-retrieval front end (ISSUE 8)
+on the array-backed :class:`repro.workloads.corpus.DocumentCorpus`:
+
+* ``index``          — BM25 posting lists + ANN buckets over the corpus
+  (once per corpus, amortized across every query);
+* ``retrieve``       — one hybrid (BM25 + ANN + fusion) cut down to
+  ``pool_size`` candidates;
+* ``diversify-pool`` — kernel build + greedy F_MS selection over the
+  cut (the unchanged exact path, now O(pool²));
+* ``e2e``            — retrieve + diversify, the serving path;
+* ``dense-baseline`` — greedy F_MS over an *uncut* 10,000-row answer
+  set (the O(n²) wall the front end removes).
+
+In-bench assertions (smoke mode gates CI; full runs add the timing
+targets):
+
+* the cut never exceeds ``pool_size`` (default 2,000);
+* hybrid recall vs exact exhaustive scoring at the same pool size is
+  >= 0.9;
+* full runs, n >= 1,000,000: the cut itself takes < 1 s;
+* full runs, n >= 500,000: end-to-end retrieve -> diversify beats 10%
+  of the dense 10,000-row baseline — retrieval, not the kernel,
+  dominates the corpus-scale serving path.
+
+Usage::
+
+    python benchmarks/bench_retrieval.py                # full (1e5, 1e6)
+    python benchmarks/bench_retrieval.py --smoke        # CI-sized
+    python benchmarks/bench_retrieval.py --no-numpy     # pure-Python path
+    python benchmarks/bench_retrieval.py --json BENCH_retrieval.json
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH/pip install
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine import numpy_available
+from repro.engine.engine import DiversificationEngine
+from repro.retrieval import recall
+from repro.workloads import corpus
+
+import common
+
+SMOKE_BUDGET_SECONDS = 30.0
+RECALL_TARGET = 0.9          # hybrid cut vs exact exhaustive scoring
+RETRIEVE_BUDGET_SECONDS = 1.0   # one cut at n >= RETRIEVE_GATE_N (full runs)
+RETRIEVE_GATE_N = 1_000_000
+E2E_RATIO_TARGET = 0.10      # e2e vs dense 10k baseline at n >= E2E_GATE_N
+E2E_GATE_N = 500_000
+DENSE_BASELINE_N = 10_000
+ALGORITHM = "greedy_max_sum"
+
+
+def best_of(func, repeat):
+    """(best seconds, last result) over ``repeat`` cold calls."""
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_corpus(n, pool_size, use_numpy, repeat, dense_seconds):
+    """Records + failures for one corpus size."""
+    backend = "numpy" if use_numpy else "python"
+    records, failures = [], []
+    documents = corpus.generate(num_docs=n, use_numpy=use_numpy)
+    query_text = documents.query_text(1)
+
+    index_seconds, retriever = best_of(
+        lambda: documents.retriever(), repeat
+    )
+    records.append(
+        common.RetrievalBenchRecord(
+            scenario="corpus", stage="index", n=n, pool=0, retriever="-",
+            backend=backend, seconds=index_seconds, recall=float("nan"),
+        )
+    )
+
+    retrieve_seconds, cut = best_of(
+        lambda: retriever.retrieve(
+            query_text, pool_size=pool_size, retriever="hybrid"
+        ),
+        repeat,
+    )
+    if len(cut) > pool_size:
+        failures.append(
+            f"n={n}: cut of {len(cut)} rows exceeds pool_size={pool_size}"
+        )
+    truth = retriever.retrieve(
+        query_text, pool_size=pool_size, retriever="hybrid", exact=True
+    )
+    achieved = recall(cut.indices, truth.indices)
+    records.append(
+        common.RetrievalBenchRecord(
+            scenario="corpus", stage="retrieve", n=n, pool=len(cut),
+            retriever="hybrid", backend=backend, seconds=retrieve_seconds,
+            recall=achieved,
+        )
+    )
+    if achieved < RECALL_TARGET:
+        failures.append(
+            f"n={n}: hybrid recall {achieved:.4f} < {RECALL_TARGET} "
+            f"at pool_size={pool_size}"
+        )
+    if n >= RETRIEVE_GATE_N and retrieve_seconds > RETRIEVE_BUDGET_SECONDS:
+        failures.append(
+            f"n={n}: retrieval cut took {retrieve_seconds:.3f}s "
+            f"> {RETRIEVE_BUDGET_SECONDS}s"
+        )
+
+    # The cut's doc ids feed the unchanged exact pool -> kernel path.
+    engine = DiversificationEngine(use_numpy=use_numpy)
+    pool_instance = documents.instance(cut.indices, k=10)
+
+    def diversify():
+        engine.clear_cache()
+        return engine.run(pool_instance, ALGORITHM)
+
+    diversify_seconds, result = best_of(diversify, repeat)
+    assert result is not None, f"n={n}: pool selection infeasible"
+    records.append(
+        common.RetrievalBenchRecord(
+            scenario="corpus", stage="diversify-pool", n=n, pool=len(cut),
+            retriever="hybrid", backend=backend, seconds=diversify_seconds,
+            recall=float("nan"),
+        )
+    )
+    e2e_seconds = retrieve_seconds + diversify_seconds
+    records.append(
+        common.RetrievalBenchRecord(
+            scenario="corpus", stage="e2e", n=n, pool=len(cut),
+            retriever="hybrid", backend=backend, seconds=e2e_seconds,
+            recall=float("nan"),
+        )
+    )
+    if dense_seconds is not None and n >= E2E_GATE_N:
+        ratio = e2e_seconds / dense_seconds if dense_seconds > 0 else 0.0
+        if ratio > E2E_RATIO_TARGET:
+            failures.append(
+                f"n={n}: e2e retrieve->diversify {e2e_seconds:.3f}s is "
+                f"{ratio:.1%} of the dense {DENSE_BASELINE_N}-row baseline "
+                f"({dense_seconds:.3f}s), target < {E2E_RATIO_TARGET:.0%}"
+            )
+    return records, failures
+
+
+def measure_dense_baseline(n, use_numpy, repeat):
+    """Greedy F_MS over an uncut n-row answer set: the O(n²) wall."""
+    documents = corpus.generate(num_docs=n, use_numpy=use_numpy)
+    engine = DiversificationEngine(use_numpy=use_numpy)
+    instance = documents.full_instance(k=10)
+    instance.answers()  # prime Q(D); the baseline times kernel + select
+
+    def diversify():
+        engine.clear_cache()
+        return engine.run(instance, ALGORITHM)
+
+    seconds, result = best_of(diversify, repeat)
+    assert result is not None, "dense baseline infeasible"
+    return common.RetrievalBenchRecord(
+        scenario="corpus", stage="dense-baseline", n=n, pool=0,
+        retriever="-", backend="numpy" if use_numpy else "python",
+        seconds=seconds, recall=float("nan"),
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"small sizes with a {SMOKE_BUDGET_SECONDS:g}s budget (CI rot check)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="corpus sizes to measure (default 100000 1000000)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        help="candidate pool bound (default 2000, smoke scales it down)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="best-of repetitions per stage"
+    )
+    parser.add_argument(
+        "--no-numpy",
+        action="store_true",
+        help="force the pure-Python retrieval + kernel backend",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write results as JSON (perf-trajectory artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    use_numpy = False if args.no_numpy else (True if numpy_available() else False)
+
+    start = time.perf_counter()
+    if args.smoke:
+        sizes = (20_000, 50_000) if use_numpy else (2_000, 5_000)
+        pool_size = args.pool_size or (2000 if use_numpy else 200)
+        dense_n = None  # the e2e gate only applies at corpus scale
+    else:
+        sizes = tuple(args.sizes) if args.sizes else (100_000, 1_000_000)
+        pool_size = args.pool_size or 2000
+        dense_n = DENSE_BASELINE_N
+
+    records, failures = [], []
+    dense_seconds = None
+    if dense_n is not None:
+        baseline = measure_dense_baseline(dense_n, use_numpy, args.repeat)
+        records.append(baseline)
+        dense_seconds = baseline.seconds
+    for n in sizes:
+        n_records, n_failures = measure_corpus(
+            n, pool_size, use_numpy, args.repeat, dense_seconds
+        )
+        records.extend(n_records)
+        failures.extend(n_failures)
+    elapsed = time.perf_counter() - start
+
+    print(
+        common.render_retrieval_report(
+            records,
+            title=(
+                f"retrieval front end (corpus, sizes {list(sizes)}, "
+                f"pool {pool_size})"
+            ),
+        )
+    )
+    cuts = [r for r in records if r.stage == "retrieve"]
+    if cuts:
+        worst = min(cuts, key=lambda r: r.recall)
+        print(
+            f"\nworst hybrid recall: {worst.recall:.4f} at n={worst.n} "
+            f"(target >= {RECALL_TARGET:g})"
+        )
+    if dense_seconds is not None:
+        for r in records:
+            if r.stage == "e2e" and r.n >= E2E_GATE_N:
+                print(
+                    f"e2e at n={r.n}: {r.seconds:.3f}s = "
+                    f"{r.seconds / dense_seconds:.1%} of the dense "
+                    f"{DENSE_BASELINE_N}-row baseline "
+                    f"(target < {E2E_RATIO_TARGET:.0%})"
+                )
+
+    if args.json is not None:
+        payload = {
+            "bench": "retrieval",
+            "sizes": list(sizes),
+            "pool_size": pool_size,
+            "numpy": use_numpy,
+            "host": common.host_info(),
+            "records": [r.as_dict() for r in records],
+            "targets": {
+                "recall": RECALL_TARGET,
+                "retrieve_budget_seconds": RETRIEVE_BUDGET_SECONDS,
+                "retrieve_gate_n": RETRIEVE_GATE_N,
+                "e2e_ratio": E2E_RATIO_TARGET,
+                "e2e_gate_n": E2E_GATE_N,
+                "dense_baseline_n": DENSE_BASELINE_N,
+            },
+            "failures": failures,
+            "wall_seconds": elapsed,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    if args.smoke:
+        print(f"smoke wall time: {elapsed:.3f}s (budget {SMOKE_BUDGET_SECONDS}s)")
+        if elapsed > SMOKE_BUDGET_SECONDS:
+            print("SMOKE BUDGET EXCEEDED", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -251,6 +251,7 @@ def main(argv=None):
         payload = {
             "benchmark": "service",
             "smoke": args.smoke,
+            "host": common.host_info(),
             "speedup_target": SPEEDUP_TARGET,
             "records": [r.as_dict() for r in records],
         }

@@ -313,6 +313,7 @@ def main(argv=None):
             "bench": "sketch",
             "sizes": list(sizes),
             "numpy": use_numpy,
+            "host": common.host_info(),
             "records": [r.as_dict() for r in records],
             "targets": {
                 "quality": QUALITY_TARGET,

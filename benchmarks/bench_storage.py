@@ -353,7 +353,7 @@ def main(argv=None):
             "bench": "storage",
             "sizes": list(sizes),
             "numpy": use_numpy,
-            "cpu_count": os.cpu_count() or 1,
+            "host": common.host_info(),
             "records": [r.as_dict() for r in records],
             "acceptance": summary,
             "wall_seconds": elapsed,

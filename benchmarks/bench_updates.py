@@ -315,6 +315,7 @@ def main(argv=None):
             "n": n,
             "events": events,
             "numpy": numpy_available() and not args.no_numpy,
+            "host": common.host_info(),
             "single_delta": micro,
             "provider_batch_delta": batch_micro,
             "regimes": [r.as_dict() for r in records],

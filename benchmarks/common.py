@@ -10,6 +10,8 @@ constraints arrive) appear as order-of-magnitude gaps at equal sizes.
 
 from __future__ import annotations
 
+import os
+import platform
 import random
 from dataclasses import dataclass
 
@@ -23,6 +25,24 @@ from repro.relational.schema import Database, Relation, RelationSchema
 from repro.workloads.synthetic import euclidean_distance, random_database
 
 ITEMS = RelationSchema("items", ("id", "category", "score", "x", "y"))
+
+
+def host_info() -> dict:
+    """The uniform host-provenance block every ``BENCH_*.json`` carries.
+
+    Absolute timings only compare within one host; this block is what a
+    perf-trajectory reader keys on before trusting a comparison."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }
 
 
 def three_sat(l: int, num_vars: int = 4, seed: int = 7) -> ThreeSatInstance:
@@ -436,6 +456,56 @@ def render_service_report(
             str(r.computed),
             str(r.coalesced),
             str(r.cache_hits),
+        )
+        for r in records
+    ]
+    return _render_table(title, header, body)
+
+
+@dataclass
+class RetrievalBenchRecord:
+    """One retrieval-front-end measurement from ``bench_retrieval.py``.
+
+    ``stage`` names what was timed: ``index`` (BM25 + ANN construction
+    over the corpus), ``retrieve`` (one hybrid cut to ``pool`` rows),
+    ``diversify-pool`` (kernel build + selection over the cut),
+    ``e2e`` (retrieve + diversify, the serving path), or
+    ``dense-baseline`` (diversifying an uncut answer set of ``n`` rows —
+    the O(n²) wall the front end removes).  ``recall`` is the cut's
+    overlap with exact exhaustive scoring at the same pool size (NaN
+    where it does not apply).
+    """
+
+    scenario: str
+    stage: str
+    n: int
+    pool: int
+    retriever: str
+    backend: str
+    seconds: float
+    recall: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def render_retrieval_report(
+    records: "list[RetrievalBenchRecord]",
+    title: str = "retrieval front end: corpus -> pool -> kernel",
+) -> str:
+    """An aligned text table of retrieval benchmark records."""
+    header = ("scenario", "stage", "n", "pool", "retriever", "backend",
+              "seconds", "recall")
+    body = [
+        (
+            r.scenario,
+            r.stage,
+            str(r.n),
+            str(r.pool) if r.pool else "-",
+            r.retriever,
+            r.backend,
+            f"{r.seconds:.4f}",
+            f"{r.recall:.4f}" if r.recall == r.recall else "-",
         )
         for r in records
     ]

@@ -20,6 +20,17 @@ Commands:
   the machine-readable :class:`~repro.api.DiversifyResponse` wire form,
   and ``--cache-stats`` prints the kernel-cache counters — repeated
   identical queries within one process reuse the cached ScoringKernel.
+  ``--query-text`` (with optional ``--pool-size`` / ``--retriever``)
+  routes through the retrieval front end: the answer set is cut to a
+  candidate pool *before* the O(n²) kernel, then diversified.
+
+* ``retrieve``  — run the retrieval cut alone (no diversification):
+  rank the answer set against ``--query-text`` through BM25 / ANN /
+  hybrid fusion and print the pool::
+
+      python -m repro retrieve --db data.json \\
+          --query "Q(X) :- docs(X)" \\
+          --query-text "solar panels" --pool-size 100
 
 * ``serve``     — boot the diversification service
   (:mod:`repro.service`): an asyncio HTTP server with request
@@ -233,7 +244,28 @@ def _cmd_diversify(args: argparse.Namespace) -> int:
     else:
         name, label = method_algorithm(instance, args.method), f"method {args.method}"
     try:
-        result = engine.run(instance, algorithm=name)
+        if args.query_text is not None:
+            from .api import DiversifyRequest
+
+            request = DiversifyRequest(
+                instance=instance,
+                k=args.k,
+                lam=args.trade_off,
+                algorithm=name,
+                query_text=args.query_text,
+                pool_size=args.pool_size,
+                retriever=args.retriever,
+            )
+            result = engine.run(request=request)
+        elif args.pool_size is not None or args.retriever is not None:
+            print(
+                "error: --pool-size/--retriever describe a retrieval cut "
+                "and need --query-text",
+                file=sys.stderr,
+            )
+            return 2
+        else:
+            result = engine.run(instance, algorithm=name)
     except ValueError as exc:  # objective/algorithm mismatch, constraints, …
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -261,6 +293,13 @@ def _cmd_diversify(args: argparse.Namespace) -> int:
         print(f"no {args.k}-subset exists (|Q(D)| = {instance.answer_count})")
         code = 1
     else:
+        cut = result.retrieval
+        if cut is not None:
+            print(
+                f"retrieval: {cut['retriever']} cut {cut['corpus_size']} -> "
+                f"{cut['pool']} candidates in {cut['elapsed_ms']:.3f} ms "
+                f"({'+'.join(cut['stages'])})"
+            )
         print(
             f"F = {result.value:.4f}  (objective {kind.value}, "
             f"λ = {args.trade_off}, {label})"
@@ -276,6 +315,55 @@ def _cmd_diversify(args: argparse.Namespace) -> int:
             f"hit_rate={stats.hit_rate:.2f} backend={result.backend if result else 'n/a'}"
         )
     return code
+
+
+def _cmd_retrieve(args: argparse.Namespace) -> int:
+    from .core.diversify import make_instance
+    from .core.objectives import Objective, ObjectiveKind
+
+    db, query, relevance, distance = _load_session(args)
+    # Retrieval only reads the objective through its provider (feature
+    # space, if any) — kind/λ never matter for the cut itself.
+    objective = Objective(ObjectiveKind.MAX_SUM, relevance, distance, 0.5)
+    instance = make_instance(query, db, 1, objective)
+    try:
+        engine = _engine_for(args)
+        result = engine.retrieve(
+            instance,
+            args.query_text,
+            pool_size=args.pool_size,
+            retriever=args.retriever,
+            exact=args.exact,
+        )
+    except ValueError as exc:  # bad knobs, retriever with nothing to run, …
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = instance.answers()
+    ranked = [
+        (rows[index], score) for index, score in zip(result.indices, result.scores)
+    ]
+    if args.json:
+        payload = {
+            **result.to_dict(),
+            "indices": list(result.indices),
+            "results": [
+                {"score": score, **row.as_dict()} for row, score in ranked
+            ],
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0 if ranked else 1
+    print(
+        f"retrieved {len(ranked)} / {result.corpus_size} candidates "
+        f"({result.retriever}: {'+'.join(result.stages)}, "
+        f"{result.to_dict()['elapsed_ms']:.3f} ms)"
+    )
+    shown = ranked if not args.limit else ranked[: args.limit]
+    for rank, (row, score) in enumerate(shown, start=1):
+        attrs = ", ".join(f"{a}={v!r}" for a, v in row.as_dict().items())
+        print(f"  {rank:4d}. score={score:.6f}  {attrs}")
+    if len(shown) < len(ranked):
+        print(f"  ... {len(ranked) - len(shown)} more (use --limit 0 to show all)")
+    return 0 if ranked else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -377,6 +465,26 @@ def build_parser() -> argparse.ArgumentParser:
         "greedy_max_sum, exhaustive, or 'auto' (overrides --method)",
     )
     d.add_argument(
+        "--query-text",
+        default=None,
+        metavar="TEXT",
+        help="retrieval front end: cut the answer set to a candidate "
+        "pool ranked against TEXT before diversifying",
+    )
+    d.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="candidate pool bound for --query-text (default 2000)",
+    )
+    d.add_argument(
+        "--retriever",
+        choices=["bm25", "ann", "hybrid"],
+        default=None,
+        help="retrieval pipeline for --query-text (default hybrid)",
+    )
+    d.add_argument(
         "--cache-stats",
         action="store_true",
         help="print the process-wide kernel-cache counters after solving",
@@ -389,6 +497,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_config_args(d)
     d.set_defaults(func=_cmd_diversify)
+
+    r = sub.add_parser(
+        "retrieve",
+        help="rank the answer set against a text query (the retrieval "
+        "cut alone, no diversification)",
+    )
+    r.add_argument("--db", required=True, help="JSON file or directory of CSVs")
+    r.add_argument("--query", required=True, help='e.g. "Q(X) :- r(X, Y), Y > 3"')
+    r.add_argument(
+        "--query-text",
+        required=True,
+        metavar="TEXT",
+        help="free-text query the candidates are ranked against",
+    )
+    r.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="candidate pool bound (default 2000)",
+    )
+    r.add_argument(
+        "--retriever",
+        choices=["bm25", "ann", "hybrid"],
+        default=None,
+        help="retrieval pipeline (default hybrid; ann needs a feature-"
+        "space objective)",
+    )
+    r.add_argument(
+        "--exact",
+        action="store_true",
+        help="exhaustive scoring instead of the ANN index (ground truth)",
+    )
+    r.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows to print in human output (0 = all; --json emits all)",
+    )
+    r.add_argument(
+        "--relevance-attr",
+        default=None,
+        help="numeric attribute used as δ_rel (default: constant 1)",
+    )
+    r.add_argument(
+        "--distance-attrs",
+        default=None,
+        help="comma-separated attributes for the mismatch δ_dis "
+        "(default: all shared attributes)",
+    )
+    r.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the pool as JSON instead of human-readable text",
+    )
+    add_engine_config_args(r)
+    r.set_defaults(func=_cmd_retrieve)
 
     s = sub.add_parser(
         "serve",

@@ -405,7 +405,17 @@ def add_engine_config_args(parser: "argparse.ArgumentParser") -> None:
 
 # -- DiversifyRequest ------------------------------------------------------
 
-_REQUEST_WIRE_FIELDS = {"workload", "params", "k", "lam", "algorithm", "tenant"}
+_REQUEST_WIRE_FIELDS = {
+    "workload",
+    "params",
+    "k",
+    "lam",
+    "algorithm",
+    "tenant",
+    "query_text",
+    "pool_size",
+    "retriever",
+}
 
 
 @dataclass(frozen=True)
@@ -424,6 +434,13 @@ class DiversifyRequest:
 
     ``algorithm=None`` means the engine's own default; ``tenant``
     selects the per-tenant engine (and quota pool) in the service.
+
+    ``query_text`` opts into the retrieval front end: the engine cuts
+    the materialized answer set to a ≤ ``pool_size`` candidate pool
+    (BM25/ANN/hybrid per ``retriever``, default hybrid) and diversifies
+    the pool through the unchanged exact path.  ``pool_size`` and
+    ``retriever`` require ``query_text`` — they describe the cut, not
+    the corpus.
     """
 
     workload: str | None = None
@@ -432,6 +449,9 @@ class DiversifyRequest:
     lam: float = 0.5
     algorithm: str | None = None
     tenant: str = "default"
+    query_text: str | None = None
+    pool_size: int | None = None
+    retriever: str | None = None
     instance: "DiversificationInstance | None" = field(
         default=None, compare=False
     )
@@ -446,8 +466,32 @@ class DiversifyRequest:
             raise ApiError(f"k must be a positive integer, got {self.k}")
         if not 0.0 <= float(self.lam) <= 1.0:
             raise ApiError(f"λ must be in [0,1], got {self.lam}")
+        if self.query_text is None and (
+            self.pool_size is not None or self.retriever is not None
+        ):
+            raise ApiError(
+                "pool_size/retriever describe a retrieval cut and need a "
+                "query_text"
+            )
+        if self.pool_size is not None and self.pool_size < 1:
+            raise ApiError(
+                f"pool_size must be a positive integer, got {self.pool_size}"
+            )
+        if self.retriever is not None:
+            from .retrieval import RETRIEVERS
+
+            if self.retriever not in RETRIEVERS:
+                raise ApiError(
+                    f"unknown retriever {self.retriever!r}; "
+                    f"choose one of {RETRIEVERS}"
+                )
         if self.params is not None:
             object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def wants_retrieval(self) -> bool:
+        """True when this request asks for a pool cut before the kernel."""
+        return self.query_text is not None
 
     # -- identity ----------------------------------------------------------
 
@@ -470,7 +514,18 @@ class DiversifyRequest:
             )
         else:
             source = ("workload", self.workload, canonical_params(self.params))
-        return (self.tenant, source, self.k, float(self.lam), self.algorithm or "auto")
+        key = (self.tenant, source, self.k, float(self.lam), self.algorithm or "auto")
+        if self.wants_retrieval:
+            # Retrieval requests coalesce on the cut as well — a
+            # different query or pool is a different computation.  Plain
+            # requests keep the historical 5-tuple shape.
+            key = key + (
+                "retrieve",
+                self.query_text,
+                self.pool_size,
+                self.retriever or "hybrid",
+            )
+        return key
 
     # -- resolution --------------------------------------------------------
 
@@ -510,7 +565,7 @@ class DiversifyRequest:
                 "an instance-backed DiversifyRequest is in-process only; "
                 "name a registered workload to serialize it"
             )
-        return {
+        payload = {
             "workload": self.workload,
             "params": dict(self.params) if self.params else {},
             "k": self.k,
@@ -518,6 +573,15 @@ class DiversifyRequest:
             "algorithm": self.algorithm,
             "tenant": self.tenant,
         }
+        if self.wants_retrieval:
+            # Emitted only for retrieval requests: plain payloads keep
+            # their historical byte-identical shape.
+            payload["query_text"] = self.query_text
+            if self.pool_size is not None:
+                payload["pool_size"] = self.pool_size
+            if self.retriever is not None:
+                payload["retriever"] = self.retriever
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DiversifyRequest":
@@ -543,6 +607,26 @@ class DiversifyRequest:
             kwargs["algorithm"] = str(data["algorithm"])
         if data.get("tenant") is not None:
             kwargs["tenant"] = str(data["tenant"])
+        if data.get("query_text") is not None:
+            if not isinstance(data["query_text"], str):
+                raise ApiError(
+                    f"'query_text' must be a string, got {data['query_text']!r}"
+                )
+            kwargs["query_text"] = data["query_text"]
+        if data.get("pool_size") is not None:
+            if not isinstance(data["pool_size"], int) or isinstance(
+                data["pool_size"], bool
+            ):
+                raise ApiError(
+                    f"'pool_size' must be an integer, got {data['pool_size']!r}"
+                )
+            kwargs["pool_size"] = data["pool_size"]
+        if data.get("retriever") is not None:
+            if not isinstance(data["retriever"], str):
+                raise ApiError(
+                    f"'retriever' must be a string, got {data['retriever']!r}"
+                )
+            kwargs["retriever"] = data["retriever"]
         return cls(**kwargs)
 
 
@@ -580,6 +664,7 @@ class DiversifyResponse:
     cache: str = "computed"
     elapsed_ms: float | None = None
     certificate: Mapping[str, Any] | None = None
+    retrieval: Mapping[str, Any] | None = None
 
     @classmethod
     def from_result(
@@ -612,6 +697,7 @@ class DiversifyResponse:
             cache=cache,
             elapsed_ms=elapsed_ms,
             certificate=certificate.to_dict() if certificate is not None else None,
+            retrieval=getattr(result, "retrieval", None),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -631,6 +717,9 @@ class DiversifyResponse:
             "certificate": dict(self.certificate)
             if self.certificate is not None
             else None,
+            "retrieval": dict(self.retrieval)
+            if self.retrieval is not None
+            else None,
         }
 
     @classmethod
@@ -648,6 +737,7 @@ class DiversifyResponse:
                 "cache",
                 "elapsed_ms",
                 "certificate",
+                "retrieval",
             },
             "DiversifyResponse",
         )
@@ -677,6 +767,7 @@ class DiversifyResponse:
             cache=cache,
             elapsed_ms=data.get("elapsed_ms"),
             certificate=data.get("certificate"),
+            retrieval=data.get("retrieval"),
         )
 
 

@@ -188,10 +188,12 @@ class ScoringProvider:
                 f"unknown landmark strategy {strategy!r}; choose one of "
                 f"{LANDMARK_STRATEGIES}"
             )
+        if m >= n:
+            # Every row is a landmark: the sketch is exact regardless of
+            # strategy, and tiny snapshots (n < 2) stay legal.
+            return list(range(n))
         if m < 2:
             raise ProviderError(f"need at least 2 landmarks, got {m}")
-        if m >= n:
-            return list(range(n))
         if strategy == "uniform":
             return [(i * n) // m for i in range(m)]
         if strategy == "relevance":

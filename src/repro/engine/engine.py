@@ -60,7 +60,10 @@ from ..api import (
 )
 from ..core.instance import DiversificationInstance
 from ..core.objectives import ObjectiveKind
-from ..relational.schema import Row
+from ..core.providers import provider_for
+from ..relational.queries import identity_query
+from ..relational.schema import Database, Relation, Row
+from ..retrieval import DEFAULT_POOL_SIZE, CandidateRetriever, RetrievalResult
 from .kernel import ScoringKernel, kernel_for_instance
 from .updates import compute_delta
 
@@ -224,6 +227,10 @@ class EngineResult:
     backend: str
     indices: tuple[int, ...] | None = None
     certificate: ApproxCertificate | None = None
+    #: Present exactly when the solve went through the retrieval front
+    #: end: the pool-cut summary (:meth:`RetrievalResult.to_dict`).
+    #: ``indices`` are then positions in the *pool* snapshot.
+    retrieval: dict | None = None
 
     def to_dict(self) -> dict:
         """Strict-JSON form (NaN → null); inverse of :meth:`from_dict`."""
@@ -237,6 +244,9 @@ class EngineResult:
             "certificate": self.certificate.to_dict()
             if self.certificate is not None
             else None,
+            "retrieval": dict(self.retrieval)
+            if self.retrieval is not None
+            else None,
         }
 
     @classmethod
@@ -244,6 +254,7 @@ class EngineResult:
         """Rebuild a result from :meth:`to_dict` output (null → NaN)."""
         indices = data.get("indices")
         certificate = data.get("certificate")
+        retrieval = data.get("retrieval")
         return cls(
             value=float_from_json(data["value"]),
             rows=tuple(row_from_dict(row) for row in data["rows"]),
@@ -254,6 +265,7 @@ class EngineResult:
             certificate=ApproxCertificate.from_dict(certificate)
             if certificate is not None
             else None,
+            retrieval=dict(retrieval) if retrieval is not None else None,
         )
 
 
@@ -334,6 +346,25 @@ class DiversificationEngine:
             OrderedDict()
         )
         self.stats = CacheStats()
+        # Retrieval front-end caches, LRU-bounded like the kernel cache:
+        # one CandidateRetriever per materialization, one pool instance
+        # per (materialization, query_text, pool_size, retriever) so
+        # repeated cuts reuse one pool kernel.  Entries carry the answer
+        # snapshot they indexed and are rebuilt when it changes — the
+        # delta-driven invalidation the serving layer counts on.
+        self._retrievers: OrderedDict[
+            tuple[int, int, int, int], tuple[list[Row], CandidateRetriever]
+        ] = OrderedDict()
+        self._pools: OrderedDict[
+            tuple,
+            tuple[list[Row], DiversificationInstance, RetrievalResult],
+        ] = OrderedDict()
+        self.retrieval_stats = {
+            "indexes_built": 0,
+            "pool_hits": 0,
+            "pool_misses": 0,
+            "invalidations": 0,
+        }
 
     # Read-only views of the config knobs, kept for the historical
     # attribute surface (benchmarks and downstream code read these).
@@ -439,10 +470,149 @@ class DiversificationEngine:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._retrievers.clear()
+        self._pools.clear()
 
     @property
     def cached_kernels(self) -> int:
         return len(self._cache)
+
+    # -- retrieval front end ----------------------------------------------
+
+    def retriever_for(self, instance: DiversificationInstance) -> CandidateRetriever:
+        """The cached :class:`~repro.retrieval.CandidateRetriever` over
+        this instance's materialized answer set.
+
+        Indexed once per materialization (BM25 over the rows' text, ANN
+        over the provider's feature space when it has one) and rebuilt
+        whenever the answer snapshot changes — the same freshness rule
+        the kernel cache applies, so a delta-patched corpus never serves
+        a stale pool.
+        """
+        key = self._cache_key(instance)
+        rows = instance.answers()
+        entry = self._retrievers.get(key)
+        if entry is not None:
+            cached_rows, retriever = entry
+            if cached_rows == rows:
+                self._retrievers.move_to_end(key)
+                return retriever
+            self._drop_pools(key)
+        retriever = CandidateRetriever.from_rows(
+            rows,
+            provider_for(instance.objective),
+            use_numpy=self.use_numpy,
+        )
+        self._retrievers[key] = (rows, retriever)
+        self._retrievers.move_to_end(key)
+        self.retrieval_stats["indexes_built"] += 1
+        while len(self._retrievers) > self.cache_size:
+            evicted, _entry = self._retrievers.popitem(last=False)
+            self._drop_pools(evicted)
+        return retriever
+
+    def _drop_pools(self, base_key: tuple) -> None:
+        for pool_key in [key for key in self._pools if key[0] == base_key]:
+            del self._pools[pool_key]
+
+    def invalidate_retrieval(self, instance: DiversificationInstance) -> bool:
+        """Drop the retrieval index and pools for this materialization
+        (the serving layer's explicit delta hook).  Returns whether an
+        index was live."""
+        key = self._cache_key(instance)
+        dropped = self._retrievers.pop(key, None) is not None
+        self._drop_pools(key)
+        if dropped:
+            self.retrieval_stats["invalidations"] += 1
+        return dropped
+
+    @property
+    def cached_retrievers(self) -> int:
+        return len(self._retrievers)
+
+    def retrieve(
+        self,
+        instance: DiversificationInstance,
+        query_text: str | None = None,
+        *,
+        query_features=None,
+        pool_size: int | None = None,
+        retriever: str | None = None,
+        exact: bool = False,
+    ) -> RetrievalResult:
+        """Cut this instance's answer set to a ranked candidate pool
+        (no diversification — the CLI ``retrieve`` surface)."""
+        return self.retriever_for(instance).retrieve(
+            query_text,
+            query_features,
+            pool_size=DEFAULT_POOL_SIZE if pool_size is None else int(pool_size),
+            retriever=retriever or "hybrid",
+            exact=exact,
+        )
+
+    def pool_for(
+        self,
+        instance: DiversificationInstance,
+        query_text: str | None,
+        pool_size: int | None = None,
+        retriever: str | None = None,
+    ) -> tuple[DiversificationInstance | None, RetrievalResult]:
+        """The pool instance for one retrieval cut, plus the cut itself.
+
+        The pool is a :class:`DiversificationInstance` whose answer set
+        *is* the retrieved rows (identity query over a pool relation),
+        so everything downstream — kernel, selectors, floats — is the
+        unchanged exact path.  Memoized per (materialization,
+        query_text, pool_size, retriever): repeated cuts return the same
+        instance object and therefore hit the same pool kernel.  ``k``/
+        ``λ`` are adapted per request through ``with_k``/
+        ``with_objective``, which preserve those identities.  A cut that
+        matches nothing returns ``(None, result)``.
+        """
+        pool_size = DEFAULT_POOL_SIZE if pool_size is None else int(pool_size)
+        kind = retriever or "hybrid"
+        base_key = self._cache_key(instance)
+        pool_key = (base_key, query_text, pool_size, kind)
+        rows = instance.answers()
+        entry = self._pools.get(pool_key)
+        if entry is not None:
+            cached_rows, pool, result = entry
+            if cached_rows == rows:
+                self._pools.move_to_end(pool_key)
+                self.retrieval_stats["pool_hits"] += 1
+                return self._adapt_pool(pool, instance), result
+        result = self.retriever_for(instance).retrieve(
+            query_text, pool_size=pool_size, retriever=kind
+        )
+        if not result.indices:
+            return None, result
+        pool_rows = [rows[i] for i in result.indices]
+        schema = pool_rows[0].schema
+        pool = DiversificationInstance(
+            identity_query(schema),
+            Database([Relation(schema, pool_rows)]),
+            k=instance.k,
+            objective=instance.objective,
+            constraints=instance.constraints,
+        )
+        self._pools[pool_key] = (rows, pool, result)
+        self._pools.move_to_end(pool_key)
+        self.retrieval_stats["pool_misses"] += 1
+        while len(self._pools) > self.cache_size:
+            self._pools.popitem(last=False)
+        return pool, result
+
+    @staticmethod
+    def _adapt_pool(
+        pool: DiversificationInstance, instance: DiversificationInstance
+    ) -> DiversificationInstance:
+        """Apply the request's k/λ onto a memoized pool through the
+        identity-preserving variant constructors."""
+        if pool.k != instance.k:
+            pool = pool.with_k(instance.k)
+        if pool.objective is not instance.objective:
+            pool = pool.with_objective(instance.objective)
+        return pool
 
     # -- solving ----------------------------------------------------------
 
@@ -481,6 +651,19 @@ class DiversificationEngine:
         underlying algorithms).
         """
         instance, algorithm = self._resolve_request(instance, algorithm, request)
+        if request is not None and request.wants_retrieval:
+            pool, retrieval = self.pool_for(
+                instance,
+                request.query_text,
+                pool_size=request.pool_size,
+                retriever=request.retriever,
+            )
+            if pool is None:
+                return None
+            result = self.run(pool, algorithm)
+            if result is None:
+                return None
+            return replace(result, retrieval=retrieval.to_dict())
         name = algorithm if algorithm is not None else self.algorithm
         if name == "auto":
             name = auto_algorithm(instance)

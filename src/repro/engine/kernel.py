@@ -329,11 +329,12 @@ class ScoringKernel:
         """The landmark count m the sketch will use: the configured
         ``sketch_columns``, else ``max(16, ⌊√n⌋)`` — O(n^1.5) total
         sketch memory/scoring, ~1% of the dense matrix at n = 10,000 —
-        clamped to ``[2, n]``."""
+        clamped to ``[min(2, n), n]`` so m ≥ n snapshots fall back to
+        exact dense semantics (every row a landmark)."""
         m = self.sketch_columns
         if m is None:
             m = max(16, math.isqrt(max(self.n, 1)))
-        return max(2, min(self.n, m))
+        return min(self.n, max(2, m))
 
     @property
     def sketch_built(self) -> bool:

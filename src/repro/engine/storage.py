@@ -738,7 +738,10 @@ class SketchedStorage:
         use_numpy: bool,
         strategy: str,
     ):
-        if len(landmark_positions) < 2:
+        if len(landmark_positions) < 2 and len(landmark_positions) != n:
+            # m == n means every row is a landmark: each bound collapses
+            # to the exact distance (the l = j column), so tiny snapshots
+            # degrade to exact dense semantics instead of erroring.
             raise StorageError(
                 "a distance sketch needs at least 2 landmark columns, "
                 f"got {len(landmark_positions)}"
@@ -769,6 +772,11 @@ class SketchedStorage:
         rows — the kernel closes it over its snapshot.
         """
         landmarks = list(landmark_positions)
+        if len(landmarks) >= n:
+            # Clamp m >= n to "every row is a landmark": the sketch then
+            # holds the full exact matrix and the bounds are exact, so
+            # oversized sketch_columns never over-allocates or errors.
+            landmarks = list(range(n))
         if use_numpy:
             c = _np.empty((n, len(landmarks)), dtype=_np.float64)
             for a0 in range(0, n, block_size):

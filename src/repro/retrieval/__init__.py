@@ -1,0 +1,45 @@
+"""Candidate retrieval: millions of rows → a kernel-sized pool.
+
+The front end the big-data diversification literature calls for: cut
+the corpus *before* any O(n²) kernel work, with the exact engine path
+unchanged downstream of the pool.
+
+* :mod:`~repro.retrieval.bm25` — inverted-index BM25 over tokenized
+  row text (NumPy posting-array and pure-Python scoring paths);
+* :mod:`~repro.retrieval.ann` — deterministic bucketed ANN over
+  :class:`~repro.core.providers.FeatureSpaceProvider` geometries
+  (random-projection or clustered buckets, exact metric re-rank);
+* :mod:`~repro.retrieval.fusion` — reciprocal-rank / weighted score
+  fusion of the two rankings;
+* :mod:`~repro.retrieval.retriever` — :class:`CandidateRetriever`,
+  the corpus → BM25/ANN → fusion → pool pipeline plus its exact
+  ground-truth twin for the recall gates.
+"""
+
+from .ann import ANN_METHODS, AnnIndex, RetrievalError
+from .bm25 import BM25Index, row_text, tokenize
+from .fusion import DEFAULT_RRF_K, FUSION_METHODS, fuse
+from .retriever import (
+    DEFAULT_POOL_SIZE,
+    RETRIEVERS,
+    CandidateRetriever,
+    RetrievalResult,
+    recall,
+)
+
+__all__ = [
+    "ANN_METHODS",
+    "DEFAULT_POOL_SIZE",
+    "DEFAULT_RRF_K",
+    "FUSION_METHODS",
+    "RETRIEVERS",
+    "AnnIndex",
+    "BM25Index",
+    "CandidateRetriever",
+    "RetrievalError",
+    "RetrievalResult",
+    "fuse",
+    "recall",
+    "row_text",
+    "tokenize",
+]

@@ -1,0 +1,207 @@
+"""Inverted-index BM25 scoring: the lexical half of the retrieval cut.
+
+A :class:`BM25Index` is built once over a corpus of tokenized documents
+and answers ranked text queries without ever touching documents that
+share no term with the query — the posting lists bound the work, so a
+query over a few terms costs O(sum of their document frequencies), not
+O(n).  That is the property that lets the retrieval front end cut a
+corpus of millions down to a kernel-sized pool before any O(n²) scoring
+happens.
+
+Scoring is exact Okapi BM25 (no approximation anywhere in this module):
+
+    score(q, d) = Σ_{t ∈ q} idf(t) · tf(t,d)·(k1+1)
+                             ───────────────────────────────────
+                             tf(t,d) + k1·(1 − b + b·|d|/avgdl)
+
+with ``idf(t) = ln(1 + (n − df + 0.5)/(df + 0.5))``.  Both backends
+accumulate per-document scores term by term **in query order** with the
+same float operation order, so the NumPy posting-array path and the
+pure-Python dict path rank identically (the repo-wide backend-parity
+contract).  Ties break by document id; repeated builds over the same
+corpus are deterministic — there is no RNG anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Hashable, Sequence
+from typing import Any
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI cell
+    _np = None
+
+__all__ = ["DEFAULT_B", "DEFAULT_K1", "BM25Index", "row_text", "tokenize"]
+
+#: Okapi defaults: k1 saturates term frequency, b scales length norm.
+DEFAULT_K1 = 1.5
+DEFAULT_B = 0.75
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Attributes treated as a row's text, first match wins; rows without
+#: any fall back to all values joined (every value is *some* text).
+TEXT_ATTRIBUTES = ("text", "title", "name", "intent", "category")
+
+
+def tokenize(text: Any) -> list[str]:
+    """Lowercased alphanumeric tokens of ``text`` (str() of anything)."""
+    return _TOKEN_RE.findall(str(text).lower())
+
+
+def row_text(row: Any) -> str:
+    """The text of a row: its first ``TEXT_ATTRIBUTES`` column when the
+    schema has one, else all values joined with spaces."""
+    attributes = getattr(getattr(row, "schema", None), "attributes", ())
+    for attribute in TEXT_ATTRIBUTES:
+        if attribute in attributes:
+            return str(row[attribute])
+    return " ".join(str(value) for value in row.values)
+
+
+class BM25Index:
+    """An inverted index over pre-tokenized documents.
+
+    ``docs`` is a sequence of token sequences; tokens may be any
+    hashable value (interned strings for real text, small ints for
+    array-backed corpora).  The index stores one posting list per term
+    — document ids plus term frequencies — as NumPy arrays on the NumPy
+    backend and plain lists on the pure-Python one.
+    """
+
+    __slots__ = (
+        "avg_length",
+        "b",
+        "k1",
+        "n",
+        "use_numpy",
+        "_lengths",
+        "_postings",
+    )
+
+    def __init__(
+        self,
+        docs: Sequence[Sequence[Hashable]],
+        k1: float = DEFAULT_K1,
+        b: float = DEFAULT_B,
+        use_numpy: bool | None = None,
+    ):
+        if use_numpy is None:
+            use_numpy = _np is not None
+        self.use_numpy = bool(use_numpy and _np is not None)
+        self.k1 = float(k1)
+        self.b = float(b)
+        postings: dict[Hashable, tuple[list[int], list[int]]] = {}
+        lengths: list[float] = []
+        for doc_id, tokens in enumerate(docs):
+            lengths.append(float(len(tokens)))
+            counts: dict[Hashable, int] = {}
+            for token in tokens:
+                counts[token] = counts.get(token, 0) + 1
+            for token, tf in counts.items():
+                entry = postings.get(token)
+                if entry is None:
+                    entry = postings[token] = ([], [])
+                entry[0].append(doc_id)
+                entry[1].append(tf)
+        self.n = len(lengths)
+        total = 0.0
+        for length in lengths:
+            total += length
+        self.avg_length = (total / self.n) if self.n else 0.0
+        if self.use_numpy:
+            self._lengths = _np.asarray(lengths, dtype=_np.float64)
+            self._postings = {
+                token: (
+                    _np.asarray(ids, dtype=_np.intp),
+                    _np.asarray(tfs, dtype=_np.float64),
+                )
+                for token, (ids, tfs) in postings.items()
+            }
+        else:
+            self._lengths = lengths
+            self._postings = postings
+
+    # -- vocabulary --------------------------------------------------------
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def document_frequency(self, token: Hashable) -> int:
+        entry = self._postings.get(token)
+        return len(entry[0]) if entry is not None else 0
+
+    def idf(self, token: Hashable) -> float:
+        """``ln(1 + (n − df + 0.5)/(df + 0.5))`` — 0 for unseen terms."""
+        df = self.document_frequency(token)
+        if df == 0:
+            return 0.0
+        return math.log(1.0 + (self.n - df + 0.5) / (df + 0.5))
+
+    # -- scoring -----------------------------------------------------------
+
+    def search(
+        self, query_tokens: Sequence[Hashable], top_n: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Exact ranked ``[(doc_id, score), ...]`` for a token query.
+
+        Only documents sharing at least one query term appear (BM25 of
+        a disjoint document is 0).  Sorted by score descending, ties by
+        document id ascending; ``top_n`` truncates *after* the exact
+        ranking, so a truncated list is a prefix of the full one.
+        """
+        if top_n is not None and top_n < 1:
+            return []
+        if self.use_numpy:
+            ranked = self._search_numpy(query_tokens)
+        else:
+            ranked = self._search_python(query_tokens)
+        return ranked if top_n is None else ranked[:top_n]
+
+    def _term_weights(self, query_tokens: Sequence[Hashable]):
+        """(token, idf) per query token with a posting list, query order."""
+        weights = []
+        for token in query_tokens:
+            if self.document_frequency(token):
+                weights.append((token, self.idf(token)))
+        return weights
+
+    def _search_numpy(self, query_tokens):
+        scores = _np.zeros(self.n, dtype=_np.float64)
+        k1, b, avg = self.k1, self.b, self.avg_length
+        for token, idf in self._term_weights(query_tokens):
+            ids, tfs = self._postings[token]
+            denom = tfs + k1 * (1.0 - b + b * (self._lengths[ids] / avg))
+            scores[ids] += idf * (tfs * (k1 + 1.0)) / denom
+        matched = _np.flatnonzero(scores)
+        if matched.size == 0:
+            return []
+        order = _np.lexsort((matched, -scores[matched]))
+        ranked = matched[order]
+        return [(int(doc), float(scores[doc])) for doc in ranked]
+
+    def _search_python(self, query_tokens):
+        scores: dict[int, float] = {}
+        k1, b, avg = self.k1, self.b, self.avg_length
+        lengths = self._lengths
+        for token, idf in self._term_weights(query_tokens):
+            ids, tfs = self._postings[token]
+            for doc, tf in zip(ids, tfs):
+                denom = tf + k1 * (1.0 - b + b * (lengths[doc] / avg))
+                contribution = idf * (tf * (k1 + 1.0)) / denom
+                scores[doc] = scores.get(doc, 0.0) + contribution
+        return sorted(
+            ((doc, score) for doc, score in scores.items() if score != 0.0),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+
+    def __repr__(self) -> str:
+        backend = "numpy" if self.use_numpy else "python"
+        return (
+            f"BM25Index(n={self.n}, vocabulary={self.vocabulary_size}, "
+            f"k1={self.k1:g}, b={self.b:g}, backend={backend})"
+        )

@@ -1,0 +1,103 @@
+"""Hybrid score fusion: one pool out of heterogeneous ranked lists.
+
+BM25 scores and vector distances live on incomparable scales, so the
+hybrid retriever never adds them raw.  Two standard fusion rules:
+
+* ``rrf`` — reciprocal-rank fusion: a document's fused score is
+  ``Σ_l weight_l / (rrf_k + rank_l)`` over the lists that rank it
+  (1-based ranks).  Scale-free — only orderings matter — which is why
+  it is the default for fusing lexical with vector rankings.
+* ``weighted`` — min–max normalize each list's scores into [0, 1]
+  (a constant list normalizes to all-1.0), then take the weighted sum.
+  Score-sensitive: a document that wins one list by a wide margin keeps
+  that margin.
+
+Both are exact, deterministic functions of their input lists: fused
+ties break by document id, and a document absent from a list simply
+contributes nothing for it.  The same functions fuse the *exact* ranked
+lists in the recall gates, so ground truth and production pool differ
+only by what the ANN stage gathered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .ann import RetrievalError
+
+__all__ = ["DEFAULT_RRF_K", "FUSION_METHODS", "fuse"]
+
+FUSION_METHODS = ("rrf", "weighted")
+
+#: The standard RRF damping constant (Cormack et al.): small enough to
+#: reward top ranks, large enough that depth-60 documents still count.
+DEFAULT_RRF_K = 60.0
+
+RankedList = Sequence[tuple[int, float]]
+
+
+def _weights_for(ranked_lists: Sequence[RankedList], weights) -> list[float]:
+    if weights is None:
+        return [1.0] * len(ranked_lists)
+    weights = [float(w) for w in weights]
+    if len(weights) != len(ranked_lists):
+        raise RetrievalError(
+            f"got {len(weights)} fusion weights for {len(ranked_lists)} lists"
+        )
+    if any(w < 0.0 for w in weights):
+        raise RetrievalError(f"fusion weights must be non-negative: {weights}")
+    return weights
+
+
+def _ranked(fused: dict[int, float], pool_size: int) -> list[tuple[int, float]]:
+    ordered = sorted(fused.items(), key=lambda pair: (-pair[1], pair[0]))
+    return ordered[:pool_size]
+
+
+def _fuse_rrf(ranked_lists, pool_size, weights, rrf_k):
+    fused: dict[int, float] = {}
+    for weight, ranked in zip(weights, ranked_lists):
+        if weight == 0.0:
+            continue
+        for rank, (doc, _score) in enumerate(ranked, start=1):
+            fused[doc] = fused.get(doc, 0.0) + weight / (rrf_k + rank)
+    return _ranked(fused, pool_size)
+
+
+def _fuse_weighted(ranked_lists, pool_size, weights):
+    fused: dict[int, float] = {}
+    for weight, ranked in zip(weights, ranked_lists):
+        if weight == 0.0 or not ranked:
+            continue
+        low = min(score for _doc, score in ranked)
+        high = max(score for _doc, score in ranked)
+        span = high - low
+        for doc, score in ranked:
+            normalized = (score - low) / span if span > 0.0 else 1.0
+            fused[doc] = fused.get(doc, 0.0) + weight * normalized
+    return _ranked(fused, pool_size)
+
+
+def fuse(
+    ranked_lists: Sequence[RankedList],
+    pool_size: int,
+    method: str = "rrf",
+    weights: Sequence[float] | None = None,
+    rrf_k: float = DEFAULT_RRF_K,
+) -> list[tuple[int, float]]:
+    """Fused ``[(doc_id, fused_score), ...]``, best first, ≤ pool_size.
+
+    ``ranked_lists`` are best-first ``(doc_id, score)`` lists where
+    higher scores are better (callers negate distances).  ``weights``
+    defaults to equal weighting.
+    """
+    if method not in FUSION_METHODS:
+        raise RetrievalError(
+            f"unknown fusion method {method!r}; choose one of {FUSION_METHODS}"
+        )
+    if pool_size < 1:
+        return []
+    weights = _weights_for(ranked_lists, weights)
+    if method == "rrf":
+        return _fuse_rrf(ranked_lists, pool_size, weights, float(rrf_k))
+    return _fuse_weighted(ranked_lists, pool_size, weights)

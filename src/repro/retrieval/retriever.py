@@ -1,0 +1,314 @@
+"""The retrieval front end: corpus → BM25/ANN → fusion → pool.
+
+:class:`CandidateRetriever` owns one lexical index (:class:`BM25Index`)
+and/or one vector index (:class:`AnnIndex`) over the same corpus and
+cuts it to a kernel-sized candidate pool:
+
+    corpus (n up to millions)
+      ├─ BM25 over tokenized text      ─┐
+      └─ ANN over provider features    ─┤→ fusion → pool (~2,000)
+                                        │            ↓
+                                        │   kernel → selector (exact,
+                                        └──────────── unchanged)
+
+Everything downstream of the pool is the existing engine path, exact
+and untouched — retrieval only decides *which* rows reach the O(n²)
+stage, never how they score once there (the exactness contract the
+pool-parity suite pins).
+
+``retriever`` picks the pipeline: ``"bm25"`` (lexical only), ``"ann"``
+(vector only), or ``"hybrid"`` (both, fused — the default).  A hybrid
+query without an explicit feature vector derives one by
+pseudo-relevance feedback: the centroid of the top BM25 hits' feature
+vectors, a deterministic function of the query text.  Passing
+``exact=True`` replaces the bucketed ANN gather with brute force —
+same metric, same fusion, same tie-breaks — which is the exactly
+computable ground truth the recall@pool_size gates compare against.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI cell
+    _np = None
+
+from ..core.providers import Metric
+from .ann import DEFAULT_OVERSAMPLE, AnnIndex, RetrievalError
+from .bm25 import DEFAULT_B, DEFAULT_K1, BM25Index, row_text, tokenize
+from .fusion import DEFAULT_RRF_K, fuse
+
+__all__ = [
+    "DEFAULT_POOL_SIZE",
+    "RETRIEVERS",
+    "CandidateRetriever",
+    "RetrievalResult",
+    "recall",
+]
+
+#: Default pool size: comfortably kernel-sized (a 2,000² f64 matrix is
+#: 32 MB) while deep enough that diversification has slack to trade
+#: relevance for distance.
+DEFAULT_POOL_SIZE = 2000
+
+RETRIEVERS = ("bm25", "ann", "hybrid")
+
+#: BM25 hits whose feature centroid seeds the ANN query when the caller
+#: gives text but no feature vector (pseudo-relevance feedback).
+PRF_DEPTH = 10
+
+
+def recall(candidate: Sequence[int], truth: Sequence[int]) -> float:
+    """|candidate ∩ truth| / |truth| (1.0 for an empty truth set)."""
+    truth_set = set(truth)
+    if not truth_set:
+        return 1.0
+    return len(truth_set.intersection(candidate)) / len(truth_set)
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """One pool cut: ranked corpus positions plus stage timings."""
+
+    indices: tuple[int, ...]
+    scores: tuple[float, ...]
+    retriever: str
+    pool_size: int
+    corpus_size: int
+    stages: tuple[str, ...]
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-safe summary attached to responses and telemetry
+        (indices stay out — the pool rows already carry them)."""
+        return {
+            "retriever": self.retriever,
+            "pool": len(self.indices),
+            "pool_size": self.pool_size,
+            "corpus_size": self.corpus_size,
+            "stages": list(self.stages),
+            "elapsed_ms": round(self.timings.get("total", 0.0) * 1000.0, 3),
+        }
+
+
+class CandidateRetriever:
+    """BM25 + ANN + fusion over one corpus snapshot.
+
+    ``texts`` (token sequences) feeds the BM25 index; ``features`` (the
+    corpus feature matrix) plus ``metric`` feed the ANN index.  Either
+    may be omitted — the retriever degrades to the stages it has and
+    raises only when a requested pipeline has nothing to run on.
+    """
+
+    def __init__(
+        self,
+        texts: Sequence[Sequence[Any]] | None = None,
+        features=None,
+        metric: str | Metric = "euclidean",
+        *,
+        use_numpy: bool | None = None,
+        seed: int = 7,
+        k1: float = DEFAULT_K1,
+        b: float = DEFAULT_B,
+        method: str | None = None,
+        planes: int | None = None,
+        centers: int | None = None,
+        fusion: str = "rrf",
+        rrf_k: float = DEFAULT_RRF_K,
+        weights: Sequence[float] | None = None,
+        oversample: int = DEFAULT_OVERSAMPLE,
+    ):
+        if texts is None and features is None:
+            raise RetrievalError("a retriever needs texts, features, or both")
+        if use_numpy is None:
+            use_numpy = _np is not None
+        self.use_numpy = bool(use_numpy and _np is not None)
+        self.fusion = fusion
+        self.rrf_k = float(rrf_k)
+        self.weights = None if weights is None else [float(w) for w in weights]
+        self.oversample = int(oversample)
+        self.bm25 = (
+            BM25Index(texts, k1=k1, b=b, use_numpy=self.use_numpy)
+            if texts is not None
+            else None
+        )
+        self.ann = (
+            AnnIndex(
+                features,
+                metric=metric,
+                method=method,
+                planes=planes,
+                centers=centers,
+                seed=seed,
+                use_numpy=self.use_numpy,
+            )
+            if features is not None
+            else None
+        )
+        sizes = {
+            index.n for index in (self.bm25, self.ann) if index is not None
+        }
+        if len(sizes) > 1:
+            raise RetrievalError(
+                f"texts and features disagree on corpus size: {sorted(sizes)}"
+            )
+        self.corpus_size = sizes.pop() if sizes else 0
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Any],
+        provider=None,
+        *,
+        text_of=row_text,
+        use_numpy: bool | None = None,
+        **knobs,
+    ) -> "CandidateRetriever":
+        """Index an answer-set snapshot: row text through ``text_of``,
+        feature vectors through the provider's feature space (skipped
+        for providers without one — scalar-callable objectives retrieve
+        lexically only)."""
+        if use_numpy is None:
+            use_numpy = _np is not None
+        use_numpy = bool(use_numpy and _np is not None)
+        texts = [tokenize(text_of(row)) for row in rows]
+        features = None
+        metric: str | Metric = "euclidean"
+        if provider is not None and hasattr(provider, "features_of"):
+            if use_numpy:
+                features = provider.feature_matrix(rows)
+            else:
+                features = [provider.features_of(row) for row in rows]
+            metric = provider.metric
+        return cls(
+            texts=texts,
+            features=features,
+            metric=metric,
+            use_numpy=use_numpy,
+            **knobs,
+        )
+
+    # -- query-side feature derivation ------------------------------------
+
+    def _prf_vector(self, bm25_ranked):
+        """Pseudo-relevance feedback: centroid of the top BM25 hits'
+        feature vectors (None when either side is missing)."""
+        if self.ann is None or not bm25_ranked:
+            return None
+        ids = [doc for doc, _score in bm25_ranked[:PRF_DEPTH]]
+        if self.use_numpy:
+            return self.ann._features[_np.asarray(ids, dtype=_np.intp)].mean(axis=0)
+        dim = self.ann.dim
+        totals = [0.0] * dim
+        for doc in ids:
+            vector = self.ann.feature_of(doc)
+            for c in range(dim):
+                totals[c] += vector[c]
+        return tuple(total / len(ids) for total in totals)
+
+    # -- the pool cut ------------------------------------------------------
+
+    def retrieve(
+        self,
+        query_text: str | None = None,
+        query_features=None,
+        *,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        retriever: str = "hybrid",
+        exact: bool = False,
+    ) -> RetrievalResult:
+        """Cut the corpus to ≤ ``pool_size`` ranked candidates.
+
+        ``exact=True`` swaps the ANN gather for brute force (ground
+        truth); BM25 and fusion are exact either way.
+        """
+        if retriever not in RETRIEVERS:
+            raise RetrievalError(
+                f"unknown retriever {retriever!r}; choose one of {RETRIEVERS}"
+            )
+        if pool_size < 1:
+            raise RetrievalError(f"pool_size must be >= 1, got {pool_size}")
+        start = time.perf_counter()
+        timings: dict[str, float] = {}
+        stages: list[str] = []
+        depth = pool_size
+
+        bm25_ranked = None
+        if retriever != "ann" and self.bm25 is not None and query_text is not None:
+            stage_start = time.perf_counter()
+            bm25_ranked = self.bm25.search(tokenize(query_text), depth)
+            timings["bm25"] = time.perf_counter() - stage_start
+            stages.append("bm25")
+        if retriever == "bm25" and bm25_ranked is None:
+            raise RetrievalError(
+                "bm25 retrieval needs an indexed corpus text and a query_text"
+            )
+
+        ann_ranked = None
+        if retriever != "bm25" and self.ann is not None:
+            vector = query_features
+            if vector is None:
+                vector = self._prf_vector(bm25_ranked)
+            if vector is not None:
+                stage_start = time.perf_counter()
+                if exact:
+                    nearest = self.ann.exact_search(vector, depth)
+                else:
+                    nearest = self.ann.search(vector, depth, self.oversample)
+                # Fusion wants higher-is-better scores; negate distances.
+                ann_ranked = [(doc, -distance) for doc, distance in nearest]
+                timings["ann"] = time.perf_counter() - stage_start
+                stages.append("ann")
+        if retriever == "ann" and ann_ranked is None:
+            raise RetrievalError(
+                "ann retrieval needs indexed features and a query vector "
+                "(explicit, or derived from BM25 feedback on a hybrid run)"
+            )
+
+        if bm25_ranked is not None and ann_ranked is not None:
+            stage_start = time.perf_counter()
+            pooled = fuse(
+                [bm25_ranked, ann_ranked],
+                pool_size,
+                method=self.fusion,
+                weights=self.weights,
+                rrf_k=self.rrf_k,
+            )
+            timings["fusion"] = time.perf_counter() - stage_start
+            stages.append("fusion")
+        elif bm25_ranked is not None:
+            pooled = bm25_ranked[:pool_size]
+        elif ann_ranked is not None:
+            pooled = ann_ranked[:pool_size]
+        else:
+            raise RetrievalError(
+                "nothing to retrieve with: give a query_text for the BM25 "
+                "index and/or query features for the ANN index"
+            )
+
+        timings["total"] = time.perf_counter() - start
+        return RetrievalResult(
+            indices=tuple(doc for doc, _score in pooled),
+            scores=tuple(score for _doc, score in pooled),
+            retriever=retriever,
+            pool_size=pool_size,
+            corpus_size=self.corpus_size,
+            stages=tuple(stages),
+            timings=timings,
+        )
+
+    def __repr__(self) -> str:
+        backend = "numpy" if self.use_numpy else "python"
+        return (
+            f"CandidateRetriever(n={self.corpus_size}, "
+            f"bm25={self.bm25 is not None}, ann={self.ann is not None}, "
+            f"fusion={self.fusion}, backend={backend})"
+        )

@@ -21,7 +21,15 @@ does not know about:
 * the **delta path** — :meth:`delta` drives a streaming workload's
   update feed through the engine's ``apply_delta`` kernel patching and
   :func:`~repro.algorithms.incremental.repair_after_delta` selection
-  repair.
+  repair, and explicitly invalidates the workload's retrieval index so
+  post-update pools are cut from the mutated corpus;
+* the **retrieval front end** — a request carrying ``query_text``
+  routes through the engine's per-tenant retrieval caches
+  (:meth:`~repro.engine.engine.DiversificationEngine.pool_for`): the
+  corpus is cut to a ``pool_size`` candidate pool *before* any O(n²)
+  kernel work, quotas are assessed against the pool (not the corpus),
+  and the per-cut retrieval latency lands in the ``retrieve``
+  telemetry histogram.
 
 Engine work is CPU-bound and the engine is not thread-safe, so each
 tenant's engine runs under an :class:`asyncio.Lock` and executes in a
@@ -42,6 +50,7 @@ from typing import Any
 
 from ..api import DiversifyRequest, DiversifyResponse, EngineConfig
 from ..engine.engine import DiversificationEngine
+from ..retrieval import DEFAULT_POOL_SIZE
 from .cache import TTLCache
 from .registry import WorkloadRegistry, default_registry
 from .telemetry import EndpointTelemetry
@@ -201,6 +210,12 @@ class DiversificationService:
             handle = self.registry.handle(request.workload, request.params)
             instance = request.resolve(handle.base_instance())
         count = instance.answer_count
+        if request.wants_retrieval:
+            # The kernel only ever sees the retrieved pool, so serving
+            # quotas and approximate admission are assessed against the
+            # pool size — the retrieval cut is what keeps million-row
+            # corpora inside the O(n²) ceiling.
+            count = min(count, request.pool_size or DEFAULT_POOL_SIZE)
         approx = (
             self.config.approx_over is not None
             and count > self.config.approx_over
@@ -291,14 +306,21 @@ class DiversificationService:
     # -- endpoints ---------------------------------------------------------
 
     async def diversify(self, request: DiversifyRequest) -> DiversifyResponse:
-        """Serve one diversification request (``POST /diversify``)."""
+        """Serve one diversification request (``POST /diversify``).
+
+        A request carrying ``query_text`` takes the retrieve → diversify
+        path: the engine cuts the corpus to the request's candidate pool
+        (cached per materialization × query, invalidated by ``/delta``)
+        and diversifies the pool; the response's ``retrieval`` block
+        reports the cut and its latency feeds the ``retrieve``
+        histogram."""
         key = request.key()
         engine = self.engine_for(request.tenant)
 
         def compute() -> DiversifyResponse:
             instance, approx = self._resolve(request)
             eng = self.approx_engine_for(request.tenant) if approx else engine
-            result = eng.run(instance, request.algorithm)
+            result = eng.run(instance, request.algorithm, request=request)
             self._count_serve(result)
             if result is not None:
                 self._selections[key] = result.rows
@@ -309,7 +331,14 @@ class DiversificationService:
         ) -> DiversifyResponse:
             return replace(payload, cache=provenance, elapsed_ms=elapsed_ms)
 
-        return await self._serve("diversify", request, key, compute, stamp)
+        response = await self._serve("diversify", request, key, compute, stamp)
+        if response.cache == "computed" and response.retrieval is not None:
+            # Loop-thread only: EndpointTelemetry is not thread-safe.
+            self.telemetry.record(
+                "retrieve",
+                float(response.retrieval.get("elapsed_ms", 0.0)) / 1000.0,
+            )
+        return response
 
     async def sweep(
         self,
@@ -384,7 +413,8 @@ class DiversificationService:
 
         Steps the workload's stream ``events`` times (insert/delete
         against the live database), evicts the workload's TTL-cached
-        results, and — when ``k`` is given — refreshes the selection:
+        results *and* its retrieval index/pools, and — when ``k`` is
+        given — refreshes the selection:
         the engine's :meth:`~repro.engine.engine.DiversificationEngine.
         kernel_for` patches the cached kernel in place
         (``apply_delta``, O(n·|Δ|)) and
@@ -414,12 +444,18 @@ class DiversificationService:
 
         def compute() -> dict[str, Any]:
             applied = handle.apply_updates(int(events))
+            # The corpus moved: drop its retrieval index and pools so the
+            # next query_text request re-indexes the mutated answer set
+            # (the index's own snapshot check would catch it too — this
+            # frees the memory now and makes the invalidation observable).
+            stale_index = engine.invalidate_retrieval(handle.base_instance())
             payload: dict[str, Any] = {
                 "workload": workload,
                 "events": [
                     {"op": event.op, "doc": event.doc, "rows": len(event.rows)}
                     for event in applied
                 ],
+                "retrieval_invalidated": stale_index,
             }
             if request is None:
                 return payload
@@ -521,6 +557,10 @@ class DiversificationService:
                     "evictions": stats.evictions,
                     "lookups": stats.lookups,
                     "hit_rate": round(stats.hit_rate, 4),
+                },
+                "retrieval": {
+                    "cached_indexes": engine.cached_retrievers,
+                    **engine.retrieval_stats,
                 },
             }
             approx_engine = self._approx_engines.get(tenant)

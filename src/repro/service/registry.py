@@ -21,7 +21,8 @@ Two handle shapes:
   its delta-patching path.
 
 :func:`default_registry` registers the built-ins (``synthetic``,
-``websearch``, ``streaming``); deployments register their own factories
+``websearch``, ``corpus``, ``streaming``); deployments register their
+own factories
 with :meth:`WorkloadRegistry.register`.
 """
 
@@ -33,7 +34,7 @@ from typing import Any
 from ..api import ApiError, canonical_params
 from ..core.instance import DiversificationInstance
 from ..core.objectives import Objective, ObjectiveKind
-from ..workloads import streaming, synthetic, websearch
+from ..workloads import corpus, streaming, synthetic, websearch
 
 #: Wire names of the objective kinds (shared with the CLI).
 OBJECTIVE_KINDS: dict[str, ObjectiveKind] = {
@@ -152,6 +153,36 @@ def _build_websearch(params: Mapping[str, Any]) -> StaticWorkload:
     return StaticWorkload(build)
 
 
+def _build_corpus(params: Mapping[str, Any]) -> StaticWorkload:
+    p = _take(
+        params,
+        {
+            "num_docs": 400,
+            "num_topics": 8,
+            "seed": 17,
+            "objective": "max-sum",
+            "lam": 0.5,
+        },
+        "corpus",
+    )
+    kind = OBJECTIVE_KINDS.get(p["objective"])
+    if kind is None:
+        raise ApiError(
+            f"unknown objective {p['objective']!r}; "
+            f"choose one of {sorted(OBJECTIVE_KINDS)}"
+        )
+
+    def build() -> DiversificationInstance:
+        documents = corpus.generate(
+            num_docs=int(p["num_docs"]),
+            num_topics=int(p["num_topics"]),
+            seed=int(p["seed"]),
+        )
+        return documents.full_instance(k=10, kind=kind, lam=float(p["lam"]))
+
+    return StaticWorkload(build)
+
+
 def _build_streaming(params: Mapping[str, Any]) -> StreamingWorkload:
     p = _take(
         params,
@@ -217,5 +248,6 @@ def default_registry() -> WorkloadRegistry:
     registry = WorkloadRegistry()
     registry.register("synthetic", _build_synthetic)
     registry.register("websearch", _build_websearch)
+    registry.register("corpus", _build_corpus)
     registry.register("streaming", _build_streaming)
     return registry

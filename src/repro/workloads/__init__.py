@@ -1,6 +1,14 @@
 """Synthetic workload generators: the paper's motivating scenarios plus
 random instances for tests and benchmarks."""
 
-from . import courses, gifts, streaming, synthetic, teams, websearch
+from . import corpus, courses, gifts, streaming, synthetic, teams, websearch
 
-__all__ = ["courses", "gifts", "streaming", "synthetic", "teams", "websearch"]
+__all__ = [
+    "corpus",
+    "courses",
+    "gifts",
+    "streaming",
+    "synthetic",
+    "teams",
+    "websearch",
+]

@@ -1,0 +1,263 @@
+"""Corpus-scale document workload: the retrieval front end's proving ground.
+
+The other workload generators materialize every row up front, which is
+exactly what a million-row corpus cannot afford.  :class:`DocumentCorpus`
+keeps the corpus **array-backed** — token lists, a feature matrix, and
+relevance scores, NumPy-vectorized generation when available — and
+materializes :class:`~repro.relational.schema.Row` objects lazily, so a
+retrieval pass over n = 10⁶ only ever builds the ~2,000 pool rows the
+kernel will see.
+
+The documents are websearch-shaped synthetics: each belongs to one of
+``num_topics`` intents (Zipf-skewed, head topics crowded like real
+query logs), its text samples that topic's vocabulary plus a few shared
+terms, and its feature vector is the topic centroid plus Gaussian noise
+— so lexical (BM25) and geometric (ANN) similarity agree on topic
+membership but disagree in the tail, which is what makes hybrid fusion
+earn its keep.  Everything is seeded and deterministic per backend; the
+NumPy and pure-Python generators draw from different RNG streams, so
+corpora are compared within a backend, never across.
+
+Rows carry their feature vector as a value (the ``vector`` attribute, a
+tuple — rows hash by value), so the pool's
+:class:`~repro.core.providers.FeatureSpaceProvider` recovers the exact
+geometry the ANN index searched: the retrieval stage and the kernel
+score the same floats.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI cell
+    _np = None
+
+from ..core.instance import DiversificationInstance
+from ..core.objectives import Objective, ObjectiveKind
+from ..core.providers import FeatureSpaceProvider
+from ..relational.queries import Query, identity_query
+from ..relational.schema import Database, Relation, RelationSchema, Row
+
+__all__ = ["DOCS", "DocumentCorpus", "documents_query", "generate"]
+
+#: ``vector`` is the document's feature tuple — stored in the row so a
+#: pool row is self-describing to the provider (rows hash by value;
+#: tuples of floats are hashable).
+DOCS = RelationSchema("corpus", ("doc", "text", "topic", "score", "vector"))
+
+
+def documents_query() -> Query:
+    """The identity query over the corpus relation."""
+    return identity_query(DOCS)
+
+
+class DocumentCorpus:
+    """An array-backed synthetic document corpus.
+
+    ``texts[i]`` is document i's token list (interned vocabulary
+    strings), ``features`` the n×dim float64 topic-geometry matrix
+    (NumPy array when available, tuples otherwise), ``scores[i]`` the
+    document's relevance.  Rows materialize lazily via :meth:`row`.
+    """
+
+    def __init__(
+        self,
+        num_docs: int,
+        num_topics: int = 8,
+        terms_per_doc: int = 6,
+        topic_vocab: int = 32,
+        shared_vocab: int = 16,
+        shared_per_doc: int = 2,
+        dim: int = 8,
+        noise: float = 0.08,
+        seed: int = 17,
+        use_numpy: bool | None = None,
+    ):
+        if num_docs < 0:
+            raise ValueError(f"num_docs must be >= 0, got {num_docs}")
+        if num_topics < 1:
+            raise ValueError(f"num_topics must be >= 1, got {num_topics}")
+        if use_numpy is None:
+            use_numpy = _np is not None
+        self.use_numpy = bool(use_numpy and _np is not None)
+        self.n = int(num_docs)
+        self.num_topics = int(num_topics)
+        self.dim = int(dim)
+        self.seed = int(seed)
+        rng = random.Random(seed)
+        vocabulary = [
+            [f"t{topic}w{word}" for word in range(topic_vocab)]
+            for topic in range(num_topics)
+        ]
+        shared = [f"common{word}" for word in range(shared_vocab)]
+        self._vocabulary = vocabulary
+        centers = [
+            tuple(rng.random() for _ in range(dim)) for _ in range(num_topics)
+        ]
+        self.topic_centers = centers
+        # Zipf-skewed topic mass: head topics crowded, tail sparse.
+        weights = [1.0 / (topic + 1.0) for topic in range(num_topics)]
+        if self.use_numpy:
+            self._generate_numpy(
+                weights, centers, vocabulary, shared,
+                terms_per_doc, topic_vocab, shared_per_doc, shared_vocab, noise,
+            )
+        else:
+            self._generate_python(
+                rng, weights, centers, vocabulary, shared,
+                terms_per_doc, topic_vocab, shared_per_doc, shared_vocab, noise,
+            )
+        self._rows: dict[int, Row] = {}
+        self._provider: FeatureSpaceProvider | None = None
+
+    def _generate_numpy(
+        self, weights, centers, vocabulary, shared,
+        terms_per_doc, topic_vocab, shared_per_doc, shared_vocab, noise,
+    ):
+        rng = _np.random.default_rng(self.seed)
+        n = self.n
+        total = sum(weights)
+        probabilities = _np.asarray([w / total for w in weights])
+        probabilities /= probabilities.sum()
+        topics = rng.choice(self.num_topics, size=n, p=probabilities)
+        center_matrix = _np.asarray(centers, dtype=_np.float64)
+        self.features = center_matrix[topics] + rng.normal(0.0, noise, (n, self.dim))
+        self.scores = rng.random(n)
+        term_ids = rng.integers(0, topic_vocab, (n, terms_per_doc)).tolist()
+        shared_ids = rng.integers(0, shared_vocab, (n, shared_per_doc)).tolist()
+        self.topics = topics.tolist()
+        self.texts = [
+            [vocabulary[topic][word] for word in words]
+            + [shared[word] for word in extra]
+            for topic, words, extra in zip(self.topics, term_ids, shared_ids)
+        ]
+
+    def _generate_python(
+        self, rng, weights, centers, vocabulary, shared,
+        terms_per_doc, topic_vocab, shared_per_doc, shared_vocab, noise,
+    ):
+        n = self.n
+        self.topics = rng.choices(range(self.num_topics), weights=weights, k=n)
+        self.features = [
+            tuple(c + rng.gauss(0.0, noise) for c in centers[topic])
+            for topic in self.topics
+        ]
+        self.scores = [rng.random() for _ in range(n)]
+        self.texts = [
+            [vocabulary[topic][rng.randrange(topic_vocab)] for _ in range(terms_per_doc)]
+            + [shared[rng.randrange(shared_vocab)] for _ in range(shared_per_doc)]
+            for topic in self.topics
+        ]
+
+    # -- queries -----------------------------------------------------------
+
+    def query_text(self, topic: int, terms: int = 3) -> str:
+        """A lexical query for one topic: its first ``terms`` words."""
+        words = self._vocabulary[topic % self.num_topics]
+        return " ".join(words[: max(1, min(terms, len(words)))])
+
+    def query_features(self, topic: int) -> tuple:
+        """The geometric query for one topic: its centroid."""
+        return self.topic_centers[topic % self.num_topics]
+
+    # -- lazy row materialization -----------------------------------------
+
+    def text(self, i: int) -> str:
+        return " ".join(self.texts[i])
+
+    def feature_tuple(self, i: int) -> tuple:
+        vector = self.features[i]
+        return tuple(float(x) for x in vector)
+
+    def row(self, i: int) -> Row:
+        """Document i as a Row (memoized — callers materialize pools,
+        not corpora, so this dict stays pool-sized)."""
+        row = self._rows.get(i)
+        if row is None:
+            row = self._rows[i] = DOCS.row(
+                i,
+                self.text(i),
+                int(self.topics[i]),
+                float(self.scores[i]),
+                self.feature_tuple(i),
+            )
+        return row
+
+    def rows(self, indices: Sequence[int]) -> list[Row]:
+        return [self.row(i) for i in indices]
+
+    # -- engine-facing surfaces -------------------------------------------
+
+    def provider(self) -> FeatureSpaceProvider:
+        """The shared scorer (memoized: provider identity is the kernel
+        cache's distance-function identity)."""
+        if self._provider is None:
+            self._provider = FeatureSpaceProvider(
+                lambda row: row["vector"],
+                metric="euclidean",
+                relevance=lambda row, query: float(row["score"]),
+                name="corpus-topics",
+                distance_name="corpus-euclidean",
+            )
+        return self._provider
+
+    def instance(
+        self,
+        indices: Sequence[int],
+        k: int = 10,
+        kind: ObjectiveKind = ObjectiveKind.MAX_SUM,
+        lam: float = 0.5,
+    ) -> DiversificationInstance:
+        """A diversification instance over the given documents only —
+        the pool → kernel hand-off (also how tests build the 'direct'
+        twin of a retrieved pool)."""
+        relation = Relation(DOCS, self.rows(indices))
+        db = Database([relation])
+        objective = Objective.from_provider(kind, self.provider(), lam=lam)
+        return DiversificationInstance(documents_query(), db, k=k, objective=objective)
+
+    def full_instance(
+        self,
+        k: int = 10,
+        kind: ObjectiveKind = ObjectiveKind.MAX_SUM,
+        lam: float = 0.5,
+    ) -> DiversificationInstance:
+        """Every document materialized — the registry path for
+        moderate-n corpora (the engine retrieves *from* this instance)."""
+        return self.instance(range(self.n), k=k, kind=kind, lam=lam)
+
+    def retriever(self, **knobs):
+        """A :class:`~repro.retrieval.CandidateRetriever` over the raw
+        arrays — no row materialization, the n = 10⁶ path."""
+        from ..retrieval import CandidateRetriever
+
+        return CandidateRetriever(
+            texts=self.texts,
+            features=self.features,
+            metric="euclidean",
+            use_numpy=self.use_numpy,
+            **knobs,
+        )
+
+    def __repr__(self) -> str:
+        backend = "numpy" if self.use_numpy else "python"
+        return (
+            f"DocumentCorpus(n={self.n}, topics={self.num_topics}, "
+            f"dim={self.dim}, seed={self.seed}, backend={backend})"
+        )
+
+
+def generate(
+    num_docs: int = 200,
+    num_topics: int = 8,
+    seed: int = 17,
+    use_numpy: bool | None = None,
+    **knobs,
+) -> DocumentCorpus:
+    """A seeded :class:`DocumentCorpus` (keyword knobs pass through)."""
+    return DocumentCorpus(
+        num_docs, num_topics=num_topics, seed=seed, use_numpy=use_numpy, **knobs
+    )

@@ -1,0 +1,154 @@
+"""DiversifyRequest/Response retrieval fields on the wire.
+
+The compatibility contract: plain requests keep their historical
+payload shape byte-for-byte; retrieval fields appear only when a
+``query_text`` opted in, and ``from_dict`` stays strict about types.
+"""
+
+import pytest
+
+from repro.api import ApiError, DiversifyRequest, DiversifyResponse
+
+
+def plain_request(**overrides):
+    fields = dict(workload="synthetic", params={"n": 40}, k=5)
+    fields.update(overrides)
+    return DiversifyRequest(**fields)
+
+
+def retrieval_request(**overrides):
+    fields = dict(
+        workload="corpus",
+        params={"num_docs": 400},
+        k=5,
+        query_text="t0w0 t0w1",
+        pool_size=100,
+        retriever="hybrid",
+    )
+    fields.update(overrides)
+    return DiversifyRequest(**fields)
+
+
+class TestRequestWire:
+    def test_roundtrip(self):
+        request = retrieval_request()
+        rebuilt = DiversifyRequest.from_dict(request.to_dict())
+        assert rebuilt == request
+        assert rebuilt.wants_retrieval
+
+    def test_plain_payloads_keep_the_historical_shape(self):
+        payload = plain_request().to_dict()
+        assert set(payload) == {
+            "workload", "params", "k", "lam", "algorithm", "tenant",
+        }
+        assert "query_text" not in payload
+        rebuilt = DiversifyRequest.from_dict(payload)
+        assert not rebuilt.wants_retrieval
+        assert rebuilt.to_dict() == payload
+
+    def test_retrieval_fields_are_emitted_only_when_set(self):
+        payload = retrieval_request(pool_size=None, retriever=None).to_dict()
+        assert payload["query_text"] == "t0w0 t0w1"
+        assert "pool_size" not in payload
+        assert "retriever" not in payload
+
+    def test_pool_size_without_query_text_raises(self):
+        with pytest.raises(ApiError):
+            plain_request(pool_size=100)
+        with pytest.raises(ApiError):
+            plain_request(retriever="bm25")
+
+    def test_bad_retriever_and_pool_size(self):
+        with pytest.raises(ApiError):
+            retrieval_request(retriever="lucene")
+        with pytest.raises(ApiError):
+            retrieval_request(pool_size=0)
+        with pytest.raises(ApiError):
+            retrieval_request(pool_size=-5)
+
+    def test_from_dict_is_strict_about_types(self):
+        base = retrieval_request().to_dict()
+        for field, bad in [
+            ("query_text", 7),
+            ("pool_size", "many"),
+            ("pool_size", True),
+            ("retriever", 3.5),
+        ]:
+            payload = dict(base)
+            payload[field] = bad
+            with pytest.raises(ApiError):
+                DiversifyRequest.from_dict(payload)
+        with pytest.raises(ApiError):
+            DiversifyRequest.from_dict({**base, "surprise": 1})
+
+    def test_instance_backed_retrieval_request_has_no_wire_form(self):
+        from repro.workloads.synthetic import random_instance
+
+        request = DiversifyRequest(
+            instance=random_instance(n=10), k=3, query_text="anything"
+        )
+        assert request.wants_retrieval
+        with pytest.raises(ApiError):
+            request.to_dict()
+
+
+class TestRequestKey:
+    def test_plain_keys_keep_the_historical_shape(self):
+        key = plain_request().key()
+        assert "retrieve" not in key
+
+    def test_retrieval_extends_the_key(self):
+        plain = plain_request()
+        retrieving = plain_request(query_text="solar")
+        assert plain.key() != retrieving.key()
+        assert "retrieve" in retrieving.key()
+        # Different cut → different identity; same cut → same identity.
+        assert retrieving.key() != plain_request(query_text="wind").key()
+        assert retrieving.key() == plain_request(query_text="solar").key()
+        assert (
+            plain_request(query_text="solar", pool_size=10).key()
+            != retrieving.key()
+        )
+        # Explicit hybrid is the default spelled out: identical keys.
+        assert (
+            plain_request(query_text="solar", retriever="hybrid").key()
+            == retrieving.key()
+        )
+
+
+class TestResponseWire:
+    def test_retrieval_block_roundtrips(self):
+        block = {
+            "retriever": "hybrid",
+            "pool": 42,
+            "pool_size": 100,
+            "corpus_size": 400,
+            "stages": ["bm25", "ann", "fusion"],
+            "elapsed_ms": 1.25,
+        }
+        response = DiversifyResponse(
+            feasible=True,
+            value=3.5,
+            indices=(0, 1),
+            rows=None,
+            algorithm="greedy_max_sum",
+            backend="python",
+            retrieval=block,
+        )
+        payload = response.to_dict()
+        assert payload["retrieval"] == block
+        rebuilt = DiversifyResponse.from_dict(payload)
+        assert rebuilt.retrieval == block
+
+    def test_plain_response_keeps_a_null_retrieval_slot(self):
+        response = DiversifyResponse(
+            feasible=True,
+            value=1.0,
+            indices=(0,),
+            rows=None,
+            algorithm="greedy_max_sum",
+            backend="python",
+        )
+        payload = response.to_dict()
+        assert payload["retrieval"] is None
+        assert DiversifyResponse.from_dict(payload).retrieval is None

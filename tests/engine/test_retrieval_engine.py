@@ -1,0 +1,167 @@
+"""Engine-level retrieval mechanics: caching, invalidation, routing."""
+
+import pytest
+
+from repro.api import DiversifyRequest
+from repro.engine import DiversificationEngine, EngineResult, numpy_available
+from repro.workloads import corpus
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+
+def make(use_numpy, n=200, k=6):
+    documents = corpus.generate(num_docs=n, use_numpy=use_numpy)
+    base = documents.full_instance(k=k)
+    engine = DiversificationEngine(use_numpy=use_numpy)
+    return documents, base, engine
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_retriever_for_is_cached_per_materialization(use_numpy):
+    documents, base, engine = make(use_numpy)
+    first = engine.retriever_for(base)
+    second = engine.retriever_for(base)
+    assert first is second
+    assert engine.cached_retrievers == 1
+    assert engine.retrieval_stats["indexes_built"] == 1
+    other = documents.full_instance(k=4)  # fresh query/db objects
+    engine.retriever_for(other)
+    assert engine.cached_retrievers == 2
+    assert engine.retrieval_stats["indexes_built"] == 2
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_pool_memoization_and_kernel_reuse(use_numpy):
+    documents, base, engine = make(use_numpy)
+    query = documents.query_text(0)
+    request = DiversifyRequest(
+        instance=base, k=6, algorithm="greedy_max_sum",
+        query_text=query, pool_size=30,
+    )
+    first = engine.run(request=request)
+    assert engine.retrieval_stats["pool_misses"] == 1
+    assert first.kernel_reused is False
+    again = engine.run(request=request)
+    assert engine.retrieval_stats["pool_hits"] == 1
+    # The memoized pool instance is the same object — its kernel too.
+    assert again.kernel_reused is True
+    assert again.value == first.value
+    assert again.rows == first.rows
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_k_variants_share_the_pool_kernel(use_numpy):
+    documents, base, engine = make(use_numpy, k=8)
+    query = documents.query_text(2)
+    results = []
+    for k in (3, 5, 8):
+        results.append(
+            engine.run(
+                request=DiversifyRequest(
+                    instance=base, k=k, algorithm="greedy_max_sum",
+                    query_text=query, pool_size=40,
+                )
+            )
+        )
+    assert engine.retrieval_stats["pool_misses"] == 1
+    assert engine.retrieval_stats["pool_hits"] == 2
+    assert [len(result.rows) for result in results] == [3, 5, 8]
+    # Later k-variants reuse the kernel the first solve built.
+    assert results[1].kernel_reused and results[2].kernel_reused
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_invalidate_retrieval_drops_index_and_pools(use_numpy):
+    documents, base, engine = make(use_numpy)
+    query = documents.query_text(0)
+    engine.run(
+        request=DiversifyRequest(
+            instance=base, k=6, algorithm="greedy_max_sum",
+            query_text=query, pool_size=30,
+        )
+    )
+    assert engine.cached_retrievers == 1
+    assert engine.invalidate_retrieval(base) is True
+    assert engine.cached_retrievers == 0
+    assert engine.retrieval_stats["invalidations"] == 1
+    # Second call: nothing live to drop.
+    assert engine.invalidate_retrieval(base) is False
+    assert engine.retrieval_stats["invalidations"] == 1
+    # The next retrieval request rebuilds index and pool from scratch.
+    engine.run(
+        request=DiversifyRequest(
+            instance=base, k=6, algorithm="greedy_max_sum",
+            query_text=query, pool_size=30,
+        )
+    )
+    assert engine.retrieval_stats["indexes_built"] == 2
+    assert engine.retrieval_stats["pool_misses"] == 2
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_clear_cache_clears_retrieval_state(use_numpy):
+    documents, base, engine = make(use_numpy)
+    engine.run(
+        request=DiversifyRequest(
+            instance=base, k=6, algorithm="greedy_max_sum",
+            query_text=documents.query_text(0), pool_size=30,
+        )
+    )
+    assert engine.cached_retrievers == 1
+    engine.clear_cache()
+    assert engine.cached_retrievers == 0
+    assert engine.cached_kernels == 0
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_plain_requests_bypass_retrieval(use_numpy):
+    documents, base, engine = make(use_numpy, n=80)
+    result = engine.run(
+        request=DiversifyRequest(instance=base, k=6, algorithm="greedy_max_sum")
+    )
+    assert result.retrieval is None
+    assert engine.cached_retrievers == 0
+    assert engine.retrieval_stats["pool_misses"] == 0
+    # Identical to the historical (instance, algorithm) call.
+    direct = DiversificationEngine(use_numpy=use_numpy).run(
+        base, "greedy_max_sum"
+    )
+    assert result.value == direct.value
+    assert result.rows == direct.rows
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_result_retrieval_block_roundtrips(use_numpy):
+    documents, base, engine = make(use_numpy)
+    result = engine.run(
+        request=DiversifyRequest(
+            instance=base, k=6, algorithm="greedy_max_sum",
+            query_text=documents.query_text(1), pool_size=30,
+        )
+    )
+    block = result.retrieval
+    assert block["retriever"] == "hybrid"
+    assert block["pool"] <= 30
+    assert block["corpus_size"] == 200
+    assert block["elapsed_ms"] >= 0.0
+    rebuilt = EngineResult.from_dict(result.to_dict())
+    assert rebuilt.retrieval == block
+    assert rebuilt.value == result.value
+    assert rebuilt.rows == result.rows
+    # Plain results keep a null retrieval slot through the roundtrip.
+    plain = engine.run(base, "greedy_max_sum")
+    assert EngineResult.from_dict(plain.to_dict()).retrieval is None
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_stale_snapshot_rebuilds_the_index(use_numpy):
+    """The retriever cache applies the kernel's freshness rule: mutate
+    the database in place and the next cut re-indexes."""
+    documents, base, engine = make(use_numpy, n=60)
+    engine.retriever_for(base)
+    assert engine.retrieval_stats["indexes_built"] == 1
+    relation = base.db.relation(corpus.DOCS.name)
+    relation.discard(documents.row(0))
+    base.invalidate_cache()
+    engine.retriever_for(base)
+    assert engine.retrieval_stats["indexes_built"] == 2

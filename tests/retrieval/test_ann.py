@@ -1,0 +1,128 @@
+"""ANN index: exact re-rank, deterministic buckets, metric awareness."""
+
+import random
+
+import pytest
+
+from repro.core.providers import resolve_metric
+from repro.engine import numpy_available
+from repro.retrieval import ANN_METHODS, AnnIndex, RetrievalError
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+
+def clustered_features(n, dim=4, clusters=3, seed=11):
+    rng = random.Random(seed)
+    centers = [
+        tuple(rng.random() * 4.0 for _ in range(dim)) for _ in range(clusters)
+    ]
+    return [
+        tuple(
+            c + rng.gauss(0.0, 0.15)
+            for c in centers[i % clusters]
+        )
+        for i in range(n)
+    ]
+
+
+def brute_force(features, metric, query, top_n):
+    metric = resolve_metric(metric)
+    scored = sorted(
+        ((i, metric.scalar(vector, query)) for i, vector in enumerate(features)),
+        key=lambda pair: (pair[1], pair[0]),
+    )
+    return scored[:top_n]
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_exact_search_is_brute_force(use_numpy):
+    features = clustered_features(60)
+    index = AnnIndex(features, use_numpy=use_numpy)
+    query = features[7]
+    expected = brute_force(features, "euclidean", query, 10)
+    got = index.exact_search(query, 10)
+    assert [doc for doc, _ in got] == [doc for doc, _ in expected]
+    for (_, got_d), (_, want_d) in zip(got, expected):
+        assert got_d == pytest.approx(want_d, rel=1e-12)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("method", ANN_METHODS)
+def test_full_gather_equals_exact(use_numpy, method):
+    """Oversampling past n opens every bucket — the approximate search
+    must then coincide with brute force (the re-rank is exact)."""
+    features = clustered_features(50)
+    index = AnnIndex(features, method=method, use_numpy=use_numpy)
+    query = features[3]
+    assert index.search(query, 8, oversample=50) == index.exact_search(query, 8)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_search_distances_are_exact_and_sorted(use_numpy):
+    features = clustered_features(80)
+    index = AnnIndex(features, use_numpy=use_numpy)
+    metric = resolve_metric("euclidean")
+    result = index.search(features[0], 12)
+    assert len(result) == 12
+    distances = [d for _, d in result]
+    assert distances == sorted(distances)
+    for doc, distance in result:
+        assert distance == pytest.approx(
+            metric.scalar(features[doc], features[0]), rel=1e-12
+        )
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_repeated_builds_are_deterministic(use_numpy):
+    features = clustered_features(70)
+    a = AnnIndex(features, use_numpy=use_numpy, seed=5)
+    b = AnnIndex(features, use_numpy=use_numpy, seed=5)
+    assert a._buckets == b._buckets
+    query = features[11]
+    assert a.search(query, 9) == b.search(query, 9)
+
+
+def test_method_defaults_follow_the_metric():
+    features = clustered_features(20)
+    assert AnnIndex(features, metric="euclidean").method == "projection"
+    binary = [(float(i % 2), float(i % 3 == 0)) for i in range(20)]
+    assert AnnIndex(binary, metric="jaccard").method == "cluster"
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_cluster_method_respects_the_metric(use_numpy):
+    binary = [(float(i % 2), float((i // 2) % 2), 1.0) for i in range(24)]
+    index = AnnIndex(binary, metric="jaccard", method="cluster", use_numpy=use_numpy)
+    query = binary[5]
+    expected = brute_force(binary, "jaccard", query, 6)
+    assert index.search(query, 6, oversample=24) == [
+        (doc, pytest.approx(dist, rel=1e-12)) for doc, dist in expected
+    ]
+
+
+def test_validation_errors():
+    features = clustered_features(10)
+    with pytest.raises(RetrievalError):
+        AnnIndex(features, method="nope")
+    index = AnnIndex(features)
+    with pytest.raises(RetrievalError):
+        index.search((1.0,), 5)  # dim mismatch
+    with pytest.raises(RetrievalError):
+        index.search(None, 5)
+
+
+def test_empty_index_returns_nothing():
+    index = AnnIndex([], use_numpy=False)
+    assert index.search((1.0, 2.0), 5) == []
+    assert index.exact_search((1.0, 2.0), 5) == []
+
+
+@pytest.mark.skipif(not numpy_available(), reason="needs both backends")
+def test_backend_parity_on_exact_search():
+    features = clustered_features(90)
+    query = features[42]
+    got_np = AnnIndex(features, use_numpy=True).exact_search(query, 15)
+    got_py = AnnIndex(features, use_numpy=False).exact_search(query, 15)
+    assert [doc for doc, _ in got_np] == [doc for doc, _ in got_py]
+    for (_, d_np), (_, d_py) in zip(got_np, got_py):
+        assert d_np == d_py  # Metric.block == Metric.scalar bit-for-bit

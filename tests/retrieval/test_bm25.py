@@ -1,0 +1,120 @@
+"""BM25 index: exact Okapi scoring, posting-list bounds, backend parity."""
+
+import math
+import random
+
+import pytest
+
+from repro.engine import numpy_available
+from repro.retrieval import BM25Index, row_text, tokenize
+from repro.relational.schema import RelationSchema
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+DOCS = [
+    ["solar", "panels", "efficiency"],
+    ["solar", "wind", "grid"],
+    ["wind", "turbine", "offshore", "wind"],
+    ["battery", "storage", "grid", "grid"],
+]
+
+
+def reference_score(docs, query, doc_id, k1=1.5, b=0.75):
+    """Straight-from-the-formula Okapi BM25 for one document."""
+    n = len(docs)
+    avgdl = sum(len(d) for d in docs) / n
+    score = 0.0
+    for term in query:
+        df = sum(1 for d in docs if term in d)
+        if df == 0:
+            continue
+        tf = docs[doc_id].count(term)
+        if tf == 0:
+            continue
+        idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        score += idf * (tf * (k1 + 1.0)) / (
+            tf + k1 * (1.0 - b + b * len(docs[doc_id]) / avgdl)
+        )
+    return score
+
+
+def test_tokenize_lowercases_and_splits():
+    assert tokenize("Solar PANELS, 42 watts!") == ["solar", "panels", "42", "watts"]
+    assert tokenize(3.5) == ["3", "5"]
+    assert tokenize("") == []
+
+
+def test_row_text_prefers_text_attribute():
+    schema = RelationSchema("docs", ("doc", "text", "score"))
+    row = schema.row("d1", "solar panels", 0.5)
+    assert row_text(row) == "solar panels"
+
+
+def test_row_text_falls_back_to_all_values():
+    schema = RelationSchema("items", ("id", "colour", "weight"))
+    row = schema.row(7, "red", 2.5)
+    assert row_text(row) == "7 red 2.5"
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_scores_match_reference_formula(use_numpy):
+    index = BM25Index(DOCS, use_numpy=use_numpy)
+    ranked = dict(index.search(["solar", "grid"]))
+    for doc_id in range(len(DOCS)):
+        expected = reference_score(DOCS, ["solar", "grid"], doc_id)
+        if expected == 0.0:
+            assert doc_id not in ranked
+        else:
+            assert ranked[doc_id] == pytest.approx(expected, rel=1e-12)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_disjoint_documents_never_appear(use_numpy):
+    index = BM25Index(DOCS, use_numpy=use_numpy)
+    hits = [doc for doc, _ in index.search(["battery"])]
+    assert hits == [3]
+    assert index.search(["unseen"]) == []
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_ties_break_by_document_id(use_numpy):
+    docs = [["a", "b"], ["a", "b"], ["a", "b"]]
+    index = BM25Index(docs, use_numpy=use_numpy)
+    assert [doc for doc, _ in index.search(["a"])] == [0, 1, 2]
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_top_n_is_a_prefix_of_the_full_ranking(use_numpy):
+    index = BM25Index(DOCS, use_numpy=use_numpy)
+    full = index.search(["solar", "grid", "wind"])
+    assert index.search(["solar", "grid", "wind"], top_n=2) == full[:2]
+    assert index.search(["solar"], top_n=0) == []
+
+
+def test_vocabulary_and_idf():
+    index = BM25Index(DOCS, use_numpy=False)
+    assert index.vocabulary_size == 9
+    assert index.document_frequency("grid") == 2
+    assert index.document_frequency("unseen") == 0
+    assert index.idf("unseen") == 0.0
+    assert index.idf("grid") == pytest.approx(
+        math.log(1.0 + (4 - 2 + 0.5) / (2 + 0.5))
+    )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="needs both backends")
+@pytest.mark.parametrize("seed", range(3))
+def test_backend_parity_float_for_float(seed):
+    rng = random.Random(seed)
+    vocabulary = [f"w{i}" for i in range(30)]
+    docs = [
+        [rng.choice(vocabulary) for _ in range(rng.randrange(1, 12))]
+        for _ in range(120)
+    ]
+    query = [rng.choice(vocabulary) for _ in range(4)]
+    ranked_np = BM25Index(docs, use_numpy=True).search(query)
+    ranked_py = BM25Index(docs, use_numpy=False).search(query)
+    assert len(ranked_np) == len(ranked_py)
+    for (doc_np, score_np), (doc_py, score_py) in zip(ranked_np, ranked_py):
+        assert doc_np == doc_py
+        assert score_np == score_py  # bit-for-bit, not approx

@@ -1,0 +1,61 @@
+"""Fusion rules: exact RRF / weighted arithmetic, ties, validation."""
+
+import pytest
+
+from repro.retrieval import DEFAULT_RRF_K, fuse
+from repro.retrieval.ann import RetrievalError
+
+LEXICAL = [(0, 10.0), (1, 8.0), (2, 1.0)]
+VECTOR = [(1, -0.1), (3, -0.2), (0, -0.9)]
+
+
+def test_rrf_matches_hand_computation():
+    fused = dict(fuse([LEXICAL, VECTOR], pool_size=10))
+    k = DEFAULT_RRF_K
+    assert fused[0] == pytest.approx(1 / (k + 1) + 1 / (k + 3))
+    assert fused[1] == pytest.approx(1 / (k + 2) + 1 / (k + 1))
+    assert fused[2] == pytest.approx(1 / (k + 3))
+    assert fused[3] == pytest.approx(1 / (k + 2))
+
+
+def test_rrf_weights_scale_contributions():
+    fused = dict(fuse([LEXICAL, VECTOR], pool_size=10, weights=[2.0, 0.0]))
+    k = DEFAULT_RRF_K
+    assert fused == {
+        0: pytest.approx(2 / (k + 1)),
+        1: pytest.approx(2 / (k + 2)),
+        2: pytest.approx(2 / (k + 3)),
+    }
+
+
+def test_weighted_min_max_normalization():
+    fused = dict(fuse([LEXICAL, VECTOR], pool_size=10, method="weighted"))
+    # Lexical spans [1, 10]; vector spans [-0.9, -0.1].
+    assert fused[0] == pytest.approx(1.0 + 0.0)
+    assert fused[1] == pytest.approx(7.0 / 9.0 + 1.0)
+    assert fused[3] == pytest.approx((-0.2 + 0.9) / 0.8)
+
+
+def test_weighted_constant_list_normalizes_to_one():
+    fused = dict(fuse([[(4, 2.5), (9, 2.5)]], pool_size=10, method="weighted"))
+    assert fused == {4: 1.0, 9: 1.0}
+
+
+def test_ties_break_by_document_id():
+    fused = fuse([[(9, 1.0), (2, 1.0)]], pool_size=10, method="weighted")
+    assert [doc for doc, _ in fused] == [2, 9]
+
+
+def test_pool_size_truncates_after_ranking():
+    full = fuse([LEXICAL, VECTOR], pool_size=10)
+    assert fuse([LEXICAL, VECTOR], pool_size=2) == full[:2]
+    assert fuse([LEXICAL, VECTOR], pool_size=0) == []
+
+
+def test_validation_errors():
+    with pytest.raises(RetrievalError):
+        fuse([LEXICAL], pool_size=5, method="nope")
+    with pytest.raises(RetrievalError):
+        fuse([LEXICAL, VECTOR], pool_size=5, weights=[1.0])
+    with pytest.raises(RetrievalError):
+        fuse([LEXICAL], pool_size=5, weights=[-1.0])

@@ -1,0 +1,187 @@
+"""The exactness contract of the retrieval front end.
+
+Satellite 3 — pool parity: diversifying a retrieved pool through
+``engine.run(request=)`` is float-for-float identical to building the
+pool instance by hand and running the engine directly on it.  Retrieval
+decides *which* rows the kernel sees, never *how* they are scored.
+
+Satellite 4 — recall gate: the hybrid cut at pool_size=2000 recovers at
+least 90% of the exact fused top-2000 on a seeded corpus, per backend.
+"""
+
+import pytest
+
+from repro.api import DiversifyRequest
+from repro.engine import DiversificationEngine, numpy_available
+from repro.retrieval import recall
+from repro.workloads import corpus
+
+from repro.core.objectives import ObjectiveKind
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+ALGORITHMS = [
+    ("greedy_max_sum", ObjectiveKind.MAX_SUM),
+    ("greedy_max_min", ObjectiveKind.MAX_MIN),
+]
+
+
+def run_both_ways(
+    documents, base, engine, algorithm, k, query_text, pool_size,
+    kind=None,
+):
+    """One solve through the request path, one through a hand-built pool
+    instance over the same cut, on a fresh engine."""
+    via_request = engine.run(
+        request=DiversifyRequest(
+            instance=base,
+            k=k,
+            algorithm=algorithm,
+            query_text=query_text,
+            pool_size=pool_size,
+        )
+    )
+    cut = engine.retrieve(base, query_text, pool_size=pool_size)
+    answers = base.answers()
+    docs = [answers[i]["doc"] for i in cut.indices]
+    if kind is None:
+        kind = base.objective.kind
+    direct_instance = documents.instance(docs, k=k, kind=kind)
+    direct_engine = DiversificationEngine(use_numpy=engine.use_numpy)
+    direct = direct_engine.run(direct_instance, algorithm)
+    return via_request, direct
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+@pytest.mark.parametrize("algorithm,kind", ALGORITHMS)
+def test_pool_diversification_matches_direct_run(use_numpy, algorithm, kind):
+    documents = corpus.generate(num_docs=400, use_numpy=use_numpy)
+    base = documents.full_instance(k=8, kind=kind)
+    engine = DiversificationEngine(use_numpy=use_numpy)
+    via_request, direct = run_both_ways(
+        documents, base, engine, algorithm, k=8,
+        query_text=documents.query_text(0), pool_size=60, kind=kind,
+    )
+    assert via_request is not None and direct is not None
+    assert via_request.value == direct.value  # float-for-float, not approx
+    assert via_request.rows == direct.rows
+    assert via_request.retrieval is not None
+    assert direct.retrieval is None
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_pool_parity_across_k_and_lambda(use_numpy):
+    """k/λ variants share one memoized pool kernel — and every variant
+    still matches its hand-built twin exactly."""
+    documents = corpus.generate(num_docs=300, use_numpy=use_numpy)
+    engine = DiversificationEngine(use_numpy=use_numpy)
+    query = documents.query_text(1)
+    # ONE base materialization: the request applies k/λ on top through
+    # the identity-preserving variant constructors, so every variant
+    # lands on the same memoized pool.
+    base = documents.full_instance(k=10)
+    cut = engine.retrieve(base, query, pool_size=50)
+    answers = base.answers()
+    docs = [answers[i]["doc"] for i in cut.indices]
+    for k, lam in [(3, 0.0), (6, 0.5), (10, 1.0)]:
+        via_request = engine.run(
+            request=DiversifyRequest(
+                instance=base, k=k, lam=lam, algorithm="greedy_max_sum",
+                query_text=query, pool_size=50,
+            )
+        )
+        direct = DiversificationEngine(use_numpy=use_numpy).run(
+            documents.instance(docs, k=k, lam=lam), "greedy_max_sum"
+        )
+        assert via_request.value == direct.value
+        assert via_request.rows == direct.rows
+    # All three variants cut the same (query, pool_size): one pool miss.
+    assert engine.retrieval_stats["pool_misses"] == 1
+    assert engine.retrieval_stats["pool_hits"] == 2
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_pool_parity_with_duplicate_rows(use_numpy):
+    """Value-distinct rows with identical text and features (mirrored
+    documents) keep the contract: duplicates survive the cut as distinct
+    rows and the floats still agree."""
+    documents = corpus.generate(num_docs=120, use_numpy=use_numpy)
+    rows = [documents.row(i) for i in range(120)]
+    # Mirror the first 30 documents under fresh ids: same text, topic,
+    # score, and vector — only the `doc` value differs.
+    mirrored = [
+        corpus.DOCS.row(1000 + i, row["text"], row["topic"], row["score"], row["vector"])
+        for i, row in enumerate(rows[:30])
+    ]
+    from repro.core.objectives import Objective, ObjectiveKind
+    from repro.relational.schema import Database, Relation
+
+    relation = Relation(corpus.DOCS, rows + mirrored)
+    objective = Objective.from_provider(
+        ObjectiveKind.MAX_SUM, documents.provider(), lam=0.5
+    )
+    from repro.core.instance import DiversificationInstance
+
+    base = DiversificationInstance(
+        corpus.documents_query(), Database([relation]), k=6, objective=objective
+    )
+    engine = DiversificationEngine(use_numpy=use_numpy)
+    query = documents.query_text(0)
+    via_request = engine.run(
+        request=DiversifyRequest(
+            instance=base, k=6, algorithm="greedy_max_sum",
+            query_text=query, pool_size=40,
+        )
+    )
+    cut = engine.retrieve(base, query, pool_size=40)
+    answers = base.answers()
+    pool_rows = [answers[i] for i in cut.indices]
+    assert len(set(pool_rows)) == len(pool_rows)  # rows stay value-distinct
+    direct_instance = DiversificationInstance(
+        corpus.documents_query(),
+        Database([Relation(corpus.DOCS, pool_rows)]),
+        k=6,
+        objective=objective,
+    )
+    direct = DiversificationEngine(use_numpy=use_numpy).run(
+        direct_instance, "greedy_max_sum"
+    )
+    assert via_request.value == direct.value
+    assert via_request.rows == direct.rows
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_empty_cut_returns_none(use_numpy):
+    documents = corpus.generate(num_docs=50, use_numpy=use_numpy)
+    base = documents.full_instance(k=5)
+    engine = DiversificationEngine(use_numpy=use_numpy)
+    result = engine.run(
+        request=DiversifyRequest(
+            instance=base, k=5, algorithm="greedy_max_sum",
+            query_text="zzz qqq totally unseen tokens", retriever="bm25",
+        )
+    )
+    assert result is None
+
+
+# -- satellite 4: the recall gate -----------------------------------------
+
+
+def assert_recall_gate(use_numpy, n):
+    documents = corpus.generate(num_docs=n, use_numpy=use_numpy)
+    retriever = documents.retriever()
+    for topic in range(3):
+        query = documents.query_text(topic)
+        cut = retriever.retrieve(query, pool_size=2000)
+        truth = retriever.retrieve(query, pool_size=2000, exact=True)
+        got = recall(cut.indices, truth.indices)
+        assert got >= 0.9, f"recall {got:.4f} < 0.9 for topic {topic} at n={n}"
+        assert len(cut) <= 2000
+
+
+@pytest.mark.skipif(not numpy_available(), reason="corpus-scale gate needs numpy")
+def test_recall_gate_at_pool_2000_numpy():
+    assert_recall_gate(True, 20_000)
+
+
+def test_recall_gate_at_pool_2000_python():
+    assert_recall_gate(False, 4_000)

@@ -1,0 +1,167 @@
+"""CandidateRetriever: pipeline selection, degradation, PRF, recall."""
+
+import pytest
+
+from repro.engine import numpy_available
+from repro.retrieval import (
+    DEFAULT_POOL_SIZE,
+    CandidateRetriever,
+    RetrievalError,
+    recall,
+    tokenize,
+)
+from repro.workloads import corpus
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+
+def make_corpus(n=300, use_numpy=False):
+    return corpus.generate(num_docs=n, use_numpy=use_numpy)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_hybrid_runs_all_three_stages(use_numpy):
+    documents = make_corpus(use_numpy=use_numpy)
+    retriever = documents.retriever()
+    result = retriever.retrieve(documents.query_text(0), pool_size=40)
+    assert result.stages == ("bm25", "ann", "fusion")
+    assert result.retriever == "hybrid"
+    assert 0 < len(result) <= 40
+    assert result.corpus_size == documents.n
+    assert len(result.indices) == len(result.scores)
+    assert list(result.scores) == sorted(result.scores, reverse=True)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_single_stage_pipelines(use_numpy):
+    documents = make_corpus(use_numpy=use_numpy)
+    retriever = documents.retriever()
+    lexical = retriever.retrieve(
+        documents.query_text(0), pool_size=20, retriever="bm25"
+    )
+    assert lexical.stages == ("bm25",)
+    vector = retriever.retrieve(
+        query_features=documents.query_features(0),
+        pool_size=20,
+        retriever="ann",
+    )
+    assert vector.stages == ("ann",)
+    # ANN scores are negated distances: higher is better, best first.
+    assert list(vector.scores) == sorted(vector.scores, reverse=True)
+    assert all(score <= 0.0 for score in vector.scores)
+
+
+def test_text_only_retriever_degrades_hybrid_to_bm25():
+    documents = make_corpus()
+    retriever = CandidateRetriever(texts=documents.texts, use_numpy=False)
+    result = retriever.retrieve(documents.query_text(0), pool_size=15)
+    assert result.stages == ("bm25",)
+    with pytest.raises(RetrievalError):
+        retriever.retrieve(
+            query_features=documents.query_features(0), retriever="ann"
+        )
+
+
+def test_features_only_retriever_degrades_hybrid_to_ann():
+    documents = make_corpus()
+    retriever = CandidateRetriever(
+        features=documents.features, use_numpy=False
+    )
+    result = retriever.retrieve(
+        query_features=documents.query_features(0), pool_size=15
+    )
+    assert result.stages == ("ann",)
+    with pytest.raises(RetrievalError):
+        retriever.retrieve("some text", retriever="bm25")
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_prf_derives_the_vector_from_bm25_hits(use_numpy):
+    """Hybrid with text only still runs the ANN stage (PRF centroid),
+    and repeating the query is deterministic."""
+    documents = make_corpus(use_numpy=use_numpy)
+    retriever = documents.retriever()
+    first = retriever.retrieve(documents.query_text(1), pool_size=30)
+    second = retriever.retrieve(documents.query_text(1), pool_size=30)
+    assert "ann" in first.stages
+    assert first.indices == second.indices
+    assert first.scores == second.scores
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_exact_twin_shares_everything_but_the_gather(use_numpy):
+    documents = make_corpus(use_numpy=use_numpy)
+    retriever = documents.retriever()
+    exact = retriever.retrieve(
+        documents.query_text(0), pool_size=50, exact=True
+    )
+    approx = retriever.retrieve(documents.query_text(0), pool_size=50)
+    assert exact.stages == approx.stages
+    # At n=300 the gather covers the whole corpus: identical cuts.
+    assert exact.indices == approx.indices
+
+
+def test_validation_errors():
+    documents = make_corpus()
+    with pytest.raises(RetrievalError):
+        CandidateRetriever()
+    with pytest.raises(RetrievalError):
+        CandidateRetriever(
+            texts=documents.texts[:10], features=documents.features, use_numpy=False
+        )
+    retriever = documents.retriever()
+    with pytest.raises(RetrievalError):
+        retriever.retrieve(documents.query_text(0), retriever="nope")
+    with pytest.raises(RetrievalError):
+        retriever.retrieve(documents.query_text(0), pool_size=0)
+    with pytest.raises(RetrievalError):
+        retriever.retrieve()  # nothing to run on
+
+
+def test_result_to_dict_summary():
+    documents = make_corpus()
+    result = documents.retriever().retrieve(documents.query_text(0), pool_size=25)
+    payload = result.to_dict()
+    assert payload["retriever"] == "hybrid"
+    assert payload["pool"] == len(result)
+    assert payload["pool_size"] == 25
+    assert payload["corpus_size"] == documents.n
+    assert payload["stages"] == ["bm25", "ann", "fusion"]
+    assert payload["elapsed_ms"] >= 0.0
+    assert "indices" not in payload
+
+
+def test_recall_helper():
+    assert recall([1, 2, 3], [2, 3, 4]) == pytest.approx(2 / 3)
+    assert recall([], [1]) == 0.0
+    assert recall([1], []) == 1.0
+
+
+def test_default_pool_size_is_kernel_sized():
+    assert DEFAULT_POOL_SIZE == 2000
+
+
+def test_from_rows_matches_manual_construction():
+    """from_rows is sugar for tokenizing each row's text and pulling its
+    feature vector off the provider, in row order — nothing more."""
+    documents = make_corpus(n=150)
+    instance = documents.full_instance()
+    rows = instance.answers()
+    provider = documents.provider()
+    from_rows = CandidateRetriever.from_rows(rows, provider, use_numpy=False)
+    from repro.retrieval import row_text
+
+    manual = CandidateRetriever(
+        texts=[tokenize(row_text(row)) for row in rows],
+        features=[provider.features_of(row) for row in rows],
+        metric=provider.metric,
+        use_numpy=False,
+    )
+    query = documents.query_text(0)
+    cut_rows = from_rows.retrieve(query, pool_size=30)
+    cut_manual = manual.retrieve(query, pool_size=30)
+    assert cut_rows.indices == cut_manual.indices
+    assert cut_rows.scores == cut_manual.scores
+    assert from_rows.bm25.vocabulary_size == len(
+        {token for text in documents.texts for token in tokenize(" ".join(text))}
+    )

@@ -1,0 +1,188 @@
+"""The retrieval front end through the serving layer.
+
+Request routing (``query_text`` → pool → kernel), cache provenance,
+pool-aware quota admission, per-tenant index caching with delta
+invalidation, and the ``retrieve`` telemetry endpoint.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import DiversifyRequest, EngineConfig
+from repro.service.core import (
+    DiversificationService,
+    QuotaError,
+    ServiceConfig,
+)
+from repro.workloads import corpus
+
+CORPUS_PARAMS = {"num_docs": 400}
+QUERY = corpus.generate(num_docs=400).query_text(0)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(**overrides):
+    defaults = dict(engine=EngineConfig(), result_ttl=30.0)
+    defaults.update(overrides)
+    return DiversificationService(ServiceConfig(**defaults))
+
+
+def retrieval_request(**overrides):
+    fields = dict(
+        workload="corpus",
+        params=CORPUS_PARAMS,
+        k=5,
+        algorithm="greedy_max_sum",
+        query_text=QUERY,
+        pool_size=50,
+    )
+    fields.update(overrides)
+    return DiversifyRequest(**fields)
+
+
+class TestRouting:
+    def test_query_text_requests_carry_a_retrieval_block(self):
+        service = make_service()
+        response = run(service.diversify(retrieval_request()))
+        assert response.feasible
+        assert response.cache == "computed"
+        assert response.retrieval is not None
+        assert response.retrieval["retriever"] == "hybrid"
+        assert response.retrieval["pool"] <= 50
+        assert response.retrieval["corpus_size"] == 400
+        assert len(response.rows) == 5
+
+    def test_plain_requests_stay_retrieval_free(self):
+        service = make_service()
+        response = run(
+            service.diversify(retrieval_request(query_text=None, pool_size=None))
+        )
+        assert response.feasible
+        assert response.retrieval is None
+        engine = service.engine_for("default")
+        assert engine.cached_retrievers == 0
+
+    def test_pool_and_plain_solves_differ_only_by_the_cut(self):
+        """The pooled solve diversifies a subset: its value is that of
+        running the engine on the pool, not an approximation knob."""
+        service = make_service()
+
+        async def scenario():
+            pooled = await service.diversify(retrieval_request())
+            plain = await service.diversify(
+                retrieval_request(query_text=None, pool_size=None)
+            )
+            return pooled, plain
+
+        pooled, plain = run(scenario())
+        assert pooled.feasible and plain.feasible
+        assert pooled.value <= plain.value + 1e-9  # subset can't beat the full set
+
+
+class TestCacheProvenance:
+    def test_repeat_requests_hit_the_result_cache(self):
+        service = make_service()
+
+        async def scenario():
+            first = await service.diversify(retrieval_request())
+            second = await service.diversify(retrieval_request())
+            return first, second
+
+        first, second = run(scenario())
+        assert first.cache == "computed"
+        assert second.cache == "cached"
+        assert second.value == first.value
+        assert second.retrieval == first.retrieval
+        # One index, one pool build: the TTL hit never re-retrieved.
+        engine = service.engine_for("default")
+        assert engine.retrieval_stats["indexes_built"] == 1
+        assert engine.retrieval_stats["pool_misses"] == 1
+
+    def test_distinct_queries_build_distinct_pools(self):
+        service = make_service()
+        documents = corpus.generate(num_docs=400)
+
+        async def scenario():
+            await service.diversify(retrieval_request())
+            await service.diversify(
+                retrieval_request(query_text=documents.query_text(3))
+            )
+
+        run(scenario())
+        engine = service.engine_for("default")
+        assert engine.retrieval_stats["pool_misses"] == 2
+        assert engine.retrieval_stats["indexes_built"] == 1  # index shared
+
+
+class TestQuota:
+    def test_quota_assessed_against_the_pool_not_the_corpus(self):
+        """max_answer_set below the corpus but above the pool: plain
+        requests bounce, retrieval requests are admitted — the kernel
+        only ever sees pool-sized n."""
+        service = make_service(max_answer_set=100)
+        with pytest.raises(QuotaError):
+            run(service.diversify(retrieval_request(query_text=None, pool_size=None)))
+        response = run(service.diversify(retrieval_request()))
+        assert response.feasible
+        assert service.quota_rejections == 1
+
+    def test_quota_still_bounds_oversized_pools(self):
+        service = make_service(max_answer_set=100)
+        with pytest.raises(QuotaError):
+            run(service.diversify(retrieval_request(pool_size=200)))
+
+
+class TestTelemetryAndStats:
+    def test_retrieve_latency_is_recorded(self):
+        service = make_service()
+        run(service.diversify(retrieval_request()))
+        latency = service.stats()["latency"]
+        assert "retrieve" in latency
+        assert "diversify" in latency
+
+    def test_stats_exposes_the_retrieval_block(self):
+        service = make_service()
+        run(service.diversify(retrieval_request()))
+        block = service.stats()["tenants"]["default"]["retrieval"]
+        assert block["cached_indexes"] == 1
+        assert block["indexes_built"] == 1
+        assert block["pool_misses"] == 1
+        assert block["invalidations"] == 0
+
+
+class TestDeltaInvalidation:
+    def test_delta_drops_the_retrieval_index(self):
+        service = make_service()
+        params = {"num_docs": 60}
+
+        async def scenario():
+            handle = service.registry.handle("streaming", params)
+            from repro.retrieval import row_text
+
+            query = row_text(handle.base_instance().answers()[0])
+            first = await service.diversify(
+                DiversifyRequest(
+                    workload="streaming",
+                    params=params,
+                    k=4,
+                    algorithm="greedy_max_sum",
+                    query_text=query,
+                    pool_size=20,
+                )
+            )
+            invalidated = await service.delta("streaming", params, events=2)
+            # Nothing live any more: a second delta has nothing to drop.
+            clean = await service.delta("streaming", params, events=1)
+            return first, invalidated, clean
+
+        first, invalidated, clean = run(scenario())
+        assert first.retrieval is not None
+        assert invalidated["retrieval_invalidated"] is True
+        assert clean["retrieval_invalidated"] is False
+        engine = service.engine_for("default")
+        assert engine.retrieval_stats["invalidations"] == 1
+        assert engine.cached_retrievers == 0

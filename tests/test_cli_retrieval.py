@@ -1,0 +1,162 @@
+"""CLI surfaces of the retrieval front end: ``repro retrieve`` and
+``repro diversify --query-text``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def docs_json(tmp_path):
+    data = {
+        "relations": [
+            {
+                "name": "docs",
+                "attributes": ["doc", "text", "score"],
+                "rows": [
+                    [1, "solar panels efficiency", 9],
+                    [2, "solar wind grid", 7],
+                    [3, "wind turbine offshore", 6],
+                    [4, "battery storage grid", 4],
+                    [5, "hydro dam reservoir", 8],
+                    [6, "solar farm desert", 5],
+                ],
+            }
+        ]
+    }
+    path = tmp_path / "docs.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+QUERY = "Q(D, T, S) :- docs(D, T, S)"
+
+
+class TestRetrieveCommand:
+    def test_human_output(self, docs_json, capsys):
+        code = main(
+            [
+                "retrieve",
+                "--db", docs_json,
+                "--query", QUERY,
+                "--query-text", "solar",
+                "--relevance-attr", "S",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bm25" in out
+        assert "solar" in out
+
+    def test_json_payload(self, docs_json, capsys):
+        code = main(
+            [
+                "retrieve",
+                "--db", docs_json,
+                "--query", QUERY,
+                "--query-text", "solar grid",
+                "--pool-size", "3",
+                "--retriever", "bm25",
+                "--relevance-attr", "S",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["retriever"] == "bm25"
+        assert payload["pool"] <= 3
+        assert payload["corpus_size"] == 6
+        assert len(payload["results"]) == payload["pool"]
+        assert all("score" in item for item in payload["results"])
+        # Every returned document mentions a query term.
+        assert all(
+            "solar" in item["T"] or "grid" in item["T"]
+            for item in payload["results"]
+        )
+
+    def test_no_match_is_an_empty_cut(self, docs_json, capsys):
+        code = main(
+            [
+                "retrieve",
+                "--db", docs_json,
+                "--query", QUERY,
+                "--query-text", "zzz unseen tokens",
+                "--retriever", "bm25",
+                "--relevance-attr", "S",
+                "--json",
+            ]
+        )
+        # grep-style exit: 1 signals "no candidates matched".
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pool"] == 0
+        assert payload["results"] == []
+
+    def test_bad_retriever_for_this_corpus(self, docs_json, capsys):
+        # Scalar-callable objective: no feature space, so explicit ANN
+        # has nothing to search.
+        code = main(
+            [
+                "retrieve",
+                "--db", docs_json,
+                "--query", QUERY,
+                "--query-text", "solar",
+                "--retriever", "ann",
+                "--relevance-attr", "S",
+            ]
+        )
+        assert code == 2
+
+
+class TestDiversifyQueryText:
+    def test_pooled_diversify(self, docs_json, capsys):
+        code = main(
+            [
+                "diversify",
+                "--db", docs_json,
+                "--query", QUERY,
+                "-k", "2",
+                "--objective", "max-sum",
+                "--relevance-attr", "S",
+                "--query-text", "solar",
+                "--pool-size", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "retrieval:" in out
+        assert "F = " in out
+
+    def test_json_carries_the_retrieval_block(self, docs_json, capsys):
+        code = main(
+            [
+                "diversify",
+                "--db", docs_json,
+                "--query", QUERY,
+                "-k", "2",
+                "--objective", "max-sum",
+                "--relevance-attr", "S",
+                "--query-text", "solar grid",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["retrieval"]["pool"] >= 2
+        assert payload["retrieval"]["corpus_size"] == 6
+
+    def test_pool_size_without_query_text_is_rejected(self, docs_json, capsys):
+        code = main(
+            [
+                "diversify",
+                "--db", docs_json,
+                "--query", QUERY,
+                "-k", "2",
+                "--relevance-attr", "S",
+                "--pool-size", "3",
+            ]
+        )
+        assert code == 2
+        assert "query-text" in capsys.readouterr().err

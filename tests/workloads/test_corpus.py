@@ -1,0 +1,103 @@
+"""DocumentCorpus: deterministic generation, lazy rows, engine surfaces."""
+
+import pytest
+
+from repro.engine import numpy_available
+from repro.workloads import corpus
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_generation_is_deterministic_per_backend(use_numpy):
+    a = corpus.generate(num_docs=120, use_numpy=use_numpy)
+    b = corpus.generate(num_docs=120, use_numpy=use_numpy)
+    assert a.texts == b.texts or all(
+        list(x) == list(y) for x, y in zip(a.texts, b.texts)
+    )
+    assert [a.feature_tuple(i) for i in range(5)] == [
+        b.feature_tuple(i) for i in range(5)
+    ]
+    assert list(a.topics[:10]) == list(b.topics[:10])
+    assert a.row(7) == b.row(7)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_shapes_and_topic_structure(use_numpy):
+    documents = corpus.generate(num_docs=90, num_topics=5, use_numpy=use_numpy)
+    assert documents.n == 90
+    assert len(documents.texts) == 90
+    assert len(documents.scores) == 90
+    assert all(0 <= int(t) < 5 for t in documents.topics)
+    # Zipf skew: the head topic is at least as crowded as the tail one.
+    counts = [0] * 5
+    for t in documents.topics:
+        counts[int(t)] += 1
+    assert counts[0] >= counts[4]
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_rows_materialize_lazily_and_memoize(use_numpy):
+    documents = corpus.generate(num_docs=50, use_numpy=use_numpy)
+    assert documents._rows == {}
+    row = documents.row(3)
+    assert documents.row(3) is row
+    assert len(documents._rows) == 1
+    assert row["doc"] == 3
+    assert row["text"] == documents.text(3)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_row_vector_is_the_feature_tuple(use_numpy):
+    """The provider recovers the exact geometry the ANN index searched:
+    the row carries its feature vector by value."""
+    documents = corpus.generate(num_docs=40, use_numpy=use_numpy)
+    provider = documents.provider()
+    for i in (0, 7, 39):
+        row = documents.row(i)
+        assert row["vector"] == documents.feature_tuple(i)
+        assert tuple(provider.features_of(row)) == documents.feature_tuple(i)
+
+
+def test_provider_is_memoized_and_named():
+    documents = corpus.generate(num_docs=10)
+    assert documents.provider() is documents.provider()
+    assert documents.provider().name == "corpus-topics"
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_instance_and_full_instance(use_numpy):
+    documents = corpus.generate(num_docs=30, use_numpy=use_numpy)
+    pool = documents.instance([5, 1, 9], k=2)
+    assert pool.answer_count == 3
+    assert {row["doc"] for row in pool.answers()} == {1, 5, 9}
+    full = documents.full_instance(k=4)
+    assert full.answer_count == 30
+    assert full.k == 4
+
+
+def test_query_surfaces():
+    documents = corpus.generate(num_docs=20, num_topics=4)
+    text = documents.query_text(1)
+    assert all(token.startswith("t1w") for token in text.split())
+    assert documents.query_features(1) == documents.topic_centers[1]
+    # Topic indices wrap instead of erroring.
+    assert documents.query_text(5) == documents.query_text(1)
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+def test_retriever_cuts_toward_the_queried_topic(use_numpy):
+    documents = corpus.generate(num_docs=400, use_numpy=use_numpy)
+    cut = documents.retriever().retrieve(documents.query_text(0), pool_size=40)
+    topics = [int(documents.topics[i]) for i in cut.indices]
+    # The hybrid pool should be dominated by the queried topic.
+    assert topics.count(0) >= len(topics) * 0.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        corpus.DocumentCorpus(num_docs=-1)
+    with pytest.raises(ValueError):
+        corpus.DocumentCorpus(num_docs=5, num_topics=0)
+    empty = corpus.DocumentCorpus(num_docs=0, use_numpy=False)
+    assert empty.n == 0
