@@ -13,7 +13,13 @@ websearch workload:
 * ``tiled-f32``   — tiles narrowed to float32 at rest (≈half the matrix
   bytes; reductions stay float64);
 * ``tiled-parallel`` — tiled-f64 with a thread pool building independent
-  tiles concurrently (NumPy releases the GIL inside the jaccard matmuls).
+  tiles concurrently (NumPy releases the GIL inside the jaccard matmuls);
+* ``tiled-procpool`` — tiled-f64 built through a **process pool**
+  (``workers="auto"``, ``parallel="process"``): tiles score in worker
+  processes and return via shared memory — the true-multicore path;
+* ``tiled-spill`` — tiled-f64 under an LRU tile budget
+  (``max_resident_tiles``): bounded resident memory, evicted tiles
+  rebuilt on touch.
 
 Every run re-verifies correctness in-bench (these assertions gate CI):
 float64 configs must be element-wise *equal* to dense on a sampled
@@ -25,11 +31,21 @@ JSON): tiled-f32 peak < 60% of dense-f64 peak at n=10,000, and the
 parallel tiled build ≥ 2× faster than the serial tiled build at
 n ≥ 2000 with 4 workers.
 
+``--multicore-smoke`` is the CI process-pool gate: tiles built through
+worker processes must be element-wise identical to the serial build on
+both backends, and on hosts with ≥ 2 CPUs the GIL-bound pure-Python
+build must run ≥ 1.5× faster through the pool.  ``--bounded-smoke`` is
+the CI memory gate: a spilling kernel materializes all of n = 20,000
+(dense-f64 equivalent: ~3.2 GB) with a tracemalloc peak under 35% of
+that, selecting float-for-float identically to an unbounded kernel.
+
 Usage::
 
     python benchmarks/bench_storage.py                # full run (2k, 10k)
     python benchmarks/bench_storage.py --smoke        # CI-sized, sub-5s
     python benchmarks/bench_storage.py --lazy-smoke   # lazy-path CI check
+    python benchmarks/bench_storage.py --multicore-smoke  # process-pool gate
+    python benchmarks/bench_storage.py --bounded-smoke    # n=20k memory gate
     python benchmarks/bench_storage.py --check        # fail unless targets met
     python benchmarks/bench_storage.py --no-numpy     # pure-Python kernels
     python benchmarks/bench_storage.py --json BENCH_storage.json
@@ -51,7 +67,13 @@ except ImportError:  # running as a script without PYTHONPATH/pip install
 from repro.algorithms.mmr import mmr_select
 from repro.core.instance import DiversificationInstance
 from repro.core.objectives import Objective, ObjectiveKind
-from repro.engine import ScoringKernel, TiledStorage, numpy_available
+from repro.engine import (
+    ScoringKernel,
+    TiledStorage,
+    available_cpus,
+    numpy_available,
+    resolve_workers,
+)
 from repro.workloads import websearch
 
 import common
@@ -60,6 +82,13 @@ SMOKE_BUDGET_SECONDS = 5.0
 PARALLEL_WORKERS = 4
 MEMORY_TARGET_RATIO = 0.60   # tiled-f32 peak vs dense-f64 peak
 PARALLEL_TARGET_SPEEDUP = 2.0  # serial tiled vs parallel tiled build
+#: Process-pool gate (``--multicore-smoke``): the GIL-bound pure-Python
+#: build must improve at least this much on hosts with ≥ 2 CPUs.
+MULTICORE_TARGET_SPEEDUP = 1.5
+#: Bounded-memory gate (``--bounded-smoke``): spilling-kernel peak vs
+#: what the dense float64 matrix alone would allocate (n² × 8 bytes).
+BOUNDED_TARGET_RATIO = 0.35
+BOUNDED_SMOKE_N = 20_000
 #: Documented float32 storage envelope: one binary32 rounding per entry
 #: (≤ 2⁻²⁴ ≈ 6e-8 relative), with slack for the zero-vs-tiny edge.
 F32_REL_ENVELOPE = 1e-6
@@ -69,6 +98,8 @@ CONFIGS = (
     ("tiled-f64", dict(storage="tiled")),
     ("tiled-f32", dict(storage="tiled", dtype="float32")),
     ("tiled-parallel", dict(storage="tiled", workers=PARALLEL_WORKERS)),
+    ("tiled-procpool", dict(storage="tiled", workers="auto", parallel="process")),
+    ("tiled-spill", dict(storage="tiled", block_size=64, max_resident_tiles=4)),
 )
 
 
@@ -185,7 +216,7 @@ def run_sizes(sizes, use_numpy, repeat):
                     n=dense.n,
                     backend=dense.backend,
                     dtype=dtype,
-                    workers=knobs.get("workers") or 1,
+                    workers=resolve_workers(knobs.get("workers")),
                     build_seconds=seconds,
                     peak_bytes=peak,
                     peak_ratio=peak / base_peak if base_peak else 1.0,
@@ -218,12 +249,25 @@ def acceptance(records):
             for cell in eligible
             if cell["tiled-parallel"].build_seconds > 0
         )
+    procpool_speedup = None
+    pool_cells = [
+        by[n] for n in by if n >= 2000
+        and "tiled-f64" in by[n] and "tiled-procpool" in by[n]
+    ]
+    if pool_cells:
+        procpool_speedup = max(
+            cell["tiled-f64"].build_seconds / cell["tiled-procpool"].build_seconds
+            for cell in pool_cells
+            if cell["tiled-procpool"].build_seconds > 0
+        )
     return {
         "n": top_n,
         "memory_ratio_f32": memory_ratio,
         "memory_target": MEMORY_TARGET_RATIO,
         "parallel_speedup": parallel_speedup,
         "parallel_target": PARALLEL_TARGET_SPEEDUP,
+        "procpool_speedup": procpool_speedup,
+        "multicore_target": MULTICORE_TARGET_SPEEDUP,
     }
 
 
@@ -259,6 +303,230 @@ def run_lazy_smoke(use_numpy):
     return 0
 
 
+def _instance_pair(n, k, seed=17, lam=0.5):
+    """Two same-data instances (shared db, separate providers) so one
+    config's per-provider feature cache never pre-warms the other."""
+    db = websearch.generate(num_docs=n, num_intents=8, seed=seed)
+    query = websearch.documents_query()
+    pair = []
+    for _ in range(2):
+        objective = Objective.from_provider(
+            ObjectiveKind.MAX_SUM, websearch.scoring_provider(db), lam=lam
+        )
+        instance = DiversificationInstance(query, db, k=k, objective=objective)
+        instance.answers()
+        pair.append(instance)
+    return pair
+
+
+def _build_kernel(instance, use_numpy, **knobs):
+    kernel = ScoringKernel(instance, use_numpy=use_numpy, **knobs)
+    kernel.materialize_all()
+    return kernel
+
+
+def _assert_same_kernel(label, serial, pooled, serial_inst, pooled_inst, n):
+    """Float-for-float identity between two float64 kernels: sampled
+    grid, row sums, and the MMR selection they induce."""
+    idx = sample_indices(n)
+    for i in idx:
+        for j in idx:
+            a = serial.distance_between(i, j)
+            b = pooled.distance_between(i, j)
+            assert a == b, f"{label}: dist[{i}][{j}] diverged: {b!r} != {a!r}"
+    assert serial.row_distance_sums() == pooled.row_distance_sums(), (
+        f"{label}: row sums diverged"
+    )
+    base = mmr_select(serial_inst, kernel=serial)
+    other = mmr_select(pooled_inst, kernel=pooled)
+    assert base is not None and other is not None, (
+        f"{label}: MMR returned no selection"
+    )
+    assert [list(r.values) for r in other[1]] == [
+        list(r.values) for r in base[1]
+    ], f"{label}: MMR selection diverged"
+
+
+def run_multicore_smoke(use_numpy, json_path=None):
+    """The CI process-pool gate.
+
+    Parity cells (both backends, pool forced with ``workers=2`` so they
+    exercise worker processes even on single-CPU hosts): process-built
+    tiles must be element-wise identical to the serial build.  The
+    speedup cell runs the GIL-bound pure-Python build with
+    ``workers="auto"`` and must clear ``MULTICORE_TARGET_SPEEDUP`` —
+    enforced only when ≥ 2 CPUs are visible (a 1-worker pool resolves
+    to the serial path by design).
+    """
+    start = time.perf_counter()
+    cpus = available_cpus()
+    workers = resolve_workers("auto")
+    print(f"multicore smoke: {cpus} CPU(s) visible, workers='auto' -> {workers}")
+    backends = [("python", False, 300, 32)]
+    if use_numpy:
+        backends.insert(0, ("numpy", True, 1200, 128))
+    for name, flag, n, block in backends:
+        serial_inst, pooled_inst = _instance_pair(n, k=5)
+        serial = _build_kernel(
+            serial_inst, flag, storage="tiled", block_size=block
+        )
+        pooled = _build_kernel(
+            pooled_inst,
+            flag,
+            storage="tiled",
+            block_size=block,
+            workers=2,
+            parallel="process",
+        )
+        _assert_same_kernel(
+            f"procpool/{name}", serial, pooled, serial_inst, pooled_inst, n
+        )
+        print(
+            f"parity ok: {name} backend, n={n}, "
+            "process-built tiles identical to serial"
+        )
+    n, block = 2200, 64
+    serial_inst, pooled_inst = _instance_pair(n, k=5)
+    t = time.perf_counter()
+    serial = _build_kernel(serial_inst, False, storage="tiled", block_size=block)
+    serial_seconds = time.perf_counter() - t
+    t = time.perf_counter()
+    pooled = _build_kernel(
+        pooled_inst,
+        False,
+        storage="tiled",
+        block_size=block,
+        workers="auto",
+        parallel="process",
+    )
+    pooled_seconds = time.perf_counter() - t
+    _assert_same_kernel(
+        "procpool/gate", serial, pooled, serial_inst, pooled_inst, n
+    )
+    speedup = (
+        serial_seconds / pooled_seconds if pooled_seconds > 0 else float("inf")
+    )
+    print(
+        f"pure-python n={n}: serial {serial_seconds:.2f}s, "
+        f"process pool ({workers} workers) {pooled_seconds:.2f}s "
+        f"-> {speedup:.2f}x"
+    )
+    if cpus >= 2:
+        assert speedup >= MULTICORE_TARGET_SPEEDUP, (
+            f"process pool {speedup:.2f}x under the "
+            f"{MULTICORE_TARGET_SPEEDUP:g}x gate with {cpus} CPUs"
+        )
+        print(
+            f"multicore gate PASS: {speedup:.2f}x >= "
+            f"{MULTICORE_TARGET_SPEEDUP:g}x"
+        )
+    else:
+        print("single CPU visible - speedup gate skipped (parity still enforced)")
+    if json_path is not None:
+        payload = {
+            "bench": "storage-multicore-smoke",
+            "numpy": use_numpy,
+            "host": common.host_info(
+                resolved_workers=workers, parallel_speedup=speedup
+            ),
+            "gate": {
+                "n": n,
+                "serial_seconds": serial_seconds,
+                "pooled_seconds": pooled_seconds,
+                "speedup": speedup,
+                "target": MULTICORE_TARGET_SPEEDUP,
+                "enforced": cpus >= 2,
+            },
+            "wall_seconds": time.perf_counter() - start,
+        }
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    return 0
+
+
+def run_bounded_smoke(use_numpy, json_path=None):
+    """The CI bounded-memory gate: a spilling kernel materializes every
+    tile of an answer pool whose dense float64 matrix would not fit the
+    budget, with a tracemalloc peak under ``BOUNDED_TARGET_RATIO`` of
+    that matrix — and selects float-for-float like an unbounded kernel.
+    """
+    start = time.perf_counter()
+    n, block = (BOUNDED_SMOKE_N, 256) if use_numpy else (2000, 64)
+    dense_bytes = n * n * 8
+    bound = BOUNDED_TARGET_RATIO * dense_bytes
+    lazy_inst, bounded_inst = _instance_pair(n, k=10)
+    # The selection reference: an unbounded lazy tiled kernel (MMR only
+    # touches the tiles it needs; nothing here is O(n²)-resident either).
+    reference = ScoringKernel(
+        lazy_inst, use_numpy=use_numpy, storage="tiled", block_size=block
+    )
+    ref_pick = mmr_select(lazy_inst, kernel=reference)
+    assert ref_pick is not None, "bounded smoke: reference MMR returned nothing"
+    ref_rows = [list(r.values) for r in ref_pick[1]]
+    del reference
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        kernel = _build_kernel(
+            bounded_inst,
+            use_numpy,
+            storage="tiled",
+            block_size=block,
+            max_resident_tiles=4,
+        )
+        pick = mmr_select(bounded_inst, kernel=kernel)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert pick is not None, "bounded smoke: MMR returned no selection"
+    assert [list(r.values) for r in pick[1]] == ref_rows, (
+        "bounded smoke: spilling-kernel MMR selection diverged from unbounded"
+    )
+    stats = kernel.storage_stats() or {}
+    try:
+        import resource
+
+        rss_peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except ImportError:  # pragma: no cover - non-Unix
+        rss_peak = None
+    print(
+        f"bounded smoke: n={n}, backend="
+        f"{'numpy' if use_numpy else 'python'}, full materialization + MMR"
+    )
+    print(
+        f"  traced peak {peak / 1e6:.1f} MB vs dense-f64 matrix "
+        f"{dense_bytes / 1e6:.1f} MB -> {peak / dense_bytes:.1%} "
+        f"(gate < {BOUNDED_TARGET_RATIO:.0%})"
+    )
+    if rss_peak is not None:
+        print(f"  process RSS peak {rss_peak / 1e6:.1f} MB (whole run)")
+    print(f"  storage counters: {stats}")
+    assert peak < bound, (
+        f"bounded smoke: traced peak {peak} >= {BOUNDED_TARGET_RATIO:.0%} "
+        f"of the dense matrix ({dense_bytes} bytes)"
+    )
+    print("bounded-memory gate PASS: selection identical to unbounded kernel")
+    if json_path is not None:
+        payload = {
+            "bench": "storage-bounded-smoke",
+            "n": n,
+            "numpy": use_numpy,
+            "host": common.host_info(
+                resolved_workers=resolve_workers("auto")
+            ),
+            "peak_bytes": peak,
+            "dense_bytes": dense_bytes,
+            "peak_ratio": peak / dense_bytes,
+            "target_ratio": BOUNDED_TARGET_RATIO,
+            "rss_peak_bytes": rss_peak,
+            "storage": stats,
+            "wall_seconds": time.perf_counter() - start,
+        }
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -271,6 +539,18 @@ def main(argv=None):
         action="store_true",
         help="CI check that selectors run lazily on tiled storage "
         "(partial tile builds) with dense-identical selections",
+    )
+    parser.add_argument(
+        "--multicore-smoke",
+        action="store_true",
+        help="CI process-pool gate: worker-built tiles identical to serial; "
+        f">={MULTICORE_TARGET_SPEEDUP:g}x pure-Python speedup on >=2 CPUs",
+    )
+    parser.add_argument(
+        "--bounded-smoke",
+        action="store_true",
+        help=f"CI memory gate: n={BOUNDED_SMOKE_N} spilling kernel, peak "
+        f"< {BOUNDED_TARGET_RATIO:.0%} of the dense-f64 matrix",
     )
     parser.add_argument(
         "--sizes",
@@ -303,15 +583,20 @@ def main(argv=None):
         help="write results as JSON (perf-trajectory artifact)",
     )
     args = parser.parse_args(argv)
-    if args.check and (args.smoke or args.lazy_smoke):
+    smoke_modes = args.smoke or args.lazy_smoke or args.multicore_smoke or args.bounded_smoke
+    if args.check and smoke_modes:
         # The acceptance targets are meaningless at smoke sizes; refuse
         # rather than silently skipping the gate.
-        parser.error("--check requires a full-size run; drop --smoke/--lazy-smoke")
+        parser.error("--check requires a full-size run; drop the smoke flags")
 
     use_numpy = False if args.no_numpy else (True if numpy_available() else False)
 
     if args.lazy_smoke:
         return run_lazy_smoke(use_numpy)
+    if args.multicore_smoke:
+        return run_multicore_smoke(use_numpy, args.json)
+    if args.bounded_smoke:
+        return run_bounded_smoke(use_numpy, args.json)
 
     start = time.perf_counter()
     if args.smoke:
@@ -340,6 +625,13 @@ def main(argv=None):
             f"{summary['parallel_speedup']:.2f}x serial tiled "
             f"(target >= {PARALLEL_TARGET_SPEEDUP:g}x)"
         )
+    if summary["procpool_speedup"] is not None:
+        print(
+            f"process-pool tiled build at n>=2000 "
+            f"(workers auto -> {resolve_workers('auto')}): "
+            f"{summary['procpool_speedup']:.2f}x serial tiled "
+            f"(gate >= {MULTICORE_TARGET_SPEEDUP:g}x on multi-core hosts)"
+        )
     cpus = os.cpu_count() or 1
     if cpus < PARALLEL_WORKERS:
         print(
@@ -353,7 +645,10 @@ def main(argv=None):
             "bench": "storage",
             "sizes": list(sizes),
             "numpy": use_numpy,
-            "host": common.host_info(),
+            "host": common.host_info(
+                resolved_workers=resolve_workers("auto"),
+                parallel_speedup=summary["procpool_speedup"],
+            ),
             "records": [r.as_dict() for r in records],
             "acceptance": summary,
             "wall_seconds": elapsed,

@@ -27,21 +27,27 @@ from repro.workloads.synthetic import euclidean_distance, random_database
 ITEMS = RelationSchema("items", ("id", "category", "score", "x", "y"))
 
 
-def host_info() -> dict:
+def host_info(**extra) -> dict:
     """The uniform host-provenance block every ``BENCH_*.json`` carries.
 
     Absolute timings only compare within one host; this block is what a
-    perf-trajectory reader keys on before trusting a comparison."""
+    perf-trajectory reader keys on before trusting a comparison.
+    ``extra`` keys (e.g. ``resolved_workers``, ``parallel_speedup``)
+    extend the block per benchmark."""
     try:
         import numpy
 
         numpy_version = numpy.__version__
     except ImportError:
         numpy_version = None
+    from repro.engine.parallel import available_cpus
+
     return {
         "cpu_count": os.cpu_count() or 1,
+        "available_cpus": available_cpus(),
         "python": platform.python_version(),
         "numpy": numpy_version,
+        **extra,
     }
 
 

@@ -40,7 +40,9 @@ Commands:
 
 Both ``diversify`` and ``serve`` share one engine-policy flag set
 (:func:`repro.api.add_engine_config_args`: ``--storage`` / ``--dtype``
-/ ``--workers`` / ``--block-size`` / ``--cache-size`` /
+/ ``--workers`` (an int or ``auto``) / ``--parallel`` /
+``--max-resident-tiles`` / ``--max-resident-bytes`` / ``--spill-dir``
+/ ``--block-size`` / ``--cache-size`` /
 ``--patch-threshold`` / ``--sketch-columns`` / ``--landmarks`` /
 ``--approx``), layered over ``REPRO_*`` environment variables
 (:meth:`repro.api.EngineConfig.from_env`).  Any non-default policy
@@ -388,6 +390,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_concurrent=args.max_concurrent,
             max_k=args.max_k,
             approx_over=args.approx_over,
+            engine_shards=args.engine_shards,
         )
     )
 
@@ -609,6 +612,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="admit answer sets larger than N to the sketched "
         "approximate path (with certificate) instead of rejecting them",
+    )
+    s.add_argument(
+        "--engine-shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition each tenant's serving across N engine shards "
+        "(consistent hash on the request key; kernel LRUs partition "
+        "and shards compute concurrently; default 1)",
     )
     add_engine_config_args(s)
     s.set_defaults(func=_cmd_serve)

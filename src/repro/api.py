@@ -112,6 +112,19 @@ def canonical_params(params: Mapping[str, Any] | None) -> tuple:
 # -- EngineConfig ----------------------------------------------------------
 
 
+def _workers_value(raw: str, label: str = "workers") -> int | str:
+    """Parse a ``--workers`` / ``REPRO_WORKERS`` value: an int or
+    ``"auto"`` (the host CPU count, resolved at build time)."""
+    if raw.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(raw)
+    except ValueError:
+        raise ApiError(
+            f"{label} must be an integer or 'auto', got {raw!r}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """The engine's policy knobs as one frozen, hashable value.
@@ -121,8 +134,16 @@ class EngineConfig:
 
     * ``storage`` — kernel distance-matrix layout (``"dense"`` default /
       ``"tiled"`` / ``"sketched"``); ``dtype`` — at-rest tile dtype
-      (tiled only); ``workers`` — thread-pool width for parallel tile
-      builds; ``block_size`` — rows per tile of the blocked construction;
+      (tiled only); ``workers`` — pool width for parallel tile builds
+      (an int, or ``"auto"`` for the host CPU count resolved at build
+      time); ``parallel`` — how a multi-worker build fans out
+      (``"thread"`` default, ``"process"`` for true multicore via a
+      process pool when the scoring snapshot pickles);
+      ``block_size`` — rows per tile of the blocked construction;
+    * ``max_resident_tiles`` / ``max_resident_bytes`` — LRU bound on
+      tiles resident in memory (tiled only; evicted tiles rebuild on
+      touch); ``spill_dir`` — spill evicted tiles to disk instead of
+      rebuilding them;
     * ``patch_threshold`` — largest stale-kernel delta (fraction of n)
       that is patched in place rather than rebuilt;
     * ``cache_size`` — LRU bound on live kernels per engine;
@@ -137,7 +158,11 @@ class EngineConfig:
 
     storage: str | None = None
     dtype: str | None = None
-    workers: int | None = None
+    workers: int | str | None = None
+    parallel: str | None = None
+    max_resident_tiles: int | None = None
+    max_resident_bytes: int | None = None
+    spill_dir: str | None = None
     block_size: int | None = None
     patch_threshold: float = 0.5
     cache_size: int = 8
@@ -176,16 +201,39 @@ class EngineConfig:
                 "dense storage is float64-only; pass storage='tiled' with "
                 f"dtype={self.dtype!r}"
             )
-        if self.workers is not None and self.workers < 1:
-            raise ApiError(f"workers must be >= 1, got {self.workers}")
+        from .engine.parallel import validate_parallel, validate_workers
+
+        validate_workers(self.workers, ApiError)
+        validate_parallel(self.parallel, ApiError)
         if (
-            self.workers is not None
+            isinstance(self.workers, int)
             and self.workers > 1
             and (self.storage or "dense") == "dense"
         ):
             raise ApiError(
                 "dense storage builds serially; pass storage='tiled' with "
                 f"workers={self.workers}"
+            )
+        if self.parallel == "process" and (self.storage or "dense") == "dense":
+            raise ApiError(
+                "dense storage builds serially; pass storage='tiled' with "
+                "parallel='process'"
+            )
+        for name in ("max_resident_tiles", "max_resident_bytes"):
+            budget = getattr(self, name)
+            if budget is not None and budget < 1:
+                raise ApiError(f"{name} must be >= 1, got {budget}")
+        if (self.storage or "dense") == "dense" and (
+            self.max_resident_tiles is not None
+            or self.max_resident_bytes is not None
+            or self.spill_dir is not None
+        ):
+            # Sketched kernels keep their exact-read fallback on a tiled
+            # grid, so budgets apply there too; only the eager dense
+            # layout has nothing to bound.
+            raise ApiError(
+                "dense storage is one eager allocation and cannot spill; "
+                "pass storage='tiled' for tile budgets / spill_dir"
             )
         if (self.dtype or "float64") != "float64" and self.storage == "sketched":
             raise ApiError(
@@ -242,6 +290,8 @@ class EngineConfig:
             overrides["dtype"] = None
         if self.workers == 1:
             overrides["workers"] = None
+        if self.parallel == "thread":
+            overrides["parallel"] = None
         if self.block_size == DEFAULT_BLOCK_SIZE:
             overrides["block_size"] = None
         if self.landmarks == "uniform":
@@ -262,7 +312,9 @@ class EngineConfig:
         config = base if base is not None else cls()
         overrides = {
             name: value
-            for name in ("storage", "dtype", "workers", "block_size",
+            for name in ("storage", "dtype", "workers", "parallel",
+                         "max_resident_tiles", "max_resident_bytes",
+                         "spill_dir", "block_size",
                          "patch_threshold", "cache_size",
                          "sketch_columns", "landmarks", "approx")
             if (value := getattr(args, name, None)) is not None
@@ -274,11 +326,14 @@ class EngineConfig:
         cls, environ: Mapping[str, str] | None = None
     ) -> "EngineConfig":
         """The config selected by ``REPRO_<FIELD>`` environment
-        variables (``REPRO_STORAGE``, ``REPRO_DTYPE``, ``REPRO_WORKERS``,
-        ``REPRO_BLOCK_SIZE``, ``REPRO_PATCH_THRESHOLD``,
-        ``REPRO_CACHE_SIZE``, ``REPRO_SKETCH_COLUMNS``,
-        ``REPRO_LANDMARKS``, ``REPRO_APPROX``) — the deployment-facing
-        twin of :meth:`from_args`."""
+        variables (``REPRO_STORAGE``, ``REPRO_DTYPE``, ``REPRO_WORKERS``
+        — an int or ``auto`` —, ``REPRO_PARALLEL``,
+        ``REPRO_MAX_RESIDENT_TILES``, ``REPRO_MAX_RESIDENT_BYTES``,
+        ``REPRO_SPILL_DIR``, ``REPRO_BLOCK_SIZE``,
+        ``REPRO_PATCH_THRESHOLD``, ``REPRO_CACHE_SIZE``,
+        ``REPRO_SKETCH_COLUMNS``, ``REPRO_LANDMARKS``,
+        ``REPRO_APPROX``) — the deployment-facing twin of
+        :meth:`from_args`."""
         env = os.environ if environ is None else environ
         overrides: dict[str, Any] = {}
         for spec in fields(cls):
@@ -295,8 +350,11 @@ class EngineConfig:
                     raise ApiError(
                         f"REPRO_APPROX must be a boolean, got {raw!r}"
                     )
+            elif spec.name == "workers":
+                overrides[spec.name] = _workers_value(raw, "REPRO_WORKERS")
             elif spec.name in (
-                "workers", "block_size", "cache_size", "sketch_columns"
+                "block_size", "cache_size", "sketch_columns",
+                "max_resident_tiles", "max_resident_bytes",
             ):
                 try:
                     overrides[spec.name] = int(raw)
@@ -351,10 +409,44 @@ def add_engine_config_args(parser: "argparse.ArgumentParser") -> None:
     )
     parser.add_argument(
         "--workers",
+        type=_workers_value,
+        default=None,
+        metavar="N|auto",
+        help="pool width for parallel tiled-matrix builds: an int, or "
+        "'auto' for the host CPU count (resolved at build time)",
+    )
+    parser.add_argument(
+        "--parallel",
+        choices=["thread", "process"],
+        default=None,
+        help="how multi-worker builds fan out: thread (default; wins "
+        "when provider blocks release the GIL) or process (true "
+        "multicore — tiles score in worker processes and return via "
+        "shared memory; falls back to threads when the scoring "
+        "functions cannot be pickled)",
+    )
+    parser.add_argument(
+        "--max-resident-tiles",
         type=int,
         default=None,
         metavar="N",
-        help="thread-pool width for parallel tiled-matrix builds",
+        help="LRU bound on distance tiles resident in memory (tiled "
+        "storage; evicted tiles rebuild on touch, or reload from "
+        "--spill-dir)",
+    )
+    parser.add_argument(
+        "--max-resident-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU bound on resident distance-tile bytes (tiled storage)",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="spill evicted tiles to files under DIR instead of "
+        "rebuilding them on touch (tiled storage with a tile budget)",
     )
     parser.add_argument(
         "--block-size",

@@ -35,6 +35,125 @@ def _check_non_negative(value: float, what: str) -> float:
     return value
 
 
+# -- picklable scoring kernels ---------------------------------------------
+#
+# The constructor library used to close over its parameters with lambdas
+# and nested functions, which made every constructed function — and any
+# provider carrying one — unpicklable.  Process-pool tile builds ship the
+# provider to worker processes, so the kernels live here as module-level
+# callable classes instead; the float behavior is op-for-op identical to
+# the closures they replace.
+
+
+class _ConstantValue:
+    """A constant kernel, usable at either arity (δ_rel or δ_dis)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def __call__(self, *args: Any) -> float:
+        return self.value
+
+
+class _TableRelevance:
+    """Table-driven δ_rel keyed on the tuple's values."""
+
+    __slots__ = ("frozen", "default")
+
+    def __init__(self, frozen: dict[tuple[Any, ...], float], default: float):
+        self.frozen = frozen
+        self.default = default
+
+    def __call__(self, row: Row, query: Query | None) -> float:
+        return self.frozen.get(row.values, self.default)
+
+
+class _AttributeRelevance:
+    """δ_rel read directly from a numeric attribute."""
+
+    __slots__ = ("attribute", "default")
+
+    def __init__(self, attribute: str, default: float):
+        self.attribute = attribute
+        self.default = default
+
+    def __call__(self, row: Row, query: Query | None) -> float:
+        if not row.schema.has_attribute(self.attribute):
+            return self.default
+        value = row[self.attribute]
+        return float(value) if isinstance(value, (int, float)) else self.default
+
+
+class _CallableAdapter:
+    """Adapt a ``(row,)`` or ``(row, query)`` callable to the canonical
+    two-argument δ_rel arity (picklable iff the wrapped callable is)."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable[..., float]):
+        self.func = func
+
+    def __call__(self, row: Row, query: Query | None) -> float:
+        try:
+            return self.func(row, query)
+        except TypeError:
+            return self.func(row)
+
+
+class _TableDistance:
+    """Table-driven δ_dis keyed on unordered value pairs."""
+
+    __slots__ = ("frozen", "default")
+
+    def __init__(
+        self,
+        frozen: dict[tuple[tuple[Any, ...], tuple[Any, ...]], float],
+        default: float,
+    ):
+        self.frozen = frozen
+        self.default = default
+
+    def __call__(self, left: Row, right: Row) -> float:
+        key = (left.values, right.values)
+        if key in self.frozen:
+            return self.frozen[key]
+        return self.frozen.get((right.values, left.values), self.default)
+
+
+class _AttributeMismatch:
+    """Count of attributes on which two tuples differ."""
+
+    __slots__ = ("attributes",)
+
+    def __init__(self, attributes: tuple[str, ...] | None):
+        self.attributes = attributes
+
+    def __call__(self, left: Row, right: Row) -> float:
+        attrs: Iterable[str]
+        if self.attributes is None:
+            attrs = [
+                a for a in left.schema.attributes if right.schema.has_attribute(a)
+            ]
+        else:
+            attrs = self.attributes
+        return float(sum(1 for a in attrs if left[a] != right[a]))
+
+
+class _NumericGap:
+    """``scale * |left.attr − right.attr|`` for a numeric attribute."""
+
+    __slots__ = ("attribute", "scale")
+
+    def __init__(self, attribute: str, scale: float):
+        self.attribute = attribute
+        self.scale = scale
+
+    def __call__(self, left: Row, right: Row) -> float:
+        return self.scale * abs(float(left[self.attribute]) - float(right[self.attribute]))
+
+
 class RelevanceFunction:
     """Wraps ``δ_rel``: a map (tuple, query) → non-negative real."""
 
@@ -54,7 +173,7 @@ class RelevanceFunction:
     def constant(cls, value: float = 1.0) -> "RelevanceFunction":
         """The constant relevance used throughout the lower-bound proofs."""
         value = _check_non_negative(value, "constant relevance")
-        return cls(lambda row, query: value, name=f"const({value})")
+        return cls(_ConstantValue(value), name=f"const({value})")
 
     @classmethod
     def from_table(
@@ -68,36 +187,19 @@ class RelevanceFunction:
         tuples (e.g. ``δ_rel((s,1), Q') = 1`` in Theorem 5.1).
         """
         frozen = {tuple(k): float(v) for k, v in table.items()}
-        return cls(
-            lambda row, query: frozen.get(row.values, default),
-            name="table",
-        )
+        return cls(_TableRelevance(frozen, default), name="table")
 
     @classmethod
     def from_attribute(cls, attribute: str, default: float = 0.0) -> "RelevanceFunction":
         """Read relevance directly from a numeric attribute of the tuple."""
-
-        def func(row: Row, query: Query | None) -> float:
-            if not row.schema.has_attribute(attribute):
-                return default
-            value = row[attribute]
-            return float(value) if isinstance(value, (int, float)) else default
-
-        return cls(func, name=f"attr({attribute})")
+        return cls(_AttributeRelevance(attribute, default), name=f"attr({attribute})")
 
     @classmethod
     def from_callable(
         cls, func: Callable[..., float], name: str = "custom"
     ) -> "RelevanceFunction":
         """Wrap a callable taking (row,) or (row, query)."""
-
-        def adapter(row: Row, query: Query | None) -> float:
-            try:
-                return func(row, query)
-            except TypeError:
-                return func(row)
-
-        return cls(adapter, name=name)
+        return cls(_CallableAdapter(func), name=name)
 
 
 class DistanceFunction:
@@ -138,7 +240,7 @@ class DistanceFunction:
         of the λ = 0 special cases (Theorem 8.2).
         """
         value = _check_non_negative(value, "constant distance")
-        return cls(lambda a, b: value, name=f"const({value})")
+        return cls(_ConstantValue(value), name=f"const({value})")
 
     @classmethod
     def from_table(
@@ -153,14 +255,7 @@ class DistanceFunction:
         frozen: dict[tuple[tuple[Any, ...], tuple[Any, ...]], float] = {}
         for (a, b), v in table.items():
             frozen[(tuple(a), tuple(b))] = float(v)
-
-        def func(left: Row, right: Row) -> float:
-            key = (left.values, right.values)
-            if key in frozen:
-                return frozen[key]
-            return frozen.get((right.values, left.values), default)
-
-        return cls(func, name="table", symmetrize=False)
+        return cls(_TableDistance(frozen, default), name="table", symmetrize=False)
 
     @classmethod
     def attribute_mismatch(
@@ -172,30 +267,14 @@ class DistanceFunction:
         This is the "difference between their types" style distance of
         Example 3.1.
         """
-
-        def func(left: Row, right: Row) -> float:
-            attrs: Iterable[str]
-            if attributes is None:
-                attrs = [
-                    a
-                    for a in left.schema.attributes
-                    if right.schema.has_attribute(a)
-                ]
-            else:
-                attrs = attributes
-            return float(sum(1 for a in attrs if left[a] != right[a]))
-
+        attrs = None if attributes is None else tuple(attributes)
         label = "all" if attributes is None else ",".join(attributes)
-        return cls(func, name=f"mismatch({label})")
+        return cls(_AttributeMismatch(attrs), name=f"mismatch({label})")
 
     @classmethod
     def numeric_gap(cls, attribute: str, scale: float = 1.0) -> "DistanceFunction":
         """``scale * |left.attr − right.attr|`` for a numeric attribute."""
-
-        def func(left: Row, right: Row) -> float:
-            return scale * abs(float(left[attribute]) - float(right[attribute]))
-
-        return cls(func, name=f"gap({attribute})")
+        return cls(_NumericGap(attribute, scale), name=f"gap({attribute})")
 
     @classmethod
     def from_callable(

@@ -510,6 +510,16 @@ class FeatureSpaceProvider(ScoringProvider):
         self._cache: dict[Row, tuple] | None = {} if cache_features else None
         self.vectorize = vectorize
 
+    def __getstate__(self):
+        # Process-pool builds pickle the provider once per worker; the
+        # per-row feature cache is a derived accelerator that can be huge
+        # (one tuple per touched row), so ship it empty — workers rebuild
+        # the same tuples on demand, bit-for-bit.
+        state = self.__dict__.copy()
+        if state.get("_cache") is not None:
+            state["_cache"] = {}
+        return state
+
     # -- features ---------------------------------------------------------
 
     def features_of(self, row: Row) -> tuple:

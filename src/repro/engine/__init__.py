@@ -30,10 +30,14 @@ plain callables), and the distance matrix is assembled from tiled
 Where the matrix *lives* is pluggable (:mod:`repro.engine.storage`):
 :class:`DenseStorage` is the historical single contiguous float64
 allocation, :class:`TiledStorage` keeps it as a lazy grid of tiles —
-built on first touch, optionally in parallel (``workers=``), optionally
-float32 at rest (``dtype=``) — selected by the ``storage``/``dtype``/
-``workers`` knobs on :class:`ScoringKernel`, :func:`kernel_for_instance`
-and :class:`DiversificationEngine`.
+built on first touch, optionally in parallel (``workers=``, over
+threads or — via ``parallel="process"`` and
+:mod:`repro.engine.parallel` — worker processes with shared-memory
+tile return), optionally float32 at rest (``dtype=``), optionally
+LRU-bounded in memory (``max_resident_tiles=`` / ``max_resident_bytes=``
+with rebuild-on-touch or ``spill_dir=`` disk spill) — selected by the
+``storage``/``dtype``/``workers`` knobs on :class:`ScoringKernel`,
+:func:`kernel_for_instance` and :class:`DiversificationEngine`.
 
 Whether a matrix is needed *at all* is negotiated: selectors declare a
 :class:`~repro.algorithms.substrate.KernelAccess` level, and kernels
@@ -63,6 +67,12 @@ from .kernel import (
     kernel_for_instance,
     numpy_available,
 )
+from .parallel import (
+    PARALLEL_MODES,
+    available_cpus,
+    resolve_workers,
+    supports_process_pool,
+)
 from .storage import (
     STORAGE_DTYPES,
     STORAGE_KINDS,
@@ -85,9 +95,11 @@ __all__ = [
     "KernelDelta",
     "KernelError",
     "KernelStorage",
+    "PARALLEL_MODES",
     "STORAGE_DTYPES",
     "STORAGE_KINDS",
     "ScoringKernel",
+    "available_cpus",
     "SketchedStorage",
     "StorageError",
     "TiledStorage",
@@ -99,5 +111,7 @@ __all__ = [
     "modular_top_k",
     "numpy_available",
     "reset_default_engine",
+    "resolve_workers",
+    "supports_process_pool",
     "variants_grid",
 ]

@@ -285,8 +285,12 @@ class DiversificationEngine:
     distance matrices as lazy tile grids instead of one contiguous
     allocation, ``dtype="float32"`` (tiled only) halves at-rest matrix
     memory while reductions stay float64, and ``workers`` parallelizes
-    full tile builds over a thread pool.  Every kernel this engine
-    builds inherits them.
+    full tile builds over a thread pool.  The config-only knobs
+    ``parallel`` (``"process"`` fans tile builds over worker processes
+    when the scoring snapshot pickles), ``max_resident_tiles`` /
+    ``max_resident_bytes`` (LRU tile budgets) and ``spill_dir`` (disk
+    spill for evicted tiles) extend that policy; every kernel this
+    engine builds inherits them.
     """
 
     def __init__(
@@ -389,8 +393,43 @@ class DiversificationEngine:
         return self.config.dtype
 
     @property
-    def workers(self) -> int | None:
+    def workers(self) -> "int | str | None":
         return self.config.workers
+
+    @property
+    def parallel(self) -> str | None:
+        return self.config.parallel
+
+    @property
+    def max_resident_tiles(self) -> int | None:
+        return self.config.max_resident_tiles
+
+    @property
+    def max_resident_bytes(self) -> int | None:
+        return self.config.max_resident_bytes
+
+    @property
+    def spill_dir(self) -> str | None:
+        return self.config.spill_dir
+
+    def storage_stats(self) -> dict:
+        """Aggregated tile-residency/spill counters over the cached
+        kernels (zeros when no kernel carries budget accounting) — the
+        observability hook the service's ``stats()`` surfaces."""
+        totals = {
+            "evictions": 0,
+            "spills": 0,
+            "spill_loads": 0,
+            "rebuilds": 0,
+            "resident_tiles": 0,
+            "resident_bytes": 0,
+        }
+        for kernel in self._cache.values():
+            stats = kernel.storage_stats()
+            if stats:
+                for name in totals:
+                    totals[name] += stats.get(name, 0)
+        return totals
 
     # -- kernel cache -----------------------------------------------------
 

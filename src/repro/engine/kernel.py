@@ -57,11 +57,13 @@ from ..core.evaluator import (
 from ..core.objectives import Objective, ObjectiveError, ObjectiveKind
 from ..core.providers import LANDMARK_STRATEGIES, provider_for
 from ..relational.schema import Row, row_sort_key
+from .parallel import validate_parallel, validate_workers
 from .storage import (
     STORAGE_DTYPES,
     STORAGE_KINDS,
     KernelStorage,
     SketchedStorage,
+    TiledStorage,
     make_storage,
 )
 
@@ -128,6 +130,10 @@ class ScoringKernel:
         "storage_kind",
         "dtype",
         "workers",
+        "parallel",
+        "max_resident_tiles",
+        "max_resident_bytes",
+        "spill_dir",
         "sketch_columns",
         "landmarks",
         "answers",
@@ -149,7 +155,11 @@ class ScoringKernel:
         block_size: int | None = None,
         storage: str | None = None,
         dtype: str | None = None,
-        workers: int | None = None,
+        workers: "int | str | None" = None,
+        parallel: str | None = None,
+        max_resident_tiles: int | None = None,
+        max_resident_bytes: int | None = None,
+        spill_dir: str | None = None,
         sketch_columns: int | None = None,
         landmarks: str | None = None,
     ):
@@ -181,13 +191,41 @@ class ScoringKernel:
                 "dense storage is float64-only (the bit-exact parity "
                 "baseline); use storage='tiled' for dtype='float32'"
             )
-        if workers is not None and workers < 1:
-            raise KernelError(f"workers must be >= 1, got {workers}")
-        if storage == "dense" and workers is not None and workers > 1:
+        workers = validate_workers(workers, KernelError)
+        parallel = validate_parallel(parallel, KernelError)
+        if max_resident_tiles is not None and max_resident_tiles < 1:
             raise KernelError(
-                "dense storage builds serially; use storage='tiled' for "
-                f"workers={workers}"
+                f"max_resident_tiles must be >= 1, got {max_resident_tiles}"
             )
+        if max_resident_bytes is not None and max_resident_bytes < 1:
+            raise KernelError(
+                f"max_resident_bytes must be >= 1, got {max_resident_bytes}"
+            )
+        if storage == "dense":
+            # "auto" is allowed everywhere (it resolves at build time,
+            # which for dense means "serial"); only an explicit request
+            # for multi-worker / process / spilling builds is a
+            # contradiction with the eager contiguous layout.
+            if isinstance(workers, int) and workers > 1:
+                raise KernelError(
+                    "dense storage builds serially; use storage='tiled' for "
+                    f"workers={workers}"
+                )
+            if parallel == "process":
+                raise KernelError(
+                    "dense storage builds serially; use storage='tiled' for "
+                    "parallel='process'"
+                )
+            if (
+                max_resident_tiles is not None
+                or max_resident_bytes is not None
+                or spill_dir is not None
+            ):
+                raise KernelError(
+                    "dense storage is one eager allocation and cannot "
+                    "spill; use storage='tiled' for tile budgets / "
+                    "spill_dir"
+                )
         if storage == "sketched" and dtype != "float64":
             raise KernelError(
                 "sketched storage keeps its landmark columns (and the "
@@ -225,6 +263,10 @@ class ScoringKernel:
         self.storage_kind = storage
         self.dtype = dtype
         self.workers = workers
+        self.parallel = parallel
+        self.max_resident_tiles = max_resident_tiles
+        self.max_resident_bytes = max_resident_bytes
+        self.spill_dir = spill_dir
         self.sketch_columns = sketch_columns
         self.landmarks = landmarks
         self.answers: tuple[Row, ...] = tuple(instance.answers())
@@ -273,6 +315,13 @@ class ScoringKernel:
             rows_a, rows_b, use_numpy=self.backend == "numpy"
         )
 
+    def _pool_snapshot(self) -> tuple:
+        """The (provider, answers) snapshot a process pool ships to its
+        workers — read at pool-creation time, so builds after a delta
+        patch score against the updated snapshot just like the lazy
+        block builder does."""
+        return self.provider, self.answers
+
     def _materialize_distances(self) -> None:
         """Allocate the distance storage.
 
@@ -293,6 +342,11 @@ class ScoringKernel:
             self.block_size,
             dtype=self.dtype,
             workers=self.workers,
+            parallel=self.parallel,
+            max_resident_tiles=self.max_resident_tiles,
+            max_resident_bytes=self.max_resident_bytes,
+            spill_dir=self.spill_dir,
+            pool_source=self._pool_snapshot,
         )
         self._row_sums = None
 
@@ -318,9 +372,19 @@ class ScoringKernel:
 
     def materialize_all(self) -> None:
         """Force the full O(n²) distance materialization now — tiled
-        kernels build every remaining tile (through the ``workers``
-        thread pool when configured)."""
+        kernels build every remaining tile, fanning the builds over the
+        ``workers`` thread pool, or over a process pool when
+        ``parallel='process'`` and the scoring snapshot pickles."""
         self._require_dist().ensure_all()
+
+    def storage_stats(self) -> dict | None:
+        """Spill/residency counters of the distance storage (any tiled
+        grid, budgeted or not), or ``None`` for storages with no tile
+        accounting (dense; sketched before its exact-read fallback)."""
+        storage = self._storage
+        if isinstance(storage, TiledStorage):
+            return storage.spill_stats
+        return None
 
     # -- sketched (landmark-column) access ---------------------------------
 
@@ -378,6 +442,9 @@ class ScoringKernel:
                 use_numpy,
                 self.block_size,
                 strategy,
+                workers=self.workers,
+                parallel=self.parallel,
+                pool_source=self._pool_snapshot,
             )
         return self._sketch
 
@@ -449,7 +516,11 @@ class ScoringKernel:
         block_size: int | None = None,
         storage: str | None = None,
         dtype: str | None = None,
-        workers: int | None = None,
+        workers: "int | str | None" = None,
+        parallel: str | None = None,
+        max_resident_tiles: int | None = None,
+        max_resident_bytes: int | None = None,
+        spill_dir: str | None = None,
     ) -> "ScoringKernel":
         return cls(
             instance,
@@ -458,6 +529,10 @@ class ScoringKernel:
             storage=storage,
             dtype=dtype,
             workers=workers,
+            parallel=parallel,
+            max_resident_tiles=max_resident_tiles,
+            max_resident_bytes=max_resident_bytes,
+            spill_dir=spill_dir,
         )
 
     # -- identity ---------------------------------------------------------
@@ -903,7 +978,11 @@ def kernel_for_instance(
     block_size: int | None = None,
     storage: str | None = None,
     dtype: str | None = None,
-    workers: int | None = None,
+    workers: "int | str | None" = None,
+    parallel: str | None = None,
+    max_resident_tiles: int | None = None,
+    max_resident_bytes: int | None = None,
+    spill_dir: str | None = None,
     config=None,
     access: str | None = None,
 ) -> ScoringKernel:
@@ -938,6 +1017,14 @@ def kernel_for_instance(
         storage = storage if storage is not None else config.storage
         dtype = dtype if dtype is not None else config.dtype
         workers = workers if workers is not None else config.workers
+        if parallel is None:
+            parallel = getattr(config, "parallel", None)
+        if max_resident_tiles is None:
+            max_resident_tiles = getattr(config, "max_resident_tiles", None)
+        if max_resident_bytes is None:
+            max_resident_bytes = getattr(config, "max_resident_bytes", None)
+        if spill_dir is None:
+            spill_dir = getattr(config, "spill_dir", None)
         sketch_columns = getattr(config, "sketch_columns", None)
         landmarks = getattr(config, "landmarks", None)
     objective = instance.objective
@@ -956,6 +1043,10 @@ def kernel_for_instance(
         storage=storage,
         dtype=dtype,
         workers=workers,
+        parallel=parallel,
+        max_resident_tiles=max_resident_tiles,
+        max_resident_bytes=max_resident_bytes,
+        spill_dir=spill_dir,
         sketch_columns=sketch_columns,
         landmarks=landmarks,
     )

@@ -1,0 +1,346 @@
+"""Process-pool kernel builds: true multicore tile scoring.
+
+The ``workers=`` thread pool in :class:`~repro.engine.storage.TiledStorage`
+only wins when provider blocks release the GIL (NumPy inner kernels); a
+pure-Python provider — or the Python-side feature assembly around a
+vectorized one — serializes on the interpreter lock and measures ≈1.0×.
+This module is the escape hatch: ship the scoring *snapshot* (provider +
+answer rows) to a ``ProcessPoolExecutor`` once, fan independent tile
+builds across cores, and return each scored block to the parent
+
+* through one ``multiprocessing.shared_memory`` segment per batch on the
+  NumPy backend (workers write float64 blocks at precomputed offsets;
+  the parent copies tiles out and unlinks the segment — no pickling of
+  matrix data), or
+* as pickled nested float lists on the pure-Python backend (floats
+  round-trip pickle exactly, so tiles stay bit-identical).
+
+Capability negotiation: a snapshot qualifies only if it pickles —
+:func:`supports_process_pool` is the cheap probe, and
+:meth:`ProcessTileBuilder.create` is the authoritative gate (it returns
+``None`` instead of a builder when the full payload fails to pickle, and
+callers degrade to the thread pool).  Closure-based scalar providers
+therefore keep working exactly as before; module-level workload
+providers (:mod:`repro.workloads`) and
+:class:`~repro.core.providers.FeatureSpaceProvider` with named metrics
+take the process path.
+
+Exactness contract: a worker reproduces
+``ScoringKernel._build_distance_block`` operation for operation — tuple
+slices of the same answer snapshot, ``rows_a is rows_b`` identity for
+diagonal blocks (providers score the triangle once), the same
+``distance_block`` call — so a process-built tile holds the same floats
+a serial build would, before the storage layer even narrows it.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from multiprocessing import shared_memory
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI cells
+    _np = None
+
+__all__ = [
+    "PARALLEL_MODES",
+    "available_cpus",
+    "validate_workers",
+    "resolve_workers",
+    "validate_parallel",
+    "supports_process_pool",
+    "ProcessTileBuilder",
+]
+
+#: Recognized ``parallel=`` spellings: how a multi-worker build fans out.
+PARALLEL_MODES = ("thread", "process")
+
+#: Upper bound on tiles per worker task (amortizes IPC without starving
+#: the pool of work items on small grids).
+_MAX_BATCH_TILES = 16
+
+
+def available_cpus() -> int:
+    """CPUs this process may use: ``os.process_cpu_count()`` (3.13+,
+    affinity-aware) with the ``os.cpu_count()`` fallback for 3.11/3.12."""
+    counter = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return max(1, counter() or 1)
+
+
+def validate_workers(workers, error=ValueError):
+    """Validate a ``workers`` knob: ``None``, an int ≥ 1, or ``"auto"``.
+
+    Returns the knob *unresolved* — ``"auto"`` stays symbolic (hashable
+    config keys, host-independent canonical forms) until a build actually
+    needs a pool size, at which point :func:`resolve_workers` pins it.
+    ``error`` is the exception class to raise (each layer keeps its own:
+    ``StorageError``, ``KernelError``, ``ConfigError``).
+    """
+    if workers is None or workers == "auto":
+        return workers
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise error(f"workers must be an int >= 1 or 'auto', got {workers!r}")
+    if workers < 1:
+        raise error(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_workers(workers) -> int:
+    """The concrete pool size for a validated ``workers`` knob."""
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return available_cpus()
+    return int(workers)
+
+
+def validate_parallel(parallel, error=ValueError) -> str:
+    """Validate a ``parallel`` mode knob (``None`` means ``"thread"``)."""
+    if parallel is None:
+        return "thread"
+    if parallel not in PARALLEL_MODES:
+        raise error(
+            f"unknown parallel mode {parallel!r}; choose one of {PARALLEL_MODES}"
+        )
+    return parallel
+
+
+def supports_process_pool(provider, answers=()) -> bool:
+    """Can this scoring snapshot ship to worker processes?
+
+    A cheap capability probe: the provider plus a few sample rows must
+    pickle.  :meth:`ProcessTileBuilder.create` re-checks the full payload
+    (the probe can pass while an exotic row deep in the snapshot fails),
+    so callers treating ``True`` as a hint and ``create() is None`` as
+    the verdict degrade gracefully either way.
+    """
+    try:
+        pickle.dumps(
+            (provider, tuple(answers)[:4]), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception:
+        return False
+    return True
+
+
+# -- worker side ------------------------------------------------------------
+
+#: Per-worker scoring snapshot, set once by the pool initializer.
+_WORKER_STATE: tuple | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+
+
+def _worker_score(spec):
+    """Score one block spec against the worker's snapshot.
+
+    ``("tile", a0, a1, b0, b1)`` mirrors
+    ``ScoringKernel._build_distance_block`` exactly (including the
+    ``rows_a is rows_b`` diagonal identity); ``("cols", a0, a1, cols)``
+    mirrors the sketched-storage columns builder (row block × landmark
+    rows).
+    """
+    provider, answers, use_numpy = _WORKER_STATE
+    if spec[0] == "cols":
+        _, a0, a1, cols = spec
+        rows_a = answers[a0:a1]
+        rows_b = [answers[p] for p in cols]
+    else:
+        _, a0, a1, b0, b1 = spec
+        rows_a = answers[a0:a1]
+        rows_b = rows_a if (a0, a1) == (b0, b1) else answers[b0:b1]
+    return provider.distance_block(rows_a, rows_b, use_numpy=use_numpy)
+
+
+def _spec_shape(spec) -> tuple[int, int]:
+    if spec[0] == "cols":
+        return spec[2] - spec[1], len(spec[3])
+    return spec[2] - spec[1], spec[4] - spec[3]
+
+
+def _attach_shm(name: str):
+    """Attach to a parent-owned segment, avoiding double bookkeeping
+    with the resource tracker where the API allows it.
+
+    3.13+ supports ``track=False``; earlier Pythons register the name on
+    attach unconditionally.  That duplicate register is harmless — the
+    tracker cache is a set, and the parent's ``unlink()`` unregisters
+    the name exactly once — whereas unregistering here would race the
+    parent's unlink and spray KeyError tracebacks from the tracker.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def _score_specs_shm(shm_name: str, jobs) -> None:
+    """Score a batch of specs, writing float64 blocks into the shared
+    segment at the parent-assigned offsets (NumPy backend only)."""
+    shm = _attach_shm(shm_name)
+    try:
+        for offset, spec in jobs:
+            block = _np.asarray(_worker_score(spec), dtype=_np.float64)
+            view = _np.ndarray(
+                block.shape, dtype=_np.float64, buffer=shm.buf, offset=offset
+            )
+            view[...] = block
+    finally:
+        shm.close()
+
+
+def _score_specs_pickled(specs) -> list:
+    """Score a batch of specs, returning the raw provider blocks (nested
+    float lists on the pure-Python backend; pickled on the way back)."""
+    return [_worker_score(spec) for spec in specs]
+
+
+# -- parent side ------------------------------------------------------------
+
+
+class ProcessTileBuilder:
+    """One process pool bound to one scoring snapshot.
+
+    Create via :meth:`create` (returns ``None`` when the snapshot cannot
+    be pickled — the caller's cue to degrade to threads), feed it block
+    jobs via :meth:`build`, and :meth:`close` it when the build is done.
+    The pool is per-build on purpose: worker snapshots would go stale
+    across ``apply_delta``, and a short-lived pool cannot leak.
+    """
+
+    def __init__(self, executor: ProcessPoolExecutor, use_numpy: bool, workers: int):
+        self._executor = executor
+        self.use_numpy = use_numpy
+        self.workers = workers
+
+    @classmethod
+    def create(
+        cls, provider, answers, use_numpy: bool, workers: int
+    ) -> "ProcessTileBuilder | None":
+        """A builder for the snapshot, or ``None`` if it cannot ship.
+
+        The payload is pickled *here*, in the parent, so unpicklable
+        providers fail fast and deterministically instead of surfacing
+        as a ``BrokenProcessPool`` from the first worker.
+        """
+        try:
+            payload = pickle.dumps(
+                (provider, tuple(answers), use_numpy),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            return None
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+        return cls(executor, use_numpy, workers)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ProcessTileBuilder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- orchestration -----------------------------------------------------
+
+    def _batches(self, jobs: list) -> list[list]:
+        per = max(1, math.ceil(len(jobs) / (self.workers * 4)))
+        per = min(per, _MAX_BATCH_TILES)
+        return [jobs[i : i + per] for i in range(0, len(jobs), per)]
+
+    def build(self, jobs, store) -> None:
+        """Score every job, calling ``store(key, block)`` in *this*
+        thread as results land (storage dict writes stay single-threaded,
+        exactly like the thread-pool path).
+
+        ``jobs`` is a sequence of ``(key, spec)`` pairs; ``block`` is a
+        fresh float64 array (NumPy backend) or the provider's nested
+        float lists (pure-Python backend).  In-flight work is bounded to
+        a few batches so a memory-budgeted storage never sees O(n²)
+        transient allocation.
+        """
+        batches = self._batches(list(jobs))
+        if self.use_numpy:
+            self._run_shm(batches, store)
+        else:
+            self._run_pickled(batches, store)
+
+    def _run_shm(self, batches, store) -> None:
+        inflight: dict = {}
+        max_inflight = self.workers + 2
+        try:
+            for batch in batches:
+                offset = 0
+                specs = []
+                for _key, spec in batch:
+                    rows, cols = _spec_shape(spec)
+                    specs.append((offset, spec))
+                    offset += rows * cols * 8
+                shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+                future = self._executor.submit(_score_specs_shm, shm.name, specs)
+                inflight[future] = (shm, batch, specs)
+                if len(inflight) >= max_inflight:
+                    self._drain_shm(inflight, store)
+            while inflight:
+                self._drain_shm(inflight, store)
+        finally:
+            for future, (shm, _batch, _specs) in inflight.items():
+                future.cancel()
+                shm.close()
+                shm.unlink()
+
+    def _drain_shm(self, inflight, store) -> None:
+        done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+        for future in done:
+            shm, batch, specs = inflight.pop(future)
+            try:
+                future.result()  # surface worker errors before reading
+                for (key, spec), (offset, _spec) in zip(batch, specs):
+                    view = _np.ndarray(
+                        _spec_shape(spec),
+                        dtype=_np.float64,
+                        buffer=shm.buf,
+                        offset=offset,
+                    )
+                    store(key, view.copy())
+            finally:
+                shm.close()
+                shm.unlink()
+
+    def _run_pickled(self, batches, store) -> None:
+        inflight: dict = {}
+        max_inflight = self.workers + 2
+        try:
+            for batch in batches:
+                specs = [spec for _key, spec in batch]
+                inflight[self._executor.submit(_score_specs_pickled, specs)] = batch
+                if len(inflight) >= max_inflight:
+                    self._drain_pickled(inflight, store)
+            while inflight:
+                self._drain_pickled(inflight, store)
+        finally:
+            for future in inflight:
+                future.cancel()
+
+    def _drain_pickled(self, inflight, store) -> None:
+        done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+        for future in done:
+            batch = inflight.pop(future)
+            for (key, _spec), block in zip(batch, future.result()):
+                store(key, block)

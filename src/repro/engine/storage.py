@@ -42,9 +42,23 @@ narrow dtype exists only at rest.
 from __future__ import annotations
 
 import math
+import os
+import pickle
+import shutil
 import struct
+import tempfile
+import weakref
+from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+
+from .parallel import (
+    PARALLEL_MODES,
+    ProcessTileBuilder,
+    resolve_workers,
+    validate_parallel,
+    validate_workers,
+)
 
 try:
     import numpy as _np
@@ -59,6 +73,7 @@ __all__ = [
     "SketchedStorage",
     "STORAGE_KINDS",
     "STORAGE_DTYPES",
+    "PARALLEL_MODES",
     "make_storage",
 ]
 
@@ -370,8 +385,21 @@ class TiledStorage(KernelStorage):
     tiles narrowed (reads widen back to float64); on the pure-Python
     backend float32 values are emulated by round-tripping each float
     through IEEE binary32, so both backends store the same numbers.
-    ``workers`` > 1 parallelizes :meth:`ensure_all` over a thread pool of
-    independent tile builds.
+    ``workers`` > 1 (or ``"auto"``) parallelizes :meth:`ensure_all` over
+    a pool of independent tile builds — a thread pool by default, or a
+    process pool (``parallel="process"``) when the scoring snapshot is
+    picklable (see :mod:`repro.engine.parallel`; unpicklable snapshots
+    degrade to threads transparently).
+
+    **Tile spilling** bounds resident memory below O(n²): with
+    ``max_resident_tiles`` and/or ``max_resident_bytes`` set, built upper
+    tiles live in an LRU; evicted tiles are rebuilt on next touch from
+    the same provider calls (identical floats by the provider exactness
+    contract), or — when ``spill_dir`` is set — written to disk once on
+    first eviction and reloaded exactly (raw IEEE bytes on NumPy, pickle
+    on pure Python).  ``tiles_built`` / ``is_fully_built`` track
+    *ever-built* tiles, so laziness observability and remap semantics are
+    unchanged by eviction.
     """
 
     kind = "tiled"
@@ -382,10 +410,21 @@ class TiledStorage(KernelStorage):
         "dtype",
         "block_size",
         "workers",
+        "parallel",
+        "max_resident_tiles",
+        "max_resident_bytes",
+        "spill_dir",
         "_builder",
+        "_pool_source",
         "_nb",
         "_tiles",
         "_built_upper",
+        "_lru",
+        "_resident_bytes",
+        "_spilled",
+        "_spill_path",
+        "_counters",
+        "__weakref__",
     )
 
     def __init__(
@@ -395,23 +434,52 @@ class TiledStorage(KernelStorage):
         use_numpy: bool,
         block_size: int,
         dtype: str = "float64",
-        workers: int | None = None,
+        workers: "int | str | None" = None,
+        parallel: str | None = None,
+        max_resident_tiles: int | None = None,
+        max_resident_bytes: int | None = None,
+        spill_dir: str | None = None,
+        pool_source: Callable[[], tuple] | None = None,
     ):
         if dtype not in STORAGE_DTYPES:
             raise StorageError(
                 f"unknown storage dtype {dtype!r}; choose one of {STORAGE_DTYPES}"
             )
-        if workers is not None and workers < 1:
-            raise StorageError(f"workers must be >= 1, got {workers}")
+        if max_resident_tiles is not None and max_resident_tiles < 1:
+            raise StorageError(
+                f"max_resident_tiles must be >= 1, got {max_resident_tiles}"
+            )
+        if max_resident_bytes is not None and max_resident_bytes < 1:
+            raise StorageError(
+                f"max_resident_bytes must be >= 1, got {max_resident_bytes}"
+            )
         self.n = n
         self.backend = "numpy" if use_numpy else "python"
         self.dtype = dtype
         self.block_size = block_size
-        self.workers = workers
+        self.workers = validate_workers(workers, StorageError)
+        self.parallel = validate_parallel(parallel, StorageError)
+        self.max_resident_tiles = max_resident_tiles
+        self.max_resident_bytes = max_resident_bytes
+        self.spill_dir = spill_dir
         self._builder = builder
+        self._pool_source = pool_source
         self._nb = -(-n // block_size) if n else 0
         self._tiles: dict[tuple[int, int], object] = {}
         self._built_upper: set[tuple[int, int]] = set()
+        budgeted = max_resident_tiles is not None or max_resident_bytes is not None
+        self._lru: OrderedDict[tuple[int, int], int] | None = (
+            OrderedDict() if budgeted else None
+        )
+        self._resident_bytes = 0
+        self._spilled: set[tuple[int, int]] = set()
+        self._spill_path: str | None = None
+        self._counters = {
+            "evictions": 0,
+            "spills": 0,
+            "spill_loads": 0,
+            "rebuilds": 0,
+        }
 
     # -- tile plumbing ----------------------------------------------------
 
@@ -438,15 +506,27 @@ class TiledStorage(KernelStorage):
         if bi != bj and self.backend == "numpy":
             self._tiles[(bj, bi)] = tile.T  # zero-copy view
         self._built_upper.add((bi, bj))
+        if self._lru is not None:
+            key = (bi, bj)
+            nbytes = self._tile_nbytes(tile)
+            if key not in self._lru:
+                self._resident_bytes += nbytes
+            self._lru[key] = nbytes
+            self._lru.move_to_end(key)
+            self._evict_over_budget()
 
     def _tile(self, bi: int, bj: int):
         tile = self._tiles.get((bi, bj))
         if tile is not None:
+            if self._lru is not None:
+                key = (bi, bj) if bi <= bj else (bj, bi)
+                if key in self._lru:
+                    self._lru.move_to_end(key)
             return tile
         ui, uj = (bi, bj) if bi <= bj else (bj, bi)
         upper = self._tiles.get((ui, uj))
         if upper is None:
-            upper = self._build_upper(ui, uj)
+            upper = self._revive_upper(ui, uj)
             self._store_upper(ui, uj, upper)
             if (bi, bj) in self._tiles:  # numpy mirrors appear with the build
                 return self._tiles[(bi, bj)]
@@ -458,6 +538,89 @@ class TiledStorage(KernelStorage):
         mirror = [list(col) for col in zip(*upper)]
         self._tiles[(bi, bj)] = mirror
         return mirror
+
+    def _revive_upper(self, ui: int, uj: int):
+        """A missing upper tile: spill-load it, rebuild an evicted one
+        from the provider, or build it for the first time."""
+        if (ui, uj) in self._built_upper:
+            if (ui, uj) in self._spilled:
+                self._counters["spill_loads"] += 1
+                return self._load_spill(ui, uj)
+            self._counters["rebuilds"] += 1
+        return self._build_upper(ui, uj)
+
+    # -- tile budget / spilling --------------------------------------------
+
+    def _tile_nbytes(self, tile) -> int:
+        if self.backend == "numpy":
+            return int(tile.nbytes)
+        # Pure-Python float objects cost far more than 8 bytes each; the
+        # budget tracks matrix *payload* so both backends account alike.
+        return len(tile) * (len(tile[0]) if tile else 0) * 8
+
+    def _over_budget(self) -> bool:
+        if (
+            self.max_resident_tiles is not None
+            and len(self._lru) > self.max_resident_tiles
+        ):
+            return True
+        if (
+            self.max_resident_bytes is not None
+            and self._resident_bytes > self.max_resident_bytes
+        ):
+            return True
+        return False
+
+    def _evict_over_budget(self) -> None:
+        # The newest tile always stays resident (its caller holds it),
+        # so a budget below one tile degrades to "one tile at a time".
+        while len(self._lru) > 1 and self._over_budget():
+            (bi, bj), nbytes = self._lru.popitem(last=False)
+            tile = self._tiles.pop((bi, bj))
+            self._tiles.pop((bj, bi), None)
+            self._resident_bytes -= nbytes
+            self._counters["evictions"] += 1
+            if self.spill_dir is not None and (bi, bj) not in self._spilled:
+                self._write_spill(bi, bj, tile)
+
+    def _spill_file(self, bi: int, bj: int) -> str:
+        if self._spill_path is None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            self._spill_path = tempfile.mkdtemp(dir=self.spill_dir, prefix="tiles-")
+            weakref.finalize(self, shutil.rmtree, self._spill_path, True)
+        return os.path.join(self._spill_path, f"{bi}_{bj}.tile")
+
+    def _write_spill(self, bi: int, bj: int, tile) -> None:
+        path = self._spill_file(bi, bj)
+        if self.backend == "numpy":
+            with open(path, "wb") as fh:
+                fh.write(_np.ascontiguousarray(tile).tobytes())
+        else:
+            with open(path, "wb") as fh:
+                pickle.dump(tile, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self._spilled.add((bi, bj))
+        self._counters["spills"] += 1
+
+    def _load_spill(self, bi: int, bj: int):
+        path = self._spill_file(bi, bj)
+        if self.backend == "numpy":
+            a0, a1 = self._bounds(bi)
+            b0, b1 = self._bounds(bj)
+            target = _np.float32 if self.dtype == "float32" else _np.float64
+            return _np.fromfile(path, dtype=target).reshape(a1 - a0, b1 - b0)
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    @property
+    def spill_stats(self) -> dict[str, int]:
+        """Eviction/spill observability: cumulative counters plus the
+        current residency (tracked per-tile only under a budget)."""
+        stats = dict(self._counters)
+        stats["resident_tiles"] = (
+            len(self._lru) if self._lru is not None else self.tiles_built
+        )
+        stats["resident_bytes"] = self._resident_bytes
+        return stats
 
     def _tile64(self, bi: int, bj: int):
         """Tile as float64 (numpy backend only; may copy to widen)."""
@@ -486,7 +649,15 @@ class TiledStorage(KernelStorage):
         ]
         if not pending:
             return
-        workers = self.workers or 1
+        workers = resolve_workers(self.workers)
+        if (
+            workers > 1
+            and len(pending) > 1
+            and self.parallel == "process"
+            and self._pool_source is not None
+            and self._ensure_all_process(pending, workers)
+        ):
+            return
         if workers > 1 and len(pending) > 1:
             # Diagonal tiles first, serially: they touch every row range
             # once, so providers with per-row caches (feature vectors)
@@ -507,6 +678,38 @@ class TiledStorage(KernelStorage):
         else:
             for bi, bj in pending:
                 self._store_upper(bi, bj, self._build_upper(bi, bj))
+
+    def _ensure_all_process(self, pending, workers: int) -> bool:
+        """Fan the pending tile builds over a process pool.
+
+        Returns False — leaving every pending tile untouched — when the
+        scoring snapshot cannot ship to workers (unpicklable provider or
+        rows), so the caller degrades to the thread path.  Raw float64
+        blocks come back through shared memory (NumPy) or pickled lists
+        (pure Python) and are narrowed/stored here, on the calling
+        thread, exactly as a serial build would narrow them.
+        """
+        provider, answers = self._pool_source()
+        builder = ProcessTileBuilder.create(
+            provider, answers, self.backend == "numpy", workers
+        )
+        if builder is None:
+            return False
+        jobs = []
+        for bi, bj in pending:
+            a0, a1 = self._bounds(bi)
+            b0, b1 = self._bounds(bj)
+            jobs.append(((bi, bj), ("tile", a0, a1, b0, b1)))
+        try:
+            builder.build(
+                jobs,
+                lambda key, block: self._store_upper(
+                    key[0], key[1], self._narrow(block)
+                ),
+            )
+        finally:
+            builder.close()
+        return True
 
     # -- reads ------------------------------------------------------------
 
@@ -603,6 +806,11 @@ class TiledStorage(KernelStorage):
             self.block_size,
             dtype=self.dtype,
             workers=self.workers,
+            parallel=self.parallel,
+            max_resident_tiles=self.max_resident_tiles,
+            max_resident_bytes=self.max_resident_bytes,
+            spill_dir=self.spill_dir,
+            pool_source=self._pool_source,
         )
         if not self.is_fully_built:
             # A partially-built grid is cheaper to re-derive lazily from
@@ -697,7 +905,7 @@ class TiledStorage(KernelStorage):
         return (
             f"TiledStorage(n={self.n}, backend={self.backend}, dtype={self.dtype}, "
             f"block={self.block_size}, tiles={self.tiles_built}/{self.total_tiles}, "
-            f"workers={self.workers or 1})"
+            f"workers={self.workers or 1}, parallel={self.parallel})"
         )
 
 
@@ -764,33 +972,94 @@ class SketchedStorage:
         use_numpy: bool,
         block_size: int,
         strategy: str,
+        workers: "int | str | None" = None,
+        parallel: str | None = None,
+        pool_source: Callable[[], tuple] | None = None,
     ) -> "SketchedStorage":
         """Score the n×m landmark columns in row blocks.
 
         ``columns_builder(a0, a1, landmarks)`` returns the provider
         distance block of answer rows ``[a0:a1]`` against the landmark
-        rows — the kernel closes it over its snapshot.
+        rows — the kernel closes it over its snapshot.  ``workers`` > 1
+        fans the independent row blocks over the same pooled builders
+        the tiled grid uses (threads by default; ``parallel="process"``
+        with a picklable ``pool_source`` snapshot ships them across
+        cores) — block values are row-range-local, so assembly order
+        cannot change a float.
         """
+        workers = validate_workers(workers, StorageError)
+        parallel = validate_parallel(parallel, StorageError)
         landmarks = list(landmark_positions)
         if len(landmarks) >= n:
             # Clamp m >= n to "every row is a landmark": the sketch then
             # holds the full exact matrix and the bounds are exact, so
             # oversized sketch_columns never over-allocates or errors.
             landmarks = list(range(n))
+        spans = [
+            (a0, min(a0 + block_size, n)) for a0 in range(0, n, block_size)
+        ]
+        resolved = resolve_workers(workers)
+        blocks: dict[int, object] | None = None
+        if resolved > 1 and len(spans) > 1:
+            blocks = cls._pooled_column_blocks(
+                spans,
+                landmarks,
+                columns_builder,
+                use_numpy,
+                resolved,
+                parallel,
+                pool_source,
+            )
         if use_numpy:
             c = _np.empty((n, len(landmarks)), dtype=_np.float64)
-            for a0 in range(0, n, block_size):
-                a1 = min(a0 + block_size, n)
-                c[a0:a1, :] = _np.asarray(
-                    columns_builder(a0, a1, landmarks), dtype=_np.float64
+            for a0, a1 in spans:
+                block = (
+                    blocks[a0] if blocks is not None else columns_builder(a0, a1, landmarks)
                 )
+                c[a0:a1, :] = _np.asarray(block, dtype=_np.float64)
         else:
             c = []
-            for a0 in range(0, n, block_size):
-                a1 = min(a0 + block_size, n)
-                for row in columns_builder(a0, a1, landmarks):
+            for a0, a1 in spans:
+                block = (
+                    blocks[a0] if blocks is not None else columns_builder(a0, a1, landmarks)
+                )
+                for row in block:
                     c.append([float(v) for v in row])
         return cls(n, landmarks, c, use_numpy, strategy)
+
+    @staticmethod
+    def _pooled_column_blocks(
+        spans,
+        landmarks,
+        columns_builder,
+        use_numpy: bool,
+        workers: int,
+        parallel: str,
+        pool_source,
+    ) -> dict[int, object]:
+        """Row-block → raw provider block, scored through a pool.
+
+        The process path degrades to threads when the snapshot cannot be
+        pickled, exactly like the tiled grid's build.
+        """
+        if parallel == "process" and pool_source is not None:
+            provider, answers = pool_source()
+            pool = ProcessTileBuilder.create(provider, answers, use_numpy, workers)
+            if pool is not None:
+                out: dict[int, object] = {}
+                jobs = [
+                    (a0, ("cols", a0, a1, tuple(landmarks))) for a0, a1 in spans
+                ]
+                try:
+                    pool.build(jobs, lambda key, block: out.__setitem__(key, block))
+                finally:
+                    pool.close()
+                return out
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = pool.map(
+                lambda span: columns_builder(span[0], span[1], landmarks), spans
+            )
+            return {a0: block for (a0, _a1), block in zip(spans, results)}
 
     # -- shape ------------------------------------------------------------
 
@@ -906,16 +1175,25 @@ def make_storage(
     use_numpy: bool,
     block_size: int,
     dtype: str = "float64",
-    workers: int | None = None,
+    workers: "int | str | None" = None,
+    parallel: str | None = None,
+    max_resident_tiles: int | None = None,
+    max_resident_bytes: int | None = None,
+    spill_dir: str | None = None,
+    pool_source: Callable[[], tuple] | None = None,
 ) -> KernelStorage:
     """The storage object behind one kernel's distance matrix.
 
     ``dense`` is eager, contiguous, float64-only (the historical layout
-    and the parity baseline); ``tiled`` is lazy, blocked, dtype-aware and
-    optionally parallel.  The float32 knob is deliberately rejected for
-    dense storage: narrowing only pays when the matrix no longer has to
-    exist as one allocation, and keeping dense float64-only preserves it
-    as the bit-exact reference every parity suite compares against.
+    and the parity baseline); ``tiled`` is lazy, blocked, dtype-aware,
+    optionally parallel (threads or processes) and optionally
+    memory-bounded (LRU tile budget + spill directory).  The float32 and
+    multicore/spilling knobs are deliberately rejected for dense storage:
+    they only pay when the matrix no longer has to exist as one
+    allocation, and keeping dense plain float64 preserves it as the
+    bit-exact reference every parity suite compares against.
+    ``workers="auto"`` is accepted everywhere (it resolves to the host
+    CPU count at build time, which for dense simply means "serial").
     """
     if kind not in STORAGE_KINDS:
         raise StorageError(
@@ -931,20 +1209,44 @@ def make_storage(
         raise StorageError(
             f"unknown storage dtype {dtype!r}; choose one of {STORAGE_DTYPES}"
         )
-    if workers is not None and workers < 1:
-        raise StorageError(f"workers must be >= 1, got {workers}")
+    workers = validate_workers(workers, StorageError)
+    parallel = validate_parallel(parallel, StorageError)
     if kind == "dense":
         if dtype != "float64":
             raise StorageError(
                 "dense storage is float64-only (the bit-exact parity "
                 "baseline); use storage='tiled' for dtype='float32'"
             )
-        if workers is not None and workers > 1:
+        if isinstance(workers, int) and workers > 1:
             raise StorageError(
                 "dense storage builds serially; use storage='tiled' for "
                 f"workers={workers}"
             )
+        if parallel == "process":
+            raise StorageError(
+                "dense storage builds serially; use storage='tiled' for "
+                "parallel='process'"
+            )
+        if (
+            max_resident_tiles is not None
+            or max_resident_bytes is not None
+            or spill_dir is not None
+        ):
+            raise StorageError(
+                "dense storage is one eager allocation and cannot spill; "
+                "use storage='tiled' for tile budgets / spill_dir"
+            )
         return DenseStorage(n, builder, use_numpy, block_size)
     return TiledStorage(
-        n, builder, use_numpy, block_size, dtype=dtype, workers=workers
+        n,
+        builder,
+        use_numpy,
+        block_size,
+        dtype=dtype,
+        workers=workers,
+        parallel=parallel,
+        max_resident_tiles=max_resident_tiles,
+        max_resident_bytes=max_resident_bytes,
+        spill_dir=spill_dir,
+        pool_source=pool_source,
     )

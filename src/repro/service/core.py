@@ -43,7 +43,9 @@ HTTP; tests and benchmarks drive it in-process.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
+import zlib
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field, replace
 from typing import Any
@@ -78,6 +80,13 @@ class ServiceConfig:
     bound request size (``None`` = unlimited); ``max_sweep_cells`` caps
     a sweep's k × λ grid.
 
+    ``engine_shards`` partitions each tenant's serving across N engines
+    (consistent hash on the request key): corpora land on a stable
+    shard, kernel LRUs partition instead of thrashing one cache, and
+    requests hitting different shards of one tenant compute
+    concurrently (each shard has its own lock).  ``1`` (default) is the
+    historical single-engine layout, byte-identical in behavior.
+
     ``approx_over`` admits large answer sets to the **sketched** path
     instead of rejecting them: a request whose materialized answer set
     exceeds it runs on a per-tenant approximate engine (``storage=
@@ -99,6 +108,13 @@ class ServiceConfig:
     max_answer_set: int | None = None
     max_sweep_cells: int = 64
     approx_over: int | None = None
+    engine_shards: int = 1
+
+    def __post_init__(self):
+        if self.engine_shards < 1:
+            raise ServiceError(
+                f"engine_shards must be >= 1, got {self.engine_shards}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -112,6 +128,7 @@ class ServiceConfig:
             "max_answer_set": self.max_answer_set,
             "max_sweep_cells": self.max_sweep_cells,
             "approx_over": self.approx_over,
+            "engine_shards": self.engine_shards,
         }
 
 
@@ -134,8 +151,12 @@ class DiversificationService:
         )
         self.telemetry = EndpointTelemetry()
         self._engines: dict[str, DiversificationEngine] = {}
+        # Shards >= 1 of a tenant's engine map (shard 0 is the
+        # historical ``_engines[tenant]``); locks mirror the same split.
+        self._engine_shards: dict[tuple[str, int], DiversificationEngine] = {}
         self._approx_engines: dict[str, DiversificationEngine] = {}
         self._locks: dict[str, asyncio.Lock] = {}
+        self._shard_locks: dict[tuple[str, int], asyncio.Lock] = {}
         self._active: dict[str, int] = {}
         self._inflight: dict[tuple, asyncio.Future] = {}
         # Last computed selection per request key — the `previous` that
@@ -148,10 +169,21 @@ class DiversificationService:
         self.served_approx = 0
         self._started = clock()
 
-    # -- tenants -----------------------------------------------------------
+    # -- tenants and shards ------------------------------------------------
 
-    def engine_for(self, tenant: str) -> DiversificationEngine:
-        """The tenant's engine (created lazily from the shared config)."""
+    def shard_of(self, key: tuple) -> int:
+        """The engine shard serving ``key`` (a request key): a
+        consistent hash over the key's repr, so one corpus — and every
+        k/λ variant of it, which share the key's source tuple — always
+        lands on the same shard and reuses its kernels."""
+        shards = self.config.engine_shards
+        if shards <= 1:
+            return 0
+        return zlib.crc32(repr(key).encode("utf-8")) % shards
+
+    def engine_for(self, tenant: str, shard: int = 0) -> DiversificationEngine:
+        """The tenant's engine for ``shard`` (created lazily from the
+        shared config).  Shard 0 is the historical per-tenant engine."""
         engine = self._engines.get(tenant)
         if engine is None:
             engine = DiversificationEngine(
@@ -160,7 +192,32 @@ class DiversificationService:
             self._engines[tenant] = engine
             self._locks[tenant] = asyncio.Lock()
             self._active[tenant] = 0
-        return engine
+        if shard == 0:
+            return engine
+        shard_engine = self._engine_shards.get((tenant, shard))
+        if shard_engine is None:
+            shard_engine = DiversificationEngine(
+                algorithm=self.config.algorithm, config=self.config.engine
+            )
+            self._engine_shards[(tenant, shard)] = shard_engine
+            self._shard_locks[(tenant, shard)] = asyncio.Lock()
+        return shard_engine
+
+    def _lock_for(self, tenant: str, shard: int = 0) -> asyncio.Lock:
+        if shard == 0:
+            return self._locks[tenant]
+        return self._shard_locks[(tenant, shard)]
+
+    def _tenant_engines(self, tenant: str) -> list[DiversificationEngine]:
+        """Every live engine shard of a tenant, shard 0 first."""
+        engines = []
+        if tenant in self._engines:
+            engines.append(self._engines[tenant])
+        for shard in range(1, self.config.engine_shards):
+            engine = self._engine_shards.get((tenant, shard))
+            if engine is not None:
+                engines.append(engine)
+        return engines
 
     def approx_engine_for(self, tenant: str) -> DiversificationEngine:
         """The tenant's sketched-path engine for ``approx_over``
@@ -253,9 +310,12 @@ class DiversificationService:
         key: tuple,
         compute: Callable[[], Any],
         stamp: Callable[[Any, str, float], Any],
+        shard: int = 0,
     ) -> Any:
         """TTL lookup → coalesce → quota → locked compute, shared by
-        ``diversify`` and ``sweep``.
+        ``diversify`` and ``sweep``.  ``shard`` selects the tenant's
+        engine-shard lock, so requests landing on different shards of
+        one tenant compute concurrently.
 
         ``compute`` runs synchronously in a worker thread under the
         tenant lock; ``stamp(payload, provenance, elapsed_ms)`` attaches
@@ -280,14 +340,14 @@ class DiversificationService:
             payload = await asyncio.shield(future)
             return _finish(payload, "coalesced")
         self._check_quota(request)
-        self.engine_for(request.tenant)
+        self.engine_for(request.tenant, shard)
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         if self.config.coalesce:
             self._inflight[key] = future
         self._active[request.tenant] += 1
         try:
-            async with self._locks[request.tenant]:
+            async with self._lock_for(request.tenant, shard):
                 payload = await asyncio.to_thread(compute)
             self.computed += 1
             future.set_result(payload)
@@ -315,7 +375,8 @@ class DiversificationService:
         reports the cut and its latency feeds the ``retrieve``
         histogram."""
         key = request.key()
-        engine = self.engine_for(request.tenant)
+        shard = self.shard_of(key)
+        engine = self.engine_for(request.tenant, shard)
 
         def compute() -> DiversifyResponse:
             instance, approx = self._resolve(request)
@@ -331,7 +392,9 @@ class DiversificationService:
         ) -> DiversifyResponse:
             return replace(payload, cache=provenance, elapsed_ms=elapsed_ms)
 
-        response = await self._serve("diversify", request, key, compute, stamp)
+        response = await self._serve(
+            "diversify", request, key, compute, stamp, shard=shard
+        )
         if response.cache == "computed" and response.retrieval is not None:
             # Loop-thread only: EndpointTelemetry is not thread-safe.
             self.telemetry.record(
@@ -365,8 +428,12 @@ class DiversificationService:
                 f"sweep of {cells} cells exceeds "
                 f"max_sweep_cells={self.config.max_sweep_cells}"
             )
+        # Shard on the request key (not the sweep key): a sweep lands on
+        # the same shard engine as plain requests over its corpus, so
+        # they share kernels.
+        shard = self.shard_of(request.key())
         key = ("sweep", request.key(), tuple(k_grid), tuple(lam_grid))
-        engine = self.engine_for(request.tenant)
+        engine = self.engine_for(request.tenant, shard)
 
         def compute() -> dict[str, Any]:
             instance, approx = self._resolve(request)
@@ -397,7 +464,9 @@ class DiversificationService:
                 "elapsed_ms": round(elapsed_ms, 3),
             }
 
-        return await self._serve("sweep", request, key, compute, stamp)
+        return await self._serve(
+            "sweep", request, key, compute, stamp, shard=shard
+        )
 
     async def delta(
         self,
@@ -428,7 +497,7 @@ class DiversificationService:
                 f"workload {workload!r} has no update feed; use a "
                 "streaming workload for /delta"
             )
-        engine = self.engine_for(tenant)
+        self.engine_for(tenant)  # ensure shard-0 bookkeeping exists
         request = (
             DiversifyRequest(
                 workload=workload,
@@ -441,14 +510,25 @@ class DiversificationService:
             if k is not None
             else None
         )
+        # The selection repair must run on the shard engine that serves
+        # this corpus's requests — that is where the cached kernel and
+        # the previous selection live.
+        shard = self.shard_of(request.key()) if request is not None else 0
+        engine = self.engine_for(tenant, shard)
 
         def compute() -> dict[str, Any]:
             applied = handle.apply_updates(int(events))
-            # The corpus moved: drop its retrieval index and pools so the
-            # next query_text request re-indexes the mutated answer set
-            # (the index's own snapshot check would catch it too — this
-            # frees the memory now and makes the invalidation observable).
-            stale_index = engine.invalidate_retrieval(handle.base_instance())
+            # The corpus moved: drop its retrieval index and pools on
+            # *every* live shard engine so the next query_text request
+            # re-indexes the mutated answer set (the index's own
+            # snapshot check would catch it too — this frees the memory
+            # now and makes the invalidation observable).
+            stale_index = any(
+                [
+                    eng.invalidate_retrieval(handle.base_instance())
+                    for eng in self._tenant_engines(tenant)
+                ]
+            )
             payload: dict[str, Any] = {
                 "workload": workload,
                 "events": [
@@ -511,7 +591,15 @@ class DiversificationService:
             }
             return payload
 
-        async with self._locks[tenant]:
+        # The update mutates the workload's shared database, which every
+        # shard's kernels snapshot — hold all of the tenant's live shard
+        # locks (shard 0 first, then ascending) for the duration.
+        async with contextlib.AsyncExitStack() as stack:
+            await stack.enter_async_context(self._locks[tenant])
+            for s in range(1, self.config.engine_shards):
+                lock = self._shard_locks.get((tenant, s))
+                if lock is not None:
+                    await stack.enter_async_context(lock)
             payload = await asyncio.to_thread(compute)
 
         # The database moved: every cached result naming this workload is
@@ -544,24 +632,58 @@ class DiversificationService:
         result-cache and per-tenant kernel-cache stats, and per-endpoint
         latency percentiles."""
         tenants = {}
-        for tenant, engine in sorted(self._engines.items()):
-            stats = engine.stats
+        for tenant in sorted(self._engines):
+            engines = self._tenant_engines(tenant)
+            # Counters aggregate over the tenant's shard engines; at
+            # engine_shards=1 this is exactly the historical payload
+            # (one engine) plus the "shards"/"storage" blocks.
+            kernel_cache = {
+                "hits": 0,
+                "misses": 0,
+                "patches": 0,
+                "stale_rebuilds": 0,
+                "evictions": 0,
+                "lookups": 0,
+            }
+            retrieval = {
+                "cached_indexes": 0,
+                "indexes_built": 0,
+                "pool_hits": 0,
+                "pool_misses": 0,
+                "invalidations": 0,
+            }
+            storage = {
+                "evictions": 0,
+                "spills": 0,
+                "spill_loads": 0,
+                "rebuilds": 0,
+                "resident_tiles": 0,
+                "resident_bytes": 0,
+            }
+            cached_kernels = 0
+            for engine in engines:
+                stats = engine.stats
+                for name in ("hits", "misses", "patches",
+                             "stale_rebuilds", "evictions", "lookups"):
+                    kernel_cache[name] += getattr(stats, name)
+                retrieval["cached_indexes"] += engine.cached_retrievers
+                for name in ("indexes_built", "pool_hits",
+                             "pool_misses", "invalidations"):
+                    retrieval[name] += engine.retrieval_stats[name]
+                for name, value in engine.storage_stats().items():
+                    storage[name] += value
+                cached_kernels += engine.cached_kernels
+            lookups = kernel_cache["lookups"]
+            kernel_cache["hit_rate"] = round(
+                kernel_cache["hits"] / lookups if lookups else 0.0, 4
+            )
             tenants[tenant] = {
                 "active": self._active.get(tenant, 0),
-                "cached_kernels": engine.cached_kernels,
-                "kernel_cache": {
-                    "hits": stats.hits,
-                    "misses": stats.misses,
-                    "patches": stats.patches,
-                    "stale_rebuilds": stats.stale_rebuilds,
-                    "evictions": stats.evictions,
-                    "lookups": stats.lookups,
-                    "hit_rate": round(stats.hit_rate, 4),
-                },
-                "retrieval": {
-                    "cached_indexes": engine.cached_retrievers,
-                    **engine.retrieval_stats,
-                },
+                "cached_kernels": cached_kernels,
+                "kernel_cache": kernel_cache,
+                "retrieval": retrieval,
+                "shards": len(engines),
+                "storage": storage,
             }
             approx_engine = self._approx_engines.get(tenant)
             if approx_engine is not None:

@@ -49,6 +49,14 @@ __all__ = ["DOCS", "DocumentCorpus", "documents_query", "generate"]
 DOCS = RelationSchema("corpus", ("doc", "text", "topic", "score", "vector"))
 
 
+def _vector_features(row):
+    return row["vector"]
+
+
+def _score_relevance(row, query):
+    return float(row["score"])
+
+
 def documents_query() -> Query:
     """The identity query over the corpus relation."""
     return identity_query(DOCS)
@@ -196,9 +204,9 @@ class DocumentCorpus:
         cache's distance-function identity)."""
         if self._provider is None:
             self._provider = FeatureSpaceProvider(
-                lambda row: row["vector"],
+                _vector_features,
                 metric="euclidean",
-                relevance=lambda row, query: float(row["score"]),
+                relevance=_score_relevance,
                 name="corpus-topics",
                 distance_name="corpus-euclidean",
             )

@@ -93,18 +93,27 @@ def rating_relevance() -> RelevanceFunction:
     return RelevanceFunction.from_attribute("rating")
 
 
+class _AreaLevelFeatures:
+    """Picklable (area code, level) feature map (codes grow on demand)."""
+
+    __slots__ = ("codes",)
+
+    def __init__(self, codes: dict[str, float]):
+        self.codes = codes
+
+    def __call__(self, row: Row) -> tuple[float, float]:
+        code = self.codes.setdefault(row["area"], float(len(self.codes)))
+        return (code, float(row["level"]))
+
+
 def scoring_provider() -> FeatureSpaceProvider:
     """The batch-native scorer: δ_rel = rating, δ_dis = the (area, level)
     hierarchy — the weight of the first differing feature column (2
     across areas, 1 across levels), vectorized as pure comparisons."""
     area_codes: dict[str, float] = {area: float(i) for i, area in enumerate(AREAS)}
 
-    def features(row: Row) -> tuple[float, float]:
-        code = area_codes.setdefault(row["area"], float(len(area_codes)))
-        return (code, float(row["level"]))
-
     return FeatureSpaceProvider(
-        features,
+        _AreaLevelFeatures(area_codes),
         metric=HierarchyMetric((2.0, 1.0), name="area-level"),
         relevance=rating_relevance(),
         name="courses",

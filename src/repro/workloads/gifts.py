@@ -165,11 +165,22 @@ def relevance_from_history(
             continue
         ratings.setdefault(row["item"], []).append(row["rating"])
     means = {item: sum(values) / len(values) for item, values in ratings.items()}
+    return RelevanceFunction.from_callable(
+        _HistoryRating(means, default), name="history-rating"
+    )
 
-    def func(row: Row, _query) -> float:
-        return means.get(row["item"], default)
 
-    return RelevanceFunction.from_callable(func, name="history-rating")
+class _HistoryRating:
+    """Picklable item → mean-historical-rating lookup."""
+
+    __slots__ = ("means", "default")
+
+    def __init__(self, means: dict[str, float], default: float):
+        self.means = means
+        self.default = default
+
+    def __call__(self, row: Row, _query=None) -> float:
+        return self.means.get(row["item"], self.default)
 
 
 class GiftTypeProvider(ScoringProvider):

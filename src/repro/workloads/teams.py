@@ -60,6 +60,18 @@ def skill_relevance() -> RelevanceFunction:
     return RelevanceFunction.from_attribute("skill")
 
 
+class _PositionFeatures:
+    """Picklable position → code feature map (codes grow on demand)."""
+
+    __slots__ = ("codes",)
+
+    def __init__(self, codes: dict[str, float]):
+        self.codes = codes
+
+    def __call__(self, row: Row) -> tuple[float]:
+        return (self.codes.setdefault(row["position"], float(len(self.codes))),)
+
+
 def scoring_provider() -> FeatureSpaceProvider:
     """The batch-native scorer: δ_rel = skill, δ_dis = position mismatch
     (a one-level hierarchy over encoded positions)."""
@@ -67,11 +79,8 @@ def scoring_provider() -> FeatureSpaceProvider:
         position: float(i) for i, position in enumerate(POSITIONS)
     }
 
-    def features(row: Row) -> tuple[float]:
-        return (position_codes.setdefault(row["position"], float(len(position_codes))),)
-
     return FeatureSpaceProvider(
-        features,
+        _PositionFeatures(position_codes),
         metric=HierarchyMetric((1.0,), name="position"),
         relevance=skill_relevance(),
         name="teams",

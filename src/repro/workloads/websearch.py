@@ -93,6 +93,26 @@ def authority_relevance() -> RelevanceFunction:
     return RelevanceFunction.from_attribute("authority")
 
 
+class IntentIncidenceFeatures:
+    """doc → binary intent-incidence vector over a coverage snapshot.
+
+    A module-level callable (not a closure) so websearch providers
+    pickle cleanly into process-pool workers.
+    """
+
+    __slots__ = ("coverage", "position")
+
+    def __init__(self, coverage: dict[str, dict[str, float]], position: dict[str, int]):
+        self.coverage = coverage
+        self.position = position
+
+    def __call__(self, row: Row) -> tuple[float, ...]:
+        vector = [0.0] * len(self.position)
+        for intent in self.coverage.get(row["doc"], ()):
+            vector[self.position[intent]] = 1.0
+        return tuple(vector)
+
+
 def scoring_provider(db: Database, vectorize: bool = True) -> FeatureSpaceProvider:
     """The batch-native scorer over a snapshot of ``db``'s coverage.
 
@@ -107,14 +127,8 @@ def scoring_provider(db: Database, vectorize: bool = True) -> FeatureSpaceProvid
     intents = sorted({intent for covered in coverage.values() for intent in covered})
     position = {intent: i for i, intent in enumerate(intents)}
 
-    def features(row: Row) -> tuple[float, ...]:
-        vector = [0.0] * len(intents)
-        for intent in coverage.get(row["doc"], ()):
-            vector[position[intent]] = 1.0
-        return tuple(vector)
-
     return FeatureSpaceProvider(
-        features,
+        IntentIncidenceFeatures(coverage, position),
         metric="jaccard",
         relevance=authority_relevance(),
         name="websearch-intents",

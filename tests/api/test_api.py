@@ -172,6 +172,86 @@ class TestSketchedConfig:
         assert clone.certificate == response.certificate
 
 
+class TestMulticoreConfig:
+    """The multicore/memory-bounding knobs: ``workers="auto"``,
+    ``parallel``, the resident-tile budgets, and ``spill_dir``."""
+
+    def test_validation(self):
+        EngineConfig(workers="auto").validate()  # symbolic; dense-safe
+        EngineConfig(
+            storage="tiled", workers="auto", parallel="process"
+        ).validate()
+        EngineConfig(
+            storage="tiled",
+            max_resident_tiles=4,
+            max_resident_bytes=1 << 20,
+            spill_dir="/tmp/tiles",
+        ).validate()
+        # sketched kernels route exact reads through a tiled fallback,
+        # so the budgets apply there too
+        EngineConfig(storage="sketched", max_resident_tiles=4).validate()
+        with pytest.raises(ApiError, match="serially"):
+            EngineConfig(parallel="process").validate()
+        with pytest.raises(ApiError, match="unknown parallel"):
+            EngineConfig(storage="tiled", parallel="gpu").validate()
+        with pytest.raises(ApiError, match="max_resident_tiles"):
+            EngineConfig(storage="tiled", max_resident_tiles=0).validate()
+        with pytest.raises(ApiError, match="cannot spill"):
+            EngineConfig(max_resident_bytes=1 << 20).validate()
+        with pytest.raises(ApiError, match="cannot spill"):
+            EngineConfig(spill_dir="/tmp/tiles").validate()
+
+    def test_canonical_collapses_thread_default(self):
+        spelled = EngineConfig(storage="tiled", parallel="thread")
+        assert spelled.canonical() == EngineConfig(storage="tiled")
+        kept = EngineConfig(storage="tiled", parallel="process")
+        assert kept.canonical() == kept
+
+    def test_round_trip(self):
+        config = EngineConfig(
+            storage="tiled",
+            workers="auto",
+            parallel="process",
+            max_resident_tiles=4,
+            max_resident_bytes=1 << 20,
+            spill_dir="/tmp/tiles",
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        assert EngineConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        ) == config
+
+    def test_from_args_and_env(self):
+        parser = argparse.ArgumentParser()
+        add_engine_config_args(parser)
+        args = parser.parse_args(
+            ["--storage", "tiled", "--workers", "auto",
+             "--parallel", "process", "--max-resident-tiles", "4",
+             "--max-resident-bytes", "1048576", "--spill-dir", "/tmp/tiles"]
+        )
+        expected = EngineConfig(
+            storage="tiled", workers="auto", parallel="process",
+            max_resident_tiles=4, max_resident_bytes=1048576,
+            spill_dir="/tmp/tiles",
+        )
+        assert EngineConfig.from_args(args) == expected
+        env = {
+            "REPRO_STORAGE": "tiled",
+            "REPRO_WORKERS": "auto",
+            "REPRO_PARALLEL": "process",
+            "REPRO_MAX_RESIDENT_TILES": "4",
+            "REPRO_MAX_RESIDENT_BYTES": "1048576",
+            "REPRO_SPILL_DIR": "/tmp/tiles",
+        }
+        assert EngineConfig.from_env(env) == expected
+
+    def test_workers_flag_rejects_garbage(self):
+        parser = argparse.ArgumentParser()
+        add_engine_config_args(parser)
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--workers", "many"])
+
+
 class TestEngineConfigShim:
     def test_loose_kwargs_warn(self):
         with pytest.warns(DeprecationWarning, match="deprecated"):

@@ -1,0 +1,312 @@
+"""Process-pool builds and bounded-memory spilling: exactness first.
+
+The multicore layer (:mod:`repro.engine.parallel`) and the tile-budget
+layer in :class:`~repro.engine.storage.TiledStorage` are pure
+performance features — neither may move a float.  These tests pin that:
+
+* process-built tiles are **element-wise identical** to the serial
+  build across backends × dtypes × block sizes, and stay identical
+  through ``apply_delta`` patches;
+* closure-based providers (unpicklable snapshots) degrade to the
+  thread path silently and correctly;
+* a spilling grid (``max_resident_tiles`` / ``max_resident_bytes``,
+  with or without ``spill_dir``) answers every read exactly like an
+  unbounded one, while actually holding resident tiles at the budget;
+* the sketched landmark columns built through the process pool equal
+  the serially built sketch.
+"""
+
+import pytest
+
+from repro.core.functions import DistanceFunction, RelevanceFunction
+from repro.core.objectives import Objective, ObjectiveKind
+from repro.engine import (
+    PARALLEL_MODES,
+    KernelError,
+    ScoringKernel,
+    TiledStorage,
+    available_cpus,
+    numpy_available,
+    resolve_workers,
+    supports_process_pool,
+)
+from repro.engine.parallel import (
+    ProcessTileBuilder,
+    validate_parallel,
+    validate_workers,
+)
+from repro.workloads.synthetic import random_instance
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+
+def tiled_kernel(instance, use_numpy, **knobs):
+    knobs.setdefault("storage", "tiled")
+    return ScoringKernel(instance, use_numpy=use_numpy, **knobs)
+
+
+def closure_instance(n=14, k=4, seed=5):
+    """An instance whose scoring snapshot cannot pickle (lambdas)."""
+    base = random_instance(
+        n=n, k=k, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=seed
+    )
+    objective = Objective(
+        ObjectiveKind.MAX_SUM,
+        relevance=RelevanceFunction.from_callable(
+            lambda row: float(row.values[2]), name="closure_rel"
+        ),
+        distance=DistanceFunction.from_callable(
+            lambda a, b: abs(float(a.values[2]) - float(b.values[2])),
+            name="closure_dis",
+        ),
+        lam=0.5,
+    )
+    return base.with_objective(objective)
+
+
+def assert_matrices_equal(expected, actual):
+    assert actual.n == expected.n
+    assert actual.distance_rows() == expected.distance_rows()
+    assert actual.row_distance_sums() == expected.row_distance_sums()
+    for i in range(expected.n):
+        for j in range(expected.n):
+            assert actual.distance_between(i, j) == expected.distance_between(
+                i, j
+            )
+
+
+class TestKnobs:
+    def test_validate_workers_passthrough(self):
+        assert validate_workers(None) is None
+        assert validate_workers("auto") == "auto"
+        assert validate_workers(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.5, "many"])
+    def test_validate_workers_rejects(self, bad):
+        with pytest.raises(ValueError):
+            validate_workers(bad)
+
+    def test_validate_workers_custom_error(self):
+        with pytest.raises(KernelError):
+            validate_workers(0, KernelError)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(5) == 5
+        assert resolve_workers("auto") == available_cpus()
+        assert available_cpus() >= 1
+
+    def test_validate_parallel(self):
+        assert validate_parallel(None) == "thread"
+        for mode in PARALLEL_MODES:
+            assert validate_parallel(mode) == mode
+        with pytest.raises(ValueError):
+            validate_parallel("gpu")
+        with pytest.raises(KernelError):
+            validate_parallel("gpu", KernelError)
+
+    def test_kernel_accepts_auto_and_rejects_bad_modes(self):
+        instance = random_instance(n=8, k=3, seed=1)
+        kernel = tiled_kernel(instance, False, workers="auto")
+        assert kernel.workers == "auto"
+        with pytest.raises(KernelError):
+            tiled_kernel(instance, False, parallel="gpu")
+        with pytest.raises(KernelError):
+            ScoringKernel(instance, use_numpy=False, parallel="process")
+
+
+class TestProcessParity:
+    """Worker-built tiles hold the same floats a serial build would."""
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    @pytest.mark.parametrize("dtype", [None, "float32"])
+    @pytest.mark.parametrize("block_size", [3, 7, 12])
+    def test_identical_to_serial(self, use_numpy, dtype, block_size):
+        instance = random_instance(
+            n=23, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=2
+        )
+        serial = tiled_kernel(
+            instance, use_numpy, block_size=block_size, dtype=dtype
+        )
+        pooled = tiled_kernel(
+            instance,
+            use_numpy,
+            block_size=block_size,
+            dtype=dtype,
+            workers=2,
+            parallel="process",
+        )
+        serial.materialize_all()
+        pooled.materialize_all()
+        assert pooled._storage.is_fully_built
+        assert_matrices_equal(serial, pooled)
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_identical_through_apply_delta(self, use_numpy):
+        instance = random_instance(
+            n=19, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=6
+        )
+        serial = tiled_kernel(instance, use_numpy, block_size=5)
+        pooled = tiled_kernel(
+            instance, use_numpy, block_size=5, workers=2, parallel="process"
+        )
+        serial.materialize_all()
+        pooled.materialize_all()
+        rows = list(instance.answers())
+        for kernel in (serial, pooled):
+            kernel.apply_delta(
+                inserted=[rows[3], rows[7]], deleted=[rows[1], rows[10]]
+            )
+        assert pooled.answers == serial.answers
+        assert_matrices_equal(serial, pooled)
+
+    def test_supports_process_pool_probe(self):
+        instance = random_instance(n=9, k=3, seed=4)
+        provider = instance.objective.provider
+        assert supports_process_pool(provider, instance.answers())
+        closed = closure_instance()
+        kernel = ScoringKernel(closed, use_numpy=False)
+        assert not supports_process_pool(
+            kernel.provider, closed.answers()
+        )
+
+    def test_builder_refuses_unpicklable_snapshot(self):
+        closed = closure_instance()
+        kernel = ScoringKernel(closed, use_numpy=False)
+        builder = ProcessTileBuilder.create(
+            kernel.provider, tuple(closed.answers()), False, 2
+        )
+        assert builder is None
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_closure_provider_degrades_to_threads(self, use_numpy):
+        """parallel='process' on an unpicklable snapshot must build the
+        exact grid anyway (silently, through the thread path)."""
+        instance = closure_instance()
+        serial = tiled_kernel(instance, use_numpy, block_size=4)
+        pooled = tiled_kernel(
+            instance, use_numpy, block_size=4, workers=2, parallel="process"
+        )
+        serial.materialize_all()
+        pooled.materialize_all()
+        assert pooled._storage.is_fully_built
+        assert_matrices_equal(serial, pooled)
+
+
+class TestSpilling:
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    @pytest.mark.parametrize("budget", [dict(max_resident_tiles=2),
+                                        dict(max_resident_bytes=1024)])
+    def test_bounded_grid_reads_exactly(self, use_numpy, budget):
+        instance = random_instance(
+            n=17, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=2
+        )
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        bounded = tiled_kernel(instance, use_numpy, block_size=4, **budget)
+        bounded.materialize_all()
+        storage = bounded._storage
+        assert isinstance(storage, TiledStorage)
+        stats = storage.spill_stats
+        assert stats["evictions"] > 0
+        assert stats["rebuilds"] == 0  # materialize evicts; no re-read yet
+        assert_matrices_equal(dense, bounded)
+        assert storage.spill_stats["rebuilds"] > 0
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_budget_holds_during_full_materialization(self, use_numpy):
+        instance = random_instance(n=20, k=4, seed=3)
+        kernel = tiled_kernel(
+            instance, use_numpy, block_size=4, max_resident_tiles=3
+        )
+        kernel.materialize_all()
+        stats = kernel.storage_stats()
+        assert stats is not None
+        assert 1 <= stats["resident_tiles"] <= 3
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_spill_dir_round_trips_exactly(self, use_numpy, tmp_path):
+        instance = random_instance(
+            n=17, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=2
+        )
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        spilled = tiled_kernel(
+            instance,
+            use_numpy,
+            block_size=4,
+            max_resident_tiles=2,
+            spill_dir=str(tmp_path),
+        )
+        spilled.materialize_all()
+        assert_matrices_equal(dense, spilled)
+        stats = spilled.storage_stats()
+        assert stats["spills"] > 0
+        assert stats["spill_loads"] > 0
+        assert stats["rebuilds"] == 0  # spilled tiles load, never rescore
+        assert list(tmp_path.iterdir()), "spill_dir holds no tile files"
+
+    def test_storage_stats_surface(self):
+        instance = random_instance(n=10, k=3, seed=1)
+        dense = ScoringKernel(instance, use_numpy=False)
+        assert dense.storage_stats() is None
+        unbudgeted = tiled_kernel(instance, False, block_size=4)
+        unbudgeted.materialize_all()
+        stats = unbudgeted.storage_stats()
+        assert stats["evictions"] == 0 and stats["spills"] == 0
+        assert stats["resident_tiles"] == unbudgeted._storage.tiles_built
+        budgeted = tiled_kernel(
+            instance, False, block_size=4, max_resident_tiles=2
+        )
+        budgeted.materialize_all()
+        assert budgeted.storage_stats()["evictions"] > 0
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_process_build_into_spilling_grid(self, use_numpy):
+        """The two features compose: pool-built tiles land in a budgeted
+        grid, evict, rebuild on touch — and every read stays exact."""
+        instance = random_instance(
+            n=18, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=8
+        )
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        kernel = tiled_kernel(
+            instance,
+            use_numpy,
+            block_size=4,
+            workers=2,
+            parallel="process",
+            max_resident_tiles=2,
+        )
+        kernel.materialize_all()
+        assert kernel.storage_stats()["evictions"] > 0
+        assert_matrices_equal(dense, kernel)
+
+
+class TestSketchPooled:
+    @staticmethod
+    def columns(sketch):
+        c = sketch._c
+        return c.tolist() if sketch.backend == "numpy" else c
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_pooled_sketch_equals_serial(self, use_numpy):
+        instance = random_instance(
+            n=23, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=2
+        )
+        serial = ScoringKernel(
+            instance,
+            use_numpy=use_numpy,
+            storage="sketched",
+            sketch_columns=5,
+            block_size=4,
+        )
+        pooled = ScoringKernel(
+            instance,
+            use_numpy=use_numpy,
+            storage="sketched",
+            sketch_columns=5,
+            block_size=4,
+            workers=2,
+            parallel="process",
+        )
+        a, b = serial.sketch(), pooled.sketch()
+        assert b.landmark_positions == a.landmark_positions
+        assert self.columns(b) == self.columns(a)
