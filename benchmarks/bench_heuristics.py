@@ -27,7 +27,6 @@ Usage::
 """
 
 import argparse
-import json
 import math
 import sys
 import time
@@ -178,23 +177,14 @@ def main(argv=None):
 
     print(common.render_heuristics_report(records, title=title))
     if args.json:
-
-        def jsonable(record):
-            # NaN (no exact reference at this size) is not valid JSON;
-            # strict consumers of the BENCH_*.json artifacts need null.
-            return {
-                key: None if isinstance(value, float) and value != value else value
-                for key, value in record.as_dict().items()
-            }
-
         payload = {
             "bench": "heuristics",
             "smoke": args.smoke,
             "host": common.host_info(),
-            "records": [jsonable(r) for r in records],
+            "records": [r.as_dict() for r in records],
             "wall_seconds": elapsed,
         }
-        Path(args.json).write_text(json.dumps(payload, indent=1, allow_nan=False))
+        common.write_json(args.json, payload)
         print(f"\nwrote {args.json}")
 
     if args.smoke:

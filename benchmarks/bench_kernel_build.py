@@ -31,7 +31,6 @@ Usage::
 """
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -213,7 +212,7 @@ def main(argv=None):
             "acceptance_speedup": speedup,
             "wall_seconds": elapsed,
         }
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        common.write_json(args.json, payload)
         print(f"wrote {args.json}")
 
     if args.smoke:

@@ -36,7 +36,6 @@ Usage::
 """
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -286,7 +285,7 @@ def main(argv=None):
             "failures": failures,
             "wall_seconds": elapsed,
         }
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        common.write_json(args.json, payload)
         print(f"wrote {args.json}")
 
     if failures:

@@ -255,7 +255,7 @@ def main(argv=None):
             "speedup_target": SPEEDUP_TARGET,
             "records": [r.as_dict() for r in records],
         }
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        common.write_json(args.json, payload)
         print(f"wrote {args.json}")
 
     assert worst >= SPEEDUP_TARGET, (

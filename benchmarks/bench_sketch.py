@@ -40,7 +40,6 @@ Usage::
 """
 
 import argparse
-import json
 import math
 import sys
 import time
@@ -323,7 +322,7 @@ def main(argv=None):
             "failures": failures,
             "wall_seconds": elapsed,
         }
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        common.write_json(args.json, payload)
         print(f"wrote {args.json}")
 
     if failures:

@@ -16,10 +16,18 @@ websearch workload:
   tiles concurrently (NumPy releases the GIL inside the jaccard matmuls);
 * ``tiled-procpool`` — tiled-f64 built through a **process pool**
   (``workers="auto"``, ``parallel="process"``): tiles score in worker
-  processes and return via shared memory — the true-multicore path;
+  processes and return via shared memory — the true-multicore path
+  (the warm-pool registry is cleared before every measured build, so
+  this cell keeps pricing the cold spawn-and-ship path);
+* ``tiled-warmpool`` — the same process-pool build served from a
+  **warm pool**: the registry is primed once, every measured build
+  leases the already-spawned workers (the amortized serving path);
 * ``tiled-spill`` — tiled-f64 under an LRU tile budget
   (``max_resident_tiles``): bounded resident memory, evicted tiles
-  rebuilt on touch.
+  rebuilt on touch;
+* ``tiled-mmap`` — the same tile budget with ``spill_mode="mmap"``:
+  evicted tiles go to an append-only segment file and reads come back
+  through mapped windows instead of whole-tile rebuilds.
 
 Every run re-verifies correctness in-bench (these assertions gate CI):
 float64 configs must be element-wise *equal* to dense on a sampled
@@ -38,6 +46,10 @@ build must run ≥ 1.5× faster through the pool.  ``--bounded-smoke`` is
 the CI memory gate: a spilling kernel materializes all of n = 20,000
 (dense-f64 equivalent: ~3.2 GB) with a tracemalloc peak under 35% of
 that, selecting float-for-float identically to an unbounded kernel.
+``--warm-smoke`` is the CI warm-path gate: warm-pool and mmap-spill
+builds must be float-identical to serial on both backends, and on
+hosts with ≥ 2 CPUs the second (warm) process-pool build must run
+≥ 2× faster than the cold one.
 
 Usage::
 
@@ -46,15 +58,16 @@ Usage::
     python benchmarks/bench_storage.py --lazy-smoke   # lazy-path CI check
     python benchmarks/bench_storage.py --multicore-smoke  # process-pool gate
     python benchmarks/bench_storage.py --bounded-smoke    # n=20k memory gate
+    python benchmarks/bench_storage.py --warm-smoke       # warm-pool + mmap gate
     python benchmarks/bench_storage.py --check        # fail unless targets met
     python benchmarks/bench_storage.py --no-numpy     # pure-Python kernels
     python benchmarks/bench_storage.py --json BENCH_storage.json
 """
 
 import argparse
-import json
 import os
 import sys
+import tempfile
 import time
 import tracemalloc
 from pathlib import Path
@@ -73,6 +86,7 @@ from repro.engine import (
     available_cpus,
     numpy_available,
     resolve_workers,
+    warm_pool_registry,
 )
 from repro.workloads import websearch
 
@@ -89,6 +103,11 @@ MULTICORE_TARGET_SPEEDUP = 1.5
 #: what the dense float64 matrix alone would allocate (n² × 8 bytes).
 BOUNDED_TARGET_RATIO = 0.35
 BOUNDED_SMOKE_N = 20_000
+#: Warm-path gate (``--warm-smoke``): a warm-pool process build must
+#: beat the cold spawn-and-ship build at least this much on ≥ 2 CPUs
+#: (worker spawn + snapshot ship is exactly the cost the registry
+#: amortizes away).
+WARM_TARGET_SPEEDUP = 2.0
 #: Documented float32 storage envelope: one binary32 rounding per entry
 #: (≤ 2⁻²⁴ ≈ 6e-8 relative), with slack for the zero-vs-tiny edge.
 F32_REL_ENVELOPE = 1e-6
@@ -99,7 +118,11 @@ CONFIGS = (
     ("tiled-f32", dict(storage="tiled", dtype="float32")),
     ("tiled-parallel", dict(storage="tiled", workers=PARALLEL_WORKERS)),
     ("tiled-procpool", dict(storage="tiled", workers="auto", parallel="process")),
+    ("tiled-warmpool", dict(storage="tiled", workers="auto", parallel="process")),
     ("tiled-spill", dict(storage="tiled", block_size=64, max_resident_tiles=4)),
+    # spill_dir is injected at run time (a per-run tempdir).
+    ("tiled-mmap", dict(storage="tiled", block_size=64, max_resident_tiles=4,
+                        spill_mode="mmap")),
 )
 
 
@@ -129,16 +152,25 @@ def full_build(instance, knobs, use_numpy):
     return kernel
 
 
-def measure_config(instance, knobs, use_numpy, repeat):
-    """(best-of build seconds, tracemalloc peak bytes, kernel)."""
+def measure_config(instance, knobs, use_numpy, repeat, prepare=None):
+    """(best-of build seconds, tracemalloc peak bytes, kernel).
+
+    ``prepare`` runs before every timed build — the hook the warm-pool
+    cells use to pin the registry state each measurement starts from
+    (cleared for the cold cell, primed for the warm one).
+    """
     best = float("inf")
     for _ in range(repeat):
+        if prepare is not None:
+            prepare()
         start = time.perf_counter()
         full_build(instance, knobs, use_numpy)
         best = min(best, time.perf_counter() - start)
     tracemalloc.start()
     try:
         tracemalloc.reset_peak()
+        if prepare is not None:
+            prepare()
         kernel = full_build(instance, knobs, use_numpy)
         _, peak = tracemalloc.get_traced_memory()
     finally:
@@ -177,54 +209,83 @@ def assert_storage_parity(config, kernel, dense_vals, dense_sums, idx):
         )
 
 
+def _cell_setup(config, knobs, instance, use_numpy, spill_root):
+    """Per-config run-time knob injection and pre-build hook.
+
+    ``tiled-mmap`` gets the run's spill tempdir; ``tiled-procpool``
+    clears the warm-pool registry before every build so it keeps
+    pricing the cold path; ``tiled-warmpool`` primes the registry once
+    so every measured build leases already-spawned workers.
+    """
+    knobs = dict(knobs)
+    prepare = None
+    if config == "tiled-mmap":
+        knobs["spill_dir"] = spill_root
+    elif config == "tiled-procpool":
+        prepare = warm_pool_registry().clear
+    elif config == "tiled-warmpool":
+        warm_pool_registry().clear()
+        full_build(instance, knobs, use_numpy)  # prime, not measured
+    return knobs, prepare
+
+
 def run_sizes(sizes, use_numpy, repeat):
     records = []
-    for n in sizes:
-        instances = build_instances(n)
-        # The dense baseline is built once and kept; every other config
-        # is measured, parity- and selection-checked against it, then
-        # dropped — so at most two O(n²) kernels are resident at a time
-        # (the bench must not itself need 4× the dense footprint).
-        results = {}
-        base_seconds, base_peak, dense = measure_config(
-            instances["dense-f64"], dict(CONFIGS[0][1]), use_numpy, repeat
-        )
-        results["dense-f64"] = (base_seconds, base_peak, dense.dtype)
-        idx = sample_indices(dense.n)
-        dense_vals = {(i, j): dense.distance_between(i, j) for i in idx for j in idx}
-        dense_sums = dense.row_distance_sums()
-        dense_pick = mmr_select(instances["dense-f64"], kernel=dense)
-        assert dense_pick is not None, "dense-f64: MMR returned no selection"
-        dense_rows = [list(row.values) for row in dense_pick[1]]
-        for config, knobs in CONFIGS[1:]:
-            seconds, peak, kernel = measure_config(
-                instances[config], knobs, use_numpy, repeat
+    with tempfile.TemporaryDirectory(prefix="bench-storage-spill-") as spill_root:
+        for n in sizes:
+            instances = build_instances(n)
+            # The dense baseline is built once and kept; every other config
+            # is measured, parity- and selection-checked against it, then
+            # dropped — so at most two O(n²) kernels are resident at a time
+            # (the bench must not itself need 4× the dense footprint).
+            results = {}
+            base_seconds, base_peak, dense = measure_config(
+                instances["dense-f64"], dict(CONFIGS[0][1]), use_numpy, repeat
             )
-            assert_storage_parity(config, kernel, dense_vals, dense_sums, idx)
-            result = mmr_select(instances[config], kernel=kernel)
-            assert result is not None, f"{config}: MMR returned no selection"
-            rows = [list(row.values) for row in result[1]]
-            assert rows == dense_rows, f"selection diverged: {config} != dense-f64"
-            results[config] = (seconds, peak, kernel.dtype)
-            del kernel
-        for config, knobs in CONFIGS:
-            seconds, peak, dtype = results[config]
-            records.append(
-                common.StorageBenchRecord(
-                    scenario="websearch",
-                    config=config,
-                    n=dense.n,
-                    backend=dense.backend,
-                    dtype=dtype,
-                    workers=resolve_workers(knobs.get("workers")),
-                    build_seconds=seconds,
-                    peak_bytes=peak,
-                    peak_ratio=peak / base_peak if base_peak else 1.0,
-                    build_speedup=(
-                        base_seconds / seconds if seconds > 0 else float("inf")
-                    ),
+            results["dense-f64"] = (base_seconds, base_peak, dense.dtype)
+            idx = sample_indices(dense.n)
+            dense_vals = {
+                (i, j): dense.distance_between(i, j) for i in idx for j in idx
+            }
+            dense_sums = dense.row_distance_sums()
+            dense_pick = mmr_select(instances["dense-f64"], kernel=dense)
+            assert dense_pick is not None, "dense-f64: MMR returned no selection"
+            dense_rows = [list(row.values) for row in dense_pick[1]]
+            for config, knobs in CONFIGS[1:]:
+                knobs, prepare = _cell_setup(
+                    config, knobs, instances[config], use_numpy, spill_root
                 )
-            )
+                seconds, peak, kernel = measure_config(
+                    instances[config], knobs, use_numpy, repeat, prepare=prepare
+                )
+                assert_storage_parity(config, kernel, dense_vals, dense_sums, idx)
+                result = mmr_select(instances[config], kernel=kernel)
+                assert result is not None, f"{config}: MMR returned no selection"
+                rows = [list(row.values) for row in result[1]]
+                assert rows == dense_rows, (
+                    f"selection diverged: {config} != dense-f64"
+                )
+                results[config] = (seconds, peak, kernel.dtype)
+                del kernel
+            for config, knobs in CONFIGS:
+                seconds, peak, dtype = results[config]
+                records.append(
+                    common.StorageBenchRecord(
+                        scenario="websearch",
+                        config=config,
+                        n=dense.n,
+                        backend=dense.backend,
+                        dtype=dtype,
+                        workers=resolve_workers(knobs.get("workers")),
+                        build_seconds=seconds,
+                        peak_bytes=peak,
+                        peak_ratio=peak / base_peak if base_peak else 1.0,
+                        build_speedup=(
+                            base_seconds / seconds if seconds > 0 else float("inf")
+                        ),
+                    )
+                )
+        warm_pool_registry().clear()  # don't hold worker processes after
     return records
 
 
@@ -260,6 +321,18 @@ def acceptance(records):
             for cell in pool_cells
             if cell["tiled-procpool"].build_seconds > 0
         )
+    warm_speedup = None
+    warm_cells = [
+        by[n] for n in by
+        if "tiled-procpool" in by[n] and "tiled-warmpool" in by[n]
+    ]
+    if warm_cells:
+        warm_speedup = max(
+            cell["tiled-procpool"].build_seconds
+            / cell["tiled-warmpool"].build_seconds
+            for cell in warm_cells
+            if cell["tiled-warmpool"].build_seconds > 0
+        )
     return {
         "n": top_n,
         "memory_ratio_f32": memory_ratio,
@@ -268,6 +341,8 @@ def acceptance(records):
         "parallel_target": PARALLEL_TARGET_SPEEDUP,
         "procpool_speedup": procpool_speedup,
         "multicore_target": MULTICORE_TARGET_SPEEDUP,
+        "warm_speedup": warm_speedup,
+        "warm_target": WARM_TARGET_SPEEDUP,
     }
 
 
@@ -439,7 +514,136 @@ def run_multicore_smoke(use_numpy, json_path=None):
             },
             "wall_seconds": time.perf_counter() - start,
         }
-        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        common.write_json(json_path, payload)
+        print(f"wrote {json_path}")
+    return 0
+
+
+def run_warm_smoke(use_numpy, json_path=None):
+    """The CI warm-path gate.
+
+    Parity cells (both backends): a build served from a warm pool and a
+    budgeted ``spill_mode="mmap"`` kernel must both be float-identical
+    to the serial build — sampled grid, row sums, and MMR selection.
+    The speedup cell times the GIL-bound pure-Python process build cold
+    (registry cleared: worker spawn + snapshot ship on the clock) and
+    then warm (same snapshot, pool leased from the registry) and must
+    clear ``WARM_TARGET_SPEEDUP`` — enforced only on ≥ 2 CPUs.
+    """
+    start = time.perf_counter()
+    registry = warm_pool_registry()
+    cpus = available_cpus()
+    print(f"warm smoke: {cpus} CPU(s) visible")
+    backends = [("python", False, 300, 32)]
+    if use_numpy:
+        backends.insert(0, ("numpy", True, 1200, 128))
+    mmap_stats = {}
+    with tempfile.TemporaryDirectory(prefix="warm-smoke-spill-") as spill_root:
+        for name, flag, n, block in backends:
+            registry.clear()
+            serial_inst, pooled_inst = _instance_pair(n, k=5)
+            serial = _build_kernel(
+                serial_inst, flag, storage="tiled", block_size=block
+            )
+            # Cold process build primes the registry; the warm build
+            # leases the pool it left behind.
+            _build_kernel(
+                pooled_inst, flag, storage="tiled", block_size=block,
+                workers=2, parallel="process",
+            )
+            warm = _build_kernel(
+                pooled_inst, flag, storage="tiled", block_size=block,
+                workers=2, parallel="process",
+            )
+            assert registry.stats()["hits"] >= 1, (
+                f"warm/{name}: second build missed the warm pool"
+            )
+            _assert_same_kernel(
+                f"warm/{name}", serial, warm, serial_inst, pooled_inst, n
+            )
+            print(
+                f"parity ok: {name} backend, n={n}, "
+                "warm-pool build identical to serial"
+            )
+            mapped_inst = _instance_pair(n, k=5)[0]
+            mapped = _build_kernel(
+                mapped_inst, flag, storage="tiled", block_size=block,
+                max_resident_tiles=2,
+                spill_dir=os.path.join(spill_root, name),
+                spill_mode="mmap",
+            )
+            _assert_same_kernel(
+                f"mmap/{name}", serial, mapped, serial_inst, mapped_inst, n
+            )
+            stats = mapped.storage_stats()
+            assert stats["mmap_reads"] > 0, (
+                f"mmap/{name}: no reads came back through mapped windows"
+            )
+            mmap_stats[name] = {
+                key: stats[key]
+                for key in ("spills", "mmap_reads", "bytes_mapped")
+            }
+            print(
+                f"parity ok: {name} backend, n={n}, mmap-spill reads "
+                f"identical to serial ({stats['mmap_reads']} mapped reads, "
+                f"{stats['bytes_mapped']} bytes)"
+            )
+        n, block = 300, 32
+        registry.clear()
+        serial_inst, pooled_inst = _instance_pair(n, k=5)
+        # Cold and warm builds share one instance: the warm hit keys on
+        # the snapshot digest, so the payload must pickle byte-identically.
+        t = time.perf_counter()
+        _build_kernel(
+            pooled_inst, False, storage="tiled", block_size=block,
+            workers=2, parallel="process",
+        )
+        cold_seconds = time.perf_counter() - t
+        t = time.perf_counter()
+        warm = _build_kernel(
+            pooled_inst, False, storage="tiled", block_size=block,
+            workers=2, parallel="process",
+        )
+        warm_seconds = time.perf_counter() - t
+        _assert_same_kernel(
+            "warm/gate",
+            _build_kernel(serial_inst, False, storage="tiled", block_size=block),
+            warm, serial_inst, pooled_inst, n,
+        )
+    registry.clear()
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"pure-python n={n}: cold pool {cold_seconds:.3f}s, "
+        f"warm pool {warm_seconds:.3f}s -> {speedup:.2f}x"
+    )
+    if cpus >= 2:
+        assert speedup >= WARM_TARGET_SPEEDUP, (
+            f"warm pool {speedup:.2f}x under the {WARM_TARGET_SPEEDUP:g}x "
+            f"gate with {cpus} CPUs"
+        )
+        print(f"warm gate PASS: {speedup:.2f}x >= {WARM_TARGET_SPEEDUP:g}x")
+    else:
+        print("single CPU visible - speedup gate skipped (parity still enforced)")
+    if json_path is not None:
+        payload = {
+            "bench": "storage-warm-smoke",
+            "numpy": use_numpy,
+            "host": common.host_info(
+                resolved_workers=resolve_workers("auto"),
+                warm_speedup=speedup,
+            ),
+            "gate": {
+                "n": n,
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "speedup": speedup,
+                "target": WARM_TARGET_SPEEDUP,
+                "enforced": cpus >= 2,
+            },
+            "mmap": mmap_stats,
+            "wall_seconds": time.perf_counter() - start,
+        }
+        common.write_json(json_path, payload)
         print(f"wrote {json_path}")
     return 0
 
@@ -522,7 +726,7 @@ def run_bounded_smoke(use_numpy, json_path=None):
             "storage": stats,
             "wall_seconds": time.perf_counter() - start,
         }
-        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        common.write_json(json_path, payload)
         print(f"wrote {json_path}")
     return 0
 
@@ -551,6 +755,13 @@ def main(argv=None):
         action="store_true",
         help=f"CI memory gate: n={BOUNDED_SMOKE_N} spilling kernel, peak "
         f"< {BOUNDED_TARGET_RATIO:.0%} of the dense-f64 matrix",
+    )
+    parser.add_argument(
+        "--warm-smoke",
+        action="store_true",
+        help="CI warm-path gate: warm-pool and mmap-spill builds identical "
+        f"to serial; >={WARM_TARGET_SPEEDUP:g}x warm-vs-cold pool speedup "
+        "on >=2 CPUs",
     )
     parser.add_argument(
         "--sizes",
@@ -583,7 +794,10 @@ def main(argv=None):
         help="write results as JSON (perf-trajectory artifact)",
     )
     args = parser.parse_args(argv)
-    smoke_modes = args.smoke or args.lazy_smoke or args.multicore_smoke or args.bounded_smoke
+    smoke_modes = (
+        args.smoke or args.lazy_smoke or args.multicore_smoke
+        or args.bounded_smoke or args.warm_smoke
+    )
     if args.check and smoke_modes:
         # The acceptance targets are meaningless at smoke sizes; refuse
         # rather than silently skipping the gate.
@@ -597,6 +811,8 @@ def main(argv=None):
         return run_multicore_smoke(use_numpy, args.json)
     if args.bounded_smoke:
         return run_bounded_smoke(use_numpy, args.json)
+    if args.warm_smoke:
+        return run_warm_smoke(use_numpy, args.json)
 
     start = time.perf_counter()
     if args.smoke:
@@ -632,6 +848,12 @@ def main(argv=None):
             f"{summary['procpool_speedup']:.2f}x serial tiled "
             f"(gate >= {MULTICORE_TARGET_SPEEDUP:g}x on multi-core hosts)"
         )
+    if summary["warm_speedup"] is not None:
+        print(
+            f"warm-pool build vs cold process build: "
+            f"{summary['warm_speedup']:.2f}x "
+            f"(gate >= {WARM_TARGET_SPEEDUP:g}x on multi-core hosts)"
+        )
     cpus = os.cpu_count() or 1
     if cpus < PARALLEL_WORKERS:
         print(
@@ -648,12 +870,13 @@ def main(argv=None):
             "host": common.host_info(
                 resolved_workers=resolve_workers("auto"),
                 parallel_speedup=summary["procpool_speedup"],
+                warm_speedup=summary["warm_speedup"],
             ),
             "records": [r.as_dict() for r in records],
             "acceptance": summary,
             "wall_seconds": elapsed,
         }
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        common.write_json(args.json, payload)
         print(f"wrote {args.json}")
 
     if args.smoke:

@@ -28,7 +28,6 @@ Usage::
 """
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -321,7 +320,7 @@ def main(argv=None):
             "regimes": [r.as_dict() for r in records],
             "wall_seconds": elapsed,
         }
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        common.write_json(args.json, payload)
         print(f"wrote {args.json}")
 
     if args.smoke:

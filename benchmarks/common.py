@@ -10,10 +10,13 @@ constraints arrive) appear as order-of-magnitude gaps at equal sizes.
 
 from __future__ import annotations
 
+import json
+import math
 import os
 import platform
 import random
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.functions import DistanceFunction, RelevanceFunction
 from repro.core.instance import DiversificationInstance
@@ -49,6 +52,39 @@ def host_info(**extra) -> dict:
         "numpy": numpy_version,
         **extra,
     }
+
+
+def _jsonable(value):
+    """Non-finite floats → ``None``, recursively.  RFC 8259 JSON has no
+    ``NaN``/``Infinity`` literal; benches use NaN for "does not apply"
+    (e.g. recall on an uncut baseline) and inf for zero-denominator
+    speedups, and both must cross the wire as ``null``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def write_json(path, payload) -> None:
+    """Write a ``BENCH_*.json`` artifact in strict JSON.
+
+    Every bench emits its machine-readable payload through here so the
+    NaN→null policy lives in one place.  The round-trip ``json.loads``
+    below is the gate: its ``parse_constant`` hook fires only on the
+    non-strict tokens (``NaN``/``Infinity``/``-Infinity``) that the
+    default loads would silently accept, so a sanitizer regression
+    fails the bench run instead of shipping an unparseable artifact.
+    """
+    text = json.dumps(_jsonable(payload), indent=2, allow_nan=False) + "\n"
+
+    def reject(token):
+        raise ValueError(f"non-strict JSON token {token!r} in {path}")
+
+    json.loads(text, parse_constant=reject)
+    Path(path).write_text(text)
 
 
 def three_sat(l: int, num_vars: int = 4, seed: int = 7) -> ThreeSatInstance:

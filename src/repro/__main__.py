@@ -42,6 +42,7 @@ Both ``diversify`` and ``serve`` share one engine-policy flag set
 (:func:`repro.api.add_engine_config_args`: ``--storage`` / ``--dtype``
 / ``--workers`` (an int or ``auto``) / ``--parallel`` /
 ``--max-resident-tiles`` / ``--max-resident-bytes`` / ``--spill-dir``
+/ ``--spill-mode`` / ``--max-warm-pools`` / ``--warm-pool-ttl``
 / ``--block-size`` / ``--cache-size`` /
 ``--patch-threshold`` / ``--sketch-columns`` / ``--landmarks`` /
 ``--approx``), layered over ``REPRO_*`` environment variables

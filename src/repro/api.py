@@ -143,7 +143,12 @@ class EngineConfig:
     * ``max_resident_tiles`` / ``max_resident_bytes`` — LRU bound on
       tiles resident in memory (tiled only; evicted tiles rebuild on
       touch); ``spill_dir`` — spill evicted tiles to disk instead of
-      rebuilding them;
+      rebuilding them; ``spill_mode`` — how spilled tiles come back
+      (``"file"`` default rehydrates whole tiles, ``"mmap"`` reads row
+      windows from a per-kernel segment file, byte-exact either way);
+    * ``max_warm_pools`` / ``warm_pool_ttl`` — the process-wide warm
+      pool registry for ``parallel="process"`` builds (pools kept
+      alive between builds of one snapshot; 0 disables warm pooling);
     * ``patch_threshold`` — largest stale-kernel delta (fraction of n)
       that is patched in place rather than rebuilt;
     * ``cache_size`` — LRU bound on live kernels per engine;
@@ -163,6 +168,9 @@ class EngineConfig:
     max_resident_tiles: int | None = None
     max_resident_bytes: int | None = None
     spill_dir: str | None = None
+    spill_mode: str | None = None
+    max_warm_pools: int | None = None
+    warm_pool_ttl: float | None = None
     block_size: int | None = None
     patch_threshold: float = 0.5
     cache_size: int = 8
@@ -223,17 +231,40 @@ class EngineConfig:
             budget = getattr(self, name)
             if budget is not None and budget < 1:
                 raise ApiError(f"{name} must be >= 1, got {budget}")
+        if self.spill_mode is not None:
+            from .engine.storage import SPILL_MODES
+
+            if self.spill_mode not in SPILL_MODES:
+                raise ApiError(
+                    f"unknown spill_mode {self.spill_mode!r}; "
+                    f"choose one of {SPILL_MODES}"
+                )
+            if self.spill_mode == "mmap" and self.spill_dir is None:
+                raise ApiError(
+                    "spill_mode='mmap' maps spilled tiles back from disk "
+                    "and needs spill_dir set"
+                )
+        if self.max_warm_pools is not None and self.max_warm_pools < 0:
+            raise ApiError(
+                f"max_warm_pools must be >= 0, got {self.max_warm_pools}"
+            )
+        if self.warm_pool_ttl is not None and self.warm_pool_ttl <= 0:
+            raise ApiError(
+                f"warm_pool_ttl must be > 0, got {self.warm_pool_ttl}"
+            )
         if (self.storage or "dense") == "dense" and (
             self.max_resident_tiles is not None
             or self.max_resident_bytes is not None
             or self.spill_dir is not None
+            or self.spill_mode is not None
         ):
             # Sketched kernels keep their exact-read fallback on a tiled
             # grid, so budgets apply there too; only the eager dense
             # layout has nothing to bound.
             raise ApiError(
                 "dense storage is one eager allocation and cannot spill; "
-                "pass storage='tiled' for tile budgets / spill_dir"
+                "pass storage='tiled' for tile budgets / spill_dir / "
+                "spill_mode"
             )
         if (self.dtype or "float64") != "float64" and self.storage == "sketched":
             raise ApiError(
@@ -292,6 +323,8 @@ class EngineConfig:
             overrides["workers"] = None
         if self.parallel == "thread":
             overrides["parallel"] = None
+        if self.spill_mode == "file":
+            overrides["spill_mode"] = None
         if self.block_size == DEFAULT_BLOCK_SIZE:
             overrides["block_size"] = None
         if self.landmarks == "uniform":
@@ -314,7 +347,8 @@ class EngineConfig:
             name: value
             for name in ("storage", "dtype", "workers", "parallel",
                          "max_resident_tiles", "max_resident_bytes",
-                         "spill_dir", "block_size",
+                         "spill_dir", "spill_mode",
+                         "max_warm_pools", "warm_pool_ttl", "block_size",
                          "patch_threshold", "cache_size",
                          "sketch_columns", "landmarks", "approx")
             if (value := getattr(args, name, None)) is not None
@@ -329,11 +363,12 @@ class EngineConfig:
         variables (``REPRO_STORAGE``, ``REPRO_DTYPE``, ``REPRO_WORKERS``
         — an int or ``auto`` —, ``REPRO_PARALLEL``,
         ``REPRO_MAX_RESIDENT_TILES``, ``REPRO_MAX_RESIDENT_BYTES``,
-        ``REPRO_SPILL_DIR``, ``REPRO_BLOCK_SIZE``,
-        ``REPRO_PATCH_THRESHOLD``, ``REPRO_CACHE_SIZE``,
-        ``REPRO_SKETCH_COLUMNS``, ``REPRO_LANDMARKS``,
-        ``REPRO_APPROX``) — the deployment-facing twin of
-        :meth:`from_args`."""
+        ``REPRO_SPILL_DIR``, ``REPRO_SPILL_MODE``,
+        ``REPRO_MAX_WARM_POOLS``, ``REPRO_WARM_POOL_TTL``,
+        ``REPRO_BLOCK_SIZE``, ``REPRO_PATCH_THRESHOLD``,
+        ``REPRO_CACHE_SIZE``, ``REPRO_SKETCH_COLUMNS``,
+        ``REPRO_LANDMARKS``, ``REPRO_APPROX``) — the deployment-facing
+        twin of :meth:`from_args`."""
         env = os.environ if environ is None else environ
         overrides: dict[str, Any] = {}
         for spec in fields(cls):
@@ -355,6 +390,7 @@ class EngineConfig:
             elif spec.name in (
                 "block_size", "cache_size", "sketch_columns",
                 "max_resident_tiles", "max_resident_bytes",
+                "max_warm_pools",
             ):
                 try:
                     overrides[spec.name] = int(raw)
@@ -362,12 +398,12 @@ class EngineConfig:
                     raise ApiError(
                         f"REPRO_{spec.name.upper()} must be an integer, got {raw!r}"
                     ) from None
-            elif spec.name == "patch_threshold":
+            elif spec.name in ("patch_threshold", "warm_pool_ttl"):
                 try:
                     overrides[spec.name] = float(raw)
                 except ValueError:
                     raise ApiError(
-                        f"REPRO_PATCH_THRESHOLD must be a float, got {raw!r}"
+                        f"REPRO_{spec.name.upper()} must be a float, got {raw!r}"
                     ) from None
             else:
                 overrides[spec.name] = raw
@@ -447,6 +483,32 @@ def add_engine_config_args(parser: "argparse.ArgumentParser") -> None:
         metavar="DIR",
         help="spill evicted tiles to files under DIR instead of "
         "rebuilding them on touch (tiled storage with a tile budget)",
+    )
+    parser.add_argument(
+        "--spill-mode",
+        choices=["file", "mmap"],
+        default=None,
+        help="how spilled tiles come back: file (default; rehydrate "
+        "whole tiles) or mmap (row reads map only the bytes they need "
+        "from a per-kernel segment file; byte-exact; requires "
+        "--spill-dir)",
+    )
+    parser.add_argument(
+        "--max-warm-pools",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process pools kept warm between parallel=process builds "
+        "of one scoring snapshot (LRU; default 4; 0 creates/tears down "
+        "a pool per build)",
+    )
+    parser.add_argument(
+        "--warm-pool-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="idle seconds before a warm process pool is shut down "
+        "(default 300)",
     )
     parser.add_argument(
         "--block-size",
@@ -587,6 +649,22 @@ class DiversifyRequest:
 
     # -- identity ----------------------------------------------------------
 
+    def _source(self) -> tuple:
+        """The materialization identity: ``(workload, params)`` on the
+        wire, the ``(query, db, δ_rel, δ_dis)`` object identities in
+        process.  k/λ/algorithm/retrieval are deliberately excluded —
+        this is exactly the identity kernels are cached on."""
+        if self.instance is not None:
+            objective = self.instance.objective
+            return (
+                "instance",
+                id(self.instance.query),
+                id(self.instance.db),
+                id(objective.relevance),
+                id(objective.distance),
+            )
+        return ("workload", self.workload, canonical_params(self.params))
+
     def key(self) -> tuple:
         """The coalescing/result-cache identity of this request.
 
@@ -595,17 +673,7 @@ class DiversifyRequest:
         params)`` on the wire, the ``(query, db, δ_rel, δ_dis)`` object
         identities in process — and same ``(k, λ, algorithm)``.
         """
-        if self.instance is not None:
-            objective = self.instance.objective
-            source: tuple = (
-                "instance",
-                id(self.instance.query),
-                id(self.instance.db),
-                id(objective.relevance),
-                id(objective.distance),
-            )
-        else:
-            source = ("workload", self.workload, canonical_params(self.params))
+        source = self._source()
         key = (self.tenant, source, self.k, float(self.lam), self.algorithm or "auto")
         if self.wants_retrieval:
             # Retrieval requests coalesce on the cut as well — a
@@ -618,6 +686,17 @@ class DiversifyRequest:
                 self.retriever or "hybrid",
             )
         return key
+
+    def corpus_key(self) -> tuple:
+        """The corpus-affinity identity: tenant + materialization source
+        only — no k/λ/algorithm/retrieval cut.
+
+        Every variant of one corpus shares this key, so a service that
+        places engine shards on it keeps all of a corpus's k/λ/algorithm
+        variants on one shard, where they share one cached kernel (the
+        hash of the full :meth:`key` would scatter them).
+        """
+        return (self.tenant, self._source())
 
     # -- resolution --------------------------------------------------------
 

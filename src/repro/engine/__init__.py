@@ -69,11 +69,14 @@ from .kernel import (
 )
 from .parallel import (
     PARALLEL_MODES,
+    WarmPoolRegistry,
     available_cpus,
     resolve_workers,
     supports_process_pool,
+    warm_pool_registry,
 )
 from .storage import (
+    SPILL_MODES,
     STORAGE_DTYPES,
     STORAGE_KINDS,
     DenseStorage,
@@ -96,6 +99,7 @@ __all__ = [
     "KernelError",
     "KernelStorage",
     "PARALLEL_MODES",
+    "SPILL_MODES",
     "STORAGE_DTYPES",
     "STORAGE_KINDS",
     "ScoringKernel",
@@ -103,6 +107,7 @@ __all__ = [
     "SketchedStorage",
     "StorageError",
     "TiledStorage",
+    "WarmPoolRegistry",
     "auto_algorithm",
     "compute_delta",
     "default_engine",
@@ -114,4 +119,5 @@ __all__ = [
     "resolve_workers",
     "supports_process_pool",
     "variants_grid",
+    "warm_pool_registry",
 ]

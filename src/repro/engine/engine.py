@@ -65,6 +65,7 @@ from ..relational.queries import identity_query
 from ..relational.schema import Database, Relation, Row
 from ..retrieval import DEFAULT_POOL_SIZE, CandidateRetriever, RetrievalResult
 from .kernel import ScoringKernel, kernel_for_instance
+from .parallel import warm_pool_registry
 from .updates import compute_delta
 
 SearchResult = tuple[float, tuple[Row, ...]]
@@ -288,9 +289,12 @@ class DiversificationEngine:
     full tile builds over a thread pool.  The config-only knobs
     ``parallel`` (``"process"`` fans tile builds over worker processes
     when the scoring snapshot pickles), ``max_resident_tiles`` /
-    ``max_resident_bytes`` (LRU tile budgets) and ``spill_dir`` (disk
-    spill for evicted tiles) extend that policy; every kernel this
-    engine builds inherits them.
+    ``max_resident_bytes`` (LRU tile budgets), ``spill_dir`` (disk
+    spill for evicted tiles), ``spill_mode`` (``"mmap"`` reads spilled
+    rows back through byte-exact mapped windows) and ``max_warm_pools``
+    / ``warm_pool_ttl`` (the process-wide warm pool registry that
+    amortizes process-pool startup across repeated builds) extend that
+    policy; every kernel this engine builds inherits them.
     """
 
     def __init__(
@@ -412,23 +416,39 @@ class DiversificationEngine:
     def spill_dir(self) -> str | None:
         return self.config.spill_dir
 
+    @property
+    def spill_mode(self) -> str | None:
+        return self.config.spill_mode
+
+    @property
+    def max_warm_pools(self) -> int | None:
+        return self.config.max_warm_pools
+
+    @property
+    def warm_pool_ttl(self) -> float | None:
+        return self.config.warm_pool_ttl
+
     def storage_stats(self) -> dict:
-        """Aggregated tile-residency/spill counters over the cached
-        kernels (zeros when no kernel carries budget accounting) — the
-        observability hook the service's ``stats()`` surfaces."""
+        """Aggregated storage counters over the cached kernels — the
+        observability hook the service's ``stats()`` surfaces.  Every
+        kernel reports the uniform :meth:`ScoringKernel.storage_stats`
+        shape, so this sums the numeric counters across all storage
+        kinds (dense kernels contribute their resident bytes; deferred
+        kernels contribute zeros)."""
         totals = {
             "evictions": 0,
             "spills": 0,
             "spill_loads": 0,
             "rebuilds": 0,
+            "mmap_reads": 0,
+            "bytes_mapped": 0,
             "resident_tiles": 0,
             "resident_bytes": 0,
         }
         for kernel in self._cache.values():
             stats = kernel.storage_stats()
-            if stats:
-                for name in totals:
-                    totals[name] += stats.get(name, 0)
+            for name in totals:
+                totals[name] += stats.get(name, 0)
         return totals
 
     # -- kernel cache -----------------------------------------------------
@@ -508,6 +528,11 @@ class DiversificationEngine:
         return None
 
     def clear_cache(self) -> None:
+        """Drop every cached kernel/retriever/pool — and the warm
+        process pools keyed on their snapshots, whose workers would
+        otherwise idle until TTL."""
+        for kernel in self._cache.values():
+            warm_pool_registry().invalidate(kernel.provider)
         self._cache.clear()
         self._retrievers.clear()
         self._pools.clear()
@@ -827,7 +852,10 @@ def default_engine() -> DiversificationEngine:
 
 def reset_default_engine() -> DiversificationEngine:
     """Replace the process-wide engine with a fresh one (test isolation,
-    or dropping every cached kernel at once) and return it."""
+    or dropping every cached kernel at once) and return it.  Also clears
+    the process-wide warm pool registry: a full engine reset means no
+    cached snapshot survives, so no warm pool can ever hit again."""
     global _default_engine
     _default_engine = DiversificationEngine()
+    warm_pool_registry().clear()
     return _default_engine

@@ -57,8 +57,9 @@ from ..core.evaluator import (
 from ..core.objectives import Objective, ObjectiveError, ObjectiveKind
 from ..core.providers import LANDMARK_STRATEGIES, provider_for
 from ..relational.schema import Row, row_sort_key
-from .parallel import validate_parallel, validate_workers
+from .parallel import validate_parallel, validate_workers, warm_pool_registry
 from .storage import (
+    SPILL_MODES,
     STORAGE_DTYPES,
     STORAGE_KINDS,
     KernelStorage,
@@ -134,6 +135,9 @@ class ScoringKernel:
         "max_resident_tiles",
         "max_resident_bytes",
         "spill_dir",
+        "spill_mode",
+        "max_warm_pools",
+        "warm_pool_ttl",
         "sketch_columns",
         "landmarks",
         "answers",
@@ -160,6 +164,9 @@ class ScoringKernel:
         max_resident_tiles: int | None = None,
         max_resident_bytes: int | None = None,
         spill_dir: str | None = None,
+        spill_mode: str | None = None,
+        max_warm_pools: int | None = None,
+        warm_pool_ttl: float | None = None,
         sketch_columns: int | None = None,
         landmarks: str | None = None,
     ):
@@ -201,6 +208,23 @@ class ScoringKernel:
             raise KernelError(
                 f"max_resident_bytes must be >= 1, got {max_resident_bytes}"
             )
+        if spill_mode is not None and spill_mode not in SPILL_MODES:
+            raise KernelError(
+                f"unknown spill_mode {spill_mode!r}; choose one of {SPILL_MODES}"
+            )
+        if spill_mode == "mmap" and spill_dir is None:
+            raise KernelError(
+                "spill_mode='mmap' maps spilled tiles back from disk and "
+                "needs spill_dir set"
+            )
+        if max_warm_pools is not None and max_warm_pools < 0:
+            raise KernelError(
+                f"max_warm_pools must be >= 0, got {max_warm_pools}"
+            )
+        if warm_pool_ttl is not None and warm_pool_ttl <= 0:
+            raise KernelError(
+                f"warm_pool_ttl must be > 0, got {warm_pool_ttl}"
+            )
         if storage == "dense":
             # "auto" is allowed everywhere (it resolves at build time,
             # which for dense means "serial"); only an explicit request
@@ -220,11 +244,12 @@ class ScoringKernel:
                 max_resident_tiles is not None
                 or max_resident_bytes is not None
                 or spill_dir is not None
+                or spill_mode is not None
             ):
                 raise KernelError(
                     "dense storage is one eager allocation and cannot "
                     "spill; use storage='tiled' for tile budgets / "
-                    "spill_dir"
+                    "spill_dir / spill_mode"
                 )
         if storage == "sketched" and dtype != "float64":
             raise KernelError(
@@ -267,6 +292,9 @@ class ScoringKernel:
         self.max_resident_tiles = max_resident_tiles
         self.max_resident_bytes = max_resident_bytes
         self.spill_dir = spill_dir
+        self.spill_mode = spill_mode
+        self.max_warm_pools = max_warm_pools
+        self.warm_pool_ttl = warm_pool_ttl
         self.sketch_columns = sketch_columns
         self.landmarks = landmarks
         self.answers: tuple[Row, ...] = tuple(instance.answers())
@@ -346,6 +374,9 @@ class ScoringKernel:
             max_resident_tiles=self.max_resident_tiles,
             max_resident_bytes=self.max_resident_bytes,
             spill_dir=self.spill_dir,
+            spill_mode=self.spill_mode,
+            max_warm_pools=self.max_warm_pools,
+            warm_pool_ttl=self.warm_pool_ttl,
             pool_source=self._pool_snapshot,
         )
         self._row_sums = None
@@ -377,14 +408,39 @@ class ScoringKernel:
         ``parallel='process'`` and the scoring snapshot pickles."""
         self._require_dist().ensure_all()
 
-    def storage_stats(self) -> dict | None:
-        """Spill/residency counters of the distance storage (any tiled
-        grid, budgeted or not), or ``None`` for storages with no tile
-        accounting (dense; sketched before its exact-read fallback)."""
+    def storage_stats(self) -> dict:
+        """Uniform storage accounting for the distance storage.
+
+        Every storage kind reports the same shape — ``kind`` plus the
+        full counter set (``evictions``/``spills``/``spill_loads``/
+        ``rebuilds``/``mmap_reads``/``bytes_mapped``/``resident_tiles``/
+        ``resident_bytes``) — so aggregators (`/stats`, benches) never
+        special-case.  Dense storage is one resident "tile" of n²
+        float64s; a ``defer_distances`` kernel that has not allocated
+        storage yet reports ``kind='deferred'`` with zero counters.
+        """
+        stats = {
+            "kind": "deferred",
+            "evictions": 0,
+            "spills": 0,
+            "spill_loads": 0,
+            "rebuilds": 0,
+            "mmap_reads": 0,
+            "bytes_mapped": 0,
+            "resident_tiles": 0,
+            "resident_bytes": 0,
+        }
         storage = self._storage
+        if storage is None:
+            return stats
         if isinstance(storage, TiledStorage):
-            return storage.spill_stats
-        return None
+            stats["kind"] = "tiled"
+            stats.update(storage.spill_stats)
+            return stats
+        stats["kind"] = "dense"
+        stats["resident_tiles"] = 1
+        stats["resident_bytes"] = self.n * self.n * 8
+        return stats
 
     # -- sketched (landmark-column) access ---------------------------------
 
@@ -444,6 +500,8 @@ class ScoringKernel:
                 strategy,
                 workers=self.workers,
                 parallel=self.parallel,
+                max_warm_pools=self.max_warm_pools,
+                warm_pool_ttl=self.warm_pool_ttl,
                 pool_source=self._pool_snapshot,
             )
         return self._sketch
@@ -521,6 +579,9 @@ class ScoringKernel:
         max_resident_tiles: int | None = None,
         max_resident_bytes: int | None = None,
         spill_dir: str | None = None,
+        spill_mode: str | None = None,
+        max_warm_pools: int | None = None,
+        warm_pool_ttl: float | None = None,
     ) -> "ScoringKernel":
         return cls(
             instance,
@@ -533,6 +594,9 @@ class ScoringKernel:
             max_resident_tiles=max_resident_tiles,
             max_resident_bytes=max_resident_bytes,
             spill_dir=spill_dir,
+            spill_mode=spill_mode,
+            max_warm_pools=max_warm_pools,
+            warm_pool_ttl=warm_pool_ttl,
         )
 
     # -- identity ---------------------------------------------------------
@@ -735,6 +799,12 @@ class ScoringKernel:
         self._index = _first_occurrence_index(new_answers)
         self._row_sums = None
         self._item_scores_cache = {}
+        # The old answer snapshot is now stale: any warm process pool
+        # whose workers hold it must not serve future builds.  The digest
+        # key already guarantees that (new answers → new digest), but
+        # dropping the pools eagerly frees their worker processes now
+        # instead of at TTL/LRU time.
+        warm_pool_registry().invalidate(self.provider)
         return self
 
     # -- scalar access ----------------------------------------------------
@@ -983,6 +1053,9 @@ def kernel_for_instance(
     max_resident_tiles: int | None = None,
     max_resident_bytes: int | None = None,
     spill_dir: str | None = None,
+    spill_mode: str | None = None,
+    max_warm_pools: int | None = None,
+    warm_pool_ttl: float | None = None,
     config=None,
     access: str | None = None,
 ) -> ScoringKernel:
@@ -1025,6 +1098,12 @@ def kernel_for_instance(
             max_resident_bytes = getattr(config, "max_resident_bytes", None)
         if spill_dir is None:
             spill_dir = getattr(config, "spill_dir", None)
+        if spill_mode is None:
+            spill_mode = getattr(config, "spill_mode", None)
+        if max_warm_pools is None:
+            max_warm_pools = getattr(config, "max_warm_pools", None)
+        if warm_pool_ttl is None:
+            warm_pool_ttl = getattr(config, "warm_pool_ttl", None)
         sketch_columns = getattr(config, "sketch_columns", None)
         landmarks = getattr(config, "landmarks", None)
     objective = instance.objective
@@ -1047,6 +1126,9 @@ def kernel_for_instance(
         max_resident_tiles=max_resident_tiles,
         max_resident_bytes=max_resident_bytes,
         spill_dir=spill_dir,
+        spill_mode=spill_mode,
+        max_warm_pools=max_warm_pools,
+        warm_pool_ttl=warm_pool_ttl,
         sketch_columns=sketch_columns,
         landmarks=landmarks,
     )

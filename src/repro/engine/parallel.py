@@ -31,13 +31,32 @@ slices of the same answer snapshot, ``rows_a is rows_b`` identity for
 diagonal blocks (providers score the triangle once), the same
 ``distance_block`` call — so a process-built tile holds the same floats
 a serial build would, before the storage layer even narrows it.
+
+**Warm pools**: repeated builds over the *same* snapshot (λ/k sweeps,
+TTL-cache misses re-materializing a kernel, sketched landmark columns
+after the tiled grid) used to pay the fork + initializer cost every
+time.  :class:`WarmPoolRegistry` keeps executors alive between builds,
+keyed on the digest of the pickled snapshot payload — the same bytes
+the initializer ships — so "same digest" *is* "workers hold exactly
+this snapshot", and a patched kernel (new answers → new payload → new
+digest) can never hit a stale pool.  The registry is LRU-bounded
+(``max_warm_pools``), idle pools expire after ``warm_pool_ttl``
+seconds, and :meth:`WarmPoolRegistry.invalidate` /
+:meth:`WarmPoolRegistry.clear` drop pools eagerly on ``apply_delta`` /
+engine reset.  A digest miss (or ``max_warm_pools=0``) falls back to
+the per-build pool exactly as before.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import pickle
+import threading
+import time
+from collections import OrderedDict
+import multiprocessing
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -52,12 +71,17 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI cells
 
 __all__ = [
     "PARALLEL_MODES",
+    "DEFAULT_MAX_WARM_POOLS",
+    "DEFAULT_WARM_POOL_TTL",
     "available_cpus",
     "validate_workers",
     "resolve_workers",
     "validate_parallel",
     "supports_process_pool",
     "ProcessTileBuilder",
+    "WarmPoolRegistry",
+    "warm_pool_registry",
+    "acquire_tile_builder",
 ]
 
 #: Recognized ``parallel=`` spellings: how a multi-worker build fans out.
@@ -66,6 +90,34 @@ PARALLEL_MODES = ("thread", "process")
 #: Upper bound on tiles per worker task (amortizes IPC without starving
 #: the pool of work items on small grids).
 _MAX_BATCH_TILES = 16
+
+#: Warm pools kept alive process-wide (LRU; ``0`` disables warm pooling
+#: and every build creates/tears down its own pool as before).
+DEFAULT_MAX_WARM_POOLS = 4
+
+#: Seconds an unleased warm pool may sit idle before it is shut down.
+DEFAULT_WARM_POOL_TTL = 300.0
+
+#: Start method for worker processes.  ``spawn`` gives every worker a
+#: clean interpreter whose only inherited state is the explicitly
+#: shipped snapshot payload — ``fork`` would duplicate the parent's
+#: whole heap, including the serving layer's live threads and locks
+#: (unsafe enough that CPython deprecates fork-after-threads and moves
+#: the Linux default away from it in 3.14).  Spawn startup is the cost
+#: :class:`WarmPoolRegistry` amortizes: it is paid once per snapshot,
+#: not once per build.
+_START_METHOD = "spawn"
+
+
+def _make_executor(payload: bytes, workers: int) -> ProcessPoolExecutor:
+    """The one place worker pools are created: ``workers`` spawn-context
+    processes, each running :func:`_init_worker` over ``payload``."""
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=multiprocessing.get_context(_START_METHOD),
+        initializer=_init_worker,
+        initargs=(payload,),
+    )
 
 
 def available_cpus() -> int:
@@ -215,12 +267,23 @@ class ProcessTileBuilder:
     Create via :meth:`create` (returns ``None`` when the snapshot cannot
     be pickled — the caller's cue to degrade to threads), feed it block
     jobs via :meth:`build`, and :meth:`close` it when the build is done.
-    The pool is per-build on purpose: worker snapshots would go stale
-    across ``apply_delta``, and a short-lived pool cannot leak.
+    A builder created directly owns its pool and :meth:`close` shuts it
+    down; a builder leased from :class:`WarmPoolRegistry` carries a
+    ``release`` callback instead, so :meth:`close` hands the still-warm
+    executor back to the registry.  Staleness is impossible either way:
+    the snapshot is pinned at pool creation, and warm reuse is keyed on
+    the digest of those exact payload bytes.
     """
 
-    def __init__(self, executor: ProcessPoolExecutor, use_numpy: bool, workers: int):
+    def __init__(
+        self,
+        executor: ProcessPoolExecutor,
+        use_numpy: bool,
+        workers: int,
+        release=None,
+    ):
         self._executor = executor
+        self._release = release
         self.use_numpy = use_numpy
         self.workers = workers
 
@@ -241,15 +304,16 @@ class ProcessTileBuilder:
             )
         except Exception:
             return None
-        executor = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(payload,),
-        )
-        return cls(executor, use_numpy, workers)
+        return cls(_make_executor(payload, workers), use_numpy, workers)
 
     def close(self) -> None:
-        self._executor.shutdown(wait=True, cancel_futures=True)
+        """Finish with the pool: shut an owned one down, lease a warm
+        one back to its registry (idempotent either way)."""
+        release, self._release = self._release, None
+        if release is not None:
+            release()
+        else:
+            self._executor.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "ProcessTileBuilder":
         return self
@@ -344,3 +408,272 @@ class ProcessTileBuilder:
             batch = inflight.pop(future)
             for (key, _spec), block in zip(batch, future.result()):
                 store(key, block)
+
+
+# -- warm pools -------------------------------------------------------------
+
+
+class _WarmPool:
+    """One registered executor: which snapshot its workers hold, who may
+    have created it, and whether a build currently leases it."""
+
+    __slots__ = ("executor", "provider_id", "last_used", "leased")
+
+    def __init__(self, executor: ProcessPoolExecutor, provider_id: int, now: float):
+        self.executor = executor
+        self.provider_id = provider_id
+        self.last_used = now
+        self.leased = True
+
+
+class WarmPoolRegistry:
+    """Process-wide cache of warm :class:`ProcessPoolExecutor`s, keyed
+    on ``(snapshot-payload digest, workers)``.
+
+    The digest is taken over the *pickled initializer payload* —
+    ``(provider, answers, use_numpy)`` — so a hit guarantees the warm
+    workers hold byte-for-byte the snapshot this build would have
+    shipped, and the floats they score are exactly the cold-pool floats.
+    ``apply_delta`` produces a new answers tuple, hence new payload
+    bytes, hence a digest miss: stale reuse cannot happen even without
+    the explicit :meth:`invalidate` hook (which exists to free the dead
+    pool's processes eagerly rather than waiting out LRU/TTL).
+
+    Concurrency: one lease per pool at a time.  A second concurrent
+    build over the same snapshot gets a cold per-build pool (counted as
+    a ``bypass``) rather than contending for the warm executor; pools
+    evicted or invalidated while leased are shut down when the lease is
+    released.  Broken executors (a killed worker) are discarded on
+    release instead of being re-warmed.
+    """
+
+    def __init__(
+        self,
+        max_pools: int = DEFAULT_MAX_WARM_POOLS,
+        ttl: float = DEFAULT_WARM_POOL_TTL,
+        clock=time.monotonic,
+    ):
+        self.max_pools = max_pools
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pools: OrderedDict[tuple, _WarmPool] = OrderedDict()
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "bypasses": 0,
+            "evictions": 0,
+            "expirations": 0,
+            "invalidations": 0,
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _shutdown_all(executors) -> None:
+        for executor in executors:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _reap_locked(self, ttl: float, doomed: list) -> None:
+        now = self._clock()
+        for key in list(self._pools):
+            entry = self._pools[key]
+            if not entry.leased and now - entry.last_used > ttl:
+                del self._pools[key]
+                doomed.append(entry.executor)
+                self._counters["expirations"] += 1
+
+    def _evict_over_budget_locked(self, limit: int, doomed: list) -> None:
+        while len(self._pools) > limit:
+            victim = next(
+                (k for k, e in self._pools.items() if not e.leased), None
+            )
+            if victim is None:  # every pool leased: tolerate the overage
+                break
+            doomed.append(self._pools.pop(victim).executor)
+            self._counters["evictions"] += 1
+
+    def _release(self, key: tuple, entry: _WarmPool) -> None:
+        doomed = []
+        with self._lock:
+            if self._pools.get(key) is not entry:
+                # Evicted/invalidated while leased: the lease-holder is
+                # the last reference, so the shutdown happens here.
+                doomed.append(entry.executor)
+            elif getattr(entry.executor, "_broken", False):
+                del self._pools[key]
+                doomed.append(entry.executor)
+            else:
+                entry.leased = False
+                entry.last_used = self._clock()
+        self._shutdown_all(doomed)
+
+    # -- the public surface ------------------------------------------------
+
+    def acquire(
+        self,
+        provider,
+        answers,
+        use_numpy: bool,
+        workers: int,
+        max_pools: int | None = None,
+        ttl: float | None = None,
+    ) -> "ProcessTileBuilder | None":
+        """A builder whose workers hold this snapshot: leased warm on a
+        digest hit, freshly created (and registered for next time) on a
+        miss, or ``None`` when the snapshot cannot pickle.
+
+        ``max_pools`` / ``ttl`` override the registry defaults for this
+        call — the engine threads its ``max_warm_pools`` /
+        ``warm_pool_ttl`` knobs through here; ``max_pools=0`` bypasses
+        warm pooling entirely (a plain per-build pool, PR-9 semantics).
+        """
+        try:
+            payload = pickle.dumps(
+                (provider, tuple(answers), use_numpy),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            return None
+        limit = self.max_pools if max_pools is None else max_pools
+        idle_ttl = self.ttl if ttl is None else ttl
+        if limit < 1:
+            with self._lock:
+                self._counters["bypasses"] += 1
+            return self._cold(payload, use_numpy, workers)
+        key = (hashlib.blake2b(payload, digest_size=16).digest(), workers)
+        doomed: list = []
+        builder = bypass = False
+        with self._lock:
+            self._reap_locked(idle_ttl, doomed)
+            entry = self._pools.get(key)
+            if entry is not None and not entry.leased:
+                if getattr(entry.executor, "_broken", False):
+                    del self._pools[key]
+                    doomed.append(entry.executor)
+                    entry = None
+                else:
+                    entry.leased = True
+                    entry.last_used = self._clock()
+                    self._pools.move_to_end(key)
+                    self._counters["hits"] += 1
+                    builder = ProcessTileBuilder(
+                        entry.executor,
+                        use_numpy,
+                        workers,
+                        release=lambda k=key, e=entry: self._release(k, e),
+                    )
+            elif entry is not None:
+                self._counters["bypasses"] += 1
+                bypass = True
+        self._shutdown_all(doomed)
+        if builder:
+            return builder
+        if bypass:
+            return self._cold(payload, use_numpy, workers)
+        executor = _make_executor(payload, workers)
+        entry = _WarmPool(executor, id(provider), self._clock())
+        doomed = []
+        with self._lock:
+            if key in self._pools:
+                # Lost a registration race; serve ours as a one-shot.
+                self._counters["bypasses"] += 1
+                release = None
+            else:
+                self._counters["misses"] += 1
+                self._pools[key] = entry
+                self._evict_over_budget_locked(limit, doomed)
+                release = lambda k=key, e=entry: self._release(k, e)  # noqa: E731
+        self._shutdown_all(doomed)
+        return ProcessTileBuilder(executor, use_numpy, workers, release=release)
+
+    @staticmethod
+    def _cold(payload: bytes, use_numpy: bool, workers: int) -> ProcessTileBuilder:
+        return ProcessTileBuilder(
+            _make_executor(payload, workers), use_numpy, workers
+        )
+
+    def invalidate(self, provider) -> int:
+        """Drop every pool whose snapshot was built around ``provider``
+        (the ``apply_delta`` hook: the patched kernel's next build has a
+        new digest anyway, so these pools are dead weight — free their
+        worker processes now).  Returns the number of pools dropped."""
+        doomed = []
+        dropped = 0
+        target = id(provider)
+        with self._lock:
+            for key in list(self._pools):
+                entry = self._pools[key]
+                if entry.provider_id == target:
+                    del self._pools[key]
+                    if not entry.leased:
+                        doomed.append(entry.executor)
+                    self._counters["invalidations"] += 1
+                    dropped += 1
+        self._shutdown_all(doomed)
+        return dropped
+
+    def clear(self) -> None:
+        """Shut every warm pool down (the engine-reset hook).  Leased
+        pools are doomed and shut down when their build releases them."""
+        doomed = []
+        with self._lock:
+            for key in list(self._pools):
+                entry = self._pools.pop(key)
+                if not entry.leased:
+                    doomed.append(entry.executor)
+                self._counters["invalidations"] += 1
+        self._shutdown_all(doomed)
+
+    def reap(self, ttl: float | None = None) -> None:
+        """Expire idle pools now (also runs inside every acquire)."""
+        doomed: list = []
+        with self._lock:
+            self._reap_locked(self.ttl if ttl is None else ttl, doomed)
+        self._shutdown_all(doomed)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            stats = dict(self._counters)
+            stats["pools"] = len(self._pools)
+            stats["leased"] = sum(1 for e in self._pools.values() if e.leased)
+        return stats
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pools)
+
+
+_REGISTRY: WarmPoolRegistry | None = None
+_REGISTRY_LOCK = threading.Lock()
+
+
+def warm_pool_registry() -> WarmPoolRegistry:
+    """The process-wide registry (created on first use)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        with _REGISTRY_LOCK:
+            if _REGISTRY is None:
+                _REGISTRY = WarmPoolRegistry()
+    return _REGISTRY
+
+
+def acquire_tile_builder(
+    provider,
+    answers,
+    use_numpy: bool,
+    workers: int,
+    max_warm_pools: int | None = None,
+    warm_pool_ttl: float | None = None,
+) -> "ProcessTileBuilder | None":
+    """The storage layer's one entry point for a process-pool builder:
+    warm when the process-wide registry has this snapshot, cold
+    otherwise, ``None`` when it cannot pickle (degrade to threads)."""
+    return warm_pool_registry().acquire(
+        provider,
+        answers,
+        use_numpy,
+        workers,
+        max_pools=max_warm_pools,
+        ttl=warm_pool_ttl,
+    )

@@ -54,7 +54,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from .parallel import (
     PARALLEL_MODES,
-    ProcessTileBuilder,
+    acquire_tile_builder,
     resolve_workers,
     validate_parallel,
     validate_workers,
@@ -73,6 +73,7 @@ __all__ = [
     "SketchedStorage",
     "STORAGE_KINDS",
     "STORAGE_DTYPES",
+    "SPILL_MODES",
     "PARALLEL_MODES",
     "make_storage",
 ]
@@ -85,6 +86,13 @@ STORAGE_KINDS = ("dense", "tiled", "sketched")
 
 #: Recognized ``dtype=`` spellings (float32 is tiled-only).
 STORAGE_DTYPES = ("float64", "float32")
+
+#: Recognized ``spill_mode=`` spellings: how evicted tiles reach (and
+#: come back from) ``spill_dir``.  ``file`` is one whole-tile file per
+#: tile, rehydrated on touch; ``mmap`` is one per-kernel segment file
+#: whose row slices are read in place (``np.memmap`` windows on the
+#: NumPy backend, ``struct`` over a seeked handle on pure Python).
+SPILL_MODES = ("file", "mmap")
 
 #: ``BlockBuilder(a0, a1, b0, b1)`` returns the provider distance block
 #: for answer rows ``[a0:a1] × [b0:b1]`` — a float64 NumPy array on the
@@ -396,10 +404,19 @@ class TiledStorage(KernelStorage):
     tiles live in an LRU; evicted tiles are rebuilt on next touch from
     the same provider calls (identical floats by the provider exactness
     contract), or — when ``spill_dir`` is set — written to disk once on
-    first eviction and reloaded exactly (raw IEEE bytes on NumPy, pickle
-    on pure Python).  ``tiles_built`` / ``is_fully_built`` track
-    *ever-built* tiles, so laziness observability and remap semantics are
-    unchanged by eviction.
+    first eviction and reloaded exactly.  ``spill_mode="file"`` (the
+    default) writes one whole-tile file per tile (raw IEEE bytes on
+    NumPy, pickle on pure Python) and rehydrates the whole tile on
+    touch; ``spill_mode="mmap"`` appends tiles to one per-kernel segment
+    file in fixed-width little-endian IEEE on *both* backends, and
+    row-level reads (``row64`` / ``get`` behind ``copy_distance_row``
+    and ``best_pair`` gathers) are served straight out of the segment —
+    an ``np.memmap`` window or a ``struct`` unpack over a seeked handle
+    — touching only the bytes they need, without rehydrating the tile or
+    disturbing the LRU.  Both modes round-trip IEEE-exactly.
+    ``tiles_built`` / ``is_fully_built`` track *ever-built* tiles, so
+    laziness observability and remap semantics are unchanged by
+    eviction.
     """
 
     kind = "tiled"
@@ -414,6 +431,9 @@ class TiledStorage(KernelStorage):
         "max_resident_tiles",
         "max_resident_bytes",
         "spill_dir",
+        "spill_mode",
+        "max_warm_pools",
+        "warm_pool_ttl",
         "_builder",
         "_pool_source",
         "_nb",
@@ -423,6 +443,11 @@ class TiledStorage(KernelStorage):
         "_resident_bytes",
         "_spilled",
         "_spill_path",
+        "_segment_offsets",
+        "_segment_size",
+        "_segment_mm",
+        "_segment_mm_items",
+        "_segment_fh",
         "_counters",
         "__weakref__",
     )
@@ -439,6 +464,9 @@ class TiledStorage(KernelStorage):
         max_resident_tiles: int | None = None,
         max_resident_bytes: int | None = None,
         spill_dir: str | None = None,
+        spill_mode: str | None = None,
+        max_warm_pools: int | None = None,
+        warm_pool_ttl: float | None = None,
         pool_source: Callable[[], tuple] | None = None,
     ):
         if dtype not in STORAGE_DTYPES:
@@ -453,6 +481,15 @@ class TiledStorage(KernelStorage):
             raise StorageError(
                 f"max_resident_bytes must be >= 1, got {max_resident_bytes}"
             )
+        if spill_mode is not None and spill_mode not in SPILL_MODES:
+            raise StorageError(
+                f"unknown spill_mode {spill_mode!r}; choose one of {SPILL_MODES}"
+            )
+        if spill_mode == "mmap" and spill_dir is None:
+            raise StorageError(
+                "spill_mode='mmap' maps spilled tiles back from disk and "
+                "needs spill_dir set"
+            )
         self.n = n
         self.backend = "numpy" if use_numpy else "python"
         self.dtype = dtype
@@ -462,6 +499,9 @@ class TiledStorage(KernelStorage):
         self.max_resident_tiles = max_resident_tiles
         self.max_resident_bytes = max_resident_bytes
         self.spill_dir = spill_dir
+        self.spill_mode = spill_mode or "file"
+        self.max_warm_pools = max_warm_pools
+        self.warm_pool_ttl = warm_pool_ttl
         self._builder = builder
         self._pool_source = pool_source
         self._nb = -(-n // block_size) if n else 0
@@ -474,11 +514,18 @@ class TiledStorage(KernelStorage):
         self._resident_bytes = 0
         self._spilled: set[tuple[int, int]] = set()
         self._spill_path: str | None = None
+        self._segment_offsets: dict[tuple[int, int], int] = {}
+        self._segment_size = 0
+        self._segment_mm = None
+        self._segment_mm_items = 0
+        self._segment_fh = None
         self._counters = {
             "evictions": 0,
             "spills": 0,
             "spill_loads": 0,
             "rebuilds": 0,
+            "mmap_reads": 0,
+            "bytes_mapped": 0,
         }
 
     # -- tile plumbing ----------------------------------------------------
@@ -591,17 +638,20 @@ class TiledStorage(KernelStorage):
         return os.path.join(self._spill_path, f"{bi}_{bj}.tile")
 
     def _write_spill(self, bi: int, bj: int, tile) -> None:
-        path = self._spill_file(bi, bj)
-        if self.backend == "numpy":
-            with open(path, "wb") as fh:
+        if self.spill_mode == "mmap":
+            self._append_segment(bi, bj, tile)
+        elif self.backend == "numpy":
+            with open(self._spill_file(bi, bj), "wb") as fh:
                 fh.write(_np.ascontiguousarray(tile).tobytes())
         else:
-            with open(path, "wb") as fh:
+            with open(self._spill_file(bi, bj), "wb") as fh:
                 pickle.dump(tile, fh, protocol=pickle.HIGHEST_PROTOCOL)
         self._spilled.add((bi, bj))
         self._counters["spills"] += 1
 
     def _load_spill(self, bi: int, bj: int):
+        if self.spill_mode == "mmap":
+            return self._load_segment_tile(bi, bj)
         path = self._spill_file(bi, bj)
         if self.backend == "numpy":
             a0, a1 = self._bounds(bi)
@@ -610,6 +660,122 @@ class TiledStorage(KernelStorage):
             return _np.fromfile(path, dtype=target).reshape(a1 - a0, b1 - b0)
         with open(path, "rb") as fh:
             return pickle.load(fh)
+
+    # -- mmap spill segment ------------------------------------------------
+
+    @property
+    def _itemsize(self) -> int:
+        return 4 if self.dtype == "float32" else 8
+
+    @property
+    def _pack_fmt(self) -> str:
+        return "f" if self.dtype == "float32" else "d"
+
+    def _tile_shape(self, ui: int, uj: int) -> tuple[int, int]:
+        a0, a1 = self._bounds(ui)
+        b0, b1 = self._bounds(uj)
+        return a1 - a0, b1 - b0
+
+    def _segment_file(self) -> str:
+        if self._spill_path is None:
+            self._spill_file(0, 0)  # creates the per-kernel spill dir
+        return os.path.join(self._spill_path, "segment.bin")
+
+    def _append_segment(self, bi: int, bj: int, tile) -> None:
+        """Append one tile's IEEE bytes to the per-kernel segment file.
+
+        Both backends write the identical fixed-width little-endian
+        layout (``<f`` for float32 tiles, ``<d`` for float64): that is
+        what makes a row slice *seekable* — the pure-Python pickle
+        format of ``spill_mode="file"`` can only come back whole."""
+        rows, cols = self._tile_shape(bi, bj)
+        if self.backend == "numpy":
+            data = _np.ascontiguousarray(tile).tobytes()
+        else:
+            flat = [v for row in tile for v in row]
+            data = struct.pack(f"<{rows * cols}{self._pack_fmt}", *flat)
+        with open(self._segment_file(), "ab") as fh:
+            self._segment_offsets[(bi, bj)] = fh.tell()
+            fh.write(data)
+            self._segment_size = fh.tell()
+
+    def _segment_map(self):
+        """The segment as a flat read-only ``np.memmap``, reopened when
+        spills have grown the file past the mapped length."""
+        items = self._segment_size // self._itemsize
+        if self._segment_mm is None or self._segment_mm_items < items:
+            target = _np.float32 if self.dtype == "float32" else _np.float64
+            self._segment_mm = _np.memmap(
+                self._segment_file(), dtype=target, mode="r", shape=(items,)
+            )
+            self._segment_mm_items = items
+        return self._segment_mm
+
+    def _segment_handle(self):
+        """A persistent read handle on the segment (pure-Python backend;
+        appends through a separate handle stay visible to reads)."""
+        if self._segment_fh is None:
+            self._segment_fh = open(self._segment_file(), "rb")
+        return self._segment_fh
+
+    def _load_segment_tile(self, bi: int, bj: int):
+        """A whole spilled tile back out of the segment (full-tile
+        consumers — ``row_sums64``, remap — still rehydrate)."""
+        offset = self._segment_offsets[(bi, bj)]
+        rows, cols = self._tile_shape(bi, bj)
+        count = rows * cols
+        self._counters["bytes_mapped"] += count * self._itemsize
+        if self.backend == "numpy":
+            start = offset // self._itemsize
+            window = self._segment_map()[start : start + count]
+            return _np.array(window, copy=True).reshape(rows, cols)
+        fh = self._segment_handle()
+        fh.seek(offset)
+        flat = struct.unpack(f"<{count}{self._pack_fmt}", fh.read(count * self._itemsize))
+        return [list(flat[r * cols : (r + 1) * cols]) for r in range(rows)]
+
+    def _spilled_row(self, bi: int, bj: int, local: int):
+        """Row ``local`` of logical tile ``(bi, bj)`` read straight out
+        of the mmap segment — or ``None`` when the fast path does not
+        apply (not in mmap mode, tile resident, or never spilled) and
+        the caller should take the resident-tile path.
+
+        A mirror tile (``bi > bj``) has no bytes of its own: its row
+        ``local`` is column ``local`` of the spilled upper tile, read as
+        a strided window (NumPy) or one seeked element per tile row
+        (pure Python).  Values are the exact IEEE bytes the tile spilled
+        with, so reads through the segment equal resident reads
+        float for float."""
+        if self.spill_mode != "mmap" or (bi, bj) in self._tiles:
+            return None
+        ui, uj = (bi, bj) if bi <= bj else (bj, bi)
+        if (ui, uj) not in self._segment_offsets or (ui, uj) in self._tiles:
+            return None
+        offset = self._segment_offsets[(ui, uj)]
+        rows, cols = self._tile_shape(ui, uj)
+        upper = (bi, bj) == (ui, uj)
+        span = cols if upper else rows
+        self._counters["mmap_reads"] += 1
+        self._counters["bytes_mapped"] += span * self._itemsize
+        if self.backend == "numpy":
+            start = offset // self._itemsize
+            window = self._segment_map()[start : start + rows * cols]
+            window = window.reshape(rows, cols)
+            return window[local, :] if upper else window[:, local]
+        fh = self._segment_handle()
+        if upper:
+            fh.seek(offset + local * cols * self._itemsize)
+            return list(
+                struct.unpack(
+                    f"<{cols}{self._pack_fmt}", fh.read(cols * self._itemsize)
+                )
+            )
+        one = struct.Struct(f"<{self._pack_fmt}")
+        out = []
+        for r in range(rows):
+            fh.seek(offset + (r * cols + local) * self._itemsize)
+            out.append(one.unpack(fh.read(self._itemsize))[0])
+        return out
 
     @property
     def spill_stats(self) -> dict[str, int]:
@@ -687,11 +853,18 @@ class TiledStorage(KernelStorage):
         rows), so the caller degrades to the thread path.  Raw float64
         blocks come back through shared memory (NumPy) or pickled lists
         (pure Python) and are narrowed/stored here, on the calling
-        thread, exactly as a serial build would narrow them.
+        thread, exactly as a serial build would narrow them.  The pool
+        itself comes from the warm registry: a digest hit skips the
+        fork + initializer cost, and ``close()`` leases it back warm.
         """
         provider, answers = self._pool_source()
-        builder = ProcessTileBuilder.create(
-            provider, answers, self.backend == "numpy", workers
+        builder = acquire_tile_builder(
+            provider,
+            answers,
+            self.backend == "numpy",
+            workers,
+            max_warm_pools=self.max_warm_pools,
+            warm_pool_ttl=self.warm_pool_ttl,
         )
         if builder is None:
             return False
@@ -716,6 +889,9 @@ class TiledStorage(KernelStorage):
     def get(self, i: int, j: int) -> float:
         bi, li = divmod(i, self.block_size)
         bj, lj = divmod(j, self.block_size)
+        part = self._spilled_row(bi, bj, li)
+        if part is not None:
+            return float(part[lj])
         tile = self._tile(bi, bj)
         if self.backend == "numpy":
             return float(tile[li, lj])
@@ -723,7 +899,13 @@ class TiledStorage(KernelStorage):
 
     def _row_parts(self, i: int):
         bi, local = divmod(i, self.block_size)
-        return [self._tile(bi, b)[local] for b in range(self._nb)]
+        parts = []
+        for b in range(self._nb):
+            part = self._spilled_row(bi, b, local)
+            if part is None:
+                part = self._tile(bi, b)[local]
+            parts.append(part)
+        return parts
 
     def row64(self, i: int):
         if self.backend == "numpy":
@@ -810,6 +992,9 @@ class TiledStorage(KernelStorage):
             max_resident_tiles=self.max_resident_tiles,
             max_resident_bytes=self.max_resident_bytes,
             spill_dir=self.spill_dir,
+            spill_mode=self.spill_mode,
+            max_warm_pools=self.max_warm_pools,
+            warm_pool_ttl=self.warm_pool_ttl,
             pool_source=self._pool_source,
         )
         if not self.is_fully_built:
@@ -974,6 +1159,8 @@ class SketchedStorage:
         strategy: str,
         workers: "int | str | None" = None,
         parallel: str | None = None,
+        max_warm_pools: int | None = None,
+        warm_pool_ttl: float | None = None,
         pool_source: Callable[[], tuple] | None = None,
     ) -> "SketchedStorage":
         """Score the n×m landmark columns in row blocks.
@@ -1009,6 +1196,8 @@ class SketchedStorage:
                 resolved,
                 parallel,
                 pool_source,
+                max_warm_pools=max_warm_pools,
+                warm_pool_ttl=warm_pool_ttl,
             )
         if use_numpy:
             c = _np.empty((n, len(landmarks)), dtype=_np.float64)
@@ -1036,15 +1225,26 @@ class SketchedStorage:
         workers: int,
         parallel: str,
         pool_source,
+        max_warm_pools: int | None = None,
+        warm_pool_ttl: float | None = None,
     ) -> dict[int, object]:
         """Row-block → raw provider block, scored through a pool.
 
         The process path degrades to threads when the snapshot cannot be
-        pickled, exactly like the tiled grid's build.
+        pickled, exactly like the tiled grid's build — and leases from
+        the same warm registry, so a sketch built right after the tiled
+        grid (or vice versa) reuses the already-initialized workers.
         """
         if parallel == "process" and pool_source is not None:
             provider, answers = pool_source()
-            pool = ProcessTileBuilder.create(provider, answers, use_numpy, workers)
+            pool = acquire_tile_builder(
+                provider,
+                answers,
+                use_numpy,
+                workers,
+                max_warm_pools=max_warm_pools,
+                warm_pool_ttl=warm_pool_ttl,
+            )
             if pool is not None:
                 out: dict[int, object] = {}
                 jobs = [
@@ -1180,6 +1380,9 @@ def make_storage(
     max_resident_tiles: int | None = None,
     max_resident_bytes: int | None = None,
     spill_dir: str | None = None,
+    spill_mode: str | None = None,
+    max_warm_pools: int | None = None,
+    warm_pool_ttl: float | None = None,
     pool_source: Callable[[], tuple] | None = None,
 ) -> KernelStorage:
     """The storage object behind one kernel's distance matrix.
@@ -1231,10 +1434,12 @@ def make_storage(
             max_resident_tiles is not None
             or max_resident_bytes is not None
             or spill_dir is not None
+            or (spill_mode is not None and spill_mode != "file")
         ):
             raise StorageError(
                 "dense storage is one eager allocation and cannot spill; "
-                "use storage='tiled' for tile budgets / spill_dir"
+                "use storage='tiled' for tile budgets / spill_dir / "
+                "spill_mode"
             )
         return DenseStorage(n, builder, use_numpy, block_size)
     return TiledStorage(
@@ -1248,5 +1453,8 @@ def make_storage(
         max_resident_tiles=max_resident_tiles,
         max_resident_bytes=max_resident_bytes,
         spill_dir=spill_dir,
+        spill_mode=spill_mode,
+        max_warm_pools=max_warm_pools,
+        warm_pool_ttl=warm_pool_ttl,
         pool_source=pool_source,
     )

@@ -52,6 +52,7 @@ from typing import Any
 
 from ..api import DiversifyRequest, DiversifyResponse, EngineConfig
 from ..engine.engine import DiversificationEngine
+from ..engine.parallel import warm_pool_registry
 from ..retrieval import DEFAULT_POOL_SIZE
 from .cache import TTLCache
 from .registry import WorkloadRegistry, default_registry
@@ -167,19 +168,34 @@ class DiversificationService:
         self.quota_rejections = 0
         self.served_exact = 0
         self.served_approx = 0
+        # Requests whose corpus-affinity shard differs from where a hash
+        # of the full request key would have sent them — i.e. k/λ/
+        # algorithm variants that corpus placement kept together.
+        self.shard_rebalance = 0
         self._started = clock()
 
     # -- tenants and shards ------------------------------------------------
 
     def shard_of(self, key: tuple) -> int:
-        """The engine shard serving ``key`` (a request key): a
-        consistent hash over the key's repr, so one corpus — and every
-        k/λ variant of it, which share the key's source tuple — always
-        lands on the same shard and reuses its kernels."""
+        """A consistent hash of ``key`` onto the configured shard count.
+        Placement decisions go through :meth:`shard_for`, which hashes
+        the request's *corpus* identity rather than its full key."""
         shards = self.config.engine_shards
         if shards <= 1:
             return 0
         return zlib.crc32(repr(key).encode("utf-8")) % shards
+
+    def shard_for(self, request: DiversifyRequest) -> int:
+        """The engine shard serving this request: a consistent hash of
+        :meth:`~repro.api.DiversifyRequest.corpus_key` — the
+        materialization identity *without* k/λ/algorithm/retrieval — so
+        every variant of one corpus lands on one shard and shares its
+        cached kernel.  ``shard_rebalance`` counts the requests a
+        full-key hash would have scattered to a different shard."""
+        shard = self.shard_of(request.corpus_key())
+        if self.config.engine_shards > 1 and self.shard_of(request.key()) != shard:
+            self.shard_rebalance += 1
+        return shard
 
     def engine_for(self, tenant: str, shard: int = 0) -> DiversificationEngine:
         """The tenant's engine for ``shard`` (created lazily from the
@@ -375,7 +391,7 @@ class DiversificationService:
         reports the cut and its latency feeds the ``retrieve``
         histogram."""
         key = request.key()
-        shard = self.shard_of(key)
+        shard = self.shard_for(request)
         engine = self.engine_for(request.tenant, shard)
 
         def compute() -> DiversifyResponse:
@@ -428,10 +444,10 @@ class DiversificationService:
                 f"sweep of {cells} cells exceeds "
                 f"max_sweep_cells={self.config.max_sweep_cells}"
             )
-        # Shard on the request key (not the sweep key): a sweep lands on
-        # the same shard engine as plain requests over its corpus, so
-        # they share kernels.
-        shard = self.shard_of(request.key())
+        # Shard on the corpus (not the sweep key): a sweep lands on the
+        # same shard engine as plain requests over its corpus, so they
+        # share kernels.
+        shard = self.shard_for(request)
         key = ("sweep", request.key(), tuple(k_grid), tuple(lam_grid))
         engine = self.engine_for(request.tenant, shard)
 
@@ -513,7 +529,7 @@ class DiversificationService:
         # The selection repair must run on the shard engine that serves
         # this corpus's requests — that is where the cached kernel and
         # the previous selection live.
-        shard = self.shard_of(request.key()) if request is not None else 0
+        shard = self.shard_for(request) if request is not None else 0
         engine = self.engine_for(tenant, shard)
 
         def compute() -> dict[str, Any]:
@@ -657,6 +673,8 @@ class DiversificationService:
                 "spills": 0,
                 "spill_loads": 0,
                 "rebuilds": 0,
+                "mmap_reads": 0,
+                "bytes_mapped": 0,
                 "resident_tiles": 0,
                 "resident_bytes": 0,
             }
@@ -700,7 +718,9 @@ class DiversificationService:
                 "quota_rejections": self.quota_rejections,
                 "served_exact": self.served_exact,
                 "served_approx": self.served_approx,
+                "shard_rebalance": self.shard_rebalance,
             },
+            "warm_pools": warm_pool_registry().stats(),
             "result_cache": {
                 "entries": len(self.results),
                 "ttl_s": self.results.ttl,

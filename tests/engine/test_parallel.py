@@ -12,6 +12,11 @@ performance features — neither may move a float.  These tests pin that:
 * a spilling grid (``max_resident_tiles`` / ``max_resident_bytes``,
   with or without ``spill_dir``) answers every read exactly like an
   unbounded one, while actually holding resident tiles at the budget;
+* ``spill_mode="mmap"`` row reads come back byte-identical to the
+  rehydrate-whole-tiles path on both backends and dtypes;
+* the warm pool registry leases byte-identical snapshots only — hit/
+  miss/evict/TTL/invalidate lifecycle, ``apply_delta`` invalidation,
+  and float-identical warm-vs-cold builds;
 * the sketched landmark columns built through the process pool equal
   the serially built sketch.
 """
@@ -32,8 +37,10 @@ from repro.engine import (
 )
 from repro.engine.parallel import (
     ProcessTileBuilder,
+    WarmPoolRegistry,
     validate_parallel,
     validate_workers,
+    warm_pool_registry,
 )
 from repro.workloads.synthetic import random_instance
 
@@ -246,8 +253,16 @@ class TestSpilling:
 
     def test_storage_stats_surface(self):
         instance = random_instance(n=10, k=3, seed=1)
+        deferred = ScoringKernel(instance, use_numpy=False, defer_distances=True)
+        stats = deferred.storage_stats()
+        assert stats["kind"] == "deferred"
+        assert stats["resident_bytes"] == 0
         dense = ScoringKernel(instance, use_numpy=False)
-        assert dense.storage_stats() is None
+        stats = dense.storage_stats()
+        assert stats["kind"] == "dense"
+        assert stats["resident_tiles"] == 1
+        assert stats["resident_bytes"] == dense.n * dense.n * 8
+        assert stats["evictions"] == 0 and stats["mmap_reads"] == 0
         unbudgeted = tiled_kernel(instance, False, block_size=4)
         unbudgeted.materialize_all()
         stats = unbudgeted.storage_stats()
@@ -257,7 +272,11 @@ class TestSpilling:
             instance, False, block_size=4, max_resident_tiles=2
         )
         budgeted.materialize_all()
-        assert budgeted.storage_stats()["evictions"] > 0
+        stats = budgeted.storage_stats()
+        assert stats["kind"] == "tiled"
+        assert stats["evictions"] > 0
+        # Every kind reports the same keys — aggregators never branch.
+        assert set(stats) == set(dense.storage_stats())
 
     @pytest.mark.parametrize("use_numpy", BACKENDS)
     def test_process_build_into_spilling_grid(self, use_numpy):
@@ -278,6 +297,232 @@ class TestSpilling:
         kernel.materialize_all()
         assert kernel.storage_stats()["evictions"] > 0
         assert_matrices_equal(dense, kernel)
+
+
+class TestMmapSpill:
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    @pytest.mark.parametrize("dtype", [None, "float32"])
+    def test_mmap_reads_exactly(self, use_numpy, dtype, tmp_path):
+        """Row and scalar reads off mapped segment windows hold the
+        same bytes the rehydrate-whole-tiles grid holds."""
+        instance = random_instance(
+            n=17, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=2
+        )
+        plain = tiled_kernel(instance, use_numpy, block_size=4, dtype=dtype)
+        mapped = tiled_kernel(
+            instance,
+            use_numpy,
+            block_size=4,
+            dtype=dtype,
+            max_resident_tiles=2,
+            spill_dir=str(tmp_path),
+            spill_mode="mmap",
+        )
+        plain.materialize_all()
+        mapped.materialize_all()
+        for i in range(plain.n):
+            assert list(mapped.copy_distance_row(i)) == list(
+                plain.copy_distance_row(i)
+            )
+            for j in range(plain.n):
+                assert mapped.distance_between(i, j) == plain.distance_between(
+                    i, j
+                )
+        stats = mapped.storage_stats()
+        assert stats["spills"] > 0
+        assert stats["mmap_reads"] > 0
+        assert stats["bytes_mapped"] > 0
+        # The per-kernel segment file is the only spill artifact.
+        assert any(p.name == "segment.bin" for p in tmp_path.rglob("*"))
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_mmap_full_consumers_stay_exact(self, use_numpy, tmp_path):
+        """Whole-matrix consumers (row sums, to_lists) over a mapped
+        grid equal the dense baseline float for float."""
+        instance = random_instance(
+            n=15, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=9
+        )
+        dense = ScoringKernel(instance, use_numpy=use_numpy)
+        mapped = tiled_kernel(
+            instance,
+            use_numpy,
+            block_size=4,
+            max_resident_tiles=2,
+            spill_dir=str(tmp_path),
+            spill_mode="mmap",
+        )
+        mapped.materialize_all()
+        assert_matrices_equal(dense, mapped)
+
+    def test_mmap_requires_spill_dir(self):
+        instance = random_instance(n=8, k=3, seed=1)
+        with pytest.raises(KernelError, match="spill_dir"):
+            tiled_kernel(instance, False, spill_mode="mmap")
+
+    def test_unknown_spill_mode_rejected(self):
+        instance = random_instance(n=8, k=3, seed=1)
+        with pytest.raises(KernelError, match="spill_mode"):
+            tiled_kernel(instance, False, spill_mode="tape", spill_dir="/tmp")
+
+    def test_dense_rejects_spill_mode(self, tmp_path):
+        instance = random_instance(n=8, k=3, seed=1)
+        with pytest.raises(KernelError, match="dense"):
+            ScoringKernel(
+                instance,
+                use_numpy=False,
+                spill_dir=str(tmp_path),
+                spill_mode="mmap",
+            )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def _snapshot(seed, n=12):
+    instance = random_instance(
+        n=n, k=3, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=seed
+    )
+    kernel = ScoringKernel(instance, use_numpy=False, defer_distances=True)
+    return kernel.provider, tuple(instance.answers())
+
+
+class TestWarmPools:
+    """Registry lifecycle.  Executors here never receive work (workers
+    spawn lazily on first submit), so these run at thread speed."""
+
+    def test_miss_then_hit_reuses_executor(self):
+        registry = WarmPoolRegistry(max_pools=2, ttl=100.0, clock=FakeClock())
+        provider, answers = _snapshot(seed=1)
+        first = registry.acquire(provider, answers, False, 2)
+        executor = first._executor
+        first.close()
+        second = registry.acquire(provider, answers, False, 2)
+        assert second._executor is executor
+        second.close()
+        stats = registry.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        assert stats["pools"] == 1 and stats["leased"] == 0
+        registry.clear()
+
+    def test_leased_pool_bypasses_to_cold(self):
+        registry = WarmPoolRegistry(max_pools=2, ttl=100.0, clock=FakeClock())
+        provider, answers = _snapshot(seed=2)
+        first = registry.acquire(provider, answers, False, 2)
+        second = registry.acquire(provider, answers, False, 2)
+        assert second._executor is not first._executor
+        assert registry.stats()["bypasses"] == 1
+        second.close()  # cold builder: owns and shuts down its pool
+        first.close()
+        assert registry.stats()["leased"] == 0
+        registry.clear()
+
+    def test_lru_eviction_at_budget(self):
+        registry = WarmPoolRegistry(max_pools=1, ttl=100.0, clock=FakeClock())
+        for seed in (3, 4):
+            provider, answers = _snapshot(seed=seed)
+            registry.acquire(provider, answers, False, 2).close()
+        stats = registry.stats()
+        assert stats["evictions"] == 1 and stats["pools"] == 1
+        registry.clear()
+
+    def test_ttl_expires_idle_pools(self):
+        clock = FakeClock()
+        registry = WarmPoolRegistry(max_pools=4, ttl=60.0, clock=clock)
+        provider, answers = _snapshot(seed=5)
+        registry.acquire(provider, answers, False, 2).close()
+        clock.advance(61.0)
+        registry.reap()
+        stats = registry.stats()
+        assert stats["expirations"] == 1 and stats["pools"] == 0
+        # The next acquire is a fresh miss, not a stale hit.
+        registry.acquire(provider, answers, False, 2).close()
+        assert registry.stats()["misses"] == 2
+        registry.clear()
+
+    def test_invalidate_drops_providers_pools(self):
+        registry = WarmPoolRegistry(max_pools=4, ttl=100.0, clock=FakeClock())
+        provider, answers = _snapshot(seed=6)
+        other_provider, other_answers = _snapshot(seed=7)
+        registry.acquire(provider, answers, False, 2).close()
+        registry.acquire(other_provider, other_answers, False, 2).close()
+        assert registry.invalidate(provider) == 1
+        stats = registry.stats()
+        assert stats["invalidations"] == 1 and stats["pools"] == 1
+        registry.acquire(provider, answers, False, 2).close()
+        assert registry.stats()["misses"] == 3
+        registry.clear()
+
+    def test_zero_limit_bypasses_registry(self):
+        registry = WarmPoolRegistry(max_pools=4, ttl=100.0, clock=FakeClock())
+        provider, answers = _snapshot(seed=8)
+        builder = registry.acquire(provider, answers, False, 2, max_pools=0)
+        builder.close()
+        stats = registry.stats()
+        assert stats["bypasses"] == 1 and stats["pools"] == 0
+        registry.clear()
+
+    def test_unpicklable_snapshot_returns_none(self):
+        registry = WarmPoolRegistry(max_pools=2, ttl=100.0, clock=FakeClock())
+        closed = closure_instance()
+        kernel = ScoringKernel(closed, use_numpy=False)
+        assert (
+            registry.acquire(kernel.provider, tuple(closed.answers()), False, 2)
+            is None
+        )
+        assert len(registry) == 0
+
+    def test_apply_delta_invalidates_global_registry(self):
+        registry = warm_pool_registry()
+        registry.clear()
+        instance = random_instance(
+            n=16, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=11
+        )
+        kernel = tiled_kernel(
+            instance, False, block_size=4, workers=2, parallel="process"
+        )
+        try:
+            kernel.materialize_all()
+            assert len(registry) == 1
+            rows = list(instance.answers())
+            kernel.apply_delta(deleted=[rows[0]])
+            assert len(registry) == 0
+        finally:
+            registry.clear()
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_warm_build_floats_equal_cold(self, use_numpy):
+        """The second (warm) build holds exactly the floats of the first
+        (cold) build and of a serial build — on both backends."""
+        registry = warm_pool_registry()
+        registry.clear()
+        instance = random_instance(
+            n=19, k=4, kind=ObjectiveKind.MAX_SUM, lam=0.5, seed=12
+        )
+        try:
+            serial = tiled_kernel(instance, use_numpy, block_size=5)
+            serial.materialize_all()
+            cold = tiled_kernel(
+                instance, use_numpy, block_size=5, workers=2, parallel="process"
+            )
+            cold.materialize_all()
+            assert registry.stats()["misses"] >= 1
+            warm = tiled_kernel(
+                instance, use_numpy, block_size=5, workers=2, parallel="process"
+            )
+            warm.materialize_all()
+            assert registry.stats()["hits"] >= 1
+            assert_matrices_equal(serial, cold)
+            assert_matrices_equal(serial, warm)
+        finally:
+            registry.clear()
 
 
 class TestSketchPooled:

@@ -1,8 +1,12 @@
 """Per-tenant engine sharding (:mod:`repro.service.core`).
 
-``engine_shards`` consistent-hashes each request key onto one of N
+``engine_shards`` consistent-hashes each request's **corpus key** —
+the materialization identity without k/λ/algorithm — onto one of N
 engines per tenant, so kernel LRUs partition instead of thrashing one
-cache.  These tests pin the contract: deterministic placement, sweep
+cache while every variant of one corpus still shares a shard (and so
+its cached kernel).  These tests pin the contract: deterministic
+placement, corpus variants co-locating (with ``shard_rebalance``
+counting the ones a full-key hash would have scattered), sweep
 requests landing on the same shard as plain requests over their corpus
 (kernel sharing), delta invalidation reaching every live shard, and
 ``stats()`` aggregating counters across shards while keeping the
@@ -41,7 +45,7 @@ def requests_on_distinct_shards(service, count=2, k=5):
     picked, seen = [], set()
     for n in range(20, 200):
         request = request_for(n, k=k)
-        shard = service.shard_of(request.key())
+        shard = service.shard_of(request.corpus_key())
         if shard not in seen:
             seen.add(shard)
             picked.append(request)
@@ -81,10 +85,62 @@ class TestPlacement:
 
         run(scenario())
         live = {
-            service.shard_of(r.key()) for r in requests if
-            service.shard_of(r.key()) != 0
+            service.shard_of(r.corpus_key()) for r in requests if
+            service.shard_of(r.corpus_key()) != 0
         }
         assert len(service._engine_shards) == len(live)
+
+
+class TestCorpusAffinity:
+    def test_variants_of_one_corpus_share_a_shard_and_kernel(self):
+        """k/λ/algorithm variants differ in ``key()`` but not
+        ``corpus_key()`` — all land on one shard and reuse one kernel."""
+        service = make_service(engine_shards=4)
+        variants = [
+            DiversifyRequest(workload="synthetic", params={"n": 40}, k=k,
+                             lam=lam, algorithm=algorithm)
+            for k, lam, algorithm in [
+                (3, 0.3, None),
+                (5, 0.5, None),
+                (7, 0.7, "greedy_max_sum"),
+            ]
+        ]
+        corpus_shards = {service.shard_for(r) for r in variants}
+        assert len(corpus_shards) == 1
+        shard = corpus_shards.pop()
+
+        async def scenario():
+            for request in variants:
+                await service.diversify(request)
+
+        run(scenario())
+        engine = service.engine_for("default", shard)
+        assert engine.stats.misses == 1  # one corpus, one kernel
+        assert engine.stats.hits >= len(variants) - 1
+
+    def test_shard_rebalance_counts_full_key_divergence(self):
+        """Whenever a full-key hash disagrees with corpus placement the
+        service counts the request it kept on-corpus."""
+        service = make_service(engine_shards=4)
+        diverged = 0
+        for k in range(3, 40):
+            request = request_for(40, k=k)
+            full = service.shard_of(request.key())
+            assert service.shard_for(request) == service.shard_of(
+                request.corpus_key()
+            )
+            if full != service.shard_of(request.corpus_key()):
+                diverged += 1
+        assert diverged > 0  # the probe range must exercise divergence
+        assert service.shard_rebalance == diverged
+        stats = service.stats()
+        assert stats["requests"]["shard_rebalance"] == diverged
+
+    def test_single_shard_never_counts_rebalance(self):
+        service = make_service()  # engine_shards=1
+        for k in range(3, 10):
+            assert service.shard_for(request_for(40, k=k)) == 0
+        assert service.shard_rebalance == 0
 
 
 class TestKernelPartitioning:
@@ -98,7 +154,7 @@ class TestKernelPartitioning:
 
         run(scenario())
         for request in requests:
-            shard = service.shard_of(request.key())
+            shard = service.shard_of(request.corpus_key())
             engine = service.engine_for(request.tenant, shard)
             assert engine.stats.misses == 1  # exactly its own kernel
         total = sum(
@@ -107,11 +163,11 @@ class TestKernelPartitioning:
         assert total == len(requests)
 
     def test_sweep_lands_on_the_plain_request_shard(self):
-        """A sweep must shard on the request key (not the sweep key) so
+        """A sweep must shard on the corpus key (not the sweep key) so
         it reuses the kernel a plain request over the corpus built."""
         service = make_service(engine_shards=4)
         request = request_for(40)
-        shard = service.shard_of(request.key())
+        shard = service.shard_of(request.corpus_key())
 
         async def scenario():
             await service.diversify(request)
@@ -135,7 +191,7 @@ class TestDeltaAcrossShards:
     def test_delta_reaches_every_live_shard(self):
         service = make_service(engine_shards=3)
         stream = DiversifyRequest(workload="streaming", k=5)
-        shard = service.shard_of(stream.key())
+        shard = service.shard_of(stream.corpus_key())
 
         async def scenario():
             await service.diversify(stream)
@@ -172,6 +228,8 @@ class TestStats:
             "spills",
             "spill_loads",
             "rebuilds",
+            "mmap_reads",
+            "bytes_mapped",
             "resident_tiles",
             "resident_bytes",
         }
